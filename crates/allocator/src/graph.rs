@@ -1,0 +1,204 @@
+//! Interference-graph construction (Sections 3.3.2–3.3.3, Figure 7).
+
+use crate::matrix::SymMatrix;
+use serde::{Deserialize, Serialize};
+use symbio_machine::ThreadView;
+
+/// Which per-(process, core) interference measurement feeds the graph.
+///
+/// `ReciprocalSymbiosis` is the paper's literal definition (Section 3.3.2:
+/// `1 / popcount(RBV ^ CF_j)`). It has two degeneracies this reproduction
+/// documents in DESIGN.md: (1) from any balanced 2-core placement every
+/// cross-core pairing produces an identical cut, so the MIN-CUT cannot
+/// distinguish them, and (2) a core whose filter is dense (a streaming
+/// polluter) *inflates* symbiosis, inverting the signal. `Overlap` is the
+/// contested-capacity variant computed from the same filters
+/// ([`symbio_cbf::SignatureSample::overlap`]) that preserves the paper's
+/// intent (destructive processes attract) without the inversion, and is the
+/// default for the graph policies; the cross-pairing tie remains (it is
+/// structural to per-core attribution) and is resolved by the profiling
+/// loop's re-invocation dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterferenceMetric {
+    /// The paper's literal reciprocal-XOR-symbiosis metric.
+    ReciprocalSymbiosis,
+    /// Contested capacity (`popcount(RBV & CF_j)`-based), the default.
+    Overlap,
+}
+
+/// The consolidated undirected interference graph over threads.
+///
+/// Construction follows Figure 7: the *directed* edge `a → b` carries
+/// `I_{a, core(b)}` — the interference of `a` (its RBV) with the Core
+/// Filter of the core `b` last ran on, because "a process has equal
+/// interference with all processes of a different core". The directed graph
+/// is consolidated by summing the two directions; the weighted variant
+/// multiplies each direction by the source's occupancy weight first.
+#[derive(Debug, Clone)]
+pub struct InterferenceGraph {
+    weights: SymMatrix,
+    /// tid order of the nodes.
+    tids: Vec<usize>,
+}
+
+impl InterferenceGraph {
+    /// Build the unweighted (Section 3.3.2) graph.
+    pub fn unweighted(threads: &[&ThreadView], metric: InterferenceMetric) -> Self {
+        Self::build(threads, false, metric)
+    }
+
+    /// Build the occupancy-weighted (Section 3.3.3) graph.
+    pub fn weighted(threads: &[&ThreadView], metric: InterferenceMetric) -> Self {
+        Self::build(threads, true, metric)
+    }
+
+    fn build(threads: &[&ThreadView], weighted: bool, metric: InterferenceMetric) -> Self {
+        let n = threads.len();
+        let mut weights = SymMatrix::new(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                // Directed a → b: interference of a with b's core.
+                let core_b = threads[b].last_core.unwrap_or(0);
+                let mut w = match metric {
+                    InterferenceMetric::ReciprocalSymbiosis => threads[a].interference_with(core_b),
+                    InterferenceMetric::Overlap => threads[a].contested_with(core_b),
+                };
+                if weighted {
+                    w *= threads[a].occupancy;
+                }
+                weights.add(a, b, w);
+            }
+        }
+        InterferenceGraph {
+            weights,
+            tids: threads.iter().map(|t| t.tid).collect(),
+        }
+    }
+
+    /// The consolidated weight matrix (indexed by node position, not tid).
+    pub fn weights(&self) -> &SymMatrix {
+        &self.weights
+    }
+
+    /// Mutable access (used by the two-phase algorithm to pin edges).
+    pub fn weights_mut(&mut self) -> &mut SymMatrix {
+        &mut self.weights
+    }
+
+    /// tid of node `i`.
+    pub fn tid_of(&self, i: usize) -> usize {
+        self.tids[i]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(tid: usize, occupancy: f64, symbiosis: Vec<f64>, last_core: usize) -> ThreadView {
+        let overlap = symbiosis.iter().map(|s| 100.0 - s).collect();
+        ThreadView {
+            tid,
+            pid: tid,
+            name: format!("p{tid}"),
+            occupancy,
+            symbiosis,
+            overlap,
+            last_occupancy: occupancy as u32,
+            last_core: Some(last_core),
+            samples: 1,
+            filter_len: 64,
+            l2_miss_rate: 0.0,
+            l2_misses: 0,
+            retired: 0,
+        }
+    }
+
+    #[test]
+    fn figure7_consolidation() {
+        // Two processes on different cores: edge = I_a,core(b) + I_b,core(a).
+        let a = view(0, 10.0, vec![4.0, 8.0], 0); // on core 0
+        let b = view(1, 20.0, vec![2.0, 16.0], 1); // on core 1
+        let g = InterferenceGraph::unweighted(&[&a, &b], InterferenceMetric::ReciprocalSymbiosis);
+        // a → b: I_a with core 1 = 1/8; b → a: I_b with core 0 = 1/2.
+        let expect = 1.0 / 8.0 + 1.0 / 2.0;
+        assert!((g.weights().get(0, 1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_scales_by_source_occupancy() {
+        let a = view(0, 10.0, vec![4.0, 8.0], 0);
+        let b = view(1, 20.0, vec![2.0, 16.0], 1);
+        let g = InterferenceGraph::weighted(&[&a, &b], InterferenceMetric::ReciprocalSymbiosis);
+        // W_a·I_a,c1 + W_b·I_b,c0 = 10/8 + 20/2.
+        let expect = 10.0 / 8.0 + 20.0 / 2.0;
+        assert!((g.weights().get(0, 1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_occupancy_discounted_in_weighted_graph() {
+        // Section 3.3.3's motivation: a near-empty process has tiny
+        // symbiosis (looks like high interference) but should carry little
+        // weight.
+        let idle = view(0, 0.5, vec![0.4, 0.4], 0); // tiny occupancy
+        let busy1 = view(1, 100.0, vec![50.0, 120.0], 1);
+        let uw = InterferenceGraph::unweighted(
+            &[&idle, &busy1],
+            InterferenceMetric::ReciprocalSymbiosis,
+        );
+        let w =
+            InterferenceGraph::weighted(&[&idle, &busy1], InterferenceMetric::ReciprocalSymbiosis);
+        // Unweighted: the idle process's reciprocal symbiosis dominates.
+        assert!(uw.weights().get(0, 1) > 1.0);
+        // Weighted: its contribution is scaled down by its 0.5 occupancy.
+        assert!(w.weights().get(0, 1) < uw.weights().get(0, 1) * 10.0);
+        let idle_contrib_uw = 2.0; // clamped interference
+        let idle_contrib_w = 0.5 * 2.0;
+        assert!(idle_contrib_w < idle_contrib_uw);
+    }
+
+    #[test]
+    fn missing_core_information_defaults() {
+        let mut a = view(0, 1.0, vec![4.0, 4.0], 0);
+        a.last_core = None;
+        let b = view(1, 1.0, vec![4.0, 4.0], 1);
+        let g = InterferenceGraph::unweighted(&[&a, &b], InterferenceMetric::ReciprocalSymbiosis);
+        assert!(g.weights().get(0, 1) > 0.0);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn overlap_metric_uses_contested_capacity() {
+        let a = view(0, 10.0, vec![90.0, 40.0], 0); // overlap [10, 60]
+        let b = view(1, 20.0, vec![30.0, 80.0], 1); // overlap [70, 20]
+        let g = InterferenceGraph::unweighted(&[&a, &b], InterferenceMetric::Overlap);
+        // a → b: contested with core 1 = 60; b → a: contested with core 0
+        // = 70.
+        assert!((g.weights().get(0, 1) - 130.0).abs() < 1e-9);
+        let gw = InterferenceGraph::weighted(&[&a, &b], InterferenceMetric::Overlap);
+        assert!((gw.weights().get(0, 1) - (10.0 * 60.0 + 20.0 * 70.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tids_preserved() {
+        let a = view(7, 1.0, vec![1.0, 1.0], 0);
+        let b = view(3, 1.0, vec![1.0, 1.0], 1);
+        let g = InterferenceGraph::unweighted(&[&a, &b], InterferenceMetric::ReciprocalSymbiosis);
+        assert_eq!(g.tid_of(0), 7);
+        assert_eq!(g.tid_of(1), 3);
+    }
+}

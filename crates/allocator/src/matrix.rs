@@ -1,0 +1,123 @@
+//! Symmetric weight matrix for interference graphs.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense symmetric `n × n` matrix of edge weights (diagonal unused).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Zero matrix of order `n`.
+    pub fn new(n: usize) -> Self {
+        SymMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Order of the matrix.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Weight between `a` and `b` (0 on the diagonal).
+    #[inline]
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        self.data[a * self.n + b]
+    }
+
+    /// Set the weight between `a` and `b` (both triangles updated).
+    pub fn set(&mut self, a: usize, b: usize, w: f64) {
+        assert!(a != b, "diagonal is not a valid edge");
+        self.data[a * self.n + b] = w;
+        self.data[b * self.n + a] = w;
+    }
+
+    /// Add `w` to the edge `a`–`b`.
+    pub fn add(&mut self, a: usize, b: usize, w: f64) {
+        assert!(a != b, "diagonal is not a valid edge");
+        self.data[a * self.n + b] += w;
+        self.data[b * self.n + a] += w;
+    }
+
+    /// Sum of weights of edges crossing the cut defined by `side`
+    /// (`side[i]` = which side node `i` is on).
+    pub fn cut_weight(&self, side: &[bool]) -> f64 {
+        debug_assert_eq!(side.len(), self.n);
+        let mut cut = 0.0;
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if side[a] != side[b] {
+                    cut += self.get(a, b);
+                }
+            }
+        }
+        cut
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        let mut t = 0.0;
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                t += self.get(a, b);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_is_symmetric() {
+        let mut m = SymMatrix::new(3);
+        m.set(0, 2, 5.0);
+        assert_eq!(m.get(0, 2), 5.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = SymMatrix::new(2);
+        m.add(0, 1, 1.5);
+        m.add(1, 0, 2.5);
+        assert_eq!(m.get(0, 1), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_rejected() {
+        let mut m = SymMatrix::new(2);
+        m.set(1, 1, 1.0);
+    }
+
+    #[test]
+    fn cut_weight_counts_crossing_edges() {
+        let mut m = SymMatrix::new(4);
+        m.set(0, 1, 1.0);
+        m.set(2, 3, 2.0);
+        m.set(0, 2, 4.0);
+        m.set(1, 3, 8.0);
+        // Cut {0,1} | {2,3}: crossing = 4 + 8.
+        assert_eq!(m.cut_weight(&[false, false, true, true]), 12.0);
+        // Cut {0,2} | {1,3}: crossing = 1 + 2.
+        assert_eq!(m.cut_weight(&[false, true, false, true]), 3.0);
+    }
+
+    #[test]
+    fn total_weight_sums_upper_triangle() {
+        let mut m = SymMatrix::new(3);
+        m.set(0, 1, 1.0);
+        m.set(0, 2, 2.0);
+        m.set(1, 2, 3.0);
+        assert_eq!(m.total_weight(), 6.0);
+    }
+}

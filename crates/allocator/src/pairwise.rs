@@ -1,0 +1,254 @@
+//! Pairwise-attributed weighted interference graph.
+//!
+//! The hardware reports interference per *(process, core)*: at every
+//! context switch, how much the departing process's new footprint contests
+//! each core's filter. Per-core attribution has a structural blind spot on
+//! a 2-core machine (every balanced cross-pairing internalises the same
+//! total weight — see DESIGN.md), and the own-core measurement is polluted
+//! by concurrent other-core evictions.
+//!
+//! The paper's user-level monitoring process, however, *knows the current
+//! placement* (it sets the affinities itself). This policy exploits that:
+//! each per-core contested sample is split among the processes resident on
+//! that core at sampling time and folded into a persistent per-**pair**
+//! EWMA. As the profiling loop re-invokes the policy under different
+//! placements, different subsets co-reside and the pairwise estimates
+//! become identifiable — the software-side completion of the paper's
+//! hardware mechanism, using no information beyond the signature samples
+//! and the monitor's own affinity decisions.
+//!
+//! The MIN-CUT then runs over genuinely pairwise weights, so "which two
+//! processes should time-share" is decided by evidence about *those two
+//! processes*.
+
+use crate::partition::{partition_k, PartitionMethod};
+use crate::policy::{flat_threads, mapping_from_groups, AllocationPolicy};
+use crate::SymMatrix;
+use std::collections::HashMap;
+use symbio_machine::{Mapping, ProcView};
+
+/// EWMA factor for pairwise estimates.
+const ALPHA: f64 = 0.4;
+
+/// Stateful pairwise-attribution policy (see module docs).
+#[derive(Debug, Clone)]
+pub struct PairwisePolicy {
+    /// Partitioning algorithm.
+    pub method: PartitionMethod,
+    /// Scale each directed contribution by the source's occupancy weight
+    /// (the Section 3.3.3 refinement).
+    pub weighted: bool,
+    pair_ewma: HashMap<(usize, usize), f64>,
+}
+
+impl PairwisePolicy {
+    /// New policy with default (exact) partitioning, occupancy-weighted.
+    pub fn new() -> Self {
+        PairwisePolicy {
+            method: PartitionMethod::Auto,
+            weighted: true,
+            pair_ewma: HashMap::new(),
+        }
+    }
+
+    /// Current estimate for a pair (order-insensitive).
+    pub fn pair_estimate(&self, a: usize, b: usize) -> f64 {
+        let k = if a < b { (a, b) } else { (b, a) };
+        self.pair_ewma.get(&k).copied().unwrap_or(0.0)
+    }
+
+    fn fold(&mut self, a: usize, b: usize, value: f64) {
+        let k = if a < b { (a, b) } else { (b, a) };
+        // Blend from zero even on first observation: inserting the raw
+        // value would give freshly-discovered pairs an undamped advantage
+        // over long-observed (EWMA-attenuated) ones.
+        let e = self.pair_ewma.entry(k).or_insert(0.0);
+        *e = ALPHA * value + (1.0 - ALPHA) * *e;
+    }
+}
+
+impl Default for PairwisePolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AllocationPolicy for PairwisePolicy {
+    fn name(&self) -> &'static str {
+        "pairwise-wig"
+    }
+
+    fn allocate(&mut self, views: &[ProcView], cores: usize) -> Mapping {
+        let threads = flat_threads(views);
+        let n = threads.len();
+        if n <= cores {
+            let groups: Vec<usize> = (0..n).collect();
+            return mapping_from_groups(&threads, &groups, cores);
+        }
+
+        // Attribute this round's cross-core contested samples to pairs.
+        // `last_overlap[j]` is the latest hardware sample of how much this
+        // thread's fresh footprint contests core j's filter; split it
+        // across the threads currently resident on core j.
+        let residents: Vec<Vec<usize>> = (0..cores)
+            .map(|c| {
+                threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.last_core == Some(c))
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        let mut contributions: Vec<(usize, usize, f64)> = Vec::new();
+        for (i, t) in threads.iter().enumerate() {
+            let Some(own) = t.last_core else { continue };
+            if t.samples == 0 {
+                continue;
+            }
+            let w = if self.weighted {
+                f64::from(t.last_occupancy).max(1.0)
+            } else {
+                1.0
+            };
+            for (j, res) in residents.iter().enumerate() {
+                if j == own || res.is_empty() {
+                    continue;
+                }
+                let raw = t.overlap.get(j).copied().unwrap_or(0.0);
+                let share = raw / res.len() as f64;
+                for &b in res {
+                    if b != i {
+                        contributions.push((i, b, w.sqrt() * share));
+                    }
+                }
+            }
+        }
+        for (a, b, v) in contributions {
+            let ta = threads[a].tid;
+            let tb = threads[b].tid;
+            self.fold(ta, tb, v);
+        }
+
+        // MIN-CUT over the pairwise matrix.
+        let mut w = SymMatrix::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                w.set(a, b, self.pair_estimate(threads[a].tid, threads[b].tid));
+            }
+        }
+        let groups = partition_k(&w, cores.next_power_of_two(), self.method);
+        mapping_from_groups(&threads, &groups, cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbio_machine::ThreadView;
+
+    fn view(tid: usize, occ: u32, overlap: Vec<f64>, last_core: usize) -> ProcView {
+        ProcView {
+            pid: tid,
+            name: format!("p{tid}"),
+            threads: vec![ThreadView {
+                tid,
+                pid: tid,
+                name: format!("p{tid}"),
+                occupancy: f64::from(occ),
+                symbiosis: vec![100.0; overlap.len()],
+                overlap,
+                last_occupancy: occ,
+                last_core: Some(last_core),
+                samples: 3,
+                filter_len: 4096,
+                l2_miss_rate: 0.1,
+                l2_misses: 10,
+                retired: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn accumulates_pairwise_estimates() {
+        // NOTE: within a single placement, equal splitting across residents
+        // cannot distinguish which resident the contestation is "about" —
+        // identification needs placement variety across invocations
+        // (documented in the module docs). This test checks accumulation
+        // and balance, then feeds a second placement to disambiguate.
+        let mut p = PairwisePolicy::new();
+        // Placement {0,2}|{1,3}: P0 heavily contests core 1.
+        let views = vec![
+            view(0, 100, vec![0.0, 900.0], 0),
+            view(1, 100, vec![50.0, 0.0], 1),
+            view(2, 10, vec![0.0, 5.0], 0),
+            view(3, 10, vec![5.0, 0.0], 1),
+        ];
+        let m = p.allocate(&views, 2);
+        assert!(p.pair_estimate(0, 1) > p.pair_estimate(2, 3));
+        assert_eq!(m.group_sizes(2), vec![2, 2]);
+        // Placement {0,3}|{1,2}: P0 still contests P1's core, P3 no
+        // longer shares it — evidence now singles out the (0,1) pair.
+        let views2 = vec![
+            view(0, 100, vec![0.0, 900.0], 0),
+            view(1, 100, vec![800.0, 0.0], 1),
+            view(2, 10, vec![0.0, 5.0], 1),
+            view(3, 10, vec![5.0, 0.0], 0),
+        ];
+        let m2 = p.allocate(&views2, 2);
+        assert!(p.pair_estimate(0, 1) > p.pair_estimate(0, 3));
+        assert!(p.pair_estimate(0, 1) > p.pair_estimate(2, 3));
+        assert_eq!(m2.core_of(0), m2.core_of(1), "evidence co-locates P0+P1");
+        assert_eq!(m2.group_sizes(2), vec![2, 2]);
+    }
+
+    #[test]
+    fn estimates_persist_across_invocations() {
+        let mut p = PairwisePolicy::new();
+        let views = vec![
+            view(0, 100, vec![0.0, 900.0], 0),
+            view(1, 100, vec![800.0, 0.0], 1),
+            view(2, 10, vec![0.0, 5.0], 0),
+            view(3, 10, vec![5.0, 0.0], 1),
+        ];
+        p.allocate(&views, 2);
+        let first = p.pair_estimate(0, 1);
+        assert!(first > 0.0);
+        // A silent round (no new samples: samples == 0) must not erase it.
+        let mut quiet = views.clone();
+        for v in &mut quiet {
+            v.threads[0].samples = 0;
+        }
+        p.allocate(&quiet, 2);
+        assert!(p.pair_estimate(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn shares_split_among_residents() {
+        let mut p = PairwisePolicy::new();
+        // P0 contests core 1 (600 lines) where P1 and P2 both live: each
+        // pair gets half the attribution.
+        let views = vec![
+            view(0, 100, vec![0.0, 600.0], 0),
+            view(1, 100, vec![0.0, 0.0], 1),
+            view(2, 100, vec![0.0, 0.0], 1),
+            view(3, 100, vec![0.0, 0.0], 0),
+        ];
+        p.allocate(&views, 2);
+        let e01 = p.pair_estimate(0, 1);
+        let e02 = p.pair_estimate(0, 2);
+        assert!(e01 > 0.0);
+        assert!((e01 - e02).abs() < 1e-9, "equal split across residents");
+    }
+
+    #[test]
+    fn fewer_threads_than_cores_spreads() {
+        let mut p = PairwisePolicy::new();
+        let views = vec![
+            view(0, 1, vec![0.0, 0.0, 0.0, 0.0], 0),
+            view(1, 1, vec![0.0, 0.0, 0.0, 0.0], 1),
+        ];
+        let m = p.allocate(&views, 4);
+        assert_ne!(m.core_of(0), m.core_of(1));
+    }
+}

@@ -1,0 +1,424 @@
+//! Balanced graph partitioning (the MIN-CUT step of Sections 3.3.2–3.3.3).
+//!
+//! The paper's formulation: split the nodes into equal groups so that the
+//! weight of edges *between* groups is minimised (equivalently, intra-group
+//! interference is maximised, so mutually destructive processes share a
+//! core). Balanced MIN-CUT is NP-hard in general; the paper uses an SDP
+//! approximation. At the paper's sizes ("tens of nodes") exhaustive
+//! enumeration of balanced bisections is exact and fast —
+//! C(12,6)/2 = 462 cuts for a 12-node graph — so that is the default, with
+//! Kernighan–Lin and randomised local search provided for larger graphs and
+//! for ablation benches.
+
+use crate::matrix::SymMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Which bisection algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionMethod {
+    /// Exact: enumerate all balanced bisections (n ≤ 24 recommended).
+    Exhaustive,
+    /// Kernighan–Lin pairwise-swap refinement from a deterministic start.
+    KernighanLin,
+    /// Randomised swap hill-climbing with restarts (seeded).
+    LocalSearch {
+        /// Number of random restarts.
+        restarts: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Exhaustive when it is cheap, Kernighan–Lin otherwise.
+    Auto,
+}
+
+/// Result of a bisection: `side[i]` says which half node `i` landed in,
+/// and `cut` is the crossing weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bisection {
+    /// Side assignment (`false` = group 0).
+    pub side: Vec<bool>,
+    /// Total weight crossing the cut.
+    pub cut: f64,
+}
+
+/// Bisect `w` into two groups of ⌈n/2⌉ and ⌊n/2⌋ nodes minimising the cut.
+pub fn bisect(w: &SymMatrix, method: PartitionMethod) -> Bisection {
+    let n = w.n();
+    assert!(n >= 2, "need at least two nodes to bisect");
+    match method {
+        PartitionMethod::Exhaustive => exhaustive(w),
+        PartitionMethod::KernighanLin => kernighan_lin(w),
+        PartitionMethod::LocalSearch { restarts, seed } => local_search(w, restarts, seed),
+        PartitionMethod::Auto => {
+            if n <= 24 {
+                exhaustive(w)
+            } else {
+                kernighan_lin(w)
+            }
+        }
+    }
+}
+
+/// Partition into `k` balanced groups by hierarchical bisection
+/// (`k` must be a power of two, as in the paper's extension to more cores).
+/// Returns the group index of each node.
+pub fn partition_k(w: &SymMatrix, k: usize, method: PartitionMethod) -> Vec<usize> {
+    assert!(k >= 1 && k.is_power_of_two(), "k must be a power of two");
+    let mut groups = vec![0usize; w.n()];
+    let all: Vec<usize> = (0..w.n()).collect();
+    split_rec(w, &all, k, 0, method, &mut groups);
+    groups
+}
+
+fn split_rec(
+    w: &SymMatrix,
+    nodes: &[usize],
+    k: usize,
+    base: usize,
+    method: PartitionMethod,
+    out: &mut Vec<usize>,
+) {
+    if k == 1 || nodes.len() <= 1 {
+        for &n in nodes {
+            out[n] = base;
+        }
+        return;
+    }
+    // Build the subgraph over `nodes`.
+    let m = nodes.len();
+    let mut sub = SymMatrix::new(m);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            sub.set(i, j, w.get(nodes[i], nodes[j]));
+        }
+    }
+    let bi = bisect(&sub, method);
+    let left: Vec<usize> = (0..m).filter(|&i| !bi.side[i]).map(|i| nodes[i]).collect();
+    let right: Vec<usize> = (0..m).filter(|&i| bi.side[i]).map(|i| nodes[i]).collect();
+    split_rec(w, &left, k / 2, base, method, out);
+    split_rec(w, &right, k / 2, base + k / 2, method, out);
+}
+
+/// Exact enumeration. Fixes node 0 on side `false` to halve the space, and
+/// enumerates all subsets of the remaining nodes with ⌊n/2⌋ elements for
+/// the `true` side.
+fn exhaustive(w: &SymMatrix) -> Bisection {
+    let n = w.n();
+    let half = n / 2; // size of the `true` side
+    let mut best: Option<Bisection> = None;
+    // Iterate over bitmasks of the n-1 non-fixed nodes with `half` bits.
+    let mut side = vec![false; n];
+    let mut comb: Vec<usize> = (0..half).collect(); // indices into 1..n
+    loop {
+        side.iter_mut().for_each(|s| *s = false);
+        for &c in &comb {
+            side[c + 1] = true;
+        }
+        let cut = w.cut_weight(&side);
+        if best.as_ref().is_none_or(|b| cut < b.cut) {
+            best = Some(Bisection {
+                side: side.clone(),
+                cut,
+            });
+        }
+        // Next combination of size `half` from 0..n-1 (mapped to nodes 1..n).
+        if half == 0 {
+            break;
+        }
+        let mut i = half;
+        loop {
+            if i == 0 {
+                return best.expect("at least one bisection");
+            }
+            i -= 1;
+            if comb[i] != i + (n - 1) - half {
+                comb[i] += 1;
+                for j in (i + 1)..half {
+                    comb[j] = comb[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+    best.expect("at least one bisection")
+}
+
+/// Classic Kernighan–Lin refinement from the sequential split.
+fn kernighan_lin(w: &SymMatrix) -> Bisection {
+    let n = w.n();
+    let half = n / 2;
+    let mut side: Vec<bool> = (0..n).map(|i| i >= n - half).collect();
+
+    // D[i] = external - internal cost of node i under the current split.
+    let d = |side: &[bool], i: usize| -> f64 {
+        let mut ext = 0.0;
+        let mut int = 0.0;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            if side[j] != side[i] {
+                ext += w.get(i, j);
+            } else {
+                int += w.get(i, j);
+            }
+        }
+        ext - int
+    };
+
+    for _pass in 0..n {
+        // Greedy sequence of best swaps, then keep the best prefix.
+        let mut work = side.clone();
+        let mut locked = vec![false; n];
+        let mut gains: Vec<(f64, usize, usize)> = Vec::new();
+        for _ in 0..half {
+            let mut best: Option<(f64, usize, usize)> = None;
+            for a in 0..n {
+                if locked[a] || work[a] {
+                    continue;
+                }
+                for b in 0..n {
+                    if locked[b] || !work[b] {
+                        continue;
+                    }
+                    let gain = d(&work, a) + d(&work, b) - 2.0 * w.get(a, b);
+                    if best.is_none_or(|(g, _, _)| gain > g) {
+                        best = Some((gain, a, b));
+                    }
+                }
+            }
+            let Some((g, a, b)) = best else { break };
+            work[a] = true;
+            work[b] = false;
+            locked[a] = true;
+            locked[b] = true;
+            gains.push((g, a, b));
+        }
+        // Best prefix of cumulative gains.
+        let mut best_sum = 0.0;
+        let mut cum = 0.0;
+        let mut best_k = 0;
+        for (k, (g, _, _)) in gains.iter().enumerate() {
+            cum += g;
+            if cum > best_sum {
+                best_sum = cum;
+                best_k = k + 1;
+            }
+        }
+        if best_k == 0 {
+            break; // converged
+        }
+        for (_, a, b) in gains.into_iter().take(best_k) {
+            side[a] = true;
+            side[b] = false;
+        }
+    }
+    let cut = w.cut_weight(&side);
+    Bisection { side, cut }
+}
+
+/// Randomised swap hill-climbing with restarts.
+fn local_search(w: &SymMatrix, restarts: u32, seed: u64) -> Bisection {
+    let n = w.n();
+    let half = n / 2;
+    let mut best: Option<Bisection> = None;
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    for _ in 0..restarts.max(1) {
+        // Random balanced start (Fisher-Yates prefix).
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut side = vec![false; n];
+        for &i in order.iter().take(half) {
+            side[i] = true;
+        }
+        // Hill-climb: apply the best improving swap until none remains.
+        let mut cut = w.cut_weight(&side);
+        loop {
+            let mut best_swap: Option<(f64, usize, usize)> = None;
+            for a in 0..n {
+                if side[a] {
+                    continue;
+                }
+                for b in 0..n {
+                    if !side[b] {
+                        continue;
+                    }
+                    side[a] = true;
+                    side[b] = false;
+                    let c = w.cut_weight(&side);
+                    side[a] = false;
+                    side[b] = true;
+                    if c + 1e-12 < cut && best_swap.is_none_or(|(bc, _, _)| c < bc) {
+                        best_swap = Some((c, a, b));
+                    }
+                }
+            }
+            let Some((c, a, b)) = best_swap else { break };
+            side[a] = true;
+            side[b] = false;
+            cut = c;
+        }
+        if best.as_ref().is_none_or(|b| cut < b.cut) {
+            best = Some(Bisection { side, cut });
+        }
+    }
+    best.expect("restarts >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight pairs weakly connected: optimal cut separates the pairs.
+    fn two_clusters() -> SymMatrix {
+        let mut w = SymMatrix::new(4);
+        w.set(0, 1, 10.0);
+        w.set(2, 3, 10.0);
+        w.set(0, 2, 1.0);
+        w.set(1, 3, 1.0);
+        w
+    }
+
+    #[test]
+    fn exhaustive_finds_optimum() {
+        let b = bisect(&two_clusters(), PartitionMethod::Exhaustive);
+        assert_eq!(b.cut, 2.0);
+        assert_eq!(b.side[0], b.side[1]);
+        assert_eq!(b.side[2], b.side[3]);
+        assert_ne!(b.side[0], b.side[2]);
+    }
+
+    #[test]
+    fn kl_matches_exhaustive_on_small_graphs() {
+        let b = bisect(&two_clusters(), PartitionMethod::KernighanLin);
+        assert_eq!(b.cut, 2.0);
+    }
+
+    #[test]
+    fn local_search_matches_exhaustive_on_small_graphs() {
+        let b = bisect(
+            &two_clusters(),
+            PartitionMethod::LocalSearch {
+                restarts: 4,
+                seed: 1,
+            },
+        );
+        assert_eq!(b.cut, 2.0);
+    }
+
+    #[test]
+    fn balance_is_enforced() {
+        // A star graph wants everything on one side; balance forbids it.
+        let mut w = SymMatrix::new(6);
+        for i in 1..6 {
+            w.set(0, i, 1.0);
+        }
+        for method in [PartitionMethod::Exhaustive, PartitionMethod::KernighanLin] {
+            let b = bisect(&w, method);
+            let ones = b.side.iter().filter(|&&s| s).count();
+            assert_eq!(ones, 3, "{method:?} must keep sides balanced");
+        }
+    }
+
+    #[test]
+    fn odd_node_counts_split_near_evenly() {
+        let mut w = SymMatrix::new(5);
+        w.set(0, 1, 5.0);
+        w.set(2, 3, 5.0);
+        w.set(3, 4, 5.0);
+        let b = bisect(&w, PartitionMethod::Exhaustive);
+        let ones = b.side.iter().filter(|&&s| s).count();
+        assert_eq!(ones, 2, "true side gets floor(n/2)");
+    }
+
+    #[test]
+    fn heuristics_never_beat_exhaustive() {
+        // Deterministic pseudo-random graphs: exhaustive is the optimum.
+        let mut state = 42u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 100.0
+        };
+        for n in [4usize, 6, 8, 10] {
+            let mut w = SymMatrix::new(n);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    w.set(a, b, rnd());
+                }
+            }
+            let opt = bisect(&w, PartitionMethod::Exhaustive).cut;
+            let kl = bisect(&w, PartitionMethod::KernighanLin).cut;
+            let ls = bisect(
+                &w,
+                PartitionMethod::LocalSearch {
+                    restarts: 8,
+                    seed: 7,
+                },
+            )
+            .cut;
+            assert!(kl >= opt - 1e-9, "KL {kl} below optimum {opt}?");
+            assert!(ls >= opt - 1e-9, "LS {ls} below optimum {opt}?");
+            // And they should be close at these sizes.
+            assert!(kl <= opt * 1.8 + 1e-9, "KL too far off: {kl} vs {opt}");
+            assert!(ls <= opt * 1.5 + 1e-9, "LS too far off: {ls} vs {opt}");
+        }
+    }
+
+    #[test]
+    fn partition_k_four_groups() {
+        // 8 nodes in 4 tight pairs.
+        let mut w = SymMatrix::new(8);
+        for p in 0..4 {
+            w.set(2 * p, 2 * p + 1, 10.0);
+        }
+        // Weak noise edges.
+        w.add(0, 2, 0.5);
+        w.add(3, 5, 0.5);
+        let groups = partition_k(&w, 4, PartitionMethod::Exhaustive);
+        // Pairs must land together.
+        for p in 0..4 {
+            assert_eq!(groups[2 * p], groups[2 * p + 1], "pair {p} split");
+        }
+        // Exactly 4 distinct group labels, each of size 2.
+        let mut sizes = std::collections::HashMap::new();
+        for &g in &groups {
+            *sizes.entry(g).or_insert(0) += 1;
+        }
+        assert_eq!(sizes.len(), 4);
+        assert!(sizes.values().all(|&s| s == 2));
+    }
+
+    #[test]
+    fn partition_one_group_is_trivial() {
+        let w = two_clusters();
+        let groups = partition_k(&w, 1, PartitionMethod::Auto);
+        assert!(groups.iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn partition_k_rejects_non_power_of_two() {
+        partition_k(&SymMatrix::new(4), 3, PartitionMethod::Auto);
+    }
+
+    #[test]
+    fn exhaustive_two_nodes() {
+        let mut w = SymMatrix::new(2);
+        w.set(0, 1, 3.0);
+        let b = bisect(&w, PartitionMethod::Exhaustive);
+        assert_eq!(b.cut, 3.0);
+        assert_ne!(b.side[0], b.side[1]);
+    }
+}

@@ -1,0 +1,337 @@
+//! The allocation-policy trait and the three signature-driven algorithms.
+
+use crate::graph::{InterferenceGraph, InterferenceMetric};
+use crate::partition::{partition_k, PartitionMethod};
+use symbio_machine::{Mapping, ProcView, ThreadView};
+
+/// An allocation policy: signature contexts in, thread→core mapping out.
+///
+/// Policies are invoked periodically from the profiling loop (the paper's
+/// user-level monitoring process, every 100 ms); the returned mapping is
+/// applied through the machine's affinity interface.
+pub trait AllocationPolicy {
+    /// Short name for reports (e.g. `"weighted-ig"`).
+    fn name(&self) -> &'static str;
+
+    /// Compute a mapping for every managed thread in `views` onto `cores`.
+    fn allocate(&mut self, views: &[ProcView], cores: usize) -> Mapping;
+}
+
+/// Flatten process views into tid-ordered thread views.
+pub(crate) fn flat_threads(views: &[ProcView]) -> Vec<&ThreadView> {
+    let mut ts: Vec<&ThreadView> = views.iter().flat_map(|p| p.threads.iter()).collect();
+    ts.sort_by_key(|t| t.tid);
+    assert!(
+        ts.iter().enumerate().all(|(i, t)| t.tid == i),
+        "thread ids must be contiguous from 0"
+    );
+    ts
+}
+
+/// Turn a per-node group assignment into a tid→core [`Mapping`].
+pub(crate) fn mapping_from_groups(
+    threads: &[&ThreadView],
+    groups: &[usize],
+    cores: usize,
+) -> Mapping {
+    let mut cores_by_tid = vec![0usize; threads.len()];
+    for (i, t) in threads.iter().enumerate() {
+        cores_by_tid[t.tid] = groups[i] % cores;
+    }
+    Mapping::new(cores_by_tid)
+}
+
+/// Section 3.3.1 — **weight sorting**: sort threads by RBV occupancy
+/// weight (descending) and place consecutive runs of ⌈P/N⌉ on the same
+/// core, so the heaviest cache users time-share instead of co-running.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WeightSortPolicy;
+
+impl AllocationPolicy for WeightSortPolicy {
+    fn name(&self) -> &'static str {
+        "weight-sort"
+    }
+
+    fn allocate(&mut self, views: &[ProcView], cores: usize) -> Mapping {
+        let threads = flat_threads(views);
+        sort_and_group(&threads, cores, |t| t.occupancy)
+    }
+}
+
+/// Shared helper: sort by a key descending, then group consecutively.
+pub(crate) fn sort_and_group(
+    threads: &[&ThreadView],
+    cores: usize,
+    key: impl Fn(&ThreadView) -> f64,
+) -> Mapping {
+    let p = threads.len();
+    let group_size = p.div_ceil(cores);
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by(|&a, &b| {
+        key(threads[b])
+            .partial_cmp(&key(threads[a]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut groups = vec![0usize; p];
+    for (rank, &i) in order.iter().enumerate() {
+        groups[i] = rank / group_size;
+    }
+    mapping_from_groups(threads, &groups, cores)
+}
+
+/// Section 3.3.2 — **interference graph**: balanced MIN-CUT over the
+/// reciprocal-symbiosis graph; intra-group (same-core) interference is
+/// maximised, inter-group interference minimised.
+#[derive(Debug, Clone, Copy)]
+pub struct InterferenceGraphPolicy {
+    /// Partitioning algorithm.
+    pub method: PartitionMethod,
+    /// Interference measurement feeding the graph.
+    pub metric: InterferenceMetric,
+}
+
+impl Default for InterferenceGraphPolicy {
+    fn default() -> Self {
+        InterferenceGraphPolicy {
+            method: PartitionMethod::Auto,
+            metric: InterferenceMetric::Overlap,
+        }
+    }
+}
+
+impl InterferenceGraphPolicy {
+    /// The paper's literal reciprocal-symbiosis variant.
+    pub fn paper_literal() -> Self {
+        InterferenceGraphPolicy {
+            metric: InterferenceMetric::ReciprocalSymbiosis,
+            ..Self::default()
+        }
+    }
+}
+
+impl AllocationPolicy for InterferenceGraphPolicy {
+    fn name(&self) -> &'static str {
+        "interference-graph"
+    }
+
+    fn allocate(&mut self, views: &[ProcView], cores: usize) -> Mapping {
+        let threads = flat_threads(views);
+        if threads.len() <= cores {
+            // Degenerate case: one thread per core (affinity-like).
+            let groups: Vec<usize> = (0..threads.len()).collect();
+            return mapping_from_groups(&threads, &groups, cores);
+        }
+        let graph = InterferenceGraph::unweighted(&threads, self.metric);
+        let groups = partition_k(graph.weights(), cores.next_power_of_two(), self.method);
+        mapping_from_groups(&threads, &groups, cores)
+    }
+}
+
+/// Section 3.3.3 — **weighted interference graph**: like
+/// [`InterferenceGraphPolicy`] but each directed contribution is scaled by
+/// the source's occupancy weight, so low-occupancy processes (whose low
+/// symbiosis is an artefact, not real interference) stop distorting the
+/// cut. The paper's best performer.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedInterferenceGraphPolicy {
+    /// Partitioning algorithm.
+    pub method: PartitionMethod,
+    /// Interference measurement feeding the graph.
+    pub metric: InterferenceMetric,
+}
+
+impl Default for WeightedInterferenceGraphPolicy {
+    fn default() -> Self {
+        WeightedInterferenceGraphPolicy {
+            method: PartitionMethod::Auto,
+            metric: InterferenceMetric::Overlap,
+        }
+    }
+}
+
+impl WeightedInterferenceGraphPolicy {
+    /// The paper's literal reciprocal-symbiosis variant.
+    pub fn paper_literal() -> Self {
+        WeightedInterferenceGraphPolicy {
+            metric: InterferenceMetric::ReciprocalSymbiosis,
+            ..Self::default()
+        }
+    }
+}
+
+impl AllocationPolicy for WeightedInterferenceGraphPolicy {
+    fn name(&self) -> &'static str {
+        "weighted-ig"
+    }
+
+    fn allocate(&mut self, views: &[ProcView], cores: usize) -> Mapping {
+        let threads = flat_threads(views);
+        if threads.len() <= cores {
+            let groups: Vec<usize> = (0..threads.len()).collect();
+            return mapping_from_groups(&threads, &groups, cores);
+        }
+        let graph = InterferenceGraph::weighted(&threads, self.metric);
+        let groups = partition_k(graph.weights(), cores.next_power_of_two(), self.method);
+        mapping_from_groups(&threads, &groups, cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn view(
+        tid: usize,
+        pid: usize,
+        occupancy: f64,
+        symbiosis: Vec<f64>,
+        last_core: usize,
+    ) -> ThreadView {
+        let overlap = symbiosis.iter().map(|s| (100.0 - s).max(0.0)).collect();
+        ThreadView {
+            tid,
+            pid,
+            name: format!("p{pid}"),
+            occupancy,
+            symbiosis,
+            overlap,
+            last_occupancy: occupancy as u32,
+            last_core: Some(last_core),
+            samples: 1,
+            filter_len: 4096,
+            l2_miss_rate: 0.1,
+            l2_misses: 100,
+            retired: 0,
+        }
+    }
+
+    fn proc_of(t: ThreadView) -> ProcView {
+        ProcView {
+            pid: t.pid,
+            name: t.name.clone(),
+            threads: vec![t],
+        }
+    }
+
+    #[test]
+    fn weight_sort_groups_heavy_together() {
+        // Occupancies 100, 90, 5, 1 → {100, 90} on one core, {5, 1} other.
+        let views: Vec<ProcView> = vec![
+            proc_of(view(0, 0, 100.0, vec![1.0, 1.0], 0)),
+            proc_of(view(1, 1, 5.0, vec![1.0, 1.0], 1)),
+            proc_of(view(2, 2, 90.0, vec![1.0, 1.0], 0)),
+            proc_of(view(3, 3, 1.0, vec![1.0, 1.0], 1)),
+        ];
+        let m = WeightSortPolicy.allocate(&views, 2);
+        assert_eq!(m.core_of(0), m.core_of(2), "two heaviest share a core");
+        assert_eq!(m.core_of(1), m.core_of(3), "two lightest share a core");
+        assert_ne!(m.core_of(0), m.core_of(1));
+    }
+
+    #[test]
+    fn weight_sort_balances_group_sizes() {
+        let views: Vec<ProcView> = (0..6)
+            .map(|i| proc_of(view(i, i, i as f64, vec![1.0, 1.0], 0)))
+            .collect();
+        let m = WeightSortPolicy.allocate(&views, 2);
+        let sizes = m.group_sizes(2);
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    /// A 3+1 placement with a unique MIN-CUT optimum. (Under a uniform
+    /// 2+2 placement the consolidated "interference with the other core"
+    /// metric ties every cross-core pairing — each process's cross-core
+    /// interference is internalised exactly once whatever the pairing —
+    /// so the algorithm's discrimination comes from non-uniform
+    /// placements and from re-invocation as the mapping evolves. See
+    /// DESIGN.md.)
+    fn three_one_views(occupancies: [f64; 4]) -> Vec<ProcView> {
+        // P0..P2 last ran on core 0, P3 on core 1.
+        vec![
+            proc_of(view(0, 0, occupancies[0], vec![100.0, 2.0], 0)),
+            proc_of(view(1, 1, occupancies[1], vec![100.0, 2.5], 0)),
+            proc_of(view(2, 2, occupancies[2], vec![100.0, 10.0], 0)),
+            proc_of(view(3, 3, occupancies[3], vec![4.0, 100.0], 1)),
+        ]
+    }
+
+    #[test]
+    fn interference_graph_pairs_strongest_interferers() {
+        // Hand-computed optimum: grouping {P0,P3} | {P1,P2} internalises
+        // the two biggest edges (w03 = 0.75, w12 = 0.02) giving cut 1.04,
+        // strictly below the alternatives (1.44 and 1.14).
+        let views = three_one_views([50.0; 4]);
+        let mut p = InterferenceGraphPolicy::paper_literal();
+        let m = p.allocate(&views, 2);
+        assert_eq!(
+            m.core_of(0),
+            m.core_of(3),
+            "P0 (strongest mutual interference with P3's core) co-locates"
+        );
+        assert_eq!(m.core_of(1), m.core_of(2));
+        assert_eq!(m.group_sizes(2), vec![2, 2]);
+    }
+
+    #[test]
+    fn weighted_ig_follows_occupancy() {
+        // Same symbiosis data, but P1 is the heavyweight (occupancy 100 vs
+        // P0's 10) and P3 is nearly idle. Weighting flips the decision:
+        // unweighted pairs P0+P3 (cut 1.04 as above); weighted pairs P1+P3
+        // because W1·I1,c1 = 40 dominates (cut 18.25 vs 48.25 / 52.35).
+        let views = three_one_views([10.0, 100.0, 100.0, 0.3]);
+        let mut uw = InterferenceGraphPolicy::paper_literal();
+        let mu = uw.allocate(&views, 2);
+        assert_eq!(mu.core_of(0), mu.core_of(3), "unweighted pairs P0+P3");
+
+        let mut wp = WeightedInterferenceGraphPolicy::paper_literal();
+        let mw = wp.allocate(&views, 2);
+        assert_eq!(
+            mw.core_of(1),
+            mw.core_of(3),
+            "weighted variant pairs the heavyweight interferer with P3"
+        );
+        assert_eq!(mw.group_sizes(2), vec![2, 2]);
+    }
+
+    #[test]
+    fn policy_cut_is_optimal_for_its_graph() {
+        // The policy's grouping must achieve the exhaustive-optimal cut of
+        // the very graph it builds.
+        use crate::graph::InterferenceGraph;
+        use crate::partition::{bisect, PartitionMethod};
+        let views = three_one_views([10.0, 100.0, 100.0, 0.3]);
+        let threads = flat_threads(&views);
+        let g = InterferenceGraph::weighted(&threads, InterferenceMetric::Overlap);
+        let opt = bisect(g.weights(), PartitionMethod::Exhaustive).cut;
+
+        let mut wp = WeightedInterferenceGraphPolicy::default();
+        let m = wp.allocate(&views, 2);
+        let side: Vec<bool> = (0..4).map(|i| m.core_of(i) == 1).collect();
+        let achieved = g.weights().cut_weight(&side);
+        assert!((achieved - opt).abs() < 1e-9, "{achieved} vs optimum {opt}");
+    }
+
+    #[test]
+    fn fewer_threads_than_cores_spreads() {
+        let views: Vec<ProcView> = vec![
+            proc_of(view(0, 0, 10.0, vec![1.0, 1.0, 1.0, 1.0], 0)),
+            proc_of(view(1, 1, 10.0, vec![1.0, 1.0, 1.0, 1.0], 1)),
+        ];
+        let mut p = InterferenceGraphPolicy::default();
+        let m = p.allocate(&views, 4);
+        assert_ne!(m.core_of(0), m.core_of(1), "spread like affinity");
+    }
+
+    #[test]
+    fn policies_report_names() {
+        assert_eq!(WeightSortPolicy.name(), "weight-sort");
+        assert_eq!(
+            InterferenceGraphPolicy::default().name(),
+            "interference-graph"
+        );
+        assert_eq!(
+            WeightedInterferenceGraphPolicy::default().name(),
+            "weighted-ig"
+        );
+    }
+}

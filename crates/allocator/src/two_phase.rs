@@ -1,0 +1,208 @@
+//! Section 3.3.4 — two-phase allocation for multi-threaded applications.
+//!
+//! Threads of one process share data, so their mutual signature
+//! "interference" is enormous yet constructive; feeding it to the MIN-CUT
+//! directly would wrongly scatter them. The paper's fix:
+//!
+//! 1. **Phase 1** — consider each multi-threaded process in isolation and
+//!    run occupancy weight-sorting over its threads to decide which of its
+//!    threads will share a core (subgroups of ⌈T/N⌉);
+//! 2. **Phase 2** — run the weighted interference graph over *all* threads,
+//!    but pin intra-process edges: a very large weight for same-subgroup
+//!    pairs (MIN-CUT keeps them together) and zero for different-subgroup
+//!    pairs (MIN-CUT is free to separate them), as in Figure 8(b).
+
+use crate::graph::{InterferenceGraph, InterferenceMetric};
+use crate::partition::{partition_k, PartitionMethod};
+use crate::policy::{flat_threads, mapping_from_groups, AllocationPolicy};
+use symbio_machine::{Mapping, ProcView};
+
+/// Pin weight for same-subgroup thread pairs ("a very large value").
+const PIN: f64 = 1e12;
+
+/// The two-phase multi-threaded allocation algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoPhasePolicy {
+    /// Partitioning algorithm for the phase-2 MIN-CUT.
+    pub method: PartitionMethod,
+    /// Interference measurement feeding the phase-2 graph.
+    pub metric: InterferenceMetric,
+}
+
+impl Default for TwoPhasePolicy {
+    fn default() -> Self {
+        TwoPhasePolicy {
+            method: PartitionMethod::Auto,
+            metric: InterferenceMetric::Overlap,
+        }
+    }
+}
+
+impl AllocationPolicy for TwoPhasePolicy {
+    fn name(&self) -> &'static str {
+        "two-phase"
+    }
+
+    fn allocate(&mut self, views: &[ProcView], cores: usize) -> Mapping {
+        let threads = flat_threads(views);
+        if threads.len() <= cores {
+            let groups: Vec<usize> = (0..threads.len()).collect();
+            return mapping_from_groups(&threads, &groups, cores);
+        }
+
+        // Phase 1: per-process weight sort → subgroup label per thread.
+        // subgroup[i] = Some((pid, subgroup idx)) for multi-threaded procs.
+        let mut subgroup: Vec<Option<(usize, usize)>> = vec![None; threads.len()];
+        for proc in views {
+            if proc.threads.len() < 2 {
+                continue;
+            }
+            let t = proc.threads.len();
+            let sub_size = t.div_ceil(cores);
+            let mut order: Vec<usize> = (0..t).collect();
+            order.sort_by(|&a, &b| {
+                proc.threads[b]
+                    .occupancy
+                    .partial_cmp(&proc.threads[a].occupancy)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for (rank, &k) in order.iter().enumerate() {
+                let tid = proc.threads[k].tid;
+                let pos = threads.iter().position(|th| th.tid == tid).expect("tid");
+                subgroup[pos] = Some((proc.pid, rank / sub_size));
+            }
+        }
+
+        // Phase 2: weighted interference graph with pinned edges.
+        let mut graph = InterferenceGraph::weighted(&threads, self.metric);
+        for a in 0..threads.len() {
+            for b in (a + 1)..threads.len() {
+                match (subgroup[a], subgroup[b]) {
+                    (Some((pa, ga)), Some((pb, gb))) if pa == pb => {
+                        let w = if ga == gb { PIN } else { 0.0 };
+                        graph.weights_mut().set(a, b, w);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let groups = partition_k(graph.weights(), cores.next_power_of_two(), self.method);
+        mapping_from_groups(&threads, &groups, cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbio_machine::ThreadView;
+
+    fn view(tid: usize, pid: usize, occupancy: f64, symbiosis: Vec<f64>) -> ThreadView {
+        let overlap = symbiosis.iter().map(|s| (100.0 - s).max(0.0)).collect();
+        ThreadView {
+            tid,
+            pid,
+            name: format!("p{pid}"),
+            occupancy,
+            symbiosis,
+            overlap,
+            last_occupancy: occupancy as u32,
+            last_core: Some(tid % 2),
+            samples: 1,
+            filter_len: 4096,
+            l2_miss_rate: 0.1,
+            l2_misses: 100,
+            retired: 0,
+        }
+    }
+
+    /// Two 4-thread apps on 2 cores — the Figure 8 scenario.
+    fn two_apps() -> Vec<ProcView> {
+        let app = |pid: usize, base_tid: usize, occ: &[f64]| ProcView {
+            pid,
+            name: format!("app{pid}"),
+            threads: (0..4)
+                .map(|i| view(base_tid + i, pid, occ[i], vec![50.0, 50.0]))
+                .collect(),
+        };
+        vec![
+            app(0, 0, &[100.0, 90.0, 10.0, 5.0]),
+            app(1, 4, &[80.0, 70.0, 20.0, 15.0]),
+        ]
+    }
+
+    #[test]
+    fn phase1_groups_heavy_threads_within_process() {
+        let views = two_apps();
+        let m = TwoPhasePolicy::default().allocate(&views, 2);
+        // App 0: threads 0,1 (heavy) together; threads 2,3 (light) together.
+        assert_eq!(m.core_of(0), m.core_of(1));
+        assert_eq!(m.core_of(2), m.core_of(3));
+        assert_ne!(m.core_of(0), m.core_of(2), "subgroups on different cores");
+        // App 1: threads 4,5 heavy together; 6,7 light together.
+        assert_eq!(m.core_of(4), m.core_of(5));
+        assert_eq!(m.core_of(6), m.core_of(7));
+        assert_ne!(m.core_of(4), m.core_of(6));
+    }
+
+    #[test]
+    fn balanced_across_cores() {
+        let views = two_apps();
+        let m = TwoPhasePolicy::default().allocate(&views, 2);
+        assert_eq!(m.group_sizes(2), vec![4, 4]);
+    }
+
+    #[test]
+    fn single_threaded_processes_pass_through() {
+        // Mixed workload: one 2-thread app + two single-threaded procs.
+        let views = vec![
+            ProcView {
+                pid: 0,
+                name: "app".into(),
+                threads: vec![
+                    view(0, 0, 100.0, vec![50.0, 50.0]),
+                    view(1, 0, 90.0, vec![50.0, 50.0]),
+                ],
+            },
+            ProcView {
+                pid: 1,
+                name: "s1".into(),
+                threads: vec![view(2, 1, 10.0, vec![50.0, 50.0])],
+            },
+            ProcView {
+                pid: 2,
+                name: "s2".into(),
+                threads: vec![view(3, 2, 10.0, vec![50.0, 50.0])],
+            },
+        ];
+        let m = TwoPhasePolicy::default().allocate(&views, 2);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.group_sizes(2), vec![2, 2]);
+        // The app's 2 threads, with cores=2, split into 2 subgroups of 1:
+        // pinning forces them APART (they share data but phase 1 decided
+        // subgroup-per-core; with T == cores each subgroup has one thread).
+        assert_ne!(m.core_of(0), m.core_of(1));
+    }
+
+    #[test]
+    fn pinning_overrides_raw_interference() {
+        // Give intra-process threads absurdly high raw interference (they
+        // share data, so symbiosis is ~0): without pinning the cut would
+        // keep ALL of them together, breaking balance across apps.
+        let app = |pid: usize, base: usize| ProcView {
+            pid,
+            name: format!("app{pid}"),
+            threads: (0..4)
+                .map(|i| view(base + i, pid, 50.0, vec![0.1, 0.1]))
+                .collect(),
+        };
+        let views = vec![app(0, 0), app(1, 4)];
+        let m = TwoPhasePolicy::default().allocate(&views, 2);
+        assert_eq!(m.group_sizes(2), vec![4, 4]);
+        // Each app contributes one subgroup per core.
+        for pid_base in [0, 4] {
+            let cores: std::collections::HashSet<_> =
+                (0..4).map(|i| m.core_of(pid_base + i)).collect();
+            assert_eq!(cores.len(), 2, "app must span both cores");
+        }
+    }
+}

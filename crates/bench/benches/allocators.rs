@@ -1,0 +1,69 @@
+//! Benchmarks for the allocation policies on realistic view sizes
+//! (the paper: "tens of nodes", invoked every 100 ms — cost must be
+//! negligible).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use symbio_allocator::{
+    AllocationPolicy, PairwisePolicy, TwoPhasePolicy, WeightSortPolicy,
+    WeightedInterferenceGraphPolicy,
+};
+use symbio_machine::{ProcView, ThreadView};
+
+fn views(procs: usize, threads_per: usize) -> Vec<ProcView> {
+    let mut tid = 0;
+    (0..procs)
+        .map(|pid| ProcView {
+            pid,
+            name: format!("p{pid}"),
+            threads: (0..threads_per)
+                .map(|_| {
+                    let t = ThreadView {
+                        tid,
+                        pid,
+                        name: format!("p{pid}"),
+                        occupancy: (tid * 37 % 997) as f64,
+                        symbiosis: vec![(tid * 13 % 511) as f64, (tid * 29 % 767) as f64],
+                        overlap: vec![(tid * 7 % 313) as f64, (tid * 11 % 401) as f64],
+                        last_occupancy: 10,
+                        last_core: Some(tid % 2),
+                        samples: 5,
+                        l2_miss_rate: 0.2,
+                        l2_misses: 100,
+                        retired: 0,
+                        filter_len: 4096,
+                    };
+                    tid += 1;
+                    t
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let v4 = views(4, 1);
+    let v12 = views(12, 1);
+    let mt = views(4, 4);
+    c.bench_function("alloc/weight_sort_12", |b| {
+        b.iter(|| black_box(WeightSortPolicy.allocate(&v12, 2)))
+    });
+    c.bench_function("alloc/weighted_ig_4", |b| {
+        let mut p = WeightedInterferenceGraphPolicy::default();
+        b.iter(|| black_box(p.allocate(&v4, 2)))
+    });
+    c.bench_function("alloc/weighted_ig_12", |b| {
+        let mut p = WeightedInterferenceGraphPolicy::default();
+        b.iter(|| black_box(p.allocate(&v12, 2)))
+    });
+    c.bench_function("alloc/two_phase_16threads", |b| {
+        let mut p = TwoPhasePolicy::default();
+        b.iter(|| black_box(p.allocate(&mt, 2)))
+    });
+    c.bench_function("alloc/pairwise_12", |b| {
+        let mut p = PairwisePolicy::new();
+        b.iter(|| black_box(p.allocate(&v12, 2)))
+    });
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Microbenchmarks for the bitvector substrate (the per-context-switch
+//! hardware ops: RBV derivation, popcounts, snapshots).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use symbio_bits::BitVec;
+
+fn bench_bits(c: &mut Criterion) {
+    let mut a = BitVec::new(4096);
+    let mut b = BitVec::new(4096);
+    for i in (0..4096).step_by(3) {
+        a.set(i);
+    }
+    for i in (0..4096).step_by(5) {
+        b.set(i);
+    }
+    c.bench_function("bitvec/and_not_4096", |bench| {
+        bench.iter(|| black_box(&a).and_not(black_box(&b)))
+    });
+    c.bench_function("bitvec/xor_popcount_4096", |bench| {
+        bench.iter(|| black_box(&a).xor_popcount(black_box(&b)))
+    });
+    c.bench_function("bitvec/and_popcount_4096", |bench| {
+        bench.iter(|| black_box(&a).and_popcount(black_box(&b)))
+    });
+    c.bench_function("bitvec/copy_from_4096", |bench| {
+        let mut dst = BitVec::new(4096);
+        bench.iter(|| dst.copy_from(black_box(&a)))
+    });
+    c.bench_function("bitvec/count_ones_4096", |bench| {
+        bench.iter(|| black_box(&a).count_ones())
+    });
+}
+
+criterion_group!(benches, bench_bits);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmarks for the cache substrate: hit/miss paths and the full
+//! hierarchy access.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use symbio_cache::{Address, CacheGeometry, MemorySystem, ReplacementPolicy, SetAssocCache};
+use symbio_cbf::NullSink;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/l2_hit", |b| {
+        let mut cache =
+            SetAssocCache::new(CacheGeometry::scaled_l2(), ReplacementPolicy::Lru, 2, 1);
+        cache.access(0, Address(0x1000), false);
+        b.iter(|| black_box(cache.access(0, Address(0x1000), false)))
+    });
+    c.bench_function("cache/l2_miss_stream", |b| {
+        let mut cache =
+            SetAssocCache::new(CacheGeometry::scaled_l2(), ReplacementPolicy::Lru, 2, 1);
+        let mut a = 0u64;
+        b.iter(|| {
+            a += 64;
+            black_box(cache.access(0, Address(a), false))
+        })
+    });
+    c.bench_function("hierarchy/l1_hit", |b| {
+        let mut sys = MemorySystem::scaled_shared(2, 1);
+        let mut sink = NullSink;
+        sys.access(0, Address(0x40), false, 0, &mut sink);
+        b.iter(|| black_box(sys.access(0, Address(0x40), false, 0, &mut sink)))
+    });
+    c.bench_function("hierarchy/miss_to_memory", |b| {
+        let mut sys = MemorySystem::scaled_shared(2, 1);
+        let mut sink = NullSink;
+        let mut a = 0u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            a += 64;
+            now += 100;
+            black_box(sys.access(0, Address(a), false, now, &mut sink))
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

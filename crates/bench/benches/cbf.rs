@@ -1,0 +1,71 @@
+//! Microbenchmarks for the signature unit: fill/evict hot path and the
+//! context-switch sample (Section 5.4 claims both are cheap).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use symbio_cbf::{
+    CacheEventSink, HashKind, LineLocation, Sampling, SignatureConfig, SignatureUnit,
+};
+
+fn unit(hash: HashKind, sampling: Sampling) -> SignatureUnit {
+    SignatureUnit::new(SignatureConfig {
+        cores: 2,
+        sets: 256,
+        ways: 16,
+        line_shift: 6,
+        counter_bits: 3,
+        hash,
+        sampling,
+    })
+}
+
+fn bench_cbf(c: &mut Criterion) {
+    for hash in [HashKind::Xor, HashKind::Modulo] {
+        c.bench_function(&format!("cbf/fill_{}", hash.label()), |b| {
+            let mut u = unit(hash, Sampling::FULL);
+            let mut addr = 0u64;
+            b.iter(|| {
+                addr = addr.wrapping_add(0x9E37);
+                u.on_fill(
+                    0,
+                    black_box(addr),
+                    LineLocation {
+                        set: (addr % 256) as u32,
+                        way: 0,
+                    },
+                );
+            })
+        });
+    }
+    c.bench_function("cbf/fill_sampled_quarter", |b| {
+        let mut u = unit(HashKind::Xor, Sampling::QUARTER);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x9E37);
+            u.on_fill(
+                0,
+                black_box(addr),
+                LineLocation {
+                    set: (addr % 256) as u32,
+                    way: 0,
+                },
+            );
+        })
+    });
+    c.bench_function("cbf/switch_out", |b| {
+        let mut u = unit(HashKind::Xor, Sampling::FULL);
+        for i in 0..4096u64 {
+            u.on_fill(
+                (i % 2) as usize,
+                i * 977,
+                LineLocation {
+                    set: (i % 256) as u32,
+                    way: (i / 256 % 16) as u32,
+                },
+            );
+        }
+        b.iter(|| black_box(u.switch_out(0)))
+    });
+}
+
+criterion_group!(benches, bench_cbf);
+criterion_main!(benches);

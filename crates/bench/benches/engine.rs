@@ -1,0 +1,39 @@
+//! Meso-benchmark: whole-machine simulation throughput (cycles/sec drives
+//! every experiment's wall time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbio_machine::{Machine, MachineConfig};
+use symbio_workloads::spec2006;
+
+fn bench_engine(c: &mut Criterion) {
+    let l2 = 256 << 10;
+    c.bench_function("engine/run_1M_cycles_4procs", |b| {
+        b.iter_with_setup(
+            || {
+                let mut m = Machine::new(MachineConfig::scaled_core2duo(7));
+                for n in ["mcf", "gcc", "povray", "soplex"] {
+                    m.add_process(&spec2006::by_name(n, l2).unwrap());
+                }
+                m.start(None);
+                m
+            },
+            |mut m| m.run_for(1_000_000),
+        )
+    });
+    c.bench_function("engine/run_1M_cycles_no_signature", |b| {
+        b.iter_with_setup(
+            || {
+                let mut m = Machine::new(MachineConfig::scaled_core2duo(7).without_signature());
+                for n in ["mcf", "gcc", "povray", "soplex"] {
+                    m.add_process(&spec2006::by_name(n, l2).unwrap());
+                }
+                m.start(None);
+                m
+            },
+            |mut m| m.run_for(1_000_000),
+        )
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! End-to-end smoke benchmarks: one tiny instance of each experiment
+//! family, so `cargo bench` exercises every figure's code path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbio::prelude::*;
+
+fn small_specs(names: &[&str]) -> Vec<WorkloadSpec> {
+    let l2 = 256 << 10;
+    names
+        .iter()
+        .map(|n| {
+            let mut s = spec2006::by_name(n, l2).unwrap();
+            s.work /= 16;
+            s
+        })
+        .collect()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("pair_measurement(fig3b)", |b| {
+        let cfg = ExperimentConfig::fast(5);
+        let pipeline = Pipeline::new(cfg);
+        let specs = small_specs(&["mcf", "povray"]);
+        b.iter(|| pipeline.measure(&specs, &Mapping::new(vec![0, 1])))
+    });
+    g.bench_function("profile_phase(fig10)", |b| {
+        let mut cfg = ExperimentConfig::fast(5);
+        cfg.profile_cycles = 10_000_000;
+        let pipeline = Pipeline::new(cfg);
+        let specs = small_specs(&["mcf", "gcc", "povray", "soplex"]);
+        b.iter(|| {
+            let mut p = WeightedInterferenceGraphPolicy::default();
+            pipeline.profile(&specs, &mut p)
+        })
+    });
+    g.bench_function("full_mix_evaluation(table1)", |b| {
+        let mut cfg = ExperimentConfig::fast(5);
+        cfg.profile_cycles = 10_000_000;
+        let pipeline = Pipeline::new(cfg);
+        let specs = small_specs(&["povray", "gobmk", "libquantum", "hmmer"]);
+        b.iter(|| {
+            let mut p = WeightSortPolicy;
+            pipeline.evaluate_mix(&specs, &mut p)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benchmarks for the MIN-CUT partitioners (exhaustive vs heuristics),
+//! backing the Section 5.4 claim that allocation costs are negligible.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use symbio_allocator::partition::bisect;
+use symbio_allocator::{PartitionMethod, SymMatrix};
+
+fn random_graph(n: usize, seed: u64) -> SymMatrix {
+    let mut w = SymMatrix::new(n);
+    let mut state = seed | 1;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            w.set(a, b, (state % 1000) as f64 / 100.0);
+        }
+    }
+    w
+}
+
+fn bench_partition(c: &mut Criterion) {
+    for n in [4usize, 8, 12, 16] {
+        let w = random_graph(n, 42);
+        c.bench_function(&format!("partition/exhaustive_n{n}"), |b| {
+            b.iter(|| black_box(bisect(&w, PartitionMethod::Exhaustive)))
+        });
+    }
+    let w24 = random_graph(24, 43);
+    c.bench_function("partition/kernighan_lin_n24", |b| {
+        b.iter(|| black_box(bisect(&w24, PartitionMethod::KernighanLin)))
+    });
+    c.bench_function("partition/local_search_n24", |b| {
+        b.iter(|| {
+            black_box(bisect(
+                &w24,
+                PartitionMethod::LocalSearch {
+                    restarts: 4,
+                    seed: 9,
+                },
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Microbenchmarks for the access generators (the simulation's innermost
+//! producer loop).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use symbio_workloads::spec2006;
+
+fn bench_workloads(c: &mut Criterion) {
+    let l2 = 256 << 10;
+    for name in ["mcf", "libquantum", "povray", "gcc"] {
+        c.bench_function(&format!("workload/next_op_{name}"), |b| {
+            let mut g = spec2006::by_name(name, l2).unwrap().instantiate(1);
+            b.iter(|| black_box(g.next_op()))
+        });
+    }
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Figure 3(a) and 3(b) — pairwise interference on the two machine
+//! topologies.
+//!
+//! * **3(a)**: two processes *time-sharing one core* with private L2s (the
+//!   P4 Xeon SMP control): worst degradation should stay below ~10 %
+//!   (context-switch warm-up only).
+//! * **3(b)**: two processes on *different cores sharing the L2* (Core 2
+//!   Duo): severe degradation for cache-sensitive programs (paper max 67 %
+//!   for mcf+libquantum; compute-bound povray unaffected).
+//!
+//! Usage: `fig03_pairs [a|b]` (default: both).
+
+use symbio::prelude::*;
+use symbio_machine::Machine;
+
+fn run(cfg: MachineConfig, l2: u64, specs: &[&str], mapping: Vec<usize>) -> Vec<u64> {
+    let mut m = Machine::new(cfg.without_signature());
+    for n in specs {
+        m.add_process(&spec2006::by_name(n, l2).unwrap());
+    }
+    m.start(Some(&Mapping::new(mapping)));
+    let out = m.run_to_completion(200_000_000_000);
+    assert!(out.completed);
+    out.procs.iter().map(|p| p.user_cycles).collect()
+}
+
+fn pair_table(
+    title: &str,
+    cfg: MachineConfig,
+    l2: u64,
+    mapping: for<'a> fn() -> Vec<usize>,
+) -> Vec<(String, f64, String)> {
+    let names = spec2006::pool_names();
+    println!("== {title} ==");
+    println!(
+        "{:<14}{:>14}{:>16}",
+        "benchmark", "worst degr %", "worst partner"
+    );
+    let mut rows = Vec::new();
+    for a in &names {
+        let solo = run(cfg, l2, &[a], vec![0])[0] as f64;
+        let mut worst = 0.0f64;
+        let mut with = String::new();
+        for b in &names {
+            if a == b {
+                continue;
+            }
+            let t = run(cfg, l2, &[a, b], mapping())[0] as f64;
+            let d = t / solo - 1.0;
+            if d > worst {
+                worst = d;
+                with = b.to_string();
+            }
+        }
+        println!("{a:<14}{:>13.1}%{with:>16}", worst * 100.0);
+        rows.push((a.to_string(), worst, with));
+    }
+    rows
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+
+    if which == "a" || which == "both" {
+        let cfg = MachineConfig::scaled_p4_smp(42);
+        let rows = pair_table(
+            "Figure 3(a): same-core time-sharing, private L2 (P4 SMP)",
+            cfg,
+            cfg.l2.size_bytes,
+            || vec![0, 0],
+        );
+        let max = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+        println!("max degradation {:.1}% (paper: < 10%)\n", max * 100.0);
+        assert!(max < 0.12, "private-L2 time-sharing must stay benign");
+        symbio::report::save_json("fig03a_private_pairs", &rows).expect("save");
+    }
+
+    if which == "b" || which == "both" {
+        let cfg = MachineConfig::scaled_core2duo(42);
+        let rows = pair_table(
+            "Figure 3(b): concurrent co-run, shared L2 (Core 2 Duo)",
+            cfg,
+            cfg.l2.size_bytes,
+            || vec![0, 1],
+        );
+        let max = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+        println!(
+            "max degradation {:.1}% (paper: 67% for mcf+libquantum)",
+            max * 100.0
+        );
+        assert!(
+            max > 0.3,
+            "shared-L2 co-running must show severe interference"
+        );
+        let povray = rows.iter().find(|r| r.0 == "povray").unwrap().1;
+        assert!(povray < 0.1, "compute-bound povray must stay unaffected");
+        symbio::report::save_json("fig03b_shared_pairs", &rows).expect("save");
+    }
+}

@@ -1,0 +1,457 @@
+//! Fixed-width bitvector with word-parallel bulk operations.
+
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-width bitvector backed by `u64` words.
+///
+/// This models the hardware bit arrays of the signature unit (Core Filter,
+/// Last Filter, Running Bit Vector). The width is fixed at construction; all
+/// binary operations require both operands to have the same width and panic
+/// otherwise — mismatched filter widths would be a wiring bug in hardware,
+/// so we treat them as a programming error rather than an `Err`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec[{}; ones={}]", self.len, self.count_ones())
+    }
+}
+
+impl BitVec {
+    /// Create an all-zero bitvector of `len` bits.
+    pub fn new(len: usize) -> Self {
+        let n_words = len.div_ceil(WORD_BITS);
+        BitVec {
+            len,
+            words: vec![0; n_words],
+        }
+    }
+
+    /// Number of bits in the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero width.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mask for the partially-used last word (all ones when the width is a
+    /// multiple of 64).
+    #[inline]
+    fn tail_mask(&self) -> u64 {
+        let rem = self.len % WORD_BITS;
+        if rem == 0 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+
+    /// Set bit `idx` to one. Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, idx: usize) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / WORD_BITS] |= 1u64 << (idx % WORD_BITS);
+    }
+
+    /// Clear bit `idx` to zero. Panics if out of range.
+    #[inline]
+    pub fn clear(&mut self, idx: usize) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / WORD_BITS] &= !(1u64 << (idx % WORD_BITS));
+    }
+
+    /// Read bit `idx`. Panics if out of range.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / WORD_BITS] >> (idx % WORD_BITS)) & 1 == 1
+    }
+
+    /// Set every bit to zero.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Set every bit to one.
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        let mask = self.tail_mask();
+        if let Some(last) = self.words.last_mut() {
+            *last &= mask;
+        }
+    }
+
+    /// Number of one bits (the paper's *occupancy weight* when applied to an
+    /// RBV).
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Fraction of bits set, in `[0, 1]`. Zero-width vectors report 0.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            f64::from(self.count_ones()) / self.len as f64
+        }
+    }
+
+    /// True if every bit is set — a *saturated* filter conveys no footprint
+    /// information (the paper's argument against presence bits and multiple
+    /// hash functions).
+    pub fn is_saturated(&self) -> bool {
+        self.count_ones() as usize == self.len
+    }
+
+    fn assert_same_width(&self, other: &BitVec) {
+        assert_eq!(
+            self.len, other.len,
+            "bitvector width mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+
+    /// `self & other`, producing a new vector.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other);
+        BitVec {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// `self | other`, producing a new vector.
+    pub fn or(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other);
+        BitVec {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// `self ^ other`, producing a new vector.
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other);
+        BitVec {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+        }
+    }
+
+    /// `self & !other` — the paper's Running Bit Vector construction:
+    /// `RBV = ¬(CF → LF) = CF ∧ ¬LF` selects the bits set since the last
+    /// snapshot.
+    pub fn and_not(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other);
+        BitVec {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+
+    /// Logical implication `self → other` (i.e. `!self | other`), masked to
+    /// the vector width. Provided because the paper phrases the RBV as the
+    /// inverse of this operation.
+    pub fn implies(&self, other: &BitVec) -> BitVec {
+        self.assert_same_width(other);
+        let mask = self.tail_mask();
+        let n = self.words.len();
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .map(|(i, (a, b))| {
+                let w = !a | b;
+                if i + 1 == n {
+                    w & mask
+                } else {
+                    w
+                }
+            })
+            .collect();
+        BitVec {
+            len: self.len,
+            words,
+        }
+    }
+
+    /// Bitwise NOT, masked to the vector width.
+    pub fn not(&self) -> BitVec {
+        let mask = self.tail_mask();
+        let n = self.words.len();
+        let words = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let v = !w;
+                if i + 1 == n {
+                    v & mask
+                } else {
+                    v
+                }
+            })
+            .collect();
+        BitVec {
+            len: self.len,
+            words,
+        }
+    }
+
+    /// `popcount(self ^ other)` without materialising the intermediate
+    /// vector — this is the paper's *symbiosis* metric between an RBV and a
+    /// Core Filter (hardware: a tree of XOR gates feeding an adder).
+    pub fn xor_popcount(&self, other: &BitVec) -> u32 {
+        self.assert_same_width(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// `popcount(self & other)` without materialising the intermediate
+    /// vector (overlap weight between two footprints).
+    pub fn and_popcount(&self, other: &BitVec) -> u32 {
+        self.assert_same_width(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// In-place `self |= other`.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        self.assert_same_width(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Copy `other` into `self` (same width required). This is the hardware
+    /// snapshot `LF ← CF` performed at a context switch.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        self.assert_same_width(other);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let v = BitVec::new(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        assert!(!v.get(0));
+        assert!(!v.get(129));
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut v = BitVec::new(200);
+        for idx in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            v.set(idx);
+            assert!(v.get(idx), "bit {idx} should be set");
+        }
+        assert_eq!(v.count_ones(), 8);
+        v.clear(64);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut v = BitVec::new(10);
+        v.set(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let a = BitVec::new(10);
+        let b = BitVec::new(11);
+        let _ = a.and(&b);
+    }
+
+    #[test]
+    fn set_all_respects_tail() {
+        let mut v = BitVec::new(70);
+        v.set_all();
+        assert_eq!(v.count_ones(), 70);
+        assert!(v.is_saturated());
+        // NOT of all-ones must be all zero (tail masked correctly).
+        assert_eq!(v.not().count_ones(), 0);
+    }
+
+    #[test]
+    fn and_not_is_rbv_semantics() {
+        // CF has bits {1,2,3}; LF (snapshot) has {1}; RBV must be {2,3}.
+        let mut cf = BitVec::new(8);
+        let mut lf = BitVec::new(8);
+        cf.set(1);
+        cf.set(2);
+        cf.set(3);
+        lf.set(1);
+        let rbv = cf.and_not(&lf);
+        assert!(!rbv.get(1));
+        assert!(rbv.get(2));
+        assert!(rbv.get(3));
+        assert_eq!(rbv.count_ones(), 2);
+    }
+
+    #[test]
+    fn rbv_equals_not_implies() {
+        // The paper defines RBV = ¬(CF → LF); verify equivalence with and_not.
+        let mut cf = BitVec::new(67);
+        let mut lf = BitVec::new(67);
+        for i in (0..67).step_by(3) {
+            cf.set(i);
+        }
+        for i in (0..67).step_by(6) {
+            lf.set(i);
+        }
+        assert_eq!(cf.and_not(&lf), cf.implies(&lf).not());
+    }
+
+    #[test]
+    fn xor_popcount_matches_xor_then_count() {
+        let mut a = BitVec::new(100);
+        let mut b = BitVec::new(100);
+        for i in (0..100).step_by(2) {
+            a.set(i);
+        }
+        for i in (0..100).step_by(5) {
+            b.set(i);
+        }
+        assert_eq!(a.xor_popcount(&b), a.xor(&b).count_ones());
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut v = BitVec::new(150);
+        let idxs = [3usize, 64, 65, 100, 149];
+        for &i in &idxs {
+            v.set(i);
+        }
+        let got: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(got, idxs);
+    }
+
+    #[test]
+    fn copy_from_snapshots() {
+        let mut cf = BitVec::new(32);
+        cf.set(5);
+        let mut lf = BitVec::new(32);
+        lf.copy_from(&cf);
+        assert!(lf.get(5));
+        cf.set(6);
+        assert!(!lf.get(6), "snapshot must not alias the source");
+    }
+
+    #[test]
+    fn fill_ratio_bounds() {
+        let mut v = BitVec::new(10);
+        assert_eq!(v.fill_ratio(), 0.0);
+        v.set_all();
+        assert!((v.fill_ratio() - 1.0).abs() < 1e-12);
+        let e = BitVec::new(0);
+        assert_eq!(e.fill_ratio(), 0.0);
+        assert!(e.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_demorgan(idxs in proptest::collection::vec(0usize..256, 0..64),
+                         jdxs in proptest::collection::vec(0usize..256, 0..64)) {
+            let mut a = BitVec::new(256);
+            let mut b = BitVec::new(256);
+            for i in idxs { a.set(i); }
+            for j in jdxs { b.set(j); }
+            // !(a | b) == !a & !b
+            prop_assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+            // !(a & b) == !a | !b
+            prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        }
+
+        #[test]
+        fn prop_popcount_identities(idxs in proptest::collection::vec(0usize..300, 0..128),
+                                    jdxs in proptest::collection::vec(0usize..300, 0..128)) {
+            let mut a = BitVec::new(300);
+            let mut b = BitVec::new(300);
+            for i in idxs { a.set(i); }
+            for j in jdxs { b.set(j); }
+            // |a ^ b| = |a| + |b| - 2|a & b|
+            let lhs = i64::from(a.xor_popcount(&b));
+            let rhs = i64::from(a.count_ones()) + i64::from(b.count_ones())
+                - 2 * i64::from(a.and_popcount(&b));
+            prop_assert_eq!(lhs, rhs);
+            // |a & !b| + |a & b| = |a|
+            prop_assert_eq!(a.and_not(&b).count_ones() + a.and_popcount(&b), a.count_ones());
+        }
+
+        #[test]
+        fn prop_iter_ones_roundtrip(idxs in proptest::collection::vec(0usize..512, 0..100)) {
+            let mut v = BitVec::new(512);
+            let mut expect: Vec<usize> = idxs.clone();
+            for i in idxs { v.set(i); }
+            expect.sort_unstable();
+            expect.dedup();
+            let got: Vec<usize> = v.iter_ones().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # symbio-bits
+//!
+//! Low-level bit-manipulation substrate for the memory-footprint-signature
+//! hardware model described in *Symbiotic Scheduling for Shared Caches in
+//! Multi-Core Systems Using Memory Footprint Signature* (ICPP 2011).
+//!
+//! The paper's signature unit is built from two hardware primitives:
+//!
+//! * **bitvectors** — the per-core Core Filters (CF), Last Filters (LF) and
+//!   the derived Running Bit Vector (RBV). All the paper's metrics are
+//!   bit-parallel operations over these vectors: `RBV = CF & !LF`
+//!   (the inverse of the implication `CF -> LF`), `occupancy =
+//!   popcount(RBV)` and `symbiosis = popcount(RBV ^ CF_other)`.
+//! * **saturating counter arrays** — the counting-Bloom-filter counters that
+//!   track how many live cache lines hash onto each filter index.
+//!
+//! [`BitVec`] and [`CounterArray`] model exactly those two structures with
+//! word-parallel (u64) implementations, so a simulated context switch costs
+//! a few hundred nanoseconds rather than a bit-at-a-time walk.
+
+#![warn(missing_docs)]
+
+mod bitvec;
+mod counters;
+
+pub use bitvec::BitVec;
+pub use counters::{CounterArray, CounterEvent};

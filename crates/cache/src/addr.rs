@@ -1,0 +1,51 @@
+//! Physical address newtype.
+
+use serde::{Deserialize, Serialize};
+
+/// A byte address in the simulated physical address space.
+///
+/// The machine layer namespaces each process into its own address-space
+/// "slab" by setting high bits, so two processes never alias unless they
+/// explicitly share memory (threads of one process do share).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Address(pub u64);
+
+impl Address {
+    /// The block (line) address: byte address with the offset bits dropped.
+    #[inline]
+    pub fn block(self, line_shift: u32) -> u64 {
+        self.0 >> line_shift
+    }
+
+    /// Offset the address by `delta` bytes.
+    #[inline]
+    pub fn offset(self, delta: u64) -> Address {
+        Address(self.0.wrapping_add(delta))
+    }
+}
+
+impl From<u64> for Address {
+    fn from(v: u64) -> Self {
+        Address(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_drops_offset_bits() {
+        let a = Address(0x1234_5678);
+        assert_eq!(a.block(6), 0x1234_5678 >> 6);
+        // Two addresses in the same 64-byte line share a block.
+        assert_eq!(Address(0x1000).block(6), Address(0x103F).block(6));
+        assert_ne!(Address(0x1000).block(6), Address(0x1040).block(6));
+    }
+
+    #[test]
+    fn offset_wraps() {
+        assert_eq!(Address(u64::MAX).offset(1), Address(0));
+        assert_eq!(Address(10).offset(6), Address(16));
+    }
+}

@@ -1,0 +1,137 @@
+//! DRAM latency + bandwidth model.
+//!
+//! A single-channel queue: each line fill occupies the channel for
+//! `service_interval` cycles, so concurrent misses from both cores contend
+//! for bandwidth. This is what makes low-locality streaming workloads
+//! "bandwidth-bound" — their runtime is set by the channel, not by the L2,
+//! so no schedule helps them (the paper's `hmmer` observation, Section
+//! 5.1.1).
+
+use serde::{Deserialize, Serialize};
+
+/// The memory channel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dram {
+    /// Fixed access latency in cycles (row access + transfer).
+    pub base_latency: u64,
+    /// Channel occupancy per line transfer, in cycles (inverse bandwidth).
+    pub service_interval: u64,
+    next_free: u64,
+    requests: u64,
+    queue_wait_total: u64,
+}
+
+impl Dram {
+    /// New idle channel.
+    pub fn new(base_latency: u64, service_interval: u64) -> Self {
+        Dram {
+            base_latency,
+            service_interval,
+            next_free: 0,
+            requests: 0,
+            queue_wait_total: 0,
+        }
+    }
+
+    /// Default model: 200-cycle latency, one line per 30 cycles.
+    pub fn default_model() -> Self {
+        Dram::new(200, 30)
+    }
+
+    /// Service a demand fill issued at `now`; returns the total latency the
+    /// requester observes (queue wait + base latency).
+    pub fn fetch(&mut self, now: u64) -> u64 {
+        let start = self.next_free.max(now);
+        let wait = start - now;
+        self.next_free = start + self.service_interval;
+        self.requests += 1;
+        self.queue_wait_total += wait;
+        wait + self.base_latency
+    }
+
+    /// Consume channel bandwidth for a writeback issued at `now`; the
+    /// requester does not wait (posted write) but later fills do.
+    pub fn writeback(&mut self, now: u64) {
+        let start = self.next_free.max(now);
+        self.next_free = start + self.service_interval;
+        self.requests += 1;
+    }
+
+    /// Total demand fetches + writebacks serviced.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Cumulative cycles demand fetches spent queued behind the channel.
+    pub fn queue_wait_total(&self) -> u64 {
+        self.queue_wait_total
+    }
+
+    /// Mean queue wait per request (0 when idle).
+    pub fn mean_queue_wait(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.queue_wait_total as f64 / self.requests as f64
+        }
+    }
+
+    /// Forget queue state (new run).
+    pub fn reset(&mut self) {
+        self.next_free = 0;
+        self.requests = 0;
+        self.queue_wait_total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_channel_base_latency_only() {
+        let mut d = Dram::new(200, 30);
+        assert_eq!(d.fetch(1000), 200);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut d = Dram::new(200, 30);
+        assert_eq!(d.fetch(0), 200); // channel busy until 30
+        assert_eq!(d.fetch(0), 30 + 200); // waits 30
+        assert_eq!(d.fetch(0), 60 + 200); // waits 60
+        assert_eq!(d.queue_wait_total(), 90);
+    }
+
+    #[test]
+    fn spaced_requests_do_not_queue() {
+        let mut d = Dram::new(200, 30);
+        assert_eq!(d.fetch(0), 200);
+        assert_eq!(d.fetch(100), 200); // channel free again at 30
+    }
+
+    #[test]
+    fn writebacks_consume_bandwidth() {
+        let mut d = Dram::new(200, 30);
+        d.writeback(0);
+        // A fill right behind the writeback waits for the channel.
+        assert_eq!(d.fetch(0), 30 + 200);
+    }
+
+    #[test]
+    fn reset_clears_queue() {
+        let mut d = Dram::new(200, 30);
+        d.fetch(0);
+        d.reset();
+        assert_eq!(d.fetch(0), 200);
+        assert_eq!(d.requests(), 1);
+    }
+
+    #[test]
+    fn mean_queue_wait() {
+        let mut d = Dram::new(100, 50);
+        d.fetch(0);
+        d.fetch(0);
+        assert!((d.mean_queue_wait() - 25.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! # symbio-cache
+//!
+//! The cache substrate of the reproduction — a deterministic stand-in for
+//! the paper's Simics `g-cache` module and for the memory systems of the two
+//! evaluation machines:
+//!
+//! * the **Intel Core 2 Duo** (two cores, private L1s, one shared 16-way L2)
+//!   used for the shared-cache experiments, and
+//! * the **P4 Xeon SMP** (private L2 per processor) used for the Figure 3(a)
+//!   control experiment.
+//!
+//! Components:
+//!
+//! * [`CacheGeometry`] / [`Address`] — size/way/line arithmetic;
+//! * [`SetAssocCache`] — a set-associative cache with LRU/FIFO/Random
+//!   replacement, per-core statistics and fill/evict event hooks feeding the
+//!   Bloom-filter signature unit ([`symbio_cbf::CacheEventSink`]);
+//! * [`MemorySystem`] — per-core L1s over either a shared or per-core L2,
+//!   plus a DRAM bandwidth queue ([`Dram`]) so bandwidth-bound workloads
+//!   saturate regardless of scheduling (the paper's `hmmer` behaviour).
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod dram;
+pub mod geometry;
+pub mod hierarchy;
+pub mod replacement;
+pub mod set;
+pub mod setassoc;
+pub mod stats;
+
+pub use addr::Address;
+pub use dram::Dram;
+pub use geometry::CacheGeometry;
+pub use hierarchy::{AccessLevel, AccessResponse, MemorySystem, Topology};
+pub use replacement::ReplacementPolicy;
+pub use setassoc::SetAssocCache;
+pub use stats::CacheStats;

@@ -1,0 +1,93 @@
+//! Replacement policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Victim-selection policy for a set-associative cache.
+///
+/// The paper's experiments model the Core 2 Duo's (approximately) LRU L2;
+/// FIFO and Random are provided for ablation benches showing that the
+/// signature mechanism is replacement-policy agnostic (it only observes
+/// fills and evictions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way.
+    Lru,
+    /// Evict the oldest-filled way.
+    Fifo,
+    /// Evict a pseudo-random way (deterministic xorshift stream).
+    Random,
+}
+
+/// Deterministic xorshift64* generator for `ReplacementPolicy::Random`.
+///
+/// Self-contained so the cache crate stays free of the `rand` dependency in
+/// its non-dev build, and so replacement decisions are reproducible from the
+/// seed alone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded constructor; a zero seed is remapped (xorshift cannot hold 0).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `0..bound` (bound ≤ 2^32).
+    #[inline]
+    pub fn below(&mut self, bound: u32) -> u32 {
+        (self.next_u64() % u64::from(bound)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_deterministic() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xorshift_zero_seed_ok() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(16) < 16);
+        }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut r = XorShift64::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all ways should be chosen");
+    }
+}

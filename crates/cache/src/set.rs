@@ -1,0 +1,264 @@
+//! One cache set: tags, validity, ownership and replacement bookkeeping.
+
+use crate::replacement::{ReplacementPolicy, XorShift64};
+
+/// A line evicted from a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Tag of the victim.
+    pub tag: u64,
+    /// Way it occupied.
+    pub way: u32,
+    /// Core that originally filled it.
+    pub owner: u8,
+    /// Whether the line was dirty (needs writeback bandwidth).
+    pub dirty: bool,
+}
+
+/// Lookup/fill result within a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetAccess {
+    /// Tag present; contains the way that hit.
+    Hit {
+        /// Way that matched.
+        way: u32,
+    },
+    /// Tag absent; the line was filled, possibly evicting a victim.
+    Miss {
+        /// Way the new line was filled into.
+        way: u32,
+        /// Victim details when a valid line was displaced.
+        evicted: Option<Evicted>,
+    },
+}
+
+/// Storage for one set. Kept struct-of-arrays-per-set for cache-friendly
+/// scans of the (≤ 16) ways.
+#[derive(Debug, Clone)]
+pub struct CacheSet {
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    owner: Vec<u8>,
+    /// LRU: last-touch stamp. FIFO: fill stamp. Unused for Random.
+    stamp: Vec<u64>,
+}
+
+impl CacheSet {
+    /// An empty set with `ways` ways.
+    pub fn new(ways: u32) -> Self {
+        let w = ways as usize;
+        CacheSet {
+            tags: vec![0; w],
+            valid: vec![false; w],
+            dirty: vec![false; w],
+            owner: vec![0; w],
+            stamp: vec![0; w],
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> u32 {
+        self.valid.iter().filter(|&&v| v).count() as u32
+    }
+
+    /// Number of valid lines owned by `core`.
+    pub fn occupancy_of(&self, core: u8) -> u32 {
+        self.valid
+            .iter()
+            .zip(&self.owner)
+            .filter(|&(&v, &o)| v && o == core)
+            .count() as u32
+    }
+
+    /// Probe without modifying replacement state (a "peek").
+    pub fn probe(&self, tag: u64) -> Option<u32> {
+        self.tags
+            .iter()
+            .zip(&self.valid)
+            .position(|(&t, &v)| v && t == tag)
+            .map(|w| w as u32)
+    }
+
+    /// Access `tag` from `core` at logical time `now`; on a miss the line is
+    /// filled (write-allocate). `write` marks the line dirty.
+    pub fn access(
+        &mut self,
+        tag: u64,
+        core: u8,
+        write: bool,
+        now: u64,
+        policy: ReplacementPolicy,
+        rng: &mut XorShift64,
+    ) -> SetAccess {
+        if let Some(way) = self.probe(tag) {
+            let w = way as usize;
+            if policy == ReplacementPolicy::Lru {
+                self.stamp[w] = now;
+            }
+            if write {
+                self.dirty[w] = true;
+            }
+            return SetAccess::Hit { way };
+        }
+
+        // Miss: choose a victim way — prefer an invalid way.
+        let way = if let Some(w) = self.valid.iter().position(|&v| !v) {
+            w as u32
+        } else {
+            match policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self
+                    .stamp
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &s)| s)
+                    .map(|(w, _)| w as u32)
+                    .expect("non-empty set"),
+                ReplacementPolicy::Random => rng.below(self.tags.len() as u32),
+            }
+        };
+
+        let w = way as usize;
+        let evicted = if self.valid[w] {
+            Some(Evicted {
+                tag: self.tags[w],
+                way,
+                owner: self.owner[w],
+                dirty: self.dirty[w],
+            })
+        } else {
+            None
+        };
+
+        self.tags[w] = tag;
+        self.valid[w] = true;
+        self.dirty[w] = write;
+        self.owner[w] = core;
+        self.stamp[w] = now; // fill time (FIFO) == first touch (LRU)
+        SetAccess::Miss { way, evicted }
+    }
+
+    /// Invalidate every line (returns how many were valid).
+    pub fn flush(&mut self) -> u32 {
+        let n = self.occupancy();
+        self.valid.fill(false);
+        self.dirty.fill(false);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> XorShift64 {
+        XorShift64::new(1)
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut s = CacheSet::new(4);
+        let mut r = rng();
+        let first = s.access(10, 0, false, 1, ReplacementPolicy::Lru, &mut r);
+        assert!(matches!(first, SetAccess::Miss { evicted: None, .. }));
+        let second = s.access(10, 0, false, 2, ReplacementPolicy::Lru, &mut r);
+        assert!(matches!(second, SetAccess::Hit { .. }));
+        assert_eq!(s.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = CacheSet::new(2);
+        let mut r = rng();
+        s.access(1, 0, false, 1, ReplacementPolicy::Lru, &mut r);
+        s.access(2, 0, false, 2, ReplacementPolicy::Lru, &mut r);
+        // Touch tag 1 so tag 2 becomes LRU.
+        s.access(1, 0, false, 3, ReplacementPolicy::Lru, &mut r);
+        let out = s.access(3, 0, false, 4, ReplacementPolicy::Lru, &mut r);
+        match out {
+            SetAccess::Miss {
+                evicted: Some(e), ..
+            } => assert_eq!(e.tag, 2),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut s = CacheSet::new(2);
+        let mut r = rng();
+        s.access(1, 0, false, 1, ReplacementPolicy::Fifo, &mut r);
+        s.access(2, 0, false, 2, ReplacementPolicy::Fifo, &mut r);
+        // Touch tag 1; FIFO must still evict it (oldest fill).
+        s.access(1, 0, false, 3, ReplacementPolicy::Fifo, &mut r);
+        let out = s.access(3, 0, false, 4, ReplacementPolicy::Fifo, &mut r);
+        match out {
+            SetAccess::Miss {
+                evicted: Some(e), ..
+            } => assert_eq!(e.tag, 1),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dirty_propagates_to_victim() {
+        let mut s = CacheSet::new(1);
+        let mut r = rng();
+        s.access(1, 0, true, 1, ReplacementPolicy::Lru, &mut r);
+        let out = s.access(2, 0, false, 2, ReplacementPolicy::Lru, &mut r);
+        match out {
+            SetAccess::Miss {
+                evicted: Some(e), ..
+            } => assert!(e.dirty),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn owner_recorded_per_fill() {
+        let mut s = CacheSet::new(2);
+        let mut r = rng();
+        s.access(1, 0, false, 1, ReplacementPolicy::Lru, &mut r);
+        s.access(2, 1, false, 2, ReplacementPolicy::Lru, &mut r);
+        assert_eq!(s.occupancy_of(0), 1);
+        assert_eq!(s.occupancy_of(1), 1);
+        // Core 1 steals core 0's line.
+        let out = s.access(3, 1, false, 3, ReplacementPolicy::Lru, &mut r);
+        match out {
+            SetAccess::Miss {
+                evicted: Some(e), ..
+            } => assert_eq!(e.owner, 0),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(s.occupancy_of(1), 2);
+    }
+
+    #[test]
+    fn probe_does_not_touch_lru() {
+        let mut s = CacheSet::new(2);
+        let mut r = rng();
+        s.access(1, 0, false, 1, ReplacementPolicy::Lru, &mut r);
+        s.access(2, 0, false, 2, ReplacementPolicy::Lru, &mut r);
+        assert_eq!(s.probe(1), Some(0));
+        // probing tag 1 must NOT refresh it; tag 1 is still LRU.
+        let out = s.access(3, 0, false, 5, ReplacementPolicy::Lru, &mut r);
+        match out {
+            SetAccess::Miss {
+                evicted: Some(e), ..
+            } => assert_eq!(e.tag, 1),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut s = CacheSet::new(4);
+        let mut r = rng();
+        for t in 0..4 {
+            s.access(t, 0, false, t, ReplacementPolicy::Lru, &mut r);
+        }
+        assert_eq!(s.flush(), 4);
+        assert_eq!(s.occupancy(), 0);
+        assert_eq!(s.probe(0), None);
+    }
+}

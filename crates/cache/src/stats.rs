@@ -1,0 +1,114 @@
+//! Per-core cache statistics — the model of event-based performance
+//! counters that Section 2.2 argues are insufficient for footprint
+//! estimation (we reproduce that argument in the Figure 2/5 experiments).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one core at one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses (loads + stores).
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Valid lines this core's fills displaced (any owner).
+    pub evictions_caused: u64,
+    /// Valid lines owned by this core that *other* cores displaced — the
+    /// direct measure of suffered interference.
+    pub evictions_suffered: u64,
+    /// Dirty victims written back.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; 0 when no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions_caused += other.evictions_caused;
+        self.evictions_suffered += other.evictions_suffered;
+        self.writebacks += other.writebacks;
+    }
+
+    /// Difference since an earlier snapshot (for interval sampling).
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses - earlier.accesses,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions_caused: self.evictions_caused - earlier.evictions_caused,
+            evictions_suffered: self.evictions_suffered - earlier.evictions_suffered,
+            writebacks: self.writebacks - earlier.writebacks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_ratio() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+            ..Default::default()
+        };
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = CacheStats {
+            accesses: 1,
+            hits: 1,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 2,
+            misses: 2,
+            writebacks: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 3);
+        assert_eq!(a.hits, 1);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.writebacks, 1);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let early = CacheStats {
+            accesses: 5,
+            misses: 1,
+            ..Default::default()
+        };
+        let late = CacheStats {
+            accesses: 9,
+            misses: 4,
+            ..Default::default()
+        };
+        let d = late.delta_since(&early);
+        assert_eq!(d.accesses, 4);
+        assert_eq!(d.misses, 3);
+    }
+}

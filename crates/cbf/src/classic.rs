@@ -1,0 +1,210 @@
+//! The textbook counting Bloom filter of Section 2.4.
+//!
+//! Provided both as a reference implementation (the paper's Figure 4) and to
+//! demonstrate *why* the signature unit uses a single hash function: with k
+//! hash functions each insertion sets up to k bits, so a filter sized to the
+//! cache saturates k times faster, destroying the footprint signal (the same
+//! failure mode as presence bits, Section 5.3).
+
+use crate::hash::xor_fold;
+use symbio_bits::CounterArray;
+
+/// Query outcome. A Bloom filter can prove absence but never presence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// At least one probed counter was zero: the element was definitely
+    /// never inserted (or has been fully deleted). The paper's "true miss".
+    DefinitelyAbsent,
+    /// All probed counters were non-zero: the element *may* be present.
+    PossiblyPresent,
+}
+
+/// A counting Bloom filter with `k` independent hash functions.
+///
+/// Each hash function is an XOR-fold of the key mixed with a per-function
+/// odd multiplier (a simple multiplicative family — adequate for the
+/// demonstration purposes this type serves).
+#[derive(Debug, Clone)]
+pub struct CountingBloomFilter {
+    counters: CounterArray,
+    index_bits: u32,
+    k: usize,
+    insertions: u64,
+}
+
+/// Per-function multipliers (odd constants derived from the golden ratio).
+const MULTIPLIERS: [u64; 8] = [
+    0x9E3779B97F4A7C15,
+    0xBF58476D1CE4E5B9,
+    0x94D049BB133111EB,
+    0xD6E8FEB86659FD93,
+    0xA24BAED4963EE407,
+    0x9FB21C651E98DF25,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+];
+
+impl CountingBloomFilter {
+    /// Create a filter with `2^index_bits` counters of `counter_bits` bits
+    /// and `k` hash functions (1 ≤ k ≤ 8).
+    pub fn new(index_bits: u32, counter_bits: u32, k: usize) -> Self {
+        assert!((1..=8).contains(&k), "k must be 1..=8");
+        assert!((1..32).contains(&index_bits));
+        CountingBloomFilter {
+            counters: CounterArray::new(1 << index_bits, counter_bits),
+            index_bits,
+            k,
+            insertions: 0,
+        }
+    }
+
+    fn indexes(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.index_bits;
+        (0..self.k).map(move |i| {
+            let mixed = key.wrapping_mul(MULTIPLIERS[i]).rotate_left(17) ^ key;
+            xor_fold(mixed, bits) as usize
+        })
+    }
+
+    /// Insert `key`. If several hash functions collide on the same counter
+    /// for this key, it is incremented only once (per the paper's CBF
+    /// description).
+    pub fn insert(&mut self, key: u64) {
+        let mut idxs: Vec<usize> = self.indexes(key).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        for idx in idxs {
+            self.counters.increment(idx);
+        }
+        self.insertions += 1;
+    }
+
+    /// Delete `key` (decrementing each distinct probed counter once).
+    pub fn delete(&mut self, key: u64) {
+        let mut idxs: Vec<usize> = self.indexes(key).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        for idx in idxs {
+            self.counters.decrement(idx);
+        }
+    }
+
+    /// Query membership.
+    pub fn query(&self, key: u64) -> Query {
+        for idx in self.indexes(key) {
+            if self.counters.get(idx) == 0 {
+                return Query::DefinitelyAbsent;
+            }
+        }
+        Query::PossiblyPresent
+    }
+
+    /// Fraction of non-zero counters — the saturation measure used to argue
+    /// against multiple hash functions at small filter sizes.
+    pub fn fill_ratio(&self) -> f64 {
+        self.counters.count_nonzero() as f64 / self.counters.len() as f64
+    }
+
+    /// Number of hash functions.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when the filter has no counters (never for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Total insertions so far.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = CountingBloomFilter::new(10, 4, 3);
+        for key in 0..200u64 {
+            f.insert(key * 977);
+        }
+        for key in 0..200u64 {
+            assert_eq!(f.query(key * 977), Query::PossiblyPresent);
+        }
+    }
+
+    #[test]
+    fn delete_restores_absence() {
+        let mut f = CountingBloomFilter::new(12, 4, 2);
+        f.insert(42);
+        assert_eq!(f.query(42), Query::PossiblyPresent);
+        f.delete(42);
+        assert_eq!(f.query(42), Query::DefinitelyAbsent);
+    }
+
+    #[test]
+    fn fresh_filter_reports_absent() {
+        let f = CountingBloomFilter::new(8, 3, 4);
+        for key in [0u64, 1, 0xdead, u64::MAX] {
+            assert_eq!(f.query(key), Query::DefinitelyAbsent);
+        }
+    }
+
+    #[test]
+    fn more_hashes_saturate_faster() {
+        // The design argument from Sections 3.1/5.3: with a filter sized to
+        // the working set, k=4 pollutes the filter much faster than k=1.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let keys: Vec<u64> = (0..256).map(|_| rng.random()).collect();
+        let mut k1 = CountingBloomFilter::new(9, 4, 1); // 512 counters
+        let mut k4 = CountingBloomFilter::new(9, 4, 4);
+        for &key in &keys {
+            k1.insert(key);
+            k4.insert(key);
+        }
+        assert!(
+            k4.fill_ratio() > k1.fill_ratio() * 1.5,
+            "k=4 fill {} should far exceed k=1 fill {}",
+            k4.fill_ratio(),
+            k1.fill_ratio()
+        );
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut f = CountingBloomFilter::new(12, 4, 2); // 4096 counters
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let members: Vec<u64> = (0..512).map(|_| rng.random()).collect();
+        for &m in &members {
+            f.insert(m);
+        }
+        let mut fp = 0usize;
+        let trials = 4096;
+        for _ in 0..trials {
+            let probe: u64 = rng.random();
+            if members.contains(&probe) {
+                continue;
+            }
+            if f.query(probe) == Query::PossiblyPresent {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / trials as f64;
+        assert!(rate < 0.10, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_hashes_rejected() {
+        let _ = CountingBloomFilter::new(8, 3, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Configuration for the signature unit.
+
+use crate::hash::HashKind;
+use serde::{Deserialize, Serialize};
+
+/// Set-sampling policy (Section 5.4).
+///
+/// Tracking every cache line costs ~8.5 % of the L2's storage on a dual-core
+/// machine, so the paper samples 1-in-4 sets (25 %) and shows decisions are
+/// unchanged. A set is sampled when `set_index % 2^log2_ratio == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sampling {
+    /// log2 of the sampling divisor: 0 = every set, 2 = one set in four.
+    pub log2_ratio: u32,
+}
+
+impl Sampling {
+    /// Track every set (no sampling).
+    pub const FULL: Sampling = Sampling { log2_ratio: 0 };
+    /// The paper's 25 % configuration (one set in four).
+    pub const QUARTER: Sampling = Sampling { log2_ratio: 2 };
+
+    /// Whether `set` falls in the sampled subset.
+    #[inline]
+    pub fn samples(&self, set: u32) -> bool {
+        set & ((1 << self.log2_ratio) - 1) == 0
+    }
+
+    /// Index of a sampled set within the compacted filter address space.
+    #[inline]
+    pub fn compact(&self, set: u32) -> u32 {
+        set >> self.log2_ratio
+    }
+
+    /// Divisor (1, 2, 4, ...).
+    #[inline]
+    pub fn ratio(&self) -> u32 {
+        1 << self.log2_ratio
+    }
+}
+
+/// Geometry and policy knobs for a [`crate::SignatureUnit`].
+///
+/// Filter length follows the paper: "the number of entries in the counter
+/// array, LFs and CFs were chosen to be equal to the number of cache lines"
+/// — i.e. `(sets / sampling.ratio()) * ways` entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignatureConfig {
+    /// Number of cores sharing the monitored cache.
+    pub cores: usize,
+    /// Number of sets in the monitored cache (power of two).
+    pub sets: u32,
+    /// Associativity of the monitored cache (power of two).
+    pub ways: u32,
+    /// log2 of the cache line size in bytes (used to form block addresses).
+    pub line_shift: u32,
+    /// Counter width in bits (the paper uses 3).
+    pub counter_bits: u32,
+    /// Hash function for filter indexing.
+    pub hash: HashKind,
+    /// Set-sampling policy.
+    pub sampling: Sampling,
+}
+
+impl SignatureConfig {
+    /// Reasonable defaults matching the scaled Core-2-Duo experiment
+    /// geometry: 2 cores, 256 sets × 16 ways (256 KiB of 64-byte lines),
+    /// 3-bit counters, XOR hashing, full sampling.
+    pub fn scaled_core2duo(cores: usize) -> Self {
+        SignatureConfig {
+            cores,
+            sets: 256,
+            ways: 16,
+            line_shift: 6,
+            counter_bits: 3,
+            hash: HashKind::Xor,
+            sampling: Sampling::FULL,
+        }
+    }
+
+    /// Number of filter entries (= number of sampled cache lines).
+    pub fn entries(&self) -> usize {
+        ((self.sets >> self.sampling.log2_ratio) * self.ways) as usize
+    }
+
+    /// Number of index bits (filter entries are a power of two).
+    pub fn index_bits(&self) -> u32 {
+        let e = self.entries();
+        assert!(e.is_power_of_two(), "filter entries must be a power of two");
+        e.trailing_zeros()
+    }
+
+    /// Panic with a clear message if the geometry is unusable.
+    pub fn validate(&self) {
+        assert!(self.cores >= 1, "need at least one core");
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(self.ways.is_power_of_two(), "ways must be a power of two");
+        assert!(
+            self.sets >> self.sampling.log2_ratio >= 1,
+            "sampling ratio leaves no sampled sets"
+        );
+        assert!(
+            (1..=8).contains(&self.counter_bits),
+            "counter width must be 1..=8 bits"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_full_samples_everything() {
+        let s = Sampling::FULL;
+        for set in 0..32 {
+            assert!(s.samples(set));
+            assert_eq!(s.compact(set), set);
+        }
+        assert_eq!(s.ratio(), 1);
+    }
+
+    #[test]
+    fn sampling_quarter_samples_one_in_four() {
+        let s = Sampling::QUARTER;
+        let sampled: Vec<u32> = (0..16).filter(|&x| s.samples(x)).collect();
+        assert_eq!(sampled, vec![0, 4, 8, 12]);
+        assert_eq!(s.compact(8), 2);
+        assert_eq!(s.ratio(), 4);
+    }
+
+    #[test]
+    fn entries_match_sampled_lines() {
+        let mut c = SignatureConfig::scaled_core2duo(2);
+        assert_eq!(c.entries(), 256 * 16);
+        assert_eq!(c.index_bits(), 12);
+        c.sampling = Sampling::QUARTER;
+        assert_eq!(c.entries(), 64 * 16);
+        assert_eq!(c.index_bits(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn validate_rejects_odd_sets() {
+        let mut c = SignatureConfig::scaled_core2duo(2);
+        c.sets = 255;
+        c.validate();
+    }
+}

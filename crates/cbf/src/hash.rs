@@ -1,0 +1,172 @@
+//! The four filter-indexing functions evaluated in Section 5.3 / Figure 14.
+
+use serde::{Deserialize, Serialize};
+
+/// Hash function used to map a cache block address to a filter index.
+///
+/// The paper deliberately uses **one** hash function (multiple hashes
+/// saturate filters this small) and compares four candidates. The first
+/// three index by *address*; `PresenceBits` instead maps one-to-one onto the
+/// physical cache line that was filled, which the paper shows conveys no
+/// useful scheduling signal because the vector saturates for any
+/// cache-hungry process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HashKind {
+    /// Divide the block address into index-width chunks and XOR them.
+    Xor,
+    /// `Xor`, then bitwise-invert and bit-reverse the index.
+    XorInvRev,
+    /// Block address modulo the filter size (low-order bits for
+    /// power-of-two filters).
+    Modulo,
+    /// One bit per sampled physical cache line (indexed by set/way slot,
+    /// not by address).
+    PresenceBits,
+}
+
+impl HashKind {
+    /// Short label used in figure output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HashKind::Xor => "xor",
+            HashKind::XorInvRev => "xor-inv-rev",
+            HashKind::Modulo => "modulo",
+            HashKind::PresenceBits => "presence",
+        }
+    }
+
+    /// All four variants, in the order of Figure 14's bars.
+    pub fn all() -> [HashKind; 4] {
+        [
+            HashKind::Xor,
+            HashKind::XorInvRev,
+            HashKind::Modulo,
+            HashKind::PresenceBits,
+        ]
+    }
+
+    /// True when indexing is by physical line slot instead of address.
+    pub fn is_presence(&self) -> bool {
+        matches!(self, HashKind::PresenceBits)
+    }
+}
+
+/// XOR-fold `value` down to `bits` bits.
+#[inline]
+pub fn xor_fold(mut value: u64, bits: u32) -> u64 {
+    debug_assert!(bits > 0 && bits < 64);
+    let mask = (1u64 << bits) - 1;
+    let mut acc = 0u64;
+    while value != 0 {
+        acc ^= value & mask;
+        value >>= bits;
+    }
+    acc
+}
+
+/// Reverse the low `bits` bits of `value`.
+#[inline]
+pub fn bit_reverse(value: u64, bits: u32) -> u64 {
+    value.reverse_bits() >> (64 - bits)
+}
+
+/// Compute the filter index for `block_addr` with `bits` index bits.
+///
+/// Not applicable to [`HashKind::PresenceBits`] (which indexes by slot, see
+/// [`crate::SignatureUnit`]); calling it for that variant panics.
+#[inline]
+pub fn hash_address(kind: HashKind, block_addr: u64, bits: u32) -> u64 {
+    let mask = (1u64 << bits) - 1;
+    match kind {
+        HashKind::Xor => xor_fold(block_addr, bits),
+        HashKind::XorInvRev => bit_reverse(!xor_fold(block_addr, bits) & mask, bits),
+        HashKind::Modulo => block_addr & mask,
+        HashKind::PresenceBits => {
+            panic!("presence-bit filters are indexed by cache slot, not by address")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn xor_fold_small_values_identity() {
+        // Values that fit in the index are their own fold.
+        assert_eq!(xor_fold(0x3f, 8), 0x3f);
+        assert_eq!(xor_fold(0, 8), 0);
+    }
+
+    #[test]
+    fn xor_fold_folds_chunks() {
+        // 0xAB_CD with 8-bit index folds to 0xAB ^ 0xCD.
+        assert_eq!(xor_fold(0xABCD, 8), 0xAB ^ 0xCD);
+    }
+
+    #[test]
+    fn bit_reverse_involution() {
+        for v in [0u64, 1, 0b1010, 0xff, 0x123] {
+            assert_eq!(bit_reverse(bit_reverse(v, 12), 12), v);
+        }
+    }
+
+    #[test]
+    fn bit_reverse_examples() {
+        assert_eq!(bit_reverse(0b0001, 4), 0b1000);
+        assert_eq!(bit_reverse(0b0011, 4), 0b1100);
+    }
+
+    #[test]
+    fn modulo_is_low_bits() {
+        assert_eq!(hash_address(HashKind::Modulo, 0x12345, 8), 0x45);
+    }
+
+    #[test]
+    fn xor_inv_rev_differs_from_xor() {
+        // Sanity: the transforms produce distinct indexes for typical input.
+        let a = hash_address(HashKind::Xor, 0xDEADBEEF, 12);
+        let b = hash_address(HashKind::XorInvRev, 0xDEADBEEF, 12);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "presence")]
+    fn presence_has_no_address_hash() {
+        let _ = hash_address(HashKind::PresenceBits, 1, 8);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            HashKind::all().iter().map(|h| h.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hashes_in_range(addr in any::<u64>(), bits in 4u32..20) {
+            let mask = (1u64 << bits) - 1;
+            for kind in [HashKind::Xor, HashKind::XorInvRev, HashKind::Modulo] {
+                prop_assert!(hash_address(kind, addr, bits) <= mask);
+            }
+        }
+
+        #[test]
+        fn prop_hash_deterministic(addr in any::<u64>()) {
+            for kind in [HashKind::Xor, HashKind::XorInvRev, HashKind::Modulo] {
+                prop_assert_eq!(hash_address(kind, addr, 12), hash_address(kind, addr, 12));
+            }
+        }
+
+        #[test]
+        fn prop_xor_fold_distributes(a in any::<u64>(), b in any::<u64>(), bits in 4u32..16) {
+            // Folding is linear over XOR: fold(a ^ b) == fold(a) ^ fold(b).
+            prop_assert_eq!(
+                xor_fold(a ^ b, bits),
+                xor_fold(a, bits) ^ xor_fold(b, bits)
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # symbio-cbf
+//!
+//! Hardware model of the **memory footprint signature unit** from
+//! *Symbiotic Scheduling for Shared Caches in Multi-Core Systems Using
+//! Memory Footprint Signature* (ICPP 2011), Sections 2.4 and 3.1.
+//!
+//! The unit is a counting Bloom filter (CBF) split into:
+//!
+//! * one shared **counter array** — one L-bit saturating counter per
+//!   (sampled) cache line; incremented on L2 fill, decremented on eviction;
+//! * one **Core Filter (CF)** bitvector per core — the bit for the hashed
+//!   index is set whenever a miss from that core fills the line, and cleared
+//!   in *every* CF when the counter returns to zero;
+//! * one **Last Filter (LF)** per core — a snapshot of the CF taken at each
+//!   context switch.
+//!
+//! When a process is switched out of core *c* the hardware computes the
+//! **Running Bit Vector** `RBV = CF_c & !LF_c` (the paper writes it as
+//! `¬(CF → LF)`), from which two scheduler-visible metrics derive:
+//!
+//! * `occupancy = popcount(RBV)` — the process's cache footprint weight;
+//! * `symbiosis_j = popcount(RBV ^ CF_j)` for every core *j* — **high**
+//!   symbiosis means **low** interference with whatever ran on core *j*.
+//!
+//! This crate also provides the textbook counting Bloom filter of Section
+//! 2.4 ([`classic::CountingBloomFilter`]) used to demonstrate why a single
+//! hash function is the right choice at these filter sizes, and the
+//! hardware-overhead model of Section 5.4 ([`overhead`]).
+
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod config;
+pub mod hash;
+pub mod overhead;
+pub mod signature;
+
+pub use config::{Sampling, SignatureConfig};
+pub use hash::HashKind;
+pub use signature::{CacheEventSink, LineLocation, NullSink, SignatureSample, SignatureUnit};

@@ -1,0 +1,118 @@
+//! Hardware storage overhead model (Section 5.4).
+//!
+//! The paper sizes the signature unit as one counter plus one CF bit and one
+//! LF bit per core for every tracked cache line, and quotes the overhead of
+//! "(2 + N + 3)/(64 + 18)" — for N = 2 cores and 3-bit counters that is
+//! 7/82 ≈ 8.5 % of the cache, dropping to ≈ 2.13 % with 25 % set sampling.
+//!
+//! The paper's denominator mixes units (64 *bytes* of data + 18 *bits* of
+//! tag); we reproduce the paper's arithmetic verbatim in
+//! [`paper_overhead_fraction`] so the quoted numbers regenerate exactly, and
+//! also provide a dimensionally-consistent variant
+//! ([`bit_accurate_overhead_fraction`]) that measures signature bits against
+//! the true per-line storage of `64×8 + 18` bits. The discrepancy is
+//! documented in DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the overhead model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Cores sharing the cache (each contributes one CF bit + one LF bit
+    /// per tracked line).
+    pub cores: usize,
+    /// Counter width in bits.
+    pub counter_bits: u32,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// Tag bits per line (the paper assumes 18).
+    pub tag_bits: u32,
+    /// Sampling divisor (1 = track every line, 4 = the paper's 25 %).
+    pub sampling_ratio: u32,
+}
+
+impl OverheadModel {
+    /// The paper's dual-core configuration.
+    pub fn paper_dual_core() -> Self {
+        OverheadModel {
+            cores: 2,
+            counter_bits: 3,
+            line_bytes: 64,
+            tag_bits: 18,
+            sampling_ratio: 1,
+        }
+    }
+
+    /// Signature bits required per *tracked* cache line:
+    /// `N` CF bits + `N` LF bits + the counter.
+    pub fn signature_bits_per_line(&self) -> u32 {
+        2 * self.cores as u32 + self.counter_bits
+    }
+
+    /// Total signature storage for a cache of `n_lines` lines, in bits.
+    pub fn total_signature_bits(&self, n_lines: usize) -> u64 {
+        let tracked = n_lines as u64 / u64::from(self.sampling_ratio);
+        tracked * u64::from(self.signature_bits_per_line())
+    }
+
+    /// The paper's literal formula: `(2N + counter) / (line_bytes + tag_bits)
+    /// / sampling`. Returns a fraction (0.085 for the dual-core full-tracking
+    /// configuration).
+    pub fn paper_overhead_fraction(&self) -> f64 {
+        f64::from(self.signature_bits_per_line())
+            / f64::from(self.line_bytes + self.tag_bits)
+            / f64::from(self.sampling_ratio)
+    }
+
+    /// Dimensionally-consistent variant: signature bits per tracked line
+    /// over true storage bits per line (`line_bytes × 8 + tag_bits`).
+    pub fn bit_accurate_overhead_fraction(&self) -> f64 {
+        f64::from(self.signature_bits_per_line())
+            / f64::from(self.line_bytes * 8 + self.tag_bits)
+            / f64::from(self.sampling_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dual_core_is_8_5_percent() {
+        let m = OverheadModel::paper_dual_core();
+        let pct = m.paper_overhead_fraction() * 100.0;
+        assert!((pct - 8.536).abs() < 0.05, "got {pct}%");
+    }
+
+    #[test]
+    fn quarter_sampling_is_2_13_percent() {
+        let mut m = OverheadModel::paper_dual_core();
+        m.sampling_ratio = 4;
+        let pct = m.paper_overhead_fraction() * 100.0;
+        assert!((pct - 2.134).abs() < 0.05, "got {pct}%");
+    }
+
+    #[test]
+    fn signature_bits_scale_with_cores() {
+        let mut m = OverheadModel::paper_dual_core();
+        assert_eq!(m.signature_bits_per_line(), 7);
+        m.cores = 4;
+        assert_eq!(m.signature_bits_per_line(), 11);
+    }
+
+    #[test]
+    fn total_bits_respects_sampling() {
+        let mut m = OverheadModel::paper_dual_core();
+        let full = m.total_signature_bits(65536);
+        m.sampling_ratio = 4;
+        let sampled = m.total_signature_bits(65536);
+        assert_eq!(full, 65536 * 7);
+        assert_eq!(sampled, full / 4);
+    }
+
+    #[test]
+    fn bit_accurate_is_much_smaller() {
+        let m = OverheadModel::paper_dual_core();
+        assert!(m.bit_accurate_overhead_fraction() < m.paper_overhead_fraction() / 5.0);
+    }
+}

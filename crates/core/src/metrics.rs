@@ -1,0 +1,146 @@
+//! Aggregation of per-mix results into the paper's per-benchmark numbers.
+
+use crate::pipeline::MixResult;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One improvement observation: a benchmark in one mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Improvement {
+    /// Benchmark name.
+    pub name: String,
+    /// The co-runners in the mix.
+    pub mix: Vec<String>,
+    /// Improvement of the chosen mapping over the worst mapping.
+    pub vs_worst: f64,
+    /// Fraction of the oracle-best improvement captured.
+    pub oracle_fraction: f64,
+}
+
+/// Per-benchmark aggregate over all mixes containing it — the bars of
+/// Figures 10/11/12 (max and average improvement).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkSummary {
+    /// Benchmark name.
+    pub name: String,
+    /// Maximum improvement across mixes.
+    pub max: f64,
+    /// Average improvement across mixes.
+    pub avg: f64,
+    /// Number of mixes the benchmark appeared in.
+    pub mixes: usize,
+}
+
+/// Collect per-benchmark observations from evaluated mixes.
+pub fn observations(results: &[MixResult]) -> Vec<Improvement> {
+    let mut out = Vec::new();
+    for r in results {
+        for (pid, name) in r.names.iter().enumerate() {
+            out.push(Improvement {
+                name: name.clone(),
+                mix: r.names.clone(),
+                vs_worst: r.improvement_vs_worst(pid),
+                oracle_fraction: r.oracle_fraction(pid),
+            });
+        }
+    }
+    out
+}
+
+/// Aggregate observations into per-benchmark max/avg summaries, sorted by
+/// name.
+pub fn summarize(observations: &[Improvement]) -> Vec<BenchmarkSummary> {
+    let mut by_name: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for o in observations {
+        by_name.entry(&o.name).or_default().push(o.vs_worst);
+    }
+    by_name
+        .into_iter()
+        .map(|(name, vals)| BenchmarkSummary {
+            name: name.to_string(),
+            max: vals.iter().copied().fold(0.0, f64::max),
+            avg: vals.iter().sum::<f64>() / vals.len() as f64,
+            mixes: vals.len(),
+        })
+        .collect()
+}
+
+/// Grand average of the per-benchmark averages (the paper's "22 % on
+/// average" style headline).
+pub fn grand_average(summaries: &[BenchmarkSummary]) -> f64 {
+    if summaries.is_empty() {
+        return 0.0;
+    }
+    summaries.iter().map(|s| s.avg).sum::<f64>() / summaries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbio_machine::Mapping;
+
+    fn mix(names: &[&str], user: Vec<Vec<u64>>, chosen: usize) -> MixResult {
+        MixResult {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            mappings: vec![
+                Mapping::new(vec![0, 0, 1, 1]),
+                Mapping::new(vec![0, 1, 0, 1]),
+                Mapping::new(vec![0, 1, 1, 0]),
+            ],
+            user_cycles: user,
+            chosen,
+            policy: "test".into(),
+        }
+    }
+
+    #[test]
+    fn improvement_computed_vs_worst() {
+        // Benchmark 0: times 100 / 80 / 120 across mappings; chosen = 1.
+        let r = mix(
+            &["a", "b", "c", "d"],
+            vec![
+                vec![100, 10, 10, 10],
+                vec![80, 10, 10, 10],
+                vec![120, 10, 10, 10],
+            ],
+            1,
+        );
+        assert!((r.improvement_vs_worst(0) - (120.0 - 80.0) / 120.0).abs() < 1e-12);
+        assert_eq!(r.oracle_fraction(0), 1.0, "picked the best for a");
+        assert_eq!(r.improvement_vs_worst(1), 0.0, "b is indifferent");
+        assert_eq!(r.oracle_fraction(1), 1.0, "indifferent counts as captured");
+    }
+
+    #[test]
+    fn summaries_aggregate_max_and_avg() {
+        let r1 = mix(
+            &["a", "b", "c", "d"],
+            vec![
+                vec![100, 10, 10, 10],
+                vec![50, 10, 10, 10],
+                vec![100, 10, 10, 10],
+            ],
+            1,
+        );
+        let r2 = mix(
+            &["a", "x", "y", "z"],
+            vec![
+                vec![100, 10, 10, 10],
+                vec![90, 10, 10, 10],
+                vec![100, 10, 10, 10],
+            ],
+            1,
+        );
+        let obs = observations(&[r1, r2]);
+        let sums = summarize(&obs);
+        let a = sums.iter().find(|s| s.name == "a").unwrap();
+        assert_eq!(a.mixes, 2);
+        assert!((a.max - 0.5).abs() < 1e-12);
+        assert!((a.avg - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grand_average_of_empty_is_zero() {
+        assert_eq!(grand_average(&[]), 0.0);
+    }
+}

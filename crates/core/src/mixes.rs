@@ -1,0 +1,119 @@
+//! Benchmark-mix and candidate-mapping enumeration.
+
+use symbio_machine::Mapping;
+
+/// All `k`-element index combinations out of `n` items, lexicographic —
+/// the paper's "all possible mixes of 4 from the pool of 12".
+pub fn mixes_of(n: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(k >= 1 && k <= n);
+    let mut out = Vec::new();
+    let mut comb: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(comb.clone());
+        // Advance.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if comb[i] != i + n - k {
+                comb[i] += 1;
+                for j in (i + 1)..k {
+                    comb[j] = comb[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// All behaviourally-distinct balanced mappings of `p` single-threaded
+/// processes onto `cores` cores (groups of ⌈p/cores⌉; core labels are
+/// interchangeable on a symmetric machine, so mappings are deduplicated by
+/// partition). For the paper's 4-on-2 case this returns the three mappings
+/// of Table 1: AB|CD, AC|BD, AD|BC.
+pub fn candidate_mappings(p: usize, cores: usize) -> Vec<Mapping> {
+    assert!(p >= 1 && cores >= 1);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let group = p.div_ceil(cores);
+    let mut assign = vec![0usize; p];
+    enumerate(&mut assign, 0, cores, group, &mut |m| {
+        let mapping = Mapping::new(m.to_vec());
+        if seen.insert(mapping.partition_key(cores)) {
+            out.push(mapping);
+        }
+    });
+    out
+}
+
+fn enumerate(
+    assign: &mut Vec<usize>,
+    idx: usize,
+    cores: usize,
+    group: usize,
+    f: &mut impl FnMut(&[usize]),
+) {
+    if idx == assign.len() {
+        f(assign);
+        return;
+    }
+    for c in 0..cores {
+        let used = assign[..idx].iter().filter(|&&x| x == c).count();
+        if used < group {
+            assign[idx] = c;
+            enumerate(assign, idx + 1, cores, group, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c12_4_is_495() {
+        assert_eq!(mixes_of(12, 4).len(), 495);
+    }
+
+    #[test]
+    fn mixes_are_sorted_and_unique() {
+        let ms = mixes_of(6, 3);
+        assert_eq!(ms.len(), 20);
+        for m in &ms {
+            assert!(m.windows(2).all(|w| w[0] < w[1]));
+        }
+        let set: std::collections::HashSet<_> = ms.iter().collect();
+        assert_eq!(set.len(), 20);
+    }
+
+    #[test]
+    fn four_on_two_gives_three_mappings() {
+        let ms = candidate_mappings(4, 2);
+        assert_eq!(ms.len(), 3, "AB|CD, AC|BD, AD|BC");
+        for m in &ms {
+            assert_eq!(m.group_sizes(2), vec![2, 2]);
+        }
+    }
+
+    #[test]
+    fn two_on_two_single_mapping() {
+        // One process per core; swapping cores is not distinct.
+        let ms = candidate_mappings(2, 2);
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn six_on_two_gives_ten_mappings() {
+        // C(6,3)/2 = 10 balanced bisections.
+        assert_eq!(candidate_mappings(6, 2).len(), 10);
+    }
+
+    #[test]
+    fn eight_on_four_counts() {
+        // Partitions of 8 labelled items into 4 unlabelled pairs:
+        // 8!/(2!^4 · 4!) = 105.
+        assert_eq!(candidate_mappings(8, 4).len(), 105);
+    }
+}

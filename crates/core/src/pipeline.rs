@@ -1,0 +1,423 @@
+//! The two-phase evaluation pipeline (Section 4, Figure 9).
+
+use crate::config::ExperimentConfig;
+use crate::mixes::candidate_mappings;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use symbio_allocator::AllocationPolicy;
+use symbio_machine::{Machine, MachineConfig, Mapping, RunOutcome};
+use symbio_workloads::{ThreadSpec, WorkloadSpec};
+
+/// Outcome of the profiling phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileResult {
+    /// The majority mapping (the paper applies the mapping "picked by the
+    /// simulated allocator the majority of the times").
+    pub winner: Mapping,
+    /// Vote count per candidate partition (keyed by the winner index into
+    /// `candidates`).
+    pub votes: Vec<(Mapping, u32)>,
+    /// Allocator invocations performed.
+    pub invocations: u32,
+}
+
+/// Fully-evaluated mix: every candidate mapping measured, plus the mapping
+/// the policy chose.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixResult {
+    /// Benchmark names, pid order.
+    pub names: Vec<String>,
+    /// Candidate mappings (phase-2 measurement targets).
+    pub mappings: Vec<Mapping>,
+    /// `user_cycles[mapping_idx][pid]`.
+    pub user_cycles: Vec<Vec<u64>>,
+    /// Index into `mappings` of the policy's majority choice.
+    pub chosen: usize,
+    /// Name of the policy that chose.
+    pub policy: String,
+}
+
+impl MixResult {
+    /// Worst (largest) user time of `pid` across mappings.
+    pub fn worst_of(&self, pid: usize) -> u64 {
+        self.user_cycles.iter().map(|m| m[pid]).max().unwrap_or(0)
+    }
+
+    /// Best (smallest) user time of `pid` across mappings.
+    pub fn best_of(&self, pid: usize) -> u64 {
+        self.user_cycles.iter().map(|m| m[pid]).min().unwrap_or(0)
+    }
+
+    /// The paper's headline metric: improvement of the chosen mapping over
+    /// the worst-case mapping for `pid`, in `[0, 1]`.
+    pub fn improvement_vs_worst(&self, pid: usize) -> f64 {
+        let worst = self.worst_of(pid) as f64;
+        let chosen = self.user_cycles[self.chosen][pid] as f64;
+        if worst <= 0.0 {
+            0.0
+        } else {
+            (worst - chosen) / worst
+        }
+    }
+
+    /// How much of the oracle-best improvement the policy captured for
+    /// `pid` (1 = picked the best mapping for this benchmark).
+    pub fn oracle_fraction(&self, pid: usize) -> f64 {
+        let worst = self.worst_of(pid) as f64;
+        let best = self.best_of(pid) as f64;
+        if worst <= best {
+            1.0
+        } else {
+            (worst - self.user_cycles[self.chosen][pid] as f64) / (worst - best)
+        }
+    }
+
+    /// Render a Table 1-style grid (benchmarks × mappings, user times).
+    pub fn table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{:<14}", "benchmark"));
+        for m in &self.mappings {
+            let key = m
+                .partition_key(2)
+                .iter()
+                .map(|g| {
+                    g.iter()
+                        .map(|&t| char::from(b'A' + t as u8).to_string())
+                        .collect::<String>()
+                })
+                .collect::<Vec<_>>()
+                .join("&");
+            s.push_str(&format!("{key:>12}"));
+        }
+        s.push('\n');
+        for (pid, name) in self.names.iter().enumerate() {
+            s.push_str(&format!("{name:<14}"));
+            for (mi, _) in self.mappings.iter().enumerate() {
+                s.push_str(&format!("{:>12}", self.user_cycles[mi][pid]));
+            }
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "chosen by {}: mapping #{}\n",
+            self.policy, self.chosen
+        ));
+        s
+    }
+}
+
+/// The two-phase pipeline bound to an [`ExperimentConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    /// Experiment parameters.
+    pub cfg: ExperimentConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        Pipeline { cfg }
+    }
+
+    fn profiling_machine_cfg(&self) -> MachineConfig {
+        self.cfg.machine
+    }
+
+    fn measurement_machine_cfg(&self, repeat: u32) -> MachineConfig {
+        let mut m = self.cfg.machine.without_signature();
+        m.seed = m
+            .seed
+            .wrapping_add(self.cfg.measure_seed_offset)
+            .wrapping_add(u64::from(repeat).wrapping_mul(0xA076_1D64_78BD_642F));
+        m
+    }
+
+    /// Average per-process user cycles across `measure_repeats` runs.
+    fn averaged<F>(&self, run_once: F) -> RunOutcome
+    where
+        F: Fn(MachineConfig) -> RunOutcome,
+    {
+        let repeats = self.cfg.measure_repeats.max(1);
+        let mut acc: Option<RunOutcome> = None;
+        for r in 0..repeats {
+            let out = run_once(self.measurement_machine_cfg(r));
+            match &mut acc {
+                None => acc = Some(out),
+                Some(a) => {
+                    for (ap, op) in a.procs.iter_mut().zip(&out.procs) {
+                        ap.user_cycles += op.user_cycles;
+                        ap.wall_cycles = ap.wall_cycles.max(op.wall_cycles);
+                    }
+                    a.wall_cycles = a.wall_cycles.max(out.wall_cycles);
+                    a.completed &= out.completed;
+                }
+            }
+        }
+        let mut a = acc.expect("repeats >= 1");
+        for p in &mut a.procs {
+            p.user_cycles /= u64::from(repeats);
+        }
+        a
+    }
+
+    /// **Phase 1** for single-threaded processes: run the mix under the
+    /// signature unit, invoke `policy` every `interval` cycles, apply its
+    /// mapping, and return the majority vote.
+    pub fn profile(
+        &self,
+        specs: &[WorkloadSpec],
+        policy: &mut dyn AllocationPolicy,
+    ) -> ProfileResult {
+        let mut machine = Machine::new(self.profiling_machine_cfg());
+        for s in specs {
+            machine.add_process(s);
+        }
+        machine.start(None);
+        self.profile_loop(&mut machine, policy)
+    }
+
+    /// **Phase 1** for multi-threaded applications (`threads` each).
+    pub fn profile_multithreaded(
+        &self,
+        specs: &[ThreadSpec],
+        threads: usize,
+        policy: &mut dyn AllocationPolicy,
+    ) -> ProfileResult {
+        let mut machine = Machine::new(self.profiling_machine_cfg());
+        for s in specs {
+            machine.add_multithreaded(s, threads);
+        }
+        machine.start(None);
+        self.profile_loop(&mut machine, policy)
+    }
+
+    fn profile_loop(
+        &self,
+        machine: &mut Machine,
+        policy: &mut dyn AllocationPolicy,
+    ) -> ProfileResult {
+        let cores = machine.config().cores;
+        let mut votes: HashMap<Vec<Vec<usize>>, (Mapping, u32)> = HashMap::new();
+        let mut invocations = 0;
+        let deadline = machine.now() + self.cfg.profile_cycles;
+        while machine.now() < deadline {
+            machine.run_for(self.cfg.interval.min(deadline - machine.now()));
+            let views = machine.query_views();
+            let mapping = policy.allocate(&views, cores);
+            if self.cfg.apply_during_profiling {
+                machine.apply_mapping(&mapping);
+            }
+            invocations += 1;
+            votes
+                .entry(mapping.partition_key(cores))
+                .and_modify(|(_, c)| *c += 1)
+                .or_insert((mapping, 1));
+        }
+        let mut votes: Vec<(Mapping, u32)> = votes.into_values().collect();
+        votes.sort_by_key(|v| std::cmp::Reverse(v.1));
+        let winner = votes
+            .first()
+            .map(|(m, _)| m.clone())
+            .unwrap_or_else(|| Mapping::round_robin(machine.managed_threads(), cores));
+        ProfileResult {
+            winner,
+            votes,
+            invocations,
+        }
+    }
+
+    /// **Phase 2**: run the mix to completion under `mapping` with the
+    /// signature unit off (the "real machine" run), averaged over
+    /// `measure_repeats` independent seeds.
+    pub fn measure(&self, specs: &[WorkloadSpec], mapping: &Mapping) -> RunOutcome {
+        self.averaged(|cfg| {
+            let mut machine = Machine::new(cfg);
+            for s in specs {
+                machine.add_process(s);
+            }
+            machine.start(Some(mapping));
+            let out = machine.run_to_completion(self.cfg.measure_max_cycles);
+            assert!(
+                out.completed,
+                "measurement run did not complete within {} cycles",
+                self.cfg.measure_max_cycles
+            );
+            out
+        })
+    }
+
+    /// **Phase 2** for multi-threaded applications (averaged like
+    /// [`Pipeline::measure`]).
+    pub fn measure_multithreaded(
+        &self,
+        specs: &[ThreadSpec],
+        threads: usize,
+        mapping: &Mapping,
+    ) -> RunOutcome {
+        self.averaged(|cfg| {
+            let mut machine = Machine::new(cfg);
+            for s in specs {
+                machine.add_multithreaded(s, threads);
+            }
+            machine.start(Some(mapping));
+            let out = machine.run_to_completion(self.cfg.measure_max_cycles);
+            assert!(out.completed, "multithreaded measurement did not complete");
+            out
+        })
+    }
+
+    /// Enumerate the phase-2 candidate mappings for `p` single-threaded
+    /// processes on this machine.
+    pub fn candidates(&self, p: usize) -> Vec<Mapping> {
+        candidate_mappings(p, self.cfg.machine.cores)
+    }
+
+    /// Full two-phase evaluation of one mix under one policy: profile,
+    /// measure every candidate mapping, locate the chosen one.
+    pub fn evaluate_mix(
+        &self,
+        specs: &[WorkloadSpec],
+        policy: &mut dyn AllocationPolicy,
+    ) -> MixResult {
+        let profile = self.profile(specs, policy);
+        self.evaluate_mix_with_choice(specs, &profile.winner, policy.name())
+    }
+
+    /// Evaluate a mix given an externally-decided mapping (lets several
+    /// policies share one set of measured mappings).
+    pub fn evaluate_mix_with_choice(
+        &self,
+        specs: &[WorkloadSpec],
+        choice: &Mapping,
+        policy_name: &str,
+    ) -> MixResult {
+        let mappings = self.candidates(specs.len());
+        let cores = self.cfg.machine.cores;
+        let user_cycles: Vec<Vec<u64>> = mappings
+            .iter()
+            .map(|m| {
+                let out = self.measure(specs, m);
+                out.procs.iter().map(|p| p.user_cycles).collect()
+            })
+            .collect();
+        let chosen = Self::locate(&mappings, choice, cores);
+        MixResult {
+            names: specs.iter().map(|s| s.name.clone()).collect(),
+            mappings,
+            user_cycles,
+            chosen,
+            policy: policy_name.to_string(),
+        }
+    }
+
+    /// Index of `choice` among `mappings` (by partition equivalence).
+    pub fn locate(mappings: &[Mapping], choice: &Mapping, cores: usize) -> usize {
+        let key = choice.partition_key(cores);
+        mappings
+            .iter()
+            .position(|m| m.partition_key(cores) == key)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbio_allocator::{DefaultPolicy, WeightSortPolicy, WeightedInterferenceGraphPolicy};
+    use symbio_workloads::spec2006;
+
+    fn specs(names: &[&str]) -> Vec<WorkloadSpec> {
+        let l2 = 256 << 10;
+        names
+            .iter()
+            .map(|n| {
+                let mut s = spec2006::by_name(n, l2).unwrap();
+                s.work /= 4; // keep unit tests fast
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn profile_produces_votes() {
+        let p = Pipeline::new(ExperimentConfig::fast(3));
+        let mut policy = WeightSortPolicy;
+        let r = p.profile(
+            &specs(&["mcf", "povray", "libquantum", "gobmk"]),
+            &mut policy,
+        );
+        assert!(r.invocations >= 4);
+        let total: u32 = r.votes.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, r.invocations);
+        assert_eq!(r.winner.len(), 4);
+        assert_eq!(r.winner.group_sizes(2), vec![2, 2]);
+    }
+
+    #[test]
+    fn measure_is_deterministic() {
+        let p = Pipeline::new(ExperimentConfig::fast(3));
+        let s = specs(&["gobmk", "soplex"]);
+        let m = Mapping::new(vec![0, 1]);
+        let a = p.measure(&s, &m);
+        let b = p.measure(&s, &m);
+        assert_eq!(a.procs[0].user_cycles, b.procs[0].user_cycles);
+    }
+
+    #[test]
+    fn measurement_seed_differs_from_profiling_seed() {
+        let p = Pipeline::new(ExperimentConfig::fast(3));
+        assert_ne!(
+            p.profiling_machine_cfg().seed,
+            p.measurement_machine_cfg(0).seed
+        );
+        assert_ne!(
+            p.measurement_machine_cfg(0).seed,
+            p.measurement_machine_cfg(1).seed
+        );
+        assert!(p.measurement_machine_cfg(0).signature.is_none());
+        assert!(p.profiling_machine_cfg().signature.is_some());
+    }
+
+    #[test]
+    fn evaluate_mix_full_pipeline() {
+        let p = Pipeline::new(ExperimentConfig::fast(5));
+        let s = specs(&["mcf", "povray", "libquantum", "gobmk"]);
+        let mut policy = WeightedInterferenceGraphPolicy::default();
+        let r = p.evaluate_mix(&s, &mut policy);
+        assert_eq!(r.mappings.len(), 3);
+        assert_eq!(r.user_cycles.len(), 3);
+        assert!(r.chosen < 3);
+        for pid in 0..4 {
+            let imp = r.improvement_vs_worst(pid);
+            assert!((0.0..=1.0).contains(&imp), "{}: {imp}", r.names[pid]);
+        }
+        // The table renders.
+        let t = r.table();
+        assert!(t.contains("mcf"));
+    }
+
+    #[test]
+    fn locate_matches_partitions_not_labels() {
+        let maps = candidate_mappings(4, 2);
+        // Same partition as maps[0] with swapped core labels.
+        let key0 = maps[0].partition_key(2);
+        let swapped = Mapping::new(
+            (0..4)
+                .map(|t| 1 - maps[0].core_of(t))
+                .collect::<Vec<usize>>(),
+        );
+        let idx = Pipeline::locate(&maps, &swapped, 2);
+        assert_eq!(maps[idx].partition_key(2), key0);
+    }
+
+    #[test]
+    fn default_policy_choice_is_round_robin_mapping() {
+        let p = Pipeline::new(ExperimentConfig::fast(3));
+        let s = specs(&["povray", "gobmk", "sjeng", "hmmer"]);
+        let mut policy = DefaultPolicy;
+        let r = p.profile(&s, &mut policy);
+        assert_eq!(
+            r.winner.partition_key(2),
+            Mapping::round_robin(4, 2).partition_key(2)
+        );
+    }
+}

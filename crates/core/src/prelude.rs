@@ -1,0 +1,18 @@
+//! One-stop imports for experiment code.
+
+pub use crate::config::ExperimentConfig;
+pub use crate::metrics::{BenchmarkSummary, Improvement};
+pub use crate::mixes::{candidate_mappings, mixes_of};
+pub use crate::pipeline::{MixResult, Pipeline, ProfileResult};
+pub use crate::report;
+pub use crate::sweep::{sweep_multithreaded, sweep_pool, SweepOptions, SweepOutcome};
+
+pub use symbio_allocator::{
+    AffinityPolicy, AllocationPolicy, DefaultPolicy, InterferenceGraphPolicy, InterferenceMetric,
+    MissRateSortPolicy, PairwisePolicy, PartitionMethod, RandomPolicy, TwoPhasePolicy,
+    WeightSortPolicy, WeightedInterferenceGraphPolicy,
+};
+pub use symbio_cache::{CacheGeometry, ReplacementPolicy, Topology};
+pub use symbio_cbf::{HashKind, Sampling, SignatureConfig, SignatureUnit};
+pub use symbio_machine::{Machine, MachineConfig, Mapping, TimingModel, VirtConfig};
+pub use symbio_workloads::{parsec, spec2006, Pattern, ThreadSpec, WorkloadSpec};

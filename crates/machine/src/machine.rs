@@ -1,0 +1,774 @@
+//! The multi-core machine engine.
+
+use crate::config::MachineConfig;
+use crate::mapping::Mapping;
+use crate::sched::Scheduler;
+use crate::thread::{ProcView, Thread, ThreadView};
+use serde::{Deserialize, Serialize};
+use symbio_cache::{AccessLevel, Address, Dram, MemorySystem};
+use symbio_cbf::{NullSink, SignatureUnit};
+use symbio_workloads::{Op, Pattern, ThreadSpec, WorkloadGen, WorkloadSpec};
+
+/// Shift applied to `pid + 1` to namespace each process's address space.
+const ASID_SHIFT: u32 = 44;
+/// Page size for the translation model (4 KiB).
+const PAGE_SHIFT: u32 = 12;
+/// Physical page-frame number mask (40-bit physical space).
+const PFN_MASK: u64 = (1 << 28) - 1;
+
+/// Deterministic vpage→pfn scatter (SplitMix64 finalizer). Stands in for
+/// the OS page allocator: virtually-contiguous pages land on effectively
+/// random frames, so cache-set usage is uniform per process.
+#[inline]
+fn translate_page(vpage: u64) -> u64 {
+    let mut z = vpage.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (z ^ (z >> 31)) & PFN_MASK
+}
+
+/// How a thread's generator is rebuilt when its run completes and the
+/// benchmark is restarted (the paper restarts co-runners until the longest
+/// benchmark finishes).
+#[derive(Debug, Clone)]
+enum GenFactory {
+    Single(WorkloadSpec),
+    Multi(ThreadSpec, usize),
+}
+
+impl GenFactory {
+    fn make(&self, seed: u64) -> WorkloadGen {
+        match self {
+            GenFactory::Single(spec) => spec.instantiate(seed),
+            GenFactory::Multi(spec, inner) => spec.instantiate(seed, *inner),
+        }
+    }
+}
+
+/// Result of one process in a measurement run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcOutcome {
+    /// Process id.
+    pub pid: usize,
+    /// Workload name.
+    pub name: String,
+    /// User time: summed cycles its threads executed up to each thread's
+    /// first completion (the `time(1)` "user" figure the paper tabulates).
+    pub user_cycles: u64,
+    /// Wall clock (core time) at which the process finished its first run.
+    pub wall_cycles: u64,
+}
+
+/// Result of [`Machine::run_to_completion`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Whether every gating process completed at least one run.
+    pub completed: bool,
+    /// Frontier clock when the run stopped.
+    pub wall_cycles: u64,
+    /// Per-process outcomes (gating processes only), pid order.
+    pub procs: Vec<ProcOutcome>,
+}
+
+impl RunOutcome {
+    /// User time of a process by name.
+    pub fn user_time(&self, name: &str) -> Option<u64> {
+        self.procs
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.user_cycles)
+    }
+}
+
+/// The simulated machine (see the crate docs for the architecture).
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: MemorySystem,
+    sig: Option<SignatureUnit>,
+    sched: Scheduler,
+    threads: Vec<Thread>,
+    factories: Vec<GenFactory>,
+    quantum_divisor: Vec<u64>,
+    proc_names: Vec<String>,
+    proc_threads: Vec<Vec<usize>>,
+    gating_procs: usize,
+    clocks: Vec<u64>,
+    switches: u64,
+    jitter_state: u64,
+    sealed: bool,
+}
+
+impl Machine {
+    /// Build an empty machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let mem = MemorySystem::new(
+            cfg.topology,
+            cfg.cores,
+            cfg.l1,
+            cfg.l2,
+            cfg.policy,
+            Dram::new(cfg.dram.0, cfg.dram.1),
+            cfg.seed,
+        );
+        let sig = cfg.signature_config().map(SignatureUnit::new);
+        Machine {
+            mem,
+            sig,
+            sched: Scheduler::new(cfg.cores),
+            threads: Vec::new(),
+            factories: Vec::new(),
+            quantum_divisor: Vec::new(),
+            proc_names: Vec::new(),
+            proc_threads: Vec::new(),
+            gating_procs: 0,
+            clocks: vec![0; cfg.cores],
+            switches: 0,
+            jitter_state: cfg.seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+            cfg,
+            sealed: false,
+        }
+    }
+
+    /// Scheduling quantum with ±50 % deterministic jitter.
+    ///
+    /// Real machines' per-core schedulers drift relative to each other
+    /// (timer skew, interrupts, syscalls); without jitter the simulated
+    /// cores rotate their run queues in perfect lockstep and the identity
+    /// of the *concurrently running* co-runner is frozen by initial queue
+    /// phase — which makes two of the three 4-on-2 mappings behaviourally
+    /// identical and defeats the contention analysis. Jitter restores the
+    /// drift so a time-shared pair faces every other-core process in turn.
+    /// The jitter is wide (uniform in [q/2, 3q/2]) because simulated runs
+    /// span only a handful of quanta, where a real benchmark spans ~10^3 —
+    /// phase mixing must happen correspondingly faster.
+    fn jittered_quantum(&mut self, base: u64) -> u64 {
+        self.jitter_state ^= self.jitter_state << 13;
+        self.jitter_state ^= self.jitter_state >> 7;
+        self.jitter_state ^= self.jitter_state << 17;
+        let span = base; // +/- 50%
+        if span == 0 {
+            return base.max(1);
+        }
+        base - span / 2 + self.jitter_state % span
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    fn add_thread_raw(
+        &mut self,
+        pid: usize,
+        factory: GenFactory,
+        gating: bool,
+        quantum_divisor: u64,
+    ) -> usize {
+        let tid = self.threads.len();
+        let base_seed = self
+            .cfg
+            .seed
+            .wrapping_add((tid as u64 + 1).wrapping_mul(0xD1B54A32D192ED03));
+        let gen = factory.make(base_seed);
+        self.threads
+            .push(Thread::new(tid, pid, gen, base_seed, gating));
+        self.factories.push(factory);
+        self.quantum_divisor.push(quantum_divisor);
+        self.proc_threads[pid].push(tid);
+        tid
+    }
+
+    /// Add a single-threaded process; returns its pid. Must be called
+    /// before [`Machine::start`].
+    pub fn add_process(&mut self, spec: &WorkloadSpec) -> usize {
+        assert!(!self.sealed, "cannot add processes after start()");
+        let pid = self.proc_names.len();
+        self.proc_names.push(spec.name.clone());
+        self.proc_threads.push(Vec::new());
+        self.add_thread_raw(pid, GenFactory::Single(spec.clone()), true, 1);
+        self.gating_procs += 1;
+        pid
+    }
+
+    /// Add a multi-threaded process with `n` threads; returns its pid.
+    pub fn add_multithreaded(&mut self, spec: &ThreadSpec, n: usize) -> usize {
+        assert!(!self.sealed, "cannot add processes after start()");
+        assert!(n >= 1);
+        let pid = self.proc_names.len();
+        self.proc_names.push(spec.name.clone());
+        self.proc_threads.push(Vec::new());
+        for inner in 0..n {
+            self.add_thread_raw(pid, GenFactory::Multi(spec.clone(), inner), true, 1);
+        }
+        self.gating_procs += 1;
+        pid
+    }
+
+    /// Add a non-gating background service (Dom0-style): it runs forever
+    /// with a reduced quantum share and does not block completion.
+    pub fn add_background(&mut self, spec: &WorkloadSpec, quantum_divisor: u64) -> usize {
+        assert!(!self.sealed, "cannot add processes after start()");
+        let pid = self.proc_names.len();
+        self.proc_names.push(spec.name.clone());
+        self.proc_threads.push(Vec::new());
+        self.add_thread_raw(
+            pid,
+            GenFactory::Single(spec.clone()),
+            false,
+            quantum_divisor.max(1),
+        );
+        pid
+    }
+
+    /// The Dom0 control-domain service workload for the configured L2.
+    pub fn dom0_spec(&self) -> WorkloadSpec {
+        let l2 = self.cfg.l2.size_bytes;
+        WorkloadSpec {
+            name: "dom0".into(),
+            pattern: Pattern::HotCold {
+                hot: l2 / 16,
+                cold: l2 / 2,
+                hot_prob: 0.7,
+            },
+            compute_gap: (5, 15),
+            write_ratio: 0.3,
+            work: u64::MAX / 2,
+        }
+    }
+
+    /// Seal the process table, place threads on cores (round-robin for
+    /// managed threads unless `initial` is given; Dom0 — added here when
+    /// the virtualization model asks for it — goes to core 0).
+    pub fn start(&mut self, initial: Option<&Mapping>) {
+        assert!(!self.sealed, "start() called twice");
+        let managed = self.threads.len();
+        if self.cfg.virt.is_some_and(|v| v.dom0) {
+            let spec = self.dom0_spec();
+            self.add_background(&spec, 8);
+        }
+        self.sealed = true;
+        let default = Mapping::round_robin(managed, self.cfg.cores);
+        let mapping = initial.unwrap_or(&default);
+        assert_eq!(
+            mapping.len(),
+            managed,
+            "initial mapping must cover every managed thread"
+        );
+        for (tid, core) in mapping.iter() {
+            assert!(core < self.cfg.cores);
+            self.sched.enqueue(core, tid);
+        }
+        // Background threads (everything after `managed`) go to core 0.
+        for tid in managed..self.threads.len() {
+            self.sched.enqueue(0, tid);
+        }
+    }
+
+    /// Number of managed (gating) threads — the domain of [`Mapping`]s.
+    pub fn managed_threads(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| t.counts_for_completion)
+            .count()
+    }
+
+    /// Move threads according to `mapping` (affinity change). Running
+    /// threads being migrated are switched out immediately (their signature
+    /// sample is taken, and the context-switch cost is charged).
+    pub fn apply_mapping(&mut self, mapping: &Mapping) {
+        assert!(self.sealed, "start() the machine before remapping");
+        for (tid, target) in mapping.iter() {
+            debug_assert!(self.threads[tid].counts_for_completion);
+            if self.sched.core_of(tid) == Some(target) {
+                continue;
+            }
+            if let Some((old_core, was_running)) = self.sched.remove(tid) {
+                if was_running {
+                    self.take_signature_sample(old_core, tid);
+                    self.clocks[old_core] += self.switch_cost();
+                    self.switches += 1;
+                }
+            }
+            self.sched.enqueue(target, tid);
+            // A previously idle core inherits the frontier clock so the
+            // migrated thread does not "time travel".
+            let frontier = self.active_min_clock().unwrap_or(0);
+            if self.clocks[target] < frontier && self.sched.load(target) == 1 {
+                self.clocks[target] = frontier;
+            }
+        }
+    }
+
+    /// Current thread→core assignment of managed threads.
+    pub fn current_mapping(&self) -> Mapping {
+        let managed = self.managed_threads();
+        Mapping::new(
+            (0..managed)
+                .map(|tid| self.sched.core_of(tid).expect("managed thread placed"))
+                .collect(),
+        )
+    }
+
+    fn switch_cost(&self) -> u64 {
+        self.cfg.timing.context_switch + self.cfg.virt.map_or(0, |v| v.vm_switch_extra)
+    }
+
+    fn take_signature_sample(&mut self, core: usize, tid: usize) {
+        if let Some(sig) = &mut self.sig {
+            let sample = sig.switch_out(core);
+            self.threads[tid].sig.update(&sample);
+        }
+    }
+
+    fn active_min_clock(&self) -> Option<u64> {
+        (0..self.cfg.cores)
+            .filter(|&c| self.sched.has_work(c))
+            .map(|c| self.clocks[c])
+            .min()
+    }
+
+    /// The simulation frontier: the smallest clock among active cores (or
+    /// the largest clock overall when everything is idle).
+    pub fn now(&self) -> u64 {
+        self.active_min_clock()
+            .unwrap_or_else(|| self.clocks.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Execute one operation on the most-behind active core. Returns false
+    /// when no core has work.
+    pub fn step_one(&mut self) -> bool {
+        debug_assert!(self.sealed, "start() the machine first");
+        let Some(core) = (0..self.cfg.cores)
+            .filter(|&c| self.sched.has_work(c))
+            .min_by_key(|&c| self.clocks[c])
+        else {
+            return false;
+        };
+
+        let tid = match self.sched.current(core) {
+            Some(t) => t,
+            None => {
+                let base = self.cfg.effective_quantum();
+                let quantum = self.jittered_quantum(base);
+                let t = self
+                    .sched
+                    .dispatch(core, quantum) // provisional; corrected below
+                    .expect("has_work implies dispatchable");
+                let div = self.quantum_divisor[t];
+                if div > 1 {
+                    self.sched.rearm(core, quantum / div);
+                }
+                t
+            }
+        };
+
+        let op = self.threads[tid].gen.next_op();
+        let instrs = op.instructions();
+        let mut cost = match op {
+            Op::Compute(n) => u64::from(n),
+            Op::Load(a) | Op::Store(a) => {
+                let pid = self.threads[tid].pid as u64;
+                let va = a | ((pid + 1) << ASID_SHIFT);
+                let addr = if self.cfg.paging {
+                    let pfn = translate_page(va >> PAGE_SHIFT);
+                    Address((pfn << PAGE_SHIFT) | (va & ((1 << PAGE_SHIFT) - 1)))
+                } else {
+                    Address(va)
+                };
+                let now = self.clocks[core];
+                let resp = match &mut self.sig {
+                    Some(unit) => self.mem.access(core, addr, op.is_write(), now, unit),
+                    None => self
+                        .mem
+                        .access(core, addr, op.is_write(), now, &mut NullSink),
+                };
+                let t = &mut self.threads[tid];
+                t.mem_ops += 1;
+                if resp.level != AccessLevel::L1 {
+                    t.l2_accesses += 1;
+                    if resp.level == AccessLevel::Memory {
+                        t.l2_misses += 1;
+                    }
+                }
+                self.cfg.timing.mem_cost(resp.level, resp.dram_cycles)
+            }
+        };
+
+        if let Some(v) = self.cfg.virt {
+            let t = &mut self.threads[tid];
+            let acc = t.tax_accum + v.tax_num * instrs;
+            cost += acc / v.tax_den;
+            t.tax_accum = acc % v.tax_den;
+        }
+
+        self.clocks[core] += cost;
+        {
+            let t = &mut self.threads[tid];
+            t.user_cycles += cost;
+            t.retired += instrs;
+        }
+        if self.threads[tid].run_complete() {
+            self.complete_and_restart(tid, core);
+        }
+        if self.sched.charge(core, cost) {
+            self.context_switch(core);
+        }
+        true
+    }
+
+    fn complete_and_restart(&mut self, tid: usize, core: usize) {
+        let t = &mut self.threads[tid];
+        t.completions += 1;
+        if t.first_completion_user.is_none() {
+            t.first_completion_user = Some(t.user_cycles);
+            t.first_completion_wall = Some(self.clocks[core]);
+        }
+        t.retired = 0;
+        let seed = t
+            .base_seed
+            .wrapping_add(u64::from(t.completions).wrapping_mul(0xBF58476D1CE4E5B9));
+        t.gen = self.factories[tid].make(seed);
+    }
+
+    fn context_switch(&mut self, core: usize) {
+        let Some(cur) = self.sched.current(core) else {
+            return;
+        };
+        self.take_signature_sample(core, cur);
+        if self.sched.load(core) > 1 {
+            self.sched.preempt(core);
+            self.clocks[core] += self.switch_cost();
+            self.switches += 1;
+        } else {
+            // Solo thread: no one to switch to; just re-arm the quantum
+            // (the snapshot above still refreshes the signature sample).
+            let base = self.cfg.effective_quantum() / self.quantum_divisor[cur];
+            let quantum = self.jittered_quantum(base.max(1));
+            self.sched.rearm(core, quantum.max(1));
+        }
+    }
+
+    /// Run until the frontier advances by `cycles` (or work runs out).
+    pub fn run_for(&mut self, cycles: u64) {
+        let target = self.now().saturating_add(cycles);
+        while self.now() < target {
+            if !self.step_one() {
+                break;
+            }
+        }
+    }
+
+    /// Whether every gating process has completed at least one run.
+    pub fn all_complete(&self) -> bool {
+        self.threads
+            .iter()
+            .filter(|t| t.counts_for_completion)
+            .all(|t| t.completions >= 1)
+    }
+
+    /// Run until every gating process completes once, or `max_cycles` of
+    /// frontier progress elapse.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> RunOutcome {
+        if !self.sealed {
+            self.start(None);
+        }
+        let deadline = self.now().saturating_add(max_cycles);
+        while !self.all_complete() && self.now() < deadline {
+            if !self.step_one() {
+                break;
+            }
+        }
+        self.outcome()
+    }
+
+    /// Snapshot the per-process outcome so far.
+    pub fn outcome(&self) -> RunOutcome {
+        let procs = (0..self.proc_names.len())
+            .filter(|&pid| {
+                self.proc_threads[pid]
+                    .iter()
+                    .all(|&t| self.threads[t].counts_for_completion)
+            })
+            .map(|pid| {
+                let tids = &self.proc_threads[pid];
+                let user: u64 = tids
+                    .iter()
+                    .map(|&t| {
+                        let th = &self.threads[t];
+                        th.first_completion_user.unwrap_or(th.user_cycles)
+                    })
+                    .sum();
+                let wall = tids
+                    .iter()
+                    .map(|&t| self.threads[t].first_completion_wall.unwrap_or(u64::MAX))
+                    .max()
+                    .unwrap_or(u64::MAX);
+                ProcOutcome {
+                    pid,
+                    name: self.proc_names[pid].clone(),
+                    user_cycles: user,
+                    wall_cycles: wall,
+                }
+            })
+            .collect();
+        RunOutcome {
+            completed: self.all_complete(),
+            wall_cycles: self.now(),
+            procs,
+        }
+    }
+
+    /// The "syscall" interface of Section 3.2: per-process, per-thread
+    /// signature contexts and perf counters for the allocation policies.
+    pub fn query_views(&self) -> Vec<ProcView> {
+        (0..self.proc_names.len())
+            .filter(|&pid| {
+                self.proc_threads[pid]
+                    .iter()
+                    .all(|&t| self.threads[t].counts_for_completion)
+            })
+            .map(|pid| ProcView {
+                pid,
+                name: self.proc_names[pid].clone(),
+                threads: self.proc_threads[pid]
+                    .iter()
+                    .map(|&t| {
+                        let th = &self.threads[t];
+                        ThreadView {
+                            tid: th.tid,
+                            pid,
+                            name: self.proc_names[pid].clone(),
+                            occupancy: th.sig.occupancy_ewma,
+                            symbiosis: th.sig.symbiosis_ewma.clone(),
+                            overlap: th.sig.overlap_ewma.clone(),
+                            last_occupancy: th.sig.last_occupancy,
+                            last_core: th.sig.last_core,
+                            samples: th.sig.samples,
+                            filter_len: th.sig.filter_len,
+                            l2_miss_rate: th.l2_miss_rate(),
+                            l2_misses: th.l2_misses,
+                            retired: th.retired,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Direct access to a thread (tests, figure probes).
+    pub fn thread(&self, tid: usize) -> &Thread {
+        &self.threads[tid]
+    }
+
+    /// Total threads including background.
+    pub fn threads_len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Process name by pid.
+    pub fn proc_name(&self, pid: usize) -> &str {
+        &self.proc_names[pid]
+    }
+
+    /// The signature unit, when attached.
+    pub fn signature(&self) -> Option<&SignatureUnit> {
+        self.sig.as_ref()
+    }
+
+    /// The memory system (footprint ground truth, stats).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Context switches performed.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbio_workloads::spec2006;
+
+    const L2: u64 = 256 << 10;
+
+    fn tiny_spec(name: &str, work: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: name.into(),
+            pattern: Pattern::RandomUniform { region: 16 << 10 },
+            compute_gap: (2, 4),
+            write_ratio: 0.2,
+            work,
+        }
+    }
+
+    #[test]
+    fn single_process_completes() {
+        let mut m = Machine::new(MachineConfig::scaled_core2duo(1));
+        m.add_process(&tiny_spec("a", 50_000));
+        let out = m.run_to_completion(1_000_000_000);
+        assert!(out.completed);
+        assert_eq!(out.procs.len(), 1);
+        assert!(out.procs[0].user_cycles > 50_000);
+    }
+
+    #[test]
+    fn four_processes_two_cores_all_complete() {
+        let mut m = Machine::new(MachineConfig::scaled_core2duo(2));
+        for n in ["a", "b", "c", "d"] {
+            m.add_process(&tiny_spec(n, 30_000));
+        }
+        let out = m.run_to_completion(1_000_000_000);
+        assert!(out.completed);
+        assert_eq!(out.procs.len(), 4);
+        for p in &out.procs {
+            assert!(p.user_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn signature_samples_flow_to_contexts() {
+        let mut m = Machine::new(MachineConfig::scaled_core2duo(3));
+        for n in ["a", "b", "c", "d"] {
+            m.add_process(&tiny_spec(n, 10_000_000));
+        }
+        m.start(None);
+        m.run_for(12_000_000);
+        let views = m.query_views();
+        assert_eq!(views.len(), 4);
+        for v in &views {
+            let t = &v.threads[0];
+            assert!(t.samples > 0, "{} has no signature samples", v.name);
+            assert_eq!(t.symbiosis.len(), 2);
+        }
+    }
+
+    #[test]
+    fn no_signature_unit_when_disabled() {
+        let mut m = Machine::new(MachineConfig::scaled_core2duo(1).without_signature());
+        m.add_process(&tiny_spec("a", 10_000));
+        let _ = m.run_to_completion(100_000_000);
+        assert!(m.signature().is_none());
+    }
+
+    #[test]
+    fn mapping_confines_threads_to_cores() {
+        let mut m = Machine::new(MachineConfig::scaled_core2duo(4));
+        for n in ["a", "b", "c", "d"] {
+            m.add_process(&tiny_spec(n, 10_000_000));
+        }
+        let map = Mapping::new(vec![0, 0, 1, 1]);
+        m.start(Some(&map));
+        m.run_for(500_000);
+        assert_eq!(m.current_mapping(), map);
+    }
+
+    #[test]
+    fn remapping_moves_threads() {
+        let mut m = Machine::new(MachineConfig::scaled_core2duo(5));
+        for n in ["a", "b", "c", "d"] {
+            m.add_process(&tiny_spec(n, 10_000_000));
+        }
+        m.start(None);
+        m.run_for(300_000);
+        let map = Mapping::new(vec![0, 0, 1, 1]);
+        m.apply_mapping(&map);
+        m.run_for(300_000);
+        assert_eq!(m.current_mapping(), map);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = || {
+            let mut m = Machine::new(MachineConfig::scaled_core2duo(9));
+            m.add_process(&spec2006::gobmk(L2));
+            m.add_process(&spec2006::soplex(L2));
+            m.run_to_completion(2_000_000_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.procs[0].user_cycles, b.procs[0].user_cycles);
+        assert_eq!(a.procs[1].user_cycles, b.procs[1].user_cycles);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |s| {
+            let mut m = Machine::new(MachineConfig::scaled_core2duo(s));
+            m.add_process(&tiny_spec("a", 200_000));
+            m.run_to_completion(1_000_000_000).procs[0].user_cycles
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn vm_mode_adds_overhead() {
+        let native = {
+            let mut m = Machine::new(MachineConfig::scaled_core2duo(11));
+            m.add_process(&tiny_spec("a", 100_000));
+            m.run_to_completion(1_000_000_000).procs[0].user_cycles
+        };
+        let vm = {
+            let mut m = Machine::new(MachineConfig::scaled_vm(11));
+            m.add_process(&tiny_spec("a", 100_000));
+            m.run_to_completion(1_000_000_000).procs[0].user_cycles
+        };
+        assert!(
+            vm > native + native / 50,
+            "VM run ({vm}) should cost visibly more than native ({native})"
+        );
+    }
+
+    #[test]
+    fn dom0_present_only_in_vm_mode() {
+        let mut n = Machine::new(MachineConfig::scaled_core2duo(1));
+        n.add_process(&tiny_spec("a", 1_000));
+        n.start(None);
+        assert_eq!(n.threads_len(), 1);
+
+        let mut v = Machine::new(MachineConfig::scaled_vm(1));
+        v.add_process(&tiny_spec("a", 1_000));
+        v.start(None);
+        assert_eq!(v.threads_len(), 2, "dom0 added");
+        assert_eq!(v.proc_name(1), "dom0");
+        // Dom0 never gates completion.
+        let out = v.run_to_completion(1_000_000_000);
+        assert!(out.completed);
+        assert_eq!(out.procs.len(), 1);
+    }
+
+    #[test]
+    fn multithreaded_process_completes() {
+        use symbio_workloads::parsec;
+        let mut m = Machine::new(MachineConfig::scaled_core2duo(21));
+        let mut spec = parsec::swaptions(L2);
+        spec.work = 50_000;
+        m.add_multithreaded(&spec, 4);
+        let out = m.run_to_completion(2_000_000_000);
+        assert!(out.completed);
+        assert_eq!(out.procs.len(), 1);
+        // Four threads' user time summed.
+        assert!(out.procs[0].user_cycles >= 4 * 50_000);
+    }
+
+    #[test]
+    fn co_scheduling_on_one_core_serialises() {
+        // Two threads pinned to core 0 while core 1 idles: wall time must
+        // be ~2x each thread's user time.
+        let mut m = Machine::new(MachineConfig::scaled_core2duo(31));
+        m.add_process(&tiny_spec("a", 200_000));
+        m.add_process(&tiny_spec("b", 200_000));
+        m.start(Some(&Mapping::new(vec![0, 0])));
+        let out = m.run_to_completion(1_000_000_000);
+        assert!(out.completed);
+        let total_user: u64 = out.procs.iter().map(|p| p.user_cycles).sum();
+        let wall = out.procs.iter().map(|p| p.wall_cycles).max().unwrap();
+        assert!(
+            wall >= total_user * 9 / 10,
+            "wall {wall} should approach summed user {total_user}"
+        );
+        assert!(m.switches() > 0);
+    }
+}

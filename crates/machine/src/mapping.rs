@@ -1,0 +1,112 @@
+//! Thread→core mappings.
+
+use serde::{Deserialize, Serialize};
+
+/// An assignment of every thread (by flat thread id) to a core.
+///
+/// This is the object allocation policies produce and the machine's
+/// affinity interface consumes — the moral equivalent of the paper's
+/// user-level process setting affinity bits via `sched_setaffinity`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    cores: Vec<usize>,
+}
+
+impl Mapping {
+    /// Build from a per-thread core vector.
+    pub fn new(cores: Vec<usize>) -> Self {
+        Mapping { cores }
+    }
+
+    /// Round-robin default placement (`tid % n_cores`) — the "default
+    /// schedule with which the processes began execution" referenced in
+    /// Section 5.3.
+    pub fn round_robin(threads: usize, n_cores: usize) -> Self {
+        Mapping {
+            cores: (0..threads).map(|t| t % n_cores).collect(),
+        }
+    }
+
+    /// Core of thread `tid`.
+    #[inline]
+    pub fn core_of(&self, tid: usize) -> usize {
+        self.cores[tid]
+    }
+
+    /// Number of threads covered.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// True when no threads are covered.
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Iterate `(tid, core)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.cores.iter().copied().enumerate()
+    }
+
+    /// Thread ids assigned to `core`, ascending.
+    pub fn threads_on(&self, core: usize) -> Vec<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == core)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Group sizes per core (for balance checks).
+    pub fn group_sizes(&self, n_cores: usize) -> Vec<usize> {
+        let mut sizes = vec![0; n_cores];
+        for &c in &self.cores {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// A canonical key that identifies the *partition* this mapping induces
+    /// (which threads are grouped together), ignoring core labels — two
+    /// mappings that co-schedule the same groups are behaviourally
+    /// identical on a symmetric machine.
+    pub fn partition_key(&self, n_cores: usize) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = (0..n_cores).map(|c| self.threads_on(c)).collect();
+        groups.retain(|g| !g.is_empty());
+        groups.sort();
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_interleaves() {
+        let m = Mapping::round_robin(4, 2);
+        assert_eq!(m.core_of(0), 0);
+        assert_eq!(m.core_of(1), 1);
+        assert_eq!(m.core_of(2), 0);
+        assert_eq!(m.core_of(3), 1);
+        assert_eq!(m.threads_on(0), vec![0, 2]);
+        assert_eq!(m.group_sizes(2), vec![2, 2]);
+    }
+
+    #[test]
+    fn partition_key_ignores_core_labels() {
+        let a = Mapping::new(vec![0, 0, 1, 1]);
+        let b = Mapping::new(vec![1, 1, 0, 0]);
+        assert_eq!(a.partition_key(2), b.partition_key(2));
+        let c = Mapping::new(vec![0, 1, 0, 1]);
+        assert_ne!(a.partition_key(2), c.partition_key(2));
+    }
+
+    #[test]
+    fn empty_mapping() {
+        let m = Mapping::new(vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-core run queues with a fixed quantum — the slice of the OS the
+//! paper's mechanism interacts with.
+//!
+//! The user-level allocator only ever sets *affinity* (which queue a thread
+//! waits in); time-sharing within a core stays round-robin, so threads
+//! herded onto one core never run concurrently but also never starve
+//! (Section 3.2).
+
+use std::collections::VecDeque;
+
+/// Round-robin scheduler state.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    queues: Vec<VecDeque<usize>>,
+    running: Vec<Option<usize>>,
+    quantum_left: Vec<i64>,
+}
+
+impl Scheduler {
+    /// Empty scheduler for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        Scheduler {
+            queues: vec![VecDeque::new(); cores],
+            running: vec![None; cores],
+            quantum_left: vec![0; cores],
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Append `tid` to `core`'s queue.
+    pub fn enqueue(&mut self, core: usize, tid: usize) {
+        self.queues[core].push_back(tid);
+    }
+
+    /// The thread currently on `core`.
+    #[inline]
+    pub fn current(&self, core: usize) -> Option<usize> {
+        self.running[core]
+    }
+
+    /// Whether `core` has anything to run (running or queued).
+    #[inline]
+    pub fn has_work(&self, core: usize) -> bool {
+        self.running[core].is_some() || !self.queues[core].is_empty()
+    }
+
+    /// Threads on `core` including the running one (running first).
+    pub fn threads_on(&self, core: usize) -> Vec<usize> {
+        self.running[core]
+            .into_iter()
+            .chain(self.queues[core].iter().copied())
+            .collect()
+    }
+
+    /// Pop the next queued thread onto the core and arm its quantum.
+    /// Returns the dispatched tid, or `None` if the queue is empty.
+    pub fn dispatch(&mut self, core: usize, quantum: u64) -> Option<usize> {
+        debug_assert!(self.running[core].is_none());
+        let tid = self.queues[core].pop_front()?;
+        self.running[core] = Some(tid);
+        self.quantum_left[core] = quantum as i64;
+        Some(tid)
+    }
+
+    /// Re-arm the running quantum (used for solo threads and for
+    /// background threads with reduced quantum shares).
+    pub fn rearm(&mut self, core: usize, quantum: u64) {
+        self.quantum_left[core] = quantum as i64;
+    }
+
+    /// Charge `cycles` against the running quantum; true when it expired.
+    pub fn charge(&mut self, core: usize, cycles: u64) -> bool {
+        self.quantum_left[core] -= cycles as i64;
+        self.quantum_left[core] <= 0
+    }
+
+    /// Deschedule the running thread back to its queue tail; returns it.
+    pub fn preempt(&mut self, core: usize) -> Option<usize> {
+        let tid = self.running[core].take()?;
+        self.queues[core].push_back(tid);
+        Some(tid)
+    }
+
+    /// Remove `tid` from wherever it lives (for an affinity move).
+    /// Returns the core it was on and whether it was actively running.
+    pub fn remove(&mut self, tid: usize) -> Option<(usize, bool)> {
+        for core in 0..self.queues.len() {
+            if self.running[core] == Some(tid) {
+                self.running[core] = None;
+                return Some((core, true));
+            }
+            if let Some(pos) = self.queues[core].iter().position(|&t| t == tid) {
+                self.queues[core].remove(pos);
+                return Some((core, false));
+            }
+        }
+        None
+    }
+
+    /// The core `tid` is currently assigned to, if any.
+    pub fn core_of(&self, tid: usize) -> Option<usize> {
+        (0..self.queues.len())
+            .find(|&c| self.running[c] == Some(tid) || self.queues[c].contains(&tid))
+    }
+
+    /// Number of threads assigned to `core` (running + queued).
+    pub fn load(&self, core: usize) -> usize {
+        usize::from(self.running[core].is_some()) + self.queues[core].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_pops_fifo() {
+        let mut s = Scheduler::new(1);
+        s.enqueue(0, 5);
+        s.enqueue(0, 7);
+        assert_eq!(s.dispatch(0, 100), Some(5));
+        assert_eq!(s.current(0), Some(5));
+        assert_eq!(s.load(0), 2);
+    }
+
+    #[test]
+    fn quantum_expires_after_charges() {
+        let mut s = Scheduler::new(1);
+        s.enqueue(0, 1);
+        s.dispatch(0, 100);
+        assert!(!s.charge(0, 60));
+        assert!(s.charge(0, 60), "overshoot ends the quantum");
+    }
+
+    #[test]
+    fn preempt_round_robins() {
+        let mut s = Scheduler::new(1);
+        s.enqueue(0, 1);
+        s.enqueue(0, 2);
+        s.dispatch(0, 10);
+        assert_eq!(s.preempt(0), Some(1));
+        assert_eq!(s.dispatch(0, 10), Some(2));
+        s.preempt(0);
+        assert_eq!(s.dispatch(0, 10), Some(1), "rotation returns to 1");
+    }
+
+    #[test]
+    fn remove_running_thread() {
+        let mut s = Scheduler::new(2);
+        s.enqueue(0, 3);
+        s.dispatch(0, 10);
+        assert_eq!(s.remove(3), Some((0, true)));
+        assert_eq!(s.current(0), None);
+        assert!(!s.has_work(0));
+    }
+
+    #[test]
+    fn remove_queued_thread() {
+        let mut s = Scheduler::new(2);
+        s.enqueue(1, 3);
+        s.enqueue(1, 4);
+        assert_eq!(s.remove(4), Some((1, false)));
+        assert_eq!(s.threads_on(1), vec![3]);
+        assert_eq!(s.remove(99), None);
+    }
+
+    #[test]
+    fn core_of_finds_thread() {
+        let mut s = Scheduler::new(2);
+        s.enqueue(1, 8);
+        assert_eq!(s.core_of(8), Some(1));
+        s.dispatch(1, 10);
+        assert_eq!(s.core_of(8), Some(1));
+        assert_eq!(s.core_of(9), None);
+    }
+
+    #[test]
+    fn threads_on_lists_running_first() {
+        let mut s = Scheduler::new(1);
+        s.enqueue(0, 1);
+        s.enqueue(0, 2);
+        s.dispatch(0, 10);
+        assert_eq!(s.threads_on(0), vec![1, 2]);
+    }
+}

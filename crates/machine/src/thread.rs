@@ -1,0 +1,283 @@
+//! Threads, processes and their signature contexts.
+
+use serde::{Deserialize, Serialize};
+use symbio_cbf::SignatureSample;
+use symbio_workloads::WorkloadGen;
+
+/// Exponential-moving-average weight for signature smoothing. The paper
+/// keeps only the latest sample; we retain that (`last`) and additionally an
+/// EWMA, which allocation policies use because a single quantum's RBV is
+/// noisy at simulation scale.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// The paper's per-process `(2 + N)`-entry context structure (Section 3.2):
+/// last core, occupancy weight, and symbiosis with each core — maintained
+/// here per *thread* so the multi-threaded two-phase algorithm (Section
+/// 3.3.4) can work at thread granularity.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SigContext {
+    /// Core the thread last ran on.
+    pub last_core: Option<usize>,
+    /// Latest RBV occupancy sample.
+    pub last_occupancy: u32,
+    /// Latest symbiosis vector.
+    pub last_symbiosis: Vec<u32>,
+    /// Smoothed occupancy.
+    pub occupancy_ewma: f64,
+    /// Smoothed symbiosis per core.
+    pub symbiosis_ewma: Vec<f64>,
+    /// Latest contested-capacity (overlap) vector.
+    pub last_overlap: Vec<u32>,
+    /// Smoothed contested capacity per core.
+    pub overlap_ewma: Vec<f64>,
+    /// Number of samples folded in.
+    pub samples: u64,
+    /// Filter width (for normalisation).
+    pub filter_len: usize,
+}
+
+impl SigContext {
+    /// Fold in a context-switch sample.
+    pub fn update(&mut self, sample: &SignatureSample) {
+        self.last_core = Some(sample.core);
+        self.last_occupancy = sample.occupancy;
+        self.last_symbiosis = sample.symbiosis.clone();
+        self.last_overlap = sample.overlap.clone();
+        self.filter_len = sample.filter_len;
+        if self.samples == 0 {
+            self.occupancy_ewma = f64::from(sample.occupancy);
+            self.symbiosis_ewma = sample.symbiosis.iter().map(|&s| f64::from(s)).collect();
+            self.overlap_ewma = sample.overlap.iter().map(|&s| f64::from(s)).collect();
+        } else {
+            self.occupancy_ewma =
+                EWMA_ALPHA * f64::from(sample.occupancy) + (1.0 - EWMA_ALPHA) * self.occupancy_ewma;
+            for (e, &s) in self.symbiosis_ewma.iter_mut().zip(&sample.symbiosis) {
+                *e = EWMA_ALPHA * f64::from(s) + (1.0 - EWMA_ALPHA) * *e;
+            }
+            for (e, &s) in self.overlap_ewma.iter_mut().zip(&sample.overlap) {
+                *e = EWMA_ALPHA * f64::from(s) + (1.0 - EWMA_ALPHA) * *e;
+            }
+        }
+        self.samples += 1;
+    }
+}
+
+/// A simulated thread (a single-threaded process has exactly one).
+#[derive(Debug)]
+pub struct Thread {
+    /// Flat thread id (index into the machine's thread table).
+    pub tid: usize,
+    /// Owning process id.
+    pub pid: usize,
+    /// Workload generator.
+    pub gen: WorkloadGen,
+    /// Base seed used to derive restart generators.
+    pub base_seed: u64,
+    /// Instructions retired in the current run.
+    pub retired: u64,
+    /// Instructions per complete run.
+    pub work: u64,
+    /// Cycles this thread has actually executed (user time).
+    pub user_cycles: u64,
+    /// Completed runs.
+    pub completions: u32,
+    /// User cycles at first completion.
+    pub first_completion_user: Option<u64>,
+    /// Wall-clock (core clock) at first completion.
+    pub first_completion_wall: Option<u64>,
+    /// Whether this thread's completion gates the experiment (Dom0 and
+    /// other background services do not).
+    pub counts_for_completion: bool,
+    /// Signature context updated at context switches.
+    pub sig: SigContext,
+    /// L2 misses attributed to this thread.
+    pub l2_misses: u64,
+    /// L2 accesses attributed to this thread.
+    pub l2_accesses: u64,
+    /// Memory instructions issued.
+    pub mem_ops: u64,
+    /// Fractional-tax accumulator for the hypervisor instruction tax.
+    pub tax_accum: u64,
+}
+
+impl Thread {
+    /// Create a thread around a generator.
+    pub fn new(
+        tid: usize,
+        pid: usize,
+        gen: WorkloadGen,
+        base_seed: u64,
+        counts_for_completion: bool,
+    ) -> Self {
+        let work = gen.work();
+        Thread {
+            tid,
+            pid,
+            gen,
+            base_seed,
+            retired: 0,
+            work,
+            user_cycles: 0,
+            completions: 0,
+            first_completion_user: None,
+            first_completion_wall: None,
+            counts_for_completion,
+            sig: SigContext::default(),
+            l2_misses: 0,
+            l2_accesses: 0,
+            mem_ops: 0,
+            tax_accum: 0,
+        }
+    }
+
+    /// Whether the current run is complete.
+    #[inline]
+    pub fn run_complete(&self) -> bool {
+        self.retired >= self.work
+    }
+
+    /// Miss rate over issued memory ops (the event-counter metric).
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l2_accesses as f64
+        }
+    }
+}
+
+/// Read-only view of a thread exposed through the "syscall" interface.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadView {
+    /// Flat thread id.
+    pub tid: usize,
+    /// Owning process.
+    pub pid: usize,
+    /// Workload name.
+    pub name: String,
+    /// Smoothed occupancy weight.
+    pub occupancy: f64,
+    /// Smoothed symbiosis per core.
+    pub symbiosis: Vec<f64>,
+    /// Smoothed contested capacity (overlap) per core; see
+    /// [`symbio_cbf::SignatureSample::overlap`].
+    pub overlap: Vec<f64>,
+    /// Latest raw sample occupancy.
+    pub last_occupancy: u32,
+    /// Core last run on.
+    pub last_core: Option<usize>,
+    /// Signature samples observed.
+    pub samples: u64,
+    /// Filter width.
+    pub filter_len: usize,
+    /// L2 miss rate (perf-counter metric, for the baseline scheduler).
+    pub l2_miss_rate: f64,
+    /// L2 misses (absolute).
+    pub l2_misses: u64,
+    /// Instructions retired in the current run.
+    pub retired: u64,
+}
+
+impl ThreadView {
+    /// The paper's interference metric with core `j` (reciprocal smoothed
+    /// symbiosis, clamped like [`SignatureSample::interference_with`]).
+    pub fn interference_with(&self, j: usize) -> f64 {
+        let s = self.symbiosis.get(j).copied().unwrap_or(0.0);
+        if s < 0.5 {
+            2.0
+        } else {
+            1.0 / s
+        }
+    }
+
+    /// Contested capacity with core `j` (the overlap interference metric).
+    pub fn contested_with(&self, j: usize) -> f64 {
+        self.overlap.get(j).copied().unwrap_or(0.0)
+    }
+}
+
+/// Read-only view of a process (its threads grouped).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcView {
+    /// Process id.
+    pub pid: usize,
+    /// Workload name.
+    pub name: String,
+    /// Thread views.
+    pub threads: Vec<ThreadView>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(core: usize, occ: u32, sym: Vec<u32>) -> SignatureSample {
+        let overlap = vec![0; sym.len()];
+        SignatureSample {
+            core,
+            occupancy: occ,
+            symbiosis: sym,
+            overlap,
+            filter_len: 4096,
+        }
+    }
+
+    #[test]
+    fn first_sample_initialises_ewma() {
+        let mut c = SigContext::default();
+        c.update(&sample(1, 100, vec![10, 20]));
+        assert_eq!(c.occupancy_ewma, 100.0);
+        assert_eq!(c.symbiosis_ewma, vec![10.0, 20.0]);
+        assert_eq!(c.last_core, Some(1));
+        assert_eq!(c.samples, 1);
+    }
+
+    #[test]
+    fn ewma_smooths_subsequent_samples() {
+        let mut c = SigContext::default();
+        c.update(&sample(0, 100, vec![10]));
+        c.update(&sample(0, 0, vec![0]));
+        assert!((c.occupancy_ewma - 70.0).abs() < 1e-9);
+        assert!((c.symbiosis_ewma[0] - 7.0).abs() < 1e-9);
+        assert_eq!(c.last_occupancy, 0, "last keeps the raw value");
+    }
+
+    #[test]
+    fn interference_clamps_zero_symbiosis() {
+        let v = ThreadView {
+            tid: 0,
+            pid: 0,
+            name: "x".into(),
+            occupancy: 5.0,
+            symbiosis: vec![0.0, 4.0],
+            overlap: vec![7.0, 3.0],
+            last_occupancy: 5,
+            last_core: None,
+            samples: 1,
+            filter_len: 64,
+            l2_miss_rate: 0.0,
+            l2_misses: 0,
+            retired: 0,
+        };
+        assert_eq!(v.interference_with(0), 2.0);
+        assert!((v.interference_with(1) - 0.25).abs() < 1e-12);
+        assert_eq!(v.interference_with(9), 2.0, "missing core treated as 0");
+        assert_eq!(v.contested_with(0), 7.0);
+        assert_eq!(v.contested_with(9), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_guards_divzero() {
+        use symbio_workloads::{Pattern, WorkloadSpec};
+        let spec = WorkloadSpec {
+            name: "t".into(),
+            pattern: Pattern::RandomUniform { region: 4096 },
+            compute_gap: (0, 0),
+            write_ratio: 0.0,
+            work: 10,
+        };
+        let t = Thread::new(0, 0, spec.instantiate(1), 1, true);
+        assert_eq!(t.l2_miss_rate(), 0.0);
+        assert!(!t.run_complete());
+    }
+}

@@ -1,0 +1,92 @@
+//! Cycle-accounting model.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency parameters (cycles). DRAM latency comes from the
+/// [`symbio_cache::Dram`] queue model, not from here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Total cost of a memory instruction that hits the L1.
+    pub l1_hit: u64,
+    /// Additional cost of an L1 miss that hits the L2.
+    pub l2_hit_extra: u64,
+    /// Fraction of the DRAM latency that actually stalls the core, as a
+    /// rational `num/den`. Out-of-order execution, hardware prefetch and
+    /// memory-level parallelism on the Core 2 Duo hide most of a miss; the
+    /// DRAM *channel* is still occupied for the full transfer (bandwidth
+    /// contention is unaffected by this knob).
+    pub mem_stall_num: u64,
+    /// Denominator of the stall fraction.
+    pub mem_stall_den: u64,
+    /// Direct cost of an OS context switch (register/TLB work); the
+    /// indirect cost — cache warm-up — emerges from the cache model.
+    pub context_switch: u64,
+}
+
+impl TimingModel {
+    /// Default model: 1-cycle L1, +14 L2, 40 % exposed miss stall,
+    /// 5k-cycle context switch.
+    pub fn default_model() -> Self {
+        TimingModel {
+            l1_hit: 1,
+            l2_hit_extra: 14,
+            mem_stall_num: 2,
+            mem_stall_den: 5,
+            context_switch: 5_000,
+        }
+    }
+
+    /// A fully-blocking in-order variant (no latency hiding) for ablation.
+    pub fn blocking_model() -> Self {
+        TimingModel {
+            mem_stall_num: 1,
+            mem_stall_den: 1,
+            ..TimingModel::default_model()
+        }
+    }
+
+    /// Cost of a memory instruction serviced at `level`, where
+    /// `dram_cycles` is the DRAM queue+latency component for misses.
+    pub fn mem_cost(&self, level: symbio_cache::AccessLevel, dram_cycles: u64) -> u64 {
+        match level {
+            symbio_cache::AccessLevel::L1 => self.l1_hit,
+            symbio_cache::AccessLevel::L2 => self.l1_hit + self.l2_hit_extra,
+            symbio_cache::AccessLevel::Memory => {
+                self.l1_hit
+                    + self.l2_hit_extra
+                    + dram_cycles * self.mem_stall_num / self.mem_stall_den
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbio_cache::AccessLevel;
+
+    #[test]
+    fn costs_are_monotone_in_depth() {
+        let t = TimingModel::default_model();
+        let l1 = t.mem_cost(AccessLevel::L1, 0);
+        let l2 = t.mem_cost(AccessLevel::L2, 0);
+        let mem = t.mem_cost(AccessLevel::Memory, 200);
+        assert!(l1 < l2 && l2 < mem);
+        assert_eq!(l1, 1);
+        assert_eq!(l2, 15);
+        assert_eq!(mem, 15 + 200 * 2 / 5);
+    }
+
+    #[test]
+    fn dram_component_added_only_on_miss() {
+        let t = TimingModel::default_model();
+        assert_eq!(t.mem_cost(AccessLevel::L2, 0), 15);
+        assert_eq!(t.mem_cost(AccessLevel::Memory, 230), 15 + 230 * 2 / 5);
+    }
+
+    #[test]
+    fn blocking_model_exposes_full_latency() {
+        let t = TimingModel::blocking_model();
+        assert_eq!(t.mem_cost(AccessLevel::Memory, 200), 215);
+    }
+}

@@ -1,0 +1,39 @@
+//! # symbio-workloads
+//!
+//! Synthetic workload models standing in for the paper's benchmark suites:
+//! 12 SPEC CPU2006 programs ([`spec2006`]) and 8 PARSEC multi-threaded
+//! applications ([`parsec`]).
+//!
+//! A workload is a deterministic, seeded generator of [`Op`]s — compute
+//! bursts and memory loads/stores over a virtual address space private to
+//! the process (threads of one process share it). The scheduling behaviour
+//! the paper measures is driven entirely by a workload's *memory
+//! character*:
+//!
+//! * **working-set size relative to the shared L2** (does it fit alone?
+//!   does it fit when sharing?),
+//! * **locality pattern** (reuse-heavy hot/cold vs pointer-chase vs pure
+//!   streaming),
+//! * **memory intensity** (compute gap between accesses), and
+//! * **bandwidth demand** (line-touch rate that can saturate the DRAM
+//!   channel).
+//!
+//! Each profile in [`spec2006`] documents which published behaviour of the
+//! real program it mimics. Working-set sizes are expressed as *fractions of
+//! the L2 capacity* so experiments are scale-invariant (the simulator runs a
+//! 1/16-scale Core 2 Duo by default).
+
+#![warn(missing_docs)]
+
+pub mod op;
+pub mod parsec;
+pub mod pattern;
+pub mod rng;
+pub mod spec;
+pub mod spec2006;
+pub mod synthetic;
+
+pub use op::Op;
+pub use pattern::Pattern;
+pub use rng::SplitMix64;
+pub use spec::{ThreadSpec, WorkloadGen, WorkloadSpec};

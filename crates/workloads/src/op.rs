@@ -1,0 +1,69 @@
+//! The unit of simulated execution.
+
+use serde::{Deserialize, Serialize};
+
+/// One step emitted by a workload generator.
+///
+/// Instruction accounting: `Compute(n)` retires `n` instructions; a `Load`
+/// or `Store` retires one. The timing model adds memory latency on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// `n` cycles of L1-resident computation (n ≥ 1).
+    Compute(u32),
+    /// Read from a byte address in the process's virtual space.
+    Load(u64),
+    /// Write to a byte address in the process's virtual space.
+    Store(u64),
+}
+
+impl Op {
+    /// Instructions retired by this op.
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        match self {
+            Op::Compute(n) => u64::from(*n),
+            Op::Load(_) | Op::Store(_) => 1,
+        }
+    }
+
+    /// The memory address touched, if any.
+    #[inline]
+    pub fn address(&self) -> Option<u64> {
+        match self {
+            Op::Compute(_) => None,
+            Op::Load(a) | Op::Store(a) => Some(*a),
+        }
+    }
+
+    /// True for `Store`.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Store(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_accounting() {
+        assert_eq!(Op::Compute(10).instructions(), 10);
+        assert_eq!(Op::Load(0).instructions(), 1);
+        assert_eq!(Op::Store(0).instructions(), 1);
+    }
+
+    #[test]
+    fn address_extraction() {
+        assert_eq!(Op::Compute(3).address(), None);
+        assert_eq!(Op::Load(0x40).address(), Some(0x40));
+        assert_eq!(Op::Store(0x80).address(), Some(0x80));
+    }
+
+    #[test]
+    fn write_flag() {
+        assert!(Op::Store(1).is_write());
+        assert!(!Op::Load(1).is_write());
+        assert!(!Op::Compute(1).is_write());
+    }
+}

@@ -1,0 +1,130 @@
+//! Fast deterministic RNG for the access-generator hot loop.
+//!
+//! The generators sit on the innermost simulation path (hundreds of millions
+//! of calls per sweep), so we use SplitMix64 — 3 arithmetic ops per draw,
+//! full 64-bit state, passes BigCrush — instead of the slower general-purpose
+//! `StdRng`. `rand` remains in use for test-side generation.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 PRNG.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded constructor (any seed is fine, including 0).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (`bound > 0`).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping (Lemire); bias is < 2^-64
+        // per draw, irrelevant at simulation scale.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn below_roughly_uniform() {
+        let mut r = SplitMix64::new(8);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "bucket count {b} skewed");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = SplitMix64::new(4);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = SplitMix64::new(6);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let v = r.range(3, 5);
+            assert!((3..=5).contains(&v));
+            lo_seen |= v == 3;
+            hi_seen |= v == 5;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

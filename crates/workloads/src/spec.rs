@@ -1,0 +1,270 @@
+//! Workload specifications and their runtime generators.
+
+use crate::op::Op;
+use crate::pattern::{Pattern, PatternGen};
+use crate::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Base of the per-thread private address slabs (shared data lives below).
+pub const PRIVATE_BASE: u64 = 1 << 32;
+/// Span reserved for each thread's private slab.
+pub const PRIVATE_SPAN: u64 = 1 << 28;
+
+/// A single-threaded workload description (one SPEC-like program).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Benchmark name (e.g. `"mcf"`).
+    pub name: String,
+    /// Memory access pattern.
+    pub pattern: Pattern,
+    /// Uniform range of compute cycles between consecutive memory ops —
+    /// the memory-intensity knob (0,0 = back-to-back accesses).
+    pub compute_gap: (u32, u32),
+    /// Fraction of memory ops that are stores.
+    pub write_ratio: f64,
+    /// Instructions to retire for one complete run.
+    pub work: u64,
+}
+
+impl WorkloadSpec {
+    /// Build the runtime generator with a seed (generators with equal specs
+    /// and seeds produce identical streams).
+    pub fn instantiate(&self, seed: u64) -> WorkloadGen {
+        WorkloadGen {
+            name: self.name.clone(),
+            source: Source::Single {
+                gen: self.pattern.generator(),
+            },
+            compute_gap: self.compute_gap,
+            write_ratio: self.write_ratio,
+            work: self.work,
+            rng: SplitMix64::new(seed),
+            emit_compute_next: false,
+        }
+    }
+}
+
+/// One thread of a multi-threaded (PARSEC-like) workload: a mixture of
+/// accesses to the process-shared region and to a thread-private slab.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadSpec {
+    /// Application name (e.g. `"ferret"`).
+    pub name: String,
+    /// Pattern over the process-shared region (same addresses for every
+    /// thread of the process — this is what makes intra-process
+    /// "interference" actually constructive sharing, Section 3.3.4).
+    pub shared: Pattern,
+    /// Pattern over the thread-private slab.
+    pub private: Pattern,
+    /// Probability that an access goes to the shared region.
+    pub shared_prob: f64,
+    /// Compute cycles between memory ops.
+    pub compute_gap: (u32, u32),
+    /// Fraction of stores.
+    pub write_ratio: f64,
+    /// Instructions per thread for one complete run.
+    pub work: u64,
+}
+
+impl ThreadSpec {
+    /// Instantiate the generator for thread `tid`.
+    pub fn instantiate(&self, seed: u64, tid: usize) -> WorkloadGen {
+        WorkloadGen {
+            name: self.name.clone(),
+            source: Source::Mixed {
+                shared: self.shared.generator(),
+                private: self.private.generator(),
+                shared_prob: self.shared_prob,
+                private_base: PRIVATE_BASE + tid as u64 * PRIVATE_SPAN,
+            },
+            compute_gap: self.compute_gap,
+            write_ratio: self.write_ratio,
+            work: self.work,
+            rng: SplitMix64::new(seed ^ (tid as u64).wrapping_mul(0xA5A5_A5A5_A5A5_A5A5)),
+            emit_compute_next: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Source {
+    Single {
+        gen: PatternGen,
+    },
+    Mixed {
+        shared: PatternGen,
+        private: PatternGen,
+        shared_prob: f64,
+        private_base: u64,
+    },
+}
+
+/// Runtime op generator for one thread of execution.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    name: String,
+    source: Source,
+    compute_gap: (u32, u32),
+    write_ratio: f64,
+    work: u64,
+    rng: SplitMix64,
+    emit_compute_next: bool,
+}
+
+impl WorkloadGen {
+    /// Benchmark name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instructions required to complete one run.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Next operation. Alternates memory ops with `Compute` gaps drawn from
+    /// the configured range; the stream is infinite (the machine layer
+    /// counts retired instructions against [`WorkloadGen::work`]).
+    pub fn next_op(&mut self) -> Op {
+        if self.emit_compute_next {
+            self.emit_compute_next = false;
+            let (lo, hi) = self.compute_gap;
+            let gap = if hi == 0 {
+                0
+            } else {
+                self.rng.range(u64::from(lo), u64::from(hi)) as u32
+            };
+            if gap > 0 {
+                return Op::Compute(gap);
+            }
+            // Zero gap drawn: fall through to the memory op.
+        }
+
+        let addr = match &mut self.source {
+            Source::Single { gen } => gen.next_addr(&mut self.rng),
+            Source::Mixed {
+                shared,
+                private,
+                shared_prob,
+                private_base,
+            } => {
+                if self.rng.chance(*shared_prob) {
+                    shared.next_addr(&mut self.rng)
+                } else {
+                    *private_base + private.next_addr(&mut self.rng)
+                }
+            }
+        };
+        self.emit_compute_next = self.compute_gap.1 > 0;
+        if self.rng.chance(self.write_ratio) {
+            Op::Store(addr)
+        } else {
+            Op::Load(addr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(gap: (u32, u32), write_ratio: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "t".into(),
+            pattern: Pattern::RandomUniform { region: 1 << 16 },
+            compute_gap: gap,
+            write_ratio,
+            work: 1000,
+        }
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let s = spec((1, 4), 0.3);
+        let mut a = s.instantiate(9);
+        let mut b = s.instantiate(9);
+        for _ in 0..200 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let s = spec((1, 4), 0.3);
+        let mut a = s.instantiate(1);
+        let mut b = s.instantiate(2);
+        let same = (0..100).filter(|_| a.next_op() == b.next_op()).count();
+        assert!(same < 100);
+    }
+
+    #[test]
+    fn zero_gap_all_memory_ops() {
+        let mut g = spec((0, 0), 0.0).instantiate(5);
+        for _ in 0..100 {
+            assert!(matches!(g.next_op(), Op::Load(_)));
+        }
+    }
+
+    #[test]
+    fn gaps_interleave_memory_ops() {
+        let mut g = spec((3, 3), 0.0).instantiate(5);
+        let ops: Vec<Op> = (0..10).map(|_| g.next_op()).collect();
+        // Strict alternation when the gap range is degenerate-nonzero.
+        for (i, op) in ops.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(matches!(op, Op::Load(_)), "op {i} = {op:?}");
+            } else {
+                assert_eq!(*op, Op::Compute(3), "op {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_ratio_respected() {
+        let mut g = spec((0, 0), 0.5).instantiate(5);
+        let writes = (0..20_000).filter(|_| g.next_op().is_write()).count();
+        assert!((9_000..11_000).contains(&writes), "writes {writes}");
+    }
+
+    #[test]
+    fn threads_share_shared_region_but_not_private() {
+        let t = ThreadSpec {
+            name: "app".into(),
+            shared: Pattern::RandomUniform { region: 4096 },
+            private: Pattern::RandomUniform { region: 4096 },
+            shared_prob: 0.5,
+            compute_gap: (0, 0),
+            write_ratio: 0.0,
+            work: 100,
+        };
+        let mut t0 = t.instantiate(7, 0);
+        let mut t1 = t.instantiate(7, 1);
+        let collect = |g: &mut WorkloadGen| -> (Vec<u64>, Vec<u64>) {
+            let mut shared = vec![];
+            let mut private = vec![];
+            for _ in 0..1000 {
+                let a = g.next_op().address().unwrap();
+                if a < PRIVATE_BASE {
+                    shared.push(a);
+                } else {
+                    private.push(a);
+                }
+            }
+            (shared, private)
+        };
+        let (s0, p0) = collect(&mut t0);
+        let (s1, p1) = collect(&mut t1);
+        assert!(!s0.is_empty() && !s1.is_empty());
+        // Shared addresses live in the same region for both threads.
+        assert!(s0.iter().chain(&s1).all(|&a| a < 4096));
+        // Private slabs are disjoint.
+        let max0 = p0.iter().max().unwrap();
+        let min1 = p1.iter().min().unwrap();
+        assert!(max0 < min1, "thread slabs must not overlap");
+    }
+
+    #[test]
+    fn work_is_reported() {
+        assert_eq!(spec((0, 0), 0.0).instantiate(1).work(), 1000);
+    }
+}

@@ -1,0 +1,75 @@
+//! Consolidation advisor: given a set of workloads, which should share a
+//! core?
+//!
+//! The scenario from the paper's introduction: an operator packs jobs onto
+//! a dual-core box with a shared L2 and wants the placement that minimises
+//! destructive cache interference. This example profiles the workloads,
+//! prints each one's footprint signature summary, and recommends a
+//! placement with the expected benefit.
+//!
+//! Run: `cargo run --release --example consolidation_advisor [bench ...]`
+//! (default: bzip2 gcc mcf soplex)
+
+use symbio::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        ["bzip2", "gcc", "mcf", "soplex"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+    let cfg = ExperimentConfig::scaled(11);
+    let l2 = cfg.machine.l2.size_bytes;
+    let specs: Vec<WorkloadSpec> = names
+        .iter()
+        .map(|n| spec2006::by_name(n, l2).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+        .collect();
+
+    let pipeline = Pipeline::new(cfg);
+    let mut policy = WeightedInterferenceGraphPolicy::default();
+    let profile = pipeline.profile(&specs, &mut policy);
+
+    // Show what the signatures said.
+    let mut m = Machine::new(cfg.machine);
+    for s in &specs {
+        m.add_process(s);
+    }
+    m.start(None);
+    m.run_for(cfg.profile_cycles / 2);
+    println!("signature summary (per-quantum RBV statistics):");
+    println!(
+        "{:<12}{:>12}{:>14}{:>12}",
+        "workload", "occupancy", "miss rate", "samples"
+    );
+    for v in m.query_views() {
+        let t = &v.threads[0];
+        println!(
+            "{:<12}{:>12.0}{:>13.1}%{:>12}",
+            v.name,
+            t.occupancy,
+            t.l2_miss_rate * 100.0,
+            t.samples
+        );
+    }
+
+    println!(
+        "\nrecommended placement: {:?}",
+        profile.winner.partition_key(2)
+    );
+    for core in 0..2 {
+        let group: Vec<&str> = (0..specs.len())
+            .filter(|&t| profile.winner.core_of(t) == core)
+            .map(|t| names[t].as_str())
+            .collect();
+        println!("  core {core}: {}", group.join(" + "));
+    }
+
+    // Quantify the advice against the alternatives.
+    let result = pipeline.evaluate_mix_with_choice(&specs, &profile.winner, policy.name());
+    println!("\nmeasured user cycles under every placement:");
+    println!("{}", result.table());
+}

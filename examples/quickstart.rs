@@ -1,0 +1,43 @@
+//! Quickstart: evaluate one benchmark mix end-to-end.
+//!
+//! Builds the scaled Core 2 Duo, profiles a 4-benchmark mix under the
+//! Bloom-filter signature unit, lets the weighted interference graph
+//! algorithm choose a process→core mapping, measures every candidate
+//! mapping, and prints the Table-1-style result.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use symbio::prelude::*;
+
+fn main() {
+    let cfg = ExperimentConfig::scaled(7);
+    let l2 = cfg.machine.l2.size_bytes;
+
+    // Pick four SPEC2006-like programs: two cache-hungry, two benign.
+    let specs: Vec<WorkloadSpec> = ["mcf", "omnetpp", "povray", "sjeng"]
+        .iter()
+        .map(|n| spec2006::by_name(n, l2).expect("known benchmark"))
+        .collect();
+
+    let pipeline = Pipeline::new(cfg);
+    let mut policy = WeightedInterferenceGraphPolicy::default();
+
+    println!("profiling with the CBF signature unit...");
+    let profile = pipeline.profile(&specs, &mut policy);
+    println!(
+        "majority mapping after {} invocations: {:?}",
+        profile.invocations,
+        profile.winner.partition_key(2)
+    );
+
+    println!("\nmeasuring all candidate mappings (signature off)...");
+    let result = pipeline.evaluate_mix_with_choice(&specs, &profile.winner, policy.name());
+    println!("{}", result.table());
+
+    for (pid, name) in result.names.iter().enumerate() {
+        println!(
+            "{name:<10} improvement over worst mapping: {:>5.1}%",
+            result.improvement_vs_worst(pid) * 100.0
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration: allocation algorithms driven by real simulated signatures.
+
+use symbio::prelude::*;
+
+fn specs(names: &[&str]) -> Vec<WorkloadSpec> {
+    let l2 = 256 << 10;
+    names
+        .iter()
+        .map(|n| spec2006::by_name(n, l2).unwrap())
+        .collect()
+}
+
+/// The canonical clear-cut case: two cache-hungry interferers (mcf,
+/// omnetpp) and two compute-bound programs. Both graph policies and weight
+/// sorting should group the interferers so they time-share.
+#[test]
+fn clear_cut_mix_groups_the_interferers() {
+    let cfg = ExperimentConfig::scaled(77);
+    let pipeline = Pipeline::new(cfg);
+    let s = specs(&["mcf", "omnetpp", "povray", "sjeng"]);
+    for make in [
+        || Box::new(WeightSortPolicy) as Box<dyn AllocationPolicy>,
+        || Box::new(WeightedInterferenceGraphPolicy::default()) as Box<dyn AllocationPolicy>,
+    ] {
+        let mut policy = make();
+        let prof = pipeline.profile(&s, policy.as_mut());
+        let m = &prof.winner;
+        assert_eq!(
+            m.core_of(0),
+            m.core_of(1),
+            "{}: mcf and omnetpp should time-share one core, got {:?}",
+            policy.name(),
+            m.partition_key(2)
+        );
+    }
+}
+
+#[test]
+fn grouping_the_interferers_beats_worst_mapping() {
+    // Physics check through the full pipeline plumbing: co-locating the
+    // two interferers must visibly improve mcf over the worst mapping.
+    let cfg = ExperimentConfig::scaled(78);
+    let pipeline = Pipeline::new(cfg);
+    let s = specs(&["mcf", "omnetpp", "povray", "sjeng"]);
+    let grouped = Mapping::new(vec![0, 0, 1, 1]);
+    let r = pipeline.evaluate_mix_with_choice(&s, &grouped, "oracle-grouped");
+    let mcf = 0;
+    assert!(
+        r.improvement_vs_worst(mcf) > 0.05,
+        "mcf should gain visibly from symbiotic placement, got {:.3}",
+        r.improvement_vs_worst(mcf)
+    );
+}
+
+#[test]
+fn all_policies_produce_balanced_mappings_from_live_views() {
+    let cfg = ExperimentConfig::fast(79);
+    let pipeline = Pipeline::new(cfg);
+    let s = specs(&["astar", "bzip2", "gcc", "gobmk"]);
+    let policies: Vec<Box<dyn AllocationPolicy>> = vec![
+        Box::new(WeightSortPolicy),
+        Box::new(InterferenceGraphPolicy::default()),
+        Box::new(WeightedInterferenceGraphPolicy::default()),
+        Box::new(WeightedInterferenceGraphPolicy::paper_literal()),
+        Box::new(PairwisePolicy::new()),
+        Box::new(MissRateSortPolicy),
+        Box::new(AffinityPolicy),
+        Box::new(RandomPolicy::new(7)),
+        Box::new(DefaultPolicy),
+    ];
+    for mut p in policies {
+        let prof = pipeline.profile(&s, p.as_mut());
+        assert_eq!(
+            prof.winner.group_sizes(2),
+            vec![2, 2],
+            "{} must emit balanced mappings",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn two_phase_keeps_thread_subgroups_together_live() {
+    let l2 = 256 << 10;
+    let cfg = ExperimentConfig::fast(80);
+    let pipeline = Pipeline::new(cfg);
+    let mut a = parsec::ferret(l2);
+    a.work /= 4;
+    let mut b = parsec::swaptions(l2);
+    b.work /= 4;
+    let mut policy = TwoPhasePolicy::default();
+    let prof = pipeline.profile_multithreaded(&[a, b], 4, &mut policy);
+    assert_eq!(prof.winner.len(), 8);
+    assert_eq!(prof.winner.group_sizes(2), vec![4, 4]);
+    // Each app must span both cores (phase-1 subgroups split).
+    for base in [0usize, 4] {
+        let cores: std::collections::HashSet<_> =
+            (0..4).map(|i| prof.winner.core_of(base + i)).collect();
+        assert_eq!(cores.len(), 2, "app at tids {base}.. must span both cores");
+    }
+}

@@ -1,0 +1,64 @@
+//! Integration: everything is reproducible from the seed.
+
+use symbio::prelude::*;
+
+fn specs() -> Vec<WorkloadSpec> {
+    let l2 = 256 << 10;
+    ["mcf", "gcc", "povray", "soplex"]
+        .iter()
+        .map(|n| {
+            let mut s = spec2006::by_name(n, l2).unwrap();
+            s.work /= 4;
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let pipeline = Pipeline::new(ExperimentConfig::fast(4242));
+        let mut policy = WeightedInterferenceGraphPolicy::default();
+        pipeline.evaluate_mix(&specs(), &mut policy)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.user_cycles, b.user_cycles);
+    assert_eq!(a.chosen, b.chosen);
+}
+
+#[test]
+fn seeds_change_outcomes() {
+    let run = |seed| {
+        let pipeline = Pipeline::new(ExperimentConfig::fast(seed));
+        let mut policy = WeightSortPolicy;
+        pipeline.evaluate_mix(&specs(), &mut policy).user_cycles
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn parallel_sweep_matches_serial() {
+    let l2 = 256 << 10;
+    let pool: Vec<WorkloadSpec> = ["mcf", "povray", "gobmk", "libquantum", "gcc"]
+        .iter()
+        .map(|n| {
+            let mut s = spec2006::by_name(n, l2).unwrap();
+            s.work /= 8;
+            s
+        })
+        .collect();
+    let cfg = ExperimentConfig::fast(777);
+    let opts = |threads| symbio::sweep::SweepOptions {
+        mix_size: 4,
+        stride: 1,
+        threads,
+    };
+    let serial = sweep_pool(cfg, &pool, &|| Box::new(WeightSortPolicy), opts(1));
+    let parallel = sweep_pool(cfg, &pool, &|| Box::new(WeightSortPolicy), opts(4));
+    assert_eq!(serial.results.len(), parallel.results.len());
+    for (s, p) in serial.results.iter().zip(&parallel.results) {
+        assert_eq!(s.user_cycles, p.user_cycles);
+        assert_eq!(s.chosen, p.chosen);
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration: the paper's qualitative result shapes hold end-to-end.
+//! These are the claims EXPERIMENTS.md reports quantitatively; here we
+//! pin the directions so regressions get caught.
+
+use symbio::prelude::*;
+use symbio_machine::Machine;
+
+const L2: u64 = 256 << 10;
+
+fn co_run_degradation(victim: &str, aggressor: &str, seed: u64) -> f64 {
+    let solo = {
+        let mut m = Machine::new(MachineConfig::scaled_core2duo(seed).without_signature());
+        m.add_process(&spec2006::by_name(victim, L2).unwrap());
+        m.start(Some(&Mapping::new(vec![0])));
+        m.run_to_completion(100_000_000_000).procs[0].user_cycles as f64
+    };
+    let mut m = Machine::new(MachineConfig::scaled_core2duo(seed).without_signature());
+    m.add_process(&spec2006::by_name(victim, L2).unwrap());
+    m.add_process(&spec2006::by_name(aggressor, L2).unwrap());
+    m.start(Some(&Mapping::new(vec![0, 1])));
+    let t = m.run_to_completion(100_000_000_000).procs[0].user_cycles as f64;
+    t / solo - 1.0
+}
+
+#[test]
+fn shared_cache_hurts_sensitive_apps_severely() {
+    // Paper Figure 3(b): mcf-class programs degrade dramatically.
+    assert!(co_run_degradation("mcf", "omnetpp", 42) > 0.3);
+    assert!(co_run_degradation("soplex", "mcf", 42) > 0.3);
+}
+
+#[test]
+fn compute_and_bandwidth_bound_apps_are_immune() {
+    // Paper Section 5.1.1: povray (compute) and hmmer (bandwidth).
+    assert!(co_run_degradation("povray", "mcf", 42) < 0.10);
+    assert!(co_run_degradation("hmmer", "libquantum", 42) < 0.12);
+}
+
+#[test]
+fn private_l2_time_sharing_is_benign() {
+    // Paper Figure 3(a): < 10% on the P4 SMP control.
+    let cfg = MachineConfig::scaled_p4_smp(42).without_signature();
+    let l2 = cfg.l2.size_bytes;
+    let solo = {
+        let mut m = Machine::new(cfg);
+        m.add_process(&spec2006::by_name("mcf", l2).unwrap());
+        m.start(Some(&Mapping::new(vec![0])));
+        m.run_to_completion(200_000_000_000).procs[0].user_cycles as f64
+    };
+    let mut m = Machine::new(cfg);
+    m.add_process(&spec2006::by_name("mcf", l2).unwrap());
+    m.add_process(&spec2006::by_name("libquantum", l2).unwrap());
+    m.start(Some(&Mapping::new(vec![0, 0])));
+    let t = m.run_to_completion(200_000_000_000).procs[0].user_cycles as f64;
+    assert!(
+        t / solo - 1.0 < 0.10,
+        "same-core time sharing must stay benign, got {:.3}",
+        t / solo - 1.0
+    );
+}
+
+#[test]
+fn literal_symbiosis_metric_is_core_placement_invariant() {
+    // The degeneracy documented in DESIGN.md: from a balanced 2-core
+    // placement, both cross-core pairings have identical cut weight under
+    // the paper's literal metric.
+    use symbio_allocator::graph::{InterferenceGraph, InterferenceMetric};
+    use symbio_machine::ThreadView;
+    let view = |tid: usize, sym: Vec<f64>, core: usize| ThreadView {
+        tid,
+        pid: tid,
+        name: format!("p{tid}"),
+        occupancy: 10.0 + tid as f64,
+        symbiosis: sym.clone(),
+        overlap: sym.iter().map(|s| 200.0 - s).collect(),
+        last_occupancy: 10,
+        last_core: Some(core),
+        samples: 1,
+        filter_len: 4096,
+        l2_miss_rate: 0.1,
+        l2_misses: 1,
+        retired: 0,
+    };
+    // Arbitrary asymmetric data; a, b on core 0; x, y on core 1.
+    let a = view(0, vec![10.0, 40.0], 0);
+    let b = view(1, vec![20.0, 50.0], 0);
+    let x = view(2, vec![60.0, 30.0], 1);
+    let y = view(3, vec![70.0, 80.0], 1);
+    let g =
+        InterferenceGraph::unweighted(&[&a, &b, &x, &y], InterferenceMetric::ReciprocalSymbiosis);
+    let w = g.weights();
+    let cut_ax_by = w.get(0, 1) + w.get(2, 3) + w.get(0, 3) + w.get(1, 2);
+    let cut_ay_bx = w.get(0, 1) + w.get(2, 3) + w.get(0, 2) + w.get(1, 3);
+    assert!(
+        (cut_ax_by - cut_ay_bx).abs() < 1e-9,
+        "cross pairings tie: {cut_ax_by} vs {cut_ay_bx}"
+    );
+}
+
+#[test]
+fn vm_improvements_lower_but_same_direction() {
+    // Paper Figure 11 vs 10: improvements shrink inside VMs but the
+    // winner mapping stays beneficial. Checked on the clear-cut mix.
+    let specs: Vec<WorkloadSpec> = ["mcf", "omnetpp", "povray", "sjeng"]
+        .iter()
+        .map(|n| spec2006::by_name(n, L2).unwrap())
+        .collect();
+    let grouped = Mapping::new(vec![0, 0, 1, 1]); // interferers together
+    let split = Mapping::new(vec![0, 1, 0, 1]); // interferers apart
+    let gain = |cfg: ExperimentConfig| {
+        let p = Pipeline::new(cfg);
+        let good = p.measure(&specs, &grouped).procs[0].user_cycles as f64;
+        let bad = p.measure(&specs, &split).procs[0].user_cycles as f64;
+        (bad - good) / bad
+    };
+    let native = gain(ExperimentConfig::scaled(99));
+    let vm = gain(ExperimentConfig::scaled(99).virtualized());
+    assert!(native > 0.05, "native gain {native:.3}");
+    assert!(vm > 0.0, "vm gain still positive ({vm:.3})");
+    assert!(
+        vm < native,
+        "vm gain ({vm:.3}) diluted vs native ({native:.3})"
+    );
+}

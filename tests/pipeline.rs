@@ -1,0 +1,91 @@
+//! Integration: the full two-phase pipeline across crates.
+
+use symbio::prelude::*;
+
+fn small_specs(names: &[&str]) -> Vec<WorkloadSpec> {
+    let l2 = 256 << 10;
+    names
+        .iter()
+        .map(|n| {
+            let mut s = spec2006::by_name(n, l2).unwrap();
+            s.work /= 4;
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn evaluate_mix_produces_three_measured_mappings() {
+    let pipeline = Pipeline::new(ExperimentConfig::fast(17));
+    let specs = small_specs(&["mcf", "povray", "libquantum", "gobmk"]);
+    let mut policy = WeightedInterferenceGraphPolicy::default();
+    let r = pipeline.evaluate_mix(&specs, &mut policy);
+    assert_eq!(r.mappings.len(), 3);
+    assert_eq!(r.names, vec!["mcf", "povray", "libquantum", "gobmk"]);
+    for row in &r.user_cycles {
+        assert_eq!(row.len(), 4);
+        assert!(row.iter().all(|&u| u > 0));
+    }
+    assert!(r.chosen < 3);
+}
+
+#[test]
+fn improvements_bounded_and_consistent() {
+    let pipeline = Pipeline::new(ExperimentConfig::fast(18));
+    let specs = small_specs(&["bzip2", "soplex", "povray", "hmmer"]);
+    let mut policy = WeightSortPolicy;
+    let r = pipeline.evaluate_mix(&specs, &mut policy);
+    for pid in 0..4 {
+        let imp = r.improvement_vs_worst(pid);
+        assert!((0.0..=1.0).contains(&imp));
+        assert!(r.best_of(pid) <= r.user_cycles[r.chosen][pid]);
+        assert!(r.user_cycles[r.chosen][pid] <= r.worst_of(pid));
+        assert!((0.0..=1.0).contains(&r.oracle_fraction(pid)));
+    }
+}
+
+#[test]
+fn profile_votes_sum_to_invocations() {
+    let pipeline = Pipeline::new(ExperimentConfig::fast(19));
+    let specs = small_specs(&["gcc", "milc", "omnetpp", "sjeng"]);
+    let mut policy = PairwisePolicy::new();
+    let prof = pipeline.profile(&specs, &mut policy);
+    let total: u32 = prof.votes.iter().map(|(_, c)| c).sum();
+    assert_eq!(total, prof.invocations);
+    assert!(prof.invocations >= 4);
+    assert_eq!(
+        prof.votes[0].0.partition_key(2),
+        prof.winner.partition_key(2)
+    );
+}
+
+#[test]
+fn different_policies_can_share_measured_candidates() {
+    let pipeline = Pipeline::new(ExperimentConfig::fast(20));
+    let specs = small_specs(&["astar", "gobmk", "povray", "soplex"]);
+    let choice = Mapping::new(vec![0, 0, 1, 1]);
+    let r = pipeline.evaluate_mix_with_choice(&specs, &choice, "external");
+    assert_eq!(r.policy, "external");
+    assert_eq!(
+        r.mappings[r.chosen].partition_key(2),
+        choice.partition_key(2)
+    );
+}
+
+#[test]
+fn vm_pipeline_runs_end_to_end() {
+    let cfg = ExperimentConfig::fast(21).virtualized();
+    let pipeline = Pipeline::new(cfg);
+    let specs = small_specs(&["gobmk", "povray", "milc", "sjeng"]);
+    let mut policy = WeightSortPolicy;
+    let r = pipeline.evaluate_mix(&specs, &mut policy);
+    assert_eq!(r.mappings.len(), 3);
+    let native = Pipeline::new(ExperimentConfig::fast(21));
+    let rn = native.evaluate_mix_with_choice(&specs, &r.mappings[r.chosen], "native");
+    let vm_total: u64 = r.user_cycles[r.chosen].iter().sum();
+    let native_total: u64 = rn.user_cycles[r.chosen].iter().sum();
+    assert!(
+        vm_total > native_total,
+        "VM run ({vm_total}) must cost more than native ({native_total})"
+    );
+}

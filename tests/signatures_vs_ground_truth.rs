@@ -1,0 +1,101 @@
+//! Integration: the signature unit's occupancy weight tracks the ground
+//! truth footprint the cache model exposes.
+
+use symbio::prelude::*;
+use symbio_machine::Machine;
+
+#[test]
+fn occupancy_orders_processes_by_footprint() {
+    let cfg = MachineConfig::scaled_core2duo(33);
+    let l2 = cfg.l2.size_bytes;
+    // povray (tiny) vs soplex (about an L2-worth of random lines).
+    let mut m = Machine::new(cfg);
+    m.add_process(&spec2006::by_name("povray", l2).unwrap());
+    m.add_process(&spec2006::by_name("soplex", l2).unwrap());
+    m.start(None);
+    m.run_for(20_000_000);
+    let views = m.query_views();
+    let povray = &views[0].threads[0];
+    let soplex = &views[1].threads[0];
+    assert!(povray.samples > 0 && soplex.samples > 0);
+    assert!(
+        soplex.occupancy > povray.occupancy * 3.0,
+        "soplex occupancy {} must dwarf povray {}",
+        soplex.occupancy,
+        povray.occupancy
+    );
+}
+
+#[test]
+fn global_occupancy_approximates_resident_lines() {
+    let cfg = MachineConfig::scaled_core2duo(34);
+    let l2 = cfg.l2.size_bytes;
+    let mut m = Machine::new(cfg);
+    m.add_process(&spec2006::by_name("soplex", l2).unwrap());
+    m.start(None);
+    m.run_for(10_000_000);
+    let truth = m.memory().l2_resident_total() as f64;
+    let occ = m.signature().unwrap().global_occupancy() as f64;
+    // Hash collisions under-count by the birthday statistics: throwing
+    // `truth` balls into `entries` bins covers entries*(1 - e^(-t/e))
+    // bins. The paper calls this out as the aliasing artefact of the CBF.
+    let entries = m.signature().unwrap().config().entries() as f64;
+    let predicted = entries * (1.0 - (-truth / entries).exp());
+    assert!(
+        occ <= truth * 1.001,
+        "occupancy {occ} cannot exceed residents {truth}"
+    );
+    assert!(
+        (occ - predicted).abs() < predicted * 0.1,
+        "occupancy {occ} should match the collision model ({predicted:.0})"
+    );
+}
+
+#[test]
+fn streaming_process_fills_its_core_filter() {
+    let cfg = MachineConfig::scaled_core2duo(35);
+    let l2 = cfg.l2.size_bytes;
+    let mut m = Machine::new(cfg);
+    m.add_process(&spec2006::by_name("libquantum", l2).unwrap());
+    m.add_process(&spec2006::by_name("povray", l2).unwrap());
+    m.start(None);
+    m.run_for(20_000_000);
+    let sig = m.signature().unwrap();
+    // libquantum runs on core 0 (round robin, pid 0).
+    let libq_fill = sig.core_filter(0).fill_ratio();
+    let povray_fill = sig.core_filter(1).fill_ratio();
+    assert!(
+        libq_fill > 0.5,
+        "a streaming polluter should cover most of the filter ({libq_fill})"
+    );
+    assert!(povray_fill < libq_fill);
+}
+
+#[test]
+fn sampled_unit_sees_quarter_of_traffic() {
+    let mut cfg = MachineConfig::scaled_core2duo(36);
+    let l2 = cfg.l2.size_bytes;
+    let full_fills = {
+        let mut m = Machine::new(cfg);
+        m.add_process(&spec2006::by_name("milc", l2).unwrap());
+        m.start(None);
+        m.run_for(10_000_000);
+        m.signature().unwrap().fills()
+    };
+    cfg.signature = Some(symbio_machine::config::SigOptions {
+        sampling: Sampling::QUARTER,
+        ..symbio_machine::config::SigOptions::default_options()
+    });
+    let sampled_fills = {
+        let mut m = Machine::new(cfg);
+        m.add_process(&spec2006::by_name("milc", l2).unwrap());
+        m.start(None);
+        m.run_for(10_000_000);
+        m.signature().unwrap().fills()
+    };
+    let ratio = sampled_fills as f64 / full_fills as f64;
+    assert!(
+        (0.15..0.40).contains(&ratio),
+        "quarter sampling should observe ~25% of fills, got {ratio:.2}"
+    );
+}

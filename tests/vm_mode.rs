@@ -1,0 +1,76 @@
+//! Integration: virtualization layer behaviour.
+
+use symbio::prelude::*;
+use symbio_machine::Machine;
+
+fn spec(name: &str) -> WorkloadSpec {
+    spec2006::by_name(name, 256 << 10).unwrap()
+}
+
+#[test]
+fn vm_execution_slower_than_native_same_seed() {
+    let run = |cfg: MachineConfig| {
+        let mut m = Machine::new(cfg.without_signature());
+        let mut s = spec("gobmk");
+        s.work /= 8;
+        m.add_process(&s);
+        m.start(Some(&Mapping::new(vec![0])));
+        m.run_to_completion(100_000_000_000).procs[0].user_cycles
+    };
+    let native = run(MachineConfig::scaled_core2duo(91));
+    let vm = run(MachineConfig::scaled_vm(91));
+    assert!(vm > native, "vm {vm} vs native {native}");
+}
+
+#[test]
+fn dom0_runs_but_never_gates_completion() {
+    let mut m = Machine::new(MachineConfig::scaled_vm(92));
+    // Full-length run so the benchmark spans several hypervisor quanta
+    // and Dom0 gets scheduled in between.
+    m.add_process(&spec("povray"));
+    m.start(None);
+    let out = m.run_to_completion(100_000_000_000);
+    assert!(out.completed);
+    assert_eq!(out.procs.len(), 1, "dom0 not reported as a gating process");
+    // Dom0 did execute (its thread consumed cycles).
+    let dom0 = m.thread(1);
+    assert!(dom0.user_cycles > 0);
+    assert!(!dom0.counts_for_completion);
+}
+
+#[test]
+fn hypervisor_quantum_increases_switch_rate() {
+    let switches = |cfg: MachineConfig| {
+        let mut m = Machine::new(cfg);
+        m.add_process(&spec("gobmk"));
+        m.add_process(&spec("milc"));
+        m.start(Some(&Mapping::new(vec![0, 0])));
+        m.run_to_completion(100_000_000_000);
+        m.switches()
+    };
+    let native = switches(MachineConfig::scaled_core2duo(93).without_signature());
+    let mut vmcfg = MachineConfig::scaled_vm(93).without_signature();
+    vmcfg.virt = Some(VirtConfig {
+        dom0: false,
+        ..VirtConfig::default_model()
+    });
+    let vm = switches(vmcfg);
+    assert!(
+        vm > native,
+        "shorter hypervisor quantum must produce more switches ({vm} vs {native})"
+    );
+}
+
+#[test]
+fn per_vm_signatures_collected() {
+    let mut m = Machine::new(MachineConfig::scaled_vm(94));
+    m.add_process(&spec("mcf"));
+    m.add_process(&spec("povray"));
+    m.start(None);
+    m.run_for(20_000_000);
+    let views = m.query_views();
+    assert_eq!(views.len(), 2, "only the VMs are visible to the policy");
+    for v in &views {
+        assert!(v.threads[0].samples > 0, "{} sampled", v.name);
+    }
+}
