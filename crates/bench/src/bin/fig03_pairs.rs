@@ -13,15 +13,20 @@
 use symbio::prelude::*;
 use symbio_machine::Machine;
 
-fn run(cfg: MachineConfig, l2: u64, specs: &[&str], mapping: Vec<usize>) -> Vec<u64> {
+fn run(
+    cfg: MachineConfig,
+    l2: u64,
+    specs: &[&str],
+    mapping: Vec<usize>,
+) -> symbio::Result<Vec<u64>> {
     let mut m = Machine::new(cfg.without_signature());
     for n in specs {
-        m.add_process(&spec2006::by_name(n, l2).unwrap());
+        m.add_process(&spec2006::by_name(n, l2)?);
     }
     m.start(Some(&Mapping::new(mapping)));
     let out = m.run_to_completion(200_000_000_000);
     assert!(out.completed);
-    out.procs.iter().map(|p| p.user_cycles).collect()
+    Ok(out.procs.iter().map(|p| p.user_cycles).collect())
 }
 
 fn pair_table(
@@ -29,7 +34,7 @@ fn pair_table(
     cfg: MachineConfig,
     l2: u64,
     mapping: for<'a> fn() -> Vec<usize>,
-) -> Vec<(String, f64, String)> {
+) -> symbio::Result<Vec<(String, f64, String)>> {
     let names = spec2006::pool_names();
     println!("== {title} ==");
     println!(
@@ -38,14 +43,14 @@ fn pair_table(
     );
     let mut rows = Vec::new();
     for a in &names {
-        let solo = run(cfg, l2, &[a], vec![0])[0] as f64;
+        let solo = run(cfg, l2, &[a], vec![0])?[0] as f64;
         let mut worst = 0.0f64;
         let mut with = String::new();
         for b in &names {
             if a == b {
                 continue;
             }
-            let t = run(cfg, l2, &[a, b], mapping())[0] as f64;
+            let t = run(cfg, l2, &[a, b], mapping())?[0] as f64;
             let d = t / solo - 1.0;
             if d > worst {
                 worst = d;
@@ -55,10 +60,10 @@ fn pair_table(
         println!("{a:<14}{:>13.1}%{with:>16}", worst * 100.0);
         rows.push((a.to_string(), worst, with));
     }
-    rows
+    Ok(rows)
 }
 
-fn main() {
+fn main() -> symbio::Result<()> {
     let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
 
     if which == "a" || which == "both" {
@@ -68,11 +73,11 @@ fn main() {
             cfg,
             cfg.l2.size_bytes,
             || vec![0, 0],
-        );
+        )?;
         let max = rows.iter().map(|r| r.1).fold(0.0, f64::max);
         println!("max degradation {:.1}% (paper: < 10%)\n", max * 100.0);
         assert!(max < 0.12, "private-L2 time-sharing must stay benign");
-        symbio::report::save_json("fig03a_private_pairs", &rows).expect("save");
+        symbio::report::save_json("fig03a_private_pairs", &rows)?;
     }
 
     if which == "b" || which == "both" {
@@ -82,7 +87,7 @@ fn main() {
             cfg,
             cfg.l2.size_bytes,
             || vec![0, 1],
-        );
+        )?;
         let max = rows.iter().map(|r| r.1).fold(0.0, f64::max);
         println!(
             "max degradation {:.1}% (paper: 67% for mcf+libquantum)",
@@ -92,8 +97,13 @@ fn main() {
             max > 0.3,
             "shared-L2 co-running must show severe interference"
         );
-        let povray = rows.iter().find(|r| r.0 == "povray").unwrap().1;
+        let povray = rows
+            .iter()
+            .find(|r| r.0 == "povray")
+            .expect("povray in pool")
+            .1;
         assert!(povray < 0.1, "compute-bound povray must stay unaffected");
-        symbio::report::save_json("fig03b_shared_pairs", &rows).expect("save");
+        symbio::report::save_json("fig03b_shared_pairs", &rows)?;
     }
+    Ok(())
 }

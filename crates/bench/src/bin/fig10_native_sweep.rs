@@ -13,7 +13,7 @@
 
 use symbio::prelude::*;
 
-fn main() {
+fn main() -> symbio::Result<()> {
     let full = std::env::args().any(|a| a == "--full");
     let opts = if full {
         SweepOptions::full()
@@ -23,14 +23,24 @@ fn main() {
     let cfg = ExperimentConfig::scaled(2011);
     let pool = spec2006::pool(cfg.machine.l2.size_bytes);
 
-    let t0 = std::time::Instant::now();
-    let out = sweep_pool(
-        cfg,
-        &pool,
-        &|| Box::new(WeightedInterferenceGraphPolicy::default()),
-        opts,
+    let progress = |p: Progress| eprint!("\r{}/{} mixes", p.done, p.total);
+    let engine = SweepEngine::new(cfg)
+        .options(opts)
+        .memoized()
+        .named("fig10_native")
+        .on_progress(&progress);
+    let out = engine
+        .run_pool(&pool, &|| {
+            Box::new(WeightedInterferenceGraphPolicy::default())
+        })?
+        .expect("uncancelled");
+    let snap = engine.counters().snapshot();
+    eprintln!(
+        "\rsweep took {:.1}s ({} simulations, {} memo hits)",
+        engine.timings().total("evaluate"),
+        snap.sim_runs,
+        snap.memo_hits
     );
-    eprintln!("sweep took {:.1?}", t0.elapsed());
 
     println!(
         "{}",
@@ -51,6 +61,7 @@ fn main() {
         results: Vec::new(), // keep the artifact small; summaries suffice
         ..out
     };
-    let path = report::save_json("fig10_native", &slim).expect("save");
+    let path = report::save_json("fig10_native", &slim)?;
     println!("saved {}", path.display());
+    Ok(())
 }

@@ -12,7 +12,7 @@
 
 use symbio::prelude::*;
 
-fn main() {
+fn main() -> symbio::Result<()> {
     let full = std::env::args().any(|a| a == "--full");
     let opts = if full {
         SweepOptions::full()
@@ -22,14 +22,20 @@ fn main() {
     let cfg = ExperimentConfig::scaled(2011).virtualized();
     let pool = spec2006::pool(cfg.machine.l2.size_bytes);
 
-    let t0 = std::time::Instant::now();
-    let out = sweep_pool(
-        cfg,
-        &pool,
-        &|| Box::new(WeightedInterferenceGraphPolicy::default()),
-        opts,
+    let engine = SweepEngine::new(cfg)
+        .options(opts)
+        .memoized()
+        .named("fig11_vm");
+    let out = engine
+        .run_pool(&pool, &|| {
+            Box::new(WeightedInterferenceGraphPolicy::default())
+        })?
+        .expect("uncancelled");
+    eprintln!(
+        "sweep took {:.1}s ({} simulations)",
+        engine.timings().total("evaluate"),
+        engine.counters().snapshot().sim_runs
     );
-    eprintln!("sweep took {:.1?}", t0.elapsed());
 
     println!(
         "{}",
@@ -43,6 +49,7 @@ fn main() {
         results: Vec::new(),
         ..out
     };
-    let path = report::save_json("fig11_vm", &slim).expect("save");
+    let path = report::save_json("fig11_vm", &slim)?;
     println!("saved {}", path.display());
+    Ok(())
 }

@@ -11,7 +11,7 @@
 
 use symbio::prelude::*;
 
-fn main() {
+fn main() -> symbio::Result<()> {
     let full = std::env::args().any(|a| a == "--full");
     let opts = SweepOptions {
         mix_size: 4,
@@ -21,16 +21,23 @@ fn main() {
     let cfg = ExperimentConfig::scaled(2011);
     let pool = parsec::pool(cfg.machine.l2.size_bytes);
 
-    let t0 = std::time::Instant::now();
-    let out = sweep_multithreaded(
-        cfg,
-        &pool,
-        parsec::THREADS,
-        &|| Box::new(TwoPhasePolicy::default()),
-        opts,
-        6, // random reference placements per mix
+    let engine = SweepEngine::new(cfg)
+        .options(opts)
+        .memoized()
+        .named("fig12_parsec");
+    let out = engine
+        .run_multithreaded(
+            &pool,
+            parsec::THREADS,
+            &|| Box::new(TwoPhasePolicy::default()),
+            6, // random reference placements per mix
+        )?
+        .expect("uncancelled");
+    eprintln!(
+        "sweep took {:.1}s ({} simulations)",
+        engine.timings().total("evaluate"),
+        engine.counters().snapshot().sim_runs
     );
-    eprintln!("sweep took {:.1?}", t0.elapsed());
 
     println!(
         "{}",
@@ -44,6 +51,7 @@ fn main() {
         results: Vec::new(),
         ..out
     };
-    let path = report::save_json("fig12_parsec", &slim).expect("save");
+    let path = report::save_json("fig12_parsec", &slim)?;
     println!("saved {}", path.display());
+    Ok(())
 }

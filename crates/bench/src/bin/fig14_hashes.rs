@@ -30,7 +30,15 @@ fn fill_ratio_probe(cfg: ExperimentConfig, specs: &[WorkloadSpec]) -> f64 {
     total / f64::from(samples)
 }
 
-fn main() {
+fn specs_for(mix: &[&str], l2: u64) -> symbio::Result<Vec<WorkloadSpec>> {
+    let mut v = Vec::new();
+    for n in mix {
+        v.push(spec2006::by_name(n, l2)?);
+    }
+    Ok(v)
+}
+
+fn main() -> symbio::Result<()> {
     let mixes: Vec<Vec<&str>> = vec![
         vec!["gobmk", "hmmer", "libquantum", "povray"],
         vec!["mcf", "hmmer", "libquantum", "omnetpp"],
@@ -51,17 +59,17 @@ fn main() {
             hash,
             ..symbio_machine::config::SigOptions::default_options()
         });
-        let pipeline = Pipeline::new(cfg);
+        // The profiling machine differs per hash, but phase-2 measurement
+        // strips the signature unit — so the cache still shares the
+        // measured mappings across every hash variant.
+        let pipeline = Pipeline::new(cfg).with_memo(std::sync::Arc::new(MeasureCache::new()));
         let mut sum = 0.0;
         let mut n = 0;
         let mut fill = 0.0;
         for mix in &mixes {
-            let specs: Vec<WorkloadSpec> = mix
-                .iter()
-                .map(|x| spec2006::by_name(x, l2).unwrap())
-                .collect();
+            let specs = specs_for(mix, l2)?;
             let mut policy = WeightedInterferenceGraphPolicy::default();
-            let r = pipeline.evaluate_mix(&specs, &mut policy);
+            let r = pipeline.evaluate_mix(&specs, &mut policy)?;
             for pid in 0..4 {
                 sum += r.improvement_vs_worst(pid);
                 n += 1;
@@ -81,6 +89,7 @@ fn main() {
         presence_fill > xor_fill,
         "presence-bit vectors should be at least as saturated as hashed filters"
     );
-    let path = report::save_json("fig14_hashes", &rows).expect("save");
+    let path = report::save_json("fig14_hashes", &rows)?;
     println!("\nsaved {}", path.display());
+    Ok(())
 }

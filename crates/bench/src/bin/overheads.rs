@@ -10,7 +10,7 @@ use symbio::prelude::*;
 use symbio_cbf::overhead::OverheadModel;
 use symbio_machine::Machine;
 
-fn main() {
+fn main() -> symbio::Result<()> {
     println!("== Section 5.4: hardware storage overhead ==");
     let mut m = OverheadModel::paper_dual_core();
     println!(
@@ -36,10 +36,10 @@ fn main() {
     ];
     let mut agree = 0;
     for mix in &mixes {
-        let specs: Vec<WorkloadSpec> = mix
-            .iter()
-            .map(|x| spec2006::by_name(x, l2).unwrap())
-            .collect();
+        let mut specs: Vec<WorkloadSpec> = Vec::new();
+        for x in mix {
+            specs.push(spec2006::by_name(x, l2)?);
+        }
         let decide = |sampling: Sampling| {
             let mut cfg = base;
             cfg.machine.signature = Some(symbio_machine::config::SigOptions {
@@ -68,7 +68,7 @@ fn main() {
     println!("\n== counter-width adequacy (3-bit, Section 5.4 footnote) ==");
     let mut machine = Machine::new(base.machine);
     for n in ["mcf", "libquantum", "omnetpp", "soplex"] {
-        machine.add_process(&spec2006::by_name(n, l2).unwrap());
+        machine.add_process(&spec2006::by_name(n, l2)?);
     }
     machine.start(None);
     machine.run_for(30_000_000);
@@ -91,6 +91,6 @@ fn main() {
             "saturation_events": sat,
             "fills": fills,
         }),
-    )
-    .expect("save");
+    )?;
+    Ok(())
 }

@@ -8,16 +8,16 @@
 
 use symbio::prelude::*;
 
-fn main() {
+fn main() -> symbio::Result<()> {
     let cfg = ExperimentConfig::scaled(2011);
     let l2 = cfg.machine.l2.size_bytes;
-    let specs: Vec<WorkloadSpec> = ["povray", "gobmk", "libquantum", "hmmer"]
-        .iter()
-        .map(|n| spec2006::by_name(n, l2).unwrap())
-        .collect();
+    let mut specs: Vec<WorkloadSpec> = Vec::new();
+    for n in ["povray", "gobmk", "libquantum", "hmmer"] {
+        specs.push(spec2006::by_name(n, l2)?);
+    }
     let pipeline = Pipeline::new(cfg);
     let mut policy = WeightedInterferenceGraphPolicy::default();
-    let result = pipeline.evaluate_mix(&specs, &mut policy);
+    let result = pipeline.evaluate_mix(&specs, &mut policy)?;
 
     println!("== Table 1: user cycles for all mappings (A=povray B=gobmk C=libquantum D=hmmer) ==");
     println!("{}", result.table());
@@ -46,6 +46,7 @@ fn main() {
         spread("gobmk").max(spread("libquantum")) > 0.02,
         "the sensitive pair must show a visible swing"
     );
-    let path = symbio::report::save_json("table1_example_mix", &result).expect("save");
+    let path = symbio::report::save_json("table1_example_mix", &result)?;
     println!("saved {}", path.display());
+    Ok(())
 }

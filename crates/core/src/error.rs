@@ -1,0 +1,98 @@
+//! Typed errors for the `symbio` facade.
+//!
+//! Experiment code used to panic or unwrap `Option`s at every seam
+//! (benchmark lookup, mix construction, config assembly, artifact I/O).
+//! The v2 facade routes all of those through one error type so binaries
+//! can `?` their way to a readable failure.
+
+use std::fmt;
+use symbio_workloads::UnknownBenchmark;
+
+/// Any failure the `symbio` orchestration layer can produce.
+pub enum Error {
+    /// A benchmark name matched nothing in its suite.
+    UnknownBenchmark(UnknownBenchmark),
+    /// A mix's size does not suit the machine it is evaluated on.
+    MixSize {
+        /// What the machine supports (`cores` must divide the mix).
+        expected: String,
+        /// The offending mix size.
+        got: usize,
+    },
+    /// An [`crate::ExperimentConfig`] failed validation.
+    InvalidConfig(String),
+    /// Artifact or trace I/O failed.
+    Io(std::io::Error),
+}
+
+/// Result alias used across the facade.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownBenchmark(e) => write!(f, "{e}"),
+            Error::MixSize { expected, got } => {
+                write!(f, "invalid mix size {got}: {expected}")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid experiment config: {msg}"),
+            Error::Io(e) => write!(f, "artifact I/O failed: {e}"),
+        }
+    }
+}
+
+// Binaries exit through `fn main() -> symbio::Result<()>`, and Rust
+// renders the termination error with `Debug` — delegate to `Display` so
+// users see the readable message (with its "did you mean" hint), not the
+// struct dump.
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::UnknownBenchmark(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnknownBenchmark> for Error {
+    fn from(e: UnknownBenchmark) -> Self {
+        Error::UnknownBenchmark(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_error_converts_and_displays() {
+        let e: Error = symbio_workloads::spec2006::by_name("mfc", 1 << 18)
+            .unwrap_err()
+            .into();
+        let msg = e.to_string();
+        assert!(msg.contains("`mfc`"), "{msg}");
+        assert!(msg.contains("did you mean `mcf`?"), "{msg}");
+    }
+
+    #[test]
+    fn mix_size_error_displays() {
+        let e = Error::MixSize {
+            expected: "mix must be a positive multiple of 2 cores".into(),
+            got: 3,
+        };
+        assert!(e.to_string().contains("invalid mix size 3"));
+    }
+}

@@ -23,41 +23,54 @@
 //!
 //! [`pipeline::Pipeline`] implements the paper's two-phase methodology
 //! (profile under the signature unit → measure every candidate mapping with
-//! it off), [`sweep`] runs the full benchmark-mix sweeps behind Figures
-//! 10–14 and Table 1, and [`report`] renders/persists the results.
+//! it off), [`sweep::SweepEngine`] runs the full benchmark-mix sweeps
+//! behind Figures 10–14 and Table 1 — memoized ([`memo`]), parallel
+//! ([`exec`]) and observable ([`obs`]) — and [`report`] renders/persists
+//! the results.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use symbio::prelude::*;
 //!
+//! # fn main() -> symbio::Result<()> {
 //! // Evaluate one 4-benchmark mix on the scaled Core 2 Duo.
 //! let cfg = ExperimentConfig::fast(7);
 //! let l2 = cfg.machine.l2.size_bytes;
-//! let specs: Vec<_> = ["povray", "gobmk", "libquantum", "hmmer"]
-//!     .iter()
-//!     .map(|n| symbio_workloads::spec2006::by_name(n, l2).unwrap())
-//!     .collect();
+//! let mut specs = Vec::new();
+//! for n in ["povray", "gobmk", "libquantum", "hmmer"] {
+//!     specs.push(spec2006::by_name(n, l2)?);
+//! }
 //! let pipeline = Pipeline::new(cfg);
 //! let mut policy = WeightedInterferenceGraphPolicy::default();
-//! let result = pipeline.evaluate_mix(&specs, &mut policy);
+//! let result = pipeline.evaluate_mix(&specs, &mut policy)?;
 //! println!("{}", result.table());
 //! assert_eq!(result.mappings.len(), 3); // AB|CD, AC|BD, AD|BC
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
+pub mod exec;
+pub mod memo;
 pub mod metrics;
 pub mod mixes;
+pub mod obs;
 pub mod parallel;
 pub mod pipeline;
 pub mod prelude;
 pub mod report;
 pub mod sweep;
 
-pub use config::ExperimentConfig;
+pub use config::{ExperimentConfig, ExperimentConfigBuilder};
+pub use error::{Error, Result};
+pub use exec::{CancelToken, ExecOptions};
+pub use memo::MeasureCache;
 pub use metrics::{BenchmarkSummary, Improvement};
 pub use mixes::{candidate_mappings, mixes_of};
+pub use obs::{BenchRecord, CounterSnapshot, Counters, Progress, Timings, Trace};
 pub use pipeline::{MixResult, Pipeline, ProfileResult};
-pub use sweep::{sweep_multithreaded, sweep_pool, SweepOutcome};
+pub use sweep::{sweep_multithreaded, sweep_pool, SweepEngine, SweepOptions, SweepOutcome};

@@ -1,0 +1,333 @@
+//! Observability for the evaluation engine: counters, stage timers, a
+//! JSON-lines event trace, and the `BENCH_sweep.json` throughput record.
+//!
+//! Everything here is passive — a sweep configured without a trace or
+//! bench record pays only a handful of relaxed atomic increments.
+
+use crate::report::experiments_dir;
+use serde::{Deserialize, Serialize, Value};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+// ------------------------------------------------------------- counters
+
+/// Monotonic engine counters, shared (via `Arc`) by every pipeline and
+/// worker thread of a sweep.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Phase-1 profiling simulations executed.
+    pub profile_runs: AtomicU64,
+    /// Phase-2 measurement simulations actually executed (memoization
+    /// hits do *not* count — that is the point of the cache).
+    pub sim_runs: AtomicU64,
+    /// Simulated frontier cycles across executed measurement runs.
+    pub sim_cycles: AtomicU64,
+    /// L2 accesses across executed measurement runs.
+    pub l2_accesses: AtomicU64,
+    /// L2 misses across executed measurement runs.
+    pub l2_misses: AtomicU64,
+    /// Measurement-cache hits.
+    pub memo_hits: AtomicU64,
+    /// Measurement-cache misses.
+    pub memo_misses: AtomicU64,
+    /// Mixes fully evaluated.
+    pub mixes_done: AtomicU64,
+}
+
+/// Plain-data snapshot of [`Counters`] for serialization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// See [`Counters::profile_runs`].
+    pub profile_runs: u64,
+    /// See [`Counters::sim_runs`].
+    pub sim_runs: u64,
+    /// See [`Counters::sim_cycles`].
+    pub sim_cycles: u64,
+    /// See [`Counters::l2_accesses`].
+    pub l2_accesses: u64,
+    /// See [`Counters::l2_misses`].
+    pub l2_misses: u64,
+    /// See [`Counters::memo_hits`].
+    pub memo_hits: u64,
+    /// See [`Counters::memo_misses`].
+    pub memo_misses: u64,
+    /// See [`Counters::mixes_done`].
+    pub mixes_done: u64,
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Add `n` to a counter (relaxed; counters are statistics, not
+    /// synchronization).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            profile_runs: self.profile_runs.load(Ordering::Relaxed),
+            sim_runs: self.sim_runs.load(Ordering::Relaxed),
+            sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+            l2_accesses: self.l2_accesses.load(Ordering::Relaxed),
+            l2_misses: self.l2_misses.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            mixes_done: self.mixes_done.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// --------------------------------------------------------- stage timers
+
+/// Wall-clock timings of named stages, recorded in completion order.
+#[derive(Debug, Default)]
+pub struct Timings {
+    stages: Mutex<Vec<(String, f64)>>,
+}
+
+impl Timings {
+    /// Fresh empty recorder.
+    pub fn new() -> Self {
+        Timings::default()
+    }
+
+    /// Time `f` under `stage` and record its wall-clock seconds.
+    pub fn time<R>(&self, stage: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.record(stage, t0.elapsed().as_secs_f64());
+        r
+    }
+
+    /// Record an externally-measured duration.
+    pub fn record(&self, stage: &str, seconds: f64) {
+        self.stages
+            .lock()
+            .expect("poisoned timings")
+            .push((stage.to_string(), seconds));
+    }
+
+    /// All recorded `(stage, seconds)` pairs, completion order.
+    pub fn stages(&self) -> Vec<(String, f64)> {
+        self.stages.lock().expect("poisoned timings").clone()
+    }
+
+    /// Summed seconds of every record for `stage`.
+    pub fn total(&self, stage: &str) -> f64 {
+        self.stages()
+            .iter()
+            .filter(|(s, _)| s == stage)
+            .map(|(_, d)| d)
+            .sum()
+    }
+}
+
+// ----------------------------------------------------------- progress
+
+/// A progress update from a running sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Mixes completed so far.
+    pub done: usize,
+    /// Total mixes in the sweep.
+    pub total: usize,
+}
+
+/// Callback type for sweep progress (thread-safe: workers call it
+/// concurrently).
+pub type ProgressFn = dyn Fn(Progress) + Send + Sync;
+
+// ------------------------------------------------------------- tracing
+
+/// JSON-lines event trace written next to experiment artifacts.
+///
+/// Each line is one self-describing object: an `event` tag, milliseconds
+/// since the trace was opened, and event-specific fields. Lines from
+/// worker threads interleave in completion order.
+#[derive(Debug)]
+pub struct Trace {
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+    epoch: Instant,
+    path: PathBuf,
+}
+
+impl Trace {
+    /// Open (truncate) `<experiments_dir>/<name>.trace.jsonl`.
+    pub fn create(name: &str) -> std::io::Result<Self> {
+        let path = experiments_dir().join(format!("{name}.trace.jsonl"));
+        let file = std::fs::File::create(&path)?;
+        Ok(Trace {
+            out: Mutex::new(std::io::BufWriter::new(file)),
+            epoch: Instant::now(),
+            path,
+        })
+    }
+
+    /// Where this trace is being written.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Append one event line. `fields` must be a JSON object; the writer
+    /// prepends `event` and `t_ms`. I/O errors are swallowed (a trace
+    /// must never fail an experiment).
+    pub fn emit(&self, event: &str, fields: Value) {
+        let mut pairs = vec![
+            ("event".to_string(), Value::Str(event.to_string())),
+            (
+                "t_ms".to_string(),
+                Value::U64(self.epoch.elapsed().as_millis() as u64),
+            ),
+        ];
+        if let Value::Object(extra) = fields {
+            pairs.extend(extra);
+        }
+        let line = serde_json::to_string(&Value::Object(pairs)).expect("infallible");
+        let mut w = self.out.lock().expect("poisoned trace");
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+// ----------------------------------------------------- bench recording
+
+/// One sweep's throughput record for `BENCH_sweep.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Sweep name (artifact key).
+    pub name: String,
+    /// Mixes evaluated.
+    pub mixes: u64,
+    /// Worker threads used.
+    pub threads: u64,
+    /// End-to-end wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Mixes per wall-clock second.
+    pub mixes_per_sec: f64,
+    /// Simulated cycles per wall-clock second (engine throughput).
+    pub sim_cycles_per_sec: f64,
+    /// Engine counters at completion.
+    pub counters: CounterSnapshot,
+}
+
+impl BenchRecord {
+    /// Assemble a record from a finished sweep's numbers.
+    pub fn new(name: &str, threads: usize, wall_seconds: f64, counters: CounterSnapshot) -> Self {
+        let wall = wall_seconds.max(1e-9);
+        BenchRecord {
+            name: name.to_string(),
+            mixes: counters.mixes_done,
+            threads: threads as u64,
+            wall_seconds,
+            mixes_per_sec: counters.mixes_done as f64 / wall,
+            sim_cycles_per_sec: counters.sim_cycles as f64 / wall,
+            counters,
+        }
+    }
+}
+
+/// Merge `record` into `<experiments_dir>/BENCH_sweep.json`, an object
+/// keyed by sweep name (later runs of the same sweep overwrite their
+/// entry; other entries persist). Returns the file's path.
+pub fn write_bench_record(record: &BenchRecord) -> std::io::Result<PathBuf> {
+    let path = experiments_dir().join("BENCH_sweep.json");
+    let mut entries: Vec<(String, Value)> = match std::fs::read_to_string(&path) {
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Object(pairs)) => pairs,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    let value = serde::Serialize::to_value(record);
+    match entries.iter_mut().find(|(k, _)| *k == record.name) {
+        Some((_, v)) => *v = value,
+        None => entries.push((record.name.clone(), value)),
+    }
+    let text = serde_json::to_string_pretty(&Value::Object(entries))?;
+    std::fs::write(&path, text + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_roundtrip() {
+        let c = Counters::new();
+        Counters::add(&c.sim_runs, 3);
+        Counters::add(&c.memo_hits, 5);
+        let snap = c.snapshot();
+        assert_eq!(snap.sim_runs, 3);
+        assert_eq!(snap.memo_hits, 5);
+        let back: CounterSnapshot =
+            serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn timings_accumulate_per_stage() {
+        let t = Timings::new();
+        t.record("profile", 0.25);
+        t.record("measure", 1.0);
+        t.record("profile", 0.5);
+        assert_eq!(t.total("profile"), 0.75);
+        assert_eq!(t.stages().len(), 3);
+        let r = t.time("measure", || 42);
+        assert_eq!(r, 42);
+        assert_eq!(t.stages().len(), 4);
+    }
+
+    #[test]
+    fn trace_writes_jsonl() {
+        std::env::set_var(
+            "SYMBIO_EXPERIMENTS_DIR",
+            std::env::temp_dir().join("symbio-obs-test"),
+        );
+        let trace = Trace::create("unit-trace").unwrap();
+        trace.emit("start", serde_json::json!({"total": 5}));
+        trace.emit("done", serde_json::json!({"ok": true}));
+        let text = std::fs::read_to_string(trace.path()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.get("event"), Some(&Value::Str("start".into())));
+        assert_eq!(first.get("total"), Some(&Value::U64(5)));
+        assert!(first.get("t_ms").is_some());
+        std::env::remove_var("SYMBIO_EXPERIMENTS_DIR");
+    }
+
+    #[test]
+    fn bench_records_merge_by_name() {
+        std::env::set_var(
+            "SYMBIO_EXPERIMENTS_DIR",
+            std::env::temp_dir().join("symbio-obs-bench-test"),
+        );
+        let mut counters = Counters::new().snapshot();
+        counters.mixes_done = 10;
+        counters.sim_cycles = 1_000_000;
+        let a = BenchRecord::new("sweep-a", 4, 2.0, counters.clone());
+        assert!((a.mixes_per_sec - 5.0).abs() < 1e-9);
+        write_bench_record(&a).unwrap();
+        counters.mixes_done = 20;
+        let b = BenchRecord::new("sweep-b", 4, 2.0, counters.clone());
+        let path = write_bench_record(&b).unwrap();
+        // Overwrite sweep-a; sweep-b persists.
+        let a2 = BenchRecord::new("sweep-a", 8, 1.0, counters);
+        write_bench_record(&a2).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let a_entry = v.get("sweep-a").expect("sweep-a present");
+        assert_eq!(a_entry.get("threads"), Some(&Value::U64(8)));
+        assert!(v.get("sweep-b").is_some());
+        std::env::remove_var("SYMBIO_EXPERIMENTS_DIR");
+    }
+}

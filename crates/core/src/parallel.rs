@@ -2,11 +2,11 @@
 //!
 //! The sweeps behind Figures 10–12 evaluate hundreds of independent mixes;
 //! each evaluation is a self-contained deterministic simulation, so they
-//! parallelise trivially. We use `std::thread::scope` (no external
-//! work-stealing dependency) with a simple atomic work queue.
+//! parallelise trivially. Since the sweep-engine redesign this module is a
+//! compatibility veneer over the work-queue executor in [`crate::exec`],
+//! which adds chunked claiming, cancellation and progress hooks.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::exec::{execute, ExecOptions};
 
 /// Apply `f` to every item, using up to `threads` OS threads. Results come
 /// back in input order. `f` must be `Sync` (it is shared by reference).
@@ -16,28 +16,8 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *results[i].lock().expect("poisoned result slot") = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("all slots filled"))
-        .collect()
+    execute(items, &ExecOptions::threads(threads), f)
+        .expect("uncancellable run cannot be cancelled")
 }
 
 /// A sensible default worker count: available parallelism minus one (keep

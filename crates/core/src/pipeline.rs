@@ -1,9 +1,12 @@
 //! The two-phase evaluation pipeline (Section 4, Figure 9).
 
 use crate::config::ExperimentConfig;
+use crate::memo::{measure_key, MeasureCache, RunKind};
 use crate::mixes::candidate_mappings;
+use crate::obs::Counters;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 use symbio_allocator::AllocationPolicy;
 use symbio_machine::{Machine, MachineConfig, Mapping, RunOutcome};
 use symbio_workloads::{ThreadSpec, WorkloadSpec};
@@ -106,16 +109,51 @@ impl MixResult {
 }
 
 /// The two-phase pipeline bound to an [`ExperimentConfig`].
-#[derive(Debug, Clone, Copy)]
+///
+/// A pipeline owns (shares, via `Arc`) two pieces of engine state:
+/// optional measurement memoization and the observability counters.
+/// Cloning a pipeline shares both, so every worker of a sweep reports to
+/// one ledger and draws from one cache.
+#[derive(Debug, Clone)]
 pub struct Pipeline {
     /// Experiment parameters.
     pub cfg: ExperimentConfig,
+    memo: Option<Arc<MeasureCache>>,
+    counters: Arc<Counters>,
 }
 
 impl Pipeline {
-    /// Create a pipeline.
+    /// Create a pipeline with no memoization and fresh counters.
     pub fn new(cfg: ExperimentConfig) -> Self {
-        Pipeline { cfg }
+        Pipeline {
+            cfg,
+            memo: None,
+            counters: Arc::new(Counters::new()),
+        }
+    }
+
+    /// Share measurements through `cache`: identical phase-2 runs (same
+    /// machine template, measurement parameters, specs and mapping) are
+    /// simulated once and replayed from the cache afterwards.
+    pub fn with_memo(mut self, cache: Arc<MeasureCache>) -> Self {
+        self.memo = Some(cache);
+        self
+    }
+
+    /// Report engine statistics to `counters` instead of a private ledger.
+    pub fn with_counters(mut self, counters: Arc<Counters>) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// The counters this pipeline reports to.
+    pub fn counters(&self) -> &Arc<Counters> {
+        &self.counters
+    }
+
+    /// The measurement cache, if memoization is enabled.
+    pub fn memo(&self) -> Option<&Arc<MeasureCache>> {
+        self.memo.as_ref()
     }
 
     fn profiling_machine_cfg(&self) -> MachineConfig {
@@ -140,6 +178,10 @@ impl Pipeline {
         let mut acc: Option<RunOutcome> = None;
         for r in 0..repeats {
             let out = run_once(self.measurement_machine_cfg(r));
+            Counters::add(&self.counters.sim_runs, 1);
+            Counters::add(&self.counters.sim_cycles, out.wall_cycles);
+            Counters::add(&self.counters.l2_accesses, out.l2_accesses);
+            Counters::add(&self.counters.l2_misses, out.l2_misses);
             match &mut acc {
                 None => acc = Some(out),
                 Some(a) => {
@@ -212,6 +254,8 @@ impl Pipeline {
                 .and_modify(|(_, c)| *c += 1)
                 .or_insert((mapping, 1));
         }
+        Counters::add(&self.counters.profile_runs, 1);
+        Counters::add(&self.counters.sim_cycles, machine.now());
         let mut votes: Vec<(Mapping, u32)> = votes.into_values().collect();
         votes.sort_by_key(|v| std::cmp::Reverse(v.1));
         let winner = votes
@@ -225,43 +269,74 @@ impl Pipeline {
         }
     }
 
+    /// Route a measurement through the memo cache when one is attached.
+    fn memoized(
+        &self,
+        kind: RunKind,
+        key_specs: &[impl serde::Serialize],
+        mapping: &Mapping,
+        compute: impl FnOnce() -> RunOutcome,
+    ) -> RunOutcome {
+        match &self.memo {
+            None => compute(),
+            Some(cache) => {
+                let key = measure_key(
+                    &self.cfg.machine,
+                    self.cfg.measure_max_cycles,
+                    self.cfg.measure_seed_offset,
+                    self.cfg.measure_repeats,
+                    kind,
+                    key_specs,
+                    mapping,
+                );
+                cache.get_or_compute(key, &self.counters, compute)
+            }
+        }
+    }
+
     /// **Phase 2**: run the mix to completion under `mapping` with the
     /// signature unit off (the "real machine" run), averaged over
-    /// `measure_repeats` independent seeds.
+    /// `measure_repeats` independent seeds. With a memo cache attached
+    /// (see [`Pipeline::with_memo`]) repeated identical measurements are
+    /// simulated once.
     pub fn measure(&self, specs: &[WorkloadSpec], mapping: &Mapping) -> RunOutcome {
-        self.averaged(|cfg| {
-            let mut machine = Machine::new(cfg);
-            for s in specs {
-                machine.add_process(s);
-            }
-            machine.start(Some(mapping));
-            let out = machine.run_to_completion(self.cfg.measure_max_cycles);
-            assert!(
-                out.completed,
-                "measurement run did not complete within {} cycles",
-                self.cfg.measure_max_cycles
-            );
-            out
+        self.memoized(RunKind::SingleThreaded, specs, mapping, || {
+            self.averaged(|cfg| {
+                let mut machine = Machine::new(cfg);
+                for s in specs {
+                    machine.add_process(s);
+                }
+                machine.start(Some(mapping));
+                let out = machine.run_to_completion(self.cfg.measure_max_cycles);
+                assert!(
+                    out.completed,
+                    "measurement run did not complete within {} cycles",
+                    self.cfg.measure_max_cycles
+                );
+                out
+            })
         })
     }
 
-    /// **Phase 2** for multi-threaded applications (averaged like
-    /// [`Pipeline::measure`]).
+    /// **Phase 2** for multi-threaded applications (averaged and memoized
+    /// like [`Pipeline::measure`]).
     pub fn measure_multithreaded(
         &self,
         specs: &[ThreadSpec],
         threads: usize,
         mapping: &Mapping,
     ) -> RunOutcome {
-        self.averaged(|cfg| {
-            let mut machine = Machine::new(cfg);
-            for s in specs {
-                machine.add_multithreaded(s, threads);
-            }
-            machine.start(Some(mapping));
-            let out = machine.run_to_completion(self.cfg.measure_max_cycles);
-            assert!(out.completed, "multithreaded measurement did not complete");
-            out
+        self.memoized(RunKind::MultiThreaded(threads), specs, mapping, || {
+            self.averaged(|cfg| {
+                let mut machine = Machine::new(cfg);
+                for s in specs {
+                    machine.add_multithreaded(s, threads);
+                }
+                machine.start(Some(mapping));
+                let out = machine.run_to_completion(self.cfg.measure_max_cycles);
+                assert!(out.completed, "multithreaded measurement did not complete");
+                out
+            })
         })
     }
 
@@ -271,13 +346,28 @@ impl Pipeline {
         candidate_mappings(p, self.cfg.machine.cores)
     }
 
+    /// Check that a mix of `got` processes evaluates meaningfully on this
+    /// machine: every core must receive the same number of processes, so
+    /// the mix size must be a positive multiple of the core count.
+    pub fn check_mix_size(&self, got: usize) -> crate::Result<()> {
+        let cores = self.cfg.machine.cores;
+        if got == 0 || !got.is_multiple_of(cores) {
+            return Err(crate::Error::MixSize {
+                expected: format!("mix must be a positive multiple of {cores} cores"),
+                got,
+            });
+        }
+        Ok(())
+    }
+
     /// Full two-phase evaluation of one mix under one policy: profile,
     /// measure every candidate mapping, locate the chosen one.
     pub fn evaluate_mix(
         &self,
         specs: &[WorkloadSpec],
         policy: &mut dyn AllocationPolicy,
-    ) -> MixResult {
+    ) -> crate::Result<MixResult> {
+        self.check_mix_size(specs.len())?;
         let profile = self.profile(specs, policy);
         self.evaluate_mix_with_choice(specs, &profile.winner, policy.name())
     }
@@ -289,7 +379,8 @@ impl Pipeline {
         specs: &[WorkloadSpec],
         choice: &Mapping,
         policy_name: &str,
-    ) -> MixResult {
+    ) -> crate::Result<MixResult> {
+        self.check_mix_size(specs.len())?;
         let mappings = self.candidates(specs.len());
         let cores = self.cfg.machine.cores;
         let user_cycles: Vec<Vec<u64>> = mappings
@@ -300,13 +391,14 @@ impl Pipeline {
             })
             .collect();
         let chosen = Self::locate(&mappings, choice, cores);
-        MixResult {
+        Counters::add(&self.counters.mixes_done, 1);
+        Ok(MixResult {
             names: specs.iter().map(|s| s.name.clone()).collect(),
             mappings,
             user_cycles,
             chosen,
             policy: policy_name.to_string(),
-        }
+        })
     }
 
     /// Index of `choice` among `mappings` (by partition equivalence).
@@ -382,7 +474,7 @@ mod tests {
         let p = Pipeline::new(ExperimentConfig::fast(5));
         let s = specs(&["mcf", "povray", "libquantum", "gobmk"]);
         let mut policy = WeightedInterferenceGraphPolicy::default();
-        let r = p.evaluate_mix(&s, &mut policy);
+        let r = p.evaluate_mix(&s, &mut policy).unwrap();
         assert_eq!(r.mappings.len(), 3);
         assert_eq!(r.user_cycles.len(), 3);
         assert!(r.chosen < 3);
@@ -407,6 +499,49 @@ mod tests {
         );
         let idx = Pipeline::locate(&maps, &swapped, 2);
         assert_eq!(maps[idx].partition_key(2), key0);
+    }
+
+    #[test]
+    fn evaluate_mix_rejects_bad_sizes() {
+        let p = Pipeline::new(ExperimentConfig::fast(3));
+        let mut policy = WeightSortPolicy;
+        for n in [0, 3] {
+            let names = ["mcf", "povray", "gobmk"];
+            let err = p.evaluate_mix(&specs(&names[..n.min(3)]), &mut policy);
+            match err {
+                Err(crate::Error::MixSize { got, .. }) => assert_eq!(got, n.min(3)),
+                other => panic!("expected MixSize error, got {other:?}"),
+            }
+        }
+        // 2-on-2 is a valid (degenerate) mix.
+        assert!(p.check_mix_size(2).is_ok());
+    }
+
+    #[test]
+    fn memoized_measure_skips_repeat_simulations() {
+        use crate::memo::MeasureCache;
+        use std::sync::Arc;
+
+        let cache = Arc::new(MeasureCache::new());
+        let p = Pipeline::new(ExperimentConfig::fast(3)).with_memo(Arc::clone(&cache));
+        let s = specs(&["gobmk", "soplex"]);
+        let m = Mapping::new(vec![0, 1]);
+        let a = p.measure(&s, &m);
+        let runs_after_first = p.counters().snapshot().sim_runs;
+        assert!(runs_after_first >= 1);
+        let b = p.measure(&s, &m);
+        // Identical outcome, no extra simulation.
+        assert_eq!(a.procs[0].user_cycles, b.procs[0].user_cycles);
+        assert_eq!(p.counters().snapshot().sim_runs, runs_after_first);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // An unmemoized pipeline computes the same numbers.
+        let plain = Pipeline::new(ExperimentConfig::fast(3)).measure(&s, &m);
+        assert_eq!(plain.procs[0].user_cycles, a.procs[0].user_cycles);
+        // A different mapping misses.
+        let m2 = Mapping::new(vec![0, 0]);
+        p.measure(&s, &m2);
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! One-stop imports for experiment code.
 
-pub use crate::config::ExperimentConfig;
+pub use crate::config::{ExperimentConfig, ExperimentConfigBuilder};
+pub use crate::error::{Error, Result};
+pub use crate::exec::{CancelToken, ExecOptions};
+pub use crate::memo::MeasureCache;
 pub use crate::metrics::{BenchmarkSummary, Improvement};
 pub use crate::mixes::{candidate_mappings, mixes_of};
+pub use crate::obs::{BenchRecord, CounterSnapshot, Counters, Progress, Timings, Trace};
 pub use crate::pipeline::{MixResult, Pipeline, ProfileResult};
 pub use crate::report;
-pub use crate::sweep::{sweep_multithreaded, sweep_pool, SweepOptions, SweepOutcome};
+pub use crate::sweep::{sweep_multithreaded, sweep_pool, SweepEngine, SweepOptions, SweepOutcome};
 
 pub use symbio_allocator::{
     AffinityPolicy, AllocationPolicy, DefaultPolicy, InterferenceGraphPolicy, InterferenceMetric,

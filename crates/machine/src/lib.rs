@@ -41,7 +41,7 @@ pub mod thread;
 pub mod timing;
 
 pub use config::{MachineConfig, VirtConfig};
-pub use machine::{Machine, RunOutcome};
+pub use machine::{Machine, ProcOutcome, RunOutcome};
 pub use mapping::Mapping;
 pub use thread::{ProcView, SigContext, ThreadView};
 pub use timing::TimingModel;

@@ -68,6 +68,11 @@ pub struct RunOutcome {
     pub wall_cycles: u64,
     /// Per-process outcomes (gating processes only), pid order.
     pub procs: Vec<ProcOutcome>,
+    /// Total L2 accesses across every thread of the run (observability:
+    /// feeds the sweep engine's throughput counters).
+    pub l2_accesses: u64,
+    /// Total L2 misses across every thread of the run.
+    pub l2_misses: u64,
 }
 
 impl RunOutcome {
@@ -516,6 +521,8 @@ impl Machine {
             completed: self.all_complete(),
             wall_cycles: self.now(),
             procs,
+            l2_accesses: self.threads.iter().map(|t| t.l2_accesses).sum(),
+            l2_misses: self.threads.iter().map(|t| t.l2_misses).sum(),
         }
     }
 

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod lookup;
 pub mod op;
 pub mod parsec;
 pub mod pattern;
@@ -33,6 +34,7 @@ pub mod spec;
 pub mod spec2006;
 pub mod synthetic;
 
+pub use lookup::UnknownBenchmark;
 pub use op::Op;
 pub use pattern::Pattern;
 pub use rng::SplitMix64;

@@ -1,0 +1,112 @@
+//! Benchmark-lookup errors with "did you mean" suggestions.
+
+use std::fmt;
+
+/// A benchmark name that matched nothing in its suite's pool.
+///
+/// Carries enough context for an actionable message: the suite searched,
+/// the nearest valid name (by edit distance) when one is plausibly close,
+/// and the full list of valid names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmark {
+    /// The name that was requested.
+    pub name: String,
+    /// Which suite was searched (`"spec2006"` or `"parsec"`).
+    pub suite: &'static str,
+    /// Closest valid name, when the distance makes a typo plausible.
+    pub suggestion: Option<&'static str>,
+    /// Every valid name in the suite, pool order.
+    pub available: Vec<&'static str>,
+}
+
+impl UnknownBenchmark {
+    /// Build the error for `name` against a suite's `pool_names`.
+    pub fn new(name: &str, suite: &'static str, available: Vec<&'static str>) -> Self {
+        let suggestion = available
+            .iter()
+            .map(|&cand| (cand, edit_distance(name, cand)))
+            .min_by_key(|&(_, d)| d)
+            // A suggestion further than half the typed name is noise.
+            .filter(|&(_, d)| d <= (name.len() / 2).max(2))
+            .map(|(cand, _)| cand);
+        UnknownBenchmark {
+            name: name.to_string(),
+            suite,
+            suggestion,
+            available,
+        }
+    }
+}
+
+impl fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {} benchmark `{}`", self.suite, self.name)?;
+        if let Some(s) = self.suggestion {
+            write!(f, " (did you mean `{s}`?)")?;
+        }
+        write!(f, "; available: {}", self.available.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
+/// Edit distance with transpositions (Damerau-Levenshtein, restricted),
+/// case-insensitive: lookups are typed by hand, and swapped adjacent
+/// letters (`mfc` for `mcf`) are the classic typo, so they must cost one
+/// edit, not two.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(char::to_lowercase).collect();
+    let b: Vec<char> = b.chars().flat_map(char::to_lowercase).collect();
+    // Three rolling rows: two back (for transpositions), one back, current.
+    let mut prev2 = vec![0usize; b.len() + 1];
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            let mut best = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            if i > 0 && j > 0 && ca == b[j - 1] && a[i - 1] == cb {
+                best = best.min(prev2[j - 1] + 1);
+            }
+            cur[j + 1] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(edit_distance("gcc", "gcc"), 0);
+        assert_eq!(edit_distance("gc", "gcc"), 1);
+        assert_eq!(edit_distance("MCF", "mcf"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        // Adjacent transposition costs one edit.
+        assert_eq!(edit_distance("mfc", "mcf"), 1);
+        assert_eq!(edit_distance("mfc", "gcc"), 2);
+    }
+
+    #[test]
+    fn suggests_close_names_only() {
+        let avail = vec!["gcc", "mcf", "povray"];
+        let e = UnknownBenchmark::new("gcc2", "spec2006", avail.clone());
+        assert_eq!(e.suggestion, Some("gcc"));
+        let far = UnknownBenchmark::new("blackscholes", "spec2006", avail);
+        assert_eq!(far.suggestion, None);
+    }
+
+    #[test]
+    fn message_is_actionable() {
+        let e = UnknownBenchmark::new("povay", "spec2006", vec!["povray", "mcf"]);
+        let msg = e.to_string();
+        assert!(msg.contains("`povay`"));
+        assert!(msg.contains("did you mean `povray`?"));
+        assert!(msg.contains("available: povray, mcf"));
+    }
+}

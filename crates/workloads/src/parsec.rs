@@ -45,9 +45,13 @@ pub fn pool_names() -> Vec<&'static str> {
     ]
 }
 
-/// Look up one profile by name.
-pub fn by_name(name: &str, l2: u64) -> Option<ThreadSpec> {
-    pool(l2).into_iter().find(|w| w.name == name)
+/// Look up one profile by name; an unknown name reports the closest valid
+/// one (see [`crate::lookup::UnknownBenchmark`]).
+pub fn by_name(name: &str, l2: u64) -> Result<ThreadSpec, crate::UnknownBenchmark> {
+    pool(l2)
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| crate::UnknownBenchmark::new(name, "parsec", pool_names()))
 }
 
 /// `blackscholes` — embarrassingly parallel option pricing: almost pure
@@ -203,8 +207,10 @@ mod tests {
     #[test]
     fn by_name_finds_all() {
         for n in pool_names() {
-            assert!(by_name(n, L2).is_some(), "{n} missing");
+            assert!(by_name(n, L2).is_ok(), "{n} missing");
         }
+        let typo = by_name("caneal", L2).unwrap_err();
+        assert_eq!(typo.suggestion, Some("canneal"));
     }
 
     #[test]

@@ -61,9 +61,13 @@ pub fn pool_names() -> Vec<&'static str> {
     ]
 }
 
-/// Look up one profile by name.
-pub fn by_name(name: &str, l2: u64) -> Option<WorkloadSpec> {
-    pool(l2).into_iter().find(|w| w.name == name)
+/// Look up one profile by name; an unknown name reports the closest valid
+/// one (see [`crate::lookup::UnknownBenchmark`]).
+pub fn by_name(name: &str, l2: u64) -> Result<WorkloadSpec, crate::UnknownBenchmark> {
+    pool(l2)
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| crate::UnknownBenchmark::new(name, "spec2006", pool_names()))
 }
 
 /// `astar` — path-finding over graph nodes: dependent pointer chasing
@@ -311,9 +315,13 @@ mod tests {
     #[test]
     fn by_name_finds_all() {
         for n in pool_names() {
-            assert!(by_name(n, L2).is_some(), "{n} missing");
+            assert!(by_name(n, L2).is_ok(), "{n} missing");
         }
-        assert!(by_name("nonexistent", L2).is_none());
+        let err = by_name("nonexistent", L2).unwrap_err();
+        assert_eq!(err.suite, "spec2006");
+        // A typo one edit away gets a suggestion.
+        let typo = by_name("mfc", L2).unwrap_err();
+        assert_eq!(typo.suggestion, Some("mcf"));
     }
 
     #[test]

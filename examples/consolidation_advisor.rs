@@ -12,7 +12,7 @@
 
 use symbio::prelude::*;
 
-fn main() {
+fn main() -> symbio::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let names: Vec<String> = if args.is_empty() {
         ["bzip2", "gcc", "mcf", "soplex"]
@@ -24,10 +24,10 @@ fn main() {
     };
     let cfg = ExperimentConfig::scaled(11);
     let l2 = cfg.machine.l2.size_bytes;
-    let specs: Vec<WorkloadSpec> = names
-        .iter()
-        .map(|n| spec2006::by_name(n, l2).unwrap_or_else(|| panic!("unknown benchmark {n}")))
-        .collect();
+    let mut specs: Vec<WorkloadSpec> = Vec::new();
+    for n in &names {
+        specs.push(spec2006::by_name(n, l2)?);
+    }
 
     let pipeline = Pipeline::new(cfg);
     let mut policy = WeightedInterferenceGraphPolicy::default();
@@ -69,7 +69,8 @@ fn main() {
     }
 
     // Quantify the advice against the alternatives.
-    let result = pipeline.evaluate_mix_with_choice(&specs, &profile.winner, policy.name());
+    let result = pipeline.evaluate_mix_with_choice(&specs, &profile.winner, policy.name())?;
     println!("\nmeasured user cycles under every placement:");
     println!("{}", result.table());
+    Ok(())
 }

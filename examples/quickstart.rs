@@ -9,15 +9,15 @@
 
 use symbio::prelude::*;
 
-fn main() {
+fn main() -> symbio::Result<()> {
     let cfg = ExperimentConfig::scaled(7);
     let l2 = cfg.machine.l2.size_bytes;
 
     // Pick four SPEC2006-like programs: two cache-hungry, two benign.
-    let specs: Vec<WorkloadSpec> = ["mcf", "omnetpp", "povray", "sjeng"]
-        .iter()
-        .map(|n| spec2006::by_name(n, l2).expect("known benchmark"))
-        .collect();
+    let mut specs: Vec<WorkloadSpec> = Vec::new();
+    for n in ["mcf", "omnetpp", "povray", "sjeng"] {
+        specs.push(spec2006::by_name(n, l2)?);
+    }
 
     let pipeline = Pipeline::new(cfg);
     let mut policy = WeightedInterferenceGraphPolicy::default();
@@ -31,7 +31,7 @@ fn main() {
     );
 
     println!("\nmeasuring all candidate mappings (signature off)...");
-    let result = pipeline.evaluate_mix_with_choice(&specs, &profile.winner, policy.name());
+    let result = pipeline.evaluate_mix_with_choice(&specs, &profile.winner, policy.name())?;
     println!("{}", result.table());
 
     for (pid, name) in result.names.iter().enumerate() {
@@ -40,4 +40,5 @@ fn main() {
             result.improvement_vs_worst(pid) * 100.0
         );
     }
+    Ok(())
 }

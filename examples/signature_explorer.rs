@@ -11,7 +11,7 @@
 use symbio::prelude::*;
 use symbio_machine::Machine;
 
-fn main() {
+fn main() -> symbio::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let a = args.first().map(String::as_str).unwrap_or("mcf");
     let b = args.get(1).map(String::as_str).unwrap_or("libquantum");
@@ -19,8 +19,8 @@ fn main() {
     let l2 = cfg.l2.size_bytes;
 
     let mut m = Machine::new(cfg);
-    m.add_process(&spec2006::by_name(a, l2).unwrap_or_else(|| panic!("unknown {a}")));
-    m.add_process(&spec2006::by_name(b, l2).unwrap_or_else(|| panic!("unknown {b}")));
+    m.add_process(&spec2006::by_name(a, l2)?);
+    m.add_process(&spec2006::by_name(b, l2)?);
     m.start(None);
 
     println!("watching '{a}' (core 0) vs '{b}' (core 1) on the shared L2\n");
@@ -53,4 +53,5 @@ fn main() {
         sig.config().entries(),
     );
     println!("context-switch snapshots taken: {}", sig.snapshots());
+    Ok(())
 }

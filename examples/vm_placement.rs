@@ -9,19 +9,19 @@
 
 use symbio::prelude::*;
 
-fn main() {
+fn main() -> symbio::Result<()> {
     let native_cfg = ExperimentConfig::scaled(13);
     let vm_cfg = native_cfg.virtualized();
     let l2 = native_cfg.machine.l2.size_bytes;
-    let specs: Vec<WorkloadSpec> = ["mcf", "omnetpp", "povray", "gobmk"]
-        .iter()
-        .map(|n| spec2006::by_name(n, l2).unwrap())
-        .collect();
+    let mut specs: Vec<WorkloadSpec> = Vec::new();
+    for n in ["mcf", "omnetpp", "povray", "gobmk"] {
+        specs.push(spec2006::by_name(n, l2)?);
+    }
 
     for (label, cfg) in [("native", native_cfg), ("virtualized (Xen-like)", vm_cfg)] {
         let pipeline = Pipeline::new(cfg);
         let mut policy = WeightedInterferenceGraphPolicy::default();
-        let r = pipeline.evaluate_mix(&specs, &mut policy);
+        let r = pipeline.evaluate_mix(&specs, &mut policy)?;
         println!("== {label} ==");
         println!("{}", r.table());
         let mean: f64 = (0..specs.len())
@@ -38,4 +38,5 @@ fn main() {
          diluted by hypervisor overhead and Dom0 pollution, but stay positive\n\
          with the same relative trend across benchmarks."
     );
+    Ok(())
 }

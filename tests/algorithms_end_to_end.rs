@@ -43,7 +43,9 @@ fn grouping_the_interferers_beats_worst_mapping() {
     let pipeline = Pipeline::new(cfg);
     let s = specs(&["mcf", "omnetpp", "povray", "sjeng"]);
     let grouped = Mapping::new(vec![0, 0, 1, 1]);
-    let r = pipeline.evaluate_mix_with_choice(&s, &grouped, "oracle-grouped");
+    let r = pipeline
+        .evaluate_mix_with_choice(&s, &grouped, "oracle-grouped")
+        .unwrap();
     let mcf = 0;
     assert!(
         r.improvement_vs_worst(mcf) > 0.05,

@@ -19,7 +19,7 @@ fn whole_pipeline_is_deterministic() {
     let run = || {
         let pipeline = Pipeline::new(ExperimentConfig::fast(4242));
         let mut policy = WeightedInterferenceGraphPolicy::default();
-        pipeline.evaluate_mix(&specs(), &mut policy)
+        pipeline.evaluate_mix(&specs(), &mut policy).unwrap()
     };
     let a = run();
     let b = run();
@@ -32,7 +32,10 @@ fn seeds_change_outcomes() {
     let run = |seed| {
         let pipeline = Pipeline::new(ExperimentConfig::fast(seed));
         let mut policy = WeightSortPolicy;
-        pipeline.evaluate_mix(&specs(), &mut policy).user_cycles
+        pipeline
+            .evaluate_mix(&specs(), &mut policy)
+            .unwrap()
+            .user_cycles
     };
     assert_ne!(run(1), run(2));
 }

@@ -19,7 +19,7 @@ fn evaluate_mix_produces_three_measured_mappings() {
     let pipeline = Pipeline::new(ExperimentConfig::fast(17));
     let specs = small_specs(&["mcf", "povray", "libquantum", "gobmk"]);
     let mut policy = WeightedInterferenceGraphPolicy::default();
-    let r = pipeline.evaluate_mix(&specs, &mut policy);
+    let r = pipeline.evaluate_mix(&specs, &mut policy).unwrap();
     assert_eq!(r.mappings.len(), 3);
     assert_eq!(r.names, vec!["mcf", "povray", "libquantum", "gobmk"]);
     for row in &r.user_cycles {
@@ -34,7 +34,7 @@ fn improvements_bounded_and_consistent() {
     let pipeline = Pipeline::new(ExperimentConfig::fast(18));
     let specs = small_specs(&["bzip2", "soplex", "povray", "hmmer"]);
     let mut policy = WeightSortPolicy;
-    let r = pipeline.evaluate_mix(&specs, &mut policy);
+    let r = pipeline.evaluate_mix(&specs, &mut policy).unwrap();
     for pid in 0..4 {
         let imp = r.improvement_vs_worst(pid);
         assert!((0.0..=1.0).contains(&imp));
@@ -64,7 +64,9 @@ fn different_policies_can_share_measured_candidates() {
     let pipeline = Pipeline::new(ExperimentConfig::fast(20));
     let specs = small_specs(&["astar", "gobmk", "povray", "soplex"]);
     let choice = Mapping::new(vec![0, 0, 1, 1]);
-    let r = pipeline.evaluate_mix_with_choice(&specs, &choice, "external");
+    let r = pipeline
+        .evaluate_mix_with_choice(&specs, &choice, "external")
+        .unwrap();
     assert_eq!(r.policy, "external");
     assert_eq!(
         r.mappings[r.chosen].partition_key(2),
@@ -78,10 +80,12 @@ fn vm_pipeline_runs_end_to_end() {
     let pipeline = Pipeline::new(cfg);
     let specs = small_specs(&["gobmk", "povray", "milc", "sjeng"]);
     let mut policy = WeightSortPolicy;
-    let r = pipeline.evaluate_mix(&specs, &mut policy);
+    let r = pipeline.evaluate_mix(&specs, &mut policy).unwrap();
     assert_eq!(r.mappings.len(), 3);
     let native = Pipeline::new(ExperimentConfig::fast(21));
-    let rn = native.evaluate_mix_with_choice(&specs, &r.mappings[r.chosen], "native");
+    let rn = native
+        .evaluate_mix_with_choice(&specs, &r.mappings[r.chosen], "native")
+        .unwrap();
     let vm_total: u64 = r.user_cycles[r.chosen].iter().sum();
     let native_total: u64 = rn.user_cycles[r.chosen].iter().sum();
     assert!(

@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock harness exposing the API the workspace's benches
+//! use: `Criterion::bench_function`, `benchmark_group` (+ `sample_size`,
+//! `finish`), `Bencher::iter` / `iter_with_setup`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. No statistics beyond
+//! mean-per-iteration; good enough to keep benches compiling and give a
+//! rough number offline.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Override the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group; benches report as `group/id`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Close the group (reporting already happened per-bench).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; collects iteration timings.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over a batch of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time excluded.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..BATCH_WITH_SETUP {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+const BATCH: u64 = 64;
+const BATCH_WITH_SETUP: u64 = 4;
+
+fn run_bench<F>(id: &str, samples: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up pass, then timed samples.
+    let mut warm = Bencher::default();
+    f(&mut warm);
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher::default();
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+    }
+    if iters == 0 {
+        println!("bench {id}: no iterations recorded");
+        return;
+    }
+    let per_iter = total.as_nanos() / u128::from(iters);
+    println!("bench {id}: {per_iter} ns/iter ({iters} iters)");
+}
+
+/// Declare a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_runs_with_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut seen = 0u64;
+        g.bench_function("setup", |b| b.iter_with_setup(|| 3u64, |x| seen += x));
+        g.finish();
+        assert!(seen > 0);
+    }
+}

@@ -1,0 +1,471 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Hand-rolled over `proc_macro::TokenTree` (no `syn`/`quote` available
+//! offline). Supports exactly the shapes this workspace derives:
+//!
+//! * named-field structs (fields serialize in declaration order);
+//! * tuple structs (1-field newtypes are transparent, n-field become
+//!   arrays);
+//! * unit structs;
+//! * enums with unit, tuple and struct variants, externally tagged like
+//!   real serde (`"Variant"`, `{"Variant": inner}`).
+//!
+//! Generic type parameters are intentionally unsupported; deriving on a
+//! generic type is a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Shape {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: consume the bracket group.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)`.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut it);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut it);
+            }
+            Some(_) => {}
+            None => panic!("derive input contained no struct or enum"),
+        }
+    }
+}
+
+fn parse_struct(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Shape {
+    let name = expect_ident(it.next());
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+            name,
+            fields: parse_named_fields(g.stream()),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde stand-in derive does not support generic type `{name}`")
+        }
+        other => panic!("unexpected token after struct name `{name}`: {other:?}"),
+    }
+}
+
+fn parse_enum(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Shape {
+    let name = expect_ident(it.next());
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde stand-in derive does not support generic type `{name}`")
+        }
+        other => panic!("expected enum body for `{name}`, got {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        let vname = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                it.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name: vname, kind });
+        // Consume a trailing comma if present.
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+    }
+    Shape::Enum { name, variants }
+}
+
+fn skip_attributes(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        it.next(); // '#'
+        it.next(); // the [...] group
+    }
+}
+
+/// Field names of a `{ name: Type, ... }` body, skipping attributes,
+/// visibility and the type tokens (types can nest `<...>` with commas).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        let mut name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        if name == "pub" {
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+            name = expect_ident(it.next());
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type, tracking angle-bracket depth so commas inside
+        // `Vec<(u64, Pattern)>`-style types do not split fields.
+        let mut depth: i64 = 0;
+        let mut prev = ' ';
+        for tt in it.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' && prev != '-' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        break;
+                    }
+                    prev = c;
+                }
+                _ => prev = ' ',
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct / tuple-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth: i64 = 0;
+    let mut prev = ' ';
+    let mut commas = 0usize;
+    let mut any = false;
+    for tt in body {
+        any = true;
+        if let TokenTree::Punct(p) = &tt {
+            let c = p.as_char();
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' && prev != '-' {
+                depth -= 1;
+            } else if c == ',' && depth == 0 {
+                commas += 1;
+            }
+            prev = c;
+        } else {
+            prev = ' ';
+        }
+    }
+    if !any {
+        return 0;
+    }
+    // A trailing comma does not add a field; detect via prev.
+    if prev == ',' {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn expect_ident(tt: Option<TokenTree>) -> String {
+    match tt {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec::Vec::from([{}]))\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec::Vec::from([{}]))\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(\
+                             ::std::vec::Vec::from([(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(f0))])),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(\
+                                 ::std::vec::Vec::from([(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(::std::vec::Vec::from([{}])))])),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(\
+                                 ::std::vec::Vec::from([(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(::std::vec::Vec::from([{}])))])),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.expect_field(\"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            format!(
+                "let a = v.expect_array({arity})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let a = inner.expect_array({n})?; \
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         inner.expect_field(\"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(s) = v {{\n\
+                     return match s.as_str() {{\n{unit}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::msg(\
+                             format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }};\n\
+                 }}\n\
+                 let (tag, inner) = v.expect_enum()?;\n\
+                 let _ = inner;\n\
+                 match tag {{\n{data}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::msg(\
+                         format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    let name = match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,534 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders and parses the vendored [`serde::Value`] tree. Output is
+//! deterministic: object members keep insertion order, floats print via
+//! Rust's shortest-roundtrip `{}` formatting, and integers print exactly.
+//! This matters because the sweep-engine memoization tests compare
+//! artifacts byte-for-byte.
+
+pub use serde::Value;
+
+use serde::{DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced by serialization or deserialization.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn new(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Specialized result type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ------------------------------------------------------------- rendering
+
+/// Serialize to a compact single-line JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed (2-space indented) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Rebuild a `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    Ok(T::from_value(&value)?)
+}
+
+/// Parse a JSON string into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = parse(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let s = format!("{x}");
+        out.push_str(&s);
+        // Keep the number recognizably floating-point on re-parse.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // Real serde_json refuses non-finite floats; emitting null keeps
+        // artifact writing infallible, which the reporting layer assumes.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            _ => self.number(),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-walk UTF-8: back up and take the full char.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::new(format!("invalid number at byte {start}")));
+        }
+        if float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(format!("invalid float `{text}`")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .map_err(|_| Error::new(format!("invalid integer `{text}`")))
+                .and_then(|n| {
+                    i64::try_from(n)
+                        .map(|n| Value::I64(-n))
+                        .map_err(|_| Error::new(format!("integer `{text}` overflows i64")))
+                })
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::new(format!("invalid integer `{text}`")))
+        }
+    }
+}
+
+// ----------------------------------------------------------------- json!
+
+/// Build a [`Value`] from JSON-like syntax, interpolating Rust
+/// expressions (which must implement `serde::Serialize`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let items = {
+            let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+            $crate::json_items!(items ($($tt)+));
+            items
+        };
+        $crate::Value::Array(items)
+    }};
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let pairs = {
+            let mut pairs: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+                ::std::vec::Vec::new();
+            $crate::json_pairs!(pairs ($($tt)+));
+            pairs
+        };
+        $crate::Value::Object(pairs)
+    }};
+    ($other:expr) => {
+        ::serde::Serialize::to_value(&$other)
+    };
+}
+
+/// Internal muncher for `json!` object bodies: consumes one
+/// `key: value` entry per step. Values may be `null`, nested
+/// objects/arrays, or arbitrary Rust expressions (which stop at the
+/// entry's top-level comma).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_pairs {
+    ($pairs:ident ()) => {};
+    ($pairs:ident ($key:tt : null $(, $($rest:tt)*)?)) => {
+        $pairs.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_pairs!($pairs ($($($rest)*)?));
+    };
+    ($pairs:ident ($key:tt : { $($inner:tt)* } $(, $($rest:tt)*)?)) => {
+        $pairs.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_pairs!($pairs ($($($rest)*)?));
+    };
+    ($pairs:ident ($key:tt : [ $($inner:tt)* ] $(, $($rest:tt)*)?)) => {
+        $pairs.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_pairs!($pairs ($($($rest)*)?));
+    };
+    ($pairs:ident ($key:tt : $value:expr , $($rest:tt)*)) => {
+        $pairs.push(($key.to_string(), ::serde::Serialize::to_value(&$value)));
+        $crate::json_pairs!($pairs ($($rest)*));
+    };
+    ($pairs:ident ($key:tt : $value:expr)) => {
+        $pairs.push(($key.to_string(), ::serde::Serialize::to_value(&$value)));
+    };
+}
+
+/// Internal muncher for `json!` array bodies (same value grammar as
+/// [`json_pairs!`]).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ($items:ident ()) => {};
+    ($items:ident (null $(, $($rest:tt)*)?)) => {
+        $items.push($crate::Value::Null);
+        $crate::json_items!($items ($($($rest)*)?));
+    };
+    ($items:ident ({ $($inner:tt)* } $(, $($rest:tt)*)?)) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_items!($items ($($($rest)*)?));
+    };
+    ($items:ident ([ $($inner:tt)* ] $(, $($rest:tt)*)?)) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_items!($items ($($($rest)*)?));
+    };
+    ($items:ident ($value:expr , $($rest:tt)*)) => {
+        $items.push(::serde::Serialize::to_value(&$value));
+        $crate::json_items!($items ($($rest)*));
+    };
+    ($items:ident ($value:expr)) => {
+        $items.push(::serde::Serialize::to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = json!({
+            "name": "fig",
+            "items": [1, 2, 3],
+            "nested": {"ok": true, "ratio": 0.5},
+            "none": null,
+        });
+        let compact = to_string(&v).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn float_keeps_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn negative_integers() {
+        let back: i64 = from_str("-42").unwrap();
+        assert_eq!(back, -42);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line\n\"quoted\"\ttab";
+        let rendered = to_string(&s).unwrap();
+        let back: String = from_str(&rendered).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn interpolation() {
+        let n = 7u64;
+        let v = json!({"n": n, "list": [n, 8]});
+        assert_eq!(to_string(&v).unwrap(), r#"{"n":7,"list":[7,8]}"#);
+    }
+}
