@@ -1,0 +1,328 @@
+//! Simulation-kernel microbenchmarks — the perf trajectory of the hot
+//! path `Machine::run_* → MemorySystem::access → SetAssocCache::access`.
+//!
+//! Two passes share the same workloads:
+//!
+//! 1. a **criterion pass** (per-op timings printed to stdout) for
+//!    interactive comparison while optimising, and
+//! 2. a **measured pass** that times a fixed number of simulated
+//!    operations and merges one [`KernelBenchRecord`] per bench into
+//!    `<experiments_dir>/BENCH_kernel.json` — the artifact future perf
+//!    PRs diff against. Streaming benches are timed in slices and the
+//!    fastest per-op slice is reported (chunked-min): on a shared box,
+//!    scheduler and neighbour noise only ever *add* time, so the minimum
+//!    is the robust estimate of what the kernel itself costs.
+//!
+//! `SYMBIO_BENCH_QUICK=1` shrinks both passes (CI smoke mode: panics
+//! still fail the job, numbers are not gated).
+
+use criterion::{black_box, Criterion};
+use std::time::Instant;
+use symbio::obs::{write_kernel_bench_record, KernelBenchRecord};
+use symbio::prelude::*;
+use symbio_cache::{Address, SetAssocCache};
+use symbio_cbf::{CacheEventSink, LineLocation};
+
+fn quick() -> bool {
+    std::env::var("SYMBIO_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Deterministic address stream (xorshift64), identical across kernel
+/// revisions so ops/sec is comparable.
+struct AddrStream {
+    state: u64,
+}
+
+impl AddrStream {
+    fn new(seed: u64) -> Self {
+        AddrStream { state: seed | 1 }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+// ------------------------------------------------------------ workloads
+
+/// Set-assoc access storm: random lines over 4x the L2 capacity, two
+/// requesting cores, ~20 % writes — the miss/evict path dominates.
+fn storm_cache() -> SetAssocCache {
+    SetAssocCache::new(CacheGeometry::scaled_l2(), ReplacementPolicy::Lru, 2, 1)
+}
+
+#[inline]
+fn storm_step(cache: &mut SetAssocCache, s: &mut AddrStream, i: u64) {
+    let region = CacheGeometry::scaled_l2().size_bytes * 4;
+    let addr = Address((s.next() % region) & !63);
+    let core = (i & 1) as usize;
+    let write = i.is_multiple_of(5);
+    black_box(cache.access(core, addr, write));
+}
+
+/// Signature fill/evict stream with periodic context-switch snapshots.
+fn signature_unit() -> SignatureUnit {
+    let geo = CacheGeometry::scaled_l2();
+    SignatureUnit::new(SignatureConfig {
+        cores: 2,
+        sets: geo.sets(),
+        ways: geo.ways,
+        line_shift: geo.line_shift(),
+        counter_bits: 8,
+        hash: HashKind::Xor,
+        sampling: Sampling::FULL,
+    })
+}
+
+#[inline]
+fn signature_step(unit: &mut SignatureUnit, s: &mut AddrStream, i: u64) {
+    let geo = CacheGeometry::scaled_l2();
+    let block = s.next() >> 6;
+    let loc = LineLocation {
+        set: (block % u64::from(geo.sets())) as u32,
+        way: (i % u64::from(geo.ways)) as u32,
+    };
+    let core = (i & 1) as usize;
+    if i % 3 == 2 {
+        unit.on_evict(block, loc);
+    } else {
+        unit.on_fill(core, block, loc);
+    }
+    if i % 4096 == 4095 {
+        black_box(unit.switch_out(core));
+    }
+}
+
+/// A loaded 2-core machine (the paper's 4-on-2 shape) for quantum runs.
+fn quantum_machine() -> Machine {
+    let mut m = Machine::new(MachineConfig::scaled_core2duo(2024));
+    let l2 = CacheGeometry::scaled_l2().size_bytes;
+    for n in ["gobmk", "hmmer", "libquantum", "povray"] {
+        m.add_process(&spec2006::by_name(n, l2).unwrap());
+    }
+    m.start(None);
+    m
+}
+
+/// Total memory ops simulated so far (stable per-op progress metric).
+fn machine_mem_ops(m: &Machine) -> u64 {
+    (0..m.threads_len()).map(|t| m.thread(t).mem_ops).sum()
+}
+
+/// One full end-to-end mix evaluation (profile + measurement phases).
+fn mini_sweep_once(seed: u64) -> u64 {
+    let cfg = ExperimentConfig::fast(seed);
+    let l2 = cfg.machine.l2.size_bytes;
+    let specs: Vec<WorkloadSpec> = ["mcf", "gcc", "povray", "soplex"]
+        .iter()
+        .map(|n| {
+            let mut s = spec2006::by_name(n, l2).unwrap();
+            s.work /= 8;
+            s
+        })
+        .collect();
+    let pipeline = Pipeline::new(cfg);
+    let mut policy = WeightSortPolicy;
+    let r = pipeline.evaluate_mix(&specs, &mut policy).unwrap();
+    r.user_cycles.iter().flatten().sum()
+}
+
+// -------------------------------------------------------- criterion pass
+
+fn criterion_pass(samples: usize) {
+    let mut c = Criterion::default();
+    c.sample_size(samples);
+
+    c.bench_function("kernel/setassoc_storm", |b| {
+        let mut cache = storm_cache();
+        let mut s = AddrStream::new(0xDECAF);
+        let mut i = 0u64;
+        b.iter(|| {
+            storm_step(&mut cache, &mut s, i);
+            i += 1;
+        })
+    });
+
+    c.bench_function("kernel/signature_stream", |b| {
+        let mut unit = signature_unit();
+        let mut s = AddrStream::new(0xFACE);
+        let mut i = 0u64;
+        b.iter(|| {
+            signature_step(&mut unit, &mut s, i);
+            i += 1;
+        })
+    });
+
+    c.bench_function("kernel/machine_quantum", |b| {
+        let mut m = quantum_machine();
+        b.iter(|| m.run_for(black_box(100_000)))
+    });
+}
+
+// --------------------------------------------------------- measured pass
+
+fn record(name: &str, ops: u64, wall: f64) {
+    let rec = KernelBenchRecord::new(name, ops, wall);
+    println!(
+        "kernel-bench {name}: {ops} ops in {wall:.3}s = {:.0} ops/s ({:.1} ns/op)",
+        rec.ops_per_sec, rec.ns_per_op
+    );
+    let path = write_kernel_bench_record(&rec).expect("write BENCH_kernel.json");
+    let _ = path;
+}
+
+/// Run `body` (which returns `(ops, wall_seconds)`) `reps` times and keep
+/// the best-throughput run. Noise on a shared machine only ever adds
+/// time, so the fastest repetition is the robust cost estimate.
+fn best_of(reps: u32, mut body: impl FnMut() -> (u64, f64)) -> (u64, f64) {
+    let mut best: Option<(u64, f64)> = None;
+    for _ in 0..reps {
+        let (ops, wall) = body();
+        if best.is_none_or(|(bo, bw)| ops as f64 / wall > bo as f64 / bw) {
+            best = Some((ops, wall));
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn measured_pass(q: bool) {
+    let reps = if q { 1 } else { 3 };
+    let chunks = if q { 4 } else { 256 };
+
+    // Set-assoc access storm, timed in slices of one continuous stream;
+    // the fastest per-op slice is the noise-free kernel cost.
+    {
+        let ops: u64 = if q { 400_000 } else { 8_000_000 };
+        let per = ops / chunks;
+        let mut cache = storm_cache();
+        let mut s = AddrStream::new(0xDECAF);
+        let mut i = 0u64;
+        let mut best = f64::INFINITY;
+        for _ in 0..chunks {
+            let t0 = Instant::now();
+            for _ in 0..per {
+                storm_step(&mut cache, &mut s, i);
+                i += 1;
+            }
+            best = best.min(t0.elapsed().as_secs_f64() / per as f64);
+        }
+        record("setassoc_storm", ops, best * ops as f64);
+    }
+
+    // Signature fill/evict stream (same slicing).
+    {
+        let ops: u64 = if q { 400_000 } else { 8_000_000 };
+        let per = ops / chunks;
+        let mut unit = signature_unit();
+        let mut s = AddrStream::new(0xFACE);
+        let mut i = 0u64;
+        let mut best = f64::INFINITY;
+        for _ in 0..chunks {
+            let t0 = Instant::now();
+            for _ in 0..per {
+                signature_step(&mut unit, &mut s, i);
+                i += 1;
+            }
+            best = best.min(t0.elapsed().as_secs_f64() / per as f64);
+        }
+        record("signature_stream", ops, best * ops as f64);
+    }
+
+    // Full machine quantum: simulated memory ops per wall second while
+    // stepping a loaded 2-core machine across many scheduling quanta.
+    // One long run sliced into `run_for` chunks; fastest slice wins.
+    {
+        let cycles: u64 = if q { 20_000_000 } else { 400_000_000 };
+        let per = cycles / chunks;
+        let mut m = quantum_machine();
+        let mut best = f64::INFINITY;
+        let mut total_ops = 0u64;
+        for _ in 0..chunks {
+            let before = machine_mem_ops(&m);
+            let t0 = Instant::now();
+            m.run_for(per);
+            let dt = t0.elapsed().as_secs_f64();
+            let done = machine_mem_ops(&m) - before;
+            if done > 0 {
+                best = best.min(dt / done as f64);
+            }
+            total_ops += done;
+        }
+        record("machine_quantum", total_ops, best * total_ops as f64);
+    }
+
+    // Solo-core quantum: one thread on a 2-core machine — the profiling
+    // phase's shape, where batched stepping bypasses the frontier scan.
+    {
+        let cycles: u64 = if q { 20_000_000 } else { 400_000_000 };
+        let per = cycles / chunks;
+        let mut m = Machine::new(MachineConfig::scaled_core2duo(77));
+        let l2 = CacheGeometry::scaled_l2().size_bytes;
+        m.add_process(&spec2006::mcf(l2));
+        m.start(None);
+        let mut best = f64::INFINITY;
+        let mut total_ops = 0u64;
+        for _ in 0..chunks {
+            let before = machine_mem_ops(&m);
+            let t0 = Instant::now();
+            m.run_for(per);
+            let dt = t0.elapsed().as_secs_f64();
+            let done = machine_mem_ops(&m) - before;
+            if done > 0 {
+                best = best.min(dt / done as f64);
+            }
+            total_ops += done;
+        }
+        record("machine_quantum_solo", total_ops, best * total_ops as f64);
+    }
+
+    // End-to-end mini sweep (mix evaluations per second).
+    {
+        let (ops, wall) = best_of(reps, || {
+            let t0 = Instant::now();
+            black_box(mini_sweep_once(4242));
+            (1, t0.elapsed().as_secs_f64())
+        });
+        record("mini_sweep", ops, wall);
+    }
+
+    // Fig13-mix throughput: the CHANGES.md before/after number. Runs the
+    // first Figure 13 mix to completion and reports simulated memory ops
+    // per wall second.
+    {
+        let (ops, wall) = best_of(reps, || {
+            let mut m = Machine::new(MachineConfig::scaled_core2duo(2011));
+            let l2 = CacheGeometry::scaled_l2().size_bytes;
+            for n in ["gobmk", "hmmer", "libquantum", "povray"] {
+                let mut s = spec2006::by_name(n, l2).unwrap();
+                if q {
+                    s.work /= 8;
+                }
+                m.add_process(&s);
+            }
+            m.start(None);
+            let t0 = Instant::now();
+            let out = m.run_to_completion(20_000_000_000);
+            assert!(out.completed, "fig13 mix must finish");
+            let wall = t0.elapsed().as_secs_f64();
+            (machine_mem_ops(&m), wall)
+        });
+        record("fig13_mix_throughput", ops, wall);
+    }
+}
+
+fn main() {
+    let q = quick();
+    criterion_pass(if q { 2 } else { 8 });
+    measured_pass(q);
+    println!(
+        "BENCH_kernel.json written under {}",
+        symbio::report::experiments_dir().display()
+    );
+}

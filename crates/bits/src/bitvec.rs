@@ -180,6 +180,28 @@ impl BitVec {
         }
     }
 
+    /// `self & !other` written into `out` (same widths required) — the
+    /// allocation-free RBV construction for hot paths that reuse a scratch
+    /// vector across context switches.
+    pub fn and_not_into(&self, other: &BitVec, out: &mut BitVec) {
+        self.assert_same_width(other);
+        self.assert_same_width(out);
+        for ((o, a), b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
+            *o = a & !b;
+        }
+    }
+
+    /// `popcount(self & !other)` without materialising the intermediate
+    /// vector (e.g. destroyed-predecessor-lines weight `|LF & !CF|`).
+    pub fn and_not_popcount(&self, other: &BitVec) -> u32 {
+        self.assert_same_width(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones())
+            .sum()
+    }
+
     /// Logical implication `self → other` (i.e. `!self | other`), masked to
     /// the vector width. Provided because the paper phrases the RBV as the
     /// inverse of this operation.
@@ -441,6 +463,12 @@ mod tests {
             prop_assert_eq!(lhs, rhs);
             // |a & !b| + |a & b| = |a|
             prop_assert_eq!(a.and_not(&b).count_ones() + a.and_popcount(&b), a.count_ones());
+            // fused variants agree with their allocating counterparts
+            prop_assert_eq!(a.and_not_popcount(&b), a.and_not(&b).count_ones());
+            let mut out = BitVec::new(300);
+            out.set_all(); // stale scratch contents must be overwritten
+            a.and_not_into(&b, &mut out);
+            prop_assert_eq!(out, a.and_not(&b));
         }
 
         #[test]

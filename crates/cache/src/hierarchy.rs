@@ -125,6 +125,7 @@ impl MemorySystem {
     /// Caches are non-inclusive; L2 victims do not back-invalidate L1s
     /// (process-namespaced addresses make stale L1 lines harmless, they
     /// simply age out).
+    #[inline]
     pub fn access(
         &mut self,
         core: usize,

@@ -1,6 +1,25 @@
-//! One cache set: tags, validity, ownership and replacement bookkeeping.
+//! Flat line storage for every set of a cache: tags, packed metadata,
+//! replacement stamps and O(1) occupancy accounting.
+//!
+//! Earlier revisions kept a `Vec<CacheSet>` with five heap `Vec`s *per
+//! set*, which cost a pointer chase (and five separate allocations' worth
+//! of cache misses) on every probe. [`LineStore`] holds the whole cache in
+//! three cache-level arrays indexed by `set * ways + way`:
+//!
+//! * `tags` — the tag of each line;
+//! * `meta` — one packed byte per line: bit 0 valid, bit 1 dirty, bits
+//!   2..8 the filling core (so at most [`LineStore::MAX_CORES`] cores);
+//! * `stamps` — LRU last-touch / FIFO fill stamps.
+//!
+//! Probe and victim scans walk one contiguous ≤ 16-way slice. Running
+//! occupancy counters (total and per core) are maintained on fill/evict so
+//! footprint queries stop scanning every set.
 
 use crate::replacement::{ReplacementPolicy, XorShift64};
+
+const VALID: u8 = 1 << 0;
+const DIRTY: u8 = 1 << 1;
+const OWNER_SHIFT: u8 = 2;
 
 /// A line evicted from a set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,58 +51,109 @@ pub enum SetAccess {
     },
 }
 
-/// Storage for one set. Kept struct-of-arrays-per-set for cache-friendly
-/// scans of the (≤ 16) ways.
+/// Flat storage for every line of a cache (all sets), with O(1) running
+/// occupancy counters.
 #[derive(Debug, Clone)]
-pub struct CacheSet {
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
-    owner: Vec<u8>,
-    /// LRU: last-touch stamp. FIFO: fill stamp. Unused for Random.
-    stamp: Vec<u64>,
+pub struct LineStore {
+    ways: u32,
+    tags: Box<[u64]>,
+    meta: Box<[u8]>,
+    stamps: Box<[u64]>,
+    /// Valid lines per set. Lines are only invalidated en masse (flush),
+    /// so valid ways always form a prefix `[0, fill)` of the set — the
+    /// first free way is the fill count itself, no scan required, and a
+    /// full set (`fill == ways`) never has an invalid way to check for.
+    fill: Box<[u8]>,
+    valid_lines: u64,
+    owned: Box<[u64]>,
 }
 
-impl CacheSet {
-    /// An empty set with `ways` ways.
-    pub fn new(ways: u32) -> Self {
-        let w = ways as usize;
-        CacheSet {
-            tags: vec![0; w],
-            valid: vec![false; w],
-            dirty: vec![false; w],
-            owner: vec![0; w],
-            stamp: vec![0; w],
+impl LineStore {
+    /// Owner ids must fit the 6 packed metadata bits.
+    pub const MAX_CORES: usize = 64;
+
+    /// Reserved tag value marking an invalid line. Keeping the invariant
+    /// `invalid ⇔ tag == NO_TAG` lets the probe loop scan the tag array
+    /// alone — one stream of u64 compares — instead of consulting the
+    /// metadata bytes. Real tags are addresses shifted right by at least
+    /// the line bits, so all-ones can never occur.
+    const NO_TAG: u64 = u64::MAX;
+
+    /// Empty storage for `sets` sets of `ways` ways, serving `cores`
+    /// requestors.
+    pub fn new(sets: u32, ways: u32, cores: usize) -> Self {
+        assert!(ways >= 1, "at least one way");
+        assert!(ways <= 64, "probe hit masks are one u64");
+        assert!(
+            (1..=Self::MAX_CORES).contains(&cores),
+            "owner ids must fit 6 metadata bits (1..={} cores)",
+            Self::MAX_CORES
+        );
+        let lines = sets as usize * ways as usize;
+        LineStore {
+            ways,
+            tags: vec![Self::NO_TAG; lines].into_boxed_slice(),
+            meta: vec![0; lines].into_boxed_slice(),
+            stamps: vec![0; lines].into_boxed_slice(),
+            fill: vec![0; sets as usize].into_boxed_slice(),
+            valid_lines: 0,
+            owned: vec![0; cores].into_boxed_slice(),
         }
     }
 
-    /// Number of valid lines currently resident.
-    pub fn occupancy(&self) -> u32 {
-        self.valid.iter().filter(|&&v| v).count() as u32
+    /// Associativity.
+    #[inline]
+    pub fn ways(&self) -> u32 {
+        self.ways
     }
 
-    /// Number of valid lines owned by `core`.
-    pub fn occupancy_of(&self, core: u8) -> u32 {
-        self.valid
-            .iter()
-            .zip(&self.owner)
-            .filter(|&(&v, &o)| v && o == core)
-            .count() as u32
+    /// Number of valid lines currently resident (whole cache), O(1).
+    #[inline]
+    pub fn occupancy(&self) -> u64 {
+        self.valid_lines
     }
 
-    /// Probe without modifying replacement state (a "peek").
-    pub fn probe(&self, tag: u64) -> Option<u32> {
-        self.tags
-            .iter()
-            .zip(&self.valid)
-            .position(|(&t, &v)| v && t == tag)
-            .map(|w| w as u32)
+    /// Number of valid lines owned by `core`, O(1).
+    #[inline]
+    pub fn occupancy_of(&self, core: u8) -> u64 {
+        self.owned.get(core as usize).copied().unwrap_or(0)
     }
 
-    /// Access `tag` from `core` at logical time `now`; on a miss the line is
-    /// filled (write-allocate). `write` marks the line dirty.
+    /// First index of `set`'s slice.
+    #[inline]
+    fn base(&self, set: u32) -> usize {
+        set as usize * self.ways as usize
+    }
+
+    /// Branch-free hit scan: a compare mask over the set's tag slice
+    /// (fixed trip count, no early exit — the autovectoriser turns it
+    /// into a handful of packed compares), `trailing_zeros` for the way.
+    /// Invalid lines hold `NO_TAG` and can never match.
+    #[inline]
+    fn hit_mask(tags: &[u64], tag: u64) -> u64 {
+        let mut mask = 0u64;
+        for (w, &t) in tags.iter().enumerate() {
+            mask |= u64::from(t == tag) << w;
+        }
+        mask
+    }
+
+    /// Probe `set` for `tag` without modifying replacement state.
+    #[inline]
+    pub fn probe(&self, set: u32, tag: u64) -> Option<u32> {
+        debug_assert_ne!(tag, Self::NO_TAG, "all-ones tag is reserved");
+        let base = self.base(set);
+        let n = self.ways as usize;
+        let mask = Self::hit_mask(&self.tags[base..base + n], tag);
+        (mask != 0).then(|| mask.trailing_zeros())
+    }
+
+    /// Access `tag` in `set` from `core` at logical time `now`; on a miss
+    /// the line is filled (write-allocate). `write` marks the line dirty.
+    #[allow(clippy::too_many_arguments)]
     pub fn access(
         &mut self,
+        set: u32,
         tag: u64,
         core: u8,
         write: bool,
@@ -91,58 +161,96 @@ impl CacheSet {
         policy: ReplacementPolicy,
         rng: &mut XorShift64,
     ) -> SetAccess {
-        if let Some(way) = self.probe(tag) {
-            let w = way as usize;
+        debug_assert_ne!(tag, Self::NO_TAG, "all-ones tag is reserved");
+        let base = self.base(set);
+        let n = self.ways as usize;
+        // Borrow the set's slices once: bounds checks vanish from the scans,
+        // and each array streams linearly.
+        let tags = &mut self.tags[base..base + n];
+        let meta = &mut self.meta[base..base + n];
+        let stamps = &mut self.stamps[base..base + n];
+
+        // Hit probe: one branch-free compare mask over the tag stream,
+        // then a single well-predicted hit/miss branch.
+        let mask = Self::hit_mask(tags, tag);
+        if mask != 0 {
+            let w = mask.trailing_zeros() as usize;
             if policy == ReplacementPolicy::Lru {
-                self.stamp[w] = now;
+                stamps[w] = now;
             }
             if write {
-                self.dirty[w] = true;
+                meta[w] |= DIRTY;
             }
-            return SetAccess::Hit { way };
+            return SetAccess::Hit { way: w as u32 };
         }
 
-        // Miss: choose a victim way — prefer an invalid way.
-        let way = if let Some(w) = self.valid.iter().position(|&v| !v) {
-            w as u32
+        // Miss. Valid ways form a prefix of the set, so when the set is
+        // not yet full the first free way *is* the fill count — no scan.
+        // A full set replaces the policy's victim (first-minimum stamp
+        // for LRU/FIFO), found by streaming the stamps array alone.
+        let filled = self.fill[set as usize] as usize;
+        let (way, evicted) = if filled < n {
+            self.fill[set as usize] = (filled + 1) as u8;
+            self.valid_lines += 1;
+            (filled, None)
         } else {
-            match policy {
-                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self
-                    .stamp
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(_, &s)| s)
-                    .map(|(w, _)| w as u32)
-                    .expect("non-empty set"),
-                ReplacementPolicy::Random => rng.below(self.tags.len() as u32),
-            }
-        };
-
-        let w = way as usize;
-        let evicted = if self.valid[w] {
-            Some(Evicted {
-                tag: self.tags[w],
+            let way = match policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                    // First-minimum stamp as a packed min reduction:
+                    // `(stamp << 6) | way` orders lexicographically by
+                    // (stamp, way), so the minimum is the oldest stamp
+                    // with the lowest way breaking ties — and the loop
+                    // is a plain umin reduction the autovectoriser can
+                    // turn into packed compares instead of a serial
+                    // 16-deep cmov chain.
+                    debug_assert!(now < (1 << 58), "stamps must fit 58 bits");
+                    let mut best = u64::MAX;
+                    for (w, &s) in stamps.iter().enumerate() {
+                        let packed = (s << 6) | w as u64;
+                        if packed < best {
+                            best = packed;
+                        }
+                    }
+                    (best & 63) as usize
+                }
+                ReplacementPolicy::Random => rng.below(self.ways) as usize,
+            };
+            let m = meta[way];
+            debug_assert_ne!(m & VALID, 0, "full set holds only valid lines");
+            let owner = m >> OWNER_SHIFT;
+            self.owned[owner as usize] -= 1;
+            (
                 way,
-                owner: self.owner[w],
-                dirty: self.dirty[w],
-            })
-        } else {
-            None
+                Some(Evicted {
+                    tag: tags[way],
+                    way: way as u32,
+                    owner,
+                    dirty: m & DIRTY != 0,
+                }),
+            )
         };
 
-        self.tags[w] = tag;
-        self.valid[w] = true;
-        self.dirty[w] = write;
-        self.owner[w] = core;
-        self.stamp[w] = now; // fill time (FIFO) == first touch (LRU)
-        SetAccess::Miss { way, evicted }
+        tags[way] = tag;
+        meta[way] = VALID | if write { DIRTY } else { 0 } | (core << OWNER_SHIFT);
+        stamps[way] = now; // fill time (FIFO) == first touch (LRU)
+        self.owned[core as usize] += 1;
+        SetAccess::Miss {
+            way: way as u32,
+            evicted,
+        }
     }
 
     /// Invalidate every line (returns how many were valid).
-    pub fn flush(&mut self) -> u32 {
-        let n = self.occupancy();
-        self.valid.fill(false);
-        self.dirty.fill(false);
+    pub fn flush(&mut self) -> u64 {
+        let n = self.valid_lines;
+        for m in self.meta.iter_mut() {
+            *m &= !(VALID | DIRTY);
+        }
+        // Restore the probe invariant: invalid lines hold NO_TAG.
+        self.tags.fill(Self::NO_TAG);
+        self.fill.fill(0);
+        self.valid_lines = 0;
+        self.owned.fill(0);
         n
     }
 }
@@ -155,26 +263,31 @@ mod tests {
         XorShift64::new(1)
     }
 
+    /// One-set store: the per-set behaviours in isolation.
+    fn one_set(ways: u32) -> LineStore {
+        LineStore::new(1, ways, 2)
+    }
+
     #[test]
     fn fill_then_hit() {
-        let mut s = CacheSet::new(4);
+        let mut s = one_set(4);
         let mut r = rng();
-        let first = s.access(10, 0, false, 1, ReplacementPolicy::Lru, &mut r);
+        let first = s.access(0, 10, 0, false, 1, ReplacementPolicy::Lru, &mut r);
         assert!(matches!(first, SetAccess::Miss { evicted: None, .. }));
-        let second = s.access(10, 0, false, 2, ReplacementPolicy::Lru, &mut r);
+        let second = s.access(0, 10, 0, false, 2, ReplacementPolicy::Lru, &mut r);
         assert!(matches!(second, SetAccess::Hit { .. }));
         assert_eq!(s.occupancy(), 1);
     }
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut s = CacheSet::new(2);
+        let mut s = one_set(2);
         let mut r = rng();
-        s.access(1, 0, false, 1, ReplacementPolicy::Lru, &mut r);
-        s.access(2, 0, false, 2, ReplacementPolicy::Lru, &mut r);
+        s.access(0, 1, 0, false, 1, ReplacementPolicy::Lru, &mut r);
+        s.access(0, 2, 0, false, 2, ReplacementPolicy::Lru, &mut r);
         // Touch tag 1 so tag 2 becomes LRU.
-        s.access(1, 0, false, 3, ReplacementPolicy::Lru, &mut r);
-        let out = s.access(3, 0, false, 4, ReplacementPolicy::Lru, &mut r);
+        s.access(0, 1, 0, false, 3, ReplacementPolicy::Lru, &mut r);
+        let out = s.access(0, 3, 0, false, 4, ReplacementPolicy::Lru, &mut r);
         match out {
             SetAccess::Miss {
                 evicted: Some(e), ..
@@ -185,13 +298,13 @@ mod tests {
 
     #[test]
     fn fifo_ignores_touches() {
-        let mut s = CacheSet::new(2);
+        let mut s = one_set(2);
         let mut r = rng();
-        s.access(1, 0, false, 1, ReplacementPolicy::Fifo, &mut r);
-        s.access(2, 0, false, 2, ReplacementPolicy::Fifo, &mut r);
+        s.access(0, 1, 0, false, 1, ReplacementPolicy::Fifo, &mut r);
+        s.access(0, 2, 0, false, 2, ReplacementPolicy::Fifo, &mut r);
         // Touch tag 1; FIFO must still evict it (oldest fill).
-        s.access(1, 0, false, 3, ReplacementPolicy::Fifo, &mut r);
-        let out = s.access(3, 0, false, 4, ReplacementPolicy::Fifo, &mut r);
+        s.access(0, 1, 0, false, 3, ReplacementPolicy::Fifo, &mut r);
+        let out = s.access(0, 3, 0, false, 4, ReplacementPolicy::Fifo, &mut r);
         match out {
             SetAccess::Miss {
                 evicted: Some(e), ..
@@ -202,10 +315,10 @@ mod tests {
 
     #[test]
     fn dirty_propagates_to_victim() {
-        let mut s = CacheSet::new(1);
+        let mut s = one_set(1);
         let mut r = rng();
-        s.access(1, 0, true, 1, ReplacementPolicy::Lru, &mut r);
-        let out = s.access(2, 0, false, 2, ReplacementPolicy::Lru, &mut r);
+        s.access(0, 1, 0, true, 1, ReplacementPolicy::Lru, &mut r);
+        let out = s.access(0, 2, 0, false, 2, ReplacementPolicy::Lru, &mut r);
         match out {
             SetAccess::Miss {
                 evicted: Some(e), ..
@@ -216,14 +329,14 @@ mod tests {
 
     #[test]
     fn owner_recorded_per_fill() {
-        let mut s = CacheSet::new(2);
+        let mut s = one_set(2);
         let mut r = rng();
-        s.access(1, 0, false, 1, ReplacementPolicy::Lru, &mut r);
-        s.access(2, 1, false, 2, ReplacementPolicy::Lru, &mut r);
+        s.access(0, 1, 0, false, 1, ReplacementPolicy::Lru, &mut r);
+        s.access(0, 2, 1, false, 2, ReplacementPolicy::Lru, &mut r);
         assert_eq!(s.occupancy_of(0), 1);
         assert_eq!(s.occupancy_of(1), 1);
         // Core 1 steals core 0's line.
-        let out = s.access(3, 1, false, 3, ReplacementPolicy::Lru, &mut r);
+        let out = s.access(0, 3, 1, false, 3, ReplacementPolicy::Lru, &mut r);
         match out {
             SetAccess::Miss {
                 evicted: Some(e), ..
@@ -231,17 +344,18 @@ mod tests {
             other => panic!("expected eviction, got {other:?}"),
         }
         assert_eq!(s.occupancy_of(1), 2);
+        assert_eq!(s.occupancy_of(0), 0);
     }
 
     #[test]
     fn probe_does_not_touch_lru() {
-        let mut s = CacheSet::new(2);
+        let mut s = one_set(2);
         let mut r = rng();
-        s.access(1, 0, false, 1, ReplacementPolicy::Lru, &mut r);
-        s.access(2, 0, false, 2, ReplacementPolicy::Lru, &mut r);
-        assert_eq!(s.probe(1), Some(0));
+        s.access(0, 1, 0, false, 1, ReplacementPolicy::Lru, &mut r);
+        s.access(0, 2, 0, false, 2, ReplacementPolicy::Lru, &mut r);
+        assert_eq!(s.probe(0, 1), Some(0));
         // probing tag 1 must NOT refresh it; tag 1 is still LRU.
-        let out = s.access(3, 0, false, 5, ReplacementPolicy::Lru, &mut r);
+        let out = s.access(0, 3, 0, false, 5, ReplacementPolicy::Lru, &mut r);
         match out {
             SetAccess::Miss {
                 evicted: Some(e), ..
@@ -252,13 +366,51 @@ mod tests {
 
     #[test]
     fn flush_empties() {
-        let mut s = CacheSet::new(4);
+        let mut s = one_set(4);
         let mut r = rng();
         for t in 0..4 {
-            s.access(t, 0, false, t, ReplacementPolicy::Lru, &mut r);
+            s.access(0, t, 0, false, t, ReplacementPolicy::Lru, &mut r);
         }
         assert_eq!(s.flush(), 4);
         assert_eq!(s.occupancy(), 0);
-        assert_eq!(s.probe(0), None);
+        assert_eq!(s.occupancy_of(0), 0);
+        assert_eq!(s.probe(0, 0), None);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut s = LineStore::new(4, 2, 2);
+        let mut r = rng();
+        // Same tag in two sets: two distinct lines.
+        s.access(0, 7, 0, false, 1, ReplacementPolicy::Lru, &mut r);
+        s.access(3, 7, 1, false, 2, ReplacementPolicy::Lru, &mut r);
+        assert_eq!(s.occupancy(), 2);
+        assert_eq!(s.probe(0, 7), Some(0));
+        assert_eq!(s.probe(3, 7), Some(0));
+        assert_eq!(s.probe(1, 7), None);
+        assert_eq!(s.occupancy_of(0), 1);
+        assert_eq!(s.occupancy_of(1), 1);
+    }
+
+    #[test]
+    fn occupancy_counters_track_evictions() {
+        let mut s = one_set(2);
+        let mut r = rng();
+        // Fill both ways from core 0, then thrash from core 1: totals stay
+        // at capacity while ownership migrates.
+        s.access(0, 1, 0, false, 1, ReplacementPolicy::Lru, &mut r);
+        s.access(0, 2, 0, false, 2, ReplacementPolicy::Lru, &mut r);
+        assert_eq!((s.occupancy(), s.occupancy_of(0)), (2, 2));
+        s.access(0, 3, 1, false, 3, ReplacementPolicy::Lru, &mut r);
+        s.access(0, 4, 1, false, 4, ReplacementPolicy::Lru, &mut r);
+        assert_eq!(s.occupancy(), 2);
+        assert_eq!(s.occupancy_of(0), 0);
+        assert_eq!(s.occupancy_of(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "6 metadata bits")]
+    fn too_many_cores_rejected() {
+        let _ = LineStore::new(1, 2, 65);
     }
 }

@@ -3,7 +3,7 @@
 use crate::addr::Address;
 use crate::geometry::CacheGeometry;
 use crate::replacement::{ReplacementPolicy, XorShift64};
-use crate::set::{CacheSet, SetAccess};
+use crate::set::{LineStore, SetAccess};
 use crate::stats::CacheStats;
 use symbio_cbf::LineLocation;
 
@@ -36,11 +36,15 @@ pub struct AccessOutcome {
 /// Tracks, per requesting core: accesses/hits/misses, evictions caused, and
 /// — crucially for the interference analysis — evictions *suffered* (lines
 /// this core filled that another core's miss displaced).
+///
+/// All lines live in one flat [`LineStore`] (tags / packed metadata /
+/// stamps indexed by `set * ways + way`) with running occupancy counters,
+/// so footprint queries are O(1) instead of a scan over every set.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geo: CacheGeometry,
     policy: ReplacementPolicy,
-    sets: Vec<CacheSet>,
+    lines: LineStore,
     stats: Vec<CacheStats>,
     rng: XorShift64,
     tick: u64,
@@ -50,9 +54,9 @@ impl SetAssocCache {
     /// Build an empty cache serving `cores` requestors.
     pub fn new(geo: CacheGeometry, policy: ReplacementPolicy, cores: usize, seed: u64) -> Self {
         geo.validate();
-        assert!(cores >= 1 && cores <= u8::MAX as usize);
+        assert!((1..=LineStore::MAX_CORES).contains(&cores));
         SetAssocCache {
-            sets: (0..geo.sets()).map(|_| CacheSet::new(geo.ways)).collect(),
+            lines: LineStore::new(geo.sets(), geo.ways, cores),
             stats: vec![CacheStats::default(); cores],
             geo,
             policy,
@@ -69,15 +73,15 @@ impl SetAssocCache {
     /// Access `addr` on behalf of `core`. Fills on miss; returns the victim
     /// (if any) so the caller can emit signature events and charge
     /// writeback bandwidth.
+    #[inline]
     pub fn access(&mut self, core: usize, addr: Address, write: bool) -> AccessOutcome {
         self.tick += 1;
         let set_idx = self.geo.set_of(addr);
         let tag = self.geo.tag_of(addr);
-        let set = &mut self.sets[set_idx as usize];
-        let st = &mut self.stats[core];
-        st.accesses += 1;
+        self.stats[core].accesses += 1;
 
-        match set.access(
+        match self.lines.access(
+            set_idx,
             tag,
             core as u8,
             write,
@@ -86,7 +90,7 @@ impl SetAssocCache {
             &mut self.rng,
         ) {
             SetAccess::Hit { way } => {
-                st.hits += 1;
+                self.stats[core].hits += 1;
                 AccessOutcome {
                     hit: true,
                     loc: LineLocation { set: set_idx, way },
@@ -94,16 +98,16 @@ impl SetAssocCache {
                 }
             }
             SetAccess::Miss { way, evicted } => {
-                st.misses += 1;
+                self.stats[core].misses += 1;
                 let evicted = evicted.map(|e| {
-                    self.stats[core].evictions_caused += 1;
-                    if e.dirty {
-                        self.stats[core].writebacks += 1;
-                    }
+                    let st = &mut self.stats[core];
+                    st.evictions_caused += 1;
+                    st.writebacks += u64::from(e.dirty);
+                    // Branchless: an owner evicting its own line adds 0.
+                    // (Owners come from fills, so the index is in range.)
                     let owner = e.owner as usize;
-                    if owner != core && owner < self.stats.len() {
-                        self.stats[owner].evictions_suffered += 1;
-                    }
+                    debug_assert!(owner < self.stats.len());
+                    self.stats[owner].evictions_suffered += u64::from(owner != core);
                     EvictedLine {
                         block: self.geo.block_of(e.tag, set_idx),
                         loc: LineLocation {
@@ -125,21 +129,20 @@ impl SetAssocCache {
 
     /// Probe without disturbing replacement state or stats.
     pub fn contains(&self, addr: Address) -> bool {
-        let set_idx = self.geo.set_of(addr) as usize;
-        self.sets[set_idx].probe(self.geo.tag_of(addr)).is_some()
+        self.lines
+            .probe(self.geo.set_of(addr), self.geo.tag_of(addr))
+            .is_some()
     }
 
-    /// Ground-truth footprint: valid lines currently resident.
+    /// Ground-truth footprint: valid lines currently resident. O(1).
     pub fn resident_lines(&self) -> u64 {
-        self.sets.iter().map(|s| u64::from(s.occupancy())).sum()
+        self.lines.occupancy()
     }
 
     /// Ground-truth per-core footprint: valid lines last filled by `core`.
+    /// O(1).
     pub fn resident_lines_of(&self, core: usize) -> u64 {
-        self.sets
-            .iter()
-            .map(|s| u64::from(s.occupancy_of(core as u8)))
-            .sum()
+        self.lines.occupancy_of(core as u8)
     }
 
     /// Stats for one requesting core.
@@ -158,9 +161,7 @@ impl SetAssocCache {
 
     /// Invalidate everything (counters retained).
     pub fn flush(&mut self) {
-        for s in &mut self.sets {
-            s.flush();
-        }
+        self.lines.flush();
     }
 
     /// Zero the statistics (contents retained).

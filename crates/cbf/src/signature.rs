@@ -43,7 +43,7 @@ impl CacheEventSink for NullSink {
 /// The scheduler-visible record produced when a process is switched out of a
 /// core: the paper's `(2 + N)`-entry per-process structure (last core,
 /// occupancy weight, and symbiosis with each of the N cores).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SignatureSample {
     /// Core the process was just switched out of.
     pub core: usize,
@@ -105,6 +105,8 @@ pub struct SignatureUnit {
     counters: CounterArray,
     cf: Vec<BitVec>,
     lf: Vec<BitVec>,
+    /// Reused RBV buffer so context-switch sampling allocates nothing.
+    rbv_scratch: BitVec,
     fills: u64,
     evictions: u64,
     snapshots: u64,
@@ -119,6 +121,7 @@ impl SignatureUnit {
             counters: CounterArray::new(entries, cfg.counter_bits),
             cf: (0..cfg.cores).map(|_| BitVec::new(entries)).collect(),
             lf: (0..cfg.cores).map(|_| BitVec::new(entries)).collect(),
+            rbv_scratch: BitVec::new(entries),
             cfg,
             fills: 0,
             evictions: 0,
@@ -197,11 +200,19 @@ impl SignatureUnit {
     /// Hardware context-switch operation: sample the RBV-derived metrics
     /// for the process leaving `core`, then snapshot `LF ← CF`.
     pub fn switch_out(&mut self, core: usize) -> SignatureSample {
-        let sample = self.peek_sample(core);
+        let mut sample = SignatureSample::default();
+        self.switch_out_into(core, &mut sample);
+        sample
+    }
+
+    /// [`SignatureUnit::switch_out`] writing into a caller-owned sample —
+    /// the hot-path variant: with a warm `out` (and the unit's internal RBV
+    /// scratch) a context switch performs zero heap allocations.
+    pub fn switch_out_into(&mut self, core: usize, out: &mut SignatureSample) {
+        self.sample_into(core, out);
         let (cf, lf) = (&self.cf[core], &mut self.lf[core]);
         lf.copy_from(cf);
         self.snapshots += 1;
-        sample
     }
 
     /// Compute the metrics the hardware *would* report for `core` now,
@@ -213,7 +224,7 @@ impl SignatureUnit {
         let overlap = (0..self.cfg.cores)
             .map(|j| {
                 if j == core {
-                    self.lf[j].and_not(&self.cf[j]).count_ones()
+                    self.lf[j].and_not_popcount(&self.cf[j])
                 } else {
                     rbv.and_popcount(&self.cf[j])
                 }
@@ -226,6 +237,28 @@ impl SignatureUnit {
             overlap,
             filter_len: rbv.len(),
         }
+    }
+
+    /// [`SignatureUnit::peek_sample`] into a caller-owned sample, reusing
+    /// the unit's RBV scratch buffer (filter state is not changed; only the
+    /// scratch is overwritten).
+    pub fn sample_into(&mut self, core: usize, out: &mut SignatureSample) {
+        let rbv = &mut self.rbv_scratch;
+        self.cf[core].and_not_into(&self.lf[core], rbv);
+        out.core = core;
+        out.occupancy = rbv.count_ones();
+        out.filter_len = rbv.len();
+        out.symbiosis.clear();
+        out.symbiosis
+            .extend(self.cf.iter().map(|cf_j| rbv.xor_popcount(cf_j)));
+        out.overlap.clear();
+        out.overlap.extend((0..self.cfg.cores).map(|j| {
+            if j == core {
+                self.lf[j].and_not_popcount(&self.cf[j])
+            } else {
+                rbv.and_popcount(&self.cf[j])
+            }
+        }));
     }
 
     /// Clear all filters and counters (e.g. between experiment phases).
@@ -419,6 +452,30 @@ mod tests {
         assert_eq!(u.snapshots(), 0);
         assert_eq!(u.global_occupancy(), 0);
         assert_eq!(u.core_occupancy(0), 0);
+    }
+
+    #[test]
+    fn sample_into_matches_allocating_path() {
+        let mut u = SignatureUnit::new(tiny_cfg(HashKind::Modulo));
+        for i in 0u64..6 {
+            u.on_fill((i % 2) as usize, i, loc(i as u32, 0));
+        }
+        // A stale, previously-used sample must be fully overwritten.
+        let mut out = SignatureSample {
+            core: 9,
+            occupancy: 99,
+            symbiosis: vec![1, 2, 3, 4],
+            overlap: vec![5],
+            filter_len: 1,
+        };
+        let peeked = u.peek_sample(1);
+        u.sample_into(1, &mut out);
+        assert_eq!(out, peeked);
+        let mut switched = SignatureSample::default();
+        u.switch_out_into(1, &mut switched);
+        assert_eq!(switched, peeked);
+        assert_eq!(u.snapshots(), 1);
+        assert_eq!(u.running_bit_vector(1).count_ones(), 0, "LF snapshotted");
     }
 
     #[test]

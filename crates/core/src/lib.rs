@@ -71,6 +71,8 @@ pub use exec::{CancelToken, ExecOptions};
 pub use memo::MeasureCache;
 pub use metrics::{BenchmarkSummary, Improvement};
 pub use mixes::{candidate_mappings, mixes_of};
-pub use obs::{BenchRecord, CounterSnapshot, Counters, Progress, Timings, Trace};
+pub use obs::{
+    BenchRecord, CounterSnapshot, Counters, KernelBenchRecord, Progress, Timings, Trace,
+};
 pub use pipeline::{MixResult, Pipeline, ProfileResult};
 pub use sweep::{sweep_multithreaded, sweep_pool, SweepEngine, SweepOptions, SweepOutcome};

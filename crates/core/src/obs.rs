@@ -234,11 +234,11 @@ impl BenchRecord {
     }
 }
 
-/// Merge `record` into `<experiments_dir>/BENCH_sweep.json`, an object
-/// keyed by sweep name (later runs of the same sweep overwrite their
+/// Merge one `key → value` entry into `<experiments_dir>/<file>`, an
+/// object keyed by bench name (later runs of the same key overwrite their
 /// entry; other entries persist). Returns the file's path.
-pub fn write_bench_record(record: &BenchRecord) -> std::io::Result<PathBuf> {
-    let path = experiments_dir().join("BENCH_sweep.json");
+pub fn merge_bench_entry(file: &str, key: &str, value: Value) -> std::io::Result<PathBuf> {
+    let path = experiments_dir().join(file);
     let mut entries: Vec<(String, Value)> = match std::fs::read_to_string(&path) {
         Ok(text) => match serde_json::from_str::<Value>(&text) {
             Ok(Value::Object(pairs)) => pairs,
@@ -246,14 +246,68 @@ pub fn write_bench_record(record: &BenchRecord) -> std::io::Result<PathBuf> {
         },
         Err(_) => Vec::new(),
     };
-    let value = serde::Serialize::to_value(record);
-    match entries.iter_mut().find(|(k, _)| *k == record.name) {
+    match entries.iter_mut().find(|(k, _)| *k == key) {
         Some((_, v)) => *v = value,
-        None => entries.push((record.name.clone(), value)),
+        None => entries.push((key.to_string(), value)),
     }
     let text = serde_json::to_string_pretty(&Value::Object(entries))?;
     std::fs::write(&path, text + "\n")?;
     Ok(path)
+}
+
+/// Merge `record` into `<experiments_dir>/BENCH_sweep.json`, an object
+/// keyed by sweep name (later runs of the same sweep overwrite their
+/// entry; other entries persist). Returns the file's path.
+pub fn write_bench_record(record: &BenchRecord) -> std::io::Result<PathBuf> {
+    merge_bench_entry(
+        "BENCH_sweep.json",
+        &record.name,
+        serde::Serialize::to_value(record),
+    )
+}
+
+/// One simulation-kernel microbenchmark's throughput record for
+/// `BENCH_kernel.json` — the perf trajectory every kernel PR is measured
+/// against. `ops` is the number of *simulated operations* the bench
+/// issued (cache accesses, signature events, memory ops…), so
+/// `ops_per_sec` is comparable across kernel revisions as long as the
+/// bench workload is unchanged.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelBenchRecord {
+    /// Microbench name (artifact key).
+    pub name: String,
+    /// Simulated operations executed.
+    pub ops: u64,
+    /// Wall-clock seconds for the measured pass.
+    pub wall_seconds: f64,
+    /// Nanoseconds per simulated operation.
+    pub ns_per_op: f64,
+    /// Simulated operations per wall-clock second.
+    pub ops_per_sec: f64,
+}
+
+impl KernelBenchRecord {
+    /// Assemble a record from a measured pass.
+    pub fn new(name: &str, ops: u64, wall_seconds: f64) -> Self {
+        let wall = wall_seconds.max(1e-9);
+        KernelBenchRecord {
+            name: name.to_string(),
+            ops,
+            wall_seconds,
+            ns_per_op: wall * 1e9 / (ops.max(1) as f64),
+            ops_per_sec: ops as f64 / wall,
+        }
+    }
+}
+
+/// Merge `record` into `<experiments_dir>/BENCH_kernel.json` (same
+/// keyed-object merge semantics as [`write_bench_record`]).
+pub fn write_kernel_bench_record(record: &KernelBenchRecord) -> std::io::Result<PathBuf> {
+    merge_bench_entry(
+        "BENCH_kernel.json",
+        &record.name,
+        serde::Serialize::to_value(record),
+    )
 }
 
 #[cfg(test)]

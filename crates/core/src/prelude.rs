@@ -6,7 +6,9 @@ pub use crate::exec::{CancelToken, ExecOptions};
 pub use crate::memo::MeasureCache;
 pub use crate::metrics::{BenchmarkSummary, Improvement};
 pub use crate::mixes::{candidate_mappings, mixes_of};
-pub use crate::obs::{BenchRecord, CounterSnapshot, Counters, Progress, Timings, Trace};
+pub use crate::obs::{
+    BenchRecord, CounterSnapshot, Counters, KernelBenchRecord, Progress, Timings, Trace,
+};
 pub use crate::pipeline::{MixResult, Pipeline, ProfileResult};
 pub use crate::report;
 pub use crate::sweep::{sweep_multithreaded, sweep_pool, SweepEngine, SweepOptions, SweepOutcome};

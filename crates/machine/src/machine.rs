@@ -6,7 +6,7 @@ use crate::sched::Scheduler;
 use crate::thread::{ProcView, Thread, ThreadView};
 use serde::{Deserialize, Serialize};
 use symbio_cache::{AccessLevel, Address, Dram, MemorySystem};
-use symbio_cbf::{NullSink, SignatureUnit};
+use symbio_cbf::{NullSink, SignatureSample, SignatureUnit};
 use symbio_workloads::{Op, Pattern, ThreadSpec, WorkloadGen, WorkloadSpec};
 
 /// Shift applied to `pid + 1` to namespace each process's address space.
@@ -85,6 +85,19 @@ impl RunOutcome {
     }
 }
 
+/// Scheduling-relevant events produced by executing one operation; the
+/// batched run loops use them to fall back to the slow path exactly where
+/// the unbatched engine would have re-evaluated state.
+#[derive(Debug, Clone, Copy)]
+struct StepEvents {
+    /// The quantum expired and the thread was switched out (core now idle
+    /// between threads; frontier and dispatch state must be recomputed).
+    preempted: bool,
+    /// A gating thread finished its first run (`all_complete` may have
+    /// flipped).
+    gating_first_completion: bool,
+}
+
 /// The simulated machine (see the crate docs for the architecture).
 #[derive(Debug)]
 pub struct Machine {
@@ -101,6 +114,10 @@ pub struct Machine {
     clocks: Vec<u64>,
     switches: u64,
     jitter_state: u64,
+    /// Reused signature-sample buffer: context switches are the most
+    /// frequent non-op event, and with this (plus the unit's RBV scratch)
+    /// they stay off the allocator entirely.
+    sample_scratch: SignatureSample,
     sealed: bool,
 }
 
@@ -130,6 +147,7 @@ impl Machine {
             clocks: vec![0; cfg.cores],
             switches: 0,
             jitter_state: cfg.seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+            sample_scratch: SignatureSample::default(),
             cfg,
             sealed: false,
         }
@@ -321,8 +339,8 @@ impl Machine {
 
     fn take_signature_sample(&mut self, core: usize, tid: usize) {
         if let Some(sig) = &mut self.sig {
-            let sample = sig.switch_out(core);
-            self.threads[tid].sig.update(&sample);
+            sig.switch_out_into(core, &mut self.sample_scratch);
+            self.threads[tid].sig.update(&self.sample_scratch);
         }
     }
 
@@ -344,14 +362,28 @@ impl Machine {
     /// when no core has work.
     pub fn step_one(&mut self) -> bool {
         debug_assert!(self.sealed, "start() the machine first");
-        let Some(core) = (0..self.cfg.cores)
-            .filter(|&c| self.sched.has_work(c))
-            .min_by_key(|&c| self.clocks[c])
-        else {
+        let Some(core) = self.frontier_core() else {
             return false;
         };
+        let tid = self.ensure_current(core);
+        self.exec_op(core, tid);
+        true
+    }
 
-        let tid = match self.sched.current(core) {
+    /// The most-behind active core: first minimum of the active clocks
+    /// (lowest index wins ties, matching `min_by_key`).
+    #[inline]
+    fn frontier_core(&self) -> Option<usize> {
+        (0..self.cfg.cores)
+            .filter(|&c| self.sched.has_work(c))
+            .min_by_key(|&c| self.clocks[c])
+    }
+
+    /// The thread running on `core`, dispatching (and arming a jittered
+    /// quantum) when the core is between threads.
+    #[inline]
+    fn ensure_current(&mut self, core: usize) -> usize {
+        match self.sched.current(core) {
             Some(t) => t,
             None => {
                 let base = self.cfg.effective_quantum();
@@ -366,8 +398,37 @@ impl Machine {
                 }
                 t
             }
-        };
+        }
+    }
 
+    /// The largest value `clocks[core]` may hold *before* an op such that
+    /// the op is one the unbatched engine would also execute next: `core`
+    /// must still win the frontier tie-break against every other active
+    /// core (whose clocks cannot move during the batch) and stay below
+    /// `stop_before`. Requires `clocks[core] < stop_before`.
+    #[inline]
+    fn batch_limit(&self, core: usize, stop_before: u64) -> u64 {
+        let mut limit = stop_before - 1;
+        for c in 0..self.cfg.cores {
+            if c != core && self.sched.has_work(c) {
+                // Lower-index cores win ties, so `core` leads only while
+                // strictly behind them (their clock is >= 1 here because
+                // `core` is currently the frontier).
+                let v = if c < core {
+                    self.clocks[c] - 1
+                } else {
+                    self.clocks[c]
+                };
+                limit = limit.min(v);
+            }
+        }
+        limit
+    }
+
+    /// Execute one operation of `tid` on `core` (cost model, memory
+    /// system, virtualization tax, completion and quantum accounting).
+    #[inline]
+    fn exec_op(&mut self, core: usize, tid: usize) -> StepEvents {
         let op = self.threads[tid].gen.next_op();
         let instrs = op.instructions();
         let mut cost = match op {
@@ -400,66 +461,100 @@ impl Machine {
             }
         };
 
-        if let Some(v) = self.cfg.virt {
+        // One thread borrow covers the tax, retirement counters and the
+        // completion check — the indexing happens once, not four times.
+        let run_complete = {
             let t = &mut self.threads[tid];
-            let acc = t.tax_accum + v.tax_num * instrs;
-            cost += acc / v.tax_den;
-            t.tax_accum = acc % v.tax_den;
-        }
-
-        self.clocks[core] += cost;
-        {
-            let t = &mut self.threads[tid];
+            if let Some(v) = self.cfg.virt {
+                let acc = t.tax_accum + v.tax_num * instrs;
+                cost += acc / v.tax_den;
+                t.tax_accum = acc % v.tax_den;
+            }
             t.user_cycles += cost;
             t.retired += instrs;
+            t.run_complete()
+        };
+        self.clocks[core] += cost;
+        let gating_first_completion = if run_complete {
+            self.complete_and_restart(tid, core)
+        } else {
+            false
+        };
+        let preempted = if self.sched.charge(core, cost) {
+            self.context_switch(core)
+        } else {
+            false
+        };
+        StepEvents {
+            preempted,
+            gating_first_completion,
         }
-        if self.threads[tid].run_complete() {
-            self.complete_and_restart(tid, core);
-        }
-        if self.sched.charge(core, cost) {
-            self.context_switch(core);
-        }
-        true
     }
 
-    fn complete_and_restart(&mut self, tid: usize, core: usize) {
+    /// Restart a finished run; true when this was the *first* completion of
+    /// a gating thread (the only event that can flip [`Machine::all_complete`],
+    /// so batched drivers re-check it exactly there).
+    fn complete_and_restart(&mut self, tid: usize, core: usize) -> bool {
         let t = &mut self.threads[tid];
         t.completions += 1;
+        let mut gating_first = false;
         if t.first_completion_user.is_none() {
             t.first_completion_user = Some(t.user_cycles);
             t.first_completion_wall = Some(self.clocks[core]);
+            gating_first = t.counts_for_completion;
         }
         t.retired = 0;
         let seed = t
             .base_seed
             .wrapping_add(u64::from(t.completions).wrapping_mul(0xBF58476D1CE4E5B9));
         t.gen = self.factories[tid].make(seed);
+        gating_first
     }
 
-    fn context_switch(&mut self, core: usize) {
+    /// Quantum expiry; true when the running thread was actually preempted
+    /// (a solo thread just re-arms and keeps running).
+    fn context_switch(&mut self, core: usize) -> bool {
         let Some(cur) = self.sched.current(core) else {
-            return;
+            return false;
         };
         self.take_signature_sample(core, cur);
         if self.sched.load(core) > 1 {
             self.sched.preempt(core);
             self.clocks[core] += self.switch_cost();
             self.switches += 1;
+            true
         } else {
             // Solo thread: no one to switch to; just re-arm the quantum
             // (the snapshot above still refreshes the signature sample).
             let base = self.cfg.effective_quantum() / self.quantum_divisor[cur];
             let quantum = self.jittered_quantum(base.max(1));
             self.sched.rearm(core, quantum.max(1));
+            false
         }
     }
 
     /// Run until the frontier advances by `cycles` (or work runs out).
+    ///
+    /// Batched: the frontier scan and scheduler lookup are hoisted out of
+    /// the op loop — while the dispatched thread stays the frontier (other
+    /// active clocks cannot move meanwhile) it runs in a tight inner loop,
+    /// breaking only on preemption or on catching up to [`Self::batch_limit`].
+    /// The op sequence is cycle-identical to stepping one op at a time.
     pub fn run_for(&mut self, cycles: u64) {
+        debug_assert!(self.sealed, "start() the machine first");
         let target = self.now().saturating_add(cycles);
-        while self.now() < target {
-            if !self.step_one() {
+        while let Some(core) = self.frontier_core() {
+            if self.clocks[core] >= target {
                 break;
+            }
+            let limit = self.batch_limit(core, target);
+            let tid = self.ensure_current(core);
+            loop {
+                let ev = self.exec_op(core, tid);
+                if ev.preempted || self.clocks[core] > limit {
+                    break;
+                }
+                debug_assert_eq!(self.sched.current(core), Some(tid));
             }
         }
     }
@@ -474,14 +569,33 @@ impl Machine {
 
     /// Run until every gating process completes once, or `max_cycles` of
     /// frontier progress elapse.
+    ///
+    /// Batched like [`Machine::run_for`]; additionally breaks the inner
+    /// loop at gating first-completion events so `all_complete` is
+    /// re-checked at the same op boundaries as unbatched stepping
+    /// (completions are the only events that can flip it).
     pub fn run_to_completion(&mut self, max_cycles: u64) -> RunOutcome {
         if !self.sealed {
             self.start(None);
         }
         let deadline = self.now().saturating_add(max_cycles);
-        while !self.all_complete() && self.now() < deadline {
-            if !self.step_one() {
+        'outer: while !self.all_complete() {
+            let Some(core) = self.frontier_core() else {
                 break;
+            };
+            if self.clocks[core] >= deadline {
+                break;
+            }
+            let limit = self.batch_limit(core, deadline);
+            let tid = self.ensure_current(core);
+            loop {
+                let ev = self.exec_op(core, tid);
+                if ev.gating_first_completion {
+                    continue 'outer;
+                }
+                if ev.preempted || self.clocks[core] > limit {
+                    break;
+                }
             }
         }
         self.outcome()

@@ -37,17 +37,24 @@ pub struct SigContext {
 }
 
 impl SigContext {
-    /// Fold in a context-switch sample.
+    /// Fold in a context-switch sample. Reuses the context's own vectors
+    /// (clear + extend), so steady-state updates perform no allocation.
     pub fn update(&mut self, sample: &SignatureSample) {
         self.last_core = Some(sample.core);
         self.last_occupancy = sample.occupancy;
-        self.last_symbiosis = sample.symbiosis.clone();
-        self.last_overlap = sample.overlap.clone();
+        self.last_symbiosis.clear();
+        self.last_symbiosis.extend_from_slice(&sample.symbiosis);
+        self.last_overlap.clear();
+        self.last_overlap.extend_from_slice(&sample.overlap);
         self.filter_len = sample.filter_len;
         if self.samples == 0 {
             self.occupancy_ewma = f64::from(sample.occupancy);
-            self.symbiosis_ewma = sample.symbiosis.iter().map(|&s| f64::from(s)).collect();
-            self.overlap_ewma = sample.overlap.iter().map(|&s| f64::from(s)).collect();
+            self.symbiosis_ewma.clear();
+            self.symbiosis_ewma
+                .extend(sample.symbiosis.iter().map(|&s| f64::from(s)));
+            self.overlap_ewma.clear();
+            self.overlap_ewma
+                .extend(sample.overlap.iter().map(|&s| f64::from(s)));
         } else {
             self.occupancy_ewma =
                 EWMA_ALPHA * f64::from(sample.occupancy) + (1.0 - EWMA_ALPHA) * self.occupancy_ewma;

@@ -40,6 +40,113 @@ fn seeds_change_outcomes() {
     assert_ne!(run(1), run(2));
 }
 
+// ---------------------------------------------------------------- golden
+
+/// FNV-1a over a stream of u64s — stable, dependency-free digest.
+fn fnv1a(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Digest every observable the kernel produces for a reference run: the
+/// frontier clock, machine-wide L2 traffic, per-process user/wall cycles
+/// and per-thread memory-op / L2 counters.
+fn kernel_digest(topology: Topology, policy: ReplacementPolicy) -> u64 {
+    let mut cfg = match topology {
+        Topology::SharedL2 => MachineConfig::scaled_core2duo(0xD1CE),
+        Topology::PrivateL2 => MachineConfig::scaled_p4_smp(0xD1CE),
+    };
+    cfg.policy = policy;
+    let mut m = Machine::new(cfg);
+    let l2 = cfg.l2.size_bytes;
+    for n in ["gobmk", "hmmer", "libquantum", "povray"] {
+        let mut s = spec2006::by_name(n, l2).unwrap();
+        s.work /= 8;
+        m.add_process(&s);
+    }
+    let out = m.run_to_completion(2_000_000_000);
+    assert!(
+        out.completed,
+        "{topology:?}/{policy:?} reference run finished"
+    );
+    let mut stream = vec![out.wall_cycles, out.l2_accesses, out.l2_misses];
+    for p in &out.procs {
+        stream.push(p.pid as u64);
+        stream.push(p.user_cycles);
+        stream.push(p.wall_cycles);
+    }
+    for tid in 0..m.threads_len() {
+        let t = m.thread(tid);
+        stream.push(t.user_cycles);
+        stream.push(t.mem_ops);
+        stream.push(t.l2_accesses);
+        stream.push(t.l2_misses);
+    }
+    stream.push(m.switches());
+    fnv1a(stream)
+}
+
+/// Golden digests captured from the pre-refactor (PR 1) kernel on the
+/// reference 4-benchmark mix. The flat-cache/batched-stepping kernel must
+/// stay cycle-identical: any change to these values is a behavioural
+/// regression, not a tuning knob.
+#[test]
+fn kernel_digest_matches_golden() {
+    let cases = [
+        (
+            Topology::SharedL2,
+            ReplacementPolicy::Lru,
+            GOLDEN_SHARED_LRU,
+        ),
+        (
+            Topology::SharedL2,
+            ReplacementPolicy::Fifo,
+            GOLDEN_SHARED_FIFO,
+        ),
+        (
+            Topology::SharedL2,
+            ReplacementPolicy::Random,
+            GOLDEN_SHARED_RANDOM,
+        ),
+        (
+            Topology::PrivateL2,
+            ReplacementPolicy::Lru,
+            GOLDEN_PRIVATE_LRU,
+        ),
+        (
+            Topology::PrivateL2,
+            ReplacementPolicy::Fifo,
+            GOLDEN_PRIVATE_FIFO,
+        ),
+        (
+            Topology::PrivateL2,
+            ReplacementPolicy::Random,
+            GOLDEN_PRIVATE_RANDOM,
+        ),
+    ];
+    for (topology, policy, golden) in cases {
+        let got = kernel_digest(topology, policy);
+        assert_eq!(
+            got, golden,
+            "kernel digest drifted for {topology:?}/{policy:?}: \
+             got {got:#018x}, golden {golden:#018x}"
+        );
+    }
+}
+
+const GOLDEN_SHARED_LRU: u64 = 0x5824d883bbc8a019;
+const GOLDEN_SHARED_FIFO: u64 = 0xeb57fa7d8dbf1716;
+const GOLDEN_SHARED_RANDOM: u64 = 0x342b170ef926cb92;
+const GOLDEN_PRIVATE_LRU: u64 = 0xb03f55240a801417;
+const GOLDEN_PRIVATE_FIFO: u64 = 0x8ea2bace247dd30d;
+const GOLDEN_PRIVATE_RANDOM: u64 = 0xefad19879a088bbd;
+
 #[test]
 fn parallel_sweep_matches_serial() {
     let l2 = 256 << 10;
