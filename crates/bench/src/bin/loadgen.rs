@@ -1,0 +1,209 @@
+//! `loadgen` — replay a machine-recorded signature-snapshot trace against
+//! a running `symbiod` and report client-observed latency and decision
+//! throughput into `BENCH_serve.json`.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7411 [--conns 2] [--seconds 2]
+//!         [--rate 0 (per-conn ingest/s, 0 = unthrottled)]
+//!         [--name serve-loadgen] [--shutdown]
+//! ```
+//!
+//! Each connection streams the trace under its own process-group key
+//! (`load-0`, `load-1`, …) so the daemon exercises independent decision
+//! streams concurrently. After the replay window a control connection
+//! fetches `metrics` — the run fails (nonzero exit) unless the daemon
+//! answers with a well-formed metrics reply — and optionally sends
+//! `shutdown` so scripted runs tear the daemon down.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use symbio::obs::{write_serve_bench_record, ServeBenchRecord};
+use symbio::{Error, ExperimentConfig};
+use symbio_machine::{Machine, SigSnapshot};
+use symbio_serve::{read_frame, write_frame, Request, Response};
+use symbio_workloads::spec2006;
+
+/// Record one profiling interval's worth of snapshots from a live
+/// machine simulation — the trace every connection replays.
+fn record_trace(cfg: &ExperimentConfig) -> Vec<SigSnapshot> {
+    let mut specs: Vec<_> = ["gobmk", "hmmer", "libquantum", "povray"]
+        .iter()
+        .map(|n| spec2006::by_name(n, cfg.machine.l2.size_bytes).expect("known benchmark"))
+        .collect();
+    for s in &mut specs {
+        s.work /= 4;
+    }
+    let mut machine = Machine::new(cfg.machine);
+    for s in &specs {
+        machine.add_process(s);
+    }
+    machine.start(None);
+    let mut out = Vec::new();
+    let deadline = machine.now() + cfg.profile_cycles;
+    let mut seq = 0;
+    while machine.now() < deadline {
+        machine.run_for(cfg.interval.min(deadline - machine.now()));
+        out.push(machine.export_snapshot("load", seq));
+        seq += 1;
+    }
+    out
+}
+
+/// One connection's replay loop: stream `Ingest` frames until the
+/// deadline, return per-request latencies (µs) and the error-reply count.
+fn replay(
+    addr: &str,
+    group: String,
+    trace: &[SigSnapshot],
+    seconds: f64,
+    rate: f64,
+) -> symbio::Result<(Vec<f64>, u64)> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_nodelay(true)?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let started = Instant::now();
+    let window = Duration::from_secs_f64(seconds);
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    let mut seq = 0u64;
+    while started.elapsed() < window {
+        let mut snap = trace[(seq as usize) % trace.len()].clone();
+        snap.group = group.clone();
+        snap.seq = seq;
+        let t0 = Instant::now();
+        write_frame(&mut conn, &Request::Ingest(snap))?;
+        let reply: Response = read_frame(&mut reader)?
+            .ok_or_else(|| Error::Protocol("daemon closed mid-replay".to_string()))?;
+        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+        if reply.is_error() {
+            errors += 1;
+        }
+        seq += 1;
+        if rate > 0.0 {
+            // Open-loop pacing: sleep off any lead over the target rate.
+            let due = Duration::from_secs_f64(seq as f64 / rate);
+            if let Some(ahead) = due.checked_sub(started.elapsed()) {
+                std::thread::sleep(ahead);
+            }
+        }
+    }
+    Ok((latencies, errors))
+}
+
+fn main() -> symbio::Result<()> {
+    let mut addr = String::new();
+    let mut conns = 2usize;
+    let mut seconds = 2.0f64;
+    let mut rate = 0.0f64;
+    let mut name = "serve-loadgen".to_string();
+    let mut shutdown = false;
+
+    let bad = |flag: &str, v: &str| Error::InvalidConfig(format!("bad value `{v}` for {flag}"));
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| Error::InvalidConfig(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value()?,
+            "--name" => name = value()?,
+            "--conns" => {
+                let v = value()?;
+                conns = v.parse().map_err(|_| bad("--conns", &v))?;
+            }
+            "--seconds" => {
+                let v = value()?;
+                seconds = v.parse().map_err(|_| bad("--seconds", &v))?;
+            }
+            "--rate" => {
+                let v = value()?;
+                rate = v.parse().map_err(|_| bad("--rate", &v))?;
+            }
+            "--shutdown" => shutdown = true,
+            other => return Err(Error::InvalidConfig(format!("unknown flag `{other}`"))),
+        }
+    }
+    if addr.is_empty() {
+        return Err(Error::InvalidConfig(
+            "--addr is required (e.g. --addr 127.0.0.1:7411)".to_string(),
+        ));
+    }
+    if conns == 0 || seconds <= 0.0 {
+        return Err(Error::InvalidConfig(
+            "--conns must be >= 1 and --seconds > 0".to_string(),
+        ));
+    }
+
+    let trace = record_trace(&ExperimentConfig::fast(3));
+    println!(
+        "loadgen: replaying a {}-epoch trace over {conns} connection(s) for {seconds}s",
+        trace.len()
+    );
+
+    let started = Instant::now();
+    let clients: Vec<_> = (0..conns)
+        .map(|i| {
+            let addr = addr.clone();
+            let trace = trace.clone();
+            std::thread::spawn(move || replay(&addr, format!("load-{i}"), &trace, seconds, rate))
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for c in clients {
+        let (lat, err) = c.join().expect("client thread")?;
+        latencies.extend(lat);
+        errors += err;
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    // The smoke-test teeth: the daemon must still answer a well-formed
+    // metrics reply after the replay, or the run fails.
+    let mut conn = TcpStream::connect(&addr)?;
+    conn.set_nodelay(true)?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    write_frame(&mut conn, &Request::Metrics)?;
+    let reply: Response = read_frame(&mut reader)?
+        .ok_or_else(|| Error::Protocol("daemon closed before metrics reply".to_string()))?;
+    let metrics = match reply {
+        Response::Metrics(snap) => snap,
+        other => {
+            return Err(Error::Protocol(format!(
+                "expected metrics reply, got {other:?}"
+            )))
+        }
+    };
+    if shutdown {
+        write_frame(&mut conn, &Request::Shutdown)?;
+        let reply: Response = read_frame(&mut reader)?
+            .ok_or_else(|| Error::Protocol("daemon closed before shutdown ack".to_string()))?;
+        if !matches!(reply, Response::Ok) {
+            return Err(Error::Protocol(format!(
+                "expected shutdown ack, got {reply:?}"
+            )));
+        }
+    }
+
+    let record = ServeBenchRecord::new(&name, conns, wall, errors, &mut latencies);
+    let path = write_serve_bench_record(&record)?;
+    println!(
+        "loadgen: {} requests in {:.2}s over {} conn(s) → {:.0} decisions/sec \
+         (p50 {:.1}µs, p99 {:.1}µs, {} error replies)",
+        record.requests,
+        record.wall_seconds,
+        record.conns,
+        record.requests_per_sec,
+        record.p50_us,
+        record.p99_us,
+        record.errors
+    );
+    println!(
+        "loadgen: daemon served {} requests total ({} errors); record merged into {}",
+        metrics.serve_requests,
+        metrics.serve_errors,
+        path.display()
+    );
+    Ok(())
+}

@@ -392,6 +392,18 @@ mod tests {
     }
 
     #[test]
+    fn sample_roundtrips_through_json() {
+        let mut u = SignatureUnit::new(tiny_cfg(HashKind::Modulo));
+        for i in 0u64..6 {
+            u.on_fill((i % 2) as usize, i, loc(i as u32, 0));
+        }
+        let s = u.switch_out(1);
+        let text = serde_json::to_string(&s).unwrap();
+        let back: SignatureSample = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
     fn interference_metric_reciprocal() {
         let s = SignatureSample {
             core: 0,

@@ -21,8 +21,12 @@ pub enum Error {
     },
     /// An [`crate::ExperimentConfig`] failed validation.
     InvalidConfig(String),
-    /// Artifact or trace I/O failed.
+    /// Artifact or trace I/O failed (also socket I/O in the daemon).
     Io(std::io::Error),
+    /// A wire-protocol violation: malformed frame, unparsable JSON, or a
+    /// structurally invalid snapshot (the daemon replies with this instead
+    /// of panicking or dropping the connection silently).
+    Protocol(String),
 }
 
 /// Result alias used across the facade.
@@ -37,6 +41,7 @@ impl fmt::Display for Error {
             }
             Error::InvalidConfig(msg) => write!(f, "invalid experiment config: {msg}"),
             Error::Io(e) => write!(f, "artifact I/O failed: {e}"),
+            Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
 }
@@ -73,6 +78,14 @@ impl From<std::io::Error> for Error {
     }
 }
 
+// Failed JSON parses surface as protocol errors: every serde_json use on
+// the daemon path is decoding a wire frame.
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Self {
+        Error::Protocol(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +98,18 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("`mfc`"), "{msg}");
         assert!(msg.contains("did you mean `mcf`?"), "{msg}");
+    }
+
+    #[test]
+    fn protocol_error_displays_and_converts() {
+        let e = Error::Protocol("truncated frame".into());
+        assert_eq!(e.to_string(), "protocol error: truncated frame");
+        let parse_err = serde_json::from_str::<serde_json::Value>("{oops").unwrap_err();
+        let e: Error = parse_err.into();
+        assert!(matches!(e, Error::Protocol(_)), "{e}");
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)), "{e}");
     }
 
     #[test]

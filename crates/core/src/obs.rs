@@ -35,6 +35,15 @@ pub struct Counters {
     pub memo_misses: AtomicU64,
     /// Mixes fully evaluated.
     pub mixes_done: AtomicU64,
+    /// Online-engine epochs ingested (snapshot stream ticks).
+    pub online_epochs: AtomicU64,
+    /// Online-engine remaps committed (mapping actually changed after
+    /// majority + hysteresis).
+    pub online_remaps: AtomicU64,
+    /// Daemon requests served (every parsed frame, all verbs).
+    pub serve_requests: AtomicU64,
+    /// Daemon protocol/dispatch errors returned to clients.
+    pub serve_errors: AtomicU64,
 }
 
 /// Plain-data snapshot of [`Counters`] for serialization.
@@ -56,6 +65,14 @@ pub struct CounterSnapshot {
     pub memo_misses: u64,
     /// See [`Counters::mixes_done`].
     pub mixes_done: u64,
+    /// See [`Counters::online_epochs`].
+    pub online_epochs: u64,
+    /// See [`Counters::online_remaps`].
+    pub online_remaps: u64,
+    /// See [`Counters::serve_requests`].
+    pub serve_requests: u64,
+    /// See [`Counters::serve_errors`].
+    pub serve_errors: u64,
 }
 
 impl Counters {
@@ -81,6 +98,10 @@ impl Counters {
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
             mixes_done: self.mixes_done.load(Ordering::Relaxed),
+            online_epochs: self.online_epochs.load(Ordering::Relaxed),
+            online_remaps: self.online_remaps.load(Ordering::Relaxed),
+            serve_requests: self.serve_requests.load(Ordering::Relaxed),
+            serve_errors: self.serve_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -310,6 +331,73 @@ pub fn write_kernel_bench_record(record: &KernelBenchRecord) -> std::io::Result<
     )
 }
 
+/// One `loadgen` run's latency/throughput record for `BENCH_serve.json` —
+/// the serving-path analogue of [`KernelBenchRecord`]: decisions per
+/// second through the full socket → parse → engine → reply path, with
+/// client-observed latency quantiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchRecord {
+    /// Run name (artifact key).
+    pub name: String,
+    /// Requests completed (responses received).
+    pub requests: u64,
+    /// Error replies observed.
+    pub errors: u64,
+    /// Concurrent client connections.
+    pub conns: u64,
+    /// Wall-clock seconds of the replay window.
+    pub wall_seconds: f64,
+    /// Completed requests per wall-clock second (decisions/sec when the
+    /// trace is all `ingest` frames).
+    pub requests_per_sec: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+}
+
+impl ServeBenchRecord {
+    /// Assemble a record from a finished replay. `latencies_us` need not
+    /// be sorted; quantiles use the nearest-rank method.
+    pub fn new(
+        name: &str,
+        conns: usize,
+        wall_seconds: f64,
+        errors: u64,
+        latencies_us: &mut [f64],
+    ) -> Self {
+        latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let quantile = |q: f64| -> f64 {
+            if latencies_us.is_empty() {
+                return 0.0;
+            }
+            let rank = ((latencies_us.len() as f64 * q).ceil() as usize).max(1);
+            latencies_us[rank.min(latencies_us.len()) - 1]
+        };
+        let wall = wall_seconds.max(1e-9);
+        ServeBenchRecord {
+            name: name.to_string(),
+            requests: latencies_us.len() as u64,
+            errors,
+            conns: conns as u64,
+            wall_seconds,
+            requests_per_sec: latencies_us.len() as f64 / wall,
+            p50_us: quantile(0.5),
+            p99_us: quantile(0.99),
+        }
+    }
+}
+
+/// Merge `record` into `<experiments_dir>/BENCH_serve.json` (same
+/// keyed-object merge semantics as [`write_bench_record`]).
+pub fn write_serve_bench_record(record: &ServeBenchRecord) -> std::io::Result<PathBuf> {
+    merge_bench_entry(
+        "BENCH_serve.json",
+        &record.name,
+        serde::Serialize::to_value(record),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +445,21 @@ mod tests {
         assert_eq!(first.get("total"), Some(&Value::U64(5)));
         assert!(first.get("t_ms").is_some());
         std::env::remove_var("SYMBIO_EXPERIMENTS_DIR");
+    }
+
+    #[test]
+    fn serve_record_quantiles_nearest_rank() {
+        let mut lat: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let r = ServeBenchRecord::new("unit", 4, 2.0, 1, &mut lat);
+        assert_eq!(r.requests, 100);
+        assert_eq!(r.errors, 1);
+        assert!((r.p50_us - 50.0).abs() < 1e-9);
+        assert!((r.p99_us - 99.0).abs() < 1e-9);
+        assert!((r.requests_per_sec - 50.0).abs() < 1e-9);
+        // Empty latency set degrades to zeros, not a panic.
+        let empty = ServeBenchRecord::new("empty", 1, 1.0, 0, &mut []);
+        assert_eq!(empty.requests, 0);
+        assert_eq!(empty.p99_us, 0.0);
     }
 
     #[test]

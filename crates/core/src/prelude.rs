@@ -7,7 +7,8 @@ pub use crate::memo::MeasureCache;
 pub use crate::metrics::{BenchmarkSummary, Improvement};
 pub use crate::mixes::{candidate_mappings, mixes_of};
 pub use crate::obs::{
-    BenchRecord, CounterSnapshot, Counters, KernelBenchRecord, Progress, Timings, Trace,
+    BenchRecord, CounterSnapshot, Counters, KernelBenchRecord, Progress, ServeBenchRecord, Timings,
+    Trace,
 };
 pub use crate::pipeline::{MixResult, Pipeline, ProfileResult};
 pub use crate::report;
@@ -20,5 +21,5 @@ pub use symbio_allocator::{
 };
 pub use symbio_cache::{CacheGeometry, ReplacementPolicy, Topology};
 pub use symbio_cbf::{HashKind, Sampling, SignatureConfig, SignatureUnit};
-pub use symbio_machine::{Machine, MachineConfig, Mapping, TimingModel, VirtConfig};
+pub use symbio_machine::{Machine, MachineConfig, Mapping, SigSnapshot, TimingModel, VirtConfig};
 pub use symbio_workloads::{parsec, spec2006, Pattern, ThreadSpec, WorkloadSpec};

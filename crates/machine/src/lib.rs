@@ -37,11 +37,13 @@ pub mod config;
 pub mod machine;
 pub mod mapping;
 pub mod sched;
+pub mod snapshot;
 pub mod thread;
 pub mod timing;
 
 pub use config::{MachineConfig, VirtConfig};
 pub use machine::{Machine, ProcOutcome, RunOutcome};
 pub use mapping::Mapping;
+pub use snapshot::SigSnapshot;
 pub use thread::{ProcView, SigContext, ThreadView};
 pub use timing::TimingModel;

@@ -1,0 +1,209 @@
+//! Scheduler-visible signature snapshots — the wire type of the online
+//! subsystem.
+//!
+//! The paper's deployment loop is *online*: the OS reads the signature
+//! unit at every context switch and a user-level monitor invokes the
+//! allocator every 100 ms. [`SigSnapshot`] is one tick of that stream —
+//! everything [`Machine::query_views`] reports, stamped with a group key,
+//! a sequence number and the machine time — serializable so it can cross
+//! a socket to `symbiod` (the signature-serving daemon) or be replayed
+//! from a recorded trace into the `symbio-online` decision engine.
+
+use crate::machine::Machine;
+use crate::thread::{ProcView, ThreadView};
+use serde::{Deserialize, Serialize};
+
+/// One epoch of scheduler-visible signature state for a process group.
+///
+/// Carries the same per-process views the in-process profiling loop gets
+/// from [`Machine::query_views`], so allocation policies consume a
+/// replayed snapshot exactly as they would a live query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SigSnapshot {
+    /// Process-group identifier: the routing key under which the online
+    /// engine accumulates this stream's epochs.
+    pub group: String,
+    /// Monotonic sequence number within the group's stream.
+    pub seq: u64,
+    /// Machine frontier time when the snapshot was taken (cycles).
+    pub now_cycles: u64,
+    /// Number of cores the views' per-core vectors are indexed by.
+    pub cores: usize,
+    /// Per-process signature views, pid order.
+    pub procs: Vec<ProcView>,
+}
+
+impl SigSnapshot {
+    /// Flat thread views, tid order (the shape allocation policies and
+    /// interference graphs consume).
+    pub fn threads(&self) -> Vec<&ThreadView> {
+        let mut ts: Vec<&ThreadView> = self.procs.iter().flat_map(|p| p.threads.iter()).collect();
+        ts.sort_by_key(|t| t.tid);
+        ts
+    }
+
+    /// Number of threads across all processes.
+    pub fn thread_count(&self) -> usize {
+        self.procs.iter().map(|p| p.threads.len()).sum()
+    }
+
+    /// Mean smoothed occupancy weight across threads — the scalar the
+    /// online engine's phase-change detector tracks between epochs.
+    pub fn mean_occupancy(&self) -> f64 {
+        let n = self.thread_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .procs
+            .iter()
+            .flat_map(|p| p.threads.iter())
+            .map(|t| t.occupancy)
+            .sum();
+        sum / n as f64
+    }
+
+    /// Structural validity for wire-crossing snapshots: at least one core,
+    /// at least one thread, and contiguous tids from 0 (what the
+    /// allocation policies assert). Returns a human-readable complaint for
+    /// the daemon to wrap in a typed protocol error instead of panicking.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("snapshot has zero cores".to_string());
+        }
+        let ts = self.threads();
+        if ts.is_empty() {
+            return Err(format!(
+                "snapshot for group `{}` has no threads",
+                self.group
+            ));
+        }
+        for (i, t) in ts.iter().enumerate() {
+            if t.tid != i {
+                return Err(format!(
+                    "thread ids must be contiguous from 0 (position {i} holds tid {})",
+                    t.tid
+                ));
+            }
+            // A thread the signature unit has not sampled yet carries
+            // empty EWMA vectors; policies treat missing entries as zero.
+            let bad = |v: &[f64]| !v.is_empty() && v.len() != self.cores;
+            if bad(&t.symbiosis) || bad(&t.overlap) {
+                return Err(format!(
+                    "tid {} carries {} symbiosis / {} overlap entries for {} cores",
+                    t.tid,
+                    t.symbiosis.len(),
+                    t.overlap.len(),
+                    self.cores
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Machine {
+    /// Export the current scheduler-visible state as a [`SigSnapshot`] —
+    /// the online analogue of [`Machine::query_views`], feeding the wire
+    /// type consumed by `symbio-online` / `symbiod`.
+    pub fn export_snapshot(&self, group: &str, seq: u64) -> SigSnapshot {
+        SigSnapshot {
+            group: group.to_string(),
+            seq,
+            now_cycles: self.now(),
+            cores: self.config().cores,
+            procs: self.query_views(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapping;
+
+    fn view(tid: usize, occ: f64) -> ThreadView {
+        ThreadView {
+            tid,
+            pid: tid,
+            name: format!("p{tid}"),
+            occupancy: occ,
+            symbiosis: vec![1.0, 2.0],
+            overlap: vec![3.0, 4.0],
+            last_occupancy: occ as u32,
+            last_core: Some(tid % 2),
+            samples: 5,
+            filter_len: 64,
+            l2_miss_rate: 0.25,
+            l2_misses: 10,
+            retired: 1000,
+        }
+    }
+
+    fn snapshot() -> SigSnapshot {
+        SigSnapshot {
+            group: "mix-a".to_string(),
+            seq: 7,
+            now_cycles: 5_000_000,
+            cores: 2,
+            procs: (0..4)
+                .map(|pid| ProcView {
+                    pid,
+                    name: format!("p{pid}"),
+                    threads: vec![view(pid, 10.0 * (pid + 1) as f64)],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let s = snapshot();
+        let text = serde_json::to_string(&s).unwrap();
+        let back: SigSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.group, s.group);
+        assert_eq!(back.seq, s.seq);
+        assert_eq!(back.now_cycles, s.now_cycles);
+        assert_eq!(back.cores, s.cores);
+        assert_eq!(back.procs.len(), s.procs.len());
+        let (a, b) = (&back.procs[2].threads[0], &s.procs[2].threads[0]);
+        assert_eq!(a.tid, b.tid);
+        assert_eq!(a.symbiosis, b.symbiosis);
+        assert_eq!(a.overlap, b.overlap);
+        assert_eq!(a.last_core, b.last_core);
+        assert_eq!(a.l2_misses, b.l2_misses);
+    }
+
+    #[test]
+    fn mapping_roundtrips_through_json() {
+        let m = Mapping::new(vec![0, 1, 1, 0]);
+        let text = serde_json::to_string(&m).unwrap();
+        let back: Mapping = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn mean_occupancy_averages_threads() {
+        let s = snapshot();
+        assert!((s.mean_occupancy() - 25.0).abs() < 1e-12);
+        assert_eq!(s.thread_count(), 4);
+        assert_eq!(s.threads().len(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_snapshots() {
+        let mut s = snapshot();
+        assert!(s.validate().is_ok());
+        s.cores = 0;
+        assert!(s.validate().unwrap_err().contains("zero cores"));
+        let mut s = snapshot();
+        s.procs[1].threads[0].tid = 9;
+        assert!(s.validate().unwrap_err().contains("contiguous"));
+        let mut s = snapshot();
+        s.procs[0].threads[0].symbiosis.pop();
+        assert!(s.validate().unwrap_err().contains("symbiosis"));
+        let mut s = snapshot();
+        s.procs.clear();
+        assert!(s.validate().unwrap_err().contains("no threads"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+use symbio_allocator::InterferenceMetric;
+
+/// Parameters of the online decision loop.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Epoch-ring capacity: how many allocator invocations the sliding
+    /// majority vote spans.
+    pub window: usize,
+    /// Votes a mapping needs in the window before it can be adopted
+    /// (first mapping) or replace the incumbent. A single-epoch blip can
+    /// therefore never remap when this is ≥ 2.
+    pub min_votes: u32,
+    /// Migration-cost hysteresis: a challenger replaces the incumbent
+    /// only when its normalized predicted interference-internalization
+    /// gain (in `[-1, 1]`) exceeds this. 0 disables hysteresis; higher
+    /// values demand proportionally clearer wins before paying the
+    /// warm-up cost of moving processes.
+    pub switch_cost: f64,
+    /// Phase-change detector: relative drift of a snapshot's mean
+    /// occupancy from the window's trailing mean that invalidates the
+    /// retained votes (clearing the ring triggers an early re-vote).
+    pub drift_threshold: f64,
+    /// Interference metric feeding the hysteresis gain graph.
+    pub gain_metric: InterferenceMetric,
+    /// Occupancy-weight the gain graph (Section 3.3.3) or not (3.3.2).
+    pub weighted_gain: bool,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            window: 8,
+            min_votes: 3,
+            switch_cost: 0.02,
+            drift_threshold: 0.5,
+            gain_metric: InterferenceMetric::Overlap,
+            weighted_gain: true,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// A replay configuration that mirrors the offline pipeline's batch
+    /// majority: window wide enough to retain every invocation of a
+    /// bounded trace, immediate adoption, no hysteresis, and drift
+    /// detection off — so the windowed majority equals the post-hoc vote.
+    pub fn replay(window: usize) -> Self {
+        OnlineConfig {
+            window,
+            min_votes: 1,
+            switch_cost: 0.0,
+            drift_threshold: f64::INFINITY,
+            ..Self::default()
+        }
+    }
+
+    /// Reject parameter combinations that cannot make decisions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("online window must hold at least one epoch".to_string());
+        }
+        if self.min_votes == 0 {
+            return Err("min_votes must be at least 1".to_string());
+        }
+        if self.min_votes as usize > self.window {
+            return Err(format!(
+                "min_votes ({}) exceeds the window capacity ({}): no mapping could ever be adopted",
+                self.min_votes, self.window
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.switch_cost) {
+            return Err(format!(
+                "switch_cost must be in [0, 1], got {}",
+                self.switch_cost
+            ));
+        }
+        if self.drift_threshold < 0.0 {
+            return Err(format!(
+                "drift_threshold must be non-negative, got {}",
+                self.drift_threshold
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(OnlineConfig::default().validate().is_ok());
+        assert!(OnlineConfig::replay(64).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = OnlineConfig {
+            window: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().unwrap_err().contains("window"));
+        c.window = 4;
+        c.min_votes = 0;
+        assert!(c.validate().unwrap_err().contains("min_votes"));
+        c.min_votes = 5;
+        assert!(c.validate().unwrap_err().contains("exceeds"));
+        c.min_votes = 2;
+        c.switch_cost = 1.5;
+        assert!(c.validate().unwrap_err().contains("switch_cost"));
+        c.switch_cost = 0.1;
+        c.drift_threshold = -1.0;
+        assert!(c.validate().unwrap_err().contains("drift_threshold"));
+        c.drift_threshold = 0.5;
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,311 @@
+//! The incremental decision engine.
+//!
+//! [`OnlineEngine::ingest`] is the online counterpart of the offline
+//! pipeline's profiling loop (`symbio::Pipeline::profile`): every
+//! snapshot is one allocator invocation, votes accumulate in a sliding
+//! window instead of a post-hoc batch tally, and a remap is committed
+//! only when the windowed majority *and* a migration-cost hysteresis
+//! check agree. The engine is deterministic: the same snapshot sequence
+//! produces the same decision sequence (ties break oldest-first, no
+//! clocks or randomness anywhere).
+
+use crate::config::OnlineConfig;
+use crate::ring::{Epoch, EpochRing, PartitionKey};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use symbio::obs::Counters;
+use symbio::Error;
+use symbio_allocator::{AllocationPolicy, InterferenceGraph};
+use symbio_machine::{Mapping, SigSnapshot, ThreadView};
+
+/// Why [`OnlineEngine::ingest`] decided what it decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecisionReason {
+    /// Not enough votes yet for a first mapping.
+    Warmup,
+    /// First mapping adopted (no migration cost: nothing was placed yet).
+    Initial,
+    /// Mapping kept: the majority agrees with it, or the challenger did
+    /// not clear the vote/hysteresis bars.
+    Held,
+    /// Mapping replaced: the challenger won the window majority and its
+    /// predicted gain beat the switch cost.
+    Remap,
+    /// Occupancy drift cleared the window this epoch (stale votes
+    /// dropped); the mapping itself is unchanged until fresh votes
+    /// accumulate.
+    PhaseChange,
+}
+
+/// Outcome of ingesting one snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Decision {
+    /// Process group the snapshot belonged to.
+    pub group: String,
+    /// Echo of the snapshot's sequence number.
+    pub seq: u64,
+    /// The group's mapping after this epoch (`None` while warming up).
+    pub mapping: Option<Mapping>,
+    /// Whether the mapping changed this epoch.
+    pub changed: bool,
+    /// Why.
+    pub reason: DecisionReason,
+    /// Normalized predicted symbiosis gain of the challenger over the
+    /// incumbent (0 when no challenge was evaluated).
+    pub gain: f64,
+    /// Votes the window majority holds.
+    pub votes: u32,
+    /// Live epochs in the window.
+    pub window: u32,
+}
+
+/// Per-group accumulated state.
+#[derive(Debug)]
+struct GroupState {
+    ring: EpochRing,
+    current: Option<Mapping>,
+    epochs: u64,
+    remaps: u64,
+}
+
+/// The online decision engine: one allocation policy, many process-group
+/// streams, bounded memory per group.
+pub struct OnlineEngine {
+    cfg: OnlineConfig,
+    policy: Box<dyn AllocationPolicy + Send>,
+    groups: HashMap<String, GroupState>,
+    counters: Arc<Counters>,
+}
+
+impl std::fmt::Debug for OnlineEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineEngine")
+            .field("cfg", &self.cfg)
+            .field("policy", &self.policy.name())
+            .field("groups", &self.groups.len())
+            .finish()
+    }
+}
+
+impl OnlineEngine {
+    /// An engine running `policy` under `cfg` (validated).
+    pub fn new(
+        policy: Box<dyn AllocationPolicy + Send>,
+        cfg: OnlineConfig,
+    ) -> symbio::Result<Self> {
+        cfg.validate().map_err(Error::InvalidConfig)?;
+        Ok(OnlineEngine {
+            cfg,
+            policy,
+            groups: HashMap::new(),
+            counters: Arc::new(Counters::new()),
+        })
+    }
+
+    /// Report epoch/remap statistics to `counters` (the daemon passes its
+    /// shared ledger so `metrics` replies and engine activity agree).
+    pub fn with_counters(mut self, counters: Arc<Counters>) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// The counters this engine reports to.
+    pub fn counters(&self) -> &Arc<Counters> {
+        &self.counters
+    }
+
+    /// The configuration the engine runs under.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.cfg
+    }
+
+    /// Name of the allocation policy in use.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Current mapping of `group` (none before warmup completes or for an
+    /// unknown group).
+    pub fn mapping(&self, group: &str) -> Option<&Mapping> {
+        self.groups.get(group).and_then(|g| g.current.as_ref())
+    }
+
+    /// Epochs ingested for `group`.
+    pub fn epochs(&self, group: &str) -> u64 {
+        self.groups.get(group).map_or(0, |g| g.epochs)
+    }
+
+    /// Remaps committed for `group`.
+    pub fn remaps(&self, group: &str) -> u64 {
+        self.groups.get(group).map_or(0, |g| g.remaps)
+    }
+
+    /// Known group names, unordered.
+    pub fn group_names(&self) -> Vec<&str> {
+        self.groups.keys().map(String::as_str).collect()
+    }
+
+    /// The window majority of `group` right now, if any vote exists —
+    /// the online analogue of the offline pipeline's post-hoc majority.
+    pub fn majority(&self, group: &str) -> Option<Mapping> {
+        self.groups
+            .get(group)
+            .and_then(|g| g.ring.majority())
+            .map(|(m, _)| m)
+    }
+
+    /// Vote tally of `group`'s window, first-seen order.
+    pub fn tally(&self, group: &str) -> Vec<(PartitionKey, u32)> {
+        self.groups.get(group).map_or_else(Vec::new, |g| {
+            g.ring.tally().into_iter().map(|(k, _, c)| (k, c)).collect()
+        })
+    }
+
+    /// Ingest one snapshot: invoke the allocator, slide the vote window,
+    /// detect phase changes, and apply majority + hysteresis to decide
+    /// whether the group's mapping changes.
+    pub fn ingest(&mut self, snap: &SigSnapshot) -> symbio::Result<Decision> {
+        snap.validate().map_err(Error::Protocol)?;
+        let cfg = self.cfg;
+        let vote = self.policy.allocate(&snap.procs, snap.cores);
+        let threads = snap.threads();
+        let occ = snap.mean_occupancy();
+
+        let state = self
+            .groups
+            .entry(snap.group.clone())
+            .or_insert_with(|| GroupState {
+                ring: EpochRing::new(self.cfg.window),
+                current: None,
+                epochs: 0,
+                remaps: 0,
+            });
+        state.epochs += 1;
+        Counters::add(&self.counters.online_epochs, 1);
+
+        // Phase-change detection: when the stream's occupancy drifts far
+        // from the window's trailing mean, the retained votes describe a
+        // workload that no longer exists — drop them so the re-vote is
+        // driven by the new phase (an early re-vote: `min_votes` epochs
+        // instead of a full window turnover).
+        let mut phase_change = false;
+        if !state.ring.is_empty() {
+            let trailing = state.ring.mean_occupancy();
+            let drift = (occ - trailing).abs() / trailing.max(1.0);
+            if drift > cfg.drift_threshold {
+                state.ring.clear();
+                phase_change = true;
+            }
+        }
+        // A mapping sized for a different thread population can no longer
+        // be applied (a process finished or joined): treat it as a phase
+        // boundary and let the stream re-elect from scratch.
+        if let Some(cur) = &state.current {
+            if cur.len() != threads.len() {
+                state.current = None;
+                state.ring.clear();
+                phase_change = true;
+            }
+        }
+
+        state.ring.push(Epoch {
+            seq: snap.seq,
+            key: vote.partition_key(snap.cores),
+            mapping: vote,
+            mean_occupancy: occ,
+        });
+
+        let (candidate, votes) = state.ring.majority().expect("ring just received a vote");
+        let window = state.ring.len() as u32;
+        let held_reason = if phase_change {
+            DecisionReason::PhaseChange
+        } else {
+            DecisionReason::Held
+        };
+
+        let (changed, reason, gain) = match &state.current {
+            None => {
+                if votes >= cfg.min_votes {
+                    state.current = Some(candidate);
+                    (true, DecisionReason::Initial, 0.0)
+                } else {
+                    (false, DecisionReason::Warmup, 0.0)
+                }
+            }
+            Some(current) => {
+                if candidate.partition_key(snap.cores) == current.partition_key(snap.cores) {
+                    (false, held_reason, 0.0)
+                } else {
+                    // Migration-cost hysteresis: remap only when the
+                    // challenger has real support in the window AND its
+                    // predicted symbiosis gain beats the switch cost.
+                    let gain = predicted_gain(&cfg, &threads, current, &candidate);
+                    if votes >= cfg.min_votes && gain > cfg.switch_cost {
+                        state.current = Some(candidate);
+                        state.remaps += 1;
+                        Counters::add(&self.counters.online_remaps, 1);
+                        (true, DecisionReason::Remap, gain)
+                    } else {
+                        (false, held_reason, gain)
+                    }
+                }
+            }
+        };
+
+        Ok(Decision {
+            group: snap.group.clone(),
+            seq: snap.seq,
+            mapping: state.current.clone(),
+            changed,
+            reason,
+            gain,
+            votes,
+            window,
+        })
+    }
+}
+
+/// Normalized predicted gain of `challenger` over `incumbent` on the
+/// current views: the fraction of total pairwise interference each
+/// mapping *internalizes* (co-locates onto one core, where time-slicing
+/// neutralizes it — the MIN-CUT objective the allocators maximize),
+/// differenced. Positive means the challenger co-locates more of the
+/// destructive pairs; a remap is worth its cost only when this exceeds
+/// [`OnlineConfig::switch_cost`].
+fn predicted_gain(
+    cfg: &OnlineConfig,
+    threads: &[&ThreadView],
+    incumbent: &Mapping,
+    challenger: &Mapping,
+) -> f64 {
+    {
+        let graph = if cfg.weighted_gain {
+            InterferenceGraph::weighted(threads, cfg.gain_metric)
+        } else {
+            InterferenceGraph::unweighted(threads, cfg.gain_metric)
+        };
+        let n = graph.len();
+        let mut total = 0.0;
+        let mut internal_inc = 0.0;
+        let mut internal_cha = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let w = graph.weights().get(i, j);
+                total += w;
+                let (ti, tj) = (graph.tid_of(i), graph.tid_of(j));
+                if incumbent.core_of(ti) == incumbent.core_of(tj) {
+                    internal_inc += w;
+                }
+                if challenger.core_of(ti) == challenger.core_of(tj) {
+                    internal_cha += w;
+                }
+            }
+        }
+        if total <= f64::EPSILON {
+            0.0
+        } else {
+            (internal_cha - internal_inc) / total
+        }
+    }
+}

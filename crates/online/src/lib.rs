@@ -1,0 +1,38 @@
+//! # symbio-online — the online scheduling engine
+//!
+//! The paper's deployment story is online: the OS reads the signature
+//! unit at every context switch and a user-level monitor invokes the
+//! allocator every 100 ms, keeping the majority mapping. The offline
+//! pipeline (`symbio::Pipeline`) replays that loop as a batch; this crate
+//! stands it up as an incremental engine suitable for a long-running
+//! service (`symbiod`, in `symbio-serve`):
+//!
+//! * **epoch ring** ([`ring::EpochRing`]) — a fixed-capacity per-group
+//!   ring of allocator invocations, so the vote window slides with the
+//!   stream and memory stays bounded;
+//! * **sliding-window majority** — the paper's majority vote, taken over
+//!   the retained window on every epoch instead of post-hoc;
+//! * **phase-change detection** — when mean occupancy drifts beyond a
+//!   threshold from the window's trailing mean, retained votes are
+//!   dropped and the group re-votes early;
+//! * **migration-cost hysteresis** — a challenger mapping replaces the
+//!   incumbent only when its predicted interference-internalization gain
+//!   beats a configurable switch cost, so the engine never thrashes
+//!   placements for marginal wins.
+//!
+//! Allocation policies from `symbio-allocator` are reused unchanged: a
+//! [`symbio_machine::SigSnapshot`] carries the same `ProcView`s the
+//! in-process profiling loop feeds them. The engine is deterministic
+//! given a snapshot sequence — no clocks, no randomness, oldest-first
+//! tie-breaks — which the replay tests exploit to match the offline
+//! pipeline's majority exactly.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod ring;
+
+pub use config::OnlineConfig;
+pub use engine::{Decision, DecisionReason, OnlineEngine};
+pub use ring::{Epoch, EpochRing, PartitionKey};

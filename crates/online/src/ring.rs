@@ -1,0 +1,202 @@
+//! Fixed-capacity epoch ring buffer.
+//!
+//! One ring per process group holds the trailing window of allocator
+//! invocations the majority vote runs over. Capacity is fixed at
+//! construction; pushing into a full ring overwrites the oldest epoch, so
+//! the vote window slides with the stream and memory use is bounded no
+//! matter how long the daemon runs.
+
+use symbio_machine::Mapping;
+
+/// The per-core thread groups a mapping induces — the identity under
+/// which votes are tallied (two mappings that co-schedule the same groups
+/// are the same decision on a symmetric machine).
+pub type PartitionKey = Vec<Vec<usize>>;
+
+/// One allocator invocation's record in the window.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// Stream sequence number of the snapshot that produced this vote.
+    pub seq: u64,
+    /// Partition identity of the vote.
+    pub key: PartitionKey,
+    /// A concrete mapping realising `key` (kept so the winner can be
+    /// applied without re-deriving core labels).
+    pub mapping: Mapping,
+    /// Mean thread occupancy of the snapshot (phase-change signal).
+    pub mean_occupancy: f64,
+}
+
+/// Fixed-capacity ring of [`Epoch`]s, oldest-first iteration.
+#[derive(Debug)]
+pub struct EpochRing {
+    slots: Vec<Option<Epoch>>,
+    /// Index of the next write.
+    head: usize,
+    /// Live epochs (≤ capacity).
+    len: usize,
+}
+
+impl EpochRing {
+    /// A ring holding at most `capacity` epochs (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "epoch ring needs capacity >= 1");
+        EpochRing {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Maximum epochs retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Live epochs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no epochs are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append an epoch, evicting the oldest when full.
+    pub fn push(&mut self, epoch: Epoch) {
+        self.slots[self.head] = Some(epoch);
+        self.head = (self.head + 1) % self.slots.len();
+        self.len = (self.len + 1).min(self.slots.len());
+    }
+
+    /// Drop every retained epoch (phase change: stale votes no longer
+    /// describe the workload).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Iterate epochs oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Epoch> {
+        let cap = self.slots.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(move |i| {
+            self.slots[(start + i) % cap]
+                .as_ref()
+                .expect("live ring slot")
+        })
+    }
+
+    /// Mean of the retained epochs' `mean_occupancy` (0 when empty).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.iter().map(|e| e.mean_occupancy).sum::<f64>() / self.len as f64
+    }
+
+    /// Tally votes by partition key, first-seen order (oldest first), and
+    /// return `(key, mapping, count)` triples. First-seen ordering makes
+    /// the downstream max-by-count winner deterministic under ties.
+    pub fn tally(&self) -> Vec<(PartitionKey, Mapping, u32)> {
+        let mut out: Vec<(PartitionKey, Mapping, u32)> = Vec::new();
+        for e in self.iter() {
+            match out.iter_mut().find(|(k, _, _)| *k == e.key) {
+                Some((_, _, c)) => *c += 1,
+                None => out.push((e.key.clone(), e.mapping.clone(), 1)),
+            }
+        }
+        out
+    }
+
+    /// The winning `(mapping, votes)` of the current window: highest count,
+    /// earliest-seen on ties. `None` when empty.
+    pub fn majority(&self) -> Option<(Mapping, u32)> {
+        let tally = self.tally();
+        let best = tally.iter().map(|(_, _, c)| *c).max()?;
+        tally
+            .into_iter()
+            .find(|(_, _, c)| *c == best)
+            .map(|(_, m, c)| (m, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(seq: u64, cores: Vec<usize>, occ: f64) -> Epoch {
+        let mapping = Mapping::new(cores);
+        Epoch {
+            seq,
+            key: mapping.partition_key(2),
+            mapping,
+            mean_occupancy: occ,
+        }
+    }
+
+    #[test]
+    fn ring_slides_and_keeps_order() {
+        let mut r = EpochRing::new(3);
+        assert!(r.is_empty());
+        for i in 0..5u64 {
+            r.push(epoch(i, vec![0, 1, 0, 1], i as f64));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert!((r.mean_occupancy() - 3.0).abs() < 1e-12);
+        r.clear();
+        assert!(r.is_empty());
+        assert!(r.majority().is_none());
+    }
+
+    #[test]
+    fn majority_counts_partitions_not_labels() {
+        let mut r = EpochRing::new(8);
+        // Two label-swapped variants of the same partition vote together.
+        r.push(epoch(0, vec![0, 0, 1, 1], 1.0));
+        r.push(epoch(1, vec![1, 1, 0, 0], 1.0));
+        r.push(epoch(2, vec![0, 1, 0, 1], 1.0));
+        let (winner, votes) = r.majority().unwrap();
+        assert_eq!(votes, 2);
+        assert_eq!(
+            winner.partition_key(2),
+            Mapping::new(vec![0, 0, 1, 1]).partition_key(2)
+        );
+    }
+
+    #[test]
+    fn majority_tie_breaks_earliest_seen() {
+        let mut r = EpochRing::new(4);
+        r.push(epoch(0, vec![0, 0, 1, 1], 1.0));
+        r.push(epoch(1, vec![0, 1, 0, 1], 1.0));
+        let (winner, votes) = r.majority().unwrap();
+        assert_eq!(votes, 1);
+        assert_eq!(
+            winner.partition_key(2),
+            Mapping::new(vec![0, 0, 1, 1]).partition_key(2),
+            "tie goes to the oldest vote in the window"
+        );
+    }
+
+    #[test]
+    fn tally_aggregates_by_key() {
+        let mut r = EpochRing::new(8);
+        for i in 0..3 {
+            r.push(epoch(i, vec![0, 0, 1, 1], 1.0));
+        }
+        r.push(epoch(3, vec![0, 1, 0, 1], 1.0));
+        let t = r.tally();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].2, 3);
+        assert_eq!(t[1].2, 1);
+        let total: u32 = t.iter().map(|(_, _, c)| c).sum();
+        assert_eq!(total as usize, r.len());
+    }
+}

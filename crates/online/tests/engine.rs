@@ -1,0 +1,353 @@
+//! Integration tests for the online decision engine: determinism,
+//! hysteresis invariants, phase-change re-voting, and parity with the
+//! offline pipeline's majority vote on a replayed fig13-mix trace.
+
+use proptest::prelude::*;
+use symbio::prelude::*;
+use symbio_online::{DecisionReason, OnlineConfig, OnlineEngine};
+
+// ----------------------------------------------------------- helpers
+
+/// A synthetic thread view with controlled occupancy and per-core
+/// contested capacity (everything WeightSort and the hysteresis gain
+/// graph read).
+fn thread_view(tid: usize, occ: f64, overlap: [f64; 2]) -> symbio_machine::ThreadView {
+    symbio_machine::ThreadView {
+        tid,
+        pid: tid,
+        name: format!("p{tid}"),
+        occupancy: occ,
+        symbiosis: vec![50.0, 50.0],
+        overlap: overlap.to_vec(),
+        last_occupancy: occ as u32,
+        last_core: Some(tid % 2),
+        samples: 3,
+        filter_len: 256,
+        l2_miss_rate: 0.1,
+        l2_misses: 100,
+        retired: 1000,
+    }
+}
+
+fn synth_snap(group: &str, seq: u64, occ: [f64; 4], overlaps: [[f64; 2]; 4]) -> SigSnapshot {
+    SigSnapshot {
+        group: group.to_string(),
+        seq,
+        now_cycles: seq * 5_000_000,
+        cores: 2,
+        procs: (0..4)
+            .map(|pid| symbio_machine::ProcView {
+                pid,
+                name: format!("p{pid}"),
+                threads: vec![thread_view(pid, occ[pid], overlaps[pid])],
+            })
+            .collect(),
+    }
+}
+
+/// Overlaps that make co-locating {0,1} and {2,3} internalize the most
+/// interference: tids 0/1 contest each other's core, as do 2/3.
+/// (Threads sit on cores tid%2: 0,2 on core 0; 1,3 on core 1.)
+const PAIR_01_23: [[f64; 2]; 4] = [[0.0, 10.0], [10.0, 0.0], [0.0, 10.0], [10.0, 0.0]];
+/// Overlaps that make co-locating {0,2} and {1,3} the best grouping.
+const PAIR_02_13: [[f64; 2]; 4] = [[10.0, 0.0], [0.0, 10.0], [10.0, 0.0], [0.0, 10.0]];
+
+/// Weight-sort with occupancies `[40,30,20,10]` votes {0,1}|{2,3}; with
+/// `[40,20,30,10]` it votes {0,2}|{1,3}. Means are equal (25), so the
+/// drift detector stays quiet across the shift.
+const OCC_A: [f64; 4] = [40.0, 30.0, 20.0, 10.0];
+const OCC_B: [f64; 4] = [40.0, 20.0, 30.0, 10.0];
+
+fn key_of(cores: Vec<usize>) -> Vec<Vec<usize>> {
+    Mapping::new(cores).partition_key(2)
+}
+
+/// Record a profiling trace: the exact machine loop `Pipeline::profile`
+/// runs, exporting a snapshot at every allocator invocation point.
+fn record_trace(cfg: &ExperimentConfig, specs: &[WorkloadSpec], group: &str) -> Vec<SigSnapshot> {
+    let mut machine = Machine::new(cfg.machine);
+    for s in specs {
+        machine.add_process(s);
+    }
+    machine.start(None);
+    let mut out = Vec::new();
+    let deadline = machine.now() + cfg.profile_cycles;
+    let mut seq = 0;
+    while machine.now() < deadline {
+        machine.run_for(cfg.interval.min(deadline - machine.now()));
+        out.push(machine.export_snapshot(group, seq));
+        seq += 1;
+    }
+    out
+}
+
+fn fig13_specs(l2: u64) -> Vec<WorkloadSpec> {
+    // The first fig13 representative mix, shrunk like the pipeline unit
+    // tests to keep the trace recording fast.
+    ["gobmk", "hmmer", "libquantum", "povray"]
+        .iter()
+        .map(|n| {
+            let mut s = spec2006::by_name(n, l2).unwrap();
+            s.work /= 4;
+            s
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- tests
+
+#[test]
+fn same_trace_gives_identical_decision_sequence() {
+    let cfg = ExperimentConfig::fast(3);
+    let trace = record_trace(&cfg, &fig13_specs(cfg.machine.l2.size_bytes), "det");
+
+    let run = || {
+        let mut engine = OnlineEngine::new(
+            Box::new(WeightedInterferenceGraphPolicy::default()),
+            OnlineConfig::default(),
+        )
+        .unwrap();
+        trace
+            .iter()
+            .map(|s| serde_json::to_string(&engine.ingest(s).unwrap()).unwrap())
+            .collect::<Vec<String>>()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "identical snapshot trace must replay identically");
+}
+
+#[test]
+fn replayed_fig13_trace_matches_offline_pipeline_majority() {
+    let cfg = ExperimentConfig::fast(3);
+    let specs = fig13_specs(cfg.machine.l2.size_bytes);
+
+    // Offline: the pipeline's post-hoc majority vote.
+    let pipeline = Pipeline::new(cfg);
+    let mut policy = WeightSortPolicy;
+    let profile = pipeline.profile(&specs, &mut policy);
+
+    // Online: replay the same trace through the engine in replay mode
+    // (window retains every invocation, no hysteresis).
+    let trace = record_trace(&cfg, &specs, "fig13");
+    assert_eq!(trace.len() as u32, profile.invocations);
+    let mut engine = OnlineEngine::new(
+        Box::new(WeightSortPolicy),
+        OnlineConfig::replay(trace.len().max(1)),
+    )
+    .unwrap();
+    for s in &trace {
+        engine.ingest(s).unwrap();
+    }
+
+    // Identical tallies (as key → count sets)…
+    let mut online: Vec<(Vec<Vec<usize>>, u32)> = engine.tally("fig13");
+    let mut offline: Vec<(Vec<Vec<usize>>, u32)> = profile
+        .votes
+        .iter()
+        .map(|(m, c)| (m.partition_key(2), *c))
+        .collect();
+    online.sort();
+    offline.sort();
+    assert_eq!(online, offline);
+
+    // …and when the offline winner is a strict majority, the online
+    // majority is the same partition.
+    let top = profile.votes.first().unwrap();
+    let strict = profile.votes.iter().filter(|(_, c)| *c == top.1).count() == 1;
+    if strict {
+        assert_eq!(
+            engine.majority("fig13").unwrap().partition_key(2),
+            profile.winner.partition_key(2)
+        );
+    }
+}
+
+#[test]
+fn sustained_shift_with_real_gain_remaps_once() {
+    let mut engine =
+        OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default()).unwrap();
+    let mut decisions = Vec::new();
+    // Phase A: 10 epochs voting {0,1}|{2,3}, overlaps agreeing with it.
+    for seq in 0..10 {
+        decisions.push(
+            engine
+                .ingest(&synth_snap("g", seq, OCC_A, PAIR_01_23))
+                .unwrap(),
+        );
+    }
+    // Warmup then initial adoption at the `min_votes`-th epoch.
+    assert_eq!(decisions[0].reason, DecisionReason::Warmup);
+    assert_eq!(decisions[2].reason, DecisionReason::Initial);
+    assert!(decisions[2].changed);
+    assert_eq!(
+        decisions[9].mapping.as_ref().unwrap().partition_key(2),
+        key_of(vec![0, 0, 1, 1])
+    );
+    // Phase B: sustained vote for {0,2}|{1,3} with overlaps that make the
+    // challenger internalize much more interference (large gain).
+    for seq in 10..20 {
+        decisions.push(
+            engine
+                .ingest(&synth_snap("g", seq, OCC_B, PAIR_02_13))
+                .unwrap(),
+        );
+    }
+    let remaps: Vec<usize> = decisions
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.reason == DecisionReason::Remap)
+        .map(|(i, _)| i)
+        .collect();
+    // The challenger must first *win* the 8-wide window: after 5 B-epochs
+    // it holds 5 of 8 votes. Hysteresis then passes (clear positive gain).
+    assert_eq!(remaps, vec![14], "exactly one remap, at B's majority point");
+    assert_eq!(engine.remaps("g"), 1);
+    assert_eq!(
+        engine.mapping("g").unwrap().partition_key(2),
+        key_of(vec![0, 1, 0, 1])
+    );
+}
+
+#[test]
+fn challenger_without_gain_is_held_by_hysteresis() {
+    // Same vote shift as above, but the overlap pattern still favours the
+    // incumbent grouping: the majority flips yet the predicted gain is
+    // negative, so the switch cost is never beaten and the mapping holds.
+    let mut engine =
+        OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default()).unwrap();
+    for seq in 0..10 {
+        engine
+            .ingest(&synth_snap("g", seq, OCC_A, PAIR_01_23))
+            .unwrap();
+    }
+    let before = engine.mapping("g").unwrap().partition_key(2);
+    let mut last_gain = 0.0;
+    for seq in 10..30 {
+        let d = engine
+            .ingest(&synth_snap("g", seq, OCC_B, PAIR_01_23))
+            .unwrap();
+        assert!(!d.changed, "hysteresis must hold a no-gain challenger");
+        if d.gain != 0.0 {
+            last_gain = d.gain;
+        }
+    }
+    assert!(
+        last_gain < 0.0,
+        "challenger gain should be negative, got {last_gain}"
+    );
+    assert_eq!(engine.mapping("g").unwrap().partition_key(2), before);
+    assert_eq!(engine.remaps("g"), 0);
+}
+
+#[test]
+fn occupancy_jump_clears_window_and_revotes_early() {
+    let mut engine =
+        OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default()).unwrap();
+    for seq in 0..8 {
+        engine
+            .ingest(&synth_snap("g", seq, OCC_A, PAIR_01_23))
+            .unwrap();
+    }
+    // New phase: occupancies triple (drift 2.0 >> threshold 0.5) and the
+    // vote pattern flips with a real gain behind it.
+    let occ_hot = [120.0, 60.0, 90.0, 30.0];
+    let d = engine
+        .ingest(&synth_snap("g", 8, occ_hot, PAIR_02_13))
+        .unwrap();
+    assert_eq!(d.reason, DecisionReason::PhaseChange, "ring cleared");
+    assert_eq!(d.window, 1, "only the new phase's vote remains");
+    // Early re-vote: the challenger needs only min_votes (3) epochs of the
+    // new phase, not a 5-of-8 window takeover.
+    let d = engine
+        .ingest(&synth_snap("g", 9, occ_hot, PAIR_02_13))
+        .unwrap();
+    assert!(!d.changed);
+    let d = engine
+        .ingest(&synth_snap("g", 10, occ_hot, PAIR_02_13))
+        .unwrap();
+    assert!(d.changed, "remap at the third post-phase-change epoch");
+    assert_eq!(d.reason, DecisionReason::Remap);
+    assert_eq!(
+        engine.mapping("g").unwrap().partition_key(2),
+        key_of(vec![0, 1, 0, 1])
+    );
+}
+
+#[test]
+fn malformed_snapshots_are_typed_protocol_errors() {
+    let mut engine =
+        OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default()).unwrap();
+    let mut snap = synth_snap("g", 0, OCC_A, PAIR_01_23);
+    snap.procs[1].threads[0].tid = 7;
+    match engine.ingest(&snap) {
+        Err(symbio::Error::Protocol(msg)) => assert!(msg.contains("contiguous"), "{msg}"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    let mut snap = synth_snap("g", 0, OCC_A, PAIR_01_23);
+    snap.cores = 0;
+    assert!(matches!(
+        engine.ingest(&snap),
+        Err(symbio::Error::Protocol(_))
+    ));
+}
+
+#[test]
+fn groups_are_independent_streams() {
+    let mut engine =
+        OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default()).unwrap();
+    for seq in 0..5 {
+        engine
+            .ingest(&synth_snap("alpha", seq, OCC_A, PAIR_01_23))
+            .unwrap();
+    }
+    engine
+        .ingest(&synth_snap("beta", 0, OCC_B, PAIR_02_13))
+        .unwrap();
+    assert_eq!(engine.epochs("alpha"), 5);
+    assert_eq!(engine.epochs("beta"), 1);
+    assert!(engine.mapping("alpha").is_some());
+    assert!(engine.mapping("beta").is_none(), "beta is still warming up");
+    let mut names = engine.group_names();
+    names.sort_unstable();
+    assert_eq!(names, vec!["alpha", "beta"]);
+    assert_eq!(engine.counters().snapshot().online_epochs, 6);
+}
+
+proptest! {
+    #[test]
+    fn single_epoch_blip_below_switch_threshold_never_remaps(
+        blip_epoch in 4u64..28,
+        blip_tid in 0usize..4,
+        blip_pct in 1u32..95,
+    ) {
+        // A steady stream with ONE epoch whose occupancy blips upward on
+        // one thread (below the drift threshold for the stream mean and
+        // without sustained support in the window): hysteresis + the
+        // majority window must never commit a remap for it.
+        let mut engine = OnlineEngine::new(
+            Box::new(WeightSortPolicy),
+            OnlineConfig::default(),
+        ).unwrap();
+        let mut remaps = 0u32;
+        for seq in 0..30u64 {
+            let mut occ = OCC_A;
+            if seq == blip_epoch {
+                // Up to ~2x on one thread; can reorder the weight sort
+                // (e.g. t2 jumping over t1) for exactly one epoch.
+                occ[blip_tid] *= 1.0 + f64::from(blip_pct) / 100.0;
+            }
+            let d = engine.ingest(&synth_snap("g", seq, occ, PAIR_01_23)).unwrap();
+            if d.reason == DecisionReason::Remap {
+                remaps += 1;
+            }
+        }
+        prop_assert_eq!(remaps, 0);
+        prop_assert_eq!(engine.remaps("g"), 0);
+        prop_assert_eq!(
+            engine.mapping("g").unwrap().partition_key(2),
+            key_of(vec![0, 0, 1, 1])
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! `symbiod` — serve signature-snapshot streams over loopback TCP.
+//!
+//! ```text
+//! symbiod [--addr 127.0.0.1:7411] [--workers 4] [--backlog 64]
+//!         [--deadline-ms 5000] [--policy weight-sort] [--window 8]
+//! ```
+//!
+//! Prints `symbiod listening on <addr>` once bound (scripts wait for that
+//! line), then serves until a client sends `"Shutdown"`.
+
+use std::io::Write;
+use std::time::Duration;
+use symbio::Error;
+use symbio_allocator::{
+    AllocationPolicy, DefaultPolicy, InterferenceGraphPolicy, WeightSortPolicy,
+    WeightedInterferenceGraphPolicy,
+};
+use symbio_online::{OnlineConfig, OnlineEngine};
+use symbio_serve::{ServeConfig, Symbiod};
+
+/// An allocation policy by CLI name.
+fn policy_by_name(name: &str) -> symbio::Result<Box<dyn AllocationPolicy + Send>> {
+    match name {
+        "weight-sort" => Ok(Box::new(WeightSortPolicy)),
+        "graph" => Ok(Box::new(InterferenceGraphPolicy::default())),
+        "weighted-graph" => Ok(Box::new(WeightedInterferenceGraphPolicy::default())),
+        "default" => Ok(Box::new(DefaultPolicy)),
+        other => Err(Error::InvalidConfig(format!(
+            "unknown policy `{other}` (expected weight-sort | graph | weighted-graph | default)"
+        ))),
+    }
+}
+
+fn main() -> symbio::Result<()> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut policy_name = "weight-sort".to_string();
+    let mut serve_cfg = ServeConfig::default();
+    let mut online_cfg = OnlineConfig::default();
+
+    let bad = |flag: &str, v: &str| Error::InvalidConfig(format!("bad value `{v}` for {flag}"));
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| Error::InvalidConfig(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value()?,
+            "--policy" => policy_name = value()?,
+            "--workers" => {
+                let v = value()?;
+                serve_cfg.workers = v.parse().map_err(|_| bad("--workers", &v))?;
+            }
+            "--backlog" => {
+                let v = value()?;
+                serve_cfg.backlog = v.parse().map_err(|_| bad("--backlog", &v))?;
+            }
+            "--deadline-ms" => {
+                let v = value()?;
+                let ms: u64 = v.parse().map_err(|_| bad("--deadline-ms", &v))?;
+                serve_cfg.deadline = Duration::from_millis(ms);
+            }
+            "--window" => {
+                let v = value()?;
+                online_cfg.window = v.parse().map_err(|_| bad("--window", &v))?;
+                online_cfg.min_votes = online_cfg.min_votes.min(online_cfg.window as u32);
+            }
+            other => {
+                return Err(Error::InvalidConfig(format!("unknown flag `{other}`")));
+            }
+        }
+    }
+
+    let engine = OnlineEngine::new(policy_by_name(&policy_name)?, online_cfg)?;
+    let daemon = Symbiod::bind(&addr, engine, serve_cfg)?;
+    println!("symbiod listening on {}", daemon.local_addr());
+    std::io::stdout().flush()?;
+    daemon.run()
+}

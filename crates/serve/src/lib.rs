@@ -1,0 +1,20 @@
+//! # symbio-serve — `symbiod`, the signature-serving daemon
+//!
+//! The deployment front-end of the online subsystem: a multi-threaded
+//! TCP daemon (std::net, no async runtime) that accepts line-delimited
+//! JSON frames, feeds signature snapshots to a [`symbio_online`] engine,
+//! and answers mapping and metrics queries. See [`proto`] for the wire
+//! format and [`server`] for the serving architecture (worker pool,
+//! accept backlog cap, per-request deadlines, graceful drain).
+//!
+//! The `symbiod` binary wraps [`Symbiod`] behind a small flag parser;
+//! `loadgen` (in `symbio-bench`) replays recorded snapshot traces against
+//! it and writes latency/throughput records to `BENCH_serve.json`.
+
+#![warn(missing_docs)]
+
+pub mod proto;
+pub mod server;
+
+pub use proto::{read_frame, write_frame, Request, Response};
+pub use server::{ServeConfig, Symbiod};

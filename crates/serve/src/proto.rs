@@ -1,0 +1,254 @@
+//! The `symbiod` wire protocol: line-delimited JSON frames over TCP.
+//!
+//! One request per line, one response line back, connections are
+//! pipelined (a client may keep a connection open and stream frames).
+//! Frames are externally-tagged JSON enums so the protocol is readable
+//! with `nc` and greppable in traces:
+//!
+//! ```text
+//! → {"Ingest":{"group":"mix-a","seq":0,...}}
+//! ← {"Decision":{"group":"mix-a","seq":0,"mapping":...}}
+//! → {"Map":{"group":"mix-a"}}
+//! ← {"Map":{"group":"mix-a","mapping":{...},"epochs":12,"remaps":1}}
+//! → "Metrics"
+//! ← {"Metrics":{"serve_requests":14,...}}
+//! → "Shutdown"
+//! ← "Ok"
+//! ```
+//!
+//! A malformed frame never kills the connection: the daemon replies with
+//! an [`Response::Error`] and keeps reading.
+
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use symbio::obs::CounterSnapshot;
+use symbio::Error;
+use symbio_machine::{Mapping, SigSnapshot};
+use symbio_online::Decision;
+
+/// A client→daemon frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// One epoch of a group's signature stream; the daemon feeds it to
+    /// the online engine and replies with the resulting [`Decision`].
+    Ingest(SigSnapshot),
+    /// Ask for a group's current mapping and stream statistics.
+    Map {
+        /// Process-group identifier, as carried by its snapshots.
+        group: String,
+    },
+    /// Ask for the daemon's observability counters.
+    Metrics,
+    /// Graceful drain: stop accepting, finish in-flight connections,
+    /// exit the serve loop.
+    Shutdown,
+}
+
+/// A daemon→client frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Outcome of an [`Request::Ingest`] epoch.
+    Decision(Decision),
+    /// Reply to [`Request::Map`].
+    Map {
+        /// Echo of the queried group.
+        group: String,
+        /// The group's committed mapping (`None` while warming up or for
+        /// a group the daemon has never seen).
+        mapping: Option<Mapping>,
+        /// Epochs ingested for the group.
+        epochs: u64,
+        /// Remaps committed for the group.
+        remaps: u64,
+    },
+    /// Reply to [`Request::Metrics`].
+    Metrics(CounterSnapshot),
+    /// Bare acknowledgement (shutdown accepted).
+    Ok,
+    /// Structured failure reply; the connection stays usable.
+    Error {
+        /// Machine-matchable error class: `protocol`, `io`, `config`,
+        /// `busy`, or `unknown`.
+        kind: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The error reply for a facade error, classified by variant.
+    pub fn from_error(e: &Error) -> Response {
+        let kind = match e {
+            Error::Protocol(_) => "protocol",
+            Error::Io(_) => "io",
+            Error::InvalidConfig(_) => "config",
+            _ => "unknown",
+        };
+        Response::Error {
+            kind: kind.to_string(),
+            message: e.to_string(),
+        }
+    }
+
+    /// The overload reply sent when the accept backlog is full.
+    pub fn busy() -> Response {
+        Response::Error {
+            kind: "busy".to_string(),
+            message: "accept backlog full; retry later".to_string(),
+        }
+    }
+
+    /// Whether this reply is an error frame.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+}
+
+/// Serialize one frame and write it as a line (one `write_all` for
+/// payload + newline, then a flush — a frame must never straddle two
+/// small TCP segments, or Nagle + delayed-ACK stalls every round-trip).
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, frame: &T) -> symbio::Result<()> {
+    let mut line = serde_json::to_string(frame)?;
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one line and decode it as `T`. Returns `Ok(None)` on clean EOF,
+/// `Err(Error::Protocol)` on an undecodable frame, `Err(Error::Io)` when
+/// the read itself fails (including a blown deadline).
+pub fn read_frame<R: BufRead, T: Deserialize>(r: &mut R) -> symbio::Result<Option<T>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let text = line.trim();
+    if text.is_empty() {
+        return Err(Error::Protocol("empty frame".to_string()));
+    }
+    Ok(Some(serde_json::from_str(text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbio_machine::{ProcView, ThreadView};
+    use symbio_online::DecisionReason;
+
+    fn snapshot() -> SigSnapshot {
+        SigSnapshot {
+            group: "g".to_string(),
+            seq: 3,
+            now_cycles: 77,
+            cores: 2,
+            procs: vec![ProcView {
+                pid: 0,
+                name: "p0".to_string(),
+                threads: vec![ThreadView {
+                    tid: 0,
+                    pid: 0,
+                    name: "p0".to_string(),
+                    occupancy: 12.5,
+                    symbiosis: vec![1.0, 2.0],
+                    overlap: vec![0.5, 0.25],
+                    last_occupancy: 12,
+                    last_core: Some(1),
+                    samples: 4,
+                    filter_len: 64,
+                    l2_miss_rate: 0.1,
+                    l2_misses: 9,
+                    retired: 90,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        let frames = vec![
+            Request::Ingest(snapshot()),
+            Request::Map {
+                group: "g".to_string(),
+            },
+            Request::Metrics,
+            Request::Shutdown,
+        ];
+        for f in frames {
+            let text = serde_json::to_string(&f).unwrap();
+            let back: Request = serde_json::from_str(&text).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                text,
+                "frame not stable: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_json() {
+        let frames = vec![
+            Response::Decision(Decision {
+                group: "g".to_string(),
+                seq: 3,
+                mapping: Some(Mapping::new(vec![0, 1])),
+                changed: true,
+                reason: DecisionReason::Initial,
+                gain: 0.0,
+                votes: 2,
+                window: 2,
+            }),
+            Response::Map {
+                group: "g".to_string(),
+                mapping: None,
+                epochs: 5,
+                remaps: 0,
+            },
+            Response::Metrics(symbio::obs::Counters::new().snapshot()),
+            Response::Ok,
+            Response::busy(),
+        ];
+        for f in frames {
+            let text = serde_json::to_string(&f).unwrap();
+            let back: Response = serde_json::from_str(&text).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                text,
+                "frame not stable: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn frames_cross_a_buffered_pipe() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Metrics).unwrap();
+        write_frame(
+            &mut buf,
+            &Request::Map {
+                group: "g".to_string(),
+            },
+        )
+        .unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        let a: Option<Request> = read_frame(&mut r).unwrap();
+        assert!(matches!(a, Some(Request::Metrics)));
+        let b: Option<Request> = read_frame(&mut r).unwrap();
+        assert!(matches!(b, Some(Request::Map { .. })));
+        let eof: Option<Request> = read_frame(&mut r).unwrap();
+        assert!(eof.is_none());
+    }
+
+    #[test]
+    fn bad_frames_are_protocol_errors() {
+        let mut r = std::io::BufReader::new(&b"{not json}\n"[..]);
+        let err = read_frame::<_, Request>(&mut r).unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err}");
+        let reply = Response::from_error(&err);
+        match &reply {
+            Response::Error { kind, .. } => assert_eq!(kind, "protocol"),
+            other => panic!("expected error reply, got {other:?}"),
+        }
+        assert!(reply.is_error());
+    }
+}

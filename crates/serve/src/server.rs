@@ -1,0 +1,281 @@
+//! The `symbiod` daemon: a multi-threaded TCP front-end for the
+//! `symbio-online` decision engine.
+//!
+//! Architecture (std::net only, no async runtime):
+//!
+//! * one **acceptor** (the thread calling [`Symbiod::run`]) takes
+//!   connections off the listener and hands them to a bounded channel —
+//!   the accept backlog cap. When the channel is full the daemon replies
+//!   `busy` and drops the connection instead of queueing unboundedly;
+//! * a fixed pool of **workers** drains the channel; each worker owns one
+//!   connection at a time and serves its frames in a loop (pipelining);
+//! * every connection carries a **per-request deadline**: read and write
+//!   timeouts are armed on the socket, and a request that cannot be read
+//!   or answered within the deadline closes the connection;
+//! * `shutdown` is a **graceful drain**: the flag flips, the acceptor is
+//!   unblocked by a loopback self-connection, the channel sender drops,
+//!   and workers finish their in-flight connections before exiting.
+//!
+//! All engine access is serialized behind one mutex — the engine is a
+//! bookkeeping structure (ring pushes, a policy call, a hash-map probe),
+//! so the lock is held for microseconds and the socket I/O around it runs
+//! fully in parallel.
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use symbio::obs::Counters;
+use symbio::Error;
+use symbio_online::OnlineEngine;
+
+/// Tunables of the serving layer (the engine has its own
+/// [`symbio_online::OnlineConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Accepted-but-unserved connections the daemon will hold before
+    /// replying `busy` (the accept backlog cap).
+    pub backlog: usize,
+    /// Per-request deadline: a connection that cannot deliver a frame or
+    /// accept a reply within this window is closed.
+    pub deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            backlog: 64,
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reject nonsensical configurations.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be >= 1".to_string());
+        }
+        if self.backlog == 0 {
+            return Err("backlog must be >= 1".to_string());
+        }
+        if self.deadline.is_zero() {
+            return Err("deadline must be nonzero".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Shared state every worker and the acceptor see.
+struct Shared {
+    engine: Mutex<OnlineEngine>,
+    counters: Arc<Counters>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    deadline: Duration,
+}
+
+impl Shared {
+    /// Flip the drain flag and nudge the acceptor out of `accept()` with
+    /// a throwaway loopback connection (idempotent).
+    fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+    }
+}
+
+/// The signature-serving daemon. Construct with [`Symbiod::bind`], then
+/// [`Symbiod::run`] blocks the calling thread until a client sends
+/// `shutdown` (drained gracefully).
+pub struct Symbiod {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    cfg: ServeConfig,
+}
+
+impl std::fmt::Debug for Symbiod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Symbiod")
+            .field("addr", &self.shared.addr)
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl Symbiod {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and wrap
+    /// `engine` for serving. The engine's counters are re-pointed at the
+    /// daemon's shared ledger so `metrics` replies cover both layers.
+    pub fn bind(addr: &str, engine: OnlineEngine, cfg: ServeConfig) -> symbio::Result<Symbiod> {
+        cfg.validate().map_err(Error::InvalidConfig)?;
+        let counters = Arc::clone(engine.counters());
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Symbiod {
+            listener,
+            shared: Arc::new(Shared {
+                engine: Mutex::new(engine),
+                counters,
+                shutdown: AtomicBool::new(false),
+                addr,
+                deadline: cfg.deadline,
+            }),
+            cfg,
+        })
+    }
+
+    /// The address the daemon actually listens on (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The daemon's counter ledger (shared with the engine).
+    pub fn counters(&self) -> Arc<Counters> {
+        Arc::clone(&self.shared.counters)
+    }
+
+    /// Serve until drained: accept connections, fan them out to the
+    /// worker pool, and return once a `shutdown` request has been
+    /// honoured and every worker has finished its in-flight connections.
+    pub fn run(self) -> symbio::Result<()> {
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(self.cfg.backlog);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..self.cfg.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("symbiod-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        for conn in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                // A failed accept (peer raced away) is not fatal.
+                Err(_) => continue,
+            };
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(stream)) => {
+                    // Backlog cap reached: tell the peer and shed load.
+                    Counters::add(&self.shared.counters.serve_errors, 1);
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(self.shared.deadline));
+                    let _ = write_frame(&mut stream, &Response::busy());
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+
+        // Drain: no new connections enter the channel; workers exit when
+        // it is empty and the sender is gone.
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Pull connections off the shared channel until it closes.
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Arc<Shared>) {
+    loop {
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match stream {
+            Ok(s) => serve_connection(s, shared),
+            Err(_) => return, // channel drained and closed: shutdown
+        }
+    }
+}
+
+/// Serve one connection's frames until EOF, a blown deadline, a fatal
+/// socket error, or a `shutdown` request.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.deadline));
+    let _ = stream.set_write_timeout(Some(shared.deadline));
+    // Replies are single small frames in a request/reply ping-pong;
+    // letting Nagle batch them just adds delayed-ACK stalls.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        let request: Request = match read_frame(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean EOF
+            Err(Error::Protocol(msg)) => {
+                // Malformed frame: reply in kind, keep the connection.
+                Counters::add(&shared.counters.serve_requests, 1);
+                Counters::add(&shared.counters.serve_errors, 1);
+                let reply = Response::from_error(&Error::Protocol(msg));
+                if write_frame(&mut writer, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
+            // Read failed: deadline expired or the socket died.
+            Err(_) => return,
+        };
+
+        Counters::add(&shared.counters.serve_requests, 1);
+        let mut drain = false;
+        let reply = match request {
+            Request::Ingest(snapshot) => match shared.engine.lock() {
+                Ok(mut engine) => match engine.ingest(&snapshot) {
+                    Ok(decision) => Response::Decision(decision),
+                    Err(e) => Response::from_error(&e),
+                },
+                Err(_) => Response::Error {
+                    kind: "io".to_string(),
+                    message: "engine lock poisoned".to_string(),
+                },
+            },
+            Request::Map { group } => match shared.engine.lock() {
+                Ok(engine) => Response::Map {
+                    mapping: engine.mapping(&group).cloned(),
+                    epochs: engine.epochs(&group),
+                    remaps: engine.remaps(&group),
+                    group,
+                },
+                Err(_) => Response::Error {
+                    kind: "io".to_string(),
+                    message: "engine lock poisoned".to_string(),
+                },
+            },
+            Request::Metrics => Response::Metrics(shared.counters.snapshot()),
+            Request::Shutdown => {
+                drain = true;
+                Response::Ok
+            }
+        };
+        if reply.is_error() {
+            Counters::add(&shared.counters.serve_errors, 1);
+        }
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+        if drain {
+            shared.request_shutdown();
+            return;
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end daemon tests over loopback TCP: a real `Symbiod` serving a
+//! real `OnlineEngine`, spoken to through the public wire protocol.
+
+use std::io::BufReader;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+use symbio_allocator::WeightSortPolicy;
+use symbio_machine::{ProcView, SigSnapshot, ThreadView};
+use symbio_online::{DecisionReason, OnlineConfig, OnlineEngine};
+use symbio_serve::{read_frame, write_frame, Request, Response, ServeConfig, Symbiod};
+
+fn thread_view(tid: usize, occ: f64) -> ThreadView {
+    ThreadView {
+        tid,
+        pid: tid,
+        name: format!("p{tid}"),
+        occupancy: occ,
+        symbiosis: vec![50.0, 50.0],
+        overlap: vec![5.0, 5.0],
+        last_occupancy: occ as u32,
+        last_core: Some(tid % 2),
+        samples: 8,
+        filter_len: 64,
+        l2_miss_rate: 0.2,
+        l2_misses: 100,
+        retired: 1000,
+    }
+}
+
+fn snapshot(group: &str, seq: u64) -> SigSnapshot {
+    let occ = [40.0, 30.0, 20.0, 10.0];
+    SigSnapshot {
+        group: group.to_string(),
+        seq,
+        now_cycles: seq * 1_000,
+        cores: 2,
+        procs: (0..4)
+            .map(|pid| ProcView {
+                pid,
+                name: format!("p{pid}"),
+                threads: vec![thread_view(pid, occ[pid])],
+            })
+            .collect(),
+    }
+}
+
+/// Bind a daemon on an ephemeral loopback port and run it on a thread.
+fn spawn_daemon() -> (
+    std::net::SocketAddr,
+    std::sync::Arc<symbio::obs::Counters>,
+    std::thread::JoinHandle<symbio::Result<()>>,
+) {
+    let engine = OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default())
+        .expect("valid config");
+    let cfg = ServeConfig {
+        workers: 2,
+        backlog: 16,
+        deadline: Duration::from_secs(5),
+    };
+    let daemon = Symbiod::bind("127.0.0.1:0", engine, cfg).expect("bind loopback");
+    let addr = daemon.local_addr();
+    let counters = daemon.counters();
+    let handle = std::thread::spawn(move || daemon.run());
+    (addr, counters, handle)
+}
+
+fn roundtrip(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &Request) -> Response {
+    write_frame(conn, req).expect("write frame");
+    read_frame(reader)
+        .expect("read frame")
+        .expect("response before EOF")
+}
+
+#[test]
+fn daemon_serves_ingest_map_metrics_and_drains_on_shutdown() {
+    let (addr, counters, handle) = spawn_daemon();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+
+    // Warmup epochs until the default window's min_votes (3) is met.
+    for seq in 0..3u64 {
+        let reply = roundtrip(&mut conn, &mut reader, &Request::Ingest(snapshot("g", seq)));
+        let Response::Decision(d) = reply else {
+            panic!("expected decision, got {reply:?}");
+        };
+        assert_eq!(d.seq, seq);
+        if seq < 2 {
+            assert_eq!(d.reason, DecisionReason::Warmup);
+            assert!(d.mapping.is_none());
+        } else {
+            assert_eq!(d.reason, DecisionReason::Initial);
+            assert!(d.changed);
+            assert!(d.mapping.is_some());
+        }
+    }
+
+    // The committed mapping is queryable, with stream statistics.
+    let reply = roundtrip(
+        &mut conn,
+        &mut reader,
+        &Request::Map {
+            group: "g".to_string(),
+        },
+    );
+    match reply {
+        Response::Map {
+            group,
+            mapping,
+            epochs,
+            remaps,
+        } => {
+            assert_eq!(group, "g");
+            assert_eq!(epochs, 3);
+            assert_eq!(remaps, 0);
+            let mapping = mapping.expect("mapping committed");
+            // WeightSort on occupancies 40,30,20,10 over 2 cores pairs
+            // the two heaviest threads on one core.
+            assert_eq!(mapping.core_of(0), mapping.core_of(1));
+            assert_eq!(mapping.core_of(2), mapping.core_of(3));
+        }
+        other => panic!("expected map reply, got {other:?}"),
+    }
+
+    // An unknown group is not an error: it just has no mapping yet.
+    let reply = roundtrip(
+        &mut conn,
+        &mut reader,
+        &Request::Map {
+            group: "nobody".to_string(),
+        },
+    );
+    match reply {
+        Response::Map {
+            mapping, epochs, ..
+        } => {
+            assert!(mapping.is_none());
+            assert_eq!(epochs, 0);
+        }
+        other => panic!("expected map reply, got {other:?}"),
+    }
+
+    // A malformed frame gets a typed protocol error…
+    conn.write_all(b"{this is not json}\n").expect("write junk");
+    conn.flush().expect("flush");
+    let reply: Response = read_frame(&mut reader).expect("read").expect("reply");
+    match &reply {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, "protocol");
+            assert!(message.contains("protocol error"), "{message}");
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+
+    // …and the connection stays usable afterwards.
+    let reply = roundtrip(&mut conn, &mut reader, &Request::Metrics);
+    match reply {
+        Response::Metrics(snap) => {
+            assert!(
+                snap.serve_requests >= 6,
+                "requests: {}",
+                snap.serve_requests
+            );
+            assert_eq!(snap.serve_errors, 1);
+            assert_eq!(snap.online_epochs, 3);
+        }
+        other => panic!("expected metrics, got {other:?}"),
+    }
+
+    // A structurally invalid snapshot is also a typed protocol error.
+    let mut bad = snapshot("g", 99);
+    bad.cores = 0;
+    let reply = roundtrip(&mut conn, &mut reader, &Request::Ingest(bad));
+    match &reply {
+        Response::Error { kind, .. } => assert_eq!(kind, "protocol"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+
+    // Shutdown is acknowledged and the serve loop drains and returns.
+    let reply = roundtrip(&mut conn, &mut reader, &Request::Shutdown);
+    assert!(matches!(reply, Response::Ok), "got {reply:?}");
+    handle
+        .join()
+        .expect("daemon thread")
+        .expect("clean shutdown");
+    assert!(counters.snapshot().serve_requests >= 8);
+}
+
+#[test]
+fn concurrent_connections_share_one_engine() {
+    let (addr, _counters, handle) = spawn_daemon();
+
+    // Two clients interleave epochs of distinct groups.
+    let clients: Vec<_> = ["alpha", "beta"]
+        .into_iter()
+        .map(|group| {
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+                for seq in 0..4u64 {
+                    let reply = roundtrip(
+                        &mut conn,
+                        &mut reader,
+                        &Request::Ingest(snapshot(group, seq)),
+                    );
+                    assert!(matches!(reply, Response::Decision(_)), "got {reply:?}");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Both groups progressed independently.
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    for group in ["alpha", "beta"] {
+        let reply = roundtrip(
+            &mut conn,
+            &mut reader,
+            &Request::Map {
+                group: group.to_string(),
+            },
+        );
+        match reply {
+            Response::Map {
+                epochs, mapping, ..
+            } => {
+                assert_eq!(epochs, 4, "group {group}");
+                assert!(mapping.is_some(), "group {group}");
+            }
+            other => panic!("expected map reply, got {other:?}"),
+        }
+    }
+
+    let reply = roundtrip(&mut conn, &mut reader, &Request::Shutdown);
+    assert!(matches!(reply, Response::Ok));
+    handle.join().expect("daemon thread").expect("drain");
+}
