@@ -14,7 +14,17 @@
 //! fetches `metrics` — the run fails (nonzero exit) unless the daemon
 //! answers with a well-formed metrics reply — and optionally sends
 //! `shutdown` so scripted runs tear the daemon down.
+//!
+//! The client is **resilient**: transient failures (socket errors, lost
+//! replies, `busy`/`io` error replies) are retried with bounded
+//! exponential backoff plus jitter, reconnecting as needed — the
+//! daemon's duplicate suppression makes a retried epoch idempotent.
+//! `degraded`/`recovering` replies count as served (the client got a
+//! usable mapping) and are tallied separately. Only genuinely fatal
+//! replies (protocol/validation errors) or an exhausted retry budget
+//! count as errors in `BENCH_serve.json`.
 
+use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -23,6 +33,11 @@ use symbio::{Error, ExperimentConfig};
 use symbio_machine::{Machine, SigSnapshot};
 use symbio_serve::{read_frame, write_frame, Request, Response};
 use symbio_workloads::spec2006;
+
+/// Retries per request before it is recorded as a client-visible error.
+const MAX_RETRIES: u32 = 5;
+/// First-retry backoff; doubles per attempt, plus up to 100% jitter.
+const BACKOFF_BASE_MS: f64 = 2.0;
 
 /// Record one profiling interval's worth of snapshots from a live
 /// machine simulation — the trace every connection replays.
@@ -44,41 +59,187 @@ fn record_trace(cfg: &ExperimentConfig) -> Vec<SigSnapshot> {
     let mut seq = 0;
     while machine.now() < deadline {
         machine.run_for(cfg.interval.min(deadline - machine.now()));
-        out.push(machine.export_snapshot("load", seq));
+        out.push(
+            machine
+                .export_snapshot("load", seq)
+                .expect("loadgen machine has runnable processes"),
+        );
         seq += 1;
     }
     out
 }
 
+/// One replay connection (writer + buffered reader halves).
+struct Client {
+    conn: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> symbio::Result<Client> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true)?;
+        let reader = BufReader::new(conn.try_clone()?);
+        Ok(Client { conn, reader })
+    }
+
+    /// One request/reply round-trip. A lost reply (EOF) is an I/O error:
+    /// the caller reconnects and retries, and the daemon's duplicate
+    /// suppression keeps the retried epoch idempotent.
+    fn exchange(&mut self, request: &Request) -> symbio::Result<Response> {
+        write_frame(&mut self.conn, request)?;
+        read_frame(&mut self.reader)?
+            .ok_or_else(|| Error::Protocol("daemon closed mid-replay".to_string()))
+    }
+}
+
+/// What one replay connection observed.
+#[derive(Default)]
+struct ReplayStats {
+    latencies: Vec<f64>,
+    /// Fatal replies or exhausted retry budgets — client-visible failures.
+    errors: u64,
+    /// Transient faults absorbed by the retry loop.
+    retries: u64,
+    /// `degraded`/`recovering` replies: served from a stale mapping.
+    degraded: u64,
+}
+
+/// How the retry loop treats one exchange outcome.
+enum Outcome {
+    /// A usable reply (decision, or a stale mapping): move on.
+    Served { degraded: bool },
+    /// Worth retrying after backoff (socket fault, lost reply, `busy`).
+    Transient { reconnect: bool },
+    /// Retrying cannot help (the daemon rejected the request itself).
+    Fatal,
+}
+
+fn classify(result: symbio::Result<Response>) -> Outcome {
+    match result {
+        Ok(Response::Decision(_)) => Outcome::Served { degraded: false },
+        Ok(Response::Degraded { .. } | Response::Recovering { .. }) => {
+            Outcome::Served { degraded: true }
+        }
+        // `busy` = shed past the degraded pool; `io` covers injected
+        // dispatch faults and lock trouble — both are about daemon load,
+        // not about this request, so back off and retry.
+        Ok(Response::Error { ref kind, .. }) if kind == "busy" || kind == "io" => {
+            Outcome::Transient { reconnect: false }
+        }
+        Ok(Response::Error { .. }) => Outcome::Fatal,
+        // Any other reply shape to an ingest is a protocol violation.
+        Ok(_) => Outcome::Fatal,
+        // The socket died or the reply was lost: reconnect and retry.
+        Err(_) => Outcome::Transient { reconnect: true },
+    }
+}
+
+/// Exponential backoff with full jitter: `base * 2^(attempt-1)` doubled
+/// by up to 100%, so synchronized clients spread their retries.
+fn backoff(attempt: u32, rng: &mut StdRng) -> Duration {
+    let base = BACKOFF_BASE_MS * f64::powi(2.0, attempt.saturating_sub(1) as i32);
+    let jitter: f64 = rng.random();
+    Duration::from_secs_f64(base * (1.0 + jitter) / 1000.0)
+}
+
+/// Control-plane exchange (`metrics`, `shutdown`) with the same
+/// transient-fault resilience as the replay path: reconnect and back off
+/// on socket faults, lost replies, and `busy`/`io` errors. With
+/// `gone_ok` (the shutdown verb), a daemon that stops accepting
+/// connections after the request was sent at least once counts as a
+/// successful `Ok` — the previous attempt may have drained the daemon
+/// even though its ack was lost.
+fn control_exchange(
+    addr: &str,
+    request: &Request,
+    gone_ok: bool,
+    rng: &mut StdRng,
+) -> symbio::Result<Response> {
+    let mut client: Option<Client> = None;
+    let mut sent_once = false;
+    for attempt in 0..=MAX_RETRIES {
+        if attempt > 0 {
+            std::thread::sleep(backoff(attempt, rng));
+        }
+        if client.is_none() {
+            client = match Client::connect(addr) {
+                Ok(c) => Some(c),
+                Err(_) if gone_ok && sent_once => return Ok(Response::Ok),
+                Err(_) => continue,
+            };
+        }
+        let c = client.as_mut().expect("connected above");
+        sent_once = true;
+        match c.exchange(request) {
+            Ok(Response::Error { ref kind, .. }) if kind == "busy" || kind == "io" => {}
+            Ok(reply) => return Ok(reply),
+            Err(_) => client = None,
+        }
+    }
+    Err(Error::Protocol(format!(
+        "control request still failing after {MAX_RETRIES} retries"
+    )))
+}
+
 /// One connection's replay loop: stream `Ingest` frames until the
-/// deadline, return per-request latencies (µs) and the error-reply count.
+/// deadline, absorbing transient faults with bounded backoff-and-retry.
 fn replay(
     addr: &str,
     group: String,
     trace: &[SigSnapshot],
     seconds: f64,
     rate: f64,
-) -> symbio::Result<(Vec<f64>, u64)> {
-    let mut conn = TcpStream::connect(addr)?;
-    conn.set_nodelay(true)?;
-    let mut reader = BufReader::new(conn.try_clone()?);
+    seed: u64,
+) -> symbio::Result<ReplayStats> {
+    // Deterministic jitter per connection: reruns back off identically.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = Some(Client::connect(addr)?);
     let started = Instant::now();
     let window = Duration::from_secs_f64(seconds);
-    let mut latencies = Vec::new();
-    let mut errors = 0u64;
+    let mut stats = ReplayStats::default();
     let mut seq = 0u64;
     while started.elapsed() < window {
         let mut snap = trace[(seq as usize) % trace.len()].clone();
         snap.group = group.clone();
         snap.seq = seq;
+        let request = Request::Ingest(snap);
         let t0 = Instant::now();
-        write_frame(&mut conn, &Request::Ingest(snap))?;
-        let reply: Response = read_frame(&mut reader)?
-            .ok_or_else(|| Error::Protocol("daemon closed mid-replay".to_string()))?;
-        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
-        if reply.is_error() {
-            errors += 1;
+        let mut attempt = 0u32;
+        loop {
+            let result = match client.as_mut() {
+                Some(c) => c.exchange(&request),
+                None => Err(Error::Protocol("reconnect pending".to_string())),
+            };
+            match classify(result) {
+                Outcome::Served { degraded } => {
+                    if degraded {
+                        stats.degraded += 1;
+                    }
+                    break;
+                }
+                Outcome::Fatal => {
+                    stats.errors += 1;
+                    break;
+                }
+                Outcome::Transient { reconnect } => {
+                    if reconnect {
+                        client = None;
+                    }
+                    if attempt >= MAX_RETRIES {
+                        stats.errors += 1;
+                        break;
+                    }
+                    attempt += 1;
+                    stats.retries += 1;
+                    std::thread::sleep(backoff(attempt, &mut rng));
+                    if client.is_none() {
+                        client = Client::connect(addr).ok();
+                    }
+                }
+            }
         }
+        stats.latencies.push(t0.elapsed().as_secs_f64() * 1e6);
         seq += 1;
         if rate > 0.0 {
             // Open-loop pacing: sleep off any lead over the target rate.
@@ -88,7 +249,7 @@ fn replay(
             }
         }
     }
-    Ok((latencies, errors))
+    Ok(stats)
 }
 
 fn main() -> symbio::Result<()> {
@@ -147,27 +308,31 @@ fn main() -> symbio::Result<()> {
         .map(|i| {
             let addr = addr.clone();
             let trace = trace.clone();
-            std::thread::spawn(move || replay(&addr, format!("load-{i}"), &trace, seconds, rate))
+            std::thread::spawn(move || {
+                replay(&addr, format!("load-{i}"), &trace, seconds, rate, i as u64)
+            })
         })
         .collect();
     let mut latencies = Vec::new();
     let mut errors = 0u64;
+    let mut retries = 0u64;
+    let mut degraded = 0u64;
     for c in clients {
-        let (lat, err) = c.join().expect("client thread")?;
-        latencies.extend(lat);
-        errors += err;
+        let stats = c.join().expect("client thread")?;
+        latencies.extend(stats.latencies);
+        errors += stats.errors;
+        retries += stats.retries;
+        degraded += stats.degraded;
     }
     let wall = started.elapsed().as_secs_f64();
 
     // The smoke-test teeth: the daemon must still answer a well-formed
-    // metrics reply after the replay, or the run fails.
-    let mut conn = TcpStream::connect(&addr)?;
-    conn.set_nodelay(true)?;
-    let mut reader = BufReader::new(conn.try_clone()?);
-    write_frame(&mut conn, &Request::Metrics)?;
-    let reply: Response = read_frame(&mut reader)?
-        .ok_or_else(|| Error::Protocol("daemon closed before metrics reply".to_string()))?;
-    let metrics = match reply {
+    // metrics reply after the replay, or the run fails. The control
+    // exchange rides the same retry machinery as the replay, so an
+    // injected fault on the metrics or shutdown reply cannot fail an
+    // otherwise-clean run.
+    let mut rng = StdRng::seed_from_u64(conns as u64);
+    let metrics = match control_exchange(&addr, &Request::Metrics, false, &mut rng)? {
         Response::Metrics(snap) => snap,
         other => {
             return Err(Error::Protocol(format!(
@@ -176,28 +341,38 @@ fn main() -> symbio::Result<()> {
         }
     };
     if shutdown {
-        write_frame(&mut conn, &Request::Shutdown)?;
-        let reply: Response = read_frame(&mut reader)?
-            .ok_or_else(|| Error::Protocol("daemon closed before shutdown ack".to_string()))?;
-        if !matches!(reply, Response::Ok) {
-            return Err(Error::Protocol(format!(
-                "expected shutdown ack, got {reply:?}"
-            )));
+        match control_exchange(&addr, &Request::Shutdown, true, &mut rng)? {
+            Response::Ok => {}
+            reply => {
+                return Err(Error::Protocol(format!(
+                    "expected shutdown ack, got {reply:?}"
+                )))
+            }
         }
     }
 
-    let record = ServeBenchRecord::new(&name, conns, wall, errors, &mut latencies);
+    let record = ServeBenchRecord::new(
+        &name,
+        conns,
+        wall,
+        errors,
+        retries,
+        degraded,
+        &mut latencies,
+    );
     let path = write_serve_bench_record(&record)?;
     println!(
         "loadgen: {} requests in {:.2}s over {} conn(s) → {:.0} decisions/sec \
-         (p50 {:.1}µs, p99 {:.1}µs, {} error replies)",
+         (p50 {:.1}µs, p99 {:.1}µs, {} errors, {} retries, {} degraded)",
         record.requests,
         record.wall_seconds,
         record.conns,
         record.requests_per_sec,
         record.p50_us,
         record.p99_us,
-        record.errors
+        record.errors,
+        record.retries,
+        record.degraded
     );
     println!(
         "loadgen: daemon served {} requests total ({} errors); record merged into {}",

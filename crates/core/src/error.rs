@@ -27,6 +27,11 @@ pub enum Error {
     /// structurally invalid snapshot (the daemon replies with this instead
     /// of panicking or dropping the connection silently).
     Protocol(String),
+    /// Data that parsed fine but describes an impossible state — e.g.
+    /// exporting a signature snapshot from a machine with no runnable
+    /// processes, which would otherwise enter the online engine as an
+    /// empty vote.
+    Validation(String),
 }
 
 /// Result alias used across the facade.
@@ -42,6 +47,7 @@ impl fmt::Display for Error {
             Error::InvalidConfig(msg) => write!(f, "invalid experiment config: {msg}"),
             Error::Io(e) => write!(f, "artifact I/O failed: {e}"),
             Error::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            Error::Validation(msg) => write!(f, "validation failed: {msg}"),
         }
     }
 }
@@ -83,6 +89,14 @@ impl From<std::io::Error> for Error {
 impl From<serde_json::Error> for Error {
     fn from(e: serde_json::Error) -> Self {
         Error::Protocol(e.to_string())
+    }
+}
+
+// A snapshot export refused by the machine layer (zero-process group)
+// is a validation failure, not an I/O or protocol fault.
+impl From<symbio_machine::ExportError> for Error {
+    fn from(e: symbio_machine::ExportError) -> Self {
+        Error::Validation(e.to_string())
     }
 }
 

@@ -4,6 +4,8 @@
 //! Everything here is passive — a sweep configured without a trace or
 //! bench record pays only a handful of relaxed atomic increments.
 
+pub mod fault;
+
 use crate::report::experiments_dir;
 use serde::{Deserialize, Serialize, Value};
 use std::io::Write;
@@ -44,6 +46,17 @@ pub struct Counters {
     pub serve_requests: AtomicU64,
     /// Daemon protocol/dispatch errors returned to clients.
     pub serve_errors: AtomicU64,
+    /// Journal frames replayed during recovery
+    /// (`OnlineEngine::recover_from`).
+    pub recovery_replays: AtomicU64,
+    /// Process groups tripped into quarantine by repeated invalid
+    /// snapshots.
+    pub quarantine_trips: AtomicU64,
+    /// `degraded`/`recovering` replies served (load shedding and
+    /// quarantined groups: the stale mapping, not a fresh decision).
+    pub degraded_replies: AtomicU64,
+    /// Bytes appended to (or replayed from) the epoch journal.
+    pub journal_bytes: AtomicU64,
 }
 
 /// Plain-data snapshot of [`Counters`] for serialization.
@@ -73,6 +86,14 @@ pub struct CounterSnapshot {
     pub serve_requests: u64,
     /// See [`Counters::serve_errors`].
     pub serve_errors: u64,
+    /// See [`Counters::recovery_replays`].
+    pub recovery_replays: u64,
+    /// See [`Counters::quarantine_trips`].
+    pub quarantine_trips: u64,
+    /// See [`Counters::degraded_replies`].
+    pub degraded_replies: u64,
+    /// See [`Counters::journal_bytes`].
+    pub journal_bytes: u64,
 }
 
 impl Counters {
@@ -102,6 +123,10 @@ impl Counters {
             online_remaps: self.online_remaps.load(Ordering::Relaxed),
             serve_requests: self.serve_requests.load(Ordering::Relaxed),
             serve_errors: self.serve_errors.load(Ordering::Relaxed),
+            recovery_replays: self.recovery_replays.load(Ordering::Relaxed),
+            quarantine_trips: self.quarantine_trips.load(Ordering::Relaxed),
+            degraded_replies: self.degraded_replies.load(Ordering::Relaxed),
+            journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -343,6 +368,13 @@ pub struct ServeBenchRecord {
     pub requests: u64,
     /// Error replies observed.
     pub errors: u64,
+    /// Transient failures absorbed by retry/backoff (resends and
+    /// reconnects that ultimately succeeded — zero client-visible
+    /// failures as long as the run exits cleanly).
+    pub retries: u64,
+    /// `degraded`/`recovering` replies received (the daemon served a
+    /// stale mapping under load shedding or quarantine).
+    pub degraded: u64,
     /// Concurrent client connections.
     pub conns: u64,
     /// Wall-clock seconds of the replay window.
@@ -364,6 +396,8 @@ impl ServeBenchRecord {
         conns: usize,
         wall_seconds: f64,
         errors: u64,
+        retries: u64,
+        degraded: u64,
         latencies_us: &mut [f64],
     ) -> Self {
         latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -379,6 +413,8 @@ impl ServeBenchRecord {
             name: name.to_string(),
             requests: latencies_us.len() as u64,
             errors,
+            retries,
+            degraded,
             conns: conns as u64,
             wall_seconds,
             requests_per_sec: latencies_us.len() as f64 / wall,
@@ -450,14 +486,16 @@ mod tests {
     #[test]
     fn serve_record_quantiles_nearest_rank() {
         let mut lat: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let r = ServeBenchRecord::new("unit", 4, 2.0, 1, &mut lat);
+        let r = ServeBenchRecord::new("unit", 4, 2.0, 1, 3, 2, &mut lat);
         assert_eq!(r.requests, 100);
         assert_eq!(r.errors, 1);
+        assert_eq!(r.retries, 3);
+        assert_eq!(r.degraded, 2);
         assert!((r.p50_us - 50.0).abs() < 1e-9);
         assert!((r.p99_us - 99.0).abs() < 1e-9);
         assert!((r.requests_per_sec - 50.0).abs() < 1e-9);
         // Empty latency set degrades to zeros, not a panic.
-        let empty = ServeBenchRecord::new("empty", 1, 1.0, 0, &mut []);
+        let empty = ServeBenchRecord::new("empty", 1, 1.0, 0, 0, 0, &mut []);
         assert_eq!(empty.requests, 0);
         assert_eq!(empty.p99_us, 0.0);
     }

@@ -1,0 +1,245 @@
+//! Deterministic fault injection for the online serving path.
+//!
+//! A *faultpoint* is a named site in production code where an I/O-shaped
+//! failure can be injected under test: the [`crate::faultpoint!`] macro
+//! expands to one relaxed atomic load when the subsystem is disarmed (the
+//! production state — no lock, no RNG, no allocation), and to a seeded
+//! probability draw when a fault plan has been armed.
+//!
+//! Arming is explicit, never ambient: tests call [`arm`] with a plan
+//! string and a seed, and binaries opt in by calling [`arm_from_env`]
+//! (reading `SYMBIO_FAULTS` / `SYMBIO_FAULT_SEED`) at startup. The plan
+//! is a comma-separated `site=probability` list:
+//!
+//! ```text
+//! SYMBIO_FAULTS="journal_write=0.1,socket_write=0.05" SYMBIO_FAULT_SEED=7 symbiod …
+//! ```
+//!
+//! Draws come from one seeded splitmix stream shared by every site, so a
+//! `(plan, seed)` pair replays the same fault schedule for a
+//! single-threaded caller — the chaos tests sweep seeds instead of
+//! relying on wall-clock entropy. Injected failures are always
+//! `std::io::Error` values (kind `Other`, message naming the site), which
+//! the macro converts into the caller's error type via `From`.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fast-path switch: checked by [`crate::faultpoint!`] before anything
+/// else, so disarmed code pays one relaxed load per site crossing.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Total injected failures across all sites since the last [`arm`].
+static TOTAL_TRIPS: AtomicU64 = AtomicU64::new(0);
+
+/// The armed plan (None while disarmed).
+static PLAN: Mutex<Option<Plan>> = Mutex::new(None);
+
+/// One armed injection site.
+#[derive(Debug, Clone)]
+struct Site {
+    name: String,
+    probability: f64,
+    trips: u64,
+}
+
+/// A parsed fault plan plus its seeded draw stream.
+#[derive(Debug)]
+struct Plan {
+    sites: Vec<Site>,
+    rng: StdRng,
+}
+
+/// Whether a fault plan is armed. `#[inline]` so the disarmed fast path
+/// in [`crate::faultpoint!`] is a single relaxed load.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arm a fault plan: `spec` is a comma-separated `site=probability` list
+/// (probabilities in `[0, 1]`), `seed` fixes the draw stream. Replaces
+/// any previously armed plan and zeroes all trip counters.
+pub fn arm(spec: &str, seed: u64) -> Result<(), String> {
+    let mut sites = Vec::new();
+    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let (name, prob) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("fault spec entry `{entry}` is not `site=probability`"))?;
+        let probability: f64 = prob
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad probability `{prob}` for fault site `{name}`"))?;
+        if !(0.0..=1.0).contains(&probability) {
+            return Err(format!(
+                "fault probability for `{name}` must be in [0, 1], got {probability}"
+            ));
+        }
+        sites.push(Site {
+            name: name.trim().to_string(),
+            probability,
+            trips: 0,
+        });
+    }
+    if sites.is_empty() {
+        return Err("fault spec names no sites".to_string());
+    }
+    let plan = Plan {
+        sites,
+        rng: StdRng::seed_from_u64(seed),
+    };
+    *PLAN.lock().expect("fault plan lock") = Some(plan);
+    TOTAL_TRIPS.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Arm from the environment (`SYMBIO_FAULTS`, optional
+/// `SYMBIO_FAULT_SEED`, default seed 0). A no-op when `SYMBIO_FAULTS` is
+/// unset; a malformed spec is reported on stderr rather than silently
+/// running without the faults the operator asked for.
+pub fn arm_from_env() {
+    let Ok(spec) = std::env::var("SYMBIO_FAULTS") else {
+        return;
+    };
+    let seed = std::env::var("SYMBIO_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    match arm(&spec, seed) {
+        Ok(()) => eprintln!("faultpoints armed: {spec} (seed {seed})"),
+        Err(e) => eprintln!("ignoring SYMBIO_FAULTS: {e}"),
+    }
+}
+
+/// Disarm: production behaviour at every site, plan dropped.
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+    *PLAN.lock().expect("fault plan lock") = None;
+}
+
+/// Draw at `site`: `Some(error)` when the armed plan trips the site this
+/// crossing, `None` otherwise (including while disarmed or for sites the
+/// plan does not name). Called via [`crate::faultpoint!`]; the macro has
+/// already checked [`armed`].
+pub fn check(site: &str) -> Option<std::io::Error> {
+    if !armed() {
+        return None;
+    }
+    let mut guard = PLAN.lock().expect("fault plan lock");
+    let plan = guard.as_mut()?;
+    let draw: f64 = plan.rng.random();
+    let s = plan.sites.iter_mut().find(|s| s.name == site)?;
+    if draw < s.probability {
+        s.trips += 1;
+        TOTAL_TRIPS.fetch_add(1, Ordering::Relaxed);
+        Some(std::io::Error::other(format!("injected fault at {site}")))
+    } else {
+        None
+    }
+}
+
+/// Injected failures at `site` since the plan was armed.
+pub fn trips(site: &str) -> u64 {
+    PLAN.lock()
+        .expect("fault plan lock")
+        .as_ref()
+        .and_then(|p| p.sites.iter().find(|s| s.name == site))
+        .map_or(0, |s| s.trips)
+}
+
+/// Injected failures across all sites since the plan was armed.
+pub fn total_trips() -> u64 {
+    TOTAL_TRIPS.load(Ordering::Relaxed)
+}
+
+/// Declare a fault-injection site.
+///
+/// Expands to a single relaxed atomic load when no plan is armed; when
+/// the armed plan trips the site, early-returns
+/// `Err(io_error.into())` from the enclosing function — so the enclosing
+/// function must return a `Result` whose error type is `From<std::io::Error>`.
+///
+/// ```
+/// fn write_side_effect() -> symbio::Result<()> {
+///     symbio::faultpoint!("journal_write");
+///     // … the real write …
+///     Ok(())
+/// }
+/// ```
+#[macro_export]
+macro_rules! faultpoint {
+    ($site:literal) => {
+        if $crate::obs::fault::armed() {
+            if let Some(e) = $crate::obs::fault::check($site) {
+                return Err(e.into());
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test fn: the registry is process-global, and cargo runs tests
+    // in one process with threads — serializing inside a single #[test]
+    // avoids cross-test interference.
+    #[test]
+    fn arm_trip_and_disarm_lifecycle() {
+        assert!(!armed());
+        assert!(check("anything").is_none());
+
+        // Deterministic: same plan + seed → same trip schedule.
+        let schedule = |seed: u64| -> Vec<bool> {
+            arm("unit_site=0.5", seed).unwrap();
+            let s = (0..64).map(|_| check("unit_site").is_some()).collect();
+            disarm();
+            s
+        };
+        let a = schedule(42);
+        let b = schedule(42);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|t| *t), "p=0.5 over 64 draws must trip");
+        assert!(!a.iter().all(|t| *t), "p=0.5 over 64 draws must also pass");
+        let c = schedule(43);
+        assert_ne!(a, c, "different seeds give different schedules");
+
+        // Probability 1 always trips and counts; unknown sites never do.
+        arm("always=1.0, never=0.0", 7).unwrap();
+        assert!(armed());
+        for _ in 0..5 {
+            assert!(check("always").is_some());
+            assert!(check("never").is_none());
+            assert!(check("unplanned").is_none());
+        }
+        assert_eq!(trips("always"), 5);
+        assert_eq!(trips("never"), 0);
+        assert_eq!(total_trips(), 5);
+        let e = check("always").unwrap();
+        assert!(e.to_string().contains("injected fault at always"));
+
+        // Malformed specs are rejected without arming.
+        disarm();
+        assert!(arm("", 0).is_err());
+        assert!(arm("site", 0).is_err());
+        assert!(arm("site=nope", 0).is_err());
+        assert!(arm("site=1.5", 0).is_err());
+        assert!(!armed());
+
+        // The macro early-returns the injected error.
+        fn guarded() -> crate::Result<u32> {
+            crate::faultpoint!("macro_site");
+            Ok(7)
+        }
+        assert_eq!(guarded().unwrap(), 7);
+        arm("macro_site=1.0", 0).unwrap();
+        match guarded() {
+            Err(crate::Error::Io(e)) => assert!(e.to_string().contains("macro_site")),
+            other => panic!("expected injected Io error, got {other:?}"),
+        }
+        disarm();
+        assert_eq!(guarded().unwrap(), 7);
+    }
+}

@@ -44,6 +44,6 @@ pub mod timing;
 pub use config::{MachineConfig, VirtConfig};
 pub use machine::{Machine, ProcOutcome, RunOutcome};
 pub use mapping::Mapping;
-pub use snapshot::SigSnapshot;
+pub use snapshot::{ExportError, SigSnapshot};
 pub use thread::{ProcView, SigContext, ThreadView};
 pub use timing::TimingModel;

@@ -12,6 +12,29 @@
 use crate::machine::Machine;
 use crate::thread::{ProcView, ThreadView};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Refusal to export a snapshot that could not be a valid vote — the
+/// machine currently has no runnable processes, so the snapshot would
+/// carry zero threads and the online engine would either reject it
+/// (wasting an epoch) or, worse, tally it as an empty vote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportError {
+    /// The process-group key the export was asked to stamp.
+    pub group: String,
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot export snapshot for group `{}`: machine has no runnable processes",
+            self.group
+        )
+    }
+}
+
+impl std::error::Error for ExportError {}
 
 /// One epoch of scheduler-visible signature state for a process group.
 ///
@@ -97,6 +120,24 @@ impl SigSnapshot {
                     self.cores
                 ));
             }
+            // Occupancy-impossible values: a non-finite or negative
+            // occupancy (or EWMA entry) would poison the engine's drift
+            // detector and vote window forever — NaN propagates through
+            // every mean it touches. Real signature hardware can only
+            // report non-negative finite line counts.
+            if !t.occupancy.is_finite() || t.occupancy < 0.0 {
+                return Err(format!(
+                    "tid {} carries impossible occupancy {}",
+                    t.tid, t.occupancy
+                ));
+            }
+            let poisoned = |v: &[f64]| v.iter().any(|x| !x.is_finite() || *x < 0.0);
+            if poisoned(&t.symbiosis) || poisoned(&t.overlap) {
+                return Err(format!(
+                    "tid {} carries non-finite or negative signature entries",
+                    t.tid
+                ));
+            }
         }
         Ok(())
     }
@@ -105,15 +146,23 @@ impl SigSnapshot {
 impl Machine {
     /// Export the current scheduler-visible state as a [`SigSnapshot`] —
     /// the online analogue of [`Machine::query_views`], feeding the wire
-    /// type consumed by `symbio-online` / `symbiod`.
-    pub fn export_snapshot(&self, group: &str, seq: u64) -> SigSnapshot {
-        SigSnapshot {
+    /// type consumed by `symbio-online` / `symbiod`. Refuses to export a
+    /// zero-process group ([`ExportError`]): such a snapshot carries no
+    /// threads, and the online engine must never tally it as a vote.
+    pub fn export_snapshot(&self, group: &str, seq: u64) -> Result<SigSnapshot, ExportError> {
+        let procs = self.query_views();
+        if procs.iter().all(|p| p.threads.is_empty()) {
+            return Err(ExportError {
+                group: group.to_string(),
+            });
+        }
+        Ok(SigSnapshot {
             group: group.to_string(),
             seq,
             now_cycles: self.now(),
             cores: self.config().cores,
-            procs: self.query_views(),
-        }
+            procs,
+        })
     }
 }
 
@@ -205,5 +254,32 @@ mod tests {
         let mut s = snapshot();
         s.procs.clear();
         assert!(s.validate().unwrap_err().contains("no threads"));
+    }
+
+    #[test]
+    fn validate_rejects_impossible_occupancy() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let mut s = snapshot();
+            s.procs[0].threads[0].occupancy = bad;
+            assert!(
+                s.validate().unwrap_err().contains("impossible occupancy"),
+                "occupancy {bad} must be rejected"
+            );
+        }
+        let mut s = snapshot();
+        s.procs[2].threads[0].overlap[1] = f64::NAN;
+        assert!(s.validate().unwrap_err().contains("non-finite"));
+        let mut s = snapshot();
+        s.procs[2].threads[0].symbiosis[0] = -5.0;
+        assert!(s.validate().unwrap_err().contains("negative"));
+    }
+
+    #[test]
+    fn exporting_a_zero_process_group_is_refused() {
+        use crate::config::MachineConfig;
+        let machine = Machine::new(MachineConfig::scaled_core2duo(1));
+        let err = machine.export_snapshot("empty", 0).unwrap_err();
+        assert_eq!(err.group, "empty");
+        assert!(err.to_string().contains("no runnable processes"));
     }
 }

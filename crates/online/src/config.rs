@@ -27,6 +27,14 @@ pub struct OnlineConfig {
     pub gain_metric: InterferenceMetric,
     /// Occupancy-weight the gain graph (Section 3.3.3) or not (3.3.2).
     pub weighted_gain: bool,
+    /// Strikes (invalid snapshots, decayed one per valid epoch) that trip
+    /// a group into quarantine: its retained votes are dropped and the
+    /// last-good mapping is served until the stream proves clean again.
+    pub quarantine_strikes: u32,
+    /// Consecutive valid epochs a quarantined group must deliver before
+    /// it re-enters normal operation (an invalid snapshot resets the
+    /// count).
+    pub quarantine_clean: u32,
 }
 
 impl Default for OnlineConfig {
@@ -38,6 +46,8 @@ impl Default for OnlineConfig {
             drift_threshold: 0.5,
             gain_metric: InterferenceMetric::Overlap,
             weighted_gain: true,
+            quarantine_strikes: 3,
+            quarantine_clean: 4,
         }
     }
 }
@@ -83,6 +93,17 @@ impl OnlineConfig {
                 self.drift_threshold
             ));
         }
+        if self.quarantine_strikes == 0 {
+            return Err(
+                "quarantine_strikes must be at least 1 (0 would quarantine on contact)".to_string(),
+            );
+        }
+        if self.quarantine_clean == 0 {
+            return Err(
+                "quarantine_clean must be at least 1 (a quarantined group must be able to recover)"
+                    .to_string(),
+            );
+        }
         Ok(())
     }
 }
@@ -116,6 +137,12 @@ mod tests {
         c.drift_threshold = -1.0;
         assert!(c.validate().unwrap_err().contains("drift_threshold"));
         c.drift_threshold = 0.5;
+        c.quarantine_strikes = 0;
+        assert!(c.validate().unwrap_err().contains("quarantine_strikes"));
+        c.quarantine_strikes = 3;
+        c.quarantine_clean = 0;
+        assert!(c.validate().unwrap_err().contains("quarantine_clean"));
+        c.quarantine_clean = 4;
         assert!(c.validate().is_ok());
     }
 }

@@ -8,11 +8,27 @@
 //! check agree. The engine is deterministic: the same snapshot sequence
 //! produces the same decision sequence (ties break oldest-first, no
 //! clocks or randomness anywhere).
+//!
+//! Two robustness layers wrap the decision loop:
+//!
+//! * **quarantine** — a stream that keeps delivering invalid snapshots
+//!   accumulates strikes; at the configured threshold the group trips
+//!   into quarantine, its (suspect) vote window is dropped and the
+//!   last-good mapping is served unchanged until the stream proves
+//!   clean for a configured number of consecutive epochs;
+//! * **crash safety** — with a [`JournalWriter`] attached, every state
+//!   transition is journaled (checksummed, flushed) before the decision
+//!   is returned, and [`OnlineEngine::recover_from`] rebuilds the exact
+//!   pre-crash state from the journal after a restart.
 
 use crate::config::OnlineConfig;
+use crate::journal::{
+    EngineState, EpochRecord, GroupRecord, JournalRecord, JournalWriter, Recovery,
+};
 use crate::ring::{Epoch, EpochRing, PartitionKey};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 use symbio::obs::Counters;
 use symbio::Error;
@@ -36,6 +52,14 @@ pub enum DecisionReason {
     /// dropped); the mapping itself is unchanged until fresh votes
     /// accumulate.
     PhaseChange,
+    /// The group is quarantined after repeated invalid snapshots: the
+    /// last-good mapping is served, nothing was tallied, and the clean
+    /// streak advanced by one.
+    Quarantined,
+    /// The snapshot's sequence number was already acknowledged (a client
+    /// retry after a lost reply): the current mapping is re-served with
+    /// no state change, making retries idempotent.
+    Duplicate,
 }
 
 /// Outcome of ingesting one snapshot.
@@ -67,6 +91,27 @@ struct GroupState {
     current: Option<Mapping>,
     epochs: u64,
     remaps: u64,
+    /// Highest acknowledged sequence number (duplicate-suppression
+    /// watermark).
+    last_seq: Option<u64>,
+    /// Outstanding invalid-snapshot strikes.
+    strikes: u32,
+    /// `Some(clean_streak)` while quarantined, `None` otherwise.
+    quarantine: Option<u32>,
+}
+
+impl GroupState {
+    fn new(window: usize) -> Self {
+        GroupState {
+            ring: EpochRing::new(window),
+            current: None,
+            epochs: 0,
+            remaps: 0,
+            last_seq: None,
+            strikes: 0,
+            quarantine: None,
+        }
+    }
 }
 
 /// The online decision engine: one allocation policy, many process-group
@@ -76,6 +121,7 @@ pub struct OnlineEngine {
     policy: Box<dyn AllocationPolicy + Send>,
     groups: HashMap<String, GroupState>,
     counters: Arc<Counters>,
+    journal: Option<JournalWriter>,
 }
 
 impl std::fmt::Debug for OnlineEngine {
@@ -84,6 +130,7 @@ impl std::fmt::Debug for OnlineEngine {
             .field("cfg", &self.cfg)
             .field("policy", &self.policy.name())
             .field("groups", &self.groups.len())
+            .field("journal", &self.journal.as_ref().map(|j| j.path()))
             .finish()
     }
 }
@@ -100,6 +147,7 @@ impl OnlineEngine {
             policy,
             groups: HashMap::new(),
             counters: Arc::new(Counters::new()),
+            journal: None,
         })
     }
 
@@ -108,6 +156,22 @@ impl OnlineEngine {
     pub fn with_counters(mut self, counters: Arc<Counters>) -> Self {
         self.counters = counters;
         self
+    }
+
+    /// Journal every state transition through `writer` (crash safety).
+    /// Appends are flushed before [`OnlineEngine::ingest`] returns, so
+    /// an acknowledged decision is always recoverable. A writer that
+    /// fails twice in a row is detached (fail-open): the engine keeps
+    /// serving decisions without persistence rather than going down.
+    pub fn with_journal(mut self, writer: JournalWriter) -> Self {
+        self.journal = Some(writer);
+        self
+    }
+
+    /// Whether a journal is currently attached (false after fail-open
+    /// detachment).
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
     }
 
     /// The counters this engine reports to.
@@ -141,6 +205,23 @@ impl OnlineEngine {
         self.groups.get(group).map_or(0, |g| g.remaps)
     }
 
+    /// Whether `group` is currently quarantined.
+    pub fn quarantined(&self, group: &str) -> bool {
+        self.groups
+            .get(group)
+            .is_some_and(|g| g.quarantine.is_some())
+    }
+
+    /// Outstanding invalid-snapshot strikes against `group`.
+    pub fn strikes(&self, group: &str) -> u32 {
+        self.groups.get(group).map_or(0, |g| g.strikes)
+    }
+
+    /// Highest acknowledged sequence number of `group`'s stream.
+    pub fn last_seq(&self, group: &str) -> Option<u64> {
+        self.groups.get(group).and_then(|g| g.last_seq)
+    }
+
     /// Known group names, unordered.
     pub fn group_names(&self) -> Vec<&str> {
         self.groups.keys().map(String::as_str).collect()
@@ -162,26 +243,163 @@ impl OnlineEngine {
         })
     }
 
+    /// Serialize the engine's full recoverable state (groups sorted by
+    /// name, so equal states serialize identically).
+    pub fn state(&self) -> EngineState {
+        let mut groups: Vec<GroupRecord> = self
+            .groups
+            .iter()
+            .map(|(name, g)| GroupRecord {
+                name: name.clone(),
+                window: g
+                    .ring
+                    .iter()
+                    .map(|e| EpochRecord {
+                        seq: e.seq,
+                        vote: e.mapping.clone(),
+                        cores: e.cores,
+                        occupancy: e.mean_occupancy,
+                    })
+                    .collect(),
+                current: g.current.clone(),
+                epochs: g.epochs,
+                remaps: g.remaps,
+                last_seq: g.last_seq,
+                strikes: g.strikes,
+                quarantined: g.quarantine.is_some(),
+                clean: g.quarantine.unwrap_or(0),
+            })
+            .collect();
+        groups.sort_by(|a, b| a.name.cmp(&b.name));
+        EngineState { groups }
+    }
+
+    /// Replace the engine's group state with a recovered one. Windows
+    /// longer than the configured ring capacity keep their newest votes
+    /// (the ring evicts oldest-first as they are replayed in).
+    pub fn restore(&mut self, state: &EngineState) {
+        self.groups.clear();
+        for gr in &state.groups {
+            let mut ring = EpochRing::new(self.cfg.window);
+            for e in &gr.window {
+                ring.push(Epoch {
+                    seq: e.seq,
+                    key: e.key(),
+                    mapping: e.vote.clone(),
+                    cores: e.cores,
+                    mean_occupancy: e.occupancy,
+                });
+            }
+            self.groups.insert(
+                gr.name.clone(),
+                GroupState {
+                    ring,
+                    current: gr.current.clone(),
+                    epochs: gr.epochs,
+                    remaps: gr.remaps,
+                    last_seq: gr.last_seq,
+                    strikes: gr.strikes,
+                    quarantine: gr.quarantined.then_some(gr.clean),
+                },
+            );
+        }
+    }
+
+    /// Replay the journal at `path` into this engine: windows, committed
+    /// mappings, hysteresis watermarks and quarantine states all resume
+    /// exactly where the previous process stopped. Replayed frame count
+    /// lands in the `recovery_replays` counter. A missing file is a
+    /// fresh start. Does *not* attach a writer — pair with
+    /// [`JournalWriter::open`] + [`OnlineEngine::with_journal`] to keep
+    /// journaling after recovery.
+    pub fn recover_from(&mut self, path: &Path) -> symbio::Result<Recovery> {
+        let recovery = Recovery::load(path, self.cfg.window)?;
+        self.restore(&recovery.state);
+        Counters::add(&self.counters.recovery_replays, recovery.frames);
+        Counters::add(&self.counters.journal_bytes, recovery.bytes);
+        Ok(recovery)
+    }
+
     /// Ingest one snapshot: invoke the allocator, slide the vote window,
     /// detect phase changes, and apply majority + hysteresis to decide
     /// whether the group's mapping changes.
+    ///
+    /// Robustness gates run first: an already-acknowledged sequence
+    /// number is answered idempotently ([`DecisionReason::Duplicate`]),
+    /// an invalid snapshot strikes the group (and trips it into
+    /// quarantine at the threshold) before surfacing as
+    /// [`Error::Protocol`], and a quarantined group serves its last-good
+    /// mapping ([`DecisionReason::Quarantined`]) without tallying until
+    /// its clean streak completes.
     pub fn ingest(&mut self, snap: &SigSnapshot) -> symbio::Result<Decision> {
-        snap.validate().map_err(Error::Protocol)?;
+        // Duplicate suppression before anything else: a client retrying
+        // a request whose reply was lost must not re-tally the vote (or
+        // re-strike the group).
+        if let Some(g) = self.groups.get(&snap.group) {
+            if g.last_seq.is_some_and(|last| snap.seq <= last) {
+                return Ok(Decision {
+                    group: snap.group.clone(),
+                    seq: snap.seq,
+                    mapping: g.current.clone(),
+                    changed: false,
+                    reason: DecisionReason::Duplicate,
+                    gain: 0.0,
+                    votes: 0,
+                    window: g.ring.len() as u32,
+                });
+            }
+        }
+        if let Err(msg) = snap.validate() {
+            return self.strike(&snap.group, msg);
+        }
+
         let cfg = self.cfg;
         let vote = self.policy.allocate(&snap.procs, snap.cores);
         let threads = snap.threads();
         let occ = snap.mean_occupancy();
+        let mut records: Vec<JournalRecord> = Vec::new();
 
         let state = self
             .groups
             .entry(snap.group.clone())
-            .or_insert_with(|| GroupState {
-                ring: EpochRing::new(self.cfg.window),
-                current: None,
-                epochs: 0,
-                remaps: 0,
+            .or_insert_with(|| GroupState::new(cfg.window));
+
+        // Quarantine gate: serve the last-good mapping and advance the
+        // clean streak; only the epoch that completes the streak falls
+        // through to normal tallying.
+        if let Some(clean) = state.quarantine {
+            let clean = clean + 1;
+            if clean < cfg.quarantine_clean {
+                state.quarantine = Some(clean);
+                state.epochs += 1;
+                state.last_seq = Some(snap.seq);
+                Counters::add(&self.counters.online_epochs, 1);
+                let decision = Decision {
+                    group: snap.group.clone(),
+                    seq: snap.seq,
+                    mapping: state.current.clone(),
+                    changed: false,
+                    reason: DecisionReason::Quarantined,
+                    gain: 0.0,
+                    votes: 0,
+                    window: state.ring.len() as u32,
+                };
+                records.push(JournalRecord::Clean {
+                    group: snap.group.clone(),
+                    seq: snap.seq,
+                });
+                self.log(&records);
+                return Ok(decision);
+            }
+            state.quarantine = None;
+            records.push(JournalRecord::Recovered {
+                group: snap.group.clone(),
             });
+        }
+
         state.epochs += 1;
+        state.last_seq = Some(snap.seq);
+        state.strikes = state.strikes.saturating_sub(1);
         Counters::add(&self.counters.online_epochs, 1);
 
         // Phase-change detection: when the stream's occupancy drifts far
@@ -189,13 +407,14 @@ impl OnlineEngine {
         // workload that no longer exists — drop them so the re-vote is
         // driven by the new phase (an early re-vote: `min_votes` epochs
         // instead of a full window turnover).
-        let mut phase_change = false;
+        let mut cleared = false;
+        let mut dropped = false;
         if !state.ring.is_empty() {
             let trailing = state.ring.mean_occupancy();
             let drift = (occ - trailing).abs() / trailing.max(1.0);
             if drift > cfg.drift_threshold {
                 state.ring.clear();
-                phase_change = true;
+                cleared = true;
             }
         }
         // A mapping sized for a different thread population can no longer
@@ -205,14 +424,17 @@ impl OnlineEngine {
             if cur.len() != threads.len() {
                 state.current = None;
                 state.ring.clear();
-                phase_change = true;
+                cleared = true;
+                dropped = true;
             }
         }
+        let phase_change = cleared;
 
         state.ring.push(Epoch {
             seq: snap.seq,
             key: vote.partition_key(snap.cores),
-            mapping: vote,
+            mapping: vote.clone(),
+            cores: snap.cores,
             mean_occupancy: occ,
         });
 
@@ -253,7 +475,7 @@ impl OnlineEngine {
             }
         };
 
-        Ok(Decision {
+        let decision = Decision {
             group: snap.group.clone(),
             seq: snap.seq,
             mapping: state.current.clone(),
@@ -262,7 +484,93 @@ impl OnlineEngine {
             gain,
             votes,
             window,
-        })
+        };
+        records.push(JournalRecord::Epoch {
+            group: snap.group.clone(),
+            seq: snap.seq,
+            vote,
+            cores: snap.cores,
+            occupancy: occ,
+            cleared,
+            dropped,
+            committed: changed.then(|| decision.mapping.clone().expect("committed mapping")),
+        });
+        self.log(&records);
+        Ok(decision)
+    }
+
+    /// Record an invalid snapshot against `group`: one strike (or a
+    /// clean-streak reset if already quarantined), a quarantine trip at
+    /// the threshold, and the protocol error surfaced to the caller.
+    fn strike(&mut self, group: &str, msg: String) -> symbio::Result<Decision> {
+        let cfg = self.cfg;
+        let state = self
+            .groups
+            .entry(group.to_string())
+            .or_insert_with(|| GroupState::new(cfg.window));
+        let mut records = vec![JournalRecord::Strike {
+            group: group.to_string(),
+        }];
+        if state.quarantine.is_some() {
+            // Invalid input while quarantined: the stream has not proven
+            // itself — restart the clean streak (no strike stacking).
+            state.quarantine = Some(0);
+        } else {
+            state.strikes += 1;
+            if state.strikes >= cfg.quarantine_strikes {
+                state.strikes = 0;
+                state.ring.clear();
+                state.quarantine = Some(0);
+                Counters::add(&self.counters.quarantine_trips, 1);
+                records.push(JournalRecord::Trip {
+                    group: group.to_string(),
+                });
+            }
+        }
+        self.log(&records);
+        Err(Error::Protocol(msg))
+    }
+
+    /// Append `records` to the attached journal (no-op when detached).
+    /// Each append is retried once; a second failure detaches the
+    /// journal (fail-open) so persistence trouble never takes down the
+    /// decision path. A due full-state snapshot is appended afterwards.
+    fn log(&mut self, records: &[JournalRecord]) {
+        let Some(mut writer) = self.journal.take() else {
+            return;
+        };
+        let mut healthy = true;
+        for record in records {
+            match writer.append(record).or_else(|_| writer.append(record)) {
+                Ok(bytes) => Counters::add(&self.counters.journal_bytes, bytes),
+                Err(e) => {
+                    eprintln!(
+                        "symbio-online: journal write to {} failed twice ({e}); \
+                         detaching journal, decisions continue unpersisted",
+                        writer.path().display()
+                    );
+                    healthy = false;
+                    break;
+                }
+            }
+        }
+        if healthy && writer.snapshot_due() {
+            let state = self.state();
+            match writer.write_snapshot(&state) {
+                Ok(bytes) => Counters::add(&self.counters.journal_bytes, bytes),
+                Err(e) => {
+                    eprintln!(
+                        "symbio-online: journal snapshot to {} failed ({e}); \
+                         detaching journal, decisions continue unpersisted",
+                        writer.path().display()
+                    );
+                    healthy = false;
+                }
+            }
+        }
+        if healthy {
+            self.journal = Some(writer);
+        }
     }
 }
 

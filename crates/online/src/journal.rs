@@ -1,0 +1,695 @@
+//! Crash-safe persistence for the online engine.
+//!
+//! `symbiod` must survive a SIGKILL without forgetting its vote windows
+//! or hysteresis state: a restarted daemon that re-elects from scratch
+//! would thrash mappings exactly when the machine is least stable. This
+//! module gives the engine an **append-only journal** of explicit state
+//! transitions plus periodic full-state **snapshots**, so recovery is a
+//! bounded replay: seek to the last snapshot, apply the tail.
+//!
+//! ## Frame format
+//!
+//! One record per line, each line independently checksummed:
+//!
+//! ```text
+//! <crc32-lower-hex(8)> <externally-tagged JSON record>\n
+//! ```
+//!
+//! The CRC is over the JSON bytes only. Replay stops at the first frame
+//! that fails the checksum, fails to parse, or is missing — a torn write
+//! from a crash mid-append therefore loses at most the unacknowledged
+//! tail, never corrupts the prefix. A final line whose checksum passes
+//! but whose newline is missing is accepted (the crash landed between
+//! the payload and the terminator). [`JournalWriter::open`] truncates
+//! the file back to this valid prefix before appending anything new, so
+//! a recovered daemon's fresh frames are never stranded behind garbage.
+//!
+//! ## Why transitions, not snapshots of inputs
+//!
+//! Records describe what the engine *did* (`cleared`, `dropped`,
+//! `committed`, `Trip`, `Recovered`), not what it would decide again.
+//! Replay applies them with [`EngineState::apply`] without invoking the
+//! allocation policy, so a recovered daemon reaches the exact pre-crash
+//! state even if its configuration (hysteresis, drift threshold) changed
+//! between runs — the journal is a log of history, not a program to
+//! re-execute.
+
+use crate::ring::PartitionKey;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use symbio_machine::Mapping;
+
+/// On-disk format version stamped in the leading [`JournalRecord::Meta`].
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) — the checksum
+/// guarding each journal frame. Bitwise implementation: journal append
+/// rates are epoch-scale (one per allocator invocation), not I/O-bound.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One retained vote in a serialized window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Stream sequence number of the snapshot that produced the vote.
+    pub seq: u64,
+    /// The allocator's proposed mapping for that epoch.
+    pub vote: Mapping,
+    /// Core count of the machine the vote was computed for (needed to
+    /// re-derive the partition key on restore).
+    pub cores: usize,
+    /// Mean thread occupancy of the snapshot (phase-change signal).
+    pub occupancy: f64,
+}
+
+impl EpochRecord {
+    /// The partition identity this vote tallies under.
+    pub fn key(&self) -> PartitionKey {
+        self.vote.partition_key(self.cores)
+    }
+}
+
+/// Serialized per-group engine state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct GroupRecord {
+    /// Group name (the stream routing key).
+    pub name: String,
+    /// Retained vote window, oldest first.
+    pub window: Vec<EpochRecord>,
+    /// The committed mapping, if warmup completed.
+    pub current: Option<Mapping>,
+    /// Epochs acknowledged for this group.
+    pub epochs: u64,
+    /// Remaps committed for this group.
+    pub remaps: u64,
+    /// Highest acknowledged sequence number (duplicate-suppression
+    /// watermark: a retried request at or below this is answered
+    /// idempotently, never re-tallied).
+    pub last_seq: Option<u64>,
+    /// Outstanding invalid-snapshot strikes (decays one per valid epoch).
+    pub strikes: u32,
+    /// Whether the group is quarantined (serving `current` as last-good,
+    /// tallying nothing).
+    pub quarantined: bool,
+    /// Consecutive clean epochs observed while quarantined.
+    pub clean: u32,
+}
+
+/// The engine's full recoverable state: every group, sorted by name so
+/// serialization is deterministic and snapshots diff cleanly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct EngineState {
+    /// Per-group records, name order.
+    pub groups: Vec<GroupRecord>,
+}
+
+/// One journal frame: an explicit state transition the engine performed,
+/// or a full-state snapshot bounding replay length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// Leading header: format version of everything that follows.
+    Meta {
+        /// Must equal [`JOURNAL_VERSION`] for this build to replay it.
+        version: u32,
+    },
+    /// A valid snapshot was ingested and tallied.
+    Epoch {
+        /// Group the snapshot belonged to.
+        group: String,
+        /// Acknowledged sequence number.
+        seq: u64,
+        /// The allocator's vote this epoch.
+        vote: Mapping,
+        /// Core count the vote was computed for.
+        cores: usize,
+        /// Mean thread occupancy of the snapshot.
+        occupancy: f64,
+        /// The vote window was cleared *before* this push (occupancy
+        /// drift or population change).
+        cleared: bool,
+        /// The committed mapping was dropped before this push (thread
+        /// population changed; it could no longer be applied).
+        dropped: bool,
+        /// A mapping adopted this epoch (`Initial` or `Remap`), if any.
+        committed: Option<Mapping>,
+    },
+    /// An invalid snapshot arrived (strike, or clean-count reset while
+    /// quarantined).
+    Strike {
+        /// Offending group.
+        group: String,
+    },
+    /// The strike threshold tripped the group into quarantine.
+    Trip {
+        /// Quarantined group.
+        group: String,
+    },
+    /// A valid epoch was observed while quarantined (served last-good,
+    /// not tallied).
+    Clean {
+        /// Quarantined group.
+        group: String,
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
+    /// The group completed its clean streak and left quarantine.
+    Recovered {
+        /// Recovered group.
+        group: String,
+    },
+    /// Periodic full-state checkpoint: replay restarts from the latest
+    /// one of these, bounding recovery time and journal relevance.
+    Snapshot(EngineState),
+}
+
+impl EngineState {
+    fn group_mut(&mut self, name: &str) -> &mut GroupRecord {
+        // Linear scan: group counts are small (one per process mix) and
+        // the vector must stay name-sorted for deterministic snapshots.
+        match self.groups.binary_search_by(|g| g.name.as_str().cmp(name)) {
+            Ok(i) => &mut self.groups[i],
+            Err(i) => {
+                self.groups.insert(
+                    i,
+                    GroupRecord {
+                        name: name.to_string(),
+                        ..GroupRecord::default()
+                    },
+                );
+                &mut self.groups[i]
+            }
+        }
+    }
+
+    /// Apply one journal record, mirroring exactly the mutation the live
+    /// engine performed when it wrote the record. `window` caps retained
+    /// votes per group (the engine's ring capacity).
+    pub fn apply(&mut self, record: &JournalRecord, window: usize) {
+        match record {
+            JournalRecord::Meta { .. } => {}
+            JournalRecord::Snapshot(state) => *self = state.clone(),
+            JournalRecord::Epoch {
+                group,
+                seq,
+                vote,
+                cores,
+                occupancy,
+                cleared,
+                dropped,
+                committed,
+            } => {
+                let g = self.group_mut(group);
+                if *dropped {
+                    g.current = None;
+                }
+                if *cleared {
+                    g.window.clear();
+                }
+                g.window.push(EpochRecord {
+                    seq: *seq,
+                    vote: vote.clone(),
+                    cores: *cores,
+                    occupancy: *occupancy,
+                });
+                if g.window.len() > window.max(1) {
+                    g.window.remove(0);
+                }
+                g.epochs += 1;
+                g.last_seq = Some(*seq);
+                g.strikes = g.strikes.saturating_sub(1);
+                if let Some(mapping) = committed {
+                    if g.current.is_some() {
+                        g.remaps += 1;
+                    }
+                    g.current = Some(mapping.clone());
+                }
+            }
+            JournalRecord::Strike { group } => {
+                let g = self.group_mut(group);
+                if g.quarantined {
+                    g.clean = 0;
+                } else {
+                    g.strikes += 1;
+                }
+            }
+            JournalRecord::Trip { group } => {
+                let g = self.group_mut(group);
+                g.strikes = 0;
+                g.window.clear();
+                g.quarantined = true;
+                g.clean = 0;
+            }
+            JournalRecord::Clean { group, seq } => {
+                let g = self.group_mut(group);
+                g.clean += 1;
+                g.epochs += 1;
+                g.last_seq = Some(*seq);
+            }
+            JournalRecord::Recovered { group } => {
+                let g = self.group_mut(group);
+                g.quarantined = false;
+                g.clean = 0;
+            }
+        }
+    }
+}
+
+/// Outcome of replaying a journal file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// The reconstructed engine state.
+    pub state: EngineState,
+    /// Frames successfully decoded and applied.
+    pub frames: u64,
+    /// Bytes of valid journal consumed.
+    pub bytes: u64,
+    /// Whether replay stopped early at a torn or corrupt frame (the
+    /// crash tail; everything before it was recovered).
+    pub truncated: bool,
+}
+
+impl Recovery {
+    /// An empty recovery (no journal on disk: fresh start).
+    pub fn empty() -> Self {
+        Recovery {
+            state: EngineState::default(),
+            frames: 0,
+            bytes: 0,
+            truncated: false,
+        }
+    }
+
+    /// Replay the journal at `path` into an [`EngineState`], tolerating
+    /// a torn final frame. `window` is the engine's ring capacity (vote
+    /// retention bound during replay). A missing file is a fresh start,
+    /// not an error; an unsupported format version is.
+    pub fn load(path: &Path, window: usize) -> io::Result<Recovery> {
+        let data = match std::fs::read(path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Recovery::empty()),
+            Err(e) => return Err(e),
+        };
+        let mut rec = Recovery::empty();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let (line, next, terminated) = match data[pos..].iter().position(|&b| b == b'\n') {
+                Some(i) => (&data[pos..pos + i], pos + i + 1, true),
+                None => (&data[pos..], data.len(), false),
+            };
+            if line.is_empty() {
+                pos = next;
+                continue;
+            }
+            let record = match decode_frame(line) {
+                Some(r) => r,
+                None => {
+                    rec.truncated = true;
+                    break;
+                }
+            };
+            if let JournalRecord::Meta { version } = record {
+                if version != JOURNAL_VERSION {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "journal format version {version} (this build replays {JOURNAL_VERSION})"
+                        ),
+                    ));
+                }
+            }
+            rec.state.apply(&record, window);
+            rec.frames += 1;
+            rec.bytes += (line.len() + usize::from(terminated)) as u64;
+            pos = next;
+        }
+        Ok(rec)
+    }
+}
+
+/// Encode one record as a checksummed journal line (with trailing `\n`).
+pub fn encode_frame(record: &JournalRecord) -> io::Result<String> {
+    let json = serde_json::to_string(record)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(format!("{:08x} {json}\n", crc32(json.as_bytes())))
+}
+
+/// Decode one journal line (no trailing `\n`). `None` on any fault:
+/// bad UTF-8, malformed header, checksum mismatch, unparsable JSON.
+pub fn decode_frame(line: &[u8]) -> Option<JournalRecord> {
+    let text = std::str::from_utf8(line).ok()?;
+    let (crc_hex, json) = text.split_once(' ')?;
+    if crc_hex.len() != 8 {
+        return None;
+    }
+    let want = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc32(json.as_bytes()) != want {
+        return None;
+    }
+    serde_json::from_str(json).ok()
+}
+
+/// Length of the valid frame prefix of raw journal bytes, and whether
+/// its final frame is missing its terminating newline. Everything past
+/// the prefix is unreachable by replay and safe to truncate.
+fn valid_prefix(data: &[u8]) -> (usize, bool) {
+    let mut pos = 0usize;
+    let mut needs_newline = false;
+    while pos < data.len() {
+        let (line, next, terminated) = match data[pos..].iter().position(|&b| b == b'\n') {
+            Some(i) => (&data[pos..pos + i], pos + i + 1, true),
+            None => (&data[pos..], data.len(), false),
+        };
+        if line.is_empty() {
+            if !terminated {
+                break;
+            }
+            pos = next;
+            continue;
+        }
+        if decode_frame(line).is_none() {
+            break;
+        }
+        needs_newline = !terminated;
+        pos = next;
+    }
+    (pos, needs_newline)
+}
+
+/// Append-only journal writer with periodic snapshot scheduling.
+///
+/// Every append is flushed before the engine acknowledges the epoch, so
+/// an acknowledged decision is always recoverable (the OS page cache
+/// survives a SIGKILL of the daemon; only a kernel crash can lose it,
+/// which is outside this failure model).
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    snapshot_every: u64,
+    /// Records appended since the last snapshot.
+    since_snapshot: u64,
+    bytes: u64,
+}
+
+impl JournalWriter {
+    /// Open (or create) the journal at `path` for appending. A torn or
+    /// corrupt tail left by a crash is truncated away (replay could
+    /// never reach past it, so frames appended after it would be
+    /// stranded), a valid-but-unterminated final frame gets its missing
+    /// newline, and a fresh file is stamped with a
+    /// [`JournalRecord::Meta`] header. A full-state snapshot is
+    /// scheduled every `snapshot_every` records (min 1).
+    pub fn open(path: impl Into<PathBuf>, snapshot_every: u64) -> io::Result<Self> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        let mut data = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut data)?;
+        let (valid, needs_newline) = valid_prefix(&data);
+        if valid < data.len() {
+            file.set_len(valid as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        if needs_newline {
+            file.write_all(b"\n")?;
+        }
+        let mut writer = JournalWriter {
+            file,
+            path,
+            snapshot_every: snapshot_every.max(1),
+            since_snapshot: 0,
+            bytes: 0,
+        };
+        if valid == 0 {
+            writer.append(&JournalRecord::Meta {
+                version: JOURNAL_VERSION,
+            })?;
+        }
+        Ok(writer)
+    }
+
+    /// Path the journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes appended by this writer (not the file's total size).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Append one checksummed frame and flush it. Returns the frame's
+    /// byte length.
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<u64> {
+        symbio::faultpoint!("journal_write");
+        let frame = encode_frame(record)?;
+        self.file.write_all(frame.as_bytes())?;
+        self.file.flush()?;
+        self.bytes += frame.len() as u64;
+        self.since_snapshot += 1;
+        Ok(frame.len() as u64)
+    }
+
+    /// Whether enough records accumulated that the engine should append
+    /// a full-state snapshot now.
+    pub fn snapshot_due(&self) -> bool {
+        self.since_snapshot >= self.snapshot_every
+    }
+
+    /// Append a [`JournalRecord::Snapshot`] and reset the schedule.
+    pub fn write_snapshot(&mut self, state: &EngineState) -> io::Result<u64> {
+        let n = self.append(&JournalRecord::Snapshot(state.clone()))?;
+        self.since_snapshot = 0;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("symbio-journal-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn epoch(group: &str, seq: u64, cores: Vec<usize>, committed: bool) -> JournalRecord {
+        let vote = Mapping::new(cores);
+        JournalRecord::Epoch {
+            group: group.to_string(),
+            seq,
+            vote: vote.clone(),
+            cores: 2,
+            occupancy: 10.0,
+            cleared: false,
+            dropped: false,
+            committed: committed.then_some(vote),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_corruption() {
+        let rec = epoch("mix", 3, vec![0, 1, 0, 1], true);
+        let frame = encode_frame(&rec).unwrap();
+        assert!(frame.ends_with('\n'));
+        let line = frame.trim_end_matches('\n').as_bytes();
+        assert_eq!(decode_frame(line), Some(rec));
+        // Flip one payload byte: the checksum must catch it.
+        let mut bad = line.to_vec();
+        let k = bad.len() - 2;
+        bad[k] ^= 0x01;
+        assert_eq!(decode_frame(&bad), None);
+        assert_eq!(decode_frame(b"not a frame"), None);
+        assert_eq!(decode_frame(b"zzzzzzzz {}"), None);
+    }
+
+    #[test]
+    fn replay_mirrors_engine_transitions() {
+        let mut s = EngineState::default();
+        let w = 4;
+        s.apply(&epoch("mix", 1, vec![0, 1, 0, 1], false), w);
+        s.apply(&epoch("mix", 2, vec![0, 1, 0, 1], true), w);
+        let g = &s.groups[0];
+        assert_eq!(g.epochs, 2);
+        assert_eq!(g.last_seq, Some(2));
+        assert_eq!(g.remaps, 0, "first commit is Initial, not a remap");
+        assert_eq!(g.current, Some(Mapping::new(vec![0, 1, 0, 1])));
+        // A later commit over an existing mapping counts as a remap.
+        let other = Mapping::new(vec![0, 0, 1, 1]);
+        s.apply(
+            &JournalRecord::Epoch {
+                group: "mix".into(),
+                seq: 3,
+                vote: other.clone(),
+                cores: 2,
+                occupancy: 10.0,
+                cleared: false,
+                dropped: false,
+                committed: Some(other.clone()),
+            },
+            w,
+        );
+        assert_eq!(s.groups[0].remaps, 1);
+        assert_eq!(s.groups[0].current, Some(other));
+        // Strikes accumulate, trip clears the window and quarantines,
+        // clean epochs count, recovery resets.
+        s.apply(
+            &JournalRecord::Strike {
+                group: "mix".into(),
+            },
+            w,
+        );
+        s.apply(
+            &JournalRecord::Strike {
+                group: "mix".into(),
+            },
+            w,
+        );
+        assert_eq!(s.groups[0].strikes, 2);
+        s.apply(
+            &JournalRecord::Trip {
+                group: "mix".into(),
+            },
+            w,
+        );
+        let g = &s.groups[0];
+        assert!(g.quarantined);
+        assert_eq!(g.strikes, 0);
+        assert!(g.window.is_empty());
+        assert!(g.current.is_some(), "last-good mapping survives the trip");
+        s.apply(
+            &JournalRecord::Clean {
+                group: "mix".into(),
+                seq: 4,
+            },
+            w,
+        );
+        assert_eq!(s.groups[0].clean, 1);
+        s.apply(
+            &JournalRecord::Strike {
+                group: "mix".into(),
+            },
+            w,
+        );
+        assert_eq!(s.groups[0].clean, 0, "invalid epoch resets the streak");
+        assert_eq!(s.groups[0].strikes, 0, "no double-punishment in quarantine");
+        s.apply(
+            &JournalRecord::Recovered {
+                group: "mix".into(),
+            },
+            w,
+        );
+        assert!(!s.groups[0].quarantined);
+    }
+
+    #[test]
+    fn replay_caps_the_window_and_restarts_at_snapshots() {
+        let mut s = EngineState::default();
+        for seq in 0..10 {
+            s.apply(&epoch("mix", seq, vec![0, 1, 0, 1], false), 3);
+        }
+        assert_eq!(s.groups[0].window.len(), 3);
+        assert_eq!(s.groups[0].window[0].seq, 7, "oldest votes evicted");
+        let checkpoint = EngineState {
+            groups: vec![GroupRecord {
+                name: "other".into(),
+                epochs: 42,
+                ..GroupRecord::default()
+            }],
+        };
+        s.apply(&JournalRecord::Snapshot(checkpoint.clone()), 3);
+        assert_eq!(s, checkpoint, "snapshot replaces accumulated state");
+    }
+
+    #[test]
+    fn torn_and_corrupt_tails_are_dropped_not_fatal() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JournalWriter::open(&path, 1000).unwrap();
+            w.append(&epoch("mix", 1, vec![0, 1, 0, 1], true)).unwrap();
+            w.append(&epoch("mix", 2, vec![0, 1, 0, 1], false)).unwrap();
+        }
+        // Simulate a crash mid-append: half a frame, no newline.
+        let good = std::fs::read(&path).unwrap();
+        let mut torn = good.clone();
+        let tail = encode_frame(&epoch("mix", 3, vec![0, 1, 0, 1], false)).unwrap();
+        torn.extend_from_slice(&tail.as_bytes()[..tail.len() / 2]);
+        std::fs::write(&path, &torn).unwrap();
+        let rec = Recovery::load(&path, 8).unwrap();
+        assert!(rec.truncated);
+        assert_eq!(rec.frames, 3, "meta + two epochs survive");
+        assert_eq!(rec.bytes, good.len() as u64);
+        assert_eq!(rec.state.groups[0].last_seq, Some(2));
+        // Reopening truncates the torn tail so new appends are not
+        // stranded behind garbage replay can never cross.
+        {
+            let mut w = JournalWriter::open(&path, 1000).unwrap();
+            w.append(&epoch("mix", 3, vec![0, 1, 0, 1], false)).unwrap();
+        }
+        let rec = Recovery::load(&path, 8).unwrap();
+        assert!(!rec.truncated, "tail was repaired on reopen");
+        assert_eq!(rec.frames, 4);
+        assert_eq!(rec.state.groups[0].last_seq, Some(3));
+        // A valid final frame that lost only its newline is kept: the
+        // reopen terminates it rather than dropping the epoch.
+        let mut unterminated = std::fs::read(&path).unwrap();
+        assert_eq!(unterminated.pop(), Some(b'\n'));
+        std::fs::write(&path, &unterminated).unwrap();
+        {
+            let mut w = JournalWriter::open(&path, 1000).unwrap();
+            w.append(&epoch("mix", 4, vec![0, 1, 0, 1], false)).unwrap();
+        }
+        let rec = Recovery::load(&path, 8).unwrap();
+        assert!(!rec.truncated);
+        assert_eq!(rec.frames, 5);
+        assert_eq!(rec.state.groups[0].last_seq, Some(4));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_is_a_fresh_start() {
+        let rec = Recovery::load(Path::new("/nonexistent/symbio.journal"), 8).unwrap();
+        assert_eq!(rec, Recovery::empty());
+    }
+
+    #[test]
+    fn snapshot_scheduling_counts_records() {
+        let path = tmp("sched");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::open(&path, 3).unwrap();
+        assert!(!w.snapshot_due(), "meta alone should not force a snapshot");
+        w.append(&epoch("mix", 1, vec![0, 1], false)).unwrap();
+        w.append(&epoch("mix", 2, vec![0, 1], false)).unwrap();
+        assert!(w.snapshot_due());
+        w.write_snapshot(&EngineState::default()).unwrap();
+        assert!(!w.snapshot_due());
+        assert!(w.bytes_written() > 0);
+        let rec = Recovery::load(&path, 8).unwrap();
+        assert!(!rec.truncated);
+        assert_eq!(rec.frames, 4);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -18,7 +18,15 @@
 //! * **migration-cost hysteresis** — a challenger mapping replaces the
 //!   incumbent only when its predicted interference-internalization gain
 //!   beats a configurable switch cost, so the engine never thrashes
-//!   placements for marginal wins.
+//!   placements for marginal wins;
+//! * **crash-safe journal** ([`journal`]) — checksummed append-only log
+//!   of state transitions plus periodic snapshots, replayed on restart
+//!   so a SIGKILLed daemon resumes with its vote windows, hysteresis
+//!   watermarks and quarantine states intact;
+//! * **quarantine** — streams that repeatedly deliver invalid snapshots
+//!   are tripped into serving their last-good mapping until they prove
+//!   clean again, so one corrupt producer degrades gracefully instead of
+//!   poisoning the vote window.
 //!
 //! Allocation policies from `symbio-allocator` are reused unchanged: a
 //! [`symbio_machine::SigSnapshot`] carries the same `ProcView`s the
@@ -31,8 +39,10 @@
 
 pub mod config;
 pub mod engine;
+pub mod journal;
 pub mod ring;
 
 pub use config::OnlineConfig;
 pub use engine::{Decision, DecisionReason, OnlineEngine};
+pub use journal::{EngineState, JournalRecord, JournalWriter, Recovery};
 pub use ring::{Epoch, EpochRing, PartitionKey};

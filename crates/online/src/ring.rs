@@ -23,6 +23,9 @@ pub struct Epoch {
     /// A concrete mapping realising `key` (kept so the winner can be
     /// applied without re-deriving core labels).
     pub mapping: Mapping,
+    /// Core count of the snapshot that produced the vote (kept so the
+    /// journal can re-derive `key` from `mapping` on recovery).
+    pub cores: usize,
     /// Mean thread occupancy of the snapshot (phase-change signal).
     pub mean_occupancy: f64,
 }
@@ -135,6 +138,7 @@ mod tests {
             seq,
             key: mapping.partition_key(2),
             mapping,
+            cores: 2,
             mean_occupancy: occ,
         }
     }

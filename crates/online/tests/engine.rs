@@ -75,7 +75,11 @@ fn record_trace(cfg: &ExperimentConfig, specs: &[WorkloadSpec], group: &str) -> 
     let mut seq = 0;
     while machine.now() < deadline {
         machine.run_for(cfg.interval.min(deadline - machine.now()));
-        out.push(machine.export_snapshot(group, seq));
+        out.push(
+            machine
+                .export_snapshot(group, seq)
+                .expect("profiling machine has runnable processes"),
+        );
         seq += 1;
     }
     out
@@ -315,7 +319,218 @@ fn groups_are_independent_streams() {
     assert_eq!(engine.counters().snapshot().online_epochs, 6);
 }
 
+/// A wire-plausible poisoned snapshot: negative occupancy survives JSON
+/// (unlike NaN, which the vendored serde_json writes as `null`), so this
+/// is exactly what a corrupt producer could deliver over the socket.
+fn poisoned_snap(group: &str, seq: u64) -> SigSnapshot {
+    let mut snap = synth_snap(group, seq, OCC_A, PAIR_01_23);
+    snap.procs[0].threads[0].occupancy = -1.0;
+    snap
+}
+
+#[test]
+fn repeated_invalid_snapshots_trip_quarantine_and_clean_epochs_recover() {
+    let mut engine =
+        OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default()).unwrap();
+    // Establish a last-good mapping.
+    for seq in 0..5 {
+        engine
+            .ingest(&synth_snap("g", seq, OCC_A, PAIR_01_23))
+            .unwrap();
+    }
+    let last_good = engine.mapping("g").unwrap().clone();
+
+    // Two strikes do not trip; a valid epoch decays one strike.
+    for seq in [5, 6] {
+        assert!(engine.ingest(&poisoned_snap("g", seq)).is_err());
+    }
+    assert_eq!(engine.strikes("g"), 2);
+    assert!(!engine.quarantined("g"));
+    engine
+        .ingest(&synth_snap("g", 7, OCC_A, PAIR_01_23))
+        .unwrap();
+    assert_eq!(engine.strikes("g"), 1, "valid epochs decay strikes");
+
+    // Three strikes (the default threshold) trip the group.
+    for seq in [8, 9, 10] {
+        assert!(engine.ingest(&poisoned_snap("g", seq)).is_err());
+    }
+    assert!(engine.quarantined("g"));
+    assert_eq!(engine.counters().snapshot().quarantine_trips, 1);
+    assert_eq!(
+        engine.mapping("g").unwrap().partition_key(2),
+        last_good.partition_key(2),
+        "the last-good mapping survives the trip"
+    );
+    assert!(engine.majority("g").is_none(), "suspect votes were dropped");
+
+    // Valid epochs while quarantined serve last-good and are not tallied.
+    for seq in [11, 12] {
+        let d = engine
+            .ingest(&synth_snap("g", seq, OCC_B, PAIR_02_13))
+            .unwrap();
+        assert_eq!(d.reason, DecisionReason::Quarantined);
+        assert!(!d.changed);
+        assert_eq!(d.votes, 0);
+        assert_eq!(
+            d.mapping.unwrap().partition_key(2),
+            last_good.partition_key(2)
+        );
+    }
+
+    // An invalid snapshot mid-streak restarts the clean count…
+    assert!(engine.ingest(&poisoned_snap("g", 13)).is_err());
+    for seq in [14, 15, 16] {
+        let d = engine
+            .ingest(&synth_snap("g", seq, OCC_A, PAIR_01_23))
+            .unwrap();
+        assert_eq!(d.reason, DecisionReason::Quarantined, "seq {seq}");
+    }
+    // …and the epoch completing `quarantine_clean` (4) is tallied again.
+    let d = engine
+        .ingest(&synth_snap("g", 17, OCC_A, PAIR_01_23))
+        .unwrap();
+    assert_ne!(d.reason, DecisionReason::Quarantined);
+    assert!(!engine.quarantined("g"));
+    assert_eq!(d.votes, 1, "the recovery epoch's vote was tallied");
+
+    // Other groups were never affected.
+    engine
+        .ingest(&synth_snap("other", 0, OCC_A, PAIR_01_23))
+        .unwrap();
+    assert!(!engine.quarantined("other"));
+    assert_eq!(engine.strikes("other"), 0);
+}
+
+#[test]
+fn duplicate_sequence_numbers_are_answered_idempotently() {
+    let mut engine =
+        OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default()).unwrap();
+    for seq in 0..5 {
+        engine
+            .ingest(&synth_snap("g", seq, OCC_A, PAIR_01_23))
+            .unwrap();
+    }
+    let epochs = engine.epochs("g");
+    let mapping = engine.mapping("g").unwrap().clone();
+
+    // A retried (already-acknowledged) epoch re-serves the mapping
+    // without touching the window — even with *different* payload, and
+    // even an invalid one (a retry must never strike the group).
+    for retry_seq in [4, 2, 0] {
+        let d = engine
+            .ingest(&synth_snap("g", retry_seq, OCC_B, PAIR_02_13))
+            .unwrap();
+        assert_eq!(d.reason, DecisionReason::Duplicate);
+        assert!(!d.changed);
+        assert_eq!(
+            d.mapping.unwrap().partition_key(2),
+            mapping.partition_key(2)
+        );
+    }
+    let d = engine.ingest(&poisoned_snap("g", 3)).unwrap();
+    assert_eq!(d.reason, DecisionReason::Duplicate);
+    assert_eq!(engine.strikes("g"), 0);
+    assert_eq!(engine.epochs("g"), epochs, "duplicates are not tallied");
+    assert_eq!(engine.last_seq("g"), Some(4));
+
+    // The stream resumes normally past the watermark.
+    let d = engine
+        .ingest(&synth_snap("g", 5, OCC_A, PAIR_01_23))
+        .unwrap();
+    assert_ne!(d.reason, DecisionReason::Duplicate);
+    assert_eq!(engine.epochs("g"), epochs + 1);
+}
+
 proptest! {
+    #[test]
+    fn ring_wraparound_at_capacity_boundaries_keeps_the_newest_epochs(
+        capacity in 1usize..9,
+        extra in 0usize..3,
+    ) {
+        // Push exactly capacity-1, capacity, capacity+extra epochs: the
+        // ring must hold min(pushed, capacity) newest epochs, oldest
+        // first, across the exact wrap boundary.
+        use symbio_online::{Epoch, EpochRing};
+        for pushed in [capacity.saturating_sub(1), capacity, capacity + extra] {
+            let mut ring = EpochRing::new(capacity);
+            for seq in 0..pushed as u64 {
+                let mapping = Mapping::new(vec![0, 1, 0, 1]);
+                ring.push(Epoch {
+                    seq,
+                    key: mapping.partition_key(2),
+                    mapping,
+                    cores: 2,
+                    mean_occupancy: seq as f64,
+                });
+            }
+            let expect = pushed.min(capacity);
+            prop_assert_eq!(ring.len(), expect);
+            let seqs: Vec<u64> = ring.iter().map(|e| e.seq).collect();
+            let want: Vec<u64> = ((pushed - expect) as u64..pushed as u64).collect();
+            // The ring holds exactly the newest epochs, oldest first,
+            // and every retained epoch votes.
+            prop_assert_eq!(seqs, want);
+            if pushed > 0 {
+                let (_, votes) = ring.majority().unwrap();
+                prop_assert_eq!(votes as usize, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn majority_ties_after_quarantine_gaps_still_break_oldest_first(
+        a_votes in 1u32..4,
+        poison_runs in 1usize..3,
+    ) {
+        // A quarantine trip mid-stream clears the window. After recovery,
+        // equal support for two partitions must still tie-break to the
+        // one seen earliest in the *post-gap* window — the cleared votes
+        // may not leak into the tally.
+        let cfg = OnlineConfig {
+            min_votes: 1,
+            switch_cost: 0.0,
+            ..OnlineConfig::default()
+        };
+        let mut engine = OnlineEngine::new(Box::new(WeightSortPolicy), cfg).unwrap();
+        let mut seq = 0u64;
+        // Pre-gap: a_votes epochs of pattern A (would win any tie).
+        for _ in 0..a_votes {
+            engine.ingest(&synth_snap("g", seq, OCC_A, PAIR_01_23)).unwrap();
+            seq += 1;
+        }
+        // Poison until quarantine trips, then serve 3 quarantined
+        // epochs and one recovery epoch (quarantine_clean = 4).
+        for _ in 0..poison_runs {
+            while !engine.quarantined("g") {
+                assert!(engine.ingest(&poisoned_snap("g", seq)).is_err());
+                seq += 1;
+            }
+        }
+        prop_assert!(engine.quarantined("g"));
+        prop_assert_eq!(engine.tally("g").len(), 0); // gap cleared the window
+        for _ in 0..3 {
+            let d = engine.ingest(&synth_snap("g", seq, OCC_B, PAIR_02_13)).unwrap();
+            prop_assert_eq!(d.reason, DecisionReason::Quarantined);
+            seq += 1;
+        }
+        // Recovery epoch votes B first, then one A epoch: a 1–1 tie in
+        // the post-gap window. B was seen first after the gap, so B wins
+        // the majority — regardless of how many A votes predate the gap.
+        engine.ingest(&synth_snap("g", seq, OCC_B, PAIR_02_13)).unwrap();
+        seq += 1;
+        engine.ingest(&synth_snap("g", seq, OCC_A, PAIR_01_23)).unwrap();
+        let tally = engine.tally("g");
+        prop_assert_eq!(tally.len(), 2);
+        prop_assert_eq!(tally[0].1, 1);
+        prop_assert_eq!(tally[1].1, 1);
+        // The tie breaks to the earliest post-gap vote (B), not pre-gap A.
+        prop_assert_eq!(
+            engine.majority("g").unwrap().partition_key(2),
+            key_of(vec![0, 1, 0, 1])
+        );
+    }
+
     #[test]
     fn single_epoch_blip_below_switch_threshold_never_remaps(
         blip_epoch in 4u64..28,

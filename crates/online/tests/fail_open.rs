@@ -1,0 +1,89 @@
+//! Journal fail-open behavior under injected write faults. This lives in
+//! its own test binary because fault arming is process-global: any other
+//! test journaling concurrently in the same process would trip too.
+
+use std::path::PathBuf;
+use symbio_allocator::WeightSortPolicy;
+use symbio_machine::{ProcView, SigSnapshot, ThreadView};
+use symbio_online::{JournalWriter, OnlineConfig, OnlineEngine, Recovery};
+
+fn synth_snap(group: &str, seq: u64) -> SigSnapshot {
+    SigSnapshot {
+        group: group.to_string(),
+        seq,
+        now_cycles: seq * 5_000_000,
+        cores: 2,
+        procs: (0..4)
+            .map(|pid| ProcView {
+                pid,
+                name: format!("p{pid}"),
+                threads: vec![ThreadView {
+                    tid: pid,
+                    pid,
+                    name: format!("p{pid}"),
+                    occupancy: 40.0 - 10.0 * pid as f64,
+                    symbiosis: vec![50.0, 50.0],
+                    overlap: vec![5.0, 5.0],
+                    last_occupancy: 30,
+                    last_core: Some(pid % 2),
+                    samples: 3,
+                    filter_len: 256,
+                    l2_miss_rate: 0.1,
+                    l2_misses: 100,
+                    retired: 1000,
+                }],
+            })
+            .collect(),
+    }
+}
+
+fn journal_path() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("symbio-failopen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("failopen.journal")
+}
+
+#[test]
+fn journal_write_faults_detach_the_journal_but_never_fail_the_decision() {
+    let path = journal_path();
+    let _ = std::fs::remove_file(&path);
+    let mut engine = OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default())
+        .unwrap()
+        .with_journal(JournalWriter::open(&path, 256).unwrap());
+
+    // Healthy journaling first, so the file has a valid prefix to keep.
+    for seq in 0..4 {
+        engine.ingest(&synth_snap("g", seq)).unwrap();
+    }
+    assert!(engine.journaling());
+
+    // Every journal write fails (both the append and its retry): the
+    // engine must fail open — decisions keep flowing, journaling stops.
+    symbio::obs::fault::arm("journal_write=1.0", 42).unwrap();
+    for seq in 4..8 {
+        let d = engine.ingest(&synth_snap("g", seq)).unwrap();
+        assert_eq!(d.seq, seq, "decisions must not be blocked by the journal");
+    }
+    let trips = symbio::obs::fault::trips("journal_write");
+    symbio::obs::fault::disarm();
+    assert!(
+        !engine.journaling(),
+        "a twice-failed append must detach the journal"
+    );
+    assert!(trips >= 2, "append + its retry must both have tripped");
+
+    // The journal's surviving prefix is fully valid and replayable up to
+    // the last acknowledged pre-fault epoch.
+    let recovery = Recovery::load(&path, OnlineConfig::default().window).unwrap();
+    assert!(!recovery.truncated, "fail-open must not tear frames");
+    let g = recovery
+        .state
+        .groups
+        .iter()
+        .find(|g| g.name == "g")
+        .unwrap();
+    assert_eq!(g.last_seq, Some(3), "exactly the pre-fault epochs persist");
+
+    // Live state kept advancing past the detach point.
+    assert_eq!(engine.last_seq("g"), Some(7));
+}

@@ -3,19 +3,32 @@
 //! ```text
 //! symbiod [--addr 127.0.0.1:7411] [--workers 4] [--backlog 64]
 //!         [--deadline-ms 5000] [--policy weight-sort] [--window 8]
+//!         [--journal PATH] [--snapshot-every N]
 //! ```
+//!
+//! With `--journal`, every engine state transition is appended
+//! (checksummed, flushed) to `PATH` before the decision is acknowledged,
+//! and a restarted daemon replays the journal first — windows, committed
+//! mappings and quarantine states resume exactly where the killed
+//! process stopped (`symbiod recovered …` is printed before the listen
+//! line). `--snapshot-every` bounds replay length by embedding a
+//! full-state snapshot in the journal every N records (default 256).
+//!
+//! Fault injection for chaos testing is armed via the `SYMBIO_FAULTS` /
+//! `SYMBIO_FAULT_SEED` environment variables (see `symbio::obs::fault`).
 //!
 //! Prints `symbiod listening on <addr>` once bound (scripts wait for that
 //! line), then serves until a client sends `"Shutdown"`.
 
 use std::io::Write;
+use std::path::Path;
 use std::time::Duration;
 use symbio::Error;
 use symbio_allocator::{
     AllocationPolicy, DefaultPolicy, InterferenceGraphPolicy, WeightSortPolicy,
     WeightedInterferenceGraphPolicy,
 };
-use symbio_online::{OnlineConfig, OnlineEngine};
+use symbio_online::{JournalWriter, OnlineConfig, OnlineEngine};
 use symbio_serve::{ServeConfig, Symbiod};
 
 /// An allocation policy by CLI name.
@@ -36,6 +49,8 @@ fn main() -> symbio::Result<()> {
     let mut policy_name = "weight-sort".to_string();
     let mut serve_cfg = ServeConfig::default();
     let mut online_cfg = OnlineConfig::default();
+    let mut journal_path: Option<String> = None;
+    let mut snapshot_every: u64 = 256;
 
     let bad = |flag: &str, v: &str| Error::InvalidConfig(format!("bad value `{v}` for {flag}"));
     let mut args = std::env::args().skip(1);
@@ -65,13 +80,36 @@ fn main() -> symbio::Result<()> {
                 online_cfg.window = v.parse().map_err(|_| bad("--window", &v))?;
                 online_cfg.min_votes = online_cfg.min_votes.min(online_cfg.window as u32);
             }
+            "--journal" => journal_path = Some(value()?),
+            "--snapshot-every" => {
+                let v = value()?;
+                snapshot_every = v.parse().map_err(|_| bad("--snapshot-every", &v))?;
+            }
             other => {
                 return Err(Error::InvalidConfig(format!("unknown flag `{other}`")));
             }
         }
     }
 
-    let engine = OnlineEngine::new(policy_by_name(&policy_name)?, online_cfg)?;
+    symbio::obs::fault::arm_from_env();
+
+    let mut engine = OnlineEngine::new(policy_by_name(&policy_name)?, online_cfg)?;
+    if let Some(path) = &journal_path {
+        let recovery = engine.recover_from(Path::new(path))?;
+        if recovery.frames > 0 {
+            println!(
+                "symbiod recovered {} frames ({} bytes{}) from {path}",
+                recovery.frames,
+                recovery.bytes,
+                if recovery.truncated {
+                    ", torn tail dropped"
+                } else {
+                    ""
+                }
+            );
+        }
+        engine = engine.with_journal(JournalWriter::open(path, snapshot_every)?);
+    }
     let daemon = Symbiod::bind(&addr, engine, serve_cfg)?;
     println!("symbiod listening on {}", daemon.local_addr());
     std::io::stdout().flush()?;

@@ -63,7 +63,32 @@ pub enum Response {
     },
     /// Reply to [`Request::Metrics`].
     Metrics(CounterSnapshot),
-    /// Bare acknowledgement (shutdown accepted).
+    /// Load-shed reply: the worker pool is saturated, so the daemon
+    /// answered from its last-good mapping cache instead of running the
+    /// engine. Strictly better than `busy` for the client — it still
+    /// gets a usable placement — but the epoch was *not* tallied.
+    Degraded {
+        /// Echo of the requested group.
+        group: String,
+        /// The group's last-good mapping (`None` if the daemon has never
+        /// committed one for this group).
+        mapping: Option<Mapping>,
+        /// Human-readable cause of the degradation.
+        message: String,
+    },
+    /// The group is quarantined after repeated invalid snapshots: the
+    /// epoch advanced its clean streak but was not tallied, and the
+    /// last-good mapping is served until the stream proves clean.
+    Recovering {
+        /// Echo of the snapshot's group.
+        group: String,
+        /// Echo of the snapshot's sequence number.
+        seq: u64,
+        /// The group's last-good mapping.
+        mapping: Option<Mapping>,
+    },
+    /// Bare acknowledgement (shutdown accepted *and* the accept loop has
+    /// stopped: a client that sees this may immediately reuse the port).
     Ok,
     /// Structured failure reply; the connection stays usable.
     Error {
@@ -82,6 +107,7 @@ impl Response {
             Error::Protocol(_) => "protocol",
             Error::Io(_) => "io",
             Error::InvalidConfig(_) => "config",
+            Error::Validation(_) => "validation",
             _ => "unknown",
         };
         Response::Error {
@@ -205,6 +231,16 @@ mod tests {
                 remaps: 0,
             },
             Response::Metrics(symbio::obs::Counters::new().snapshot()),
+            Response::Degraded {
+                group: "g".to_string(),
+                mapping: Some(Mapping::new(vec![0, 1])),
+                message: "worker pool saturated; serving last-good mapping".to_string(),
+            },
+            Response::Recovering {
+                group: "g".to_string(),
+                seq: 9,
+                mapping: None,
+            },
             Response::Ok,
             Response::busy(),
         ];

@@ -5,8 +5,11 @@
 //!
 //! * one **acceptor** (the thread calling [`Symbiod::run`]) takes
 //!   connections off the listener and hands them to a bounded channel —
-//!   the accept backlog cap. When the channel is full the daemon replies
-//!   `busy` and drops the connection instead of queueing unboundedly;
+//!   the accept backlog cap. When the channel is full the daemon first
+//!   tries to **shed load gracefully**: a short-lived shed thread answers
+//!   one request from the last-good mapping cache (`degraded` reply)
+//!   instead of running the engine; only when the shed pool is saturated
+//!   too does the daemon reply `busy` and drop the connection;
 //! * a fixed pool of **workers** drains the channel; each worker owns one
 //!   connection at a time and serves its frames in a loop (pipelining);
 //! * every connection carries a **per-request deadline**: read and write
@@ -14,23 +17,32 @@
 //!   or answered within the deadline closes the connection;
 //! * `shutdown` is a **graceful drain**: the flag flips, the acceptor is
 //!   unblocked by a loopback self-connection, the channel sender drops,
-//!   and workers finish their in-flight connections before exiting.
+//!   and workers finish their in-flight connections before exiting. The
+//!   `Ok` reply is written only *after* the accept loop has verifiably
+//!   stopped, so a client that sees it may immediately rebind the port.
 //!
 //! All engine access is serialized behind one mutex — the engine is a
 //! bookkeeping structure (ring pushes, a policy call, a hash-map probe),
 //! so the lock is held for microseconds and the socket I/O around it runs
 //! fully in parallel.
+//!
+//! Fault-injection sites (armed via `SYMBIO_FAULTS`, see
+//! `symbio::obs::fault`): `worker_dispatch` before any verb is handled,
+//! `snapshot_decode` before an ingest reaches the engine, and
+//! `socket_write` before any reply frame hits the wire.
 
 use crate::proto::{read_frame, write_frame, Request, Response};
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 use symbio::obs::Counters;
 use symbio::Error;
-use symbio_online::OnlineEngine;
+use symbio_machine::Mapping;
+use symbio_online::{DecisionReason, OnlineEngine};
 
 /// Tunables of the serving layer (the engine has its own
 /// [`symbio_online::OnlineConfig`]).
@@ -39,7 +51,7 @@ pub struct ServeConfig {
     /// Worker threads serving connections.
     pub workers: usize,
     /// Accepted-but-unserved connections the daemon will hold before
-    /// replying `busy` (the accept backlog cap).
+    /// shedding load (the accept backlog cap).
     pub backlog: usize,
     /// Per-request deadline: a connection that cannot deliver a frame or
     /// accept a reply within this window is closed.
@@ -72,11 +84,22 @@ impl ServeConfig {
     }
 }
 
-/// Shared state every worker and the acceptor see.
+/// Shared state every worker, shed thread and the acceptor see.
 struct Shared {
     engine: Mutex<OnlineEngine>,
     counters: Arc<Counters>,
     shutdown: AtomicBool,
+    /// Set by the acceptor after its accept loop has exited; the worker
+    /// honouring a `shutdown` request waits on this before ACKing, so
+    /// `Ok` on the wire means the port is really quiescing.
+    accept_stopped: Mutex<bool>,
+    accept_stopped_cv: Condvar,
+    /// Last committed mapping per group — what shed threads and
+    /// `recovering` replies serve when the engine cannot (or must not)
+    /// run for a request.
+    stale: Mutex<HashMap<String, Mapping>>,
+    /// Live shed threads (bounded by the worker count).
+    shedding: AtomicUsize,
     addr: SocketAddr,
     deadline: Duration,
 }
@@ -88,6 +111,29 @@ impl Shared {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
             let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         }
+    }
+
+    /// Block until the acceptor reports its loop stopped (bounded by the
+    /// request deadline, so a wedged acceptor cannot hang the ACK
+    /// forever).
+    fn wait_accept_stopped(&self) {
+        if let Ok(guard) = self.accept_stopped.lock() {
+            let _ = self
+                .accept_stopped_cv
+                .wait_timeout_while(guard, self.deadline, |stopped| !*stopped);
+        }
+    }
+
+    /// Record a committed mapping as the group's last-good fallback.
+    fn remember(&self, group: &str, mapping: &Mapping) {
+        if let Ok(mut stale) = self.stale.lock() {
+            stale.insert(group.to_string(), mapping.clone());
+        }
+    }
+
+    /// The group's last-good mapping, if one was ever committed.
+    fn last_good(&self, group: &str) -> Option<Mapping> {
+        self.stale.lock().ok().and_then(|s| s.get(group).cloned())
     }
 }
 
@@ -116,6 +162,14 @@ impl Symbiod {
     pub fn bind(addr: &str, engine: OnlineEngine, cfg: ServeConfig) -> symbio::Result<Symbiod> {
         cfg.validate().map_err(Error::InvalidConfig)?;
         let counters = Arc::clone(engine.counters());
+        // Seed the last-good cache from the engine: a recovered daemon
+        // can serve degraded replies for groups it learned before the
+        // crash without waiting for fresh commits.
+        let stale: HashMap<String, Mapping> = engine
+            .group_names()
+            .iter()
+            .filter_map(|g| engine.mapping(g).map(|m| (g.to_string(), m.clone())))
+            .collect();
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Symbiod {
@@ -124,6 +178,10 @@ impl Symbiod {
                 engine: Mutex::new(engine),
                 counters,
                 shutdown: AtomicBool::new(false),
+                accept_stopped: Mutex::new(false),
+                accept_stopped_cv: Condvar::new(),
+                stale: Mutex::new(stale),
+                shedding: AtomicUsize::new(0),
                 addr,
                 deadline: cfg.deadline,
             }),
@@ -157,6 +215,10 @@ impl Symbiod {
                     .expect("spawn worker")
             })
             .collect();
+        // Shed threads answer one request each from the stale cache when
+        // the worker pool is saturated; cap them at the worker count so
+        // overload cannot spawn threads unboundedly.
+        let shed_cap = self.cfg.workers;
 
         for conn in self.listener.incoming() {
             if self.shared.shutdown.load(Ordering::SeqCst) {
@@ -170,21 +232,52 @@ impl Symbiod {
             match tx.try_send(stream) {
                 Ok(()) => {}
                 Err(TrySendError::Full(stream)) => {
-                    // Backlog cap reached: tell the peer and shed load.
-                    Counters::add(&self.shared.counters.serve_errors, 1);
-                    let mut stream = stream;
-                    let _ = stream.set_write_timeout(Some(self.shared.deadline));
-                    let _ = write_frame(&mut stream, &Response::busy());
+                    // Backlog cap reached: degrade before refusing. A
+                    // shed thread serves one request from the last-good
+                    // cache; past the shed cap, reply `busy` and drop.
+                    if self.shared.shedding.fetch_add(1, Ordering::SeqCst) < shed_cap {
+                        let shared = Arc::clone(&self.shared);
+                        let spawned = std::thread::Builder::new()
+                            .name("symbiod-shed".to_string())
+                            .spawn(move || {
+                                serve_degraded(stream, &shared);
+                                shared.shedding.fetch_sub(1, Ordering::SeqCst);
+                            });
+                        if spawned.is_err() {
+                            self.shared.shedding.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    } else {
+                        self.shared.shedding.fetch_sub(1, Ordering::SeqCst);
+                        Counters::add(&self.shared.counters.serve_errors, 1);
+                        let mut stream = stream;
+                        let _ = stream.set_write_timeout(Some(self.shared.deadline));
+                        let _ = write_frame(&mut stream, &Response::busy());
+                    }
                 }
                 Err(TrySendError::Disconnected(_)) => break,
             }
         }
+
+        // The accept loop is over: tell the shutdown-ACKing worker so it
+        // can release its `Ok` (this must happen BEFORE joining workers,
+        // or that worker would wait on us while we wait on it).
+        if let Ok(mut stopped) = self.shared.accept_stopped.lock() {
+            *stopped = true;
+        }
+        self.shared.accept_stopped_cv.notify_all();
 
         // Drain: no new connections enter the channel; workers exit when
         // it is empty and the sender is gone.
         drop(tx);
         for w in workers {
             let _ = w.join();
+        }
+        // Give in-flight shed threads a moment to finish their single
+        // reply before the process tears the sockets down.
+        let mut waited = Duration::ZERO;
+        while self.shared.shedding.load(Ordering::SeqCst) > 0 && waited < self.shared.deadline {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
         }
         Ok(())
     }
@@ -202,6 +295,74 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Arc<Shared>) {
             Err(_) => return, // channel drained and closed: shutdown
         }
     }
+}
+
+/// Write one reply frame (the daemon's single egress point, so the
+/// `socket_write` fault site covers every response on the wire).
+fn write_reply<W: std::io::Write>(w: &mut W, reply: &Response) -> symbio::Result<()> {
+    symbio::faultpoint!("socket_write");
+    write_frame(w, reply)
+}
+
+/// Handle one parsed request. Returns the reply and whether the daemon
+/// should drain afterwards. Injected dispatch faults surface as typed
+/// error replies, never as panics or dropped connections.
+fn dispatch(shared: &Arc<Shared>, request: Request) -> (Response, bool) {
+    match try_dispatch(shared, request) {
+        Ok(out) => out,
+        Err(e) => (Response::from_error(&e), false),
+    }
+}
+
+fn try_dispatch(shared: &Arc<Shared>, request: Request) -> symbio::Result<(Response, bool)> {
+    symbio::faultpoint!("worker_dispatch");
+    Ok(match request {
+        Request::Ingest(snapshot) => {
+            symbio::faultpoint!("snapshot_decode");
+            let reply = match shared.engine.lock() {
+                Ok(mut engine) => match engine.ingest(&snapshot) {
+                    Ok(decision) => {
+                        if let Some(m) = &decision.mapping {
+                            shared.remember(&decision.group, m);
+                        }
+                        if decision.reason == DecisionReason::Quarantined {
+                            Counters::add(&shared.counters.degraded_replies, 1);
+                            Response::Recovering {
+                                group: decision.group,
+                                seq: decision.seq,
+                                mapping: decision.mapping,
+                            }
+                        } else {
+                            Response::Decision(decision)
+                        }
+                    }
+                    Err(e) => Response::from_error(&e),
+                },
+                Err(_) => Response::Error {
+                    kind: "io".to_string(),
+                    message: "engine lock poisoned".to_string(),
+                },
+            };
+            (reply, false)
+        }
+        Request::Map { group } => {
+            let reply = match shared.engine.lock() {
+                Ok(engine) => Response::Map {
+                    mapping: engine.mapping(&group).cloned(),
+                    epochs: engine.epochs(&group),
+                    remaps: engine.remaps(&group),
+                    group,
+                },
+                Err(_) => Response::Error {
+                    kind: "io".to_string(),
+                    message: "engine lock poisoned".to_string(),
+                },
+            };
+            (reply, false)
+        }
+        Request::Metrics => (Response::Metrics(shared.counters.snapshot()), false),
+        Request::Shutdown => (Response::Ok, true),
+    })
 }
 
 /// Serve one connection's frames until EOF, a blown deadline, a fatal
@@ -227,7 +388,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 Counters::add(&shared.counters.serve_requests, 1);
                 Counters::add(&shared.counters.serve_errors, 1);
                 let reply = Response::from_error(&Error::Protocol(msg));
-                if write_frame(&mut writer, &reply).is_err() {
+                if write_reply(&mut writer, &reply).is_err() {
                     return;
                 }
                 continue;
@@ -237,45 +398,72 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
         };
 
         Counters::add(&shared.counters.serve_requests, 1);
-        let mut drain = false;
-        let reply = match request {
-            Request::Ingest(snapshot) => match shared.engine.lock() {
-                Ok(mut engine) => match engine.ingest(&snapshot) {
-                    Ok(decision) => Response::Decision(decision),
-                    Err(e) => Response::from_error(&e),
-                },
-                Err(_) => Response::Error {
-                    kind: "io".to_string(),
-                    message: "engine lock poisoned".to_string(),
-                },
-            },
-            Request::Map { group } => match shared.engine.lock() {
-                Ok(engine) => Response::Map {
-                    mapping: engine.mapping(&group).cloned(),
-                    epochs: engine.epochs(&group),
-                    remaps: engine.remaps(&group),
-                    group,
-                },
-                Err(_) => Response::Error {
-                    kind: "io".to_string(),
-                    message: "engine lock poisoned".to_string(),
-                },
-            },
-            Request::Metrics => Response::Metrics(shared.counters.snapshot()),
-            Request::Shutdown => {
-                drain = true;
-                Response::Ok
-            }
-        };
+        let (reply, drain) = dispatch(shared, request);
         if reply.is_error() {
             Counters::add(&shared.counters.serve_errors, 1);
         }
-        if write_frame(&mut writer, &reply).is_err() {
+        if drain {
+            // Shutdown: stop the acceptor and only ACK once its loop has
+            // verifiably exited — an `Ok` on the wire must mean the port
+            // is quiescing, not merely that it will eventually.
+            shared.request_shutdown();
+            shared.wait_accept_stopped();
+            let _ = write_reply(&mut writer, &reply);
             return;
         }
-        if drain {
-            shared.request_shutdown();
+        if write_reply(&mut writer, &reply).is_err() {
             return;
         }
     }
+}
+
+/// Serve exactly one request in degraded mode (worker pool saturated):
+/// answer from the last-good mapping cache without touching the engine,
+/// then close so the client reconnects into the normal path.
+fn serve_degraded(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.deadline));
+    let _ = stream.set_write_timeout(Some(shared.deadline));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    let request: Request = match read_frame(&mut reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => return,
+        Err(e) => {
+            Counters::add(&shared.counters.serve_requests, 1);
+            Counters::add(&shared.counters.serve_errors, 1);
+            let _ = write_reply(&mut writer, &Response::from_error(&e));
+            return;
+        }
+    };
+    Counters::add(&shared.counters.serve_requests, 1);
+
+    let degraded = |group: String| {
+        let mapping = shared.last_good(&group);
+        Response::Degraded {
+            group,
+            mapping,
+            message: "worker pool saturated; serving last-good mapping".to_string(),
+        }
+    };
+    let (reply, drain) = match request {
+        Request::Ingest(snapshot) => (degraded(snapshot.group), false),
+        Request::Map { group } => (degraded(group), false),
+        // Metrics read a counter ledger, not the engine: answer for real
+        // so operators can observe the overload that is shedding them.
+        Request::Metrics => (Response::Metrics(shared.counters.snapshot()), false),
+        Request::Shutdown => (Response::Ok, true),
+    };
+    if matches!(reply, Response::Degraded { .. }) {
+        Counters::add(&shared.counters.degraded_replies, 1);
+    }
+    if drain {
+        shared.request_shutdown();
+        shared.wait_accept_stopped();
+    }
+    let _ = write_reply(&mut writer, &reply);
 }

@@ -1,0 +1,266 @@
+//! Seeded chaos sweep: an in-process daemon journaling to disk while all
+//! four fault sites are armed, driven by a loadgen-style retrying
+//! client. One hundred seeds, two invariants that must hold for every
+//! one of them:
+//!
+//! 1. the journal on disk never holds a torn or invalid frame, and no
+//!    journaled record or replayed window carries a poisoned epoch;
+//! 2. every valid epoch is eventually served (zero client-visible
+//!    failures), and no poisoned epoch is ever answered with a decision.
+//!
+//! One `#[test]` function on purpose: fault arming is process-global, so
+//! iterations are serialized inside it rather than across test threads.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+use symbio_allocator::WeightSortPolicy;
+use symbio_machine::{ProcView, SigSnapshot, ThreadView};
+use symbio_online::journal::decode_frame;
+use symbio_online::{JournalRecord, JournalWriter, OnlineConfig, OnlineEngine, Recovery};
+use symbio_serve::{read_frame, write_frame, Request, Response, ServeConfig, Symbiod};
+
+const EPOCHS: u64 = 20;
+const SEEDS: u64 = 100;
+const MAX_ATTEMPTS: u32 = 40;
+
+/// Every 7th epoch carries a poisoned (negative-occupancy) snapshot —
+/// the wire-representable corruption a broken producer could send.
+fn poisoned(seq: u64) -> bool {
+    seq.is_multiple_of(7)
+}
+
+fn snapshot(seq: u64) -> SigSnapshot {
+    let occ = [40.0, 30.0, 20.0, 10.0];
+    SigSnapshot {
+        group: "chaos".to_string(),
+        seq,
+        now_cycles: seq * 5_000_000,
+        cores: 2,
+        procs: (0..4)
+            .map(|pid| ProcView {
+                pid,
+                name: format!("p{pid}"),
+                threads: vec![ThreadView {
+                    tid: pid,
+                    pid,
+                    name: format!("p{pid}"),
+                    occupancy: if poisoned(seq) && pid == 0 {
+                        -1.0
+                    } else {
+                        occ[pid]
+                    },
+                    symbiosis: vec![50.0, 50.0],
+                    overlap: vec![5.0, 5.0],
+                    last_occupancy: 30,
+                    last_core: Some(pid % 2),
+                    samples: 3,
+                    filter_len: 256,
+                    l2_miss_rate: 0.1,
+                    l2_misses: 100,
+                    retired: 1000,
+                }],
+            })
+            .collect(),
+    }
+}
+
+struct Client {
+    conn: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true)?;
+        conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let reader = BufReader::new(conn.try_clone()?);
+        Ok(Client { conn, reader })
+    }
+
+    fn exchange(&mut self, request: &Request) -> symbio::Result<Response> {
+        write_frame(&mut self.conn, request)?;
+        read_frame(&mut self.reader)?
+            .ok_or_else(|| symbio::Error::Protocol("daemon closed the connection".to_string()))
+    }
+}
+
+/// How one ingest ended after the retry loop.
+#[derive(Debug, PartialEq)]
+enum Final {
+    Served,
+    Rejected, // typed protocol/validation error — the poison path
+    GaveUp,
+}
+
+/// Loadgen-style bounded retry: transient faults (socket death, lost
+/// replies, `busy`/`io` errors) are absorbed; typed rejections are final.
+fn drive(client: &mut Option<Client>, addr: std::net::SocketAddr, request: &Request) -> Final {
+    for _ in 0..MAX_ATTEMPTS {
+        if client.is_none() {
+            *client = Client::connect(addr).ok();
+        }
+        let result = match client.as_mut() {
+            Some(c) => c.exchange(request),
+            None => {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        };
+        match result {
+            Ok(Response::Decision(_) | Response::Degraded { .. } | Response::Recovering { .. }) => {
+                return Final::Served;
+            }
+            Ok(Response::Error { ref kind, .. }) if kind == "busy" || kind == "io" => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(Response::Error { .. }) => return Final::Rejected,
+            Ok(other) => panic!("protocol violation: {other:?}"),
+            Err(_) => {
+                *client = None; // socket died or reply lost: reconnect
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    Final::GaveUp
+}
+
+fn journal_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("symbio-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Assert every frame in the journal decodes and that no journaled
+/// transition carries a poisoned epoch, then replay it and check the
+/// reconstructed windows for poison too. Returns the frame count.
+fn assert_journal_clean(path: &PathBuf, seed: u64) -> u64 {
+    let data = std::fs::read(path).unwrap();
+    let mut frames = 0u64;
+    for line in data.split(|b| *b == b'\n').filter(|l| !l.is_empty()) {
+        let record = decode_frame(line).unwrap_or_else(|| {
+            panic!(
+                "seed {seed}: torn or invalid journal frame: {:?}",
+                String::from_utf8_lossy(line)
+            )
+        });
+        frames += 1;
+        match &record {
+            JournalRecord::Epoch { seq, .. } | JournalRecord::Clean { seq, .. } => {
+                assert!(
+                    !poisoned(*seq),
+                    "seed {seed}: poisoned seq {seq} was journaled as {record:?}"
+                );
+            }
+            JournalRecord::Snapshot(state) => {
+                for g in &state.groups {
+                    for e in &g.window {
+                        assert!(!poisoned(e.seq), "seed {seed}: poison in snapshot window");
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let recovery = Recovery::load(path, OnlineConfig::default().window).unwrap();
+    assert!(!recovery.truncated, "seed {seed}: unreachable journal tail");
+    for g in &recovery.state.groups {
+        for e in &g.window {
+            assert!(
+                !poisoned(e.seq),
+                "seed {seed}: poisoned seq {} replayed into a voting window",
+                e.seq
+            );
+        }
+        if let Some(seq) = g.last_seq {
+            assert!(!poisoned(seq), "seed {seed}: poison advanced the watermark");
+        }
+    }
+    frames
+}
+
+#[test]
+fn hundred_seeded_fault_sweeps_never_corrupt_the_journal_or_lose_a_client() {
+    let dir = journal_dir();
+    let mut served = 0u64;
+    let mut rejected = 0u64;
+    let mut frames_total = 0u64;
+
+    for seed in 0..SEEDS {
+        let path = dir.join(format!("seed-{seed}.journal"));
+        let _ = std::fs::remove_file(&path);
+        let engine = OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default())
+            .unwrap()
+            .with_journal(JournalWriter::open(&path, 16).unwrap());
+        let daemon = Symbiod::bind(
+            "127.0.0.1:0",
+            engine,
+            ServeConfig {
+                workers: 2,
+                backlog: 16,
+                deadline: Duration::from_secs(5),
+            },
+        )
+        .unwrap();
+        let addr = daemon.local_addr();
+        let handle = std::thread::spawn(move || daemon.run());
+
+        // All four sites live at once, schedule fixed by the seed.
+        symbio::obs::fault::arm(
+            "journal_write=0.08,worker_dispatch=0.06,snapshot_decode=0.06,socket_write=0.08",
+            seed,
+        )
+        .unwrap();
+
+        let mut client: Option<Client> = None;
+        for seq in 0..EPOCHS {
+            let outcome = drive(&mut client, addr, &Request::Ingest(snapshot(seq)));
+            if poisoned(seq) {
+                assert_eq!(
+                    outcome,
+                    Final::Rejected,
+                    "seed {seed}: poisoned seq {seq} must be rejected, never served"
+                );
+                rejected += 1;
+            } else {
+                assert_eq!(
+                    outcome,
+                    Final::Served,
+                    "seed {seed}: valid seq {seq} became client-visible failure"
+                );
+                served += 1;
+            }
+        }
+
+        // Drain — the shutdown verb itself runs under injected faults,
+        // so retry it until the serve loop actually exits.
+        for _ in 0..200 {
+            if handle.is_finished() {
+                break;
+            }
+            if client.is_none() {
+                client = Client::connect(addr).ok();
+            }
+            if let Some(c) = client.as_mut() {
+                match c.exchange(&Request::Shutdown) {
+                    Ok(Response::Ok) => break,
+                    Ok(_) => {}
+                    Err(_) => client = None,
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.join().expect("serve thread").expect("clean drain");
+        symbio::obs::fault::disarm();
+
+        frames_total += assert_journal_clean(&path, seed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // The sweep must have actually exercised both paths at scale.
+    assert_eq!(served, (EPOCHS - 3) * SEEDS);
+    assert_eq!(rejected, 3 * SEEDS);
+    assert!(frames_total > 0, "chaos runs must journal");
+}

@@ -238,3 +238,112 @@ fn concurrent_connections_share_one_engine() {
     assert!(matches!(reply, Response::Ok));
     handle.join().expect("daemon thread").expect("drain");
 }
+
+#[test]
+fn shutdown_ack_means_the_accept_loop_has_already_stopped() {
+    let (addr, _counters, handle) = spawn_daemon();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    engine_warmup(addr);
+
+    let reply = roundtrip(&mut conn, &mut reader, &Request::Shutdown);
+    assert!(matches!(reply, Response::Ok), "got {reply:?}");
+
+    // The `Ok` is written only after the accept loop has verifiably
+    // exited, so a request racing the ACK must never be *served* — the
+    // connect attempt fails outright, or the connection sits unaccepted
+    // in the kernel queue until the listener closes and gets reset.
+    if let Ok(mut late) = TcpStream::connect(addr) {
+        late.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut late_reader = BufReader::new(late.try_clone().expect("clone"));
+        let raced = write_frame(&mut late, &Request::Ingest(snapshot("late", 0)))
+            .and_then(|()| read_frame::<_, Response>(&mut late_reader));
+        assert!(
+            !matches!(raced, Ok(Some(Response::Decision(_)))),
+            "a post-ACK request was served: {raced:?}"
+        );
+    }
+    handle.join().expect("daemon thread").expect("drain");
+}
+
+/// Commit a mapping for group "g" over its own connection.
+fn engine_warmup(addr: std::net::SocketAddr) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    for seq in 0..3u64 {
+        let reply = roundtrip(&mut conn, &mut reader, &Request::Ingest(snapshot("g", seq)));
+        assert!(matches!(reply, Response::Decision(_)), "got {reply:?}");
+    }
+}
+
+#[test]
+fn saturated_worker_pool_sheds_degraded_replies_from_the_stale_cache() {
+    // One worker, backlog of one: a held connection plus a queued one
+    // saturate the daemon, so the third must be shed.
+    let engine = OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default())
+        .expect("valid config");
+    let cfg = ServeConfig {
+        workers: 1,
+        backlog: 1,
+        deadline: Duration::from_secs(5),
+    };
+    let daemon = Symbiod::bind("127.0.0.1:0", engine, cfg).expect("bind loopback");
+    let addr = daemon.local_addr();
+    let counters = daemon.counters();
+    let handle = std::thread::spawn(move || daemon.run());
+
+    engine_warmup(addr);
+
+    // Occupy the only worker with a connection that sends nothing…
+    let blocker = TcpStream::connect(addr).expect("connect blocker");
+    std::thread::sleep(Duration::from_millis(150));
+    // …and fill the one-slot backlog with a second idle connection.
+    let queued = TcpStream::connect(addr).expect("connect queued");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The third connection overflows the backlog: instead of `busy`, a
+    // shed thread answers one request from the last-good mapping cache.
+    let mut shed = TcpStream::connect(addr).expect("connect shed");
+    let mut shed_reader = BufReader::new(shed.try_clone().expect("clone"));
+    let reply = roundtrip(
+        &mut shed,
+        &mut shed_reader,
+        &Request::Ingest(snapshot("g", 90)),
+    );
+    match reply {
+        Response::Degraded {
+            group,
+            mapping,
+            message,
+        } => {
+            assert_eq!(group, "g");
+            assert!(
+                mapping.is_some(),
+                "warmed-up group must be served its last-good mapping"
+            );
+            assert!(message.contains("saturated"), "{message}");
+        }
+        other => panic!("expected degraded reply, got {other:?}"),
+    }
+    // The shed connection closes after its single degraded reply, and
+    // the degraded epoch was *not* tallied by the engine.
+    drop((blocker, queued));
+    std::thread::sleep(Duration::from_millis(50));
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    match roundtrip(
+        &mut conn,
+        &mut reader,
+        &Request::Map {
+            group: "g".to_string(),
+        },
+    ) {
+        Response::Map { epochs, .. } => assert_eq!(epochs, 3, "shed epoch must not be tallied"),
+        other => panic!("expected map reply, got {other:?}"),
+    }
+    assert!(counters.snapshot().degraded_replies >= 1);
+
+    let reply = roundtrip(&mut conn, &mut reader, &Request::Shutdown);
+    assert!(matches!(reply, Response::Ok));
+    handle.join().expect("daemon thread").expect("drain");
+}

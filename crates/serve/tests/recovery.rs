@@ -1,0 +1,257 @@
+//! Kill-and-restart crash recovery against the real `symbiod` binary:
+//! SIGKILL the daemon mid-load, restart it on the same journal, and
+//! prove the recovered engine's decision stream is bit-identical to an
+//! engine that was never interrupted (deterministic replay equivalence).
+
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use symbio_allocator::WeightSortPolicy;
+use symbio_machine::{ProcView, SigSnapshot, ThreadView};
+use symbio_online::{OnlineConfig, OnlineEngine};
+use symbio_serve::{read_frame, write_frame, Request, Response};
+
+// ------------------------------------------------- trace construction
+
+fn thread_view(tid: usize, occ: f64, overlap: [f64; 2]) -> ThreadView {
+    ThreadView {
+        tid,
+        pid: tid,
+        name: format!("p{tid}"),
+        occupancy: occ,
+        symbiosis: vec![50.0, 50.0],
+        overlap: overlap.to_vec(),
+        last_occupancy: occ as u32,
+        last_core: Some(tid % 2),
+        samples: 3,
+        filter_len: 256,
+        l2_miss_rate: 0.1,
+        l2_misses: 100,
+        retired: 1000,
+    }
+}
+
+fn synth_snap(seq: u64, occ: [f64; 4], overlaps: [[f64; 2]; 4]) -> SigSnapshot {
+    SigSnapshot {
+        group: "kr".to_string(),
+        seq,
+        now_cycles: seq * 5_000_000,
+        cores: 2,
+        procs: (0..4)
+            .map(|pid| ProcView {
+                pid,
+                name: format!("p{pid}"),
+                threads: vec![thread_view(pid, occ[pid], overlaps[pid])],
+            })
+            .collect(),
+    }
+}
+
+const PAIR_01_23: [[f64; 2]; 4] = [[0.0, 10.0], [10.0, 0.0], [0.0, 10.0], [10.0, 0.0]];
+const PAIR_02_13: [[f64; 2]; 4] = [[10.0, 0.0], [0.0, 10.0], [10.0, 0.0], [0.0, 10.0]];
+const OCC_A: [f64; 4] = [40.0, 30.0, 20.0, 10.0];
+const OCC_B: [f64; 4] = [40.0, 20.0, 30.0, 10.0];
+
+/// Sixteen epochs: six of pattern A (commits a mapping), then a
+/// sustained shift to pattern B that out-votes A and remaps *after* the
+/// crash point — the restarted daemon must carry A-epoch votes across
+/// the crash to reach the same remap at the same sequence number.
+fn trace() -> Vec<SigSnapshot> {
+    (0..16)
+        .map(|seq| {
+            if seq < 6 {
+                synth_snap(seq, OCC_A, PAIR_01_23)
+            } else {
+                synth_snap(seq, OCC_B, PAIR_02_13)
+            }
+        })
+        .collect()
+}
+
+// -------------------------------------------------- daemon harness
+
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+    banner: Vec<String>,
+}
+
+impl Daemon {
+    /// Launch the real `symbiod` binary journaling to `journal`, and
+    /// wait for its listen banner (capturing any recovery line first).
+    // The child escapes into the returned `Daemon`, where the test
+    // SIGKILLs or drains it and reaps it with `wait()` — clippy's
+    // intra-function flow analysis cannot see that.
+    #[allow(clippy::zombie_processes)]
+    fn spawn(journal: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_symbiod"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--journal",
+                journal.to_str().unwrap(),
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn symbiod");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout);
+        let mut banner = Vec::new();
+        loop {
+            let mut line = String::new();
+            if lines.read_line(&mut line).unwrap_or(0) == 0 {
+                // Don't leak the child on the failure path.
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("symbiod exited before listening; stdout: {banner:?}");
+            }
+            let line = line.trim().to_string();
+            let listen = line.strip_prefix("symbiod listening on ").map(String::from);
+            banner.push(line);
+            if let Some(addr) = listen {
+                let addr = addr.parse().expect("listen address");
+                return Daemon {
+                    child,
+                    addr,
+                    banner,
+                };
+            }
+        }
+    }
+
+    fn connect(&self) -> (TcpStream, BufReader<TcpStream>) {
+        let conn = TcpStream::connect(self.addr).expect("connect to symbiod");
+        conn.set_nodelay(true).unwrap();
+        let reader = BufReader::new(conn.try_clone().unwrap());
+        (conn, reader)
+    }
+
+    fn recovered_line(&self) -> Option<&String> {
+        self.banner
+            .iter()
+            .find(|l| l.starts_with("symbiod recovered "))
+    }
+}
+
+fn roundtrip(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &Request) -> Response {
+    write_frame(conn, req).expect("write frame");
+    read_frame(reader)
+        .expect("read frame")
+        .expect("reply before EOF")
+}
+
+fn journal_path() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("symbio-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("kill-restart.journal")
+}
+
+// ------------------------------------------------------------- test
+
+#[test]
+fn sigkilled_daemon_resumes_with_decisions_identical_to_an_uninterrupted_run() {
+    let journal = journal_path();
+    let _ = std::fs::remove_file(&journal);
+    let trace = trace();
+
+    // Reference: the same engine the daemon runs (weight-sort policy,
+    // default config), never interrupted, fed the whole trace.
+    let mut reference =
+        OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default()).unwrap();
+    let expect: Vec<String> = trace
+        .iter()
+        .map(|s| serde_json::to_string(&reference.ingest(s).unwrap()).unwrap())
+        .collect();
+    assert!(
+        reference.remaps("kr") > 0,
+        "the trace must force a post-crash remap or the test is toothless"
+    );
+
+    // First incarnation: serve (and journal) the first eight epochs.
+    let first = Daemon::spawn(&journal);
+    assert!(first.recovered_line().is_none(), "fresh journal, no replay");
+    let (mut conn, mut reader) = first.connect();
+    let mut got: Vec<String> = Vec::new();
+    for snap in &trace[..8] {
+        match roundtrip(&mut conn, &mut reader, &Request::Ingest(snap.clone())) {
+            Response::Decision(d) => got.push(serde_json::to_string(&d).unwrap()),
+            other => panic!("expected decision for seq {}, got {other:?}", snap.seq),
+        }
+    }
+    assert_eq!(got, expect[..8], "pre-crash decisions match the reference");
+
+    // Fire one more epoch into the socket and SIGKILL without reading
+    // the reply: the daemon dies mid-load, with seq 8 either journaled,
+    // torn, or never seen — all three must converge after recovery.
+    write_frame(&mut conn, &Request::Ingest(trace[8].clone())).expect("write in-flight epoch");
+    let mut child = first.child;
+    child.kill().expect("SIGKILL symbiod");
+    child.wait().expect("reap symbiod");
+    drop((conn, reader));
+
+    // Second incarnation recovers from the journal…
+    let second = Daemon::spawn(&journal);
+    let recovered = second
+        .recovered_line()
+        .expect("restart must report journal replay")
+        .clone();
+    assert!(recovered.contains("frames"), "banner: {recovered}");
+
+    // …the client retries its unacknowledged epoch (answered as either a
+    // fresh decision or a duplicate, depending on what the crash kept —
+    // duplicate suppression makes both leave identical engine state)…
+    let (mut conn, mut reader) = second.connect();
+    match roundtrip(&mut conn, &mut reader, &Request::Ingest(trace[8].clone())) {
+        Response::Decision(_) => {}
+        other => panic!("retried epoch must be served, got {other:?}"),
+    }
+
+    // …and every following decision is bit-identical to the reference.
+    let mut resumed: Vec<String> = Vec::new();
+    for snap in &trace[9..] {
+        match roundtrip(&mut conn, &mut reader, &Request::Ingest(snap.clone())) {
+            Response::Decision(d) => resumed.push(serde_json::to_string(&d).unwrap()),
+            other => panic!("expected decision for seq {}, got {other:?}", snap.seq),
+        }
+    }
+    assert_eq!(
+        resumed,
+        expect[9..],
+        "post-recovery decisions must equal the uninterrupted run"
+    );
+
+    // The recovered stream's totals line up with the reference too.
+    match roundtrip(
+        &mut conn,
+        &mut reader,
+        &Request::Map {
+            group: "kr".to_string(),
+        },
+    ) {
+        Response::Map {
+            mapping,
+            epochs,
+            remaps,
+            ..
+        } => {
+            assert_eq!(epochs, reference.epochs("kr"));
+            assert_eq!(remaps, reference.remaps("kr"));
+            assert_eq!(
+                mapping.unwrap().partition_key(2),
+                reference.mapping("kr").unwrap().partition_key(2)
+            );
+        }
+        other => panic!("expected map reply, got {other:?}"),
+    }
+
+    // Drain the survivor gracefully.
+    match roundtrip(&mut conn, &mut reader, &Request::Shutdown) {
+        Response::Ok => {}
+        other => panic!("expected shutdown ack, got {other:?}"),
+    }
+    let mut child = second.child;
+    assert!(child.wait().expect("reap symbiod").success());
+}
