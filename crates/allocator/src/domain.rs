@@ -1,0 +1,360 @@
+//! Two-level allocation for multi-domain machines.
+//!
+//! On a machine with several cache domains (each its own shared L2 and
+//! signature bank, see [`Topology`]), allocation decomposes naturally:
+//!
+//! 1. **Across domains** — processes that destroy each other's working
+//!    sets should not even share an L2, so the interference graph is first
+//!    `partition_k`'d into one group per domain (balanced MIN-CUT, the
+//!    same machinery as Section 3.3.2's per-core step);
+//! 2. **Within each domain** — the surviving contention is the classic
+//!    single-L2 problem, so any existing [`AllocationPolicy`] runs
+//!    unchanged on a *localized* view of the domain's members.
+//!
+//! Signature vectors are **domain-local** (a thread's symbiosis/overlap
+//! entries index the cores of the domain it last ran in), so the
+//! cross-domain graph only carries measured edges between threads whose
+//! `last_core`s share a domain; cross-domain pairs are unmeasured and fall
+//! back to the metric's missing-data value (the `2.0` interference clamp,
+//! or zero contested capacity). Re-invocation over epochs refines this the
+//! same way the single-L2 policies recover from a cold start.
+//!
+//! On a single-domain topology the policy is a transparent wrapper: it
+//! delegates straight to the inner policy (see
+//! `single_domain_is_transparent` and the proptest equivalence suite in
+//! `tests/domain_equivalence.rs`).
+
+use crate::graph::InterferenceMetric;
+use crate::matrix::SymMatrix;
+use crate::partition::{partition_k, PartitionMethod};
+use crate::policy::{flat_threads, AllocationPolicy};
+use symbio_machine::{Mapping, ProcView, ThreadView, Topology};
+
+/// Two-level domain-aware allocation policy.
+///
+/// Wraps any inner [`AllocationPolicy`]; the inner policy sees each domain
+/// as a stand-alone machine (`cores` = the domain's core count, thread ids
+/// renumbered contiguously, `last_core` localized).
+pub struct DomainAwarePolicy {
+    topology: Topology,
+    inner: Box<dyn AllocationPolicy + Send>,
+    /// Partitioning algorithm for the cross-domain split.
+    pub method: PartitionMethod,
+    /// Interference measurement feeding the cross-domain graph.
+    pub metric: InterferenceMetric,
+}
+
+impl std::fmt::Debug for DomainAwarePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainAwarePolicy")
+            .field("topology", &self.topology)
+            .field("inner", &self.inner.name())
+            .field("method", &self.method)
+            .field("metric", &self.metric)
+            .finish()
+    }
+}
+
+impl DomainAwarePolicy {
+    /// Wrap `inner` for `topology`.
+    pub fn new(topology: Topology, inner: Box<dyn AllocationPolicy + Send>) -> Self {
+        DomainAwarePolicy {
+            topology,
+            inner,
+            method: PartitionMethod::Auto,
+            metric: InterferenceMetric::Overlap,
+        }
+    }
+
+    /// The default stack: weighted interference graph inside each domain
+    /// (the paper's best performer), occupancy-weighted overlap across.
+    pub fn weighted_ig(topology: Topology) -> Self {
+        Self::new(
+            topology,
+            Box::new(crate::policy::WeightedInterferenceGraphPolicy::default()),
+        )
+    }
+
+    /// The wrapped topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Build the cross-domain consolidated interference graph. Mirrors
+    /// [`crate::graph::InterferenceGraph`] (Figure 7 consolidation,
+    /// occupancy-weighted) except that `last_core` is global while the
+    /// signature vectors are domain-local, so the per-direction term is
+    /// measured only when source and target last ran in the same domain.
+    fn cross_domain_graph(&self, threads: &[&ThreadView]) -> SymMatrix {
+        let n = threads.len();
+        let mut w = SymMatrix::new(n);
+        for a in 0..n {
+            let core_a = threads[a].last_core.unwrap_or(0);
+            let dom_a = self
+                .topology
+                .domain_of(core_a.min(self.topology.cores() - 1));
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let core_b = threads[b].last_core.unwrap_or(0);
+                let dom_b = self
+                    .topology
+                    .domain_of(core_b.min(self.topology.cores() - 1));
+                let edge = if dom_a == dom_b {
+                    let local = self.topology.local_core(core_b);
+                    match self.metric {
+                        InterferenceMetric::ReciprocalSymbiosis => {
+                            threads[a].interference_with(local)
+                        }
+                        InterferenceMetric::Overlap => threads[a].contested_with(local),
+                    }
+                } else {
+                    // Unmeasured cross-domain pair: the missing-data value
+                    // of the metric (symbiosis 0 clamps to 2.0; no overlap
+                    // evidence means no contested capacity).
+                    match self.metric {
+                        InterferenceMetric::ReciprocalSymbiosis => 2.0,
+                        InterferenceMetric::Overlap => 0.0,
+                    }
+                };
+                w.add(a, b, edge * threads[a].occupancy);
+            }
+        }
+        w
+    }
+
+    /// Assign each thread (by node position) a domain index. Power-of-two
+    /// domain counts use hierarchical MIN-CUT; other counts fall back to a
+    /// deterministic greedy fill (heaviest thread first into the least
+    /// loaded domain, capacity proportional to core count).
+    fn split_across_domains(&self, threads: &[&ThreadView]) -> Vec<usize> {
+        let domains = self.topology.domains();
+        if domains.is_power_of_two() {
+            let w = self.cross_domain_graph(threads);
+            return partition_k(&w, domains, self.method);
+        }
+        let n = threads.len();
+        let total_cores = self.topology.cores();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            threads[b]
+                .occupancy
+                .partial_cmp(&threads[a].occupancy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b)) // fixed tie-break: node order
+        });
+        let mut load = vec![0usize; domains];
+        let mut assignment = vec![0usize; n];
+        for &i in &order {
+            // Least relative load; ties go to the lowest domain index.
+            let d = (0..domains)
+                .min_by(|&x, &y| {
+                    let lx = load[x] * total_cores / self.topology.domain(x).cores.max(1);
+                    let ly = load[y] * total_cores / self.topology.domain(y).cores.max(1);
+                    lx.cmp(&ly).then(x.cmp(&y))
+                })
+                .expect("at least one domain");
+            assignment[i] = d;
+            load[d] += 1;
+        }
+        assignment
+    }
+}
+
+/// Rebuild `ProcView`s for one domain's member threads: tids renumbered
+/// contiguously by global-tid rank, `last_core` localized to the domain
+/// (or dropped when the thread last ran elsewhere — its history is
+/// meaningless inside this domain).
+fn localize_views(
+    topology: Topology,
+    d: usize,
+    members: &[&ThreadView],
+) -> (Vec<ProcView>, Vec<usize>) {
+    let range = topology.core_range(d);
+    let mut local_tids = Vec::with_capacity(members.len());
+    let mut procs: Vec<ProcView> = Vec::new();
+    for (rank, t) in members.iter().enumerate() {
+        local_tids.push(t.tid);
+        let mut lt = (*t).clone();
+        lt.tid = rank;
+        lt.last_core = t
+            .last_core
+            .filter(|c| range.contains(c))
+            .map(|c| topology.local_core(c));
+        match procs.iter_mut().find(|p| p.pid == lt.pid) {
+            Some(p) => p.threads.push(lt),
+            None => procs.push(ProcView {
+                pid: lt.pid,
+                name: lt.name.clone(),
+                threads: vec![lt],
+            }),
+        }
+    }
+    (procs, local_tids)
+}
+
+impl AllocationPolicy for DomainAwarePolicy {
+    fn name(&self) -> &'static str {
+        "domain-aware"
+    }
+
+    fn allocate(&mut self, views: &[ProcView], cores: usize) -> Mapping {
+        // A single domain, or a caller whose core count disagrees with the
+        // wrapped topology, is the classic single-L2 problem: transparent.
+        if self.topology.is_single() || self.topology.cores() != cores {
+            return self.inner.allocate(views, cores);
+        }
+        let threads = flat_threads(views);
+        if threads.is_empty() {
+            return Mapping::new(Vec::new());
+        }
+        let assignment = self.split_across_domains(&threads);
+        let mut cores_by_tid = vec![0usize; threads.len()];
+        for d in 0..self.topology.domains() {
+            let members: Vec<&ThreadView> = threads
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| assignment[i] == d)
+                .map(|(_, t)| *t)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let (local_views, local_tids) = localize_views(self.topology, d, &members);
+            let dcores = self.topology.domain(d).cores;
+            let local = self.inner.allocate(&local_views, dcores);
+            let start = self.topology.core_start(d);
+            for (rank, &tid) in local_tids.iter().enumerate() {
+                cores_by_tid[tid] = start + local.core_of(rank) % dcores;
+            }
+        }
+        Mapping::new(cores_by_tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{WeightSortPolicy, WeightedInterferenceGraphPolicy};
+
+    /// A thread whose signature vectors are local to a `dcores`-core
+    /// domain.
+    fn view(tid: usize, occupancy: f64, overlap: Vec<f64>, last_core: usize) -> ProcView {
+        let symbiosis = overlap.iter().map(|o| (100.0 - o).max(0.0)).collect();
+        ProcView {
+            pid: tid,
+            name: format!("p{tid}"),
+            threads: vec![ThreadView {
+                tid,
+                pid: tid,
+                name: format!("p{tid}"),
+                occupancy,
+                symbiosis,
+                overlap,
+                last_occupancy: occupancy as u32,
+                last_core: Some(last_core),
+                samples: 1,
+                filter_len: 4096,
+                l2_miss_rate: 0.1,
+                l2_misses: 100,
+                retired: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn single_domain_is_transparent() {
+        let views: Vec<ProcView> = vec![
+            view(0, 100.0, vec![10.0, 20.0], 0),
+            view(1, 5.0, vec![30.0, 5.0], 1),
+            view(2, 90.0, vec![50.0, 1.0], 0),
+            view(3, 1.0, vec![2.0, 2.0], 1),
+        ];
+        let mut wrapped =
+            DomainAwarePolicy::new(Topology::shared_l2(2), Box::new(WeightSortPolicy));
+        let mut bare = WeightSortPolicy;
+        assert_eq!(wrapped.allocate(&views, 2), bare.allocate(&views, 2));
+    }
+
+    /// Known-optimum 2-domain MIN-CUT fixture: two tight interference
+    /// pairs, one pair per current domain. Keeping each pair inside one
+    /// domain internalises all measured weight (cut 0); every other
+    /// balanced split cuts a heavy edge. With one core per domain the
+    /// final mapping is forced, so the assertion pins the optimum exactly.
+    #[test]
+    fn two_domain_min_cut_fixture() {
+        let topo = Topology::uniform(2, 1);
+        // Threads 0, 1 last ran in domain 0 (core 0); 2, 3 in domain 1.
+        // Domain-local vectors have one entry (one core per domain).
+        let views = vec![
+            view(0, 10.0, vec![90.0], 0),
+            view(1, 10.0, vec![90.0], 0),
+            view(2, 10.0, vec![80.0], 1),
+            view(3, 10.0, vec![80.0], 1),
+        ];
+        let mut p = DomainAwarePolicy::weighted_ig(topo);
+        let m = p.allocate(&views, 2);
+        // Pairs stay together; node 0's side keeps domain 0 (tie-break
+        // contract of `bisect`).
+        assert_eq!(m.core_of(0), 0);
+        assert_eq!(m.core_of(1), 0);
+        assert_eq!(m.core_of(2), 1);
+        assert_eq!(m.core_of(3), 1);
+    }
+
+    #[test]
+    fn two_by_two_respects_domain_boundaries() {
+        let topo = Topology::uniform(2, 2);
+        // Four heavy mutual interferers measured in domain 0, four in
+        // domain 1; the cross split must keep each clique whole, then the
+        // inner policy spreads 2+2 inside each domain.
+        let mut views = Vec::new();
+        for tid in 0..4 {
+            views.push(view(tid, 50.0, vec![70.0, 70.0], tid % 2));
+        }
+        for tid in 4..8 {
+            views.push(view(tid, 50.0, vec![60.0, 60.0], 2 + tid % 2));
+        }
+        let mut p = DomainAwarePolicy::weighted_ig(topo);
+        let m = p.allocate(&views, 4);
+        let dom = |c: usize| topo.domain_of(c);
+        let d0 = dom(m.core_of(0));
+        for tid in 1..4 {
+            assert_eq!(dom(m.core_of(tid)), d0, "clique A split across domains");
+        }
+        let d1 = dom(m.core_of(4));
+        for tid in 5..8 {
+            assert_eq!(dom(m.core_of(tid)), d1, "clique B split across domains");
+        }
+        assert_ne!(d0, d1);
+        assert_eq!(m.group_sizes(4), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn non_power_of_two_domains_fill_greedily() {
+        let topo = Topology::uniform(3, 1);
+        let views: Vec<ProcView> = (0..6)
+            .map(|tid| view(tid, (60 - tid * 10) as f64, vec![50.0], tid % 3))
+            .collect();
+        let mut p = DomainAwarePolicy::weighted_ig(topo);
+        let m = p.allocate(&views, 3);
+        assert_eq!(m.group_sizes(3), vec![2, 2, 2], "balanced greedy fill");
+        // Deterministic: the same inputs always produce the same mapping.
+        let mut q = DomainAwarePolicy::weighted_ig(topo);
+        assert_eq!(q.allocate(&views, 3), m);
+    }
+
+    #[test]
+    fn mismatched_core_count_delegates() {
+        let views = vec![view(0, 1.0, vec![1.0], 0), view(1, 2.0, vec![1.0], 1)];
+        let mut p = DomainAwarePolicy::new(
+            Topology::uniform(2, 2), // 4 cores
+            Box::new(WeightedInterferenceGraphPolicy::default()),
+        );
+        let mut bare = WeightedInterferenceGraphPolicy::default();
+        // Caller asks for 2 cores: the topology does not apply; fall back.
+        assert_eq!(p.allocate(&views, 2), bare.allocate(&views, 2));
+        assert_eq!(p.name(), "domain-aware");
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`TwoPhasePolicy`] — Section 3.3.4: thread-granularity allocation for
 //!   multi-threaded apps (weight-sort within a process, then a pinned
 //!   weighted interference graph across all threads);
+//! * [`DomainAwarePolicy`] — the multi-domain extension: MIN-CUT across
+//!   cache domains first (who shares an L2 at all), then any of the above
+//!   policies inside each domain;
 //! * [`baselines`] — default (round-robin), random, cache-affinity, and a
 //!   miss-rate-sorting scheduler standing in for the perf-counter
 //!   approaches the paper argues against.
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod domain;
 pub mod graph;
 pub mod matrix;
 pub mod pairwise;
@@ -40,6 +44,7 @@ pub mod policy;
 pub mod two_phase;
 
 pub use baselines::{AffinityPolicy, DefaultPolicy, MissRateSortPolicy, RandomPolicy};
+pub use domain::DomainAwarePolicy;
 pub use graph::{InterferenceGraph, InterferenceMetric};
 pub use matrix::SymMatrix;
 pub use pairwise::PairwisePolicy;

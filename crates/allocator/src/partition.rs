@@ -42,6 +42,18 @@ pub struct Bisection {
 }
 
 /// Bisect `w` into two groups of ⌈n/2⌉ and ⌊n/2⌋ nodes minimising the cut.
+///
+/// **Tie-break contract**: among equal-cut bisections the result is fully
+/// determined, never dependent on float summation order or iteration over
+/// a hash container. `Exhaustive` pins node 0 to side `false` and walks
+/// the `true`-side combinations in lexicographic order, keeping only
+/// *strict* improvements — so ties resolve to the lexicographically
+/// smallest `true`-side index set. `KernighanLin` scans candidate swap
+/// pairs in ascending `(a, b)` order, again keeping only strict gains.
+/// `LocalSearch` is fully determined by its seed. Hierarchical callers
+/// ([`partition_k`]) inherit this, which is what makes cross-domain
+/// placement reproducible on graphs full of equal weights (e.g. symmetric
+/// synthetic mixes).
 pub fn bisect(w: &SymMatrix, method: PartitionMethod) -> Bisection {
     let n = w.n();
     assert!(n >= 2, "need at least two nodes to bisect");
@@ -62,6 +74,12 @@ pub fn bisect(w: &SymMatrix, method: PartitionMethod) -> Bisection {
 /// Partition into `k` balanced groups by hierarchical bisection
 /// (`k` must be a power of two, as in the paper's extension to more cores).
 /// Returns the group index of each node.
+///
+/// Deterministic under ties: each level splits with [`bisect`] (whose
+/// tie-break order is fixed — see its docs), the `false` side keeps the
+/// lower group indices and recurses first, and subgraph nodes keep their
+/// relative order. Two calls with the same matrix, `k` and method always
+/// return the same labelling.
 pub fn partition_k(w: &SymMatrix, k: usize, method: PartitionMethod) -> Vec<usize> {
     assert!(k >= 1 && k.is_power_of_two(), "k must be a power of two");
     let mut groups = vec![0usize; w.n()];
@@ -93,6 +111,8 @@ fn split_rec(
         }
     }
     let bi = bisect(&sub, method);
+    // `filter` preserves the caller's node order, so the recursion sees the
+    // same relative order at every level — part of the tie-break contract.
     let left: Vec<usize> = (0..m).filter(|&i| !bi.side[i]).map(|i| nodes[i]).collect();
     let right: Vec<usize> = (0..m).filter(|&i| bi.side[i]).map(|i| nodes[i]).collect();
     split_rec(w, &left, k / 2, base, method, out);
@@ -398,6 +418,43 @@ mod tests {
         }
         assert_eq!(sizes.len(), 4);
         assert!(sizes.values().all(|&s| s == 2));
+    }
+
+    #[test]
+    fn ties_break_canonically() {
+        // Complete graph with equal weights: every balanced bisection has
+        // the same cut, so the result is pure tie-break. Node 0 is pinned
+        // to side `false` and only strict improvements replace the
+        // incumbent, so the lexicographically smallest true-side set
+        // ({1, 2}) wins.
+        let mut w = SymMatrix::new(4);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                w.set(a, b, 1.0);
+            }
+        }
+        let b = bisect(&w, PartitionMethod::Exhaustive);
+        assert_eq!(b.side, vec![false, true, true, false]);
+        // partition_k inherits the canonical order: the false side keeps
+        // the low group indices.
+        assert_eq!(partition_k(&w, 2, PartitionMethod::Auto), vec![0, 1, 1, 0]);
+
+        // Two hierarchy levels over a uniform 8-node graph stay stable
+        // call-to-call and across methods that share the optimum.
+        let mut w8 = SymMatrix::new(8);
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                w8.set(a, b, 2.5);
+            }
+        }
+        let g1 = partition_k(&w8, 4, PartitionMethod::Exhaustive);
+        let g2 = partition_k(&w8, 4, PartitionMethod::Exhaustive);
+        assert_eq!(g1, g2);
+        let mut sizes = [0usize; 4];
+        for &g in &g1 {
+            sizes[g] += 1;
+        }
+        assert_eq!(sizes, [2, 2, 2, 2]);
     }
 
     #[test]

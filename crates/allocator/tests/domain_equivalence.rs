@@ -1,0 +1,135 @@
+//! Refactor-equivalence suite: wrapping any allocation policy in a
+//! 1-domain [`DomainAwarePolicy`] must be a behavioural no-op. Together
+//! with the golden kernel digests in the workspace determinism tests
+//! (which prove the 1-domain machine is bit-identical to the pre-refactor
+//! single-L2 path), this pins the whole topology refactor: same machine
+//! observables, same mappings, for every policy.
+
+use proptest::prelude::*;
+use symbio_allocator::{
+    AffinityPolicy, AllocationPolicy, DefaultPolicy, DomainAwarePolicy, InterferenceGraphPolicy,
+    MissRateSortPolicy, RandomPolicy, TwoPhasePolicy, WeightSortPolicy,
+    WeightedInterferenceGraphPolicy,
+};
+use symbio_machine::{ProcView, ThreadView, Topology};
+
+/// Deterministic xorshift so each proptest case expands one u64 seed into
+/// a full random view set.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() % 10_000) as f64 / 10_000.0 * (hi - lo)
+    }
+}
+
+/// Random single-threaded process views over a `cores`-core single-domain
+/// machine, with occasional degenerate features (missing last_core, zero
+/// occupancy) mixed in.
+fn synth_views(seed: u64, threads: usize, cores: usize) -> Vec<ProcView> {
+    let mut rng = Rng(seed | 1);
+    (0..threads)
+        .map(|tid| {
+            let occupancy = if rng.next().is_multiple_of(8) {
+                0.0
+            } else {
+                rng.f64_in(0.0, 120.0)
+            };
+            let symbiosis: Vec<f64> = (0..cores).map(|_| rng.f64_in(0.0, 100.0)).collect();
+            let overlap: Vec<f64> = symbiosis.iter().map(|s| (100.0 - s).max(0.0)).collect();
+            let last_core = if rng.next().is_multiple_of(8) {
+                None
+            } else {
+                Some((rng.next() % cores as u64) as usize)
+            };
+            ProcView {
+                pid: tid,
+                name: format!("p{tid}"),
+                threads: vec![ThreadView {
+                    tid,
+                    pid: tid,
+                    name: format!("p{tid}"),
+                    occupancy,
+                    symbiosis,
+                    overlap,
+                    last_occupancy: occupancy as u32,
+                    last_core,
+                    samples: 1 + rng.next() % 5,
+                    filter_len: 4096,
+                    l2_miss_rate: rng.f64_in(0.0, 1.0),
+                    l2_misses: rng.next() % 10_000,
+                    retired: rng.next() % 1_000_000,
+                }],
+            }
+        })
+        .collect()
+}
+
+/// Every policy the crate ships, fresh per invocation (RandomPolicy is
+/// stateful, so both sides of the comparison get the same seed).
+fn all_policies(seed: u64) -> Vec<Box<dyn AllocationPolicy + Send>> {
+    vec![
+        Box::new(WeightSortPolicy),
+        Box::new(InterferenceGraphPolicy::default()),
+        Box::new(InterferenceGraphPolicy::paper_literal()),
+        Box::new(WeightedInterferenceGraphPolicy::default()),
+        Box::new(WeightedInterferenceGraphPolicy::paper_literal()),
+        Box::new(TwoPhasePolicy::default()),
+        Box::new(DefaultPolicy),
+        Box::new(AffinityPolicy),
+        Box::new(MissRateSortPolicy),
+        Box::new(RandomPolicy::new(seed)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn one_domain_wrapper_is_identity(
+        seed in any::<u64>(),
+        threads in 1usize..10,
+        wide in any::<bool>(),
+    ) {
+        let cores = if wide { 4 } else { 2 };
+        let views = synth_views(seed, threads, cores);
+        let topo = Topology::shared_l2(cores);
+        for (bare, wrapped) in all_policies(seed).into_iter().zip(all_policies(seed)) {
+            let name = bare.name();
+            let mut bare = bare;
+            let expected = bare.allocate(&views, cores);
+            let mut wrapped = DomainAwarePolicy::new(topo, wrapped);
+            let got = wrapped.allocate(&views, cores);
+            prop_assert!(
+                got == expected,
+                "policy {} diverged under a 1-domain wrapper (seed {seed}): {got:?} vs {expected:?}",
+                name
+            );
+        }
+    }
+
+    #[test]
+    fn multi_domain_mapping_is_valid_and_deterministic(
+        seed in any::<u64>(),
+        threads in 1usize..12,
+    ) {
+        // 2x2 topology; signature vectors are domain-local (2 entries).
+        let topo = Topology::uniform(2, 2);
+        let views = synth_views(seed, threads, 2);
+        let run = || {
+            let mut p = DomainAwarePolicy::weighted_ig(topo);
+            p.allocate(&views, 4)
+        };
+        let m = run();
+        prop_assert_eq!(m.len(), threads);
+        for (tid, core) in m.iter() {
+            prop_assert!(core < 4, "tid {tid} mapped off-machine to {core}");
+        }
+        prop_assert_eq!(run(), m);
+    }
+}

@@ -99,15 +99,23 @@ fn signature_step(unit: &mut SignatureUnit, s: &mut AddrStream, i: u64) {
     }
 }
 
-/// A loaded 2-core machine (the paper's 4-on-2 shape) for quantum runs.
-fn quantum_machine() -> Machine {
-    let mut m = Machine::new(MachineConfig::scaled_core2duo(2024));
+/// A loaded `domains`-domain machine: two processes per core, the fig13
+/// workload list cycled across the machine. `domain_machine(1)` is the
+/// paper's 4-on-2 shape on the scaled Core 2 Duo.
+fn domain_machine(domains: usize) -> Machine {
+    let mut m = Machine::new(MachineConfig::scaled_multidomain(2024, domains));
     let l2 = CacheGeometry::scaled_l2().size_bytes;
-    for n in ["gobmk", "hmmer", "libquantum", "povray"] {
-        m.add_process(&spec2006::by_name(n, l2).unwrap());
+    let names = ["gobmk", "hmmer", "libquantum", "povray"];
+    for i in 0..2 * m.config().cores {
+        m.add_process(&spec2006::by_name(names[i % names.len()], l2).unwrap());
     }
     m.start(None);
     m
+}
+
+/// A loaded 2-core machine (the paper's 4-on-2 shape) for quantum runs.
+fn quantum_machine() -> Machine {
+    domain_machine(1)
 }
 
 /// Total memory ops simulated so far (stable per-op progress metric).
@@ -163,6 +171,15 @@ fn criterion_pass(samples: usize) {
         let mut m = quantum_machine();
         b.iter(|| m.run_for(black_box(100_000)))
     });
+
+    // Domain scaling of the same quantum stepping: per-L2 sharding must
+    // not regress the per-op cost as domains (and cores) grow.
+    for d in [2usize, 4] {
+        c.bench_function(&format!("kernel/machine_quantum_d{d}"), |b| {
+            let mut m = domain_machine(d);
+            b.iter(|| m.run_for(black_box(100_000)))
+        });
+    }
 }
 
 // --------------------------------------------------------- measured pass
@@ -189,6 +206,27 @@ fn best_of(reps: u32, mut body: impl FnMut() -> (u64, f64)) -> (u64, f64) {
         }
     }
     best.expect("at least one rep")
+}
+
+/// Step `m` for `cycles` in `chunks` slices; returns total simulated
+/// memory ops and the chunked-min wall estimate (fastest per-op slice
+/// scaled to the whole run).
+fn sliced_quantum(m: &mut Machine, cycles: u64, chunks: u64) -> (u64, f64) {
+    let per = cycles / chunks;
+    let mut best = f64::INFINITY;
+    let mut total_ops = 0u64;
+    for _ in 0..chunks {
+        let before = machine_mem_ops(m);
+        let t0 = Instant::now();
+        m.run_for(per);
+        let dt = t0.elapsed().as_secs_f64();
+        let done = machine_mem_ops(m) - before;
+        if done > 0 {
+            best = best.min(dt / done as f64);
+        }
+        total_ops += done;
+    }
+    (total_ops, best * total_ops as f64)
 }
 
 fn measured_pass(q: bool) {
@@ -239,47 +277,32 @@ fn measured_pass(q: bool) {
     // One long run sliced into `run_for` chunks; fastest slice wins.
     {
         let cycles: u64 = if q { 20_000_000 } else { 400_000_000 };
-        let per = cycles / chunks;
         let mut m = quantum_machine();
-        let mut best = f64::INFINITY;
-        let mut total_ops = 0u64;
-        for _ in 0..chunks {
-            let before = machine_mem_ops(&m);
-            let t0 = Instant::now();
-            m.run_for(per);
-            let dt = t0.elapsed().as_secs_f64();
-            let done = machine_mem_ops(&m) - before;
-            if done > 0 {
-                best = best.min(dt / done as f64);
-            }
-            total_ops += done;
-        }
-        record("machine_quantum", total_ops, best * total_ops as f64);
+        let (total_ops, wall) = sliced_quantum(&mut m, cycles, chunks);
+        record("machine_quantum", total_ops, wall);
     }
 
     // Solo-core quantum: one thread on a 2-core machine — the profiling
     // phase's shape, where batched stepping bypasses the frontier scan.
     {
         let cycles: u64 = if q { 20_000_000 } else { 400_000_000 };
-        let per = cycles / chunks;
         let mut m = Machine::new(MachineConfig::scaled_core2duo(77));
         let l2 = CacheGeometry::scaled_l2().size_bytes;
         m.add_process(&spec2006::mcf(l2));
         m.start(None);
-        let mut best = f64::INFINITY;
-        let mut total_ops = 0u64;
-        for _ in 0..chunks {
-            let before = machine_mem_ops(&m);
-            let t0 = Instant::now();
-            m.run_for(per);
-            let dt = t0.elapsed().as_secs_f64();
-            let done = machine_mem_ops(&m) - before;
-            if done > 0 {
-                best = best.min(dt / done as f64);
-            }
-            total_ops += done;
-        }
-        record("machine_quantum_solo", total_ops, best * total_ops as f64);
+        let (total_ops, wall) = sliced_quantum(&mut m, cycles, chunks);
+        record("machine_quantum_solo", total_ops, wall);
+    }
+
+    // Domain scaling: the loaded-quantum workload on 1/2/4-domain
+    // machines (two processes per core). `machine_domains_1` equals the
+    // `machine_quantum` shape; the 2- and 4-domain points show how
+    // per-L2 sharding costs scale with domain count.
+    for d in [1u64, 2, 4] {
+        let cycles: u64 = if q { 10_000_000 } else { 100_000_000 };
+        let mut m = domain_machine(d as usize);
+        let (total_ops, wall) = sliced_quantum(&mut m, cycles, chunks);
+        record(&format!("machine_domains_{d}"), total_ops, wall);
     }
 
     // End-to-end mini sweep (mix evaluations per second).

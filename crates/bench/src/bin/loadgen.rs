@@ -5,6 +5,7 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7411 [--conns 2] [--seconds 2]
 //!         [--rate 0 (per-conn ingest/s, 0 = unthrottled)]
+//!         [--domains 1 (cache domains of the recorded machine)]
 //!         [--name serve-loadgen] [--shutdown]
 //! ```
 //!
@@ -29,8 +30,8 @@ use std::io::BufReader;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 use symbio::obs::{write_serve_bench_record, ServeBenchRecord};
-use symbio::{Error, ExperimentConfig};
-use symbio_machine::{Machine, SigSnapshot};
+use symbio::{Error, ExperimentConfig, ExperimentConfigBuilder};
+use symbio_machine::{Machine, MachineConfig, SigSnapshot};
 use symbio_serve::{read_frame, write_frame, Request, Response};
 use symbio_workloads::spec2006;
 
@@ -40,11 +41,20 @@ const MAX_RETRIES: u32 = 5;
 const BACKOFF_BASE_MS: f64 = 2.0;
 
 /// Record one profiling interval's worth of snapshots from a live
-/// machine simulation — the trace every connection replays.
-fn record_trace(cfg: &ExperimentConfig) -> Vec<SigSnapshot> {
-    let mut specs: Vec<_> = ["gobmk", "hmmer", "libquantum", "povray"]
-        .iter()
-        .map(|n| spec2006::by_name(n, cfg.machine.l2.size_bytes).expect("known benchmark"))
+/// machine simulation — the trace every connection replays. The machine
+/// is the `domains`-domain scaled multidomain box (1 = the classic
+/// scaled Core 2 Duo) and the workload list is cycled to two processes
+/// per core, so every cache domain carries load.
+fn record_trace(domains: usize) -> symbio::Result<(ExperimentConfig, Vec<SigSnapshot>)> {
+    let cfg = ExperimentConfigBuilder::fast(3)
+        .machine(MachineConfig::scaled_multidomain(3, domains))
+        .build()?;
+    let names = ["gobmk", "hmmer", "libquantum", "povray"];
+    let mut specs: Vec<_> = (0..2 * cfg.machine.cores)
+        .map(|i| {
+            spec2006::by_name(names[i % names.len()], cfg.machine.l2.size_bytes)
+                .expect("known benchmark")
+        })
         .collect();
     for s in &mut specs {
         s.work /= 4;
@@ -66,7 +76,7 @@ fn record_trace(cfg: &ExperimentConfig) -> Vec<SigSnapshot> {
         );
         seq += 1;
     }
-    out
+    Ok((cfg, out))
 }
 
 /// One replay connection (writer + buffered reader halves).
@@ -257,6 +267,7 @@ fn main() -> symbio::Result<()> {
     let mut conns = 2usize;
     let mut seconds = 2.0f64;
     let mut rate = 0.0f64;
+    let mut domains = 1usize;
     let mut name = "serve-loadgen".to_string();
     let mut shutdown = false;
 
@@ -282,6 +293,10 @@ fn main() -> symbio::Result<()> {
                 let v = value()?;
                 rate = v.parse().map_err(|_| bad("--rate", &v))?;
             }
+            "--domains" => {
+                let v = value()?;
+                domains = v.parse().map_err(|_| bad("--domains", &v))?;
+            }
             "--shutdown" => shutdown = true,
             other => return Err(Error::InvalidConfig(format!("unknown flag `{other}`"))),
         }
@@ -296,11 +311,17 @@ fn main() -> symbio::Result<()> {
             "--conns must be >= 1 and --seconds > 0".to_string(),
         ));
     }
+    if domains == 0 {
+        return Err(Error::InvalidConfig("--domains must be >= 1".to_string()));
+    }
 
-    let trace = record_trace(&ExperimentConfig::fast(3));
+    let (cfg, trace) = record_trace(domains)?;
     println!(
-        "loadgen: replaying a {}-epoch trace over {conns} connection(s) for {seconds}s",
-        trace.len()
+        "loadgen: replaying a {}-epoch trace from a {}-domain / {}-core machine \
+         over {conns} connection(s) for {seconds}s",
+        trace.len(),
+        cfg.machine.topology.domains(),
+        cfg.machine.cores
     );
 
     let started = Instant::now();
@@ -375,9 +396,11 @@ fn main() -> symbio::Result<()> {
         record.degraded
     );
     println!(
-        "loadgen: daemon served {} requests total ({} errors); record merged into {}",
+        "loadgen: daemon served {} requests total ({} errors, domain_remaps {:?}); \
+         record merged into {}",
         metrics.serve_requests,
         metrics.serve_errors,
+        metrics.domain_remaps,
         path.display()
     );
     Ok(())

@@ -1,4 +1,4 @@
-//! Per-core L1s over a shared or private L2, backed by DRAM.
+//! Per-core L1s over per-domain shared L2s, backed by DRAM.
 
 use crate::addr::Address;
 use crate::dram::Dram;
@@ -6,6 +6,7 @@ use crate::geometry::CacheGeometry;
 use crate::replacement::ReplacementPolicy;
 use crate::setassoc::SetAssocCache;
 use crate::stats::CacheStats;
+use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 use symbio_cbf::CacheEventSink;
 
@@ -14,7 +15,7 @@ use symbio_cbf::CacheEventSink;
 pub enum AccessLevel {
     /// Private L1 hit.
     L1,
-    /// L2 hit (shared or private, per topology).
+    /// L2 hit (the requesting core's domain L2).
     L2,
     /// Missed to memory.
     Memory,
@@ -31,59 +32,74 @@ pub struct AccessResponse {
     pub dram_cycles: u64,
 }
 
-/// L2 arrangement of the simulated machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Topology {
-    /// One L2 shared by every core (Intel Core 2 Duo — the paper's main
-    /// evaluation machine).
-    SharedL2,
-    /// One private L2 per core (P4 Xeon SMP — the Figure 3(a) control).
-    PrivateL2,
-}
-
-/// The full memory system below the cores.
+/// The full memory system below the cores: one L2 per cache domain, with
+/// each domain's cores sharing it (see [`Topology`]).
 ///
 /// Signature events ([`CacheEventSink`]) are emitted for the L2 level only —
-/// the paper's signature unit monitors the shared L2. In `PrivateL2` mode
-/// events still fire (tagged with the requesting core) but carry no
-/// cross-core information, matching the fact that the mechanism targets
-/// shared caches.
+/// the paper's signature unit monitors the shared L2. The core id handed to
+/// the sink is **domain-local** (`0..domain.cores`): each domain has its own
+/// signature filter bank sized to its own core count, so events never carry
+/// another domain's core numbering. On a single-domain machine local and
+/// global ids coincide.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     topology: Topology,
     cores: usize,
     l1: Vec<SetAssocCache>,
+    /// One L2 per domain.
     l2: Vec<SetAssocCache>,
+    /// Global core id → owning domain.
+    domain_of: Vec<usize>,
+    /// Domain → first global core id.
+    domain_start: Vec<usize>,
     dram: Dram,
 }
 
 impl MemorySystem {
-    /// Build a memory system. `l2_geo` is the geometry of *each* L2 (the
-    /// single shared one, or each private one).
+    /// Build a memory system over `topology`. `l2_geo` is the geometry of
+    /// *each* domain L2.
+    ///
+    /// Seeding: a single-domain machine seeds its L2 with `seed ^ 0x12`
+    /// and a multi-domain machine seeds domain `d` with `seed ^ (0x100 + d)`
+    /// — exactly reproducing the pre-topology shared-L2 and private-L2
+    /// cache streams, so single-domain behaviour is bit-identical to the
+    /// old two-shape code.
     pub fn new(
         topology: Topology,
-        cores: usize,
         l1_geo: CacheGeometry,
         l2_geo: CacheGeometry,
         policy: ReplacementPolicy,
         dram: Dram,
         seed: u64,
     ) -> Self {
+        let cores = topology.cores();
         assert!(cores >= 1);
         let l1 = (0..cores)
             .map(|i| SetAssocCache::new(l1_geo, policy, 1, seed ^ (i as u64 + 1)))
             .collect();
-        let l2 = match topology {
-            Topology::SharedL2 => vec![SetAssocCache::new(l2_geo, policy, cores, seed ^ 0x12)],
-            Topology::PrivateL2 => (0..cores)
-                .map(|i| SetAssocCache::new(l2_geo, policy, cores, seed ^ (0x100 + i as u64)))
-                .collect(),
-        };
+        let l2: Vec<SetAssocCache> = (0..topology.domains())
+            .map(|d| {
+                let l2_seed = if topology.is_single() {
+                    seed ^ 0x12
+                } else {
+                    seed ^ (0x100 + d as u64)
+                };
+                // Every domain L2 keeps one stats slot per *global* core:
+                // stats stay addressable by global id from any layer above.
+                SetAssocCache::new(l2_geo, policy, cores, l2_seed)
+            })
+            .collect();
+        let domain_of = (0..cores).map(|c| topology.domain_of(c)).collect();
+        let domain_start = (0..topology.domains())
+            .map(|d| topology.core_start(d))
+            .collect();
         MemorySystem {
             topology,
             cores,
             l1,
             l2,
+            domain_of,
+            domain_start,
             dram,
         }
     }
@@ -91,8 +107,7 @@ impl MemorySystem {
     /// Convenience constructor for the scaled Core-2-Duo shared-L2 machine.
     pub fn scaled_shared(cores: usize, seed: u64) -> Self {
         MemorySystem::new(
-            Topology::SharedL2,
-            cores,
+            Topology::shared_l2(cores),
             CacheGeometry::scaled_l1(),
             CacheGeometry::scaled_l2(),
             ReplacementPolicy::Lru,
@@ -111,20 +126,18 @@ impl MemorySystem {
         self.cores
     }
 
+    #[inline]
     fn l2_index(&self, core: usize) -> usize {
-        match self.topology {
-            Topology::SharedL2 => 0,
-            Topology::PrivateL2 => core,
-        }
+        self.domain_of[core]
     }
 
-    /// Access the hierarchy on behalf of `core` at cycle `now`.
+    /// Access the hierarchy on behalf of (global) `core` at cycle `now`.
     ///
-    /// Fill path: L1 miss → L2; L2 miss → DRAM fetch, fill L2 (emitting
-    /// `on_fill`, and `on_evict` + writeback for the victim), fill L1.
-    /// Caches are non-inclusive; L2 victims do not back-invalidate L1s
-    /// (process-namespaced addresses make stale L1 lines harmless, they
-    /// simply age out).
+    /// Fill path: L1 miss → the core's domain L2; L2 miss → DRAM fetch,
+    /// fill L2 (emitting `on_fill`, and `on_evict` + writeback for the
+    /// victim), fill L1. Caches are non-inclusive; L2 victims do not
+    /// back-invalidate L1s (process-namespaced addresses make stale L1
+    /// lines harmless, they simply age out).
     #[inline]
     pub fn access(
         &mut self,
@@ -157,7 +170,10 @@ impl MemorySystem {
             sink.on_evict(ev.block, ev.loc);
         }
         let line_shift = self.l2[l2i].geometry().line_shift();
-        sink.on_fill(core, addr.block(line_shift), out.loc);
+        // The sink is the domain's own filter bank: report the
+        // domain-local core id.
+        let local_core = core - self.domain_start[l2i];
+        sink.on_fill(local_core, addr.block(line_shift), out.loc);
         let dram_cycles = self.dram.fetch(now);
         AccessResponse {
             level: AccessLevel::Memory,
@@ -170,8 +186,7 @@ impl MemorySystem {
         self.l1[core].stats(0)
     }
 
-    /// L2 stats as seen from a core (its private L2, or its slice of the
-    /// shared one).
+    /// L2 stats as seen from a (global) core: its slice of its domain L2.
     pub fn l2_stats(&self, core: usize) -> &CacheStats {
         let l2i = self.l2_index(core);
         self.l2[l2i].stats(core)
@@ -182,12 +197,12 @@ impl MemorySystem {
         self.l2[self.l2_index(core)].resident_lines_of(core)
     }
 
-    /// Ground-truth count of valid lines in the (first) L2.
+    /// Ground-truth count of valid lines across every domain L2.
     pub fn l2_resident_total(&self) -> u64 {
         self.l2.iter().map(|c| c.resident_lines()).sum()
     }
 
-    /// The shared L2's geometry (or each private L2's — they're identical).
+    /// The L2 geometry (identical across domains).
     pub fn l2_geometry(&self) -> &CacheGeometry {
         self.l2[0].geometry()
     }
@@ -263,8 +278,7 @@ mod tests {
     #[test]
     fn private_l2_does_not_share() {
         let mut m = MemorySystem::new(
-            Topology::PrivateL2,
-            2,
+            Topology::private_l2(2),
             CacheGeometry::scaled_l1(),
             CacheGeometry::scaled_l2(),
             ReplacementPolicy::Lru,
@@ -275,6 +289,28 @@ mod tests {
         m.access(0, Address(0x1000), false, 0, &mut sink);
         let r = m.access(1, Address(0x1000), false, 5, &mut sink);
         assert_eq!(r.level, AccessLevel::Memory, "private L2s are isolated");
+    }
+
+    #[test]
+    fn domains_isolate_but_share_within() {
+        // 2 domains x 2 cores: cores 0,1 share an L2; cores 2,3 share the
+        // other; nothing crosses the domain boundary.
+        let mut m = MemorySystem::new(
+            Topology::uniform(2, 2),
+            CacheGeometry::scaled_l1(),
+            CacheGeometry::scaled_l2(),
+            ReplacementPolicy::Lru,
+            Dram::default_model(),
+            7,
+        );
+        let mut sink = NullSink;
+        m.access(0, Address(0x1000), false, 0, &mut sink);
+        let within = m.access(1, Address(0x1000), false, 5, &mut sink);
+        assert_eq!(within.level, AccessLevel::L2, "same-domain cores share");
+        let across = m.access(2, Address(0x1000), false, 10, &mut sink);
+        assert_eq!(across.level, AccessLevel::Memory, "domains are isolated");
+        let within_b = m.access(3, Address(0x1000), false, 15, &mut sink);
+        assert_eq!(within_b.level, AccessLevel::L2);
     }
 
     #[test]
@@ -296,6 +332,36 @@ mod tests {
         }
         assert_eq!(unit.fills(), 100);
         assert!(unit.core_occupancy(0) > 0);
+        assert_eq!(unit.core_occupancy(1), 0);
+    }
+
+    #[test]
+    fn sink_core_ids_are_domain_local() {
+        use symbio_cbf::{HashKind, Sampling, SignatureConfig, SignatureUnit};
+        // A 2x2 machine: core 2 is local core 0 of domain 1, so a
+        // domain-1 filter bank sized for 2 cores sees its fills as core 0.
+        let mut m = MemorySystem::new(
+            Topology::uniform(2, 2),
+            CacheGeometry::scaled_l1(),
+            CacheGeometry::scaled_l2(),
+            ReplacementPolicy::Lru,
+            Dram::default_model(),
+            11,
+        );
+        let geo = *m.l2_geometry();
+        let mut unit = SignatureUnit::new(SignatureConfig {
+            cores: 2,
+            sets: geo.sets(),
+            ways: geo.ways,
+            line_shift: geo.line_shift(),
+            counter_bits: 8,
+            hash: HashKind::Xor,
+            sampling: Sampling::FULL,
+        });
+        for i in 0..50u64 {
+            m.access(2, Address(i * 64), false, i, &mut unit);
+        }
+        assert!(unit.core_occupancy(0) > 0, "global core 2 is local core 0");
         assert_eq!(unit.core_occupancy(1), 0);
     }
 

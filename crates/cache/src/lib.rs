@@ -29,11 +29,13 @@ pub mod replacement;
 pub mod set;
 pub mod setassoc;
 pub mod stats;
+pub mod topology;
 
 pub use addr::Address;
 pub use dram::Dram;
 pub use geometry::CacheGeometry;
-pub use hierarchy::{AccessLevel, AccessResponse, MemorySystem, Topology};
+pub use hierarchy::{AccessLevel, AccessResponse, MemorySystem};
 pub use replacement::ReplacementPolicy;
 pub use setassoc::SetAssocCache;
 pub use stats::CacheStats;
+pub use topology::{CacheDomain, Topology, MAX_DOMAINS};

@@ -1,0 +1,263 @@
+//! Cache-domain topology: how cores are sharded across shared L2s.
+//!
+//! A [`Topology`] is an ordered list of [`CacheDomain`]s. Each domain is
+//! one shared L2 (with its own signature filter bank) plus the contiguous
+//! run of global core ids that sit in front of it: domain 0 owns cores
+//! `0..d0`, domain 1 owns `d0..d0+d1`, and so on. The two historical
+//! machine shapes are the degenerate cases:
+//!
+//! * one domain spanning every core — the shared-L2 Core 2 Duo;
+//! * one single-core domain per core — the private-L2 P4 SMP control.
+//!
+//! The type is `Copy` on purpose: `MachineConfig` (and everything built
+//! on it — experiment configs, sweep closures, memo keys) passes machine
+//! descriptions by value, so the domain list is stored inline as a fixed
+//! array of per-domain core counts rather than a heap `Vec`. The cap
+//! ([`MAX_DOMAINS`]) is far above anything the scaled machines model.
+//! Unused slots are kept zeroed so derived `PartialEq`/`Hash` see a
+//! canonical representation.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Maximum number of cache domains a [`Topology`] can describe.
+pub const MAX_DOMAINS: usize = 16;
+
+/// One shared-L2 domain: a cache plus the cores in front of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheDomain {
+    /// Number of cores sharing this domain's L2.
+    pub cores: usize,
+}
+
+/// The machine's cache-domain layout (see the module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// Per-domain core counts; slots at `len..` stay zero.
+    counts: [u16; MAX_DOMAINS],
+    len: u8,
+}
+
+impl Topology {
+    /// Build a topology from per-domain core counts.
+    ///
+    /// Errors (rather than panics) on an empty list, a zero-core domain,
+    /// or more than [`MAX_DOMAINS`] domains — `MachineConfig::validate`
+    /// surfaces these as typed configuration errors.
+    pub fn from_counts(counts: &[usize]) -> Result<Topology, String> {
+        if counts.is_empty() {
+            return Err("topology needs at least one domain".to_string());
+        }
+        if counts.len() > MAX_DOMAINS {
+            return Err(format!(
+                "topology has {} domains; at most {MAX_DOMAINS} supported",
+                counts.len()
+            ));
+        }
+        let mut t = Topology {
+            counts: [0; MAX_DOMAINS],
+            len: counts.len() as u8,
+        };
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                return Err(format!("domain {i} has zero cores"));
+            }
+            if c > u16::MAX as usize {
+                return Err(format!("domain {i} has implausibly many cores ({c})"));
+            }
+            t.counts[i] = c as u16;
+        }
+        Ok(t)
+    }
+
+    /// Build from explicit [`CacheDomain`]s.
+    pub fn new(domains: &[CacheDomain]) -> Result<Topology, String> {
+        let counts: Vec<usize> = domains.iter().map(|d| d.cores).collect();
+        Topology::from_counts(&counts)
+    }
+
+    /// One L2 shared by every core (the Core 2 Duo shape).
+    pub fn shared_l2(cores: usize) -> Topology {
+        Topology::from_counts(&[cores]).expect("cores >= 1")
+    }
+
+    /// One private L2 per core (the P4 SMP shape).
+    pub fn private_l2(cores: usize) -> Topology {
+        assert!(cores >= 1, "cores >= 1");
+        Topology::from_counts(&vec![1; cores]).expect("within domain cap")
+    }
+
+    /// `domains` identical domains of `cores_per_domain` cores each.
+    pub fn uniform(domains: usize, cores_per_domain: usize) -> Topology {
+        Topology::from_counts(&vec![cores_per_domain; domains]).expect("valid uniform topology")
+    }
+
+    /// Number of domains.
+    pub fn domains(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the machine is a single interference domain.
+    pub fn is_single(&self) -> bool {
+        self.len == 1
+    }
+
+    /// The `d`-th domain.
+    pub fn domain(&self, d: usize) -> CacheDomain {
+        assert!(d < self.domains(), "domain {d} out of range");
+        CacheDomain {
+            cores: self.counts[d] as usize,
+        }
+    }
+
+    /// Iterate the domains in order.
+    pub fn iter(&self) -> impl Iterator<Item = CacheDomain> + '_ {
+        (0..self.domains()).map(|d| self.domain(d))
+    }
+
+    /// Total cores across every domain.
+    pub fn cores(&self) -> usize {
+        (0..self.domains()).map(|d| self.counts[d] as usize).sum()
+    }
+
+    /// First global core id of domain `d`.
+    pub fn core_start(&self, d: usize) -> usize {
+        assert!(d < self.domains(), "domain {d} out of range");
+        (0..d).map(|i| self.counts[i] as usize).sum()
+    }
+
+    /// Global core ids of domain `d`.
+    pub fn core_range(&self, d: usize) -> std::ops::Range<usize> {
+        let start = self.core_start(d);
+        start..start + self.counts[d] as usize
+    }
+
+    /// Domain owning global core `core`.
+    pub fn domain_of(&self, core: usize) -> usize {
+        let mut start = 0;
+        for d in 0..self.domains() {
+            start += self.counts[d] as usize;
+            if core < start {
+                return d;
+            }
+        }
+        panic!("core {core} out of range for {self:?}");
+    }
+
+    /// Domain-local index of global core `core`.
+    pub fn local_core(&self, core: usize) -> usize {
+        core - self.core_start(self.domain_of(core))
+    }
+
+    /// Per-domain core counts as a plain vector (the wire shape).
+    pub fn domain_counts(&self) -> Vec<usize> {
+        (0..self.domains())
+            .map(|d| self.counts[d] as usize)
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Topology{:?}", self.domain_counts())
+    }
+}
+
+// Serialized as the plain list of per-domain core counts (`[2]`, `[1,1]`,
+// `[2,2]`…), so memo keys and wire frames stay compact and the inline
+// array representation never leaks.
+impl Serialize for Topology {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.domain_counts()
+                .into_iter()
+                .map(|c| Value::U64(c as u64))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let Value::Array(items) = v else {
+            return Err(DeError::msg(format!(
+                "expected array of domain core counts, got {v:?}"
+            )));
+        };
+        let mut counts = Vec::with_capacity(items.len());
+        for item in items {
+            counts.push(usize::from_value(item)?);
+        }
+        Topology::from_counts(&counts).map_err(DeError::msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_shapes() {
+        let shared = Topology::shared_l2(2);
+        assert_eq!(shared.domains(), 1);
+        assert!(shared.is_single());
+        assert_eq!(shared.cores(), 2);
+        assert_eq!(shared.domain_of(1), 0);
+        assert_eq!(shared.core_range(0), 0..2);
+
+        let private = Topology::private_l2(4);
+        assert_eq!(private.domains(), 4);
+        assert_eq!(private.cores(), 4);
+        assert_eq!(private.domain_of(3), 3);
+        assert_eq!(private.local_core(3), 0);
+    }
+
+    #[test]
+    fn multi_domain_indexing() {
+        let t = Topology::from_counts(&[2, 3, 1]).unwrap();
+        assert_eq!(t.cores(), 6);
+        assert_eq!(t.domains(), 3);
+        assert_eq!(t.core_start(1), 2);
+        assert_eq!(t.core_range(1), 2..5);
+        assert_eq!(t.domain_of(0), 0);
+        assert_eq!(t.domain_of(4), 1);
+        assert_eq!(t.domain_of(5), 2);
+        assert_eq!(t.local_core(4), 2);
+        assert_eq!(t.domain(1), CacheDomain { cores: 3 });
+        assert_eq!(t.iter().map(|d| d.cores).collect::<Vec<_>>(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn uniform_builder() {
+        let t = Topology::uniform(4, 2);
+        assert_eq!(t.domain_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(t.cores(), 8);
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        assert!(Topology::from_counts(&[]).is_err());
+        assert!(Topology::from_counts(&[2, 0]).is_err());
+        assert!(Topology::from_counts(&[1; MAX_DOMAINS + 1]).is_err());
+        assert!(Topology::from_counts(&[1; MAX_DOMAINS]).is_ok());
+    }
+
+    #[test]
+    fn equality_is_canonical() {
+        // Two topologies built different ways compare equal when their
+        // domain lists agree (unused slots stay zeroed).
+        assert_eq!(Topology::shared_l2(2), Topology::from_counts(&[2]).unwrap());
+        assert_eq!(Topology::uniform(2, 1), Topology::private_l2(2));
+        assert_ne!(Topology::shared_l2(2), Topology::private_l2(2));
+    }
+
+    #[test]
+    fn serializes_as_count_list() {
+        let t = Topology::uniform(2, 2);
+        let text = serde_json::to_string(&t).unwrap();
+        assert_eq!(text, "[2,2]");
+        let back: Topology = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, t);
+        assert!(serde_json::from_str::<Topology>("[]").is_err());
+        assert!(serde_json::from_str::<Topology>("[2,0]").is_err());
+    }
+}

@@ -151,17 +151,24 @@ impl ExperimentConfigBuilder {
     /// Validate and produce the configuration.
     ///
     /// Checks:
+    /// * the machine itself is structurally sound
+    ///   ([`MachineConfig::validate`]: at least one core, topology core
+    ///   counts summing to `cores`) — surfaced as
+    ///   [`Error::Validation`](crate::Error::Validation) so an
+    ///   inconsistent machine is rejected here instead of panicking
+    ///   downstream in `Machine::new`;
     /// * `interval` is nonzero and no longer than `profile_cycles`
     ///   (otherwise the allocator is never invoked and phase 1 decides
     ///   nothing);
     /// * `measure_repeats >= 1` (phase 2 averages over repeats);
-    /// * the quantum/warm-up coupling of DESIGN.md §7.6: a full L2 refill
+    /// * the quantum/warm-up coupling of DESIGN.md §9.6: a full L2 refill
     ///   (`l2 lines × DRAM service interval`) must cost no more than ~10 %
     ///   of the effective scheduling quantum, otherwise context-switch
     ///   warm-up dominates and swamps the cache-sharing effects the
     ///   experiment is supposed to isolate.
     pub fn build(self) -> crate::Result<ExperimentConfig> {
         let c = &self.cfg;
+        c.machine.validate().map_err(crate::Error::Validation)?;
         if c.interval == 0 {
             return Err(crate::Error::InvalidConfig(
                 "allocator interval must be nonzero".into(),
@@ -185,7 +192,7 @@ impl ExperimentConfigBuilder {
             return Err(crate::Error::InvalidConfig(format!(
                 "quantum {} cycles is too short for this L2: a full refill costs \
                  ~{} cycles (> 10% of the quantum), so context-switch warm-up would \
-                 dominate the measurements (DESIGN.md \u{a7}7.6)",
+                 dominate the measurements (DESIGN.md \u{a7}9.6)",
                 quantum, refill
             )));
         }
@@ -255,15 +262,37 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_invalid_machines() {
+        use symbio_machine::{MachineConfig, Topology};
+        // Zero cores.
+        let mut m = MachineConfig::scaled_core2duo(3);
+        m.cores = 0;
+        let e = ExperimentConfig::builder(3).machine(m).build().unwrap_err();
+        assert!(
+            matches!(e, crate::Error::Validation(_)),
+            "expected Validation, got {e}"
+        );
+        // Topology/core-count mismatch.
+        let mut m = MachineConfig::scaled_core2duo(3);
+        m.topology = Topology::uniform(2, 2); // 4 cores vs cores: 2
+        let e = ExperimentConfig::builder(3).machine(m).build().unwrap_err();
+        assert!(matches!(e, crate::Error::Validation(_)), "{e}");
+        assert!(e.to_string().contains("sum to 4"), "{e}");
+        // A consistent multi-domain machine passes.
+        let m = MachineConfig::scaled_multidomain(3, 2);
+        assert!(ExperimentConfig::builder(3).machine(m).build().is_ok());
+    }
+
+    #[test]
     fn builder_enforces_quantum_warmup_coupling() {
         // The full-size L2 with the scaled quantum violates DESIGN.md
-        // §7.6: refilling 65536 lines costs far more than 10% of 2.5M
+        // §9.6: refilling 65536 lines costs far more than 10% of 2.5M
         // cycles.
         let e = ExperimentConfig::builder(2)
             .machine(symbio_machine::MachineConfig::full_core2duo(2))
             .build()
             .unwrap_err();
-        assert!(e.to_string().contains("7.6"), "{e}");
+        assert!(e.to_string().contains("9.6"), "{e}");
         // Scaling the quantum up proportionally fixes it.
         let mut m = symbio_machine::MachineConfig::full_core2duo(2);
         m.quantum *= 16;

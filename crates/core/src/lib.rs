@@ -76,4 +76,6 @@ pub use obs::{
     Trace,
 };
 pub use pipeline::{MixResult, Pipeline, ProfileResult};
-pub use sweep::{sweep_multithreaded, sweep_pool, SweepEngine, SweepOptions, SweepOutcome};
+pub use sweep::{
+    sweep_multithreaded, sweep_pool, DomainPoint, SweepEngine, SweepOptions, SweepOutcome,
+};

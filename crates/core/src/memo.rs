@@ -203,6 +203,14 @@ mod tests {
             base,
             measure_key(&cfg, 100, 5, 3, RunKind::SingleThreaded, &specs[..4], &m2)
         );
+        // Different topology at the same core count (shared vs private
+        // L2): measurements on differently-sharded machines never collide.
+        let mut cfg3 = MachineConfig::scaled_core2duo(7);
+        cfg3.topology = symbio_machine::Topology::private_l2(2);
+        assert_ne!(
+            base,
+            measure_key(&cfg3, 100, 5, 3, RunKind::SingleThreaded, &specs[..4], &m)
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+use symbio_cache::MAX_DOMAINS;
 
 // ------------------------------------------------------------- counters
 
@@ -57,6 +58,11 @@ pub struct Counters {
     pub degraded_replies: AtomicU64,
     /// Bytes appended to (or replayed from) the epoch journal.
     pub journal_bytes: AtomicU64,
+    /// Per-cache-domain committed mapping changes (initial adoptions and
+    /// remaps, indexed by domain). A slot only moves when the online
+    /// engine actually touched that domain, so a healthy multi-domain
+    /// replay shows activity precisely where remaps landed.
+    pub domain_remaps: [AtomicU64; MAX_DOMAINS],
 }
 
 /// Plain-data snapshot of [`Counters`] for serialization.
@@ -94,6 +100,10 @@ pub struct CounterSnapshot {
     pub degraded_replies: u64,
     /// See [`Counters::journal_bytes`].
     pub journal_bytes: u64,
+    /// See [`Counters::domain_remaps`]. Trailing all-zero slots are
+    /// trimmed, so single-domain deployments report `[n]` and a 2-domain
+    /// replay reports e.g. `[3, 2]`.
+    pub domain_remaps: Vec<u64>,
 }
 
 impl Counters {
@@ -106,6 +116,15 @@ impl Counters {
     /// synchronization).
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a committed mapping change in cache domain `d`. Domains
+    /// beyond [`MAX_DOMAINS`] (only reachable from hostile wire input)
+    /// are dropped rather than panicking the server.
+    pub fn bump_domain_remap(&self, d: usize) {
+        if let Some(slot) = self.domain_remaps.get(d) {
+            Counters::add(slot, 1);
+        }
     }
 
     /// Consistent-enough point-in-time copy.
@@ -127,6 +146,17 @@ impl Counters {
             quarantine_trips: self.quarantine_trips.load(Ordering::Relaxed),
             degraded_replies: self.degraded_replies.load(Ordering::Relaxed),
             journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
+            domain_remaps: {
+                let mut v: Vec<u64> = self
+                    .domain_remaps
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect();
+                while v.last() == Some(&0) {
+                    v.pop();
+                }
+                v
+            },
         }
     }
 }
@@ -449,6 +479,19 @@ mod tests {
         let back: CounterSnapshot =
             serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn domain_remaps_trim_trailing_zeros() {
+        let c = Counters::new();
+        assert!(c.snapshot().domain_remaps.is_empty());
+        c.bump_domain_remap(0);
+        c.bump_domain_remap(2);
+        c.bump_domain_remap(2);
+        assert_eq!(c.snapshot().domain_remaps, vec![1, 0, 2]);
+        // Out-of-range domains are dropped, not a panic.
+        c.bump_domain_remap(MAX_DOMAINS + 5);
+        assert_eq!(c.snapshot().domain_remaps, vec![1, 0, 2]);
     }
 
     #[test]

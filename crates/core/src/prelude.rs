@@ -12,12 +12,14 @@ pub use crate::obs::{
 };
 pub use crate::pipeline::{MixResult, Pipeline, ProfileResult};
 pub use crate::report;
-pub use crate::sweep::{sweep_multithreaded, sweep_pool, SweepEngine, SweepOptions, SweepOutcome};
+pub use crate::sweep::{
+    sweep_multithreaded, sweep_pool, DomainPoint, SweepEngine, SweepOptions, SweepOutcome,
+};
 
 pub use symbio_allocator::{
-    AffinityPolicy, AllocationPolicy, DefaultPolicy, InterferenceGraphPolicy, InterferenceMetric,
-    MissRateSortPolicy, PairwisePolicy, PartitionMethod, RandomPolicy, TwoPhasePolicy,
-    WeightSortPolicy, WeightedInterferenceGraphPolicy,
+    AffinityPolicy, AllocationPolicy, DefaultPolicy, DomainAwarePolicy, InterferenceGraphPolicy,
+    InterferenceMetric, MissRateSortPolicy, PairwisePolicy, PartitionMethod, RandomPolicy,
+    TwoPhasePolicy, WeightSortPolicy, WeightedInterferenceGraphPolicy,
 };
 pub use symbio_cache::{CacheGeometry, ReplacementPolicy, Topology};
 pub use symbio_cbf::{HashKind, Sampling, SignatureConfig, SignatureUnit};

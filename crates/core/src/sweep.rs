@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
 use symbio_allocator::AllocationPolicy;
-use symbio_machine::Mapping;
+use symbio_machine::{MachineConfig, Mapping, Topology};
 use symbio_workloads::{ThreadSpec, WorkloadSpec};
 
 /// Options controlling a sweep.
@@ -64,6 +64,67 @@ pub struct SweepOutcome {
     pub grand_avg: f64,
     /// Largest single improvement observed (the paper's "up to 54 %").
     pub grand_max: f64,
+}
+
+/// One evaluated point of a domain-scaling run
+/// ([`SweepEngine::run_domain_scaling`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainPoint {
+    /// Cache-domain count of this point's machine.
+    pub domains: usize,
+    /// Total cores (`2 × domains` on the scaled multidomain machine).
+    pub cores: usize,
+    /// Processes per mix at this point (two per core, fig13-style).
+    pub mix_size: usize,
+    /// The point's aggregated sweep outcome.
+    pub outcome: SweepOutcome,
+}
+
+/// The bounded phase-2 mapping set shared by the reference-measured sweep
+/// shapes: the OS default round-robin placement, `n_reference` seeded
+/// random balanced placements (deduplicated by partition), and `winner`
+/// if it is not already present. Deterministic in (`seed`, `mix`).
+fn reference_mappings(
+    seed: u64,
+    mix: &[usize],
+    total_threads: usize,
+    cores: usize,
+    n_reference: usize,
+    winner: &Mapping,
+) -> Vec<Mapping> {
+    let mut mappings = vec![Mapping::round_robin(total_threads, cores)];
+    let mut rng = seed ^ mix.iter().fold(0u64, |a, &i| a * 31 + i as u64) | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    while mappings.len() < 1 + n_reference {
+        let mut order: Vec<usize> = (0..total_threads).collect();
+        for i in (1..total_threads).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut cores_by_tid = vec![0usize; total_threads];
+        for (rank, &t) in order.iter().enumerate() {
+            cores_by_tid[t] = rank % cores;
+        }
+        let m = Mapping::new(cores_by_tid);
+        if mappings
+            .iter()
+            .all(|x| x.partition_key(cores) != m.partition_key(cores))
+        {
+            mappings.push(m);
+        }
+    }
+    if mappings
+        .iter()
+        .all(|x| x.partition_key(cores) != winner.partition_key(cores))
+    {
+        mappings.push(winner.clone());
+    }
+    mappings
 }
 
 fn aggregate(results: Vec<MixResult>) -> SweepOutcome {
@@ -344,41 +405,14 @@ impl<'a> SweepEngine<'a> {
             let total_threads = specs.len() * threads;
             let mut policy = make_policy();
             let profile = pipeline.profile_multithreaded(&specs, threads, policy.as_mut());
-
-            // Reference mapping set (deduplicated by partition).
-            let mut mappings = vec![Mapping::round_robin(total_threads, cores)];
-            let mut rng = cfg.machine.seed ^ mix.iter().fold(0u64, |a, &i| a * 31 + i as u64) | 1;
-            let mut next = move || {
-                rng ^= rng << 13;
-                rng ^= rng >> 7;
-                rng ^= rng << 17;
-                rng
-            };
-            while mappings.len() < 1 + n_reference {
-                let mut order: Vec<usize> = (0..total_threads).collect();
-                for i in (1..total_threads).rev() {
-                    let j = (next() % (i as u64 + 1)) as usize;
-                    order.swap(i, j);
-                }
-                let mut cores_by_tid = vec![0usize; total_threads];
-                for (rank, &t) in order.iter().enumerate() {
-                    cores_by_tid[t] = rank % cores;
-                }
-                let m = Mapping::new(cores_by_tid);
-                if mappings
-                    .iter()
-                    .all(|x| x.partition_key(cores) != m.partition_key(cores))
-                {
-                    mappings.push(m);
-                }
-            }
-            if mappings
-                .iter()
-                .all(|x| x.partition_key(cores) != profile.winner.partition_key(cores))
-            {
-                mappings.push(profile.winner.clone());
-            }
-
+            let mappings = reference_mappings(
+                cfg.machine.seed,
+                mix,
+                total_threads,
+                cores,
+                n_reference,
+                &profile.winner,
+            );
             let user_cycles: Vec<Vec<u64>> = mappings
                 .iter()
                 .map(|m| {
@@ -396,6 +430,116 @@ impl<'a> SweepEngine<'a> {
                 policy: policy.name().to_string(),
             }
         })
+    }
+
+    /// Evaluate fig13-style mixes (two single-threaded processes per
+    /// core) on the [`MachineConfig::scaled_multidomain`] family, one
+    /// point per entry of `domain_counts` — the domain-scaling axis.
+    ///
+    /// At each point the engine's machine template is replaced by the
+    /// `d`-domain scaled machine (the experiment parameters — profiling
+    /// length, interval, measurement repeats — carry over, and the seed is
+    /// taken from the engine's machine). `make_policy` receives the
+    /// point's [`Topology`] so callers can build a
+    /// `DomainAwarePolicy` around it; measurement memoization keys
+    /// include the topology, so points never share cache entries.
+    ///
+    /// Beyond one domain the balanced-mapping space is far too large to
+    /// enumerate (105 partitions at 8-on-4 already), so each mix is
+    /// measured over the bounded reference set of
+    /// [`SweepEngine::run_multithreaded`]: round-robin, `n_reference`
+    /// seeded random balanced placements, and the policy's choice. Mixes
+    /// are `C(pool, 2·cores)` combinations when the pool is large enough,
+    /// otherwise strided cyclic rotations of the pool (the loadgen
+    /// convention), so a 12-benchmark pool still drives a 4-domain point.
+    ///
+    /// Returns `Ok(None)` iff the run was cancelled. A named engine
+    /// writes one trace / bench record per point, suffixed `-d{domains}`.
+    pub fn run_domain_scaling(
+        &self,
+        pool: &[WorkloadSpec],
+        domain_counts: &[usize],
+        make_policy: &(dyn Fn(Topology) -> Box<dyn AllocationPolicy> + Sync),
+        n_reference: usize,
+    ) -> crate::Result<Option<Vec<DomainPoint>>> {
+        let mut points = Vec::new();
+        for &d in domain_counts {
+            if d == 0 {
+                return Err(crate::Error::InvalidConfig(
+                    "domain-scaling points need at least one domain".into(),
+                ));
+            }
+            let machine = MachineConfig::scaled_multidomain(self.cfg.machine.seed, d);
+            let topo = machine.topology;
+            let mix_size = 2 * machine.cores;
+            let sub = SweepEngine {
+                cfg: ExperimentConfig {
+                    machine,
+                    ..self.cfg
+                },
+                opts: SweepOptions {
+                    mix_size,
+                    ..self.opts
+                },
+                chunk: self.chunk,
+                name: self.name.as_ref().map(|n| format!("{n}-d{d}")),
+                memo: self.memo.clone(),
+                counters: Arc::clone(&self.counters),
+                timings: Arc::clone(&self.timings),
+                cancel: self.cancel,
+                progress: self.progress,
+            };
+            let pipeline = sub.pipeline();
+            pipeline.check_mix_size(mix_size)?;
+            let stride = sub.opts.stride.max(1);
+            let picked: Vec<Vec<usize>> = if mix_size <= pool.len() {
+                mixes_of(pool.len(), mix_size)
+                    .into_iter()
+                    .step_by(stride)
+                    .collect()
+            } else {
+                (0..pool.len())
+                    .step_by(stride)
+                    .map(|r| (0..mix_size).map(|i| (r + i) % pool.len()).collect())
+                    .collect()
+            };
+            let cores = sub.cfg.machine.cores;
+            let seed = sub.cfg.machine.seed;
+            let counters = Arc::clone(&sub.counters);
+            let outcome = sub.run(&picked, |mix| {
+                let specs: Vec<WorkloadSpec> = mix.iter().map(|&i| pool[i].clone()).collect();
+                let mut policy = make_policy(topo);
+                let profile = pipeline.profile(&specs, policy.as_mut());
+                let mappings =
+                    reference_mappings(seed, mix, specs.len(), cores, n_reference, &profile.winner);
+                let user_cycles: Vec<Vec<u64>> = mappings
+                    .iter()
+                    .map(|m| {
+                        let out = pipeline.measure(&specs, m);
+                        out.procs.iter().map(|p| p.user_cycles).collect()
+                    })
+                    .collect();
+                let chosen = Pipeline::locate(&mappings, &profile.winner, cores);
+                Counters::add(&counters.mixes_done, 1);
+                MixResult {
+                    names: specs.iter().map(|s| s.name.clone()).collect(),
+                    mappings,
+                    user_cycles,
+                    chosen,
+                    policy: policy.name().to_string(),
+                }
+            })?;
+            let Some(outcome) = outcome else {
+                return Ok(None);
+            };
+            points.push(DomainPoint {
+                domains: d,
+                cores,
+                mix_size,
+                outcome,
+            });
+        }
+        Ok(Some(points))
     }
 }
 
@@ -540,6 +684,52 @@ mod tests {
             .run_pool(&pool, &|| Box::new(WeightSortPolicy))
             .unwrap();
         assert!(out.is_none());
+    }
+
+    #[test]
+    fn domain_scaling_points_cover_requested_domains() {
+        use symbio_allocator::DomainAwarePolicy;
+
+        let cfg = ExperimentConfig::fast(11);
+        let mut pool = tiny_pool(&cfg);
+        for s in &mut pool {
+            s.work /= 2; // 2-domain mixes run 8 processes; keep it quick
+        }
+        let engine = SweepEngine::new(cfg)
+            .options(SweepOptions {
+                mix_size: 4,
+                stride: 5,
+                threads: 4,
+            })
+            .memoized();
+        let points = engine
+            .run_domain_scaling(
+                &pool,
+                &[1, 2],
+                &|topo| Box::new(DomainAwarePolicy::weighted_ig(topo)),
+                2,
+            )
+            .unwrap()
+            .expect("not cancelled");
+        assert_eq!(points.len(), 2);
+        for (point, d) in points.iter().zip([1usize, 2]) {
+            assert_eq!(point.domains, d);
+            assert_eq!(point.cores, 2 * d);
+            assert_eq!(point.mix_size, 4 * d);
+            assert!(!point.outcome.results.is_empty());
+            for r in &point.outcome.results {
+                // Round-robin + ≤2 random + maybe the policy's choice.
+                assert!((1..=4).contains(&r.mappings.len()));
+                for m in &r.mappings {
+                    assert_eq!(m.len(), point.mix_size);
+                    assert!((0..m.len()).all(|t| m.core_of(t) < point.cores));
+                }
+                assert_eq!(r.policy, "domain-aware");
+            }
+        }
+        // The 2-domain point cycles the 5-benchmark pool into 8-process
+        // mixes instead of refusing to run.
+        assert_eq!(points[1].outcome.results[0].names.len(), 8);
     }
 
     #[test]

@@ -47,9 +47,10 @@ impl VirtConfig {
 /// Full description of a simulated machine.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
-    /// Number of cores.
+    /// Number of cores (must equal the topology's total core count; see
+    /// [`MachineConfig::validate`]).
     pub cores: usize,
-    /// Shared or private L2 arrangement.
+    /// Cache-domain layout: which cores share which L2.
     pub topology: Topology,
     /// Per-core L1 geometry.
     pub l1: CacheGeometry,
@@ -111,7 +112,7 @@ impl MachineConfig {
     pub fn scaled_core2duo(seed: u64) -> Self {
         MachineConfig {
             cores: 2,
-            topology: Topology::SharedL2,
+            topology: Topology::shared_l2(2),
             l1: CacheGeometry::scaled_l1(),
             l2: CacheGeometry::scaled_l2(),
             policy: ReplacementPolicy::Lru,
@@ -130,8 +131,19 @@ impl MachineConfig {
     /// machines' 2 MiB-private vs 4 MiB-shared relation).
     pub fn scaled_p4_smp(seed: u64) -> Self {
         MachineConfig {
-            topology: Topology::PrivateL2,
+            topology: Topology::private_l2(2),
             l2: CacheGeometry::new(128 << 10, 8, 64),
+            ..MachineConfig::scaled_core2duo(seed)
+        }
+    }
+
+    /// A multi-domain machine: `domains` cache domains of two cores each,
+    /// every domain carrying the scaled Core-2-Duo L2. The 1-domain case
+    /// is exactly [`MachineConfig::scaled_core2duo`].
+    pub fn scaled_multidomain(seed: u64, domains: usize) -> Self {
+        MachineConfig {
+            cores: 2 * domains,
+            topology: Topology::uniform(domains, 2),
             ..MachineConfig::scaled_core2duo(seed)
         }
     }
@@ -153,10 +165,11 @@ impl MachineConfig {
         }
     }
 
-    /// Derive the [`SignatureConfig`] for the configured L2, if enabled.
-    pub fn signature_config(&self) -> Option<SignatureConfig> {
+    /// Derive the [`SignatureConfig`] for a `domain_cores`-core filter
+    /// bank over the configured L2 geometry, if the unit is enabled.
+    pub fn signature_config_for(&self, domain_cores: usize) -> Option<SignatureConfig> {
         self.signature.map(|s| SignatureConfig {
-            cores: self.cores,
+            cores: domain_cores,
             sets: self.l2.sets(),
             ways: self.l2.ways,
             line_shift: self.l2.line_shift(),
@@ -164,6 +177,32 @@ impl MachineConfig {
             hash: s.hash,
             sampling: s.sampling,
         })
+    }
+
+    /// Derive the machine-wide [`SignatureConfig`] (one bank spanning all
+    /// cores — meaningful on single-domain machines), if enabled.
+    pub fn signature_config(&self) -> Option<SignatureConfig> {
+        self.signature_config_for(self.cores)
+    }
+
+    /// Structural validity: at least one core, and a topology whose
+    /// per-domain core counts sum to `cores`. Returns a human-readable
+    /// complaint so callers (`ExperimentConfig` building, the serving
+    /// layer) can surface a typed validation error instead of letting an
+    /// inconsistent machine panic downstream.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("machine must have at least one core".to_string());
+        }
+        let topo_cores = self.topology.cores();
+        if topo_cores != self.cores {
+            return Err(format!(
+                "topology domains {:?} sum to {topo_cores} cores, but the machine declares {}",
+                self.topology.domain_counts(),
+                self.cores
+            ));
+        }
+        Ok(())
     }
 
     /// The effective scheduling quantum (hypervisor quantum when
@@ -208,8 +247,35 @@ mod tests {
     #[test]
     fn p4_has_private_topology() {
         let c = MachineConfig::scaled_p4_smp(1);
-        assert_eq!(c.topology, Topology::PrivateL2);
+        assert_eq!(c.topology, Topology::private_l2(2));
         assert!(c.l2.size_bytes < CacheGeometry::scaled_l2().size_bytes);
+    }
+
+    #[test]
+    fn multidomain_preset_consistent() {
+        let c = MachineConfig::scaled_multidomain(1, 4);
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.topology.domains(), 4);
+        assert!(c.validate().is_ok());
+        // Per-domain signature banks are sized to the domain, not the machine.
+        assert_eq!(c.signature_config_for(2).unwrap().cores, 2);
+        // The 1-domain case degenerates to the classic scaled machine.
+        assert_eq!(
+            MachineConfig::scaled_multidomain(7, 1),
+            MachineConfig::scaled_core2duo(7)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_machines() {
+        let mut c = MachineConfig::scaled_core2duo(1);
+        assert!(c.validate().is_ok());
+        c.cores = 0;
+        assert!(c.validate().unwrap_err().contains("at least one core"));
+        let mut c = MachineConfig::scaled_core2duo(1);
+        c.topology = Topology::uniform(2, 2); // 4 cores vs cores: 2
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("sum to 4"), "{err}");
     }
 
     #[test]

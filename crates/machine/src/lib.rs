@@ -45,5 +45,6 @@ pub use config::{MachineConfig, VirtConfig};
 pub use machine::{Machine, ProcOutcome, RunOutcome};
 pub use mapping::Mapping;
 pub use snapshot::{ExportError, SigSnapshot};
+pub use symbio_cache::{CacheDomain, Topology};
 pub use thread::{ProcView, SigContext, ThreadView};
 pub use timing::TimingModel;

@@ -103,7 +103,14 @@ struct StepEvents {
 pub struct Machine {
     cfg: MachineConfig,
     mem: MemorySystem,
-    sig: Option<SignatureUnit>,
+    /// One signature unit per cache domain (empty when the signature is
+    /// disabled). Each bank is sized to its own domain's core count and
+    /// sees domain-local core ids.
+    sig: Vec<SignatureUnit>,
+    /// Global core id → owning cache domain.
+    domain_of: Vec<usize>,
+    /// Domain → first global core id.
+    domain_start: Vec<usize>,
     sched: Scheduler,
     threads: Vec<Thread>,
     factories: Vec<GenFactory>,
@@ -123,20 +130,43 @@ pub struct Machine {
 
 impl Machine {
     /// Build an empty machine from a configuration.
+    ///
+    /// Panics on a structurally invalid configuration; use
+    /// [`MachineConfig::validate`] (or the experiment-config builder) to
+    /// get a typed error instead.
     pub fn new(cfg: MachineConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid machine configuration: {e}");
+        }
         let mem = MemorySystem::new(
             cfg.topology,
-            cfg.cores,
             cfg.l1,
             cfg.l2,
             cfg.policy,
             Dram::new(cfg.dram.0, cfg.dram.1),
             cfg.seed,
         );
-        let sig = cfg.signature_config().map(SignatureUnit::new);
+        let sig = if cfg.signature.is_some() {
+            (0..cfg.topology.domains())
+                .map(|d| {
+                    let bank = cfg
+                        .signature_config_for(cfg.topology.domain(d).cores)
+                        .expect("signature enabled");
+                    SignatureUnit::new(bank)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let domain_of = (0..cfg.cores).map(|c| cfg.topology.domain_of(c)).collect();
+        let domain_start = (0..cfg.topology.domains())
+            .map(|d| cfg.topology.core_start(d))
+            .collect();
         Machine {
             mem,
             sig,
+            domain_of,
+            domain_start,
             sched: Scheduler::new(cfg.cores),
             threads: Vec::new(),
             factories: Vec::new(),
@@ -338,8 +368,14 @@ impl Machine {
     }
 
     fn take_signature_sample(&mut self, core: usize, tid: usize) {
-        if let Some(sig) = &mut self.sig {
-            sig.switch_out_into(core, &mut self.sample_scratch);
+        let d = self.domain_of[core];
+        if let Some(sig) = self.sig.get_mut(d) {
+            // The domain's bank indexes cores locally; the sampled
+            // per-core vectors therefore stay domain-local, but the core
+            // *label* on the sample is restored to the global id so
+            // `ThreadView::last_core` keeps machine-wide meaning.
+            sig.switch_out_into(core - self.domain_start[d], &mut self.sample_scratch);
+            self.sample_scratch.core = core;
             self.threads[tid].sig.update(&self.sample_scratch);
         }
     }
@@ -443,7 +479,8 @@ impl Machine {
                     Address(va)
                 };
                 let now = self.clocks[core];
-                let resp = match &mut self.sig {
+                let d = self.domain_of[core];
+                let resp = match self.sig.get_mut(d) {
                     Some(unit) => self.mem.access(core, addr, op.is_write(), now, unit),
                     None => self
                         .mem
@@ -692,9 +729,15 @@ impl Machine {
         &self.proc_names[pid]
     }
 
-    /// The signature unit, when attached.
+    /// Domain 0's signature unit, when attached (the machine-wide unit on
+    /// a single-domain machine — the shape figure probes expect).
     pub fn signature(&self) -> Option<&SignatureUnit> {
-        self.sig.as_ref()
+        self.sig.first()
+    }
+
+    /// The signature unit of cache domain `d`, when attached.
+    pub fn signature_of(&self, d: usize) -> Option<&SignatureUnit> {
+        self.sig.get(d)
     }
 
     /// The memory system (footprint ground truth, stats).
@@ -764,6 +807,29 @@ mod tests {
             assert!(t.samples > 0, "{} has no signature samples", v.name);
             assert_eq!(t.symbiosis.len(), 2);
         }
+    }
+
+    #[test]
+    fn multidomain_signature_vectors_are_domain_local() {
+        let mut m = Machine::new(MachineConfig::scaled_multidomain(3, 2));
+        for n in ["a", "b", "c", "d"] {
+            m.add_process(&tiny_spec(n, 10_000_000));
+        }
+        m.start(None);
+        m.run_for(12_000_000);
+        assert!(m.signature_of(1).is_some());
+        assert!(m.signature_of(2).is_none());
+        let views = m.query_views();
+        let mut saw_domain_1 = false;
+        for v in &views {
+            let t = &v.threads[0];
+            assert!(t.samples > 0, "{} has no signature samples", v.name);
+            assert_eq!(t.symbiosis.len(), 2, "vectors sized to the domain");
+            let core = t.last_core.expect("sampled");
+            assert!(core < 4, "core label stays global");
+            saw_domain_1 |= core >= 2;
+        }
+        assert!(saw_domain_1, "round-robin spreads threads across domains");
     }
 
     #[test]

@@ -77,6 +77,30 @@ impl Mapping {
         groups.sort();
         groups
     }
+
+    /// Thread ids assigned to any core of the half-open core range
+    /// `core_range` (one cache domain), ascending.
+    pub fn threads_in_domain(&self, core_range: std::ops::Range<usize>) -> Vec<usize> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| core_range.contains(&c))
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// [`Mapping::partition_key`] restricted to one domain's core range:
+    /// the canonical co-schedule groups formed *inside* that domain. Two
+    /// mappings with equal `domain_key`s for domain `d` are behaviourally
+    /// identical within `d` (same groups, labels ignored), which is what
+    /// per-domain hysteresis compares to decide whether a remap actually
+    /// churns the domain.
+    pub fn domain_key(&self, core_range: std::ops::Range<usize>) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = core_range.map(|c| self.threads_on(c)).collect();
+        groups.retain(|g| !g.is_empty());
+        groups.sort();
+        groups
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +125,22 @@ mod tests {
         assert_eq!(a.partition_key(2), b.partition_key(2));
         let c = Mapping::new(vec![0, 1, 0, 1]);
         assert_ne!(a.partition_key(2), c.partition_key(2));
+    }
+
+    #[test]
+    fn domain_key_is_local_and_label_invariant() {
+        // 2x2 machine: domain 0 = cores 0..2, domain 1 = cores 2..4.
+        let a = Mapping::new(vec![0, 1, 2, 3]);
+        let b = Mapping::new(vec![1, 0, 2, 3]); // swap labels inside domain 0
+        let c = Mapping::new(vec![0, 1, 3, 2]); // swap labels inside domain 1
+        assert_eq!(a.domain_key(0..2), b.domain_key(0..2));
+        assert_eq!(a.domain_key(2..4), c.domain_key(2..4));
+        // Moving a thread across the domain boundary changes both keys.
+        let d = Mapping::new(vec![0, 2, 1, 3]);
+        assert_ne!(a.domain_key(0..2), d.domain_key(0..2));
+        assert_ne!(a.domain_key(2..4), d.domain_key(2..4));
+        assert_eq!(a.threads_in_domain(2..4), vec![2, 3]);
+        assert_eq!(d.threads_in_domain(0..2), vec![0, 2]);
     }
 
     #[test]

@@ -50,8 +50,14 @@ pub struct SigSnapshot {
     pub seq: u64,
     /// Machine frontier time when the snapshot was taken (cycles).
     pub now_cycles: u64,
-    /// Number of cores the views' per-core vectors are indexed by.
+    /// Total cores of the exporting machine (thread `last_core` labels
+    /// are global core ids in `0..cores`).
     pub cores: usize,
+    /// Per-domain core counts of the exporting machine's cache topology.
+    /// A thread's per-core signature vectors are indexed by *domain-local*
+    /// core within the domain of its `last_core`. An empty list means one
+    /// domain spanning every core (the legacy single-L2 shape).
+    pub domains: Vec<usize>,
     /// Per-process signature views, pid order.
     pub procs: Vec<ProcView>,
 }
@@ -86,13 +92,47 @@ impl SigSnapshot {
         sum / n as f64
     }
 
+    /// Effective per-domain core counts: the explicit `domains` list, or
+    /// one all-core domain when the list is empty (legacy shape).
+    pub fn domain_counts(&self) -> Vec<usize> {
+        if self.domains.is_empty() {
+            vec![self.cores]
+        } else {
+            self.domains.clone()
+        }
+    }
+
+    /// Cache domain a thread's vectors are indexed in, given its global
+    /// `last_core` label (domain 0 when the thread is unsampled).
+    pub fn domain_of_core(&self, core: usize) -> usize {
+        let mut start = 0;
+        for (d, &c) in self.domain_counts().iter().enumerate() {
+            start += c;
+            if core < start {
+                return d;
+            }
+        }
+        0
+    }
+
     /// Structural validity for wire-crossing snapshots: at least one core,
-    /// at least one thread, and contiguous tids from 0 (what the
-    /// allocation policies assert). Returns a human-readable complaint for
-    /// the daemon to wrap in a typed protocol error instead of panicking.
+    /// a domain list summing to `cores`, at least one thread, and
+    /// contiguous tids from 0 (what the allocation policies assert).
+    /// Returns a human-readable complaint for the daemon to wrap in a
+    /// typed protocol error instead of panicking.
     pub fn validate(&self) -> Result<(), String> {
         if self.cores == 0 {
             return Err("snapshot has zero cores".to_string());
+        }
+        let counts = self.domain_counts();
+        if counts.contains(&0) {
+            return Err("snapshot topology has a zero-core domain".to_string());
+        }
+        if counts.iter().sum::<usize>() != self.cores {
+            return Err(format!(
+                "snapshot topology {counts:?} does not sum to {} cores",
+                self.cores
+            ));
         }
         let ts = self.threads();
         if ts.is_empty() {
@@ -108,16 +148,24 @@ impl SigSnapshot {
                     t.tid
                 ));
             }
+            if t.last_core.is_some_and(|c| c >= self.cores) {
+                return Err(format!(
+                    "tid {} carries last_core {:?} on a {}-core machine",
+                    t.tid, t.last_core, self.cores
+                ));
+            }
             // A thread the signature unit has not sampled yet carries
             // empty EWMA vectors; policies treat missing entries as zero.
-            let bad = |v: &[f64]| !v.is_empty() && v.len() != self.cores;
+            // Sampled vectors are indexed by domain-local core, so their
+            // length is the thread's domain's core count.
+            let dcores = counts[self.domain_of_core(t.last_core.unwrap_or(0))];
+            let bad = |v: &[f64]| !v.is_empty() && v.len() != dcores;
             if bad(&t.symbiosis) || bad(&t.overlap) {
                 return Err(format!(
-                    "tid {} carries {} symbiosis / {} overlap entries for {} cores",
+                    "tid {} carries {} symbiosis / {} overlap entries for a {dcores}-core domain",
                     t.tid,
                     t.symbiosis.len(),
                     t.overlap.len(),
-                    self.cores
                 ));
             }
             // Occupancy-impossible values: a non-finite or negative
@@ -161,6 +209,7 @@ impl Machine {
             seq,
             now_cycles: self.now(),
             cores: self.config().cores,
+            domains: self.config().topology.domain_counts(),
             procs,
         })
     }
@@ -195,6 +244,7 @@ mod tests {
             seq: 7,
             now_cycles: 5_000_000,
             cores: 2,
+            domains: vec![2],
             procs: (0..4)
                 .map(|pid| ProcView {
                     pid,
@@ -254,6 +304,39 @@ mod tests {
         let mut s = snapshot();
         s.procs.clear();
         assert!(s.validate().unwrap_err().contains("no threads"));
+    }
+
+    #[test]
+    fn validate_understands_domains() {
+        // 2x2 machine: threads on cores 2/3 sit in domain 1 and carry
+        // 2-entry (domain-local) vectors even though the machine has 4
+        // cores.
+        let mut s = snapshot();
+        s.cores = 4;
+        s.domains = vec![2, 2];
+        for (i, p) in s.procs.iter_mut().enumerate() {
+            p.threads[0].last_core = Some(i % 4);
+        }
+        assert!(s.validate().is_ok(), "{:?}", s.validate());
+        assert_eq!(s.domain_counts(), vec![2, 2]);
+        assert_eq!(s.domain_of_core(3), 1);
+
+        // Domain list must sum to the core count.
+        let mut s2 = s.clone();
+        s2.domains = vec![2, 1];
+        assert!(s2.validate().unwrap_err().contains("sum to"));
+        let mut s3 = s.clone();
+        s3.domains = vec![4, 0];
+        assert!(s3.validate().unwrap_err().contains("zero-core domain"));
+        // A last_core label outside the machine is rejected.
+        let mut s4 = s.clone();
+        s4.procs[0].threads[0].last_core = Some(9);
+        assert!(s4.validate().unwrap_err().contains("last_core"));
+        // Empty list means one machine-wide domain: 2-entry vectors on a
+        // 4-core machine are then a length mismatch.
+        let mut s5 = s.clone();
+        s5.domains = Vec::new();
+        assert!(s5.validate().unwrap_err().contains("symbiosis"));
     }
 
     #[test]

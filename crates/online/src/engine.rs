@@ -32,7 +32,7 @@ use std::path::Path;
 use std::sync::Arc;
 use symbio::obs::Counters;
 use symbio::Error;
-use symbio_allocator::{AllocationPolicy, InterferenceGraph};
+use symbio_allocator::{AllocationPolicy, InterferenceGraph, InterferenceMetric};
 use symbio_machine::{Mapping, SigSnapshot, ThreadView};
 
 /// Why [`OnlineEngine::ingest`] decided what it decided.
@@ -76,12 +76,18 @@ pub struct Decision {
     /// Why.
     pub reason: DecisionReason,
     /// Normalized predicted symbiosis gain of the challenger over the
-    /// incumbent (0 when no challenge was evaluated).
+    /// incumbent (0 when no challenge was evaluated; on multi-domain
+    /// machines, the best per-domain-component gain evaluated this
+    /// epoch).
     pub gain: f64,
     /// Votes the window majority holds.
     pub votes: u32,
     /// Live epochs in the window.
     pub window: u32,
+    /// Cache domains whose co-schedule groups were committed this epoch
+    /// (empty when nothing changed). Single-domain machines report `[0]`
+    /// on initial adoption and every remap.
+    pub domains_changed: Vec<usize>,
 }
 
 /// Per-group accumulated state.
@@ -346,6 +352,7 @@ impl OnlineEngine {
                     gain: 0.0,
                     votes: 0,
                     window: g.ring.len() as u32,
+                    domains_changed: Vec::new(),
                 });
             }
         }
@@ -383,6 +390,7 @@ impl OnlineEngine {
                     gain: 0.0,
                     votes: 0,
                     window: state.ring.len() as u32,
+                    domains_changed: Vec::new(),
                 };
                 records.push(JournalRecord::Clean {
                     group: snap.group.clone(),
@@ -446,16 +454,22 @@ impl OnlineEngine {
             DecisionReason::Held
         };
 
+        let domains = snap.domain_counts();
+        let mut domains_changed: Vec<usize> = Vec::new();
         let (changed, reason, gain) = match &state.current {
             None => {
                 if votes >= cfg.min_votes {
+                    domains_changed = occupied_domains(&candidate, &domains);
                     state.current = Some(candidate);
+                    for &d in &domains_changed {
+                        self.counters.bump_domain_remap(d);
+                    }
                     (true, DecisionReason::Initial, 0.0)
                 } else {
                     (false, DecisionReason::Warmup, 0.0)
                 }
             }
-            Some(current) => {
+            Some(current) if domains.len() <= 1 => {
                 if candidate.partition_key(snap.cores) == current.partition_key(snap.cores) {
                     (false, held_reason, 0.0)
                 } else {
@@ -467,9 +481,82 @@ impl OnlineEngine {
                         state.current = Some(candidate);
                         state.remaps += 1;
                         Counters::add(&self.counters.online_remaps, 1);
+                        self.counters.bump_domain_remap(0);
+                        domains_changed = vec![0];
                         (true, DecisionReason::Remap, gain)
                     } else {
                         (false, held_reason, gain)
+                    }
+                }
+            }
+            Some(current) => {
+                // Per-domain hysteresis: compare the challenger to the
+                // incumbent one cache domain at a time, weld domains that
+                // trade threads into one component (a cross-domain move is
+                // indivisible), gate each component on its own predicted
+                // gain, and splice only the winning components into the
+                // incumbent — a remap inside one domain never relabels
+                // another.
+                let ranges = domain_ranges(&domains);
+                let changed_domains: Vec<usize> = (0..ranges.len())
+                    .filter(|&d| {
+                        current.domain_key(ranges[d].clone())
+                            != candidate.domain_key(ranges[d].clone())
+                    })
+                    .collect();
+                if changed_domains.is_empty() {
+                    (false, held_reason, 0.0)
+                } else {
+                    let dom_of =
+                        |core: usize| ranges.iter().position(|r| r.contains(&core)).unwrap_or(0);
+                    // Union-find over domains, welded by moved threads.
+                    let mut parent: Vec<usize> = (0..ranges.len()).collect();
+                    for tid in 0..candidate.len() {
+                        uf_union(
+                            &mut parent,
+                            dom_of(current.core_of(tid)),
+                            dom_of(candidate.core_of(tid)),
+                        );
+                    }
+                    let root: Vec<usize> =
+                        (0..ranges.len()).map(|d| uf_find(&mut parent, d)).collect();
+                    let mut components: Vec<(usize, Vec<usize>)> = Vec::new();
+                    for &d in &changed_domains {
+                        match components.iter_mut().find(|(r, _)| *r == root[d]) {
+                            Some((_, doms)) => doms.push(d),
+                            None => components.push((root[d], vec![d])),
+                        }
+                    }
+                    let mut spliced: Vec<usize> =
+                        (0..current.len()).map(|t| current.core_of(t)).collect();
+                    let mut best_gain: f64 = 0.0;
+                    for (comp_root, doms) in components {
+                        let include =
+                            |tid: usize| root[dom_of(candidate.core_of(tid))] == comp_root;
+                        let gain = predicted_gain_multidomain(
+                            &cfg, &threads, &ranges, current, &candidate, &include,
+                        );
+                        best_gain = best_gain.max(gain);
+                        if votes >= cfg.min_votes && gain > cfg.switch_cost {
+                            for (tid, c) in spliced.iter_mut().enumerate() {
+                                if include(tid) {
+                                    *c = candidate.core_of(tid);
+                                }
+                            }
+                            domains_changed.extend(doms);
+                        }
+                    }
+                    if domains_changed.is_empty() {
+                        (false, held_reason, best_gain)
+                    } else {
+                        domains_changed.sort_unstable();
+                        state.current = Some(Mapping::new(spliced));
+                        state.remaps += 1;
+                        Counters::add(&self.counters.online_remaps, 1);
+                        for &d in &domains_changed {
+                            self.counters.bump_domain_remap(d);
+                        }
+                        (true, DecisionReason::Remap, best_gain)
                     }
                 }
             }
@@ -484,6 +571,7 @@ impl OnlineEngine {
             gain,
             votes,
             window,
+            domains_changed,
         };
         records.push(JournalRecord::Epoch {
             group: snap.group.clone(),
@@ -587,33 +675,127 @@ fn predicted_gain(
     incumbent: &Mapping,
     challenger: &Mapping,
 ) -> f64 {
-    {
-        let graph = if cfg.weighted_gain {
-            InterferenceGraph::weighted(threads, cfg.gain_metric)
-        } else {
-            InterferenceGraph::unweighted(threads, cfg.gain_metric)
-        };
-        let n = graph.len();
-        let mut total = 0.0;
-        let mut internal_inc = 0.0;
-        let mut internal_cha = 0.0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let w = graph.weights().get(i, j);
-                total += w;
-                let (ti, tj) = (graph.tid_of(i), graph.tid_of(j));
-                if incumbent.core_of(ti) == incumbent.core_of(tj) {
-                    internal_inc += w;
-                }
-                if challenger.core_of(ti) == challenger.core_of(tj) {
-                    internal_cha += w;
-                }
+    let graph = if cfg.weighted_gain {
+        InterferenceGraph::weighted(threads, cfg.gain_metric)
+    } else {
+        InterferenceGraph::unweighted(threads, cfg.gain_metric)
+    };
+    let n = graph.len();
+    let mut total = 0.0;
+    let mut internal_inc = 0.0;
+    let mut internal_cha = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = graph.weights().get(i, j);
+            total += w;
+            let (ti, tj) = (graph.tid_of(i), graph.tid_of(j));
+            if incumbent.core_of(ti) == incumbent.core_of(tj) {
+                internal_inc += w;
+            }
+            if challenger.core_of(ti) == challenger.core_of(tj) {
+                internal_cha += w;
             }
         }
-        if total <= f64::EPSILON {
-            0.0
-        } else {
-            (internal_cha - internal_inc) / total
+    }
+    if total <= f64::EPSILON {
+        0.0
+    } else {
+        (internal_cha - internal_inc) / total
+    }
+}
+
+/// [`predicted_gain`] for one union-find component of a multi-domain
+/// machine. Two differences from the flat version: only pairs where
+/// *both* tids satisfy `include` contribute (cross-component pairs are
+/// never co-located under either mapping, so nothing is lost), and pair
+/// weight is measured only when both last cores share a cache domain,
+/// indexed by the *domain-local* core label — signature vectors are
+/// domain-local, so cross-domain contested capacity is unobservable.
+fn predicted_gain_multidomain(
+    cfg: &OnlineConfig,
+    threads: &[&ThreadView],
+    ranges: &[std::ops::Range<usize>],
+    incumbent: &Mapping,
+    challenger: &Mapping,
+    include: &dyn Fn(usize) -> bool,
+) -> f64 {
+    let dom_of = |core: usize| ranges.iter().position(|r| r.contains(&core)).unwrap_or(0);
+    // Directed interference a -> b, mirroring `InterferenceGraph::build`
+    // but domain-gated and locally indexed.
+    let directed = |a: &ThreadView, b: &ThreadView| -> f64 {
+        let (ca, cb) = (a.last_core.unwrap_or(0), b.last_core.unwrap_or(0));
+        if dom_of(ca) != dom_of(cb) {
+            return 0.0;
         }
+        let local_b = cb - ranges[dom_of(cb)].start;
+        let mut w = match cfg.gain_metric {
+            InterferenceMetric::ReciprocalSymbiosis => a.interference_with(local_b),
+            InterferenceMetric::Overlap => a.contested_with(local_b),
+        };
+        if cfg.weighted_gain {
+            w *= a.occupancy;
+        }
+        w
+    };
+    let n = threads.len();
+    let mut total = 0.0;
+    let mut internal_inc = 0.0;
+    let mut internal_cha = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (ti, tj) = (threads[i].tid, threads[j].tid);
+            if !include(ti) || !include(tj) {
+                continue;
+            }
+            let w = directed(threads[i], threads[j]) + directed(threads[j], threads[i]);
+            total += w;
+            if incumbent.core_of(ti) == incumbent.core_of(tj) {
+                internal_inc += w;
+            }
+            if challenger.core_of(ti) == challenger.core_of(tj) {
+                internal_cha += w;
+            }
+        }
+    }
+    if total <= f64::EPSILON {
+        0.0
+    } else {
+        (internal_cha - internal_inc) / total
+    }
+}
+
+/// Half-open core ranges of each cache domain, from per-domain core
+/// counts (cumulative sum).
+fn domain_ranges(counts: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut ranges = Vec::with_capacity(counts.len());
+    let mut start = 0;
+    for &c in counts {
+        ranges.push(start..start + c);
+        start += c;
+    }
+    ranges
+}
+
+/// Domains holding at least one thread under `mapping`, ascending.
+fn occupied_domains(mapping: &Mapping, counts: &[usize]) -> Vec<usize> {
+    let ranges = domain_ranges(counts);
+    (0..ranges.len())
+        .filter(|&d| (0..mapping.len()).any(|t| ranges[d].contains(&mapping.core_of(t))))
+        .collect()
+}
+
+/// Tiny union-find (path halving) over domain indices.
+fn uf_find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+fn uf_union(parent: &mut [usize], a: usize, b: usize) {
+    let (ra, rb) = (uf_find(parent, a), uf_find(parent, b));
+    if ra != rb {
+        parent[rb.max(ra)] = rb.min(ra);
     }
 }

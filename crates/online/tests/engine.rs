@@ -35,6 +35,7 @@ fn synth_snap(group: &str, seq: u64, occ: [f64; 4], overlaps: [[f64; 2]; 4]) -> 
         seq,
         now_cycles: seq * 5_000_000,
         cores: 2,
+        domains: vec![2],
         procs: (0..4)
             .map(|pid| symbio_machine::ProcView {
                 pid,
@@ -565,4 +566,127 @@ proptest! {
             key_of(vec![0, 0, 1, 1])
         );
     }
+}
+
+// --------------------------------------------- multi-domain hysteresis
+
+/// A thread view on the 4-core / 2-domain machine. Signature vectors are
+/// DOMAIN-local (two entries) while `last_core` stays global, matching
+/// what `Machine::export_snapshot` produces.
+fn thread_view4(tid: usize, overlap: [f64; 2]) -> symbio_machine::ThreadView {
+    symbio_machine::ThreadView {
+        tid,
+        pid: tid,
+        name: format!("p{tid}"),
+        occupancy: 50.0,
+        symbiosis: vec![50.0; 2],
+        overlap: overlap.to_vec(),
+        last_occupancy: 50,
+        last_core: Some(tid),
+        samples: 3,
+        filter_len: 256,
+        l2_miss_rate: 0.1,
+        l2_misses: 100,
+        retired: 1000,
+    }
+}
+
+/// Snapshot of a 2x2 machine: threads 0/1 live in domain 0 (cores 0-1),
+/// threads 2/3 in domain 1 (cores 2-3). Only the 0<->1 pair interferes.
+fn synth_snap4(group: &str, seq: u64) -> SigSnapshot {
+    // Domain-local overlaps: 0 and 1 contest each other's core inside
+    // domain 0; domain 1 is interference-free.
+    let overlaps: [[f64; 2]; 4] = [[0.0, 90.0], [90.0, 0.0], [0.0; 2], [0.0; 2]];
+    SigSnapshot {
+        group: group.to_string(),
+        seq,
+        now_cycles: seq * 5_000_000,
+        cores: 4,
+        domains: vec![2, 2],
+        procs: (0..4)
+            .map(|pid| symbio_machine::ProcView {
+                pid,
+                name: format!("p{pid}"),
+                threads: vec![thread_view4(pid, overlaps[pid])],
+            })
+            .collect(),
+    }
+}
+
+/// Policy scripted by epoch parity of the stream: spreads every thread
+/// out until `flip`, then co-locates the domain-0 pair — domain 1's
+/// placement is byte-identical either side of the flip.
+struct ScriptedPolicy {
+    calls: u64,
+    flip: u64,
+}
+
+impl symbio_allocator::AllocationPolicy for ScriptedPolicy {
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+
+    fn allocate(
+        &mut self,
+        _views: &[symbio_machine::ProcView],
+        _cores: usize,
+    ) -> symbio_machine::Mapping {
+        let m = if self.calls < self.flip {
+            Mapping::new(vec![0, 1, 2, 3])
+        } else {
+            Mapping::new(vec![0, 0, 2, 3])
+        };
+        self.calls += 1;
+        m
+    }
+}
+
+#[test]
+fn remap_in_one_domain_never_relabels_the_other() {
+    let mut engine = OnlineEngine::new(
+        Box::new(ScriptedPolicy { calls: 0, flip: 6 }),
+        OnlineConfig::default(),
+    )
+    .unwrap();
+    let mut decisions = Vec::new();
+    for seq in 0..14 {
+        decisions.push(engine.ingest(&synth_snap4("md", seq)).unwrap());
+    }
+
+    // Initial adoption reports every occupied domain as changed.
+    assert_eq!(decisions[2].reason, DecisionReason::Initial);
+    assert_eq!(decisions[2].domains_changed, vec![0, 1]);
+
+    // Exactly one remap once the challenger wins the 8-wide window
+    // (5 of 8 votes at epoch 10), and it touches only domain 0: the
+    // 0/1 pair's 90-unit contested capacity is internalized there while
+    // domain 1 has no interference and an unchanged partition key.
+    let remaps: Vec<&symbio_online::Decision> = decisions
+        .iter()
+        .filter(|d| d.reason == DecisionReason::Remap)
+        .collect();
+    assert_eq!(remaps.len(), 1, "exactly one remap expected");
+    let remap = remaps[0];
+    assert_eq!(remap.domains_changed, vec![0]);
+    assert!(
+        remap.gain > 0.9,
+        "domain-0 gain should be ~1.0: {}",
+        remap.gain
+    );
+
+    // Domain-1 threads keep the exact core labels they held before the
+    // remap; domain-0 threads are co-located per the challenger.
+    let m = remap.mapping.as_ref().unwrap();
+    assert_eq!(
+        (0..4).map(|t| m.core_of(t)).collect::<Vec<_>>(),
+        vec![0, 0, 2, 3]
+    );
+
+    // Held epochs in between report no domain changes.
+    for d in &decisions {
+        if !d.changed {
+            assert!(d.domains_changed.is_empty(), "held epoch lists domains");
+        }
+    }
+    assert_eq!(engine.remaps("md"), 1);
 }

@@ -13,6 +13,7 @@ fn synth_snap(group: &str, seq: u64) -> SigSnapshot {
         seq,
         now_cycles: seq * 5_000_000,
         cores: 2,
+        domains: vec![2],
         procs: (0..4)
             .map(|pid| ProcView {
                 pid,

@@ -168,6 +168,7 @@ mod tests {
             seq: 3,
             now_cycles: 77,
             cores: 2,
+            domains: vec![2],
             procs: vec![ProcView {
                 pid: 0,
                 name: "p0".to_string(),
@@ -223,6 +224,7 @@ mod tests {
                 gain: 0.0,
                 votes: 2,
                 window: 2,
+                domains_changed: vec![0],
             }),
             Response::Map {
                 group: "g".to_string(),

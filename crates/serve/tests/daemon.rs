@@ -35,6 +35,7 @@ fn snapshot(group: &str, seq: u64) -> SigSnapshot {
         seq,
         now_cycles: seq * 1_000,
         cores: 2,
+        domains: vec![2],
         procs: (0..4)
             .map(|pid| ProcView {
                 pid,

@@ -38,6 +38,7 @@ fn synth_snap(seq: u64, occ: [f64; 4], overlaps: [[f64; 2]; 4]) -> SigSnapshot {
         seq,
         now_cycles: seq * 5_000_000,
         cores: 2,
+        domains: vec![2],
         procs: (0..4)
             .map(|pid| ProcView {
                 pid,

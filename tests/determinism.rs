@@ -54,13 +54,24 @@ fn fnv1a(values: impl IntoIterator<Item = u64>) -> u64 {
     h
 }
 
+/// The two reference machines the golden digests were captured on. The
+/// topology refactor expresses both as [`Topology`] values (one shared
+/// domain vs one domain per core); the digests predate the refactor, so
+/// matching them proves the domain-sharded memory system is bit-identical
+/// to the old single/private-L2 special cases.
+#[derive(Debug, Clone, Copy)]
+enum RefMachine {
+    SharedL2,
+    PrivateL2,
+}
+
 /// Digest every observable the kernel produces for a reference run: the
 /// frontier clock, machine-wide L2 traffic, per-process user/wall cycles
 /// and per-thread memory-op / L2 counters.
-fn kernel_digest(topology: Topology, policy: ReplacementPolicy) -> u64 {
-    let mut cfg = match topology {
-        Topology::SharedL2 => MachineConfig::scaled_core2duo(0xD1CE),
-        Topology::PrivateL2 => MachineConfig::scaled_p4_smp(0xD1CE),
+fn kernel_digest(machine: RefMachine, policy: ReplacementPolicy) -> u64 {
+    let mut cfg = match machine {
+        RefMachine::SharedL2 => MachineConfig::scaled_core2duo(0xD1CE),
+        RefMachine::PrivateL2 => MachineConfig::scaled_p4_smp(0xD1CE),
     };
     cfg.policy = policy;
     let mut m = Machine::new(cfg);
@@ -73,7 +84,7 @@ fn kernel_digest(topology: Topology, policy: ReplacementPolicy) -> u64 {
     let out = m.run_to_completion(2_000_000_000);
     assert!(
         out.completed,
-        "{topology:?}/{policy:?} reference run finished"
+        "{machine:?}/{policy:?} reference run finished"
     );
     let mut stream = vec![out.wall_cycles, out.l2_accesses, out.l2_misses];
     for p in &out.procs {
@@ -100,41 +111,41 @@ fn kernel_digest(topology: Topology, policy: ReplacementPolicy) -> u64 {
 fn kernel_digest_matches_golden() {
     let cases = [
         (
-            Topology::SharedL2,
+            RefMachine::SharedL2,
             ReplacementPolicy::Lru,
             GOLDEN_SHARED_LRU,
         ),
         (
-            Topology::SharedL2,
+            RefMachine::SharedL2,
             ReplacementPolicy::Fifo,
             GOLDEN_SHARED_FIFO,
         ),
         (
-            Topology::SharedL2,
+            RefMachine::SharedL2,
             ReplacementPolicy::Random,
             GOLDEN_SHARED_RANDOM,
         ),
         (
-            Topology::PrivateL2,
+            RefMachine::PrivateL2,
             ReplacementPolicy::Lru,
             GOLDEN_PRIVATE_LRU,
         ),
         (
-            Topology::PrivateL2,
+            RefMachine::PrivateL2,
             ReplacementPolicy::Fifo,
             GOLDEN_PRIVATE_FIFO,
         ),
         (
-            Topology::PrivateL2,
+            RefMachine::PrivateL2,
             ReplacementPolicy::Random,
             GOLDEN_PRIVATE_RANDOM,
         ),
     ];
-    for (topology, policy, golden) in cases {
-        let got = kernel_digest(topology, policy);
+    for (machine, policy, golden) in cases {
+        let got = kernel_digest(machine, policy);
         assert_eq!(
             got, golden,
-            "kernel digest drifted for {topology:?}/{policy:?}: \
+            "kernel digest drifted for {machine:?}/{policy:?}: \
              got {got:#018x}, golden {golden:#018x}"
         );
     }
