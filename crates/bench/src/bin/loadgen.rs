@@ -6,39 +6,62 @@
 //! loadgen --addr 127.0.0.1:7411 [--conns 2] [--seconds 2]
 //!         [--rate 0 (per-conn ingest/s, 0 = unthrottled)]
 //!         [--domains 1 (cache domains of the recorded machine)]
+//!         [--encoding json (json | binary | legacy)]
+//!         [--batch 1 (epochs per IngestBatch frame)]
+//!         [--min-rate 0 (fail below this decisions/sec floor)]
 //!         [--name serve-loadgen] [--shutdown]
 //! ```
 //!
 //! Each connection streams the trace under its own process-group key
 //! (`load-0`, `load-1`, …) so the daemon exercises independent decision
-//! streams concurrently. After the replay window a control connection
-//! fetches `metrics` — the run fails (nonzero exit) unless the daemon
-//! answers with a well-formed metrics reply — and optionally sends
-//! `shutdown` so scripted runs tear the daemon down.
+//! streams concurrently. `--encoding json`/`binary` negotiate through a
+//! `Hello`; `legacy` speaks bare v1 frames without negotiation (the
+//! deprecated pre-`Hello` protocol — a warning is printed). `--batch N`
+//! packs N consecutive epochs into one `IngestBatch` frame; the reply
+//! carries one decision per item and throughput is reported in
+//! decisions/sec. After the replay window a control connection fetches
+//! `metrics` — the run fails (nonzero exit) unless the daemon answers
+//! with a well-formed metrics reply — and optionally sends `shutdown` so
+//! scripted runs tear the daemon down. `--min-rate` turns the record
+//! into a gate: the run exits nonzero when decisions/sec lands below the
+//! floor.
 //!
 //! The client is **resilient**: transient failures (socket errors, lost
-//! replies, `busy`/`io` error replies) are retried with bounded
-//! exponential backoff plus jitter, reconnecting as needed — the
+//! replies, replies whose error is marked `retryable`) are retried with
+//! bounded exponential backoff plus jitter, reconnecting as needed — the
 //! daemon's duplicate suppression makes a retried epoch idempotent.
 //! `degraded`/`recovering` replies count as served (the client got a
 //! usable mapping) and are tallied separately. Only genuinely fatal
-//! replies (protocol/validation errors) or an exhausted retry budget
-//! count as errors in `BENCH_serve.json`.
+//! replies (non-retryable errors) or an exhausted retry budget count as
+//! errors in `BENCH_serve.json`.
 
 use rand::{rngs::StdRng, RngExt, SeedableRng};
-use std::io::BufReader;
-use std::net::TcpStream;
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 use symbio::obs::{write_serve_bench_record, ServeBenchRecord};
 use symbio::{Error, ExperimentConfig, ExperimentConfigBuilder};
 use symbio_machine::{Machine, MachineConfig, SigSnapshot};
-use symbio_serve::{read_frame, write_frame, Request, Response};
+use symbio_serve::{Encoding, Request, Response, WireClient};
 use symbio_workloads::spec2006;
 
 /// Retries per request before it is recorded as a client-visible error.
 const MAX_RETRIES: u32 = 5;
 /// First-retry backoff; doubles per attempt, plus up to 100% jitter.
 const BACKOFF_BASE_MS: f64 = 2.0;
+/// Connect/read/write deadline on every client socket.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How the trace is spoken to the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Bare v1 json-lines without `Hello` — the deprecated pre-envelope
+    /// protocol, kept for old daemons.
+    Legacy,
+    /// Negotiate proto and stay on json-lines.
+    Json,
+    /// Negotiate proto and upgrade to the binary framing.
+    Binary,
+}
 
 /// Record one profiling interval's worth of snapshots from a live
 /// machine simulation — the trace every connection replays. The machine
@@ -79,34 +102,36 @@ fn record_trace(domains: usize) -> symbio::Result<(ExperimentConfig, Vec<SigSnap
     Ok((cfg, out))
 }
 
-/// One replay connection (writer + buffered reader halves).
-struct Client {
-    conn: TcpStream,
-    reader: BufReader<TcpStream>,
+/// Resolve a `host:port` string to the first socket address it names.
+fn resolve(addr: &str) -> symbio::Result<SocketAddr> {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| Error::InvalidConfig(format!("cannot resolve `{addr}`")))
 }
 
-impl Client {
-    fn connect(addr: &str) -> symbio::Result<Client> {
-        let conn = TcpStream::connect(addr)?;
-        conn.set_nodelay(true)?;
-        let reader = BufReader::new(conn.try_clone()?);
-        Ok(Client { conn, reader })
+/// Connect one client and run the mode's negotiation.
+fn connect_client(addr: SocketAddr, mode: Mode) -> symbio::Result<WireClient> {
+    let mut client = WireClient::connect(addr, IO_TIMEOUT)?;
+    match mode {
+        Mode::Legacy => {}
+        Mode::Json => {
+            client.hello(Encoding::JsonLines)?;
+        }
+        Mode::Binary => {
+            client.hello(Encoding::Binary)?;
+        }
     }
-
-    /// One request/reply round-trip. A lost reply (EOF) is an I/O error:
-    /// the caller reconnects and retries, and the daemon's duplicate
-    /// suppression keeps the retried epoch idempotent.
-    fn exchange(&mut self, request: &Request) -> symbio::Result<Response> {
-        write_frame(&mut self.conn, request)?;
-        read_frame(&mut self.reader)?
-            .ok_or_else(|| Error::Protocol("daemon closed mid-replay".to_string()))
-    }
+    Ok(client)
 }
 
 /// What one replay connection observed.
 #[derive(Default)]
 struct ReplayStats {
+    /// One entry per completed request frame (a batch is one request).
     latencies: Vec<f64>,
+    /// Per-item decisions received (a lone ingest counts one).
+    decisions: u64,
     /// Fatal replies or exhausted retry budgets — client-visible failures.
     errors: u64,
     /// Transient faults absorbed by the retry loop.
@@ -117,24 +142,66 @@ struct ReplayStats {
 
 /// How the retry loop treats one exchange outcome.
 enum Outcome {
-    /// A usable reply (decision, or a stale mapping): move on.
-    Served { degraded: bool },
-    /// Worth retrying after backoff (socket fault, lost reply, `busy`).
+    /// A usable reply: move on, crediting what each item carried.
+    Served {
+        decisions: u64,
+        degraded: u64,
+        errors: u64,
+    },
+    /// Worth retrying after backoff (socket fault, lost reply, or an
+    /// error the daemon itself marked `retryable`).
     Transient { reconnect: bool },
     /// Retrying cannot help (the daemon rejected the request itself).
     Fatal,
 }
 
+/// Classify one exchange. The retry predicate is the protocol's own
+/// `retryable` flag: `busy` shedding and injected I/O faults are about
+/// daemon load, not about this request, and the daemon says so on the
+/// wire. A batch with any retryable item is retried whole — duplicate
+/// suppression makes the already-tallied items idempotent.
 fn classify(result: symbio::Result<Response>) -> Outcome {
     match result {
-        Ok(Response::Decision(_)) => Outcome::Served { degraded: false },
-        Ok(Response::Degraded { .. } | Response::Recovering { .. }) => {
-            Outcome::Served { degraded: true }
+        Ok(Response::Decision(_)) => Outcome::Served {
+            decisions: 1,
+            degraded: 0,
+            errors: 0,
+        },
+        Ok(Response::Degraded { .. } | Response::Recovering { .. }) => Outcome::Served {
+            decisions: 1,
+            degraded: 1,
+            errors: 0,
+        },
+        Ok(Response::Batch(items)) => {
+            if items.iter().any(Response::is_retryable) {
+                return Outcome::Transient { reconnect: false };
+            }
+            let mut served = Outcome::Served {
+                decisions: 0,
+                degraded: 0,
+                errors: 0,
+            };
+            let Outcome::Served {
+                decisions,
+                degraded,
+                errors,
+            } = &mut served
+            else {
+                unreachable!()
+            };
+            for item in &items {
+                match item {
+                    Response::Decision(_) => *decisions += 1,
+                    Response::Degraded { .. } | Response::Recovering { .. } => {
+                        *decisions += 1;
+                        *degraded += 1;
+                    }
+                    _ => *errors += 1,
+                }
+            }
+            served
         }
-        // `busy` = shed past the degraded pool; `io` covers injected
-        // dispatch faults and lock trouble — both are about daemon load,
-        // not about this request, so back off and retry.
-        Ok(Response::Error { ref kind, .. }) if kind == "busy" || kind == "io" => {
+        Ok(ref reply @ Response::Error { .. }) if reply.is_retryable() => {
             Outcome::Transient { reconnect: false }
         }
         Ok(Response::Error { .. }) => Outcome::Fatal,
@@ -155,25 +222,26 @@ fn backoff(attempt: u32, rng: &mut StdRng) -> Duration {
 
 /// Control-plane exchange (`metrics`, `shutdown`) with the same
 /// transient-fault resilience as the replay path: reconnect and back off
-/// on socket faults, lost replies, and `busy`/`io` errors. With
-/// `gone_ok` (the shutdown verb), a daemon that stops accepting
-/// connections after the request was sent at least once counts as a
-/// successful `Ok` — the previous attempt may have drained the daemon
-/// even though its ack was lost.
+/// on socket faults, lost replies, and retryable errors. With `gone_ok`
+/// (the shutdown verb), a daemon that stops accepting connections after
+/// the request was sent at least once counts as a successful `Ok` — the
+/// previous attempt may have drained the daemon even though its ack was
+/// lost.
 fn control_exchange(
-    addr: &str,
+    addr: SocketAddr,
+    mode: Mode,
     request: &Request,
     gone_ok: bool,
     rng: &mut StdRng,
 ) -> symbio::Result<Response> {
-    let mut client: Option<Client> = None;
+    let mut client: Option<WireClient> = None;
     let mut sent_once = false;
     for attempt in 0..=MAX_RETRIES {
         if attempt > 0 {
             std::thread::sleep(backoff(attempt, rng));
         }
         if client.is_none() {
-            client = match Client::connect(addr) {
+            client = match connect_client(addr, mode) {
                 Ok(c) => Some(c),
                 Err(_) if gone_ok && sent_once => return Ok(Response::Ok),
                 Err(_) => continue,
@@ -182,7 +250,7 @@ fn control_exchange(
         let c = client.as_mut().expect("connected above");
         sent_once = true;
         match c.exchange(request) {
-            Ok(Response::Error { ref kind, .. }) if kind == "busy" || kind == "io" => {}
+            Ok(ref reply @ Response::Error { .. }) if reply.is_retryable() => {}
             Ok(reply) => return Ok(reply),
             Err(_) => client = None,
         }
@@ -192,28 +260,41 @@ fn control_exchange(
     )))
 }
 
-/// One connection's replay loop: stream `Ingest` frames until the
-/// deadline, absorbing transient faults with bounded backoff-and-retry.
+/// One connection's replay loop: stream ingest frames (batched when
+/// `batch > 1`) until the deadline, absorbing transient faults with
+/// bounded backoff-and-retry.
+#[allow(clippy::too_many_arguments)] // a flag bundle, not an API
 fn replay(
-    addr: &str,
+    addr: SocketAddr,
+    mode: Mode,
     group: String,
     trace: &[SigSnapshot],
     seconds: f64,
     rate: f64,
+    batch: u64,
     seed: u64,
 ) -> symbio::Result<ReplayStats> {
     // Deterministic jitter per connection: reruns back off identically.
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut client = Some(Client::connect(addr)?);
+    let mut client = Some(connect_client(addr, mode)?);
     let started = Instant::now();
     let window = Duration::from_secs_f64(seconds);
     let mut stats = ReplayStats::default();
     let mut seq = 0u64;
     while started.elapsed() < window {
-        let mut snap = trace[(seq as usize) % trace.len()].clone();
-        snap.group = group.clone();
-        snap.seq = seq;
-        let request = Request::Ingest(snap);
+        let mut items: Vec<SigSnapshot> = (0..batch)
+            .map(|k| {
+                let mut snap = trace[((seq + k) as usize) % trace.len()].clone();
+                snap.group = group.clone();
+                snap.seq = seq + k;
+                snap
+            })
+            .collect();
+        let request = if batch == 1 {
+            Request::Ingest(items.pop().expect("batch >= 1"))
+        } else {
+            Request::IngestBatch(items)
+        };
         let t0 = Instant::now();
         let mut attempt = 0u32;
         loop {
@@ -222,10 +303,14 @@ fn replay(
                 None => Err(Error::Protocol("reconnect pending".to_string())),
             };
             match classify(result) {
-                Outcome::Served { degraded } => {
-                    if degraded {
-                        stats.degraded += 1;
-                    }
+                Outcome::Served {
+                    decisions,
+                    degraded,
+                    errors,
+                } => {
+                    stats.decisions += decisions;
+                    stats.degraded += degraded;
+                    stats.errors += errors;
                     break;
                 }
                 Outcome::Fatal => {
@@ -244,15 +329,16 @@ fn replay(
                     stats.retries += 1;
                     std::thread::sleep(backoff(attempt, &mut rng));
                     if client.is_none() {
-                        client = Client::connect(addr).ok();
+                        client = connect_client(addr, mode).ok();
                     }
                 }
             }
         }
         stats.latencies.push(t0.elapsed().as_secs_f64() * 1e6);
-        seq += 1;
+        seq += batch;
         if rate > 0.0 {
-            // Open-loop pacing: sleep off any lead over the target rate.
+            // Open-loop pacing on epochs, not frames: sleep off any lead
+            // over the target per-conn ingest rate.
             let due = Duration::from_secs_f64(seq as f64 / rate);
             if let Some(ahead) = due.checked_sub(started.elapsed()) {
                 std::thread::sleep(ahead);
@@ -270,6 +356,9 @@ fn main() -> symbio::Result<()> {
     let mut domains = 1usize;
     let mut name = "serve-loadgen".to_string();
     let mut shutdown = false;
+    let mut mode = Mode::Json;
+    let mut batch = 1u64;
+    let mut min_rate = 0.0f64;
 
     let bad = |flag: &str, v: &str| Error::InvalidConfig(format!("bad value `{v}` for {flag}"));
     let mut args = std::env::args().skip(1);
@@ -297,6 +386,27 @@ fn main() -> symbio::Result<()> {
                 let v = value()?;
                 domains = v.parse().map_err(|_| bad("--domains", &v))?;
             }
+            "--encoding" => {
+                let v = value()?;
+                mode = match v.as_str() {
+                    "json" => Mode::Json,
+                    "binary" => Mode::Binary,
+                    "legacy" => Mode::Legacy,
+                    _ => {
+                        return Err(Error::InvalidConfig(format!(
+                            "bad value `{v}` for --encoding (expected json | binary | legacy)"
+                        )))
+                    }
+                };
+            }
+            "--batch" => {
+                let v = value()?;
+                batch = v.parse().map_err(|_| bad("--batch", &v))?;
+            }
+            "--min-rate" => {
+                let v = value()?;
+                min_rate = v.parse().map_err(|_| bad("--min-rate", &v))?;
+            }
             "--shutdown" => shutdown = true,
             other => return Err(Error::InvalidConfig(format!("unknown flag `{other}`"))),
         }
@@ -314,6 +424,23 @@ fn main() -> symbio::Result<()> {
     if domains == 0 {
         return Err(Error::InvalidConfig("--domains must be >= 1".to_string()));
     }
+    if batch == 0 {
+        return Err(Error::InvalidConfig("--batch must be >= 1".to_string()));
+    }
+    if mode == Mode::Legacy {
+        eprintln!(
+            "loadgen: warning: --encoding legacy connects without a Hello; bare v1 frames \
+             are deprecated — prefer --encoding json or binary"
+        );
+        if batch > 1 {
+            return Err(Error::InvalidConfig(
+                "--batch > 1 needs negotiation (IngestBatch is not part of the bare v1 \
+                 protocol); drop --encoding legacy"
+                    .to_string(),
+            ));
+        }
+    }
+    let target = resolve(&addr)?;
 
     let (cfg, trace) = record_trace(domains)?;
     println!(
@@ -327,20 +454,30 @@ fn main() -> symbio::Result<()> {
     let started = Instant::now();
     let clients: Vec<_> = (0..conns)
         .map(|i| {
-            let addr = addr.clone();
             let trace = trace.clone();
             std::thread::spawn(move || {
-                replay(&addr, format!("load-{i}"), &trace, seconds, rate, i as u64)
+                replay(
+                    target,
+                    mode,
+                    format!("load-{i}"),
+                    &trace,
+                    seconds,
+                    rate,
+                    batch,
+                    i as u64,
+                )
             })
         })
         .collect();
     let mut latencies = Vec::new();
+    let mut decisions = 0u64;
     let mut errors = 0u64;
     let mut retries = 0u64;
     let mut degraded = 0u64;
     for c in clients {
         let stats = c.join().expect("client thread")?;
         latencies.extend(stats.latencies);
+        decisions += stats.decisions;
         errors += stats.errors;
         retries += stats.retries;
         degraded += stats.degraded;
@@ -353,7 +490,7 @@ fn main() -> symbio::Result<()> {
     // injected fault on the metrics or shutdown reply cannot fail an
     // otherwise-clean run.
     let mut rng = StdRng::seed_from_u64(conns as u64);
-    let metrics = match control_exchange(&addr, &Request::Metrics, false, &mut rng)? {
+    let metrics = match control_exchange(target, mode, &Request::Metrics, false, &mut rng)? {
         Response::Metrics(snap) => snap,
         other => {
             return Err(Error::Protocol(format!(
@@ -362,7 +499,7 @@ fn main() -> symbio::Result<()> {
         }
     };
     if shutdown {
-        match control_exchange(&addr, &Request::Shutdown, true, &mut rng)? {
+        match control_exchange(target, mode, &Request::Shutdown, true, &mut rng)? {
             Response::Ok => {}
             reply => {
                 return Err(Error::Protocol(format!(
@@ -376,6 +513,7 @@ fn main() -> symbio::Result<()> {
         &name,
         conns,
         wall,
+        decisions,
         errors,
         retries,
         degraded,
@@ -388,7 +526,7 @@ fn main() -> symbio::Result<()> {
         record.requests,
         record.wall_seconds,
         record.conns,
-        record.requests_per_sec,
+        record.decisions_per_sec,
         record.p50_us,
         record.p99_us,
         record.errors,
@@ -403,5 +541,11 @@ fn main() -> symbio::Result<()> {
         metrics.domain_remaps,
         path.display()
     );
+    if min_rate > 0.0 && record.decisions_per_sec < min_rate {
+        return Err(Error::InvalidConfig(format!(
+            "throughput floor missed: {:.0} decisions/sec < required {min_rate:.0}",
+            record.decisions_per_sec
+        )));
+    }
     Ok(())
 }

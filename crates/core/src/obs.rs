@@ -47,6 +47,10 @@ pub struct Counters {
     pub serve_requests: AtomicU64,
     /// Daemon protocol/dispatch errors returned to clients.
     pub serve_errors: AtomicU64,
+    /// `IngestBatch` frames served (each batch also counts once in
+    /// [`Counters::serve_requests`]; per-item decisions land in
+    /// [`Counters::online_epochs`]).
+    pub serve_batches: AtomicU64,
     /// Journal frames replayed during recovery
     /// (`OnlineEngine::recover_from`).
     pub recovery_replays: AtomicU64,
@@ -92,6 +96,8 @@ pub struct CounterSnapshot {
     pub serve_requests: u64,
     /// See [`Counters::serve_errors`].
     pub serve_errors: u64,
+    /// See [`Counters::serve_batches`].
+    pub serve_batches: u64,
     /// See [`Counters::recovery_replays`].
     pub recovery_replays: u64,
     /// See [`Counters::quarantine_trips`].
@@ -142,6 +148,7 @@ impl Counters {
             online_remaps: self.online_remaps.load(Ordering::Relaxed),
             serve_requests: self.serve_requests.load(Ordering::Relaxed),
             serve_errors: self.serve_errors.load(Ordering::Relaxed),
+            serve_batches: self.serve_batches.load(Ordering::Relaxed),
             recovery_replays: self.recovery_replays.load(Ordering::Relaxed),
             quarantine_trips: self.quarantine_trips.load(Ordering::Relaxed),
             degraded_replies: self.degraded_replies.load(Ordering::Relaxed),
@@ -394,8 +401,12 @@ pub fn write_kernel_bench_record(record: &KernelBenchRecord) -> std::io::Result<
 pub struct ServeBenchRecord {
     /// Run name (artifact key).
     pub name: String,
-    /// Requests completed (responses received).
+    /// Requests completed (responses received). With batched ingest one
+    /// request carries many decisions, so this undercounts work — gate
+    /// throughput floors on [`ServeBenchRecord::decisions_per_sec`].
     pub requests: u64,
+    /// Decisions received (batch replies count each item).
+    pub decisions: u64,
     /// Error replies observed.
     pub errors: u64,
     /// Transient failures absorbed by retry/backoff (resends and
@@ -412,6 +423,9 @@ pub struct ServeBenchRecord {
     /// Completed requests per wall-clock second (decisions/sec when the
     /// trace is all `ingest` frames).
     pub requests_per_sec: f64,
+    /// Decisions per wall-clock second — the headline serving-plane
+    /// throughput number (equals `requests_per_sec` at batch size 1).
+    pub decisions_per_sec: f64,
     /// Median request latency, microseconds.
     pub p50_us: f64,
     /// 99th-percentile request latency, microseconds.
@@ -419,12 +433,16 @@ pub struct ServeBenchRecord {
 }
 
 impl ServeBenchRecord {
-    /// Assemble a record from a finished replay. `latencies_us` need not
-    /// be sorted; quantiles use the nearest-rank method.
+    /// Assemble a record from a finished replay. `latencies_us` holds one
+    /// entry per completed request (a batch is one request) and need not
+    /// be sorted; quantiles use the nearest-rank method. `decisions`
+    /// counts per-item decisions across batch replies.
+    #[allow(clippy::too_many_arguments)] // a flat stats bundle, not an API surface
     pub fn new(
         name: &str,
         conns: usize,
         wall_seconds: f64,
+        decisions: u64,
         errors: u64,
         retries: u64,
         degraded: u64,
@@ -442,12 +460,14 @@ impl ServeBenchRecord {
         ServeBenchRecord {
             name: name.to_string(),
             requests: latencies_us.len() as u64,
+            decisions,
             errors,
             retries,
             degraded,
             conns: conns as u64,
             wall_seconds,
             requests_per_sec: latencies_us.len() as f64 / wall,
+            decisions_per_sec: decisions as f64 / wall,
             p50_us: quantile(0.5),
             p99_us: quantile(0.99),
         }
@@ -529,16 +549,18 @@ mod tests {
     #[test]
     fn serve_record_quantiles_nearest_rank() {
         let mut lat: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let r = ServeBenchRecord::new("unit", 4, 2.0, 1, 3, 2, &mut lat);
+        let r = ServeBenchRecord::new("unit", 4, 2.0, 400, 1, 3, 2, &mut lat);
         assert_eq!(r.requests, 100);
+        assert_eq!(r.decisions, 400);
         assert_eq!(r.errors, 1);
         assert_eq!(r.retries, 3);
         assert_eq!(r.degraded, 2);
         assert!((r.p50_us - 50.0).abs() < 1e-9);
         assert!((r.p99_us - 99.0).abs() < 1e-9);
         assert!((r.requests_per_sec - 50.0).abs() < 1e-9);
+        assert!((r.decisions_per_sec - 200.0).abs() < 1e-9);
         // Empty latency set degrades to zeros, not a panic.
-        let empty = ServeBenchRecord::new("empty", 1, 1.0, 0, 0, 0, &mut []);
+        let empty = ServeBenchRecord::new("empty", 1, 1.0, 0, 0, 0, 0, &mut []);
         assert_eq!(empty.requests, 0);
         assert_eq!(empty.p99_us, 0.0);
     }

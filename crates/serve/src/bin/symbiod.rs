@@ -4,6 +4,7 @@
 //! symbiod [--addr 127.0.0.1:7411] [--workers 4] [--backlog 64]
 //!         [--deadline-ms 5000] [--policy weight-sort] [--window 8]
 //!         [--journal PATH] [--snapshot-every N]
+//!         [--shards 1] [--encoding both] [--batch-max 64]
 //! ```
 //!
 //! With `--journal`, every engine state transition is appended
@@ -13,6 +14,14 @@
 //! process stopped (`symbiod recovered …` is printed before the listen
 //! line). `--snapshot-every` bounds replay length by embedding a
 //! full-state snapshot in the journal every N records (default 256).
+//!
+//! `--shards N` runs N engine shards, each on its own thread with its
+//! own journal segment (`PATH.shard-K` when `--journal` is given;
+//! single-shard daemons keep the plain `PATH`). Groups are pinned to
+//! shards by name hash, stable across restarts. `--encoding` restricts
+//! what the daemon will negotiate (`json` | `binary` | `both`) and
+//! `--batch-max` caps `IngestBatch` items per frame (advertised in the
+//! `Welcome`).
 //!
 //! Fault injection for chaos testing is armed via the `SYMBIO_FAULTS` /
 //! `SYMBIO_FAULT_SEED` environment variables (see `symbio::obs::fault`).
@@ -29,7 +38,7 @@ use symbio_allocator::{
     WeightedInterferenceGraphPolicy,
 };
 use symbio_online::{JournalWriter, OnlineConfig, OnlineEngine};
-use symbio_serve::{ServeConfig, Symbiod};
+use symbio_serve::{Encoding, ServeConfig, SymbiodBuilder};
 
 /// An allocation policy by CLI name.
 fn policy_by_name(name: &str) -> symbio::Result<Box<dyn AllocationPolicy + Send>> {
@@ -51,6 +60,9 @@ fn main() -> symbio::Result<()> {
     let mut online_cfg = OnlineConfig::default();
     let mut journal_path: Option<String> = None;
     let mut snapshot_every: u64 = 256;
+    let mut shards: usize = 1;
+    let mut batch_max: usize = symbio_serve::proto::DEFAULT_BATCH_MAX;
+    let mut encodings = vec![Encoding::JsonLines, Encoding::Binary];
 
     let bad = |flag: &str, v: &str| Error::InvalidConfig(format!("bad value `{v}` for {flag}"));
     let mut args = std::env::args().skip(1);
@@ -85,6 +97,30 @@ fn main() -> symbio::Result<()> {
                 let v = value()?;
                 snapshot_every = v.parse().map_err(|_| bad("--snapshot-every", &v))?;
             }
+            "--shards" => {
+                let v = value()?;
+                shards = v.parse().map_err(|_| bad("--shards", &v))?;
+                if shards == 0 {
+                    return Err(bad("--shards", &v));
+                }
+            }
+            "--batch-max" => {
+                let v = value()?;
+                batch_max = v.parse().map_err(|_| bad("--batch-max", &v))?;
+            }
+            "--encoding" => {
+                let v = value()?;
+                encodings = match v.as_str() {
+                    "json" => vec![Encoding::JsonLines],
+                    "binary" => vec![Encoding::Binary],
+                    "both" => vec![Encoding::JsonLines, Encoding::Binary],
+                    _ => {
+                        return Err(Error::InvalidConfig(format!(
+                            "bad value `{v}` for --encoding (expected json | binary | both)"
+                        )))
+                    }
+                };
+            }
             other => {
                 return Err(Error::InvalidConfig(format!("unknown flag `{other}`")));
             }
@@ -93,24 +129,45 @@ fn main() -> symbio::Result<()> {
 
     symbio::obs::fault::arm_from_env();
 
-    let mut engine = OnlineEngine::new(policy_by_name(&policy_name)?, online_cfg)?;
-    if let Some(path) = &journal_path {
-        let recovery = engine.recover_from(Path::new(path))?;
-        if recovery.frames > 0 {
-            println!(
-                "symbiod recovered {} frames ({} bytes{}) from {path}",
-                recovery.frames,
-                recovery.bytes,
-                if recovery.truncated {
-                    ", torn tail dropped"
-                } else {
-                    ""
-                }
-            );
+    // One engine per shard, all reporting into the first engine's
+    // counter ledger so `metrics` replies cover the whole daemon. Each
+    // shard journals to its own segment; a single-shard daemon keeps the
+    // plain path so existing deployments recover their old journals.
+    let mut engines = Vec::with_capacity(shards);
+    let mut ledger = None;
+    for k in 0..shards {
+        let mut engine = OnlineEngine::new(policy_by_name(&policy_name)?, online_cfg)?;
+        match &ledger {
+            Some(counters) => engine = engine.with_counters(std::sync::Arc::clone(counters)),
+            None => ledger = Some(std::sync::Arc::clone(engine.counters())),
         }
-        engine = engine.with_journal(JournalWriter::open(path, snapshot_every)?);
+        if let Some(path) = &journal_path {
+            let segment = if shards == 1 {
+                path.clone()
+            } else {
+                format!("{path}.shard-{k}")
+            };
+            let recovery = engine.recover_from(Path::new(&segment))?;
+            if recovery.frames > 0 {
+                println!(
+                    "symbiod recovered {} frames ({} bytes{}) from {segment}",
+                    recovery.frames,
+                    recovery.bytes,
+                    if recovery.truncated {
+                        ", torn tail dropped"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            engine = engine.with_journal(JournalWriter::open(&segment, snapshot_every)?);
+        }
+        engines.push(engine);
     }
-    let daemon = Symbiod::bind(&addr, engine, serve_cfg)?;
+    let daemon = SymbiodBuilder::new(serve_cfg)
+        .batch_max(batch_max)
+        .encodings(&encodings)
+        .bind(&addr, engines)?;
     println!("symbiod listening on {}", daemon.local_addr());
     std::io::stdout().flush()?;
     daemon.run()

@@ -1,20 +1,25 @@
 //! # symbio-serve — `symbiod`, the signature-serving daemon
 //!
-//! The deployment front-end of the online subsystem: a multi-threaded
-//! TCP daemon (std::net, no async runtime) that accepts line-delimited
-//! JSON frames, feeds signature snapshots to a [`symbio_online`] engine,
-//! and answers mapping and metrics queries. See [`proto`] for the wire
-//! format and [`server`] for the serving architecture (worker pool,
-//! accept backlog cap, per-request deadlines, graceful drain).
+//! The deployment front-end of the online subsystem: a sharded
+//! multi-reactor TCP daemon (std + raw epoll, no async runtime) that
+//! speaks a versioned wire protocol, feeds signature snapshots to
+//! per-shard [`symbio_online`] engines, and answers mapping and metrics
+//! queries. See [`proto`] for the envelope (v1 json-lines, v2 binary
+//! with batched ingest, `Hello`/`Welcome` negotiation) and [`server`]
+//! for the serving architecture (reactors, shards, SPSC queues,
+//! graceful drain with per-shard barriers).
 //!
 //! The `symbiod` binary wraps [`Symbiod`] behind a small flag parser;
-//! `loadgen` (in `symbio-bench`) replays recorded snapshot traces against
-//! it and writes latency/throughput records to `BENCH_serve.json`.
+//! `loadgen` (in `symbio-bench`) replays recorded snapshot traces
+//! against it through [`client::WireClient`] and writes
+//! latency/throughput records to `BENCH_serve.json`.
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use proto::{read_frame, write_frame, Request, Response};
-pub use server::{ServeConfig, Symbiod};
+pub use client::WireClient;
+pub use proto::{read_frame, write_frame, Encoding, Hello, Request, Response, Welcome};
+pub use server::{ServeConfig, Symbiod, SymbiodBuilder};

@@ -1,0 +1,462 @@
+//! The `symbiod` wire protocol: a versioned envelope with two framings.
+//!
+//! A connection always *starts* in proto v1 (line-delimited JSON, the
+//! format `nc` can speak), and may upgrade by sending a [`Hello`] frame
+//! listing the versions and encodings it understands:
+//!
+//! ```text
+//! → {"Hello":{"versions":[1,2],"encodings":["binary","json-lines"]}}
+//! ← {"Welcome":{"version":2,"encoding":"binary","batch_max":64}}
+//! → <4-byte LE length><tag><payload>           (all following frames)
+//! ```
+//!
+//! The [`Welcome`] reply is sent in the *old* encoding (the one the
+//! `Hello` itself arrived in); every frame after it uses the negotiated
+//! one. Two encodings exist:
+//!
+//! * **`json-lines`** (proto v1, [`v1`]): one externally-tagged JSON
+//!   object per line — readable with `nc`, greppable in traces, and kept
+//!   bit-compatible with the pre-envelope daemon (see
+//!   `tests/proto_compat.rs` for the committed golden transcript);
+//! * **`binary`** (proto v2, [`v2`]): length-prefixed frames
+//!   (`u32` little-endian payload length, one tag byte, hand-packed
+//!   fields) with batched snapshot ingest ([`Request::IngestBatch`]) so
+//!   one read carries many epochs.
+//!
+//! Both encodings carry the same [`Request`]/[`Reply`] enum pair; a
+//! [`FrameCodec`] turns either byte stream into them and back. Protocol
+//! errors are structured ([`Response::Error`] with `{code, message,
+//! retryable}`): `retryable` is the client's retry predicate, `code` is a
+//! stable machine-matchable token, and the legacy `kind` class is kept
+//! for pre-envelope clients.
+//!
+//! A malformed frame never kills the connection (the daemon replies with
+//! an error and keeps reading) — except an unframeable v2 length prefix,
+//! after which the stream cannot be resynchronized and is closed.
+//!
+//! # Migration note (bare v1 forms)
+//!
+//! Connecting without `Hello` and speaking bare `Ingest`/`Map`/`Metrics`
+//! lines still works, but is **deprecated as of 0.1.0 and scheduled for
+//! removal one release later**: new clients must open with `Hello`. See
+//! [`v1::compat`] for the deprecated constructors and the migration
+//! recipe; `loadgen --encoding legacy` exercises the old path and warns.
+
+pub mod v1;
+pub mod v2;
+
+use serde::{Deserialize, Serialize};
+use symbio::obs::CounterSnapshot;
+use symbio::Error;
+use symbio_machine::{Mapping, SigSnapshot};
+use symbio_online::Decision;
+
+pub use v1::{read_frame, write_frame, V1Codec};
+pub use v2::V2Codec;
+
+/// Protocol version speaking line-delimited JSON.
+pub const PROTO_V1: u32 = 1;
+/// Protocol version speaking length-prefixed binary frames.
+pub const PROTO_V2: u32 = 2;
+/// Every version this build can serve.
+pub const SUPPORTED_VERSIONS: [u32; 2] = [PROTO_V1, PROTO_V2];
+/// Default cap on [`Request::IngestBatch`] items per frame.
+pub const DEFAULT_BATCH_MAX: usize = 64;
+
+/// A wire encoding the envelope can negotiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// One externally-tagged JSON object per line (proto v1).
+    JsonLines,
+    /// Length-prefixed hand-packed binary frames (proto v2).
+    Binary,
+}
+
+impl Encoding {
+    /// The token used for this encoding in [`Hello`]/[`Welcome`] frames.
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::JsonLines => "json-lines",
+            Encoding::Binary => "binary",
+        }
+    }
+
+    /// Parse a [`Hello`] encoding token.
+    pub fn by_name(name: &str) -> Option<Encoding> {
+        match name {
+            "json-lines" => Some(Encoding::JsonLines),
+            "binary" => Some(Encoding::Binary),
+            _ => None,
+        }
+    }
+
+    /// The codec implementing this encoding.
+    pub fn codec(self) -> &'static (dyn FrameCodec + Sync) {
+        match self {
+            Encoding::JsonLines => &V1Codec,
+            Encoding::Binary => &V2Codec,
+        }
+    }
+}
+
+/// Version/encoding negotiation opener (client → daemon).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hello {
+    /// Protocol versions the client understands, any order.
+    pub versions: Vec<u32>,
+    /// Encoding tokens the client understands, preference order.
+    pub encodings: Vec<String>,
+}
+
+impl Hello {
+    /// A `Hello` preferring `preferred` but listing everything this
+    /// build supports.
+    pub fn preferring(preferred: Encoding) -> Hello {
+        let mut encodings = vec![preferred.name().to_string()];
+        for e in [Encoding::Binary, Encoding::JsonLines] {
+            if e != preferred {
+                encodings.push(e.name().to_string());
+            }
+        }
+        Hello {
+            versions: SUPPORTED_VERSIONS.to_vec(),
+            encodings,
+        }
+    }
+}
+
+/// Negotiation outcome (daemon → client). Sent in the encoding the
+/// `Hello` arrived in; every frame after it uses the negotiated one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Welcome {
+    /// Protocol version in force for the rest of the connection.
+    pub version: u32,
+    /// Encoding token in force for the rest of the connection.
+    pub encoding: String,
+    /// Most snapshots the daemon accepts in one `IngestBatch` frame.
+    pub batch_max: u64,
+}
+
+/// Pick the version/encoding for a client's [`Hello`] against the
+/// daemon's allowed encoding set. `Err` carries the error reply to send
+/// (the connection then stays on its current encoding).
+#[allow(clippy::result_large_err)] // the Err *is* the wire reply; boxing just moves the copy
+pub fn negotiate(
+    hello: &Hello,
+    allowed: &[Encoding],
+    batch_max: usize,
+) -> Result<(Encoding, Welcome), Response> {
+    let version = hello
+        .versions
+        .iter()
+        .copied()
+        .filter(|v| SUPPORTED_VERSIONS.contains(v))
+        .max();
+    let Some(version) = version else {
+        return Err(Response::protocol(
+            "unsupported_version",
+            format!(
+                "no common protocol version (client {:?}, server {SUPPORTED_VERSIONS:?})",
+                hello.versions
+            ),
+        ));
+    };
+    let encoding = hello
+        .encodings
+        .iter()
+        .filter_map(|n| Encoding::by_name(n))
+        .find(|e| allowed.contains(e) && (*e != Encoding::Binary || version >= PROTO_V2));
+    let encoding = match encoding {
+        Some(e) => e,
+        None if allowed.contains(&Encoding::JsonLines) => Encoding::JsonLines,
+        None => {
+            return Err(Response::protocol(
+                "unsupported_encoding",
+                format!("no common encoding (client {:?})", hello.encodings),
+            ))
+        }
+    };
+    let version = if encoding == Encoding::Binary {
+        PROTO_V2
+    } else {
+        PROTO_V1
+    };
+    Ok((
+        encoding,
+        Welcome {
+            version,
+            encoding: encoding.name().to_string(),
+            batch_max: batch_max as u64,
+        },
+    ))
+}
+
+/// A client→daemon frame (identical meaning in every encoding).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Open version/encoding negotiation (answered with `Welcome`).
+    Hello(Hello),
+    /// One epoch of a group's signature stream; the daemon feeds it to
+    /// the online engine and replies with the resulting [`Decision`].
+    Ingest(SigSnapshot),
+    /// Many epochs in one frame (answered with one `Batch` reply whose
+    /// items line up with the snapshots, in order). Capped at the
+    /// negotiated `batch_max`.
+    IngestBatch(Vec<SigSnapshot>),
+    /// Ask for a group's current mapping and stream statistics.
+    Map {
+        /// Process-group identifier, as carried by its snapshots.
+        group: String,
+    },
+    /// Ask for the daemon's observability counters.
+    Metrics,
+    /// Graceful drain: stop accepting, flush every shard's queued work
+    /// into the journal, finish in-flight connections, exit.
+    Shutdown,
+}
+
+/// A daemon→client frame (identical meaning in every encoding).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Reply to [`Request::Hello`]: negotiation outcome.
+    Welcome(Welcome),
+    /// Outcome of an [`Request::Ingest`] epoch.
+    Decision(Decision),
+    /// Reply to [`Request::IngestBatch`]: one item per snapshot, in
+    /// snapshot order (each a `Decision`, `Recovering`, `Degraded` or
+    /// `Error`, exactly as the lone-`Ingest` reply would have been).
+    Batch(Vec<Response>),
+    /// Reply to [`Request::Map`].
+    Map {
+        /// Echo of the queried group.
+        group: String,
+        /// The group's committed mapping (`None` while warming up or for
+        /// a group the daemon has never seen).
+        mapping: Option<Mapping>,
+        /// Epochs ingested for the group.
+        epochs: u64,
+        /// Remaps committed for the group.
+        remaps: u64,
+    },
+    /// Reply to [`Request::Metrics`].
+    Metrics(CounterSnapshot),
+    /// Load-shed reply: the shard's ingest queue is full (or the daemon
+    /// is draining), so it answered from its last-good mapping cache
+    /// instead of running the engine. Strictly better than `busy` for
+    /// the client — it still gets a usable placement — but the epoch was
+    /// *not* tallied.
+    Degraded {
+        /// Echo of the requested group.
+        group: String,
+        /// The group's last-good mapping (`None` if the daemon has never
+        /// committed one for this group).
+        mapping: Option<Mapping>,
+        /// Human-readable cause of the degradation.
+        message: String,
+    },
+    /// The group is quarantined after repeated invalid snapshots: the
+    /// epoch advanced its clean streak but was not tallied, and the
+    /// last-good mapping is served until the stream proves clean.
+    Recovering {
+        /// Echo of the snapshot's group.
+        group: String,
+        /// Echo of the snapshot's sequence number.
+        seq: u64,
+        /// The group's last-good mapping.
+        mapping: Option<Mapping>,
+    },
+    /// Bare acknowledgement (shutdown accepted, every shard queue
+    /// drained into the journal, *and* the accept path closed: a client
+    /// that sees this may immediately reuse the port).
+    Ok,
+    /// Structured failure reply; the connection stays usable.
+    Error {
+        /// Legacy error class kept for pre-envelope clients: `protocol`,
+        /// `io`, `config`, `validation`, `busy`, or `unknown`.
+        kind: String,
+        /// Stable machine-matchable token (`bad_frame`, `io_fault`,
+        /// `invalid_snapshot`, `overloaded`, `batch_too_large`,
+        /// `unsupported_version`, `unsupported_encoding`, `bad_config`,
+        /// `internal`).
+        code: String,
+        /// Human-readable description.
+        message: String,
+        /// Whether retrying the same request can succeed (the client's
+        /// retry predicate — duplicate suppression makes retried epochs
+        /// idempotent).
+        retryable: bool,
+    },
+}
+
+/// Alias making the reply half of the envelope's enum pair explicit.
+pub use Response as Reply;
+
+impl Response {
+    /// The error reply for a facade error, classified by variant.
+    pub fn from_error(e: &Error) -> Response {
+        let (kind, code, retryable) = match e {
+            Error::Protocol(_) => ("protocol", "bad_frame", false),
+            Error::Io(_) => ("io", "io_fault", true),
+            Error::InvalidConfig(_) => ("config", "bad_config", false),
+            Error::Validation(_) => ("validation", "invalid_snapshot", false),
+            _ => ("unknown", "internal", false),
+        };
+        Response::Error {
+            kind: kind.to_string(),
+            code: code.to_string(),
+            message: e.to_string(),
+            retryable,
+        }
+    }
+
+    /// A non-retryable protocol error with a stable `code`.
+    pub fn protocol(code: &str, message: impl Into<String>) -> Response {
+        Response::Error {
+            kind: "protocol".to_string(),
+            code: code.to_string(),
+            message: message.into(),
+            retryable: false,
+        }
+    }
+
+    /// The overload reply sent when the daemon cannot take the request.
+    pub fn busy() -> Response {
+        Response::Error {
+            kind: "busy".to_string(),
+            code: "overloaded".to_string(),
+            message: "accept backlog full; retry later".to_string(),
+            retryable: true,
+        }
+    }
+
+    /// Whether this reply is an error frame.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+
+    /// Whether retrying the request that produced this reply can help.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Response::Error {
+                retryable: true,
+                ..
+            }
+        )
+    }
+}
+
+/// A framing + encoding pair: turns the byte stream into
+/// [`Request`]/[`Reply`] frames and back. Implemented by [`V1Codec`]
+/// (json-lines) and [`V2Codec`] (binary).
+pub trait FrameCodec: Send {
+    /// The encoding this codec implements.
+    fn encoding(&self) -> Encoding;
+
+    /// Try to split one frame's payload off the front of `buf`. Returns
+    /// `Some((bytes_consumed, payload))` when a whole frame is buffered,
+    /// `None` when more bytes are needed, and `Err` when the stream can
+    /// no longer be framed (the connection must close).
+    fn split_frame<'a>(&self, buf: &'a [u8]) -> symbio::Result<Option<(usize, &'a [u8])>>;
+
+    /// Decode one frame payload as a request.
+    fn decode_request(&self, frame: &[u8]) -> symbio::Result<Request>;
+
+    /// Decode one frame payload as a reply.
+    fn decode_reply(&self, frame: &[u8]) -> symbio::Result<Response>;
+
+    /// Append one encoded request frame (framing included) to `out`.
+    fn encode_request(&self, request: &Request, out: &mut Vec<u8>) -> symbio::Result<()>;
+
+    /// Append one encoded reply frame (framing included) to `out`.
+    fn encode_reply(&self, reply: &Response, out: &mut Vec<u8>) -> symbio::Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiation_picks_the_clients_preference() {
+        let both = [Encoding::JsonLines, Encoding::Binary];
+        let (enc, welcome) =
+            negotiate(&Hello::preferring(Encoding::Binary), &both, 64).expect("negotiates");
+        assert_eq!(enc, Encoding::Binary);
+        assert_eq!(welcome.version, PROTO_V2);
+        assert_eq!(welcome.encoding, "binary");
+        assert_eq!(welcome.batch_max, 64);
+
+        let (enc, welcome) =
+            negotiate(&Hello::preferring(Encoding::JsonLines), &both, 8).expect("negotiates");
+        assert_eq!(enc, Encoding::JsonLines);
+        assert_eq!(welcome.version, PROTO_V1);
+    }
+
+    #[test]
+    fn negotiation_requires_v2_for_binary() {
+        let both = [Encoding::JsonLines, Encoding::Binary];
+        let hello = Hello {
+            versions: vec![1],
+            encodings: vec!["binary".to_string()],
+        };
+        // A v1-only client asking for binary falls back to json-lines.
+        let (enc, welcome) = negotiate(&hello, &both, 64).expect("falls back");
+        assert_eq!(enc, Encoding::JsonLines);
+        assert_eq!(welcome.version, PROTO_V1);
+    }
+
+    #[test]
+    fn negotiation_rejects_alien_clients() {
+        let both = [Encoding::JsonLines, Encoding::Binary];
+        let hello = Hello {
+            versions: vec![99],
+            encodings: vec!["binary".to_string()],
+        };
+        let reply = negotiate(&hello, &both, 64).expect_err("no common version");
+        match reply {
+            Response::Error {
+                ref code,
+                retryable,
+                ..
+            } => {
+                assert_eq!(code, "unsupported_version");
+                assert!(!retryable);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+
+        // Unknown encodings from a current-version client degrade to
+        // json-lines rather than failing (only a binary-only server
+        // rejects them outright).
+        let hello = Hello {
+            versions: vec![1, 2],
+            encodings: vec!["morse".to_string()],
+        };
+        let (enc, _) = negotiate(&hello, &both, 64).expect("degrades to json");
+        assert_eq!(enc, Encoding::JsonLines);
+        let reply = negotiate(&hello, &[Encoding::Binary], 64).expect_err("binary-only");
+        assert!(
+            matches!(reply, Response::Error { ref code, .. } if code == "unsupported_encoding")
+        );
+    }
+
+    #[test]
+    fn error_replies_carry_the_retry_predicate() {
+        let io = Response::from_error(&Error::Io(std::io::Error::other("boom")));
+        assert!(io.is_retryable());
+        assert!(io.is_error());
+        let val = Response::from_error(&Error::Validation("negative occupancy".to_string()));
+        assert!(!val.is_retryable());
+        match val {
+            Response::Error {
+                ref kind, ref code, ..
+            } => {
+                assert_eq!(kind, "validation");
+                assert_eq!(code, "invalid_snapshot");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert!(Response::busy().is_retryable());
+        assert!(!Response::Ok.is_retryable());
+    }
+}

@@ -1,0 +1,375 @@
+//! Proto v1: line-delimited JSON frames (the pre-envelope wire format,
+//! kept bit-compatible).
+//!
+//! One request per line, one response line back, connections are
+//! pipelined (a client may keep a connection open and stream frames).
+//! Frames are externally-tagged JSON enums so the protocol is readable
+//! with `nc` and greppable in traces:
+//!
+//! ```text
+//! → {"Ingest":{"group":"mix-a","seq":0,...}}
+//! ← {"Decision":{"group":"mix-a","seq":0,"mapping":...}}
+//! → {"Map":{"group":"mix-a"}}
+//! ← {"Map":{"group":"mix-a","mapping":{...},"epochs":12,"remaps":1}}
+//! → "Metrics"
+//! ← {"Metrics":{"serve_requests":14,...}}
+//! → "Shutdown"
+//! ← "Ok"
+//! ```
+//!
+//! A malformed line never kills the connection: the daemon replies with
+//! a structured [`Response::Error`] and keeps reading. A committed
+//! golden transcript (`tests/proto_compat.rs`) pins this byte stream —
+//! a v1 client against any future daemon must see identical reply bytes.
+//!
+//! Opening with [`Hello`](super::Hello) is how new clients should start;
+//! the bare forms are deprecated, see [`compat`].
+
+use super::{Encoding, FrameCodec, Request, Response};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use symbio::Error;
+
+/// Lines longer than this cannot be framed and close the connection
+/// (matches [`super::v2::MAX_FRAME`], so neither encoding can be forced
+/// to buffer unboundedly).
+pub const MAX_LINE: usize = super::v2::MAX_FRAME;
+
+/// The json-lines codec (proto v1). Stateless; [`Encoding::JsonLines`]
+/// hands out a shared instance via [`Encoding::codec`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct V1Codec;
+
+impl FrameCodec for V1Codec {
+    fn encoding(&self) -> Encoding {
+        Encoding::JsonLines
+    }
+
+    fn split_frame<'a>(&self, buf: &'a [u8]) -> symbio::Result<Option<(usize, &'a [u8])>> {
+        match buf.iter().position(|b| *b == b'\n') {
+            Some(pos) => {
+                let mut line = &buf[..pos];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+                Ok(Some((pos + 1, line)))
+            }
+            None if buf.len() > MAX_LINE => Err(Error::Protocol(format!(
+                "unterminated frame exceeds {MAX_LINE} bytes"
+            ))),
+            None => Ok(None),
+        }
+    }
+
+    fn decode_request(&self, frame: &[u8]) -> symbio::Result<Request> {
+        decode_line(frame)
+    }
+
+    fn decode_reply(&self, frame: &[u8]) -> symbio::Result<Response> {
+        decode_line(frame)
+    }
+
+    fn encode_request(&self, request: &Request, out: &mut Vec<u8>) -> symbio::Result<()> {
+        encode_line(request, out)
+    }
+
+    fn encode_reply(&self, reply: &Response, out: &mut Vec<u8>) -> symbio::Result<()> {
+        encode_line(reply, out)
+    }
+}
+
+fn decode_line<T: Deserialize>(frame: &[u8]) -> symbio::Result<T> {
+    let text = std::str::from_utf8(frame)
+        .map_err(|_| Error::Protocol("frame is not UTF-8".to_string()))?
+        .trim();
+    if text.is_empty() {
+        return Err(Error::Protocol("empty frame".to_string()));
+    }
+    Ok(serde_json::from_str(text)?)
+}
+
+fn encode_line<T: Serialize>(frame: &T, out: &mut Vec<u8>) -> symbio::Result<()> {
+    let line = serde_json::to_string(frame)?;
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+    Ok(())
+}
+
+/// Serialize one frame and write it as a line (one `write_all` for
+/// payload + newline, then a flush — a frame must never straddle two
+/// small TCP segments, or Nagle + delayed-ACK stalls every round-trip).
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, frame: &T) -> symbio::Result<()> {
+    let mut line = serde_json::to_string(frame)?;
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one line and decode it as `T`. Returns `Ok(None)` on clean EOF,
+/// `Err(Error::Protocol)` on an undecodable frame, `Err(Error::Io)` when
+/// the read itself fails (including a blown deadline).
+pub fn read_frame<R: BufRead, T: Deserialize>(r: &mut R) -> symbio::Result<Option<T>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let text = line.trim();
+    if text.is_empty() {
+        return Err(Error::Protocol("empty frame".to_string()));
+    }
+    Ok(Some(serde_json::from_str(text)?))
+}
+
+/// Deprecated bare v1 forms (requests sent without a `Hello` opener).
+///
+/// # Migration note
+///
+/// Bare top-level `Ingest`/`Map`/`Metrics` lines are accepted for **one
+/// more release** so existing recorded traces keep replaying; after
+/// that, the first frame of a connection must be `Hello`. To migrate a
+/// client:
+///
+/// 1. open with `Hello::preferring(Encoding::JsonLines)` (byte streams
+///    after the `Welcome` are unchanged), or `Encoding::Binary` to get
+///    length-prefixed frames and batched ingest;
+/// 2. switch the retry predicate from matching `kind == "busy"/"io"` to
+///    the structured `retryable` field;
+/// 3. replace ad hoc constructors with the [`Request`] enum — the items
+///    below only wrap it and exist to give the deprecation a compiler
+///    diagnostic.
+pub mod compat {
+    use super::{Request, Response};
+    use symbio_machine::SigSnapshot;
+
+    /// A bare `Ingest` line (no `Hello` handshake).
+    #[deprecated(
+        since = "0.1.0",
+        note = "bare v1 forms are removed one release after 0.1.0; open with proto::Hello"
+    )]
+    pub fn bare_ingest(snapshot: SigSnapshot) -> Request {
+        Request::Ingest(snapshot)
+    }
+
+    /// A bare `Map` line (no `Hello` handshake).
+    #[deprecated(
+        since = "0.1.0",
+        note = "bare v1 forms are removed one release after 0.1.0; open with proto::Hello"
+    )]
+    pub fn bare_map(group: impl Into<String>) -> Request {
+        Request::Map {
+            group: group.into(),
+        }
+    }
+
+    /// A bare `Metrics` line (no `Hello` handshake).
+    #[deprecated(
+        since = "0.1.0",
+        note = "bare v1 forms are removed one release after 0.1.0; open with proto::Hello"
+    )]
+    pub fn bare_metrics() -> Request {
+        Request::Metrics
+    }
+
+    /// Legacy retry predicate (`kind == "busy" || kind == "io"`), kept
+    /// so pre-envelope clients compile against one release more.
+    #[deprecated(
+        since = "0.1.0",
+        note = "match the structured `retryable` field (Response::is_retryable) instead"
+    )]
+    pub fn legacy_retryable(reply: &Response) -> bool {
+        matches!(reply, Response::Error { kind, .. } if kind == "busy" || kind == "io")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Hello, Welcome};
+    use super::*;
+    use symbio_machine::{Mapping, ProcView, SigSnapshot, ThreadView};
+    use symbio_online::{Decision, DecisionReason};
+
+    fn snapshot() -> SigSnapshot {
+        SigSnapshot {
+            group: "g".to_string(),
+            seq: 3,
+            now_cycles: 77,
+            cores: 2,
+            domains: vec![2],
+            procs: vec![ProcView {
+                pid: 0,
+                name: "p0".to_string(),
+                threads: vec![ThreadView {
+                    tid: 0,
+                    pid: 0,
+                    name: "p0".to_string(),
+                    occupancy: 12.5,
+                    symbiosis: vec![1.0, 2.0],
+                    overlap: vec![0.5, 0.25],
+                    last_occupancy: 12,
+                    last_core: Some(1),
+                    samples: 4,
+                    filter_len: 64,
+                    l2_miss_rate: 0.1,
+                    l2_misses: 9,
+                    retired: 90,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        let frames = vec![
+            Request::Hello(Hello::preferring(crate::proto::Encoding::Binary)),
+            Request::Ingest(snapshot()),
+            Request::IngestBatch(vec![snapshot(), snapshot()]),
+            Request::Map {
+                group: "g".to_string(),
+            },
+            Request::Metrics,
+            Request::Shutdown,
+        ];
+        for f in frames {
+            let text = serde_json::to_string(&f).unwrap();
+            let back: Request = serde_json::from_str(&text).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                text,
+                "frame not stable: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_json() {
+        let decision = Decision {
+            group: "g".to_string(),
+            seq: 3,
+            mapping: Some(Mapping::new(vec![0, 1])),
+            changed: true,
+            reason: DecisionReason::Initial,
+            gain: 0.0,
+            votes: 2,
+            window: 2,
+            domains_changed: vec![0],
+        };
+        let frames = vec![
+            Response::Welcome(Welcome {
+                version: 2,
+                encoding: "binary".to_string(),
+                batch_max: 64,
+            }),
+            Response::Decision(decision.clone()),
+            Response::Batch(vec![Response::Decision(decision), Response::busy()]),
+            Response::Map {
+                group: "g".to_string(),
+                mapping: None,
+                epochs: 5,
+                remaps: 0,
+            },
+            Response::Metrics(symbio::obs::Counters::new().snapshot()),
+            Response::Degraded {
+                group: "g".to_string(),
+                mapping: Some(Mapping::new(vec![0, 1])),
+                message: "shard queue full; serving last-good mapping".to_string(),
+            },
+            Response::Recovering {
+                group: "g".to_string(),
+                seq: 9,
+                mapping: None,
+            },
+            Response::Ok,
+            Response::busy(),
+        ];
+        for f in frames {
+            let text = serde_json::to_string(&f).unwrap();
+            let back: Response = serde_json::from_str(&text).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                text,
+                "frame not stable: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn frames_cross_a_buffered_pipe() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Metrics).unwrap();
+        write_frame(
+            &mut buf,
+            &Request::Map {
+                group: "g".to_string(),
+            },
+        )
+        .unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        let a: Option<Request> = read_frame(&mut r).unwrap();
+        assert!(matches!(a, Some(Request::Metrics)));
+        let b: Option<Request> = read_frame(&mut r).unwrap();
+        assert!(matches!(b, Some(Request::Map { .. })));
+        let eof: Option<Request> = read_frame(&mut r).unwrap();
+        assert!(eof.is_none());
+    }
+
+    #[test]
+    fn bad_frames_are_protocol_errors() {
+        let mut r = std::io::BufReader::new(&b"{not json}\n"[..]);
+        let err = read_frame::<_, Request>(&mut r).unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err}");
+        let reply = Response::from_error(&err);
+        match &reply {
+            Response::Error {
+                kind,
+                code,
+                retryable,
+                ..
+            } => {
+                assert_eq!(kind, "protocol");
+                assert_eq!(code, "bad_frame");
+                assert!(!retryable);
+            }
+            other => panic!("expected error reply, got {other:?}"),
+        }
+        assert!(reply.is_error());
+    }
+
+    #[test]
+    fn codec_splits_lines_incrementally() {
+        let codec = V1Codec;
+        let mut buf = Vec::new();
+        codec.encode_request(&Request::Metrics, &mut buf).unwrap();
+        let cut = buf.len() - 1;
+        // Partial line: need more bytes.
+        assert!(codec.split_frame(&buf[..cut]).unwrap().is_none());
+        let (consumed, payload) = codec.split_frame(&buf).unwrap().expect("whole line");
+        assert_eq!(consumed, buf.len());
+        let back = codec.decode_request(payload).unwrap();
+        assert!(matches!(back, Request::Metrics));
+        // CRLF is tolerated.
+        let (_, payload) = codec
+            .split_frame(b"\"Shutdown\"\r\n")
+            .unwrap()
+            .expect("crlf line");
+        assert!(matches!(
+            codec.decode_request(payload).unwrap(),
+            Request::Shutdown
+        ));
+        // An empty line is a per-frame protocol error, not a framing one.
+        let (consumed, payload) = codec.split_frame(b"\nrest").unwrap().expect("empty line");
+        assert_eq!(consumed, 1);
+        assert!(codec.decode_request(payload).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn compat_constructors_still_produce_wire_identical_frames() {
+        let bare = serde_json::to_string(&compat::bare_metrics()).unwrap();
+        assert_eq!(bare, serde_json::to_string(&Request::Metrics).unwrap());
+        let bare = serde_json::to_string(&compat::bare_map("g")).unwrap();
+        assert_eq!(bare, "{\"Map\":{\"group\":\"g\"}}");
+        assert!(compat::legacy_retryable(&Response::busy()));
+        assert!(!compat::legacy_retryable(&Response::Ok));
+    }
+}

@@ -1,0 +1,337 @@
+//! Reactor threads: epoll event loops that own the socket side of the
+//! daemon.
+//!
+//! Every reactor registers the shared nonblocking listener in its own
+//! epoll set (level-triggered, so whichever reactor wins `accept` takes
+//! the connection and the rest see `WouldBlock`), plus a wake pipe that
+//! shards nudge after pushing completions. Accepted connections never
+//! migrate: the accepting reactor owns the session until it closes.
+//!
+//! Per iteration a reactor: handles readiness events (accept / read +
+//! dispatch / write), drains its completion rings into the sessions,
+//! advances the drain protocol if a shutdown is in progress, and
+//! flushes every session's ready replies to its socket.
+//!
+//! Drain protocol (reactor side): on observing the drain flag the
+//! reactor deregisters and drops its listener handle, then pushes one
+//! [`Job::Barrier`] down each of its job rings (retrying full rings each
+//! iteration) and reports quiesced. Once every shard and reactor has
+//! reported, the pending shutdown ACKs resolve to `Ok` and the loop
+//! exits after a bounded final flush.
+
+use super::codec::{Chunk, FrameBuffer};
+use super::queue::{Consumer, Producer};
+use super::session::{Session, ShardPort};
+use super::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use super::{Completion, Job, ShardSignal, Shared};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Instant;
+use symbio::obs::Counters;
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// One accepted connection: its socket plus protocol state.
+struct Conn {
+    stream: TcpStream,
+    session: Session,
+    rx: FrameBuffer,
+    last_activity: Instant,
+    /// Peer closed its write half (serve out the pipeline, then close).
+    read_closed: bool,
+    /// Fatal protocol state: flush what is queued, then close.
+    poisoned: bool,
+    /// Whether `EPOLLOUT` interest is currently registered.
+    want_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, id: u64) -> Conn {
+        Conn {
+            stream,
+            session: Session::new(id),
+            rx: FrameBuffer::new(),
+            last_activity: Instant::now(),
+            read_closed: false,
+            poisoned: false,
+            want_write: false,
+        }
+    }
+
+    /// Nothing left to serve: every reply flushed and the peer is gone
+    /// (or the protocol state is beyond repair).
+    fn finished(&self) -> bool {
+        let flushed = self.session.outbuf.is_empty() && !self.session.has_pending();
+        (self.read_closed && flushed) || (self.poisoned && self.session.outbuf.is_empty())
+    }
+}
+
+/// The reactor's SPSC producers, wrapped as the session-facing port.
+struct ReactorPort {
+    producers: Vec<Producer<Job>>,
+    signals: Vec<Arc<ShardSignal>>,
+}
+
+impl ShardPort for ReactorPort {
+    fn submit(&mut self, shard: usize, job: Job) -> Result<(), Job> {
+        self.producers[shard].push(job)?;
+        self.signals[shard].notify();
+        Ok(())
+    }
+}
+
+/// The reactor thread body.
+pub(crate) fn reactor_loop(
+    listener: Arc<TcpListener>,
+    shared: Arc<Shared>,
+    producers: Vec<Producer<Job>>,
+    signals: Vec<Arc<ShardSignal>>,
+    mut completions: Vec<Consumer<Completion>>,
+    mut wake: UnixStream,
+) {
+    let Ok(epoll) = Epoll::new() else {
+        return;
+    };
+    if epoll
+        .add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+        .is_err()
+        || epoll.add(wake.as_raw_fd(), EPOLLIN, TOKEN_WAKE).is_err()
+    {
+        return;
+    }
+    let mut listener = Some(listener);
+    let mut port = ReactorPort { producers, signals };
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut events = vec![EpollEvent { events: 0, data: 0 }; 64];
+    // Shards this reactor still owes a drain barrier.
+    let mut barrier_due: Vec<bool> = vec![true; shared.shards];
+    let mut quiesced = false;
+    let mut finalize_by: Option<Instant> = None;
+
+    loop {
+        let timeout_ms = if shared.draining() { 1 } else { 50 };
+        let n = match epoll.wait(&mut events, timeout_ms) {
+            Ok(n) => n,
+            Err(_) => break,
+        };
+
+        for ev in events.iter().take(n) {
+            let (ready, token) = (ev.events, ev.data);
+            match token {
+                TOKEN_LISTENER => {
+                    if shared.draining() {
+                        continue; // quiesce step below closes the listener
+                    }
+                    if let Some(l) = &listener {
+                        accept_all(l, &epoll, &mut conns, &mut next_id);
+                    }
+                }
+                TOKEN_WAKE => {
+                    let mut sink = [0u8; 256];
+                    while matches!(wake.read(&mut sink), Ok(n) if n > 0) {}
+                }
+                id => {
+                    let Some(conn) = conns.get_mut(&id) else {
+                        continue;
+                    };
+                    if ready & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0
+                        && !shared.drain_complete()
+                        && !conn.poisoned
+                        && !read_and_dispatch(conn, &shared, &mut port)
+                    {
+                        close_conn(&epoll, &mut conns, id);
+                        continue;
+                    }
+                    // Writability is handled by the flush pass below.
+                }
+            }
+        }
+
+        // Deliver shard completions into their sessions.
+        for c in &mut completions {
+            while let Some(done) = c.pop() {
+                if let Some(conn) = conns.get_mut(&done.token.session) {
+                    conn.session.complete(done.token, done.reply);
+                }
+            }
+        }
+
+        // Drain protocol: release the listener, then owe each shard one
+        // barrier (a full ring retries next iteration).
+        if shared.draining() && !quiesced {
+            if let Some(l) = listener.take() {
+                let _ = epoll.delete(l.as_raw_fd());
+                drop(l);
+            }
+            for (s, due) in barrier_due.iter_mut().enumerate() {
+                if *due && port.submit(s, Job::Barrier).is_ok() {
+                    *due = false;
+                }
+            }
+            if barrier_due.iter().all(|due| !due) {
+                quiesced = true;
+                shared.note_reactor_quiesced();
+            }
+        }
+        if shared.drain_complete() {
+            // All completions are already delivered (shards push before
+            // reporting drained), so the ACK order is safe.
+            for conn in conns.values_mut() {
+                conn.session.resolve_shutdowns();
+            }
+            if finalize_by.is_none() {
+                finalize_by = Some(Instant::now() + shared.deadline);
+            }
+        }
+
+        // Flush every session; collect the ones that are done.
+        let now = Instant::now();
+        let mut closed: Vec<u64> = Vec::new();
+        for (&id, conn) in conns.iter_mut() {
+            if !flush_conn(conn, &epoll) {
+                closed.push(id);
+                continue;
+            }
+            if conn.finished() {
+                closed.push(id);
+                continue;
+            }
+            if finalize_by.is_none() && now.duration_since(conn.last_activity) > shared.deadline {
+                closed.push(id); // idle past the deadline
+            }
+        }
+        for id in closed {
+            close_conn(&epoll, &mut conns, id);
+        }
+
+        if let Some(deadline) = finalize_by {
+            let all_flushed = conns.values().all(|c| c.session.outbuf.is_empty());
+            if all_flushed || Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+    // Dropping `conns` closes every socket; dropping the producers lets
+    // the rings tear down.
+}
+
+/// Accept until the (nonblocking, shared) listener has nothing left.
+fn accept_all(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    next_id: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // Replies are small frames in a request/reply ping-pong;
+                // letting Nagle batch them just adds delayed-ACK stalls.
+                let _ = stream.set_nodelay(true);
+                let id = *next_id;
+                *next_id += 1;
+                if epoll.add(stream.as_raw_fd(), EPOLLIN, id).is_ok() {
+                    conns.insert(id, Conn::new(stream, id));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break, // transient accept failure; not fatal
+        }
+    }
+}
+
+/// Read whatever the socket has, then dispatch every whole frame.
+/// Returns `false` when the connection must close immediately.
+fn read_and_dispatch(conn: &mut Conn, shared: &Shared, port: &mut ReactorPort) -> bool {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rx.extend(&buf[..n]);
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    loop {
+        match conn.rx.next_request(conn.session.encoding) {
+            Ok(Chunk::Frame(request)) => {
+                if conn.session.dispatch(request, shared, port) {
+                    shared.begin_drain();
+                }
+            }
+            Ok(Chunk::Malformed(e)) => {
+                // Malformed frame: reply in kind, keep the connection.
+                Counters::add(&shared.counters.serve_requests, 1);
+                conn.session
+                    .push_error(crate::proto::Response::from_error(&e), shared);
+            }
+            Ok(Chunk::Incomplete) => break,
+            Err(e) => {
+                // The stream can no longer be framed: answer once, flush,
+                // then close.
+                Counters::add(&shared.counters.serve_requests, 1);
+                conn.session
+                    .push_error(crate::proto::Response::from_error(&e), shared);
+                conn.poisoned = true;
+                break;
+            }
+        }
+    }
+    true
+}
+
+/// Encode ready replies and push them at the socket. Returns `false`
+/// when the connection must close (write error or injected write
+/// fault). Adjusts `EPOLLOUT` interest to match leftover bytes.
+fn flush_conn(conn: &mut Conn, epoll: &Epoll) -> bool {
+    if conn.session.encode_ready().is_err() {
+        return false;
+    }
+    while !conn.session.outbuf.is_empty() {
+        match conn.stream.write(&conn.session.outbuf) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.session.outbuf.drain(..n);
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    let want = !conn.session.outbuf.is_empty();
+    if want != conn.want_write {
+        let mask = if want { EPOLLIN | EPOLLOUT } else { EPOLLIN };
+        if epoll
+            .modify(conn.stream.as_raw_fd(), mask, conn.session.id)
+            .is_err()
+        {
+            return false;
+        }
+        conn.want_write = want;
+    }
+    true
+}
+
+fn close_conn(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, id: u64) {
+    if let Some(conn) = conns.remove(&id) {
+        let _ = epoll.delete(conn.stream.as_raw_fd());
+    }
+}

@@ -1,0 +1,573 @@
+//! Per-connection protocol state: negotiated encoding, the in-order
+//! pending-reply queue, and request dispatch.
+//!
+//! A session is pure protocol — it owns no socket. The reactor feeds it
+//! parsed requests and shard completions; the session hands back encoded
+//! reply bytes in `outbuf`. That split keeps the tricky invariants
+//! (reply ordering under pipelining, batch reassembly, mid-stream
+//! encoding switches, queue-full shedding) unit-testable without a
+//! network.
+//!
+//! **Ordering invariant:** replies leave in request order. Every request
+//! allocates a serial and pushes one [`Pending`] entry; entries resolve
+//! out of order (shards race) but encode strictly from the queue front.
+//! Each entry snapshots the encoding *at request time*, so the `Welcome`
+//! that switches a connection to binary is itself still written in the
+//! encoding its `Hello` arrived in.
+
+use super::{shard_of, Job, Shared, Token};
+use crate::proto::{negotiate, Encoding, Request, Response};
+use std::collections::VecDeque;
+use symbio::obs::Counters;
+
+/// Where a reply slot stands.
+#[derive(Debug)]
+pub(crate) enum PendingState {
+    /// Resolved; may be encoded once it reaches the queue front.
+    Ready(Response),
+    /// Waiting for a lone `Ingest`/`Map` completion from a shard.
+    WaitOne,
+    /// Waiting for the remaining items of an `IngestBatch`.
+    WaitBatch {
+        /// One slot per snapshot, batch order.
+        slots: Vec<Option<Response>>,
+        /// Unresolved slot count.
+        missing: usize,
+    },
+    /// Waiting for the daemon-wide drain to finish (shutdown ACK).
+    WaitShutdown,
+}
+
+/// One outstanding reply in request order.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    serial: u64,
+    /// Encoding negotiated when the request arrived.
+    encoding: Encoding,
+    state: PendingState,
+}
+
+/// The session's route to the shard threads. The reactor implements it
+/// over its SPSC producers; tests implement it over plain vectors.
+pub(crate) trait ShardPort {
+    /// Try to enqueue `job` on `shard`; hands it back when that ring is
+    /// full (the caller sheds load).
+    fn submit(&mut self, shard: usize, job: Job) -> Result<(), Job>;
+}
+
+fn dispatch_gate() -> symbio::Result<()> {
+    symbio::faultpoint!("worker_dispatch");
+    Ok(())
+}
+
+fn write_gate() -> symbio::Result<()> {
+    symbio::faultpoint!("socket_write");
+    Ok(())
+}
+
+/// Protocol state for one connection.
+#[derive(Debug)]
+pub(crate) struct Session {
+    /// Reactor-local id (the epoll token).
+    pub id: u64,
+    /// Encoding for *newly arriving* frames.
+    pub encoding: Encoding,
+    /// Encoded reply bytes awaiting the socket.
+    pub outbuf: Vec<u8>,
+    pending: VecDeque<Pending>,
+    next_serial: u64,
+}
+
+impl Session {
+    pub fn new(id: u64) -> Session {
+        Session {
+            id,
+            encoding: Encoding::JsonLines,
+            outbuf: Vec::new(),
+            pending: VecDeque::new(),
+            next_serial: 0,
+        }
+    }
+
+    fn alloc_serial(&mut self) -> u64 {
+        let s = self.next_serial;
+        self.next_serial += 1;
+        s
+    }
+
+    fn push_state(&mut self, state: PendingState) {
+        let serial = self.alloc_serial();
+        let encoding = self.encoding;
+        self.pending.push_back(Pending {
+            serial,
+            encoding,
+            state,
+        });
+    }
+
+    /// Queue a resolved reply (keeps request order).
+    pub fn push_ready(&mut self, reply: Response) {
+        self.push_state(PendingState::Ready(reply));
+    }
+
+    /// Queue an error reply and count it.
+    pub fn push_error(&mut self, reply: Response, shared: &Shared) {
+        Counters::add(&shared.counters.serve_errors, 1);
+        self.push_ready(reply);
+    }
+
+    /// The load-shed reply: answer from the last-good mapping cache
+    /// without touching an engine.
+    fn degraded(group: String, message: &str, shared: &Shared) -> Response {
+        Counters::add(&shared.counters.degraded_replies, 1);
+        Response::Degraded {
+            mapping: shared.last_good(&group),
+            group,
+            message: message.to_string(),
+        }
+    }
+
+    /// Handle one parsed request. Returns `true` when the request asks
+    /// the daemon to drain (`shutdown`). Injected dispatch faults
+    /// surface as typed error replies, never as dropped connections.
+    pub fn dispatch(
+        &mut self,
+        request: Request,
+        shared: &Shared,
+        port: &mut dyn ShardPort,
+    ) -> bool {
+        Counters::add(&shared.counters.serve_requests, 1);
+        if let Err(e) = dispatch_gate() {
+            self.push_error(Response::from_error(&e), shared);
+            return false;
+        }
+        match request {
+            Request::Hello(hello) => {
+                match negotiate(&hello, &shared.allowed, shared.batch_max) {
+                    Ok((encoding, welcome)) => {
+                        // The Welcome rides the *old* encoding; frames
+                        // after it use the negotiated one.
+                        self.push_ready(Response::Welcome(welcome));
+                        self.encoding = encoding;
+                    }
+                    Err(reply) => self.push_error(reply, shared),
+                }
+                false
+            }
+            Request::Ingest(snapshot) => {
+                let group = snapshot.group.clone();
+                let serial = self.alloc_serial();
+                let encoding = self.encoding;
+                let state = if shared.draining() {
+                    PendingState::Ready(Session::degraded(group, "daemon is draining", shared))
+                } else {
+                    let job = Job::Ingest {
+                        token: Token {
+                            session: self.id,
+                            serial,
+                            item: None,
+                        },
+                        snapshot: Box::new(snapshot),
+                    };
+                    match port.submit(shard_of(&group, shared.shards), job) {
+                        Ok(()) => PendingState::WaitOne,
+                        Err(_) => PendingState::Ready(Session::degraded(
+                            group,
+                            "shard ingest queue full; serving last-good mapping",
+                            shared,
+                        )),
+                    }
+                };
+                self.pending.push_back(Pending {
+                    serial,
+                    encoding,
+                    state,
+                });
+                false
+            }
+            Request::IngestBatch(snapshots) => {
+                Counters::add(&shared.counters.serve_batches, 1);
+                if snapshots.len() > shared.batch_max {
+                    self.push_error(
+                        Response::protocol(
+                            "batch_too_large",
+                            format!(
+                                "batch of {} exceeds negotiated batch_max {}",
+                                snapshots.len(),
+                                shared.batch_max
+                            ),
+                        ),
+                        shared,
+                    );
+                    return false;
+                }
+                let serial = self.alloc_serial();
+                let encoding = self.encoding;
+                let mut slots: Vec<Option<Response>> = vec![None; snapshots.len()];
+                let mut missing = 0usize;
+                for (i, snapshot) in snapshots.into_iter().enumerate() {
+                    let group = snapshot.group.clone();
+                    if shared.draining() {
+                        slots[i] = Some(Session::degraded(group, "daemon is draining", shared));
+                        continue;
+                    }
+                    let job = Job::Ingest {
+                        token: Token {
+                            session: self.id,
+                            serial,
+                            item: Some(i as u32),
+                        },
+                        snapshot: Box::new(snapshot),
+                    };
+                    match port.submit(shard_of(&group, shared.shards), job) {
+                        Ok(()) => missing += 1,
+                        Err(_) => {
+                            slots[i] = Some(Session::degraded(
+                                group,
+                                "shard ingest queue full; serving last-good mapping",
+                                shared,
+                            ));
+                        }
+                    }
+                }
+                let state = if missing == 0 {
+                    PendingState::Ready(Response::Batch(
+                        slots.into_iter().map(|s| s.expect("all filled")).collect(),
+                    ))
+                } else {
+                    PendingState::WaitBatch { slots, missing }
+                };
+                self.pending.push_back(Pending {
+                    serial,
+                    encoding,
+                    state,
+                });
+                false
+            }
+            Request::Map { group } => {
+                let serial = self.alloc_serial();
+                let encoding = self.encoding;
+                let state = if shared.draining() {
+                    PendingState::Ready(Session::degraded(group, "daemon is draining", shared))
+                } else {
+                    let job = Job::Map {
+                        token: Token {
+                            session: self.id,
+                            serial,
+                            item: None,
+                        },
+                        group: group.clone(),
+                    };
+                    match port.submit(shard_of(&group, shared.shards), job) {
+                        Ok(()) => PendingState::WaitOne,
+                        Err(_) => PendingState::Ready(Session::degraded(
+                            group,
+                            "shard ingest queue full; serving last-good mapping",
+                            shared,
+                        )),
+                    }
+                };
+                self.pending.push_back(Pending {
+                    serial,
+                    encoding,
+                    state,
+                });
+                false
+            }
+            Request::Metrics => {
+                self.push_ready(Response::Metrics(shared.counters.snapshot()));
+                false
+            }
+            Request::Shutdown => {
+                self.push_state(PendingState::WaitShutdown);
+                true
+            }
+        }
+    }
+
+    /// Deliver a shard completion into its pending slot. Unknown serials
+    /// are ignored (the pending may have been dropped with the batch).
+    pub fn complete(&mut self, token: Token, reply: Response) {
+        let Some(p) = self.pending.iter_mut().find(|p| p.serial == token.serial) else {
+            return;
+        };
+        match (&mut p.state, token.item) {
+            (state @ PendingState::WaitOne, None) => *state = PendingState::Ready(reply),
+            (PendingState::WaitBatch { slots, missing }, Some(i)) => {
+                if let Some(slot) = slots.get_mut(i as usize) {
+                    if slot.is_none() {
+                        *missing = missing.saturating_sub(1);
+                    }
+                    *slot = Some(reply);
+                    if *missing == 0 {
+                        let done = std::mem::replace(&mut p.state, PendingState::WaitOne);
+                        let PendingState::WaitBatch { slots, .. } = done else {
+                            unreachable!("state matched WaitBatch above");
+                        };
+                        p.state = PendingState::Ready(Response::Batch(
+                            slots.into_iter().map(|s| s.expect("all filled")).collect(),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Resolve every pending shutdown ACK (called once the drain has
+    /// verifiably finished).
+    pub fn resolve_shutdowns(&mut self) {
+        for p in &mut self.pending {
+            if matches!(p.state, PendingState::WaitShutdown) {
+                p.state = PendingState::Ready(Response::Ok);
+            }
+        }
+    }
+
+    /// Whether any reply is still unresolved or unencoded.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Encode every reply at the queue front that is ready, in order.
+    /// An error (injected `socket_write` fault or a codec failure) means
+    /// the connection must close.
+    pub fn encode_ready(&mut self) -> symbio::Result<()> {
+        while matches!(
+            self.pending.front(),
+            Some(Pending {
+                state: PendingState::Ready(_),
+                ..
+            })
+        ) {
+            let p = self.pending.pop_front().expect("front matched");
+            let PendingState::Ready(reply) = p.state else {
+                unreachable!("front matched Ready");
+            };
+            write_gate()?;
+            p.encoding.codec().encode_reply(&reply, &mut self.outbuf)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Hello;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+    use symbio_machine::SigSnapshot;
+
+    fn test_shared(shards: usize, batch_max: usize) -> Shared {
+        Shared {
+            counters: Arc::new(symbio::obs::Counters::new()),
+            stale: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            shards_drained: AtomicUsize::new(0),
+            reactors_quiesced: AtomicUsize::new(0),
+            shards,
+            reactors: 1,
+            batch_max,
+            allowed: vec![Encoding::JsonLines, Encoding::Binary],
+            deadline: Duration::from_secs(5),
+            addr: "127.0.0.1:0".parse().unwrap(),
+        }
+    }
+
+    fn snap(group: &str, seq: u64) -> SigSnapshot {
+        SigSnapshot {
+            group: group.to_string(),
+            seq,
+            now_cycles: 0,
+            cores: 2,
+            domains: vec![],
+            procs: vec![],
+        }
+    }
+
+    /// A shard port backed by plain vectors with a per-shard capacity.
+    struct FakePort {
+        cap: usize,
+        jobs: Vec<Vec<Job>>,
+    }
+
+    impl FakePort {
+        fn new(shards: usize, cap: usize) -> FakePort {
+            FakePort {
+                cap,
+                jobs: (0..shards).map(|_| Vec::new()).collect(),
+            }
+        }
+    }
+
+    impl ShardPort for FakePort {
+        fn submit(&mut self, shard: usize, job: Job) -> Result<(), Job> {
+            if self.jobs[shard].len() >= self.cap {
+                return Err(job);
+            }
+            self.jobs[shard].push(job);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn full_shard_queue_degrades_instead_of_blocking() {
+        let shared = test_shared(1, 8);
+        shared.remember("g", &symbio_machine::Mapping::round_robin(2, 2));
+        let mut port = FakePort::new(1, 1);
+        let mut sess = Session::new(1);
+        assert!(!sess.dispatch(Request::Ingest(snap("g", 0)), &shared, &mut port));
+        assert!(!sess.dispatch(Request::Ingest(snap("g", 1)), &shared, &mut port));
+        assert_eq!(port.jobs[0].len(), 1);
+        // First reply waits on the shard; the shed reply queued behind it
+        // must not jump the line.
+        sess.encode_ready().unwrap();
+        assert!(sess.outbuf.is_empty());
+        let token = match &port.jobs[0][0] {
+            Job::Ingest { token, .. } => *token,
+            other => panic!("expected ingest, got {other:?}"),
+        };
+        sess.complete(token, Response::Ok);
+        sess.encode_ready().unwrap();
+        let text = String::from_utf8(sess.outbuf.clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"Ok\""));
+        assert!(lines[1].contains("Degraded"));
+        // The shed reply served the last-good mapping.
+        assert!(lines[1].contains("cores"));
+        assert_eq!(
+            shared
+                .counters
+                .degraded_replies
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn batch_reassembles_out_of_order_completions() {
+        let shared = test_shared(2, 8);
+        let mut port = FakePort::new(2, 8);
+        let mut sess = Session::new(1);
+        // Two groups that land on different shards.
+        let (g0, g1) = ("load-0", "load-3");
+        assert_ne!(shard_of(g0, 2), shard_of(g1, 2));
+        sess.dispatch(
+            Request::IngestBatch(vec![snap(g0, 0), snap(g1, 0)]),
+            &shared,
+            &mut port,
+        );
+        let tokens: Vec<Token> = port
+            .jobs
+            .iter()
+            .flatten()
+            .map(|j| match j {
+                Job::Ingest { token, .. } => *token,
+                other => panic!("expected ingest, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(tokens.len(), 2);
+        // Resolve the *second* item first: batch must stay unencoded.
+        let second = tokens.iter().find(|t| t.item == Some(1)).unwrap();
+        sess.complete(*second, Response::Ok);
+        sess.encode_ready().unwrap();
+        assert!(sess.outbuf.is_empty());
+        let first = tokens.iter().find(|t| t.item == Some(0)).unwrap();
+        sess.complete(
+            *first,
+            Response::Error {
+                kind: "validation".into(),
+                code: "invalid_snapshot".into(),
+                message: "poisoned".into(),
+                retryable: false,
+            },
+        );
+        sess.encode_ready().unwrap();
+        let text = String::from_utf8(sess.outbuf.clone()).unwrap();
+        let reply: Response = serde_json::from_str(text.trim()).unwrap();
+        match reply {
+            Response::Batch(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(items[0].is_error());
+                assert!(matches!(items[1], Response::Ok));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_whole() {
+        let shared = test_shared(1, 2);
+        let mut port = FakePort::new(1, 8);
+        let mut sess = Session::new(1);
+        sess.dispatch(
+            Request::IngestBatch(vec![snap("g", 0), snap("g", 1), snap("g", 2)]),
+            &shared,
+            &mut port,
+        );
+        assert!(port.jobs[0].is_empty());
+        sess.encode_ready().unwrap();
+        let text = String::from_utf8(sess.outbuf.clone()).unwrap();
+        assert!(text.contains("batch_too_large"));
+    }
+
+    #[test]
+    fn hello_switches_encoding_after_the_welcome() {
+        let shared = test_shared(1, 8);
+        let mut port = FakePort::new(1, 8);
+        let mut sess = Session::new(1);
+        sess.dispatch(
+            Request::Hello(Hello::preferring(Encoding::Binary)),
+            &shared,
+            &mut port,
+        );
+        assert_eq!(sess.encoding, Encoding::Binary);
+        sess.dispatch(Request::Metrics, &shared, &mut port);
+        sess.encode_ready().unwrap();
+        // First frame is a JSON line (old encoding), second is binary.
+        let newline = sess.outbuf.iter().position(|&b| b == b'\n').unwrap();
+        let welcome: Response =
+            serde_json::from_str(std::str::from_utf8(&sess.outbuf[..newline]).unwrap()).unwrap();
+        assert!(matches!(welcome, Response::Welcome(w) if w.encoding == "binary"));
+        let rest = &sess.outbuf[newline + 1..];
+        let mut fb = super::super::codec::FrameBuffer::new();
+        fb.extend(rest);
+        assert!(matches!(
+            fb.next_reply(Encoding::Binary).unwrap(),
+            super::super::codec::Chunk::Frame(Response::Metrics(_))
+        ));
+    }
+
+    #[test]
+    fn draining_daemon_sheds_without_submitting() {
+        let shared = test_shared(1, 8);
+        shared.begin_drain();
+        let mut port = FakePort::new(1, 8);
+        let mut sess = Session::new(1);
+        sess.dispatch(Request::Ingest(snap("g", 0)), &shared, &mut port);
+        sess.dispatch(Request::Map { group: "g".into() }, &shared, &mut port);
+        assert!(port.jobs[0].is_empty());
+        sess.encode_ready().unwrap();
+        let text = String::from_utf8(sess.outbuf.clone()).unwrap();
+        assert_eq!(text.matches("Degraded").count(), 2);
+    }
+
+    #[test]
+    fn shutdown_ack_waits_for_drain_resolution() {
+        let shared = test_shared(1, 8);
+        let mut port = FakePort::new(1, 8);
+        let mut sess = Session::new(1);
+        assert!(sess.dispatch(Request::Shutdown, &shared, &mut port));
+        sess.encode_ready().unwrap();
+        assert!(sess.outbuf.is_empty());
+        sess.resolve_shutdowns();
+        sess.encode_ready().unwrap();
+        assert!(String::from_utf8(sess.outbuf.clone())
+            .unwrap()
+            .contains("\"Ok\""));
+    }
+}

@@ -1,0 +1,146 @@
+//! Shard threads: each owns one [`OnlineEngine`] (epoch rings,
+//! quarantine state, journal segment) outright — no lock, no sharing.
+//!
+//! A shard round-robins its per-reactor job rings, feeds snapshots to
+//! the engine, and pushes the reply into the submitting reactor's
+//! completion ring (nudging that reactor's wake pipe). When every ring
+//! is empty it parks on its [`ShardSignal`] with a short timeout.
+//!
+//! Drain: each reactor ends its stream with one [`Job::Barrier`]. SPSC
+//! rings are FIFO, so once the shard has collected a barrier from every
+//! reactor it has necessarily processed — and journaled — every job
+//! enqueued before the drain began. It then reports drained and exits,
+//! dropping the engine (which flushes the journal tail).
+
+use super::queue::{Consumer, Producer};
+use super::{Completion, Job, ShardSignal, Shared};
+use crate::proto::Response;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+use symbio::obs::Counters;
+use symbio_online::{DecisionReason, OnlineEngine};
+
+fn decode_gate() -> symbio::Result<()> {
+    symbio::faultpoint!("snapshot_decode");
+    Ok(())
+}
+
+/// Run one snapshot through the engine, mirroring the reply shape of the
+/// pre-sharded daemon: committed mappings refresh the last-good cache,
+/// quarantined groups answer `recovering`, engine errors become typed
+/// error replies.
+fn ingest_one(
+    engine: &mut OnlineEngine,
+    snapshot: &symbio_machine::SigSnapshot,
+    shared: &Shared,
+) -> Response {
+    if let Err(e) = decode_gate() {
+        Counters::add(&shared.counters.serve_errors, 1);
+        return Response::from_error(&e);
+    }
+    match engine.ingest(snapshot) {
+        Ok(decision) => {
+            if let Some(m) = &decision.mapping {
+                shared.remember(&decision.group, m);
+            }
+            if decision.reason == DecisionReason::Quarantined {
+                Counters::add(&shared.counters.degraded_replies, 1);
+                Response::Recovering {
+                    group: decision.group,
+                    seq: decision.seq,
+                    mapping: decision.mapping,
+                }
+            } else {
+                Response::Decision(decision)
+            }
+        }
+        Err(e) => {
+            Counters::add(&shared.counters.serve_errors, 1);
+            Response::from_error(&e)
+        }
+    }
+}
+
+/// Deliver one completion to reactor `ri`, spinning briefly if its ring
+/// is momentarily full (the reactor drains completions every loop, so
+/// this cannot stall for long) and nudging its wake pipe.
+fn deliver(
+    completions: &mut [Producer<Completion>],
+    wakes: &mut [UnixStream],
+    ri: usize,
+    mut completion: Completion,
+) {
+    loop {
+        match completions[ri].push(completion) {
+            Ok(()) => break,
+            Err(back) => {
+                completion = back;
+                let _ = wakes[ri].write(&[1]);
+                std::thread::yield_now();
+            }
+        }
+    }
+    // A full pipe just means a wake is already pending — ignore it.
+    let _ = wakes[ri].write(&[1]);
+}
+
+/// The shard thread body.
+pub(crate) fn shard_loop(
+    mut engine: OnlineEngine,
+    mut jobs: Vec<Consumer<Job>>,
+    mut completions: Vec<Producer<Completion>>,
+    mut wakes: Vec<UnixStream>,
+    signal: &ShardSignal,
+    shared: &Shared,
+) {
+    let reactors = jobs.len();
+    let mut barriers = 0usize;
+    loop {
+        let mut progressed = false;
+        for (ri, queue) in jobs.iter_mut().enumerate() {
+            while let Some(job) = queue.pop() {
+                progressed = true;
+                match job {
+                    Job::Ingest { token, snapshot } => {
+                        let reply = ingest_one(&mut engine, &snapshot, shared);
+                        deliver(
+                            &mut completions,
+                            &mut wakes,
+                            ri,
+                            Completion { token, reply },
+                        );
+                    }
+                    Job::Map { token, group } => {
+                        let reply = Response::Map {
+                            mapping: engine.mapping(&group).cloned(),
+                            epochs: engine.epochs(&group),
+                            remaps: engine.remaps(&group),
+                            group,
+                        };
+                        deliver(
+                            &mut completions,
+                            &mut wakes,
+                            ri,
+                            Completion { token, reply },
+                        );
+                    }
+                    Job::Barrier => barriers += 1,
+                }
+            }
+        }
+        if barriers == reactors {
+            // Every reactor's stream is closed and fully processed: the
+            // journal holds everything enqueued before the drain.
+            shared.note_shard_drained();
+            // Make sure every reactor wakes to observe the drain state.
+            for w in &mut wakes {
+                let _ = w.write(&[1]);
+            }
+            return;
+        }
+        if !progressed {
+            signal.wait(Duration::from_millis(5));
+        }
+    }
+}

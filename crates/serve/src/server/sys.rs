@@ -1,0 +1,147 @@
+//! Minimal epoll binding for the reactor event loop.
+//!
+//! The workspace vendors no `libc`/`mio`, but `std` already links the
+//! platform C library, so the four symbols the reactors need are
+//! declared here directly. Everything is level-triggered: a readable
+//! socket keeps reporting readable until drained, which lets several
+//! reactors share one listening socket safely (whoever wins `accept`
+//! takes the connection; the losers see `WouldBlock`).
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// `EPOLLIN`: the fd has bytes (or a pending connection) to read.
+pub const EPOLLIN: u32 = 0x001;
+/// `EPOLLOUT`: the fd can accept writes without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// `EPOLLERR`: the fd is in an error state (always reported).
+pub const EPOLLERR: u32 = 0x008;
+/// `EPOLLHUP`: the peer hung up (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0x80000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
+/// packs it there); natural layout elsewhere.
+#[derive(Clone, Copy)]
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+pub struct EpollEvent {
+    /// Ready/interest bitmask (`EPOLL*`).
+    pub events: u32,
+    /// Caller-owned cookie echoed back on readiness (we store a token).
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// An owned epoll instance.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Create a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let ev_ptr = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut EpollEvent
+        };
+        if unsafe { epoll_ctl(self.fd, op, fd, ev_ptr) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` with the given interest mask and token.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change `fd`'s interest mask (token may change too).
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregister `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait up to `timeout_ms` for readiness; fills `events` and returns
+    /// how many entries are valid. A signal-interrupted wait reports
+    /// zero events rather than an error.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn epoll_reports_readable_pipe() {
+        let (mut tx, rx) = std::os::unix::net::UnixStream::pair().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(rx.as_raw_fd(), EPOLLIN, 7).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing written yet: a zero-timeout wait reports nothing.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        tx.write_all(b"x").unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (ready, token) = (events[0].events, events[0].data);
+        assert_ne!(ready & EPOLLIN, 0);
+        assert_eq!(token, 7);
+        ep.delete(rx.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+}

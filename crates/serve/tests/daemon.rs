@@ -1,14 +1,21 @@
 //! End-to-end daemon tests over loopback TCP: a real `Symbiod` serving a
-//! real `OnlineEngine`, spoken to through the public wire protocol.
+//! real `OnlineEngine`, spoken to through the public wire protocol — the
+//! legacy v1 json-lines path (no `Hello`), the negotiated v2 binary path
+//! with batched ingest, and the sharded multi-engine configuration.
 
 use std::io::BufReader;
 use std::io::Write as _;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
 use std::time::Duration;
 use symbio_allocator::WeightSortPolicy;
 use symbio_machine::{ProcView, SigSnapshot, ThreadView};
-use symbio_online::{DecisionReason, OnlineConfig, OnlineEngine};
-use symbio_serve::{read_frame, write_frame, Request, Response, ServeConfig, Symbiod};
+use symbio_online::{DecisionReason, JournalWriter, OnlineConfig, OnlineEngine, Recovery};
+use symbio_serve::server::shard_of;
+use symbio_serve::{
+    read_frame, write_frame, Encoding, Request, Response, ServeConfig, Symbiod, SymbiodBuilder,
+    WireClient,
+};
 
 fn thread_view(tid: usize, occ: f64) -> ThreadView {
     ThreadView {
@@ -46,20 +53,25 @@ fn snapshot(group: &str, seq: u64) -> SigSnapshot {
     }
 }
 
-/// Bind a daemon on an ephemeral loopback port and run it on a thread.
-fn spawn_daemon() -> (
-    std::net::SocketAddr,
-    std::sync::Arc<symbio::obs::Counters>,
-    std::thread::JoinHandle<symbio::Result<()>>,
-) {
-    let engine = OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default())
-        .expect("valid config");
-    let cfg = ServeConfig {
+fn engine() -> OnlineEngine {
+    OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default()).expect("valid config")
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
         workers: 2,
         backlog: 16,
         deadline: Duration::from_secs(5),
-    };
-    let daemon = Symbiod::bind("127.0.0.1:0", engine, cfg).expect("bind loopback");
+    }
+}
+
+/// Bind a daemon on an ephemeral loopback port and run it on a thread.
+fn spawn_daemon() -> (
+    SocketAddr,
+    std::sync::Arc<symbio::obs::Counters>,
+    std::thread::JoinHandle<symbio::Result<()>>,
+) {
+    let daemon = Symbiod::bind("127.0.0.1:0", engine(), serve_cfg()).expect("bind loopback");
     let addr = daemon.local_addr();
     let counters = daemon.counters();
     let handle = std::thread::spawn(move || daemon.run());
@@ -73,6 +85,8 @@ fn roundtrip(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &Requ
         .expect("response before EOF")
 }
 
+/// A v1 client that never sends `Hello` — the pre-negotiation protocol
+/// every old deployment speaks. Nothing here may require the new frames.
 #[test]
 fn daemon_serves_ingest_map_metrics_and_drains_on_shutdown() {
     let (addr, counters, handle) = spawn_daemon();
@@ -146,9 +160,16 @@ fn daemon_serves_ingest_map_metrics_and_drains_on_shutdown() {
     conn.flush().expect("flush");
     let reply: Response = read_frame(&mut reader).expect("read").expect("reply");
     match &reply {
-        Response::Error { kind, message } => {
+        Response::Error {
+            kind,
+            code,
+            message,
+            retryable,
+        } => {
             assert_eq!(kind, "protocol");
+            assert_eq!(code, "bad_frame");
             assert!(message.contains("protocol error"), "{message}");
+            assert!(!retryable, "a malformed frame must not invite a retry");
         }
         other => panic!("expected protocol error, got {other:?}"),
     }
@@ -173,7 +194,12 @@ fn daemon_serves_ingest_map_metrics_and_drains_on_shutdown() {
     bad.cores = 0;
     let reply = roundtrip(&mut conn, &mut reader, &Request::Ingest(bad));
     match &reply {
-        Response::Error { kind, .. } => assert_eq!(kind, "protocol"),
+        Response::Error {
+            kind, retryable, ..
+        } => {
+            assert_eq!(kind, "protocol");
+            assert!(!retryable);
+        }
         other => panic!("expected protocol error, got {other:?}"),
     }
 
@@ -250,10 +276,10 @@ fn shutdown_ack_means_the_accept_loop_has_already_stopped() {
     let reply = roundtrip(&mut conn, &mut reader, &Request::Shutdown);
     assert!(matches!(reply, Response::Ok), "got {reply:?}");
 
-    // The `Ok` is written only after the accept loop has verifiably
-    // exited, so a request racing the ACK must never be *served* — the
-    // connect attempt fails outright, or the connection sits unaccepted
-    // in the kernel queue until the listener closes and gets reset.
+    // The `Ok` is written only after every reactor has verifiably
+    // released the listener, so a request racing the ACK must never be
+    // *served* — the connect attempt fails outright, or the connection
+    // sits unaccepted in the kernel queue until the listener closes.
     if let Ok(mut late) = TcpStream::connect(addr) {
         late.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
         let mut late_reader = BufReader::new(late.try_clone().expect("clone"));
@@ -268,7 +294,7 @@ fn shutdown_ack_means_the_accept_loop_has_already_stopped() {
 }
 
 /// Commit a mapping for group "g" over its own connection.
-fn engine_warmup(addr: std::net::SocketAddr) {
+fn engine_warmup(addr: SocketAddr) {
     let mut conn = TcpStream::connect(addr).expect("connect");
     let mut reader = BufReader::new(conn.try_clone().expect("clone"));
     for seq in 0..3u64 {
@@ -278,73 +304,243 @@ fn engine_warmup(addr: std::net::SocketAddr) {
 }
 
 #[test]
-fn saturated_worker_pool_sheds_degraded_replies_from_the_stale_cache() {
-    // One worker, backlog of one: a held connection plus a queued one
-    // saturate the daemon, so the third must be shed.
-    let engine = OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default())
-        .expect("valid config");
-    let cfg = ServeConfig {
-        workers: 1,
-        backlog: 1,
-        deadline: Duration::from_secs(5),
+fn hello_negotiates_binary_and_serves_batches() {
+    let (addr, _counters, handle) = spawn_daemon();
+    let mut client = WireClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    assert_eq!(client.encoding(), Encoding::JsonLines);
+
+    // The Welcome itself travels in json-lines; everything after it in
+    // the negotiated binary framing.
+    let welcome = client.hello(Encoding::Binary).expect("negotiate");
+    assert_eq!(welcome.version, 2);
+    assert_eq!(welcome.encoding, "binary");
+    assert!(welcome.batch_max >= 1);
+    assert_eq!(client.encoding(), Encoding::Binary);
+
+    // One batched frame carries the whole warmup; the reply is a Batch
+    // with one Decision per item, in submission order.
+    let batch: Vec<SigSnapshot> = (0..3u64).map(|seq| snapshot("g", seq)).collect();
+    let reply = client
+        .exchange(&Request::IngestBatch(batch))
+        .expect("batch roundtrip");
+    let Response::Batch(items) = reply else {
+        panic!("expected batch reply, got {reply:?}");
     };
-    let daemon = Symbiod::bind("127.0.0.1:0", engine, cfg).expect("bind loopback");
-    let addr = daemon.local_addr();
-    let counters = daemon.counters();
-    let handle = std::thread::spawn(move || daemon.run());
-
-    engine_warmup(addr);
-
-    // Occupy the only worker with a connection that sends nothing…
-    let blocker = TcpStream::connect(addr).expect("connect blocker");
-    std::thread::sleep(Duration::from_millis(150));
-    // …and fill the one-slot backlog with a second idle connection.
-    let queued = TcpStream::connect(addr).expect("connect queued");
-    std::thread::sleep(Duration::from_millis(100));
-
-    // The third connection overflows the backlog: instead of `busy`, a
-    // shed thread answers one request from the last-good mapping cache.
-    let mut shed = TcpStream::connect(addr).expect("connect shed");
-    let mut shed_reader = BufReader::new(shed.try_clone().expect("clone"));
-    let reply = roundtrip(
-        &mut shed,
-        &mut shed_reader,
-        &Request::Ingest(snapshot("g", 90)),
-    );
-    match reply {
-        Response::Degraded {
-            group,
-            mapping,
-            message,
-        } => {
-            assert_eq!(group, "g");
-            assert!(
-                mapping.is_some(),
-                "warmed-up group must be served its last-good mapping"
-            );
-            assert!(message.contains("saturated"), "{message}");
-        }
-        other => panic!("expected degraded reply, got {other:?}"),
+    assert_eq!(items.len(), 3);
+    for (i, item) in items.iter().enumerate() {
+        let Response::Decision(d) = item else {
+            panic!("item {i}: expected decision, got {item:?}");
+        };
+        assert_eq!(d.seq, i as u64);
     }
-    // The shed connection closes after its single degraded reply, and
-    // the degraded epoch was *not* tallied by the engine.
-    drop((blocker, queued));
-    std::thread::sleep(Duration::from_millis(50));
-    let mut conn = TcpStream::connect(addr).expect("connect");
-    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
-    match roundtrip(
-        &mut conn,
-        &mut reader,
-        &Request::Map {
+
+    // Map and Metrics work identically over the binary codec.
+    let reply = client
+        .exchange(&Request::Map {
             group: "g".to_string(),
-        },
-    ) {
-        Response::Map { epochs, .. } => assert_eq!(epochs, 3, "shed epoch must not be tallied"),
+        })
+        .expect("map roundtrip");
+    match reply {
+        Response::Map {
+            epochs, mapping, ..
+        } => {
+            assert_eq!(epochs, 3);
+            assert!(mapping.is_some());
+        }
         other => panic!("expected map reply, got {other:?}"),
     }
-    assert!(counters.snapshot().degraded_replies >= 1);
+    let reply = client.exchange(&Request::Metrics).expect("metrics");
+    match reply {
+        Response::Metrics(snap) => {
+            assert!(snap.serve_batches >= 1, "batches: {}", snap.serve_batches);
+            assert_eq!(snap.online_epochs, 3);
+        }
+        other => panic!("expected metrics, got {other:?}"),
+    }
 
-    let reply = roundtrip(&mut conn, &mut reader, &Request::Shutdown);
+    let reply = client.exchange(&Request::Shutdown).expect("shutdown");
+    assert!(matches!(reply, Response::Ok), "got {reply:?}");
+    handle.join().expect("daemon thread").expect("drain");
+}
+
+#[test]
+fn sharded_daemon_agrees_with_reference_engines() {
+    // Two shards sharing one counter ledger; groups are pinned to shards
+    // by name hash, so pick names that actually land on both shards.
+    let groups: Vec<String> = (0..6).map(|i| format!("load-{i}")).collect();
+    let spread: std::collections::HashSet<usize> = groups.iter().map(|g| shard_of(g, 2)).collect();
+    assert_eq!(spread.len(), 2, "fixture groups must cover both shards");
+
+    let first = engine();
+    let counters = std::sync::Arc::clone(first.counters());
+    let second = engine().with_counters(std::sync::Arc::clone(&counters));
+    let daemon = SymbiodBuilder::new(serve_cfg())
+        .batch_max(8)
+        .bind("127.0.0.1:0", vec![first, second])
+        .expect("bind sharded");
+    let addr = daemon.local_addr();
+    let handle = std::thread::spawn(move || daemon.run());
+
+    const EPOCHS: u64 = 4;
+    let mut client = WireClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    client.hello(Encoding::Binary).expect("negotiate");
+    for seq in 0..EPOCHS {
+        let batch: Vec<SigSnapshot> = groups.iter().map(|g| snapshot(g, seq)).collect();
+        let reply = client
+            .exchange(&Request::IngestBatch(batch))
+            .expect("batch roundtrip");
+        let Response::Batch(items) = reply else {
+            panic!("expected batch reply, got {reply:?}");
+        };
+        assert_eq!(items.len(), groups.len());
+        for (g, item) in groups.iter().zip(&items) {
+            assert!(
+                matches!(item, Response::Decision(_)),
+                "group {g}: got {item:?}"
+            );
+        }
+    }
+
+    // A single-shard reference engine fed the same per-group sequences
+    // must agree with the sharded daemon on every group's outcome.
+    let mut reference = engine();
+    for seq in 0..EPOCHS {
+        for g in &groups {
+            reference
+                .ingest(&snapshot(g, seq))
+                .expect("reference ingest");
+        }
+    }
+    for g in &groups {
+        let reply = client
+            .exchange(&Request::Map {
+                group: g.to_string(),
+            })
+            .expect("map roundtrip");
+        let Response::Map {
+            mapping, epochs, ..
+        } = reply
+        else {
+            panic!("expected map reply");
+        };
+        assert_eq!(epochs, reference.epochs(g), "group {g}");
+        let served = mapping.expect("mapping committed");
+        let expected = reference.mapping(g).expect("reference mapping");
+        for tid in 0..4 {
+            assert_eq!(
+                served.core_of(tid),
+                expected.core_of(tid),
+                "group {g} tid {tid}"
+            );
+        }
+    }
+    assert_eq!(
+        counters.snapshot().online_epochs,
+        EPOCHS * groups.len() as u64
+    );
+
+    let reply = client.exchange(&Request::Shutdown).expect("shutdown");
     assert!(matches!(reply, Response::Ok));
     handle.join().expect("daemon thread").expect("drain");
+}
+
+#[test]
+fn batch_reports_poisoned_items_in_place() {
+    let (addr, _counters, handle) = spawn_daemon();
+    engine_warmup(addr);
+
+    let mut client = WireClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    client.hello(Encoding::Binary).expect("negotiate");
+
+    // Item 1 carries a negative occupancy; its neighbours are valid.
+    let mut poisoned = snapshot("g", 4);
+    poisoned.procs[0].threads[0].occupancy = -1.0;
+    let batch = vec![snapshot("g", 3), poisoned, snapshot("g", 5)];
+    let reply = client
+        .exchange(&Request::IngestBatch(batch))
+        .expect("batch roundtrip");
+    let Response::Batch(items) = reply else {
+        panic!("expected batch reply, got {reply:?}");
+    };
+    assert_eq!(items.len(), 3);
+    assert!(matches!(items[0], Response::Decision(_)), "{:?}", items[0]);
+    match &items[1] {
+        Response::Error {
+            kind, retryable, ..
+        } => {
+            assert_eq!(kind, "protocol");
+            assert!(!retryable, "a poisoned snapshot must not invite a retry");
+        }
+        other => panic!("expected error for the poisoned item, got {other:?}"),
+    }
+    assert!(matches!(items[2], Response::Decision(_)), "{:?}", items[2]);
+
+    // The poisoned epoch was not tallied: 3 warmup + 2 valid items.
+    let reply = client
+        .exchange(&Request::Map {
+            group: "g".to_string(),
+        })
+        .expect("map roundtrip");
+    match reply {
+        Response::Map { epochs, .. } => assert_eq!(epochs, 5),
+        other => panic!("expected map reply, got {other:?}"),
+    }
+
+    let reply = client.exchange(&Request::Shutdown).expect("shutdown");
+    assert!(matches!(reply, Response::Ok));
+    handle.join().expect("daemon thread").expect("drain");
+}
+
+#[test]
+fn shutdown_drains_inflight_batch_before_ack() {
+    let journal: PathBuf = std::env::temp_dir().join(format!(
+        "symbio-daemon-drain-{}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal);
+    let engine = engine().with_journal(JournalWriter::open(&journal, 16).expect("open journal"));
+    let daemon = Symbiod::bind("127.0.0.1:0", engine, serve_cfg()).expect("bind loopback");
+    let addr = daemon.local_addr();
+    let handle = std::thread::spawn(move || daemon.run());
+
+    // Pipeline a batch and the shutdown back to back on one connection:
+    // the drain must journal every batch item before the `Ok` ACK, and
+    // in-order reply delivery must emit the Batch before the Ok.
+    const ITEMS: u64 = 8;
+    let mut client = WireClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    let batch: Vec<SigSnapshot> = (0..ITEMS).map(|seq| snapshot("drain", seq)).collect();
+    client
+        .send(&Request::IngestBatch(batch))
+        .expect("send batch");
+    client.send(&Request::Shutdown).expect("send shutdown");
+
+    let first = client.recv().expect("batch reply");
+    let Response::Batch(items) = first else {
+        panic!("expected the batch reply before the shutdown ACK, got {first:?}");
+    };
+    assert_eq!(items.len(), ITEMS as usize);
+    for (i, item) in items.iter().enumerate() {
+        assert!(
+            matches!(item, Response::Decision(_)),
+            "item {i} was shed instead of drained: {item:?}"
+        );
+    }
+    let second = client.recv().expect("shutdown ACK");
+    assert!(matches!(second, Response::Ok), "got {second:?}");
+    handle.join().expect("daemon thread").expect("drain");
+
+    // The journal on disk proves the drain: every batch epoch was
+    // persisted before the daemon exited.
+    let recovery =
+        Recovery::load(&journal, OnlineConfig::default().window).expect("replay journal");
+    assert!(!recovery.truncated, "clean shutdown must not tear the tail");
+    let group = recovery
+        .state
+        .groups
+        .iter()
+        .find(|g| g.name == "drain")
+        .expect("drained group journaled");
+    assert_eq!(group.epochs, ITEMS);
+    assert_eq!(group.last_seq, Some(ITEMS - 1));
+    let _ = std::fs::remove_file(&journal);
 }

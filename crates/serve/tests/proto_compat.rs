@@ -1,0 +1,154 @@
+//! Wire-compatibility contract for proto v1: a committed byte stream
+//! recorded from a pre-envelope client must be answered with
+//! byte-identical replies by every future daemon. The transcript lives
+//! in `tests/golden/` and is replayed verbatim — if this test fails, a
+//! released client would observe the difference.
+//!
+//! The session deliberately avoids `metrics` (counter values vary by
+//! serving internals) and sticks to deterministic replies: warmup and
+//! initial decisions, mapping queries, a malformed line, an invalid
+//! snapshot, and the shutdown ACK.
+//!
+//! Regenerate after an *intentional* protocol change with:
+//!
+//! ```text
+//! SYMBIO_REGEN_GOLDEN=1 cargo test -p symbio-serve --test proto_compat
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+use symbio_allocator::WeightSortPolicy;
+use symbio_machine::{ProcView, SigSnapshot, ThreadView};
+use symbio_online::{OnlineConfig, OnlineEngine};
+use symbio_serve::{write_frame, Request, ServeConfig, Symbiod};
+
+const REQUESTS: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/session-v1.requests"
+);
+const REPLIES: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/session-v1.replies"
+);
+
+fn snapshot(group: &str, seq: u64) -> SigSnapshot {
+    let occ = [40.0, 30.0, 20.0, 10.0];
+    SigSnapshot {
+        group: group.to_string(),
+        seq,
+        now_cycles: seq * 1_000,
+        cores: 2,
+        domains: vec![2],
+        procs: (0..4)
+            .map(|pid| ProcView {
+                pid,
+                name: format!("p{pid}"),
+                threads: vec![ThreadView {
+                    tid: pid,
+                    pid,
+                    name: format!("p{pid}"),
+                    occupancy: occ[pid],
+                    symbiosis: vec![50.0, 50.0],
+                    overlap: vec![5.0, 5.0],
+                    last_occupancy: occ[pid] as u32,
+                    last_core: Some(pid % 2),
+                    samples: 8,
+                    filter_len: 64,
+                    l2_miss_rate: 0.2,
+                    l2_misses: 100,
+                    retired: 1000,
+                }],
+            })
+            .collect(),
+    }
+}
+
+/// The recorded client session, as the byte stream a v1 client writes.
+fn session_bytes() -> Vec<u8> {
+    let mut out = Vec::new();
+    for seq in 0..3u64 {
+        write_frame(&mut out, &Request::Ingest(snapshot("g", seq))).expect("encode");
+    }
+    write_frame(
+        &mut out,
+        &Request::Map {
+            group: "g".to_string(),
+        },
+    )
+    .expect("encode");
+    write_frame(
+        &mut out,
+        &Request::Map {
+            group: "nobody".to_string(),
+        },
+    )
+    .expect("encode");
+    // A malformed line: the reply is a typed error, the session continues.
+    out.extend_from_slice(b"{this is not json}\n");
+    // A structurally invalid snapshot: rejected by the engine.
+    let mut bad = snapshot("g", 99);
+    bad.cores = 0;
+    write_frame(&mut out, &Request::Ingest(bad)).expect("encode");
+    write_frame(&mut out, &Request::Shutdown).expect("encode");
+    out
+}
+
+/// Pipe `requests` into a fresh daemon and capture every reply byte
+/// until the daemon drains and closes the connection.
+fn replay(requests: &[u8]) -> Vec<u8> {
+    let engine = OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default())
+        .expect("valid config");
+    let cfg = ServeConfig {
+        workers: 2,
+        backlog: 16,
+        deadline: Duration::from_secs(5),
+    };
+    let daemon = Symbiod::bind("127.0.0.1:0", engine, cfg).expect("bind loopback");
+    let addr = daemon.local_addr();
+    let handle = std::thread::spawn(move || daemon.run());
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).expect("nodelay");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    conn.write_all(requests).expect("write session");
+    // In-order reply delivery + shutdown-drain: the daemon answers every
+    // frame, ACKs the shutdown, and closes — read straight to EOF.
+    let mut replies = Vec::new();
+    conn.read_to_end(&mut replies).expect("read replies");
+    handle.join().expect("daemon thread").expect("drain");
+    replies
+}
+
+#[test]
+fn committed_v1_transcript_gets_byte_identical_replies() {
+    let requests = session_bytes();
+    if std::env::var_os("SYMBIO_REGEN_GOLDEN").is_some() {
+        let replies = replay(&requests);
+        std::fs::write(REQUESTS, &requests).expect("write golden requests");
+        std::fs::write(REPLIES, &replies).expect("write golden replies");
+        panic!(
+            "golden transcript regenerated ({} request bytes, {} reply bytes); \
+             unset SYMBIO_REGEN_GOLDEN and re-run",
+            requests.len(),
+            replies.len()
+        );
+    }
+
+    let golden_requests = std::fs::read(Path::new(REQUESTS)).expect("committed golden requests");
+    // The committed stream is exactly what today's v1 encoder writes —
+    // encoder drift would silently invalidate the recorded session.
+    assert_eq!(
+        golden_requests, requests,
+        "v1 request encoding drifted from the committed transcript"
+    );
+
+    let golden_replies = std::fs::read(Path::new(REPLIES)).expect("committed golden replies");
+    let replies = replay(&golden_requests);
+    assert_eq!(
+        replies, golden_replies,
+        "a v1 client would observe different bytes than the committed contract"
+    );
+}
