@@ -15,16 +15,44 @@
 //!
 //! `SYMBIO_BENCH_QUICK=1` shrinks both passes (CI smoke mode: panics
 //! still fail the job, numbers are not gated).
+//!
+//! `SYMBIO_BENCH_ONLY=substr[,substr...]` re-runs just the measured
+//! entries whose names contain a listed substring (and skips the
+//! criterion pass). Because records merge per-name, this is the cheap
+//! way to refresh one entry of `BENCH_kernel.json` — e.g.
+//! `SYMBIO_BENCH_ONLY=machine_quantum` samples the loaded-quantum
+//! kernel in ~2 s instead of re-running the whole suite.
 
 use criterion::{black_box, Criterion};
 use std::time::Instant;
-use symbio::obs::{write_kernel_bench_record, KernelBenchRecord};
+use symbio::obs::{
+    write_kernel_bench_record, write_kernel_scaling_summary, KernelBenchRecord,
+    ScalingSummaryRecord,
+};
 use symbio::prelude::*;
 use symbio_cache::{Address, SetAssocCache};
 use symbio_cbf::{CacheEventSink, LineLocation};
 
 fn quick() -> bool {
     std::env::var("SYMBIO_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The `SYMBIO_BENCH_ONLY` name filter, if set (comma-separated
+/// substrings matched against measured-entry names).
+fn only_filter() -> Option<Vec<String>> {
+    std::env::var("SYMBIO_BENCH_ONLY")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+}
+
+/// Whether the measured entry `name` is selected by the name filter
+/// (everything is, when no filter is set).
+fn want(name: &str) -> bool {
+    match only_filter() {
+        None => true,
+        Some(subs) => subs.iter().any(|s| name.contains(s.as_str())),
+    }
 }
 
 /// Deterministic address stream (xorshift64), identical across kernel
@@ -103,7 +131,14 @@ fn signature_step(unit: &mut SignatureUnit, s: &mut AddrStream, i: u64) {
 /// workload list cycled across the machine. `domain_machine(1)` is the
 /// paper's 4-on-2 shape on the scaled Core 2 Duo.
 fn domain_machine(domains: usize) -> Machine {
-    let mut m = Machine::new(MachineConfig::scaled_multidomain(2024, domains));
+    domain_machine_threads(domains, 1)
+}
+
+/// [`domain_machine`] stepped by the engine selected with `threads`
+/// (`MachineConfig::step_threads`; 1 = serial, >= 2 = decomposed lanes).
+fn domain_machine_threads(domains: usize, threads: usize) -> Machine {
+    let cfg = MachineConfig::scaled_multidomain(2024, domains).with_step_threads(threads);
+    let mut m = Machine::new(cfg);
     let l2 = CacheGeometry::scaled_l2().size_bytes;
     let names = ["gobmk", "hmmer", "libquantum", "povray"];
     for i in 0..2 * m.config().cores {
@@ -185,13 +220,19 @@ fn criterion_pass(samples: usize) {
 // --------------------------------------------------------- measured pass
 
 fn record(name: &str, ops: u64, wall: f64) {
-    let rec = KernelBenchRecord::new(name, ops, wall);
+    record_threads(name, ops, wall, 1);
+}
+
+/// [`record`] tagged with the stepping-thread count of the measured
+/// engine; returns the throughput so matrix benches can summarise.
+fn record_threads(name: &str, ops: u64, wall: f64, threads: usize) -> f64 {
+    let rec = KernelBenchRecord::new(name, ops, wall).with_threads(threads);
     println!(
-        "kernel-bench {name}: {ops} ops in {wall:.3}s = {:.0} ops/s ({:.1} ns/op)",
+        "kernel-bench {name}: {ops} ops in {wall:.3}s = {:.0} ops/s ({:.1} ns/op, t={threads})",
         rec.ops_per_sec, rec.ns_per_op
     );
-    let path = write_kernel_bench_record(&rec).expect("write BENCH_kernel.json");
-    let _ = path;
+    write_kernel_bench_record(&rec).expect("write BENCH_kernel.json");
+    rec.ops_per_sec
 }
 
 /// Run `body` (which returns `(ops, wall_seconds)`) `reps` times and keep
@@ -235,7 +276,7 @@ fn measured_pass(q: bool) {
 
     // Set-assoc access storm, timed in slices of one continuous stream;
     // the fastest per-op slice is the noise-free kernel cost.
-    {
+    if want("setassoc_storm") {
         let ops: u64 = if q { 400_000 } else { 8_000_000 };
         let per = ops / chunks;
         let mut cache = storm_cache();
@@ -254,7 +295,7 @@ fn measured_pass(q: bool) {
     }
 
     // Signature fill/evict stream (same slicing).
-    {
+    if want("signature_stream") {
         let ops: u64 = if q { 400_000 } else { 8_000_000 };
         let per = ops / chunks;
         let mut unit = signature_unit();
@@ -275,7 +316,7 @@ fn measured_pass(q: bool) {
     // Full machine quantum: simulated memory ops per wall second while
     // stepping a loaded 2-core machine across many scheduling quanta.
     // One long run sliced into `run_for` chunks; fastest slice wins.
-    {
+    if want("machine_quantum") {
         let cycles: u64 = if q { 20_000_000 } else { 400_000_000 };
         let mut m = quantum_machine();
         let (total_ops, wall) = sliced_quantum(&mut m, cycles, chunks);
@@ -284,7 +325,7 @@ fn measured_pass(q: bool) {
 
     // Solo-core quantum: one thread on a 2-core machine — the profiling
     // phase's shape, where batched stepping bypasses the frontier scan.
-    {
+    if want("machine_quantum_solo") {
         let cycles: u64 = if q { 20_000_000 } else { 400_000_000 };
         let mut m = Machine::new(MachineConfig::scaled_core2duo(77));
         let l2 = CacheGeometry::scaled_l2().size_bytes;
@@ -294,19 +335,53 @@ fn measured_pass(q: bool) {
         record("machine_quantum_solo", total_ops, wall);
     }
 
-    // Domain scaling: the loaded-quantum workload on 1/2/4-domain
-    // machines (two processes per core). `machine_domains_1` equals the
-    // `machine_quantum` shape; the 2- and 4-domain points show how
-    // per-L2 sharding costs scale with domain count.
-    for d in [1u64, 2, 4] {
-        let cycles: u64 = if q { 10_000_000 } else { 100_000_000 };
-        let mut m = domain_machine(d as usize);
-        let (total_ops, wall) = sliced_quantum(&mut m, cycles, chunks);
-        record(&format!("machine_domains_{d}"), total_ops, wall);
+    // Domain scaling matrix: the loaded-quantum workload on 1/2/4/8-domain
+    // machines (two processes per core) stepped serially and by the
+    // decomposed engine at 2 and 4 workers. `machine_domains_{d}` keeps
+    // its historical serial name; threaded points are suffixed `_t{t}`.
+    // The per-point throughputs roll up into a `domain_scaling_efficiency`
+    // summary entry (speedup of the best threaded engine over serial).
+    if want("machine_domains") {
+        let domain_counts = [1usize, 2, 4, 8];
+        let thread_counts = [1usize, 2, 4];
+        let mut matrix: Vec<Vec<f64>> = Vec::new();
+        for &d in &domain_counts {
+            // Larger machines simulate more core-cycles per frontier
+            // cycle; shrink the target so every point costs roughly the
+            // same wall time (ops/s is normalised, so points compare).
+            let cycles: u64 = if q { 4_000_000 } else { 100_000_000 / d as u64 };
+            let mut row = Vec::new();
+            for &t in &thread_counts {
+                let mut m = domain_machine_threads(d, t);
+                let (total_ops, wall) = sliced_quantum(&mut m, cycles, chunks);
+                let name = if t == 1 {
+                    format!("machine_domains_{d}")
+                } else {
+                    format!("machine_domains_{d}_t{t}")
+                };
+                row.push(record_threads(&name, total_ops, wall, t));
+            }
+            matrix.push(row);
+        }
+        let speedup: Vec<f64> = matrix
+            .iter()
+            .map(|row| {
+                let serial = row[0].max(1e-9);
+                row.iter().skip(1).fold(0.0f64, |b, &v| b.max(v)) / serial
+            })
+            .collect();
+        let summary = ScalingSummaryRecord {
+            name: "domain_scaling_efficiency".to_string(),
+            domains: domain_counts.iter().map(|&d| d as u64).collect(),
+            threads: thread_counts.iter().map(|&t| t as u64).collect(),
+            ops_per_sec: matrix,
+            speedup_vs_serial: speedup,
+        };
+        write_kernel_scaling_summary(&summary).expect("write BENCH_kernel.json");
     }
 
     // End-to-end mini sweep (mix evaluations per second).
-    {
+    if want("mini_sweep") {
         let (ops, wall) = best_of(reps, || {
             let t0 = Instant::now();
             black_box(mini_sweep_once(4242));
@@ -318,7 +393,7 @@ fn measured_pass(q: bool) {
     // Fig13-mix throughput: the CHANGES.md before/after number. Runs the
     // first Figure 13 mix to completion and reports simulated memory ops
     // per wall second.
-    {
+    if want("fig13_mix_throughput") {
         let (ops, wall) = best_of(reps, || {
             let mut m = Machine::new(MachineConfig::scaled_core2duo(2011));
             let l2 = CacheGeometry::scaled_l2().size_bytes;
@@ -342,7 +417,11 @@ fn measured_pass(q: bool) {
 
 fn main() {
     let q = quick();
-    criterion_pass(if q { 2 } else { 8 });
+    // The criterion pass is for interactive comparison only; a name
+    // filter means a targeted record refresh, so skip it.
+    if only_filter().is_none() {
+        criterion_pass(if q { 2 } else { 8 });
+    }
     measured_pass(q);
     println!(
         "BENCH_kernel.json written under {}",

@@ -6,6 +6,7 @@
 //! loadgen --addr 127.0.0.1:7411 [--conns 2] [--seconds 2]
 //!         [--rate 0 (per-conn ingest/s, 0 = unthrottled)]
 //!         [--domains 1 (cache domains of the recorded machine)]
+//!         [--step-threads 1 (domain-stepping workers while recording)]
 //!         [--encoding json (json | binary | legacy)]
 //!         [--batch 1 (epochs per IngestBatch frame)]
 //!         [--min-rate 0 (fail below this decisions/sec floor)]
@@ -68,9 +69,13 @@ enum Mode {
 /// is the `domains`-domain scaled multidomain box (1 = the classic
 /// scaled Core 2 Duo) and the workload list is cycled to two processes
 /// per core, so every cache domain carries load.
-fn record_trace(domains: usize) -> symbio::Result<(ExperimentConfig, Vec<SigSnapshot>)> {
+fn record_trace(
+    domains: usize,
+    step_threads: usize,
+) -> symbio::Result<(ExperimentConfig, Vec<SigSnapshot>)> {
     let cfg = ExperimentConfigBuilder::fast(3)
         .machine(MachineConfig::scaled_multidomain(3, domains))
+        .step_threads(step_threads)
         .build()?;
     let names = ["gobmk", "hmmer", "libquantum", "povray"];
     let mut specs: Vec<_> = (0..2 * cfg.machine.cores)
@@ -354,6 +359,7 @@ fn main() -> symbio::Result<()> {
     let mut seconds = 2.0f64;
     let mut rate = 0.0f64;
     let mut domains = 1usize;
+    let mut step_threads = 1usize;
     let mut name = "serve-loadgen".to_string();
     let mut shutdown = false;
     let mut mode = Mode::Json;
@@ -385,6 +391,10 @@ fn main() -> symbio::Result<()> {
             "--domains" => {
                 let v = value()?;
                 domains = v.parse().map_err(|_| bad("--domains", &v))?;
+            }
+            "--step-threads" => {
+                let v = value()?;
+                step_threads = v.parse().map_err(|_| bad("--step-threads", &v))?;
             }
             "--encoding" => {
                 let v = value()?;
@@ -424,6 +434,11 @@ fn main() -> symbio::Result<()> {
     if domains == 0 {
         return Err(Error::InvalidConfig("--domains must be >= 1".to_string()));
     }
+    if step_threads == 0 {
+        return Err(Error::InvalidConfig(
+            "--step-threads must be >= 1 (1 = serial stepping)".to_string(),
+        ));
+    }
     if batch == 0 {
         return Err(Error::InvalidConfig("--batch must be >= 1".to_string()));
     }
@@ -442,7 +457,7 @@ fn main() -> symbio::Result<()> {
     }
     let target = resolve(&addr)?;
 
-    let (cfg, trace) = record_trace(domains)?;
+    let (cfg, trace) = record_trace(domains, step_threads)?;
     println!(
         "loadgen: replaying a {}-epoch trace from a {}-domain / {}-core machine \
          over {conns} connection(s) for {seconds}s",

@@ -4,6 +4,136 @@ use serde::{Deserialize, Serialize};
 
 const WORD_BITS: usize = 64;
 
+/// Number of `u64` words processed per unrolled chunk by the fused
+/// popcount kernels. Four independent accumulator lanes keep the loop
+/// free of a single serial dependency chain, which lets the
+/// autovectorizer emit 256-bit loads and parallel `popcnt`s.
+const LANES: usize = 4;
+
+/// The word-wise combining operation of a fused popcount. A closed enum
+/// (rather than a closure parameter) gives the optional SIMD backend one
+/// concrete kernel per operation and keeps dispatch branch-free inside
+/// the chunk loop after hoisting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FusedOp {
+    /// `a & b` — overlap weight.
+    And,
+    /// `a & !b` — RBV / destroyed-lines weight.
+    AndNot,
+    /// `a ^ b` — symbiosis metric.
+    Xor,
+}
+
+impl FusedOp {
+    #[inline(always)]
+    fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            FusedOp::And => a & b,
+            FusedOp::AndNot => a & !b,
+            FusedOp::Xor => a ^ b,
+        }
+    }
+}
+
+/// Portable chunked kernel: fold `op` over paired words in [`LANES`]
+/// independent accumulator lanes, then sum lanes and the tail. This is
+/// the single scalar reference the SIMD path is differentially tested
+/// against; both slices must have equal length.
+#[inline(always)]
+fn fused_popcount_scalar(a: &[u64], b: &[u64], op: FusedOp) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0u64; LANES];
+    let split = a.len() - a.len() % LANES;
+    for (qa, qb) in a[..split]
+        .chunks_exact(LANES)
+        .zip(b[..split].chunks_exact(LANES))
+    {
+        for i in 0..LANES {
+            lanes[i] += u64::from(op.apply(qa[i], qb[i]).count_ones());
+        }
+    }
+    let mut tail = 0u64;
+    for (&x, &y) in a[split..].iter().zip(&b[split..]) {
+        tail += u64::from(op.apply(x, y).count_ones());
+    }
+    lanes.into_iter().sum::<u64>() + tail
+}
+
+/// Widened single-operand popcount with the same lane layout.
+#[inline(always)]
+fn popcount_words(words: &[u64]) -> u64 {
+    let mut lanes = [0u64; LANES];
+    let split = words.len() - words.len() % LANES;
+    for q in words[..split].chunks_exact(LANES) {
+        for i in 0..LANES {
+            lanes[i] += u64::from(q[i].count_ones());
+        }
+    }
+    let tail: u64 = words[split..]
+        .iter()
+        .map(|w| u64::from(w.count_ones()))
+        .sum();
+    lanes.into_iter().sum::<u64>() + tail
+}
+
+/// Fused popcount entry point: runtime-dispatch to the AVX2 kernel when
+/// the `simd` feature is enabled and the CPU supports it, otherwise the
+/// portable chunked kernel (which `target-cpu=native` autovectorizes).
+#[inline]
+fn fused_popcount(a: &[u64], b: &[u64], op: FusedOp) -> u64 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability checked at runtime immediately above.
+            return unsafe { simd::fused_popcount_avx2(a, b, op) };
+        }
+    }
+    fused_popcount_scalar(a, b, op)
+}
+
+/// Explicit AVX2 backend (feature `simd`): 256-bit `AND`/`ANDNOT`/`XOR`
+/// plus the nibble-LUT popcount (Muła's algorithm) accumulated with
+/// `vpsadbw`. Falls back to [`fused_popcount_scalar`] for the < 4-word
+/// tail, so any vector width is handled.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    use super::FusedOp;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fused_popcount_avx2(a: &[u64], b: &[u64], op: FusedOp) -> u64 {
+        debug_assert_eq!(a.len(), b.len());
+        let split = a.len() - a.len() % 4;
+        // Nibble popcount lookup table, replicated across both 128-bit halves.
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let mut acc = _mm256_setzero_si256();
+        for i in (0..split).step_by(4) {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+            let v = match op {
+                FusedOp::And => _mm256_and_si256(va, vb),
+                // `vpandn` computes `!x & y`, so pass the mask first.
+                FusedOp::AndNot => _mm256_andnot_si256(vb, va),
+                FusedOp::Xor => _mm256_xor_si256(va, vb),
+            };
+            let lo = _mm256_and_si256(v, low_mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+            let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        lanes.into_iter().sum::<u64>() + super::fused_popcount_scalar(&a[split..], &b[split..], op)
+    }
+}
+
 /// A fixed-width bitvector backed by `u64` words.
 ///
 /// This models the hardware bit arrays of the signature unit (Core Filter,
@@ -93,9 +223,10 @@ impl BitVec {
     }
 
     /// Number of one bits (the paper's *occupancy weight* when applied to an
-    /// RBV).
+    /// RBV). The sum is accumulated in `u64` and saturates on return, so
+    /// vectors wider than `u32::MAX` bits cannot wrap.
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        u32::try_from(popcount_words(&self.words)).unwrap_or(u32::MAX)
     }
 
     /// Fraction of bits set, in `[0, 1]`. Zero-width vectors report 0.
@@ -103,7 +234,7 @@ impl BitVec {
         if self.len == 0 {
             0.0
         } else {
-            f64::from(self.count_ones()) / self.len as f64
+            popcount_words(&self.words) as f64 / self.len as f64
         }
     }
 
@@ -111,7 +242,7 @@ impl BitVec {
     /// information (the paper's argument against presence bits and multiple
     /// hash functions).
     pub fn is_saturated(&self) -> bool {
-        self.count_ones() as usize == self.len
+        popcount_words(&self.words) == self.len as u64
     }
 
     fn assert_same_width(&self, other: &BitVec) {
@@ -193,13 +324,10 @@ impl BitVec {
 
     /// `popcount(self & !other)` without materialising the intermediate
     /// vector (e.g. destroyed-predecessor-lines weight `|LF & !CF|`).
+    #[inline]
     pub fn and_not_popcount(&self, other: &BitVec) -> u32 {
         self.assert_same_width(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & !b).count_ones())
-            .sum()
+        fused_popcount(&self.words, &other.words, FusedOp::AndNot) as u32
     }
 
     /// Logical implication `self → other` (i.e. `!self | other`), masked to
@@ -255,24 +383,18 @@ impl BitVec {
     /// `popcount(self ^ other)` without materialising the intermediate
     /// vector — this is the paper's *symbiosis* metric between an RBV and a
     /// Core Filter (hardware: a tree of XOR gates feeding an adder).
+    #[inline]
     pub fn xor_popcount(&self, other: &BitVec) -> u32 {
         self.assert_same_width(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        fused_popcount(&self.words, &other.words, FusedOp::Xor) as u32
     }
 
     /// `popcount(self & other)` without materialising the intermediate
     /// vector (overlap weight between two footprints).
+    #[inline]
     pub fn and_popcount(&self, other: &BitVec) -> u32 {
         self.assert_same_width(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones())
-            .sum()
+        fused_popcount(&self.words, &other.words, FusedOp::And) as u32
     }
 
     /// In-place `self |= other`.
@@ -435,7 +557,86 @@ mod tests {
         assert!(e.is_empty());
     }
 
+    /// Naive un-chunked reference the kernels are differentially tested
+    /// against.
+    fn naive_fused(a: &[u64], b: &[u64], op: FusedOp) -> u64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| u64::from(op.apply(x, y).count_ones()))
+            .sum()
+    }
+
+    /// Differential pin: the dispatching kernel (AVX2 when the `simd`
+    /// feature is on and the CPU has it, scalar otherwise) and the scalar
+    /// reference must agree on boundary word counts — empty, sub-chunk,
+    /// exact multiples of the 4-word chunk, and off-by-one around them.
+    #[test]
+    fn fused_kernels_match_scalar_reference_on_boundaries() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for words in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65, 129] {
+            let a: Vec<u64> = (0..words).map(|_| next()).collect();
+            let b: Vec<u64> = (0..words).map(|_| next()).collect();
+            for op in [FusedOp::And, FusedOp::AndNot, FusedOp::Xor] {
+                let want = naive_fused(&a, &b, op);
+                assert_eq!(
+                    fused_popcount_scalar(&a, &b, op),
+                    want,
+                    "scalar kernel, {op:?} over {words} words"
+                );
+                assert_eq!(
+                    fused_popcount(&a, &b, op),
+                    want,
+                    "dispatched kernel, {op:?} over {words} words"
+                );
+            }
+            let want: u64 = a.iter().map(|w| u64::from(w.count_ones())).sum();
+            assert_eq!(popcount_words(&a), want, "popcount over {words} words");
+        }
+    }
+
+    /// With the `simd` feature on, pin the AVX2 backend against the scalar
+    /// kernel directly (not just through the dispatcher).
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[test]
+    fn avx2_backend_matches_scalar_kernel() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return; // scalar fallback host: nothing to differentiate
+        }
+        let mut state = 0xD1B5_4A32_D192_ED03u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(0x14057B7EF767814F);
+            state
+        };
+        for words in [1usize, 3, 4, 6, 8, 31, 32, 33, 100, 257] {
+            let a: Vec<u64> = (0..words).map(|_| next()).collect();
+            let b: Vec<u64> = (0..words).map(|_| next()).collect();
+            for op in [FusedOp::And, FusedOp::AndNot, FusedOp::Xor] {
+                // SAFETY: AVX2 presence checked above.
+                let got = unsafe { simd::fused_popcount_avx2(&a, &b, op) };
+                assert_eq!(got, fused_popcount_scalar(&a, &b, op), "{op:?}/{words}");
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_fused_kernels_match_naive(a in proptest::collection::vec(any::<u64>(), 0..40),
+                                          b in proptest::collection::vec(any::<u64>(), 0..40)) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            for op in [FusedOp::And, FusedOp::AndNot, FusedOp::Xor] {
+                prop_assert_eq!(fused_popcount(a, b, op), naive_fused(a, b, op));
+            }
+        }
+
         #[test]
         fn prop_demorgan(idxs in proptest::collection::vec(0usize..256, 0..64),
                          jdxs in proptest::collection::vec(0usize..256, 0..64)) {

@@ -52,7 +52,12 @@ pub struct MemorySystem {
     domain_of: Vec<usize>,
     /// Domain → first global core id.
     domain_start: Vec<usize>,
-    dram: Dram,
+    /// DRAM channels. Length 1 = the classic single shared channel, where
+    /// every domain's misses serialize through one `next_free` stream.
+    /// After [`split_dram_channels`](MemorySystem::split_dram_channels),
+    /// length equals the domain count and each domain owns an independent
+    /// channel — the decomposed-engine memory model.
+    dram: Vec<Dram>,
 }
 
 impl MemorySystem {
@@ -100,8 +105,27 @@ impl MemorySystem {
             l2,
             domain_of,
             domain_start,
-            dram,
+            dram: vec![dram],
         }
+    }
+
+    /// Replace the single shared DRAM channel with one pristine channel
+    /// per domain (same latency/bandwidth parameters). Must be called
+    /// before any traffic; the decomposed stepping engine requires it so
+    /// domains share no mutable state.
+    pub fn split_dram_channels(&mut self) {
+        assert_eq!(
+            self.dram[0].requests(),
+            0,
+            "DRAM channels must be split before any traffic"
+        );
+        let template = self.dram[0].clone();
+        self.dram = vec![template; self.topology.domains()];
+    }
+
+    /// Number of DRAM channels (1 = shared, domains = split).
+    pub fn dram_channels(&self) -> usize {
+        self.dram.len()
     }
 
     /// Convenience constructor for the scaled Core-2-Duo shared-L2 machine.
@@ -139,46 +163,66 @@ impl MemorySystem {
     /// back-invalidate L1s (process-namespaced addresses make stale L1
     /// lines harmless, they simply age out).
     #[inline]
-    pub fn access(
+    pub fn access<S: CacheEventSink + ?Sized>(
         &mut self,
         core: usize,
         addr: Address,
         write: bool,
         now: u64,
-        sink: &mut dyn CacheEventSink,
+        sink: &mut S,
     ) -> AccessResponse {
         debug_assert!(core < self.cores);
-        if self.l1[core].access(0, addr, write).hit {
-            return AccessResponse {
-                level: AccessLevel::L1,
-                dram_cycles: 0,
-            };
-        }
+        self.core_channel(core).access(addr, write, now, sink)
+    }
+
+    /// Borrow-split handle onto the path a single core's accesses take:
+    /// its private L1, its domain L2, and the DRAM channel behind that
+    /// domain. Lets a stepping loop hoist all per-access indexing out of
+    /// its hot loop while the caller keeps the rest of the machine
+    /// mutably borrowed elsewhere.
+    #[inline]
+    pub fn core_channel(&mut self, core: usize) -> CoreChannel<'_> {
         let l2i = self.l2_index(core);
-        let out = self.l2[l2i].access(core, addr, write);
-        if out.hit {
-            return AccessResponse {
-                level: AccessLevel::L2,
-                dram_cycles: 0,
-            };
+        let di = if self.dram.len() == 1 { 0 } else { l2i };
+        let l2 = &mut self.l2[l2i];
+        CoreChannel {
+            line_shift: l2.geometry().line_shift(),
+            l1: &mut self.l1[core],
+            l2,
+            dram: &mut self.dram[di],
+            core,
+            local_core: core - self.domain_start[l2i],
         }
-        // L2 miss: victim first (bandwidth + signature), then the fill.
-        if let Some(ev) = out.evicted {
-            if ev.dirty {
-                self.dram.writeback(now);
-            }
-            sink.on_evict(ev.block, ev.loc);
+    }
+
+    /// Split the whole memory system into one independent [`DomainMem`]
+    /// per domain. Requires per-domain DRAM channels
+    /// ([`split_dram_channels`](MemorySystem::split_dram_channels)): with a
+    /// shared channel the domains would alias mutable state and cannot be
+    /// stepped independently.
+    pub fn domain_mems(&mut self) -> Vec<DomainMem<'_>> {
+        assert_eq!(
+            self.dram.len(),
+            self.l2.len(),
+            "domain_mems requires per-domain DRAM channels"
+        );
+        let mut out = Vec::with_capacity(self.l2.len());
+        let mut l1_rest = self.l1.as_mut_slice();
+        let mut taken = 0;
+        for ((d, l2), dram) in self.l2.iter_mut().enumerate().zip(&mut self.dram) {
+            let range = self.topology.core_range(d);
+            let (head, tail) = l1_rest.split_at_mut(range.end - taken);
+            l1_rest = tail;
+            taken = range.end;
+            out.push(DomainMem {
+                line_shift: l2.geometry().line_shift(),
+                l1: head,
+                l2,
+                dram,
+                core_start: range.start,
+            });
         }
-        let line_shift = self.l2[l2i].geometry().line_shift();
-        // The sink is the domain's own filter bank: report the
-        // domain-local core id.
-        let local_core = core - self.domain_start[l2i];
-        sink.on_fill(local_core, addr.block(line_shift), out.loc);
-        let dram_cycles = self.dram.fetch(now);
-        AccessResponse {
-            level: AccessLevel::Memory,
-            dram_cycles,
-        }
+        out
     }
 
     /// L1 stats for a core.
@@ -207,9 +251,15 @@ impl MemorySystem {
         self.l2[0].geometry()
     }
 
-    /// Access to the DRAM channel model (e.g. for bandwidth reporting).
+    /// Access to a DRAM channel model (e.g. for bandwidth reporting).
+    /// Channel 0 is the shared channel on an unsplit system.
     pub fn dram(&self) -> &Dram {
-        &self.dram
+        &self.dram[0]
+    }
+
+    /// Total DRAM requests summed over every channel.
+    pub fn dram_requests_total(&self) -> u64 {
+        self.dram.iter().map(Dram::requests).sum()
     }
 
     /// Flush all caches and reset DRAM queue state (stats retained).
@@ -220,7 +270,101 @@ impl MemorySystem {
         for c in &mut self.l2 {
             c.flush();
         }
-        self.dram.reset();
+        for d in &mut self.dram {
+            d.reset();
+        }
+    }
+}
+
+/// One domain's independent slice of the memory system: the domain's
+/// private L1s, its shared L2, and its own DRAM channel. Produced by
+/// [`MemorySystem::domain_mems`]; the slices are disjoint across domains,
+/// so each `DomainMem` can be stepped on its own worker thread.
+#[derive(Debug)]
+pub struct DomainMem<'a> {
+    l1: &'a mut [SetAssocCache],
+    l2: &'a mut SetAssocCache,
+    dram: &'a mut Dram,
+    core_start: usize,
+    line_shift: u32,
+}
+
+impl DomainMem<'_> {
+    /// First global core id of this domain.
+    #[inline]
+    pub fn core_start(&self) -> usize {
+        self.core_start
+    }
+
+    /// Borrow-split channel for one of this domain's cores (global id).
+    #[inline]
+    pub fn core_channel(&mut self, core: usize) -> CoreChannel<'_> {
+        let local = core - self.core_start;
+        CoreChannel {
+            l1: &mut self.l1[local],
+            l2: self.l2,
+            dram: self.dram,
+            core,
+            local_core: local,
+            line_shift: self.line_shift,
+        }
+    }
+}
+
+/// Pre-resolved access path for a single core: no per-access domain or
+/// channel indexing, and a generic (devirtualized) signature sink. The
+/// access sequence is exactly [`MemorySystem::access`]'s — the golden
+/// kernel digests pin the equivalence.
+#[derive(Debug)]
+pub struct CoreChannel<'a> {
+    l1: &'a mut SetAssocCache,
+    l2: &'a mut SetAssocCache,
+    dram: &'a mut Dram,
+    /// Global core id (L2 stats slot).
+    core: usize,
+    /// Domain-local core id (signature filter bank slot).
+    local_core: usize,
+    line_shift: u32,
+}
+
+impl CoreChannel<'_> {
+    /// Access the hierarchy at cycle `now`. See [`MemorySystem::access`].
+    #[inline]
+    pub fn access<S: CacheEventSink + ?Sized>(
+        &mut self,
+        addr: Address,
+        write: bool,
+        now: u64,
+        sink: &mut S,
+    ) -> AccessResponse {
+        if self.l1.access(0, addr, write).hit {
+            return AccessResponse {
+                level: AccessLevel::L1,
+                dram_cycles: 0,
+            };
+        }
+        let out = self.l2.access(self.core, addr, write);
+        if out.hit {
+            return AccessResponse {
+                level: AccessLevel::L2,
+                dram_cycles: 0,
+            };
+        }
+        // L2 miss: victim first (bandwidth + signature), then the fill.
+        if let Some(ev) = out.evicted {
+            if ev.dirty {
+                self.dram.writeback(now);
+            }
+            sink.on_evict(ev.block, ev.loc);
+        }
+        // The sink is the domain's own filter bank: report the
+        // domain-local core id.
+        sink.on_fill(self.local_core, addr.block(self.line_shift), out.loc);
+        let dram_cycles = self.dram.fetch(now);
+        AccessResponse {
+            level: AccessLevel::Memory,
+            dram_cycles,
+        }
     }
 }
 

@@ -34,7 +34,7 @@ pub mod topology;
 pub use addr::Address;
 pub use dram::Dram;
 pub use geometry::CacheGeometry;
-pub use hierarchy::{AccessLevel, AccessResponse, MemorySystem};
+pub use hierarchy::{AccessLevel, AccessResponse, CoreChannel, DomainMem, MemorySystem};
 pub use replacement::ReplacementPolicy;
 pub use setassoc::SetAssocCache;
 pub use stats::CacheStats;

@@ -150,7 +150,12 @@ impl LineStore {
 
     /// Access `tag` in `set` from `core` at logical time `now`; on a miss
     /// the line is filled (write-allocate). `write` marks the line dirty.
+    ///
+    /// The hit path lives here and inlines into callers' hot loops; the
+    /// fill/victim machinery is a separate non-inlined function so the
+    /// common hit stays a short straight-line sequence.
     #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
     pub fn access(
         &mut self,
         set: u32,
@@ -164,27 +169,44 @@ impl LineStore {
         debug_assert_ne!(tag, Self::NO_TAG, "all-ones tag is reserved");
         let base = self.base(set);
         let n = self.ways as usize;
+        // Hit probe: one branch-free compare mask over the tag stream,
+        // then a single well-predicted hit/miss branch.
+        let mask = Self::hit_mask(&self.tags[base..base + n], tag);
+        if mask != 0 {
+            let w = mask.trailing_zeros() as usize;
+            if policy == ReplacementPolicy::Lru {
+                self.stamps[base + w] = now;
+            }
+            if write {
+                self.meta[base + w] |= DIRTY;
+            }
+            return SetAccess::Hit { way: w as u32 };
+        }
+        self.fill_miss(set, tag, core, write, now, policy, rng)
+    }
+
+    /// Miss path of [`LineStore::access`]: pick the fill way (free-way
+    /// prefix or the policy's victim), evict, fill.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_miss(
+        &mut self,
+        set: u32,
+        tag: u64,
+        core: u8,
+        write: bool,
+        now: u64,
+        policy: ReplacementPolicy,
+        rng: &mut XorShift64,
+    ) -> SetAccess {
+        let base = self.base(set);
+        let n = self.ways as usize;
         // Borrow the set's slices once: bounds checks vanish from the scans,
         // and each array streams linearly.
         let tags = &mut self.tags[base..base + n];
         let meta = &mut self.meta[base..base + n];
         let stamps = &mut self.stamps[base..base + n];
 
-        // Hit probe: one branch-free compare mask over the tag stream,
-        // then a single well-predicted hit/miss branch.
-        let mask = Self::hit_mask(tags, tag);
-        if mask != 0 {
-            let w = mask.trailing_zeros() as usize;
-            if policy == ReplacementPolicy::Lru {
-                stamps[w] = now;
-            }
-            if write {
-                meta[w] |= DIRTY;
-            }
-            return SetAccess::Hit { way: w as u32 };
-        }
-
-        // Miss. Valid ways form a prefix of the set, so when the set is
+        // Valid ways form a prefix of the set, so when the set is
         // not yet full the first free way *is* the fill count — no scan.
         // A full set replaces the policy's victim (first-minimum stamp
         // for LRU/FIFO), found by streaming the stamps array alone.

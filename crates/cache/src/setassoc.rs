@@ -48,6 +48,12 @@ pub struct SetAssocCache {
     stats: Vec<CacheStats>,
     rng: XorShift64,
     tick: u64,
+    // Derived geometry, precomputed once: `CacheGeometry::sets()` divides
+    // by runtime fields, and the access path would otherwise pay four u64
+    // divisions per lookup (set index + tag each recompute the set count).
+    line_shift: u32,
+    set_bits: u32,
+    set_mask: u64,
 }
 
 impl SetAssocCache {
@@ -58,10 +64,13 @@ impl SetAssocCache {
         SetAssocCache {
             lines: LineStore::new(geo.sets(), geo.ways, cores),
             stats: vec![CacheStats::default(); cores],
-            geo,
             policy,
             rng: XorShift64::new(seed),
             tick: 0,
+            line_shift: geo.line_shift(),
+            set_bits: geo.set_bits(),
+            set_mask: u64::from(geo.sets() - 1),
+            geo,
         }
     }
 
@@ -76,8 +85,9 @@ impl SetAssocCache {
     #[inline]
     pub fn access(&mut self, core: usize, addr: Address, write: bool) -> AccessOutcome {
         self.tick += 1;
-        let set_idx = self.geo.set_of(addr);
-        let tag = self.geo.tag_of(addr);
+        let block = addr.block(self.line_shift);
+        let set_idx = (block & self.set_mask) as u32;
+        let tag = block >> self.set_bits;
         self.stats[core].accesses += 1;
 
         match self.lines.access(
@@ -109,7 +119,7 @@ impl SetAssocCache {
                     debug_assert!(owner < self.stats.len());
                     self.stats[owner].evictions_suffered += u64::from(owner != core);
                     EvictedLine {
-                        block: self.geo.block_of(e.tag, set_idx),
+                        block: (e.tag << self.set_bits) | u64::from(set_idx),
                         loc: LineLocation {
                             set: set_idx,
                             way: e.way,
@@ -129,8 +139,9 @@ impl SetAssocCache {
 
     /// Probe without disturbing replacement state or stats.
     pub fn contains(&self, addr: Address) -> bool {
+        let block = addr.block(self.line_shift);
         self.lines
-            .probe(self.geo.set_of(addr), self.geo.tag_of(addr))
+            .probe((block & self.set_mask) as u32, block >> self.set_bits)
             .is_some()
     }
 

@@ -52,16 +52,25 @@ impl HashKind {
 }
 
 /// XOR-fold `value` down to `bits` bits.
+///
+/// Tree fold: each round XORs the upper half of the remaining chunks onto
+/// the lower half (shifts are whole-chunk multiples, so chunk boundaries
+/// stay aligned). XOR is associative and commutative, so the result is
+/// identical to folding the `ceil(64 / bits)` chunks sequentially, in
+/// `log2` rounds instead — this sits on the per-fill hot path.
 #[inline]
 pub fn xor_fold(mut value: u64, bits: u32) -> u64 {
     debug_assert!(bits > 0 && bits < 64);
     let mask = (1u64 << bits) - 1;
-    let mut acc = 0u64;
-    while value != 0 {
-        acc ^= value & mask;
-        value >>= bits;
+    let mut chunks = u64::BITS.div_ceil(bits);
+    while chunks > 1 {
+        let half = chunks.div_ceil(2);
+        // Keep only the surviving `half` chunks: without the mask, stale
+        // upper chunks would be folded in twice and cancel out.
+        value = (value ^ (value >> (half * bits))) & ((1u64 << (half * bits)) - 1);
+        chunks = half;
     }
-    acc
+    value & mask
 }
 
 /// Reverse the low `bits` bits of `value`.

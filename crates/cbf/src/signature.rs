@@ -102,6 +102,9 @@ impl SignatureSample {
 #[derive(Debug, Clone)]
 pub struct SignatureUnit {
     cfg: SignatureConfig,
+    /// Cached `cfg.index_bits()` — recomputing it (entries + power-of-two
+    /// assert + trailing_zeros) sits on the per-fill hot path otherwise.
+    index_bits: u32,
     counters: CounterArray,
     cf: Vec<BitVec>,
     lf: Vec<BitVec>,
@@ -118,6 +121,7 @@ impl SignatureUnit {
         cfg.validate();
         let entries = cfg.entries();
         SignatureUnit {
+            index_bits: cfg.index_bits(),
             counters: CounterArray::new(entries, cfg.counter_bits),
             cf: (0..cfg.cores).map(|_| BitVec::new(entries)).collect(),
             lf: (0..cfg.cores).map(|_| BitVec::new(entries)).collect(),
@@ -138,6 +142,7 @@ impl SignatureUnit {
     ///
     /// For address hashes the *block address* is hashed; for presence bits
     /// the index is the compacted physical slot `(set' * ways) + way`.
+    #[inline]
     fn index_for(&self, block_addr: u64, loc: LineLocation) -> Option<usize> {
         if !self.cfg.sampling.samples(loc.set) {
             return None;
@@ -145,7 +150,7 @@ impl SignatureUnit {
         let idx = if self.cfg.hash.is_presence() {
             u64::from(self.cfg.sampling.compact(loc.set) * self.cfg.ways + loc.way)
         } else {
-            hash_address(self.cfg.hash, block_addr, self.cfg.index_bits())
+            hash_address(self.cfg.hash, block_addr, self.index_bits)
         };
         Some(idx as usize)
     }
@@ -277,6 +282,7 @@ impl SignatureUnit {
 }
 
 impl CacheEventSink for SignatureUnit {
+    #[inline]
     fn on_fill(&mut self, core: usize, block_addr: u64, loc: LineLocation) {
         let Some(idx) = self.index_for(block_addr, loc) else {
             return;
@@ -286,6 +292,7 @@ impl CacheEventSink for SignatureUnit {
         self.cf[core].set(idx);
     }
 
+    #[inline]
     fn on_evict(&mut self, block_addr: u64, loc: LineLocation) {
         let Some(idx) = self.index_for(block_addr, loc) else {
             return;

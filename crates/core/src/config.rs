@@ -135,6 +135,13 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Step independent cache domains on up to `threads` worker threads
+    /// (1 = serial engine; see `MachineConfig::step_threads`).
+    pub fn step_threads(mut self, threads: usize) -> Self {
+        self.cfg.machine.step_threads = threads.max(1);
+        self
+    }
+
     /// Apply allocation decisions to the profiling machine live (ablation
     /// mode; see the field docs on [`ExperimentConfig`]).
     pub fn apply_during_profiling(mut self, apply: bool) -> Self {

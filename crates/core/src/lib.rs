@@ -72,8 +72,8 @@ pub use memo::MeasureCache;
 pub use metrics::{BenchmarkSummary, Improvement};
 pub use mixes::{candidate_mappings, mixes_of};
 pub use obs::{
-    BenchRecord, CounterSnapshot, Counters, KernelBenchRecord, Progress, ServeBenchRecord, Timings,
-    Trace,
+    BenchRecord, CounterSnapshot, Counters, KernelBenchRecord, Progress, ScalingSummaryRecord,
+    ServeBenchRecord, Timings, Trace,
 };
 pub use pipeline::{MixResult, Pipeline, ProfileResult};
 pub use sweep::{

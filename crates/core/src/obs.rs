@@ -67,6 +67,17 @@ pub struct Counters {
     /// engine actually touched that domain, so a healthy multi-domain
     /// replay shows activity precisely where remaps landed.
     pub domain_remaps: [AtomicU64; MAX_DOMAINS],
+    /// Domain-lane step batches executed by the decomposed (parallel)
+    /// machine engine. Zero for serial (`step_threads == 1`) runs.
+    pub par_domain_steps: AtomicU64,
+    /// Highest `MachineConfig::step_threads` any pipeline reporting here
+    /// was configured with (a gauge recorded via `fetch_max`, so mixed
+    /// sweeps report the widest engine used).
+    pub step_threads: AtomicU64,
+    /// Wall-clock nanoseconds spent inside `Machine::run_for` quantum
+    /// stepping during profiling (the per-quantum stage timer; excludes
+    /// allocator invocation and vote bookkeeping).
+    pub quantum_step_ns: AtomicU64,
 }
 
 /// Plain-data snapshot of [`Counters`] for serialization.
@@ -110,6 +121,12 @@ pub struct CounterSnapshot {
     /// trimmed, so single-domain deployments report `[n]` and a 2-domain
     /// replay reports e.g. `[3, 2]`.
     pub domain_remaps: Vec<u64>,
+    /// See [`Counters::par_domain_steps`].
+    pub par_domain_steps: u64,
+    /// See [`Counters::step_threads`].
+    pub step_threads: u64,
+    /// See [`Counters::quantum_step_ns`].
+    pub quantum_step_ns: u64,
 }
 
 impl Counters {
@@ -131,6 +148,13 @@ impl Counters {
         if let Some(slot) = self.domain_remaps.get(d) {
             Counters::add(slot, 1);
         }
+    }
+
+    /// Record the configured stepping width (a gauge: keeps the widest
+    /// engine seen, so concurrent pipelines don't fight over the slot).
+    pub fn note_step_threads(&self, threads: usize) {
+        self.step_threads
+            .fetch_max(threads as u64, Ordering::Relaxed);
     }
 
     /// Consistent-enough point-in-time copy.
@@ -164,6 +188,9 @@ impl Counters {
                 }
                 v
             },
+            par_domain_steps: self.par_domain_steps.load(Ordering::Relaxed),
+            step_threads: self.step_threads.load(Ordering::Relaxed),
+            quantum_step_ns: self.quantum_step_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -367,10 +394,13 @@ pub struct KernelBenchRecord {
     pub ns_per_op: f64,
     /// Simulated operations per wall-clock second.
     pub ops_per_sec: f64,
+    /// Stepping threads the measured engine was configured with
+    /// (`MachineConfig::step_threads`; 1 = serial engine).
+    pub threads: u64,
 }
 
 impl KernelBenchRecord {
-    /// Assemble a record from a measured pass.
+    /// Assemble a record from a measured pass (serial engine).
     pub fn new(name: &str, ops: u64, wall_seconds: f64) -> Self {
         let wall = wall_seconds.max(1e-9);
         KernelBenchRecord {
@@ -379,13 +409,48 @@ impl KernelBenchRecord {
             wall_seconds,
             ns_per_op: wall * 1e9 / (ops.max(1) as f64),
             ops_per_sec: ops as f64 / wall,
+            threads: 1,
         }
+    }
+
+    /// Tag the record with the engine's stepping-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads as u64;
+        self
     }
 }
 
 /// Merge `record` into `<experiments_dir>/BENCH_kernel.json` (same
 /// keyed-object merge semantics as [`write_bench_record`]).
 pub fn write_kernel_bench_record(record: &KernelBenchRecord) -> std::io::Result<PathBuf> {
+    merge_bench_entry(
+        "BENCH_kernel.json",
+        &record.name,
+        serde::Serialize::to_value(record),
+    )
+}
+
+/// Domain-scaling efficiency summary for `BENCH_kernel.json`: the
+/// `machine_domains_{d}` throughput matrix over stepping-thread counts,
+/// condensed to one keyed entry so the scaling trend is inspectable
+/// without reassembling it from individual records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingSummaryRecord {
+    /// Artifact key (e.g. `domain_scaling_efficiency`).
+    pub name: String,
+    /// Domain counts measured, ascending.
+    pub domains: Vec<u64>,
+    /// Stepping-thread counts measured, ascending.
+    pub threads: Vec<u64>,
+    /// `ops_per_sec[di][ti]` for `domains[di]` at `threads[ti]`.
+    pub ops_per_sec: Vec<Vec<f64>>,
+    /// Per-domain parallel efficiency: best threaded throughput over the
+    /// serial (`threads == 1`) throughput of the same domain count.
+    pub speedup_vs_serial: Vec<f64>,
+}
+
+/// Merge a [`ScalingSummaryRecord`] into `BENCH_kernel.json`.
+pub fn write_kernel_scaling_summary(record: &ScalingSummaryRecord) -> std::io::Result<PathBuf> {
     merge_bench_entry(
         "BENCH_kernel.json",
         &record.name,

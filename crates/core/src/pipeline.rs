@@ -241,8 +241,15 @@ impl Pipeline {
         let mut votes: HashMap<Vec<Vec<usize>>, (Mapping, u32)> = HashMap::new();
         let mut invocations = 0;
         let deadline = machine.now() + self.cfg.profile_cycles;
+        self.counters
+            .note_step_threads(self.cfg.machine.step_threads);
         while machine.now() < deadline {
+            let t0 = std::time::Instant::now();
             machine.run_for(self.cfg.interval.min(deadline - machine.now()));
+            Counters::add(
+                &self.counters.quantum_step_ns,
+                t0.elapsed().as_nanos() as u64,
+            );
             let views = machine.query_views();
             let mapping = policy.allocate(&views, cores);
             if self.cfg.apply_during_profiling {
@@ -256,6 +263,7 @@ impl Pipeline {
         }
         Counters::add(&self.counters.profile_runs, 1);
         Counters::add(&self.counters.sim_cycles, machine.now());
+        Counters::add(&self.counters.par_domain_steps, machine.par_domain_steps());
         let mut votes: Vec<(Mapping, u32)> = votes.into_values().collect();
         votes.sort_by_key(|v| std::cmp::Reverse(v.1));
         let winner = votes
@@ -313,6 +321,7 @@ impl Pipeline {
                     "measurement run did not complete within {} cycles",
                     self.cfg.measure_max_cycles
                 );
+                Counters::add(&self.counters.par_domain_steps, machine.par_domain_steps());
                 out
             })
         })
@@ -335,6 +344,7 @@ impl Pipeline {
                 machine.start(Some(mapping));
                 let out = machine.run_to_completion(self.cfg.measure_max_cycles);
                 assert!(out.completed, "multithreaded measurement did not complete");
+                Counters::add(&self.counters.par_domain_steps, machine.par_domain_steps());
                 out
             })
         })

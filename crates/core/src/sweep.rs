@@ -469,7 +469,10 @@ impl<'a> SweepEngine<'a> {
                     "domain-scaling points need at least one domain".into(),
                 ));
             }
-            let machine = MachineConfig::scaled_multidomain(self.cfg.machine.seed, d);
+            // Carry the engine selection over: scaling points should run on
+            // the same stepping engine the caller configured.
+            let machine = MachineConfig::scaled_multidomain(self.cfg.machine.seed, d)
+                .with_step_threads(self.cfg.machine.step_threads);
             let topo = machine.topology;
             let mix_size = 2 * machine.cores;
             let sub = SweepEngine {

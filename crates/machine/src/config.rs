@@ -77,6 +77,16 @@ pub struct MachineConfig {
     pub paging: bool,
     /// Master seed; every stochastic component derives from it.
     pub seed: u64,
+    /// Stepping engine selector. `1` (the default everywhere) runs the
+    /// classic coupled engine — one global frontier, one shared DRAM
+    /// channel, one jitter stream — whose outputs are pinned bit-for-bit
+    /// by the golden digests. `>= 2` selects the decomposed engine:
+    /// cache domains step independently on up to `step_threads` scoped
+    /// worker threads, each with its own DRAM channel and jitter stream,
+    /// and results are merged in domain order. Decomposed output depends
+    /// only on the domain decomposition, never on how many workers
+    /// actually ran, so any two values `>= 2` are bit-identical.
+    pub step_threads: usize,
 }
 
 /// Signature-unit options that are not derivable from the cache geometry.
@@ -123,6 +133,7 @@ impl MachineConfig {
             virt: None,
             paging: true,
             seed,
+            step_threads: 1,
         }
     }
 
@@ -194,6 +205,9 @@ impl MachineConfig {
         if self.cores == 0 {
             return Err("machine must have at least one core".to_string());
         }
+        if self.step_threads == 0 {
+            return Err("step_threads must be at least 1 (1 = serial engine)".to_string());
+        }
         let topo_cores = self.topology.cores();
         if topo_cores != self.cores {
             return Err(format!(
@@ -214,6 +228,13 @@ impl MachineConfig {
     /// Disable the signature unit (phase-2 machine), preserving the rest.
     pub fn without_signature(mut self) -> Self {
         self.signature = None;
+        self
+    }
+
+    /// Select the stepping engine (see [`MachineConfig::step_threads`]).
+    /// Values below 1 are clamped to the serial engine.
+    pub fn with_step_threads(mut self, threads: usize) -> Self {
+        self.step_threads = threads.max(1);
         self
     }
 }

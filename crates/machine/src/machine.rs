@@ -1,12 +1,13 @@
 //! The multi-core machine engine.
 
-use crate::config::MachineConfig;
+use crate::config::{MachineConfig, VirtConfig};
 use crate::mapping::Mapping;
-use crate::sched::Scheduler;
+use crate::sched::{SchedLane, Scheduler};
 use crate::thread::{ProcView, Thread, ThreadView};
+use crate::timing::TimingModel;
 use serde::{Deserialize, Serialize};
-use symbio_cache::{AccessLevel, Address, Dram, MemorySystem};
-use symbio_cbf::{NullSink, SignatureSample, SignatureUnit};
+use symbio_cache::{AccessLevel, Address, CoreChannel, DomainMem, Dram, MemorySystem};
+use symbio_cbf::{CacheEventSink, NullSink, SignatureSample, SignatureUnit};
 use symbio_workloads::{Op, Pattern, ThreadSpec, WorkloadGen, WorkloadSpec};
 
 /// Shift applied to `pid + 1` to namespace each process's address space.
@@ -15,6 +16,30 @@ const ASID_SHIFT: u32 = 44;
 const PAGE_SHIFT: u32 = 12;
 /// Physical page-frame number mask (40-bit physical space).
 const PFN_MASK: u64 = (1 << 28) - 1;
+
+/// Advance `state` (xorshift64) and draw a quantum uniform in
+/// [base/2, 3·base/2] — see [`Machine::jittered_quantum`] for why the
+/// jitter exists. A free function over the bare state so both the serial
+/// engine (`jitter[0]`) and each decomposed domain lane (its own stream)
+/// share one implementation.
+#[inline]
+fn jittered(state: &mut u64, base: u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    let span = base; // +/- 50%
+    if span == 0 {
+        return base.max(1);
+    }
+    base - span / 2 + *state % span
+}
+
+/// Context-switch cost for a configuration (timing model plus the VM
+/// entry/exit surcharge when virtualized).
+#[inline]
+fn switch_cost_of(cfg: &MachineConfig) -> u64 {
+    cfg.timing.context_switch + cfg.virt.map_or(0, |v| v.vm_switch_extra)
+}
 
 /// Deterministic vpage→pfn scatter (SplitMix64 finalizer). Stands in for
 /// the OS page allocator: virtually-contiguous pages land on effectively
@@ -85,17 +110,133 @@ impl RunOutcome {
     }
 }
 
-/// Scheduling-relevant events produced by executing one operation; the
-/// batched run loops use them to fall back to the slow path exactly where
-/// the unbatched engine would have re-evaluated state.
+/// Why a [`hot_run`] batch stopped.
 #[derive(Debug, Clone, Copy)]
-struct StepEvents {
-    /// The quantum expired and the thread was switched out (core now idle
-    /// between threads; frontier and dispatch state must be recomputed).
-    preempted: bool,
-    /// A gating thread finished its first run (`all_complete` may have
-    /// flipped).
-    gating_first_completion: bool,
+enum HotExit {
+    /// The quantum expired mid-batch. The caller must run the
+    /// context-switch slow path; `gating_first` reports whether the same
+    /// op also produced a gating first completion (completion-mode
+    /// drivers re-check `all_complete` after the switch, matching the
+    /// per-op engine's event order).
+    Quantum { gating_first: bool },
+    /// A gating thread finished its first run without the quantum
+    /// expiring (only returned when `stop_on_gating_first` is set).
+    GatingFirst,
+    /// The core clock passed the batch limit.
+    Limit,
+}
+
+/// Execute exactly one operation of thread `t` against its pre-resolved
+/// memory channel: cost model, memory system, virtualization tax,
+/// retirement and completion-restart. Returns `(cost, gating_first)`.
+///
+/// This is *the* op semantics — the per-op engine ([`Machine::exec_op`]),
+/// the batched serial engine and the decomposed domain lanes all execute
+/// through here, so they cannot drift apart. The caller owns quantum
+/// accounting (the only piece that differs between them).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn exec_one<S: CacheEventSink + ?Sized>(
+    t: &mut Thread,
+    factory: &GenFactory,
+    chan: &mut CoreChannel<'_>,
+    sink: &mut S,
+    clock: &mut u64,
+    virt: Option<VirtConfig>,
+    timing: TimingModel,
+    paging: bool,
+) -> (u64, bool) {
+    let op = t.gen.next_op();
+    let instrs = op.instructions();
+    let mut cost = match op {
+        Op::Compute(n) => u64::from(n),
+        Op::Load(a) | Op::Store(a) => {
+            let va = a | ((t.pid as u64 + 1) << ASID_SHIFT);
+            let addr = if paging {
+                // One-entry memo: translation is a pure hash of the vpage,
+                // so reusing the thread's last pair is output-invariant.
+                let vpage = va >> PAGE_SHIFT;
+                let pfn = if t.tlb_vpage == vpage {
+                    t.tlb_pfn
+                } else {
+                    let pfn = translate_page(vpage);
+                    t.tlb_vpage = vpage;
+                    t.tlb_pfn = pfn;
+                    pfn
+                };
+                Address((pfn << PAGE_SHIFT) | (va & ((1 << PAGE_SHIFT) - 1)))
+            } else {
+                Address(va)
+            };
+            let resp = chan.access(addr, op.is_write(), *clock, sink);
+            t.mem_ops += 1;
+            if resp.level != AccessLevel::L1 {
+                t.l2_accesses += 1;
+                if resp.level == AccessLevel::Memory {
+                    t.l2_misses += 1;
+                }
+            }
+            timing.mem_cost(resp.level, resp.dram_cycles)
+        }
+    };
+    if let Some(v) = virt {
+        let acc = t.tax_accum + v.tax_num * instrs;
+        cost += acc / v.tax_den;
+        t.tax_accum = acc % v.tax_den;
+    }
+    t.user_cycles += cost;
+    t.retired += instrs;
+    *clock += cost;
+    let mut gating_first = false;
+    if t.run_complete() {
+        t.completions += 1;
+        if t.first_completion_user.is_none() {
+            t.first_completion_user = Some(t.user_cycles);
+            t.first_completion_wall = Some(*clock);
+            gating_first = t.counts_for_completion;
+        }
+        t.retired = 0;
+        let seed = t
+            .base_seed
+            .wrapping_add(u64::from(t.completions).wrapping_mul(0xBF58476D1CE4E5B9));
+        t.gen = factory.make(seed);
+    }
+    (cost, gating_first)
+}
+
+/// The batched hot loop: run ops of one thread back to back while the
+/// batch invariants hold, charging the quantum inline instead of through
+/// the scheduler each op. Exits are chosen so the op sequence is
+/// cycle-identical to driving [`exec_one`] one op at a time through the
+/// per-op engine.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn hot_run<S: CacheEventSink + ?Sized>(
+    t: &mut Thread,
+    factory: &GenFactory,
+    chan: &mut CoreChannel<'_>,
+    sink: &mut S,
+    clock: &mut u64,
+    quantum_left: &mut i64,
+    virt: Option<VirtConfig>,
+    timing: TimingModel,
+    paging: bool,
+    limit: u64,
+    stop_on_gating_first: bool,
+) -> HotExit {
+    loop {
+        let (cost, gating_first) = exec_one(t, factory, chan, sink, clock, virt, timing, paging);
+        *quantum_left -= cost as i64;
+        if *quantum_left <= 0 {
+            return HotExit::Quantum { gating_first };
+        }
+        if gating_first && stop_on_gating_first {
+            return HotExit::GatingFirst;
+        }
+        if *clock > limit {
+            return HotExit::Limit;
+        }
+    }
 }
 
 /// The simulated machine (see the crate docs for the architecture).
@@ -120,11 +261,22 @@ pub struct Machine {
     gating_procs: usize,
     clocks: Vec<u64>,
     switches: u64,
-    jitter_state: u64,
+    /// One quantum-jitter stream per cache domain. The serial engine only
+    /// ever draws from `jitter[0]`, which is seeded with the historical
+    /// formula so legacy digests are unchanged; the decomposed engine
+    /// gives each domain lane its own stream so lanes stay independent.
+    jitter: Vec<u64>,
     /// Reused signature-sample buffer: context switches are the most
     /// frequent non-op event, and with this (plus the unit's RBV scratch)
     /// they stay off the allocator entirely.
     sample_scratch: SignatureSample,
+    /// Per-domain sample scratch for the decomposed engine (lanes cannot
+    /// share `sample_scratch`); allocated once so parallel stepping stays
+    /// off the allocator per quantum.
+    lane_scratch: Vec<SignatureSample>,
+    /// Per-domain step batches executed by the decomposed engine
+    /// (0 under the serial engine).
+    par_domain_steps: u64,
     sealed: bool,
 }
 
@@ -138,7 +290,7 @@ impl Machine {
         if let Err(e) = cfg.validate() {
             panic!("invalid machine configuration: {e}");
         }
-        let mem = MemorySystem::new(
+        let mut mem = MemorySystem::new(
             cfg.topology,
             cfg.l1,
             cfg.l2,
@@ -146,6 +298,11 @@ impl Machine {
             Dram::new(cfg.dram.0, cfg.dram.1),
             cfg.seed,
         );
+        // The decomposed engine steps each cache domain on its own DRAM
+        // channel so lanes share no memory-system state at all.
+        if cfg.step_threads >= 2 {
+            mem.split_dram_channels();
+        }
         let sig = if cfg.signature.is_some() {
             (0..cfg.topology.domains())
                 .map(|d| {
@@ -162,6 +319,18 @@ impl Machine {
         let domain_start = (0..cfg.topology.domains())
             .map(|d| cfg.topology.core_start(d))
             .collect();
+        let domains = cfg.topology.domains();
+        // Domain 0 keeps the historical seeding so the serial engine's
+        // jitter stream (and therefore every legacy golden digest) is
+        // unchanged; further domains mix the domain id in.
+        let jitter = (0..domains)
+            .map(|d| {
+                cfg.seed
+                    .wrapping_add((d as u64).wrapping_mul(0xA0761D6478BD642F))
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    | 1
+            })
+            .collect();
         Machine {
             mem,
             sig,
@@ -176,8 +345,10 @@ impl Machine {
             gating_procs: 0,
             clocks: vec![0; cfg.cores],
             switches: 0,
-            jitter_state: cfg.seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+            jitter,
             sample_scratch: SignatureSample::default(),
+            lane_scratch: (0..domains).map(|_| SignatureSample::default()).collect(),
+            par_domain_steps: 0,
             cfg,
             sealed: false,
         }
@@ -196,14 +367,7 @@ impl Machine {
     /// span only a handful of quanta, where a real benchmark spans ~10^3 —
     /// phase mixing must happen correspondingly faster.
     fn jittered_quantum(&mut self, base: u64) -> u64 {
-        self.jitter_state ^= self.jitter_state << 13;
-        self.jitter_state ^= self.jitter_state >> 7;
-        self.jitter_state ^= self.jitter_state << 17;
-        let span = base; // +/- 50%
-        if span == 0 {
-            return base.max(1);
-        }
-        base - span / 2 + self.jitter_state % span
+        jittered(&mut self.jitter[0], base)
     }
 
     /// The machine's configuration.
@@ -364,7 +528,7 @@ impl Machine {
     }
 
     fn switch_cost(&self) -> u64 {
-        self.cfg.timing.context_switch + self.cfg.virt.map_or(0, |v| v.vm_switch_extra)
+        switch_cost_of(&self.cfg)
     }
 
     fn take_signature_sample(&mut self, core: usize, tid: usize) {
@@ -464,88 +628,80 @@ impl Machine {
     /// Execute one operation of `tid` on `core` (cost model, memory
     /// system, virtualization tax, completion and quantum accounting).
     #[inline]
-    fn exec_op(&mut self, core: usize, tid: usize) -> StepEvents {
-        let op = self.threads[tid].gen.next_op();
-        let instrs = op.instructions();
-        let mut cost = match op {
-            Op::Compute(n) => u64::from(n),
-            Op::Load(a) | Op::Store(a) => {
-                let pid = self.threads[tid].pid as u64;
-                let va = a | ((pid + 1) << ASID_SHIFT);
-                let addr = if self.cfg.paging {
-                    let pfn = translate_page(va >> PAGE_SHIFT);
-                    Address((pfn << PAGE_SHIFT) | (va & ((1 << PAGE_SHIFT) - 1)))
-                } else {
-                    Address(va)
-                };
-                let now = self.clocks[core];
-                let d = self.domain_of[core];
-                let resp = match self.sig.get_mut(d) {
-                    Some(unit) => self.mem.access(core, addr, op.is_write(), now, unit),
-                    None => self
-                        .mem
-                        .access(core, addr, op.is_write(), now, &mut NullSink),
-                };
-                let t = &mut self.threads[tid];
-                t.mem_ops += 1;
-                if resp.level != AccessLevel::L1 {
-                    t.l2_accesses += 1;
-                    if resp.level == AccessLevel::Memory {
-                        t.l2_misses += 1;
-                    }
-                }
-                self.cfg.timing.mem_cost(resp.level, resp.dram_cycles)
-            }
+    fn exec_op(&mut self, core: usize, tid: usize) {
+        let d = self.domain_of[core];
+        let mut chan = self.mem.core_channel(core);
+        let t = &mut self.threads[tid];
+        let factory = &self.factories[tid];
+        let clock = &mut self.clocks[core];
+        let (virt, timing, paging) = (self.cfg.virt, self.cfg.timing, self.cfg.paging);
+        let (cost, _gating_first) = match self.sig.get_mut(d) {
+            Some(unit) => exec_one(t, factory, &mut chan, unit, clock, virt, timing, paging),
+            None => exec_one(
+                t,
+                factory,
+                &mut chan,
+                &mut NullSink,
+                clock,
+                virt,
+                timing,
+                paging,
+            ),
         };
-
-        // One thread borrow covers the tax, retirement counters and the
-        // completion check — the indexing happens once, not four times.
-        let run_complete = {
-            let t = &mut self.threads[tid];
-            if let Some(v) = self.cfg.virt {
-                let acc = t.tax_accum + v.tax_num * instrs;
-                cost += acc / v.tax_den;
-                t.tax_accum = acc % v.tax_den;
-            }
-            t.user_cycles += cost;
-            t.retired += instrs;
-            t.run_complete()
-        };
-        self.clocks[core] += cost;
-        let gating_first_completion = if run_complete {
-            self.complete_and_restart(tid, core)
-        } else {
-            false
-        };
-        let preempted = if self.sched.charge(core, cost) {
-            self.context_switch(core)
-        } else {
-            false
-        };
-        StepEvents {
-            preempted,
-            gating_first_completion,
+        if self.sched.charge(core, cost) {
+            self.context_switch(core);
         }
     }
 
-    /// Restart a finished run; true when this was the *first* completion of
-    /// a gating thread (the only event that can flip [`Machine::all_complete`],
-    /// so batched drivers re-check it exactly there).
-    fn complete_and_restart(&mut self, tid: usize, core: usize) -> bool {
+    /// Run the batched hot loop for `tid` on `core`: every per-op borrow
+    /// (thread, memory channel, signature sink, clock, quantum) is
+    /// resolved once here, then [`hot_run`] executes ops back to back
+    /// until the quantum expires, the clock passes `limit`, or — in
+    /// completion mode — a gating thread first completes. Quantum expiry
+    /// exits to the caller's [`Machine::context_switch`] slow path, which
+    /// is exactly where the per-op engine would have landed.
+    fn hot_batch(
+        &mut self,
+        core: usize,
+        tid: usize,
+        limit: u64,
+        stop_on_gating_first: bool,
+    ) -> HotExit {
+        let d = self.domain_of[core];
+        let mut chan = self.mem.core_channel(core);
         let t = &mut self.threads[tid];
-        t.completions += 1;
-        let mut gating_first = false;
-        if t.first_completion_user.is_none() {
-            t.first_completion_user = Some(t.user_cycles);
-            t.first_completion_wall = Some(self.clocks[core]);
-            gating_first = t.counts_for_completion;
+        let factory = &self.factories[tid];
+        let clock = &mut self.clocks[core];
+        let quantum_left = self.sched.quantum_cell(core);
+        let (virt, timing, paging) = (self.cfg.virt, self.cfg.timing, self.cfg.paging);
+        match self.sig.get_mut(d) {
+            Some(unit) => hot_run(
+                t,
+                factory,
+                &mut chan,
+                unit,
+                clock,
+                quantum_left,
+                virt,
+                timing,
+                paging,
+                limit,
+                stop_on_gating_first,
+            ),
+            None => hot_run(
+                t,
+                factory,
+                &mut chan,
+                &mut NullSink,
+                clock,
+                quantum_left,
+                virt,
+                timing,
+                paging,
+                limit,
+                stop_on_gating_first,
+            ),
         }
-        t.retired = 0;
-        let seed = t
-            .base_seed
-            .wrapping_add(u64::from(t.completions).wrapping_mul(0xBF58476D1CE4E5B9));
-        t.gen = self.factories[tid].make(seed);
-        gating_first
     }
 
     /// Quantum expiry; true when the running thread was actually preempted
@@ -577,21 +733,28 @@ impl Machine {
     /// active clocks cannot move meanwhile) it runs in a tight inner loop,
     /// breaking only on preemption or on catching up to [`Self::batch_limit`].
     /// The op sequence is cycle-identical to stepping one op at a time.
+    ///
+    /// With `step_threads >= 2` the decomposed engine steps each cache
+    /// domain independently (in parallel) to the same global target; see
+    /// [`MachineConfig::step_threads`].
     pub fn run_for(&mut self, cycles: u64) {
         debug_assert!(self.sealed, "start() the machine first");
         let target = self.now().saturating_add(cycles);
+        if self.cfg.step_threads >= 2 {
+            self.run_decomposed(LaneGoal::For { target });
+            return;
+        }
         while let Some(core) = self.frontier_core() {
             if self.clocks[core] >= target {
                 break;
             }
             let limit = self.batch_limit(core, target);
             let tid = self.ensure_current(core);
-            loop {
-                let ev = self.exec_op(core, tid);
-                if ev.preempted || self.clocks[core] > limit {
-                    break;
-                }
-                debug_assert_eq!(self.sched.current(core), Some(tid));
+            if let HotExit::Quantum { .. } = self.hot_batch(core, tid, limit, false) {
+                // Quantum expiry is the slow path: take the signature
+                // sample and preempt (or re-arm a solo thread), exactly
+                // as the per-op engine does inline.
+                self.context_switch(core);
             }
         }
     }
@@ -616,6 +779,10 @@ impl Machine {
             self.start(None);
         }
         let deadline = self.now().saturating_add(max_cycles);
+        if self.cfg.step_threads >= 2 {
+            self.run_decomposed(LaneGoal::Completion { deadline });
+            return self.outcome();
+        }
         'outer: while !self.all_complete() {
             let Some(core) = self.frontier_core() else {
                 break;
@@ -625,17 +792,158 @@ impl Machine {
             }
             let limit = self.batch_limit(core, deadline);
             let tid = self.ensure_current(core);
-            loop {
-                let ev = self.exec_op(core, tid);
-                if ev.gating_first_completion {
-                    continue 'outer;
+            match self.hot_batch(core, tid, limit, true) {
+                HotExit::Quantum { gating_first } => {
+                    self.context_switch(core);
+                    if gating_first {
+                        continue 'outer;
+                    }
                 }
-                if ev.preempted || self.clocks[core] > limit {
-                    break;
-                }
+                HotExit::GatingFirst => continue 'outer,
+                HotExit::Limit => {}
             }
         }
         self.outcome()
+    }
+
+    /// Step every cache domain independently to `goal` — the decomposed
+    /// engine (`step_threads >= 2`).
+    ///
+    /// Each domain becomes a [`Lane`] owning disjoint slices of the
+    /// machine (its cores' caches and DRAM channel, scheduler queues,
+    /// clocks, signature bank, jitter stream and threads), stepped by the
+    /// same hot loop as the serial engine but with domain-local frontier
+    /// and batch limits. Lanes share nothing, so the result depends only
+    /// on the domain decomposition: any worker count `>= 2` (and any
+    /// lane→worker assignment) produces bit-identical machines. Threads
+    /// are partitioned by their current core and restored afterwards —
+    /// affinity changes only ever happen between runs.
+    ///
+    /// In completion mode each lane stops when *its own* gating threads
+    /// have completed once (a lane hosting only background threads does
+    /// not run at all — there is no global frontier to pace it against).
+    fn run_decomposed(&mut self, goal: LaneGoal) {
+        let domains = self.cfg.topology.domains();
+        let n = self.threads.len();
+        let lane_of: Vec<usize> = (0..n)
+            .map(|tid| {
+                let core = self
+                    .sched
+                    .core_of(tid)
+                    .expect("sealed machine places every thread");
+                self.domain_of[core]
+            })
+            .collect();
+        let mut lane_threads: Vec<Vec<(usize, Thread)>> =
+            (0..domains).map(|_| Vec::new()).collect();
+        let mut idx_of = vec![usize::MAX; n];
+        for (tid, t) in self.threads.drain(..).enumerate() {
+            idx_of[tid] = lane_threads[lane_of[tid]].len();
+            lane_threads[lane_of[tid]].push((tid, t));
+        }
+        let ranges: Vec<std::ops::Range<usize>> = (0..domains)
+            .map(|d| self.cfg.topology.core_range(d))
+            .collect();
+        let mut clock_slices: Vec<&mut [u64]> = Vec::with_capacity(domains);
+        let mut rest = self.clocks.as_mut_slice();
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.end - r.start);
+            clock_slices.push(head);
+            rest = tail;
+        }
+        let sigs: Vec<Option<&mut SignatureUnit>> = if self.sig.is_empty() {
+            (0..domains).map(|_| None).collect()
+        } else {
+            self.sig.iter_mut().map(Some).collect()
+        };
+        let mut lanes: Vec<Lane<'_>> = Vec::with_capacity(domains);
+        for (d, ((((((mem, sched), clocks), sig), jitter), scratch), threads)) in self
+            .mem
+            .domain_mems()
+            .into_iter()
+            .zip(self.sched.split_lanes(&ranges))
+            .zip(clock_slices)
+            .zip(sigs)
+            .zip(self.jitter.iter_mut())
+            .zip(self.lane_scratch.iter_mut())
+            .zip(lane_threads)
+            .enumerate()
+        {
+            lanes.push(Lane {
+                domain: d,
+                cores: ranges[d].clone(),
+                mem,
+                sched,
+                clocks,
+                sig,
+                jitter,
+                scratch,
+                threads,
+                switches: 0,
+                steps: 0,
+            });
+        }
+        let ctx = LaneCtx {
+            cfg: &self.cfg,
+            factories: &self.factories,
+            divisors: &self.quantum_divisor,
+            idx_of: &idx_of,
+        };
+        // Never spawn more workers than the host has CPUs: oversubscribing
+        // only adds OS switch thrash (output is worker-count-invariant, so
+        // clamping is free). The floor of 2 keeps the scoped-thread path
+        // real — the decomposed engine was explicitly requested — instead
+        // of silently degenerating to serial on single-CPU hosts.
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = self.cfg.step_threads.min(domains).min(host.max(2));
+        if workers <= 1 {
+            for lane in &mut lanes {
+                run_lane(lane, goal, ctx);
+            }
+        } else {
+            // Static lane→worker partition (lane d → worker d % W). The
+            // partition affects wall-clock only, never output, because
+            // lanes share no state.
+            let mut buckets: Vec<Vec<Lane<'_>>> = (0..workers).map(|_| Vec::new()).collect();
+            for lane in lanes.drain(..) {
+                buckets[lane.domain % workers].push(lane);
+            }
+            lanes = std::thread::scope(|s| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|mut bucket| {
+                        s.spawn(move || {
+                            for lane in &mut bucket {
+                                run_lane(lane, goal, ctx);
+                            }
+                            bucket
+                        })
+                    })
+                    .collect();
+                let mut done = Vec::with_capacity(domains);
+                for h in handles {
+                    done.extend(h.join().expect("domain-stepping worker panicked"));
+                }
+                done
+            });
+            lanes.sort_by_key(|l| l.domain);
+        }
+        // Deterministic domain-ordered merge: all lane state writes back
+        // through disjoint borrows by construction; only the counters and
+        // the thread table need reassembling.
+        let mut slots: Vec<Option<Thread>> = (0..n).map(|_| None).collect();
+        for lane in lanes {
+            self.switches += lane.switches;
+            self.par_domain_steps += lane.steps;
+            for (tid, t) in lane.threads {
+                slots[tid] = Some(t);
+            }
+        }
+        self.threads.extend(
+            slots
+                .into_iter()
+                .map(|s| s.expect("every thread returns from its lane")),
+        );
     }
 
     /// Snapshot the per-process outcome so far.
@@ -748,6 +1056,231 @@ impl Machine {
     /// Context switches performed.
     pub fn switches(&self) -> u64 {
         self.switches
+    }
+
+    /// Per-domain step batches executed by the decomposed engine
+    /// (0 when only the serial engine has run).
+    pub fn par_domain_steps(&self) -> u64 {
+        self.par_domain_steps
+    }
+}
+
+/// What a decomposed run is driving toward.
+#[derive(Debug, Clone, Copy)]
+enum LaneGoal {
+    /// Advance every lane's frontier to the common `target` clock.
+    For {
+        /// Global clock every lane runs up to.
+        target: u64,
+    },
+    /// Run each lane until its own gating threads complete once, bounded
+    /// by `deadline`.
+    Completion {
+        /// Global clock bound.
+        deadline: u64,
+    },
+}
+
+/// Shared read-only context for domain lanes (configuration and the
+/// tid-indexed tables that never change during a run).
+#[derive(Clone, Copy)]
+struct LaneCtx<'a> {
+    cfg: &'a MachineConfig,
+    factories: &'a [GenFactory],
+    divisors: &'a [u64],
+    /// tid → index into the owning lane's `threads` vec.
+    idx_of: &'a [usize],
+}
+
+/// One cache domain's private slice of the machine, stepped independently
+/// by the decomposed engine. Mirrors the serial engine's state exactly,
+/// restricted to the domain's cores; see [`Machine::run_decomposed`].
+struct Lane<'a> {
+    domain: usize,
+    /// Global core ids of this domain (contiguous).
+    cores: std::ops::Range<usize>,
+    mem: DomainMem<'a>,
+    sched: SchedLane<'a>,
+    /// Lane-local clocks, indexed by `core - cores.start`.
+    clocks: &'a mut [u64],
+    sig: Option<&'a mut SignatureUnit>,
+    jitter: &'a mut u64,
+    scratch: &'a mut SignatureSample,
+    /// `(tid, thread)` for every thread currently placed on this domain.
+    threads: Vec<(usize, Thread)>,
+    switches: u64,
+    steps: u64,
+}
+
+impl Lane<'_> {
+    #[inline]
+    fn clock(&self, core: usize) -> u64 {
+        self.clocks[core - self.cores.start]
+    }
+
+    /// Lane-local frontier: the most-behind active core of this domain
+    /// (lowest index wins ties, as in [`Machine::frontier_core`]).
+    fn frontier_core(&self) -> Option<usize> {
+        self.cores
+            .clone()
+            .filter(|&c| self.sched.has_work(c))
+            .min_by_key(|&c| self.clock(c))
+    }
+
+    /// Lane-local batch limit (same invariant as [`Machine::batch_limit`],
+    /// quantified over this domain's cores only — other domains' clocks
+    /// are irrelevant because lanes never interact).
+    fn batch_limit(&self, core: usize, stop_before: u64) -> u64 {
+        let mut limit = stop_before - 1;
+        for c in self.cores.clone() {
+            if c != core && self.sched.has_work(c) {
+                let v = if c < core {
+                    self.clock(c) - 1
+                } else {
+                    self.clock(c)
+                };
+                limit = limit.min(v);
+            }
+        }
+        limit
+    }
+
+    fn ensure_current(&mut self, core: usize, ctx: LaneCtx<'_>) -> usize {
+        match self.sched.current(core) {
+            Some(t) => t,
+            None => {
+                let quantum = jittered(self.jitter, ctx.cfg.effective_quantum());
+                let t = self
+                    .sched
+                    .dispatch(core, quantum)
+                    .expect("has_work implies dispatchable");
+                let div = ctx.divisors[t];
+                if div > 1 {
+                    self.sched.rearm(core, quantum / div);
+                }
+                t
+            }
+        }
+    }
+
+    fn take_sample(&mut self, core: usize, tid: usize, ctx: LaneCtx<'_>) {
+        if let Some(sig) = self.sig.as_deref_mut() {
+            sig.switch_out_into(core - self.cores.start, self.scratch);
+            self.scratch.core = core;
+            self.threads[ctx.idx_of[tid]].1.sig.update(self.scratch);
+        }
+    }
+
+    fn context_switch(&mut self, core: usize, ctx: LaneCtx<'_>) {
+        let Some(cur) = self.sched.current(core) else {
+            return;
+        };
+        self.take_sample(core, cur, ctx);
+        if self.sched.load(core) > 1 {
+            self.sched.preempt(core);
+            self.clocks[core - self.cores.start] += switch_cost_of(ctx.cfg);
+            self.switches += 1;
+        } else {
+            let base = ctx.cfg.effective_quantum() / ctx.divisors[cur];
+            let quantum = jittered(self.jitter, base.max(1));
+            self.sched.rearm(core, quantum.max(1));
+        }
+    }
+
+    fn hot_batch(
+        &mut self,
+        core: usize,
+        tid: usize,
+        limit: u64,
+        stop_on_gating_first: bool,
+        ctx: LaneCtx<'_>,
+    ) -> HotExit {
+        let mut chan = self.mem.core_channel(core);
+        let t = &mut self.threads[ctx.idx_of[tid]].1;
+        let factory = &ctx.factories[tid];
+        let clock = &mut self.clocks[core - self.cores.start];
+        let quantum_left = self.sched.quantum_cell(core);
+        let (virt, timing, paging) = (ctx.cfg.virt, ctx.cfg.timing, ctx.cfg.paging);
+        match self.sig.as_deref_mut() {
+            Some(unit) => hot_run(
+                t,
+                factory,
+                &mut chan,
+                unit,
+                clock,
+                quantum_left,
+                virt,
+                timing,
+                paging,
+                limit,
+                stop_on_gating_first,
+            ),
+            None => hot_run(
+                t,
+                factory,
+                &mut chan,
+                &mut NullSink,
+                clock,
+                quantum_left,
+                virt,
+                timing,
+                paging,
+                limit,
+                stop_on_gating_first,
+            ),
+        }
+    }
+
+    /// Whether every gating thread placed on this lane has completed once
+    /// (vacuously true for lanes with no gating threads).
+    fn all_complete(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|(_, t)| !t.counts_for_completion || t.completions >= 1)
+    }
+}
+
+/// Drive one lane to its goal — the lane-local image of the serial
+/// engine's outer loops in [`Machine::run_for`] /
+/// [`Machine::run_to_completion`].
+fn run_lane(lane: &mut Lane<'_>, goal: LaneGoal, ctx: LaneCtx<'_>) {
+    match goal {
+        LaneGoal::For { target } => {
+            while let Some(core) = lane.frontier_core() {
+                if lane.clock(core) >= target {
+                    break;
+                }
+                let limit = lane.batch_limit(core, target);
+                let tid = lane.ensure_current(core, ctx);
+                lane.steps += 1;
+                if let HotExit::Quantum { .. } = lane.hot_batch(core, tid, limit, false, ctx) {
+                    lane.context_switch(core, ctx);
+                }
+            }
+        }
+        LaneGoal::Completion { deadline } => {
+            'outer: while !lane.all_complete() {
+                let Some(core) = lane.frontier_core() else {
+                    break;
+                };
+                if lane.clock(core) >= deadline {
+                    break;
+                }
+                let limit = lane.batch_limit(core, deadline);
+                let tid = lane.ensure_current(core, ctx);
+                lane.steps += 1;
+                match lane.hot_batch(core, tid, limit, true, ctx) {
+                    HotExit::Quantum { gating_first } => {
+                        lane.context_switch(core, ctx);
+                        if gating_first {
+                            continue 'outer;
+                        }
+                    }
+                    HotExit::GatingFirst => continue 'outer,
+                    HotExit::Limit => {}
+                }
+            }
+        }
     }
 }
 

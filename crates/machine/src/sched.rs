@@ -78,6 +78,14 @@ impl Scheduler {
         self.quantum_left[core] <= 0
     }
 
+    /// Mutable handle on `core`'s remaining quantum, so the batched hot
+    /// loop can charge it without re-indexing per op (equivalent to
+    /// repeated [`Scheduler::charge`] calls).
+    #[inline]
+    pub fn quantum_cell(&mut self, core: usize) -> &mut i64 {
+        &mut self.quantum_left[core]
+    }
+
     /// Deschedule the running thread back to its queue tail; returns it.
     pub fn preempt(&mut self, core: usize) -> Option<usize> {
         let tid = self.running[core].take()?;
@@ -110,6 +118,117 @@ impl Scheduler {
     /// Number of threads assigned to `core` (running + queued).
     pub fn load(&self, core: usize) -> usize {
         usize::from(self.running[core].is_some()) + self.queues[core].len()
+    }
+
+    /// Split the scheduler into per-domain lanes over `ranges`, which must
+    /// be contiguous, ascending and cover every core exactly once (cache
+    /// domains always are). Each lane owns the run-queue state of its
+    /// cores and keeps addressing them by *global* core index, so lane
+    /// code reads identically to whole-machine code.
+    pub fn split_lanes(&mut self, ranges: &[std::ops::Range<usize>]) -> Vec<SchedLane<'_>> {
+        let mut lanes = Vec::with_capacity(ranges.len());
+        let (mut queues, mut running, mut quantum_left) = (
+            self.queues.as_mut_slice(),
+            self.running.as_mut_slice(),
+            self.quantum_left.as_mut_slice(),
+        );
+        let mut taken = 0usize;
+        for range in ranges {
+            debug_assert_eq!(range.start, taken, "domain ranges must be contiguous");
+            let len = range.end - range.start;
+            let (q, q_rest) = queues.split_at_mut(len);
+            let (r, r_rest) = running.split_at_mut(len);
+            let (ql, ql_rest) = quantum_left.split_at_mut(len);
+            lanes.push(SchedLane {
+                core_start: range.start,
+                queues: q,
+                running: r,
+                quantum_left: ql,
+            });
+            queues = q_rest;
+            running = r_rest;
+            quantum_left = ql_rest;
+            taken = range.end;
+        }
+        debug_assert!(queues.is_empty(), "domain ranges must cover every core");
+        lanes
+    }
+}
+
+/// One cache domain's slice of the scheduler (see
+/// [`Scheduler::split_lanes`]). All core arguments are global indices.
+#[derive(Debug)]
+pub struct SchedLane<'a> {
+    core_start: usize,
+    queues: &'a mut [VecDeque<usize>],
+    running: &'a mut [Option<usize>],
+    quantum_left: &'a mut [i64],
+}
+
+impl SchedLane<'_> {
+    #[inline]
+    fn local(&self, core: usize) -> usize {
+        core - self.core_start
+    }
+
+    /// The thread currently on `core`.
+    #[inline]
+    pub fn current(&self, core: usize) -> Option<usize> {
+        self.running[self.local(core)]
+    }
+
+    /// Whether `core` has anything to run (running or queued).
+    #[inline]
+    pub fn has_work(&self, core: usize) -> bool {
+        let c = self.local(core);
+        self.running[c].is_some() || !self.queues[c].is_empty()
+    }
+
+    /// Pop the next queued thread onto the core and arm its quantum.
+    pub fn dispatch(&mut self, core: usize, quantum: u64) -> Option<usize> {
+        let c = self.local(core);
+        debug_assert!(self.running[c].is_none());
+        let tid = self.queues[c].pop_front()?;
+        self.running[c] = Some(tid);
+        self.quantum_left[c] = quantum as i64;
+        Some(tid)
+    }
+
+    /// Re-arm the running quantum.
+    #[inline]
+    pub fn rearm(&mut self, core: usize, quantum: u64) {
+        self.quantum_left[self.local(core)] = quantum as i64;
+    }
+
+    /// Charge `cycles` against the running quantum; true when it expired.
+    #[inline]
+    pub fn charge(&mut self, core: usize, cycles: u64) -> bool {
+        let c = self.local(core);
+        self.quantum_left[c] -= cycles as i64;
+        self.quantum_left[c] <= 0
+    }
+
+    /// Mutable handle on `core`'s remaining quantum (see
+    /// [`Scheduler::quantum_cell`]).
+    #[inline]
+    pub fn quantum_cell(&mut self, core: usize) -> &mut i64 {
+        let c = self.local(core);
+        &mut self.quantum_left[c]
+    }
+
+    /// Deschedule the running thread back to its queue tail; returns it.
+    pub fn preempt(&mut self, core: usize) -> Option<usize> {
+        let c = self.local(core);
+        let tid = self.running[c].take()?;
+        self.queues[c].push_back(tid);
+        Some(tid)
+    }
+
+    /// Number of threads assigned to `core` (running + queued).
+    #[inline]
+    pub fn load(&self, core: usize) -> usize {
+        let c = self.local(core);
+        usize::from(self.running[c].is_some()) + self.queues[c].len()
     }
 }
 
@@ -176,6 +295,28 @@ mod tests {
         s.dispatch(1, 10);
         assert_eq!(s.core_of(8), Some(1));
         assert_eq!(s.core_of(9), None);
+    }
+
+    #[test]
+    fn split_lanes_partition_by_global_index() {
+        let mut s = Scheduler::new(4);
+        s.enqueue(0, 10);
+        s.enqueue(2, 20);
+        s.enqueue(3, 30);
+        {
+            let mut lanes = s.split_lanes(&[0..2, 2..4]);
+            assert_eq!(lanes.len(), 2);
+            assert_eq!(lanes[0].dispatch(0, 100), Some(10));
+            assert_eq!(lanes[1].dispatch(2, 100), Some(20));
+            assert!(lanes[1].has_work(3));
+            assert_eq!(lanes[1].load(3), 1);
+            assert!(lanes[1].charge(2, 200), "quantum expires in lane");
+            assert_eq!(lanes[1].preempt(2), Some(20));
+        }
+        // Mutations through lanes land in the shared scheduler state.
+        assert_eq!(s.current(0), Some(10));
+        assert_eq!(s.core_of(20), Some(2));
+        assert_eq!(s.core_of(30), Some(3));
     }
 
     #[test]

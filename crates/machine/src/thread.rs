@@ -105,6 +105,13 @@ pub struct Thread {
     pub mem_ops: u64,
     /// Fractional-tax accumulator for the hypervisor instruction tax.
     pub tax_accum: u64,
+    /// One-entry translation memo: the virtual page of the thread's last
+    /// translated access. Page translation is a pure hash, so caching the
+    /// last pair is output-invariant; `0` means empty (virtual pages
+    /// always carry the thread's nonzero address-space bits).
+    pub tlb_vpage: u64,
+    /// Cached frame number for [`Thread::tlb_vpage`].
+    pub tlb_pfn: u64,
 }
 
 impl Thread {
@@ -134,6 +141,8 @@ impl Thread {
             l2_accesses: 0,
             mem_ops: 0,
             tax_accum: 0,
+            tlb_vpage: 0,
+            tlb_pfn: 0,
         }
     }
 

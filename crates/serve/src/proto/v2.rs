@@ -330,6 +330,9 @@ fn put_counters(out: &mut Vec<u8>, c: &CounterSnapshot) -> symbio::Result<()> {
     ] {
         put_u64(out, v);
     }
+    put_u64(out, c.par_domain_steps);
+    put_u64(out, c.step_threads);
+    put_u64(out, c.quantum_step_ns);
     put_count(out, c.domain_remaps.len())?;
     for v in &c.domain_remaps {
         put_u64(out, *v);
@@ -652,6 +655,9 @@ fn decode_counters(r: &mut Reader) -> symbio::Result<CounterSnapshot> {
         quarantine_trips: r.u64()?,
         degraded_replies: r.u64()?,
         journal_bytes: r.u64()?,
+        par_domain_steps: r.u64()?,
+        step_threads: r.u64()?,
+        quantum_step_ns: r.u64()?,
         domain_remaps: {
             let n = r.bounded_count(8)?;
             let mut v = Vec::with_capacity(n);

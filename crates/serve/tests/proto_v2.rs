@@ -162,6 +162,9 @@ impl Gen {
             quarantine_trips: self.next(),
             degraded_replies: self.next(),
             journal_bytes: self.next(),
+            par_domain_steps: self.next(),
+            step_threads: self.next(),
+            quantum_step_ns: self.next(),
             domain_remaps: (0..self.below(4)).map(|_| self.next()).collect(),
         }
     }
