@@ -35,12 +35,43 @@
 //! usable mapping) and are tallied separately. Only genuinely fatal
 //! replies (non-retryable errors) or an exhausted retry budget count as
 //! errors in `BENCH_serve.json`.
+//!
+//! The retry predicate distinguishes **two kinds of retryable reply**:
+//! a retryable transport/load fault means "retry against the same
+//! endpoint", while a `route_moved` error (the fleet coordinator's
+//! signal that a rebalance changed the group's owner) means
+//! "re-resolve the owner with `Route`, then retry". Both paths share
+//! the same retry budget and backoff caps.
+//!
+//! ## Fleet mode
+//!
+//! ```text
+//! loadgen --fleet 2 [--fleet-kill] [--budget-bytes 128]
+//!         [--synthetic-groups 1000000] [usual replay flags]
+//! ```
+//!
+//! `--fleet N` spawns N real `symbiod` child processes (the binary is
+//! found next to `loadgen` itself), fronts them with an in-process
+//! `fleetd` coordinator, and replays the trace through the coordinator
+//! end-to-end — `--addr` is not used. `--fleet-kill` kills one backend
+//! at the middle of the replay window; the run then **requires** the
+//! coordinator to have auto-evicted it (`fleet_rebalance_moves > 0`)
+//! with zero client-visible errors, or exits nonzero. After the window
+//! the coordinator's `FleetMetrics` aggregate, the client-side tallies
+//! and a routing-state footprint probe (`--synthetic-groups` synthetic
+//! groups inserted into a [`symbio_fleet::RoutingTable`], gated at
+//! `--budget-bytes` per group) are merged into `BENCH_fleet.json`.
 
 use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::io::BufRead;
 use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
-use symbio::obs::{write_serve_bench_record, ServeBenchRecord};
+use symbio::obs::{
+    write_fleet_bench_record, write_serve_bench_record, FleetBenchRecord, ServeBenchRecord,
+};
 use symbio::{Error, ExperimentConfig, ExperimentConfigBuilder};
+use symbio_fleet::{FleetConfig, Fleetd, RouteEntry, RoutingTable};
 use symbio_machine::{Machine, MachineConfig, SigSnapshot};
 use symbio_serve::{Encoding, Request, Response, WireClient};
 use symbio_workloads::spec2006;
@@ -143,6 +174,8 @@ struct ReplayStats {
     retries: u64,
     /// `degraded`/`recovering` replies: served from a stale mapping.
     degraded: u64,
+    /// `route_moved` replies absorbed by re-resolving the owner.
+    rerouted: u64,
 }
 
 /// How the retry loop treats one exchange outcome.
@@ -154,17 +187,31 @@ enum Outcome {
         errors: u64,
     },
     /// Worth retrying after backoff (socket fault, lost reply, or an
-    /// error the daemon itself marked `retryable`).
+    /// error the daemon itself marked `retryable`) — against the **same
+    /// endpoint**; the fault was about load or transport, not routing.
     Transient { reconnect: bool },
+    /// A fleet rebalance moved the group's owner: **re-resolve** with a
+    /// `Route` exchange, then retry. Retrying blindly would work too
+    /// (the coordinator proxies either way) but would never refresh the
+    /// client's view of the fleet; the split keeps the two failure
+    /// modes separately counted and separately handled.
+    Moved,
     /// Retrying cannot help (the daemon rejected the request itself).
     Fatal,
 }
 
+/// Does this reply tell the client its group's owner moved?
+fn is_route_moved(reply: &Response) -> bool {
+    matches!(reply, Response::Error { code, .. } if code == "route_moved")
+}
+
 /// Classify one exchange. The retry predicate is the protocol's own
-/// `retryable` flag: `busy` shedding and injected I/O faults are about
-/// daemon load, not about this request, and the daemon says so on the
-/// wire. A batch with any retryable item is retried whole — duplicate
-/// suppression makes the already-tallied items idempotent.
+/// `retryable` flag, split in two: `route_moved` (a fleet rebalance
+/// relocated the group) re-resolves the owner before retrying, while
+/// every other retryable reply — `busy` shedding and injected I/O
+/// faults are about daemon load, not about this request — retries the
+/// same endpoint. A batch with any retryable item is retried whole —
+/// duplicate suppression makes the already-tallied items idempotent.
 fn classify(result: symbio::Result<Response>) -> Outcome {
     match result {
         Ok(Response::Decision(_)) => Outcome::Served {
@@ -177,7 +224,11 @@ fn classify(result: symbio::Result<Response>) -> Outcome {
             degraded: 1,
             errors: 0,
         },
+        Ok(ref reply @ Response::Error { .. }) if is_route_moved(reply) => Outcome::Moved,
         Ok(Response::Batch(items)) => {
+            if items.iter().any(is_route_moved) {
+                return Outcome::Moved;
+            }
             if items.iter().any(Response::is_retryable) {
                 return Outcome::Transient { reconnect: false };
             }
@@ -265,6 +316,105 @@ fn control_exchange(
     )))
 }
 
+/// A fleet under test: real `symbiod` child processes fronted by an
+/// in-process `fleetd` coordinator — the same wire path an external
+/// `fleetd` would give, minus one process hop for the coordinator.
+struct FleetRig {
+    /// `(addr, child)` per live backend, in spawn order.
+    children: Vec<(String, Child)>,
+    /// The coordinator's accept loop (joined after shutdown).
+    coordinator: std::thread::JoinHandle<symbio::Result<()>>,
+    /// Where clients connect.
+    addr: SocketAddr,
+}
+
+/// Spawn one `symbiod` child on an ephemeral port and wait for its
+/// listen line. The binary is found next to `loadgen` itself, so a
+/// plain `cargo build --release` lays out everything the rig needs.
+fn spawn_backend(symbiod: &std::path::Path) -> symbio::Result<(String, Child)> {
+    let mut child = Command::new(symbiod)
+        .args(["--addr", "127.0.0.1:0", "--encoding", "both"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| Error::InvalidConfig(format!("cannot spawn {}: {e}", symbiod.display())))?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(addr) = line.strip_prefix("symbiod listening on ") {
+                    break addr.trim().to_string();
+                }
+            }
+            _ => {
+                let _ = child.kill();
+                return Err(Error::Protocol(
+                    "symbiod exited before printing its listen line".to_string(),
+                ));
+            }
+        }
+    };
+    // Keep draining the pipe so the child can never block on it.
+    std::thread::spawn(move || lines.for_each(drop));
+    Ok((addr, child))
+}
+
+/// Bring up `n` backends and the coordinator fronting them.
+fn spawn_fleet(n: usize, budget: usize) -> symbio::Result<FleetRig> {
+    let exe = std::env::current_exe()?;
+    let symbiod = exe
+        .parent()
+        .ok_or_else(|| Error::InvalidConfig("loadgen has no parent directory".to_string()))?
+        .join("symbiod");
+    if !symbiod.exists() {
+        return Err(Error::InvalidConfig(format!(
+            "--fleet needs the symbiod binary next to loadgen ({} not found; \
+             build the whole workspace first)",
+            symbiod.display()
+        )));
+    }
+    let children = (0..n)
+        .map(|_| spawn_backend(&symbiod))
+        .collect::<symbio::Result<Vec<_>>>()?;
+    let backends: Vec<String> = children.iter().map(|(a, _)| a.clone()).collect();
+    let cfg = FleetConfig {
+        bytes_budget: budget,
+        ..FleetConfig::default()
+    };
+    let daemon = Fleetd::bind("127.0.0.1:0", &backends, cfg)?;
+    let addr = daemon.local_addr();
+    let coordinator = std::thread::spawn(move || daemon.run());
+    println!(
+        "loadgen: fleet up — {n} symbiod backend(s) [{}] behind fleetd on {addr}",
+        backends.join(", ")
+    );
+    Ok(FleetRig {
+        children,
+        coordinator,
+        addr,
+    })
+}
+
+/// Measure the routing table's per-group footprint at synthetic scale:
+/// insert `count` distinct groups and report heap bytes per group. This
+/// is the ISSUE-mandated probe behind the `--budget-bytes` gate — the
+/// table holds hashes and packed owner words only, so a million groups
+/// must stay within the budget.
+fn routing_footprint(count: u64, backends: usize) -> f64 {
+    let mut table = RoutingTable::default();
+    for i in 0..count {
+        table.upsert(
+            RoutingTable::key_of(&format!("synthetic/{i}")),
+            RouteEntry {
+                owner: (i as usize % backends.max(1)) as u16,
+                tenant: 0,
+                moved: false,
+            },
+        );
+    }
+    table.bytes_per_group()
+}
+
 /// One connection's replay loop: stream ingest frames (batched when
 /// `batch > 1`) until the deadline, absorbing transient faults with
 /// bounded backoff-and-retry.
@@ -322,6 +472,25 @@ fn replay(
                     stats.errors += 1;
                     break;
                 }
+                Outcome::Moved => {
+                    if attempt >= MAX_RETRIES {
+                        stats.errors += 1;
+                        break;
+                    }
+                    attempt += 1;
+                    stats.rerouted += 1;
+                    // Re-resolve before retrying: the Route answer names
+                    // the fresh owner (and clears the coordinator's
+                    // moved flag for the group). A failed resolution
+                    // falls through to the retry, which will surface the
+                    // fault through the normal transient path.
+                    if let Some(c) = client.as_mut() {
+                        let _ = c.exchange(&Request::Route {
+                            group: group.clone(),
+                        });
+                    }
+                    std::thread::sleep(backoff(attempt, &mut rng));
+                }
                 Outcome::Transient { reconnect } => {
                     if reconnect {
                         client = None;
@@ -365,6 +534,10 @@ fn main() -> symbio::Result<()> {
     let mut mode = Mode::Json;
     let mut batch = 1u64;
     let mut min_rate = 0.0f64;
+    let mut fleet = 0usize;
+    let mut fleet_kill = false;
+    let mut budget_bytes = symbio_fleet::DEFAULT_BYTES_PER_GROUP;
+    let mut synthetic_groups = 1_000_000u64;
 
     let bad = |flag: &str, v: &str| Error::InvalidConfig(format!("bad value `{v}` for {flag}"));
     let mut args = std::env::args().skip(1);
@@ -417,14 +590,41 @@ fn main() -> symbio::Result<()> {
                 let v = value()?;
                 min_rate = v.parse().map_err(|_| bad("--min-rate", &v))?;
             }
+            "--fleet" => {
+                let v = value()?;
+                fleet = v.parse().map_err(|_| bad("--fleet", &v))?;
+            }
+            "--fleet-kill" => fleet_kill = true,
+            "--budget-bytes" => {
+                let v = value()?;
+                budget_bytes = v.parse().map_err(|_| bad("--budget-bytes", &v))?;
+            }
+            "--synthetic-groups" => {
+                let v = value()?;
+                synthetic_groups = v.parse().map_err(|_| bad("--synthetic-groups", &v))?;
+            }
             "--shutdown" => shutdown = true,
             other => return Err(Error::InvalidConfig(format!("unknown flag `{other}`"))),
         }
     }
-    if addr.is_empty() {
+    if addr.is_empty() && fleet == 0 {
         return Err(Error::InvalidConfig(
-            "--addr is required (e.g. --addr 127.0.0.1:7411)".to_string(),
+            "--addr is required (e.g. --addr 127.0.0.1:7411) unless --fleet spawns the target"
+                .to_string(),
         ));
+    }
+    if fleet > 0 && !addr.is_empty() {
+        return Err(Error::InvalidConfig(
+            "--fleet spawns its own coordinator; drop --addr".to_string(),
+        ));
+    }
+    if fleet_kill && fleet < 2 {
+        return Err(Error::InvalidConfig(
+            "--fleet-kill needs --fleet >= 2 (a survivor must exist to rebalance onto)".to_string(),
+        ));
+    }
+    if name == "serve-loadgen" && fleet > 0 {
+        name = "fleet-loadgen".to_string();
     }
     if conns == 0 || seconds <= 0.0 {
         return Err(Error::InvalidConfig(
@@ -455,7 +655,15 @@ fn main() -> symbio::Result<()> {
             ));
         }
     }
-    let target = resolve(&addr)?;
+    let mut rig = if fleet > 0 {
+        Some(spawn_fleet(fleet, budget_bytes)?)
+    } else {
+        None
+    };
+    let target = match &rig {
+        Some(r) => r.addr,
+        None => resolve(&addr)?,
+    };
 
     let (cfg, trace) = record_trace(domains, step_threads)?;
     println!(
@@ -465,6 +673,23 @@ fn main() -> symbio::Result<()> {
         cfg.machine.topology.domains(),
         cfg.machine.cores
     );
+
+    // Chaos, armed before the window opens: at the window's midpoint one
+    // backend dies SIGKILL-style. The coordinator must absorb it — the
+    // run's gates below check that it did.
+    let killer = if fleet_kill {
+        let r = rig.as_mut().expect("--fleet-kill implies --fleet");
+        let (victim, mut child) = r.children.remove(0);
+        let delay = Duration::from_secs_f64(seconds / 2.0);
+        Some(std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            let _ = child.kill();
+            let _ = child.wait();
+            victim
+        }))
+    } else {
+        None
+    };
 
     let started = Instant::now();
     let clients: Vec<_> = (0..conns)
@@ -489,6 +714,7 @@ fn main() -> symbio::Result<()> {
     let mut errors = 0u64;
     let mut retries = 0u64;
     let mut degraded = 0u64;
+    let mut rerouted = 0u64;
     for c in clients {
         let stats = c.join().expect("client thread")?;
         latencies.extend(stats.latencies);
@@ -496,8 +722,13 @@ fn main() -> symbio::Result<()> {
         errors += stats.errors;
         retries += stats.retries;
         degraded += stats.degraded;
+        rerouted += stats.rerouted;
     }
     let wall = started.elapsed().as_secs_f64();
+    if let Some(k) = killer {
+        let victim = k.join().expect("killer thread");
+        println!("loadgen: killed backend {victim} at the window midpoint");
+    }
 
     // The smoke-test teeth: the daemon must still answer a well-formed
     // metrics reply after the replay, or the run fails. The control
@@ -513,6 +744,119 @@ fn main() -> symbio::Result<()> {
             )))
         }
     };
+    // The fleet epilogue: aggregate counters, shut the whole rig down,
+    // probe the routing footprint, and write BENCH_fleet.json with the
+    // run's gates. Everything the coordinator absorbed (auto-eviction,
+    // route_moved retries) must net out to zero client-visible errors.
+    if let Some(rig) = rig {
+        let snap = match control_exchange(target, mode, &Request::FleetMetrics, false, &mut rng)? {
+            Response::FleetMetrics(snap) => snap,
+            other => {
+                return Err(Error::Protocol(format!(
+                    "expected fleet metrics reply, got {other:?}"
+                )))
+            }
+        };
+        match control_exchange(target, mode, &Request::Shutdown, true, &mut rng)? {
+            Response::Ok => {}
+            reply => {
+                return Err(Error::Protocol(format!(
+                    "expected shutdown ack, got {reply:?}"
+                )))
+            }
+        }
+        let _ = rig.coordinator.join().expect("coordinator thread");
+        for (_, mut child) in rig.children {
+            let _ = child.wait();
+        }
+
+        let bytes_per_group = routing_footprint(synthetic_groups, fleet);
+        // Borrow the serve record's quantile arithmetic; only the fleet
+        // record is written.
+        let summary = ServeBenchRecord::new(
+            &name,
+            conns,
+            wall,
+            decisions,
+            errors,
+            retries,
+            degraded,
+            &mut latencies,
+        );
+        let record = FleetBenchRecord {
+            name: name.clone(),
+            backends: fleet as u64,
+            killed: u64::from(fleet_kill),
+            conns: conns as u64,
+            wall_seconds: wall,
+            decisions_per_sec: summary.decisions_per_sec,
+            p50_us: summary.p50_us,
+            p99_us: summary.p99_us,
+            errors,
+            retries,
+            rerouted,
+            fleet_routes: snap.aggregate.fleet_routes,
+            fleet_rebalance_moves: snap.aggregate.fleet_rebalance_moves,
+            tenant_sheds: snap.aggregate.tenant_sheds,
+            fleet_backend_errors: snap.aggregate.fleet_backend_errors,
+            synthetic_groups,
+            bytes_per_group,
+        };
+        let path = write_fleet_bench_record(&record)?;
+        println!(
+            "loadgen: fleet of {} served {:.0} decisions/sec over {} conn(s) \
+             (p50 {:.1}µs, p99 {:.1}µs, {} errors, {} retries, {} rerouted)",
+            record.backends,
+            record.decisions_per_sec,
+            record.conns,
+            record.p50_us,
+            record.p99_us,
+            record.errors,
+            record.retries,
+            record.rerouted
+        );
+        println!(
+            "loadgen: coordinator routed {} times, rebalanced {} groups, \
+             shed {} tenant requests, saw {} backend errors (epoch {})",
+            record.fleet_routes,
+            record.fleet_rebalance_moves,
+            record.tenant_sheds,
+            record.fleet_backend_errors,
+            snap.epoch
+        );
+        println!(
+            "loadgen: routing footprint {:.1} B/group at {} synthetic groups \
+             (budget {budget_bytes} B); record merged into {}",
+            record.bytes_per_group,
+            record.synthetic_groups,
+            path.display()
+        );
+        if bytes_per_group > budget_bytes as f64 {
+            return Err(Error::InvalidConfig(format!(
+                "routing footprint over budget: {bytes_per_group:.1} B/group > {budget_bytes} B"
+            )));
+        }
+        if fleet_kill {
+            if record.fleet_rebalance_moves == 0 {
+                return Err(Error::Protocol(
+                    "a backend was killed but the coordinator never rebalanced".to_string(),
+                ));
+            }
+            if errors > 0 {
+                return Err(Error::Protocol(format!(
+                    "{errors} acks were lost across the kill (expected zero)"
+                )));
+            }
+        }
+        if min_rate > 0.0 && record.decisions_per_sec < min_rate {
+            return Err(Error::InvalidConfig(format!(
+                "throughput floor missed: {:.0} decisions/sec < required {min_rate:.0}",
+                record.decisions_per_sec
+            )));
+        }
+        return Ok(());
+    }
+
     if shutdown {
         match control_exchange(target, mode, &Request::Shutdown, true, &mut rng)? {
             Response::Ok => {}

@@ -1,0 +1,109 @@
+//! Stable, wire-visible hashes shared by the serving and fleet layers.
+//!
+//! Two placement decisions in the system are *pinned by hash*: which
+//! engine shard inside one `symbiod` owns a process group
+//! ([`shard_of`]), and which backend of a fleet owns it (rendezvous
+//! weights built from [`fnv1a_64`] + [`mix64`] in `symbio-fleet`). Both
+//! must be identical across builds, restarts and replicas — a silent
+//! change would strand journaled group state on the wrong shard and
+//! relocate every group in a fleet — so the functions live here, in one
+//! place, with pinned-digest tests that fail loudly if the constants or
+//! the fold ever drift.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over `bytes`: the system's canonical string hash for
+/// placement. Small, allocation-free, and stable by construction — the
+/// digests are pinned by test, so the wire-visible shard and backend
+/// pinning cannot silently change.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Route a process group to its owning engine shard (FNV-1a over the
+/// group name, mod shard count). Deterministic across restarts, so a
+/// recovered daemon with the same shard count reopens each group on the
+/// shard that journaled it.
+pub fn shard_of(group: &str, shards: usize) -> usize {
+    (fnv1a_64(group.as_bytes()) % shards.max(1) as u64) as usize
+}
+
+/// splitmix64 finalizer: a cheap bijective mixer. The fleet's rendezvous
+/// (HRW) assignment scores every `(backend, group)` pair with
+/// `mix64(backend_seed ^ group_hash)` — the mixer decorrelates the xor
+/// so one backend's seed cannot dominate across groups.
+pub fn mix64(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The digests the serving and fleet layers are pinned to. A failure
+    /// here means journaled shard segments and fleet assignments from
+    /// previous builds would be read on the wrong owner — do not "fix"
+    /// the expected values without a migration story.
+    #[test]
+    fn fnv1a_digests_are_pinned() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"load-0"), 0x043c_dcd2_f53d_55f4);
+        assert_eq!(fnv1a_64(b"load-1"), 0x043c_ddd2_f53d_57a7);
+        assert_eq!(fnv1a_64(b"OCC_A"), 0xbfe3_b85b_4ee2_17d8);
+        assert_eq!(fnv1a_64(b"x"), 0xaf63_f54c_8602_1707);
+        assert_eq!(fnv1a_64(b"acme/load-0"), 0x500f_e65b_4e7b_4b49);
+    }
+
+    /// Shard pinning derived from those digests (what `symbiod` journals
+    /// key on across restarts).
+    #[test]
+    fn shard_pinning_is_pinned() {
+        assert_eq!(shard_of("load-0", 2), 0);
+        assert_eq!(shard_of("load-1", 2), 1);
+        assert_eq!(shard_of("load-0", 4), 0);
+        assert_eq!(shard_of("load-1", 4), 3);
+        assert_eq!(shard_of("x", 4), 3);
+        // Degenerate shard counts never index out of range.
+        assert_eq!(shard_of("anything", 0), 0);
+        assert_eq!(shard_of("anything", 1), 0);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in 1..5 {
+            for g in ["load-0", "load-1", "OCC_A", "", "x"] {
+                let s = shard_of(g, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(g, shards));
+            }
+        }
+        let spread: std::collections::HashSet<usize> =
+            (0..16).map(|i| shard_of(&format!("g{i}"), 4)).collect();
+        assert!(spread.len() > 1);
+    }
+
+    #[test]
+    fn mix64_is_a_bijection_sample_and_spreads_xors() {
+        // Distinct inputs give distinct outputs over a decent sample.
+        let outs: std::collections::HashSet<u64> = (0..4096u64).map(mix64).collect();
+        assert_eq!(outs.len(), 4096);
+        // Correlated inputs (seed ^ hash with shared seed) still spread.
+        let seed = fnv1a_64(b"backend-a");
+        let lo: Vec<u64> = (0..64u64).map(|g| mix64(seed ^ g)).collect();
+        let mut sorted = lo.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), lo.len());
+    }
+}

@@ -55,6 +55,7 @@
 pub mod config;
 pub mod error;
 pub mod exec;
+pub mod hash;
 pub mod memo;
 pub mod metrics;
 pub mod mixes;
@@ -68,12 +69,13 @@ pub mod sweep;
 pub use config::{ExperimentConfig, ExperimentConfigBuilder};
 pub use error::{Error, Result};
 pub use exec::{CancelToken, ExecOptions};
+pub use hash::{fnv1a_64, mix64, shard_of};
 pub use memo::MeasureCache;
 pub use metrics::{BenchmarkSummary, Improvement};
 pub use mixes::{candidate_mappings, mixes_of};
 pub use obs::{
-    BenchRecord, CounterSnapshot, Counters, KernelBenchRecord, Progress, ScalingSummaryRecord,
-    ServeBenchRecord, Timings, Trace,
+    BenchRecord, CounterSnapshot, Counters, FleetBenchRecord, KernelBenchRecord, Progress,
+    ScalingSummaryRecord, ServeBenchRecord, Timings, Trace,
 };
 pub use pipeline::{MixResult, Pipeline, ProfileResult};
 pub use sweep::{

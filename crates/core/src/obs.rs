@@ -78,6 +78,18 @@ pub struct Counters {
     /// stepping during profiling (the per-quantum stage timer; excludes
     /// allocator invocation and vote bookkeeping).
     pub quantum_step_ns: AtomicU64,
+    /// Fleet coordinator: requests routed to an owning backend (every
+    /// proxied `Ingest`/`Map`; batch items count individually).
+    pub fleet_routes: AtomicU64,
+    /// Fleet coordinator: process groups whose owning backend changed
+    /// across membership rebalances.
+    pub fleet_rebalance_moves: AtomicU64,
+    /// Fleet coordinator: requests shed by tenant policy (quota, rate
+    /// limit, or backlog-driven shedding in priority order).
+    pub tenant_sheds: AtomicU64,
+    /// Fleet coordinator: transport/proxy failures against backends
+    /// (each marks a strike toward declaring the backend dead).
+    pub fleet_backend_errors: AtomicU64,
 }
 
 /// Plain-data snapshot of [`Counters`] for serialization.
@@ -127,6 +139,14 @@ pub struct CounterSnapshot {
     pub step_threads: u64,
     /// See [`Counters::quantum_step_ns`].
     pub quantum_step_ns: u64,
+    /// See [`Counters::fleet_routes`].
+    pub fleet_routes: u64,
+    /// See [`Counters::fleet_rebalance_moves`].
+    pub fleet_rebalance_moves: u64,
+    /// See [`Counters::tenant_sheds`].
+    pub tenant_sheds: u64,
+    /// See [`Counters::fleet_backend_errors`].
+    pub fleet_backend_errors: u64,
 }
 
 impl Counters {
@@ -191,7 +211,50 @@ impl Counters {
             par_domain_steps: self.par_domain_steps.load(Ordering::Relaxed),
             step_threads: self.step_threads.load(Ordering::Relaxed),
             quantum_step_ns: self.quantum_step_ns.load(Ordering::Relaxed),
+            fleet_routes: self.fleet_routes.load(Ordering::Relaxed),
+            fleet_rebalance_moves: self.fleet_rebalance_moves.load(Ordering::Relaxed),
+            tenant_sheds: self.tenant_sheds.load(Ordering::Relaxed),
+            fleet_backend_errors: self.fleet_backend_errors.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl CounterSnapshot {
+    /// Fold `other` into `self`: counters sum, the `step_threads` gauge
+    /// keeps the max, and `domain_remaps` adds element-wise (the longer
+    /// vector's tail survives). The fleet coordinator uses this to
+    /// aggregate per-backend `Metrics` replies into fleet-wide totals.
+    pub fn absorb(&mut self, other: &CounterSnapshot) {
+        self.profile_runs += other.profile_runs;
+        self.sim_runs += other.sim_runs;
+        self.sim_cycles += other.sim_cycles;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_misses += other.l2_misses;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.mixes_done += other.mixes_done;
+        self.online_epochs += other.online_epochs;
+        self.online_remaps += other.online_remaps;
+        self.serve_requests += other.serve_requests;
+        self.serve_errors += other.serve_errors;
+        self.serve_batches += other.serve_batches;
+        self.recovery_replays += other.recovery_replays;
+        self.quarantine_trips += other.quarantine_trips;
+        self.degraded_replies += other.degraded_replies;
+        self.journal_bytes += other.journal_bytes;
+        if self.domain_remaps.len() < other.domain_remaps.len() {
+            self.domain_remaps.resize(other.domain_remaps.len(), 0);
+        }
+        for (slot, v) in self.domain_remaps.iter_mut().zip(&other.domain_remaps) {
+            *slot += v;
+        }
+        self.par_domain_steps += other.par_domain_steps;
+        self.step_threads = self.step_threads.max(other.step_threads);
+        self.quantum_step_ns += other.quantum_step_ns;
+        self.fleet_routes += other.fleet_routes;
+        self.fleet_rebalance_moves += other.fleet_rebalance_moves;
+        self.tenant_sheds += other.tenant_sheds;
+        self.fleet_backend_errors += other.fleet_backend_errors;
     }
 }
 
@@ -544,6 +607,60 @@ impl ServeBenchRecord {
 pub fn write_serve_bench_record(record: &ServeBenchRecord) -> std::io::Result<PathBuf> {
     merge_bench_entry(
         "BENCH_serve.json",
+        &record.name,
+        serde::Serialize::to_value(record),
+    )
+}
+
+/// One `loadgen --fleet` run's record for `BENCH_fleet.json`: end-to-end
+/// throughput through coordinator + backends, rebalance/shed activity,
+/// and the measured routing-state footprint at synthetic scale.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetBenchRecord {
+    /// Run name (artifact key).
+    pub name: String,
+    /// symbiod backends the coordinator fronted at the start of the run.
+    pub backends: u64,
+    /// Backends deliberately killed mid-run (0 = no chaos).
+    pub killed: u64,
+    /// Concurrent client connections.
+    pub conns: u64,
+    /// Wall-clock seconds of the replay window.
+    pub wall_seconds: f64,
+    /// Decisions per wall-clock second through the full
+    /// client → fleetd → backend → fleetd → client path.
+    pub decisions_per_sec: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Client-visible failures (must be 0 for a clean run).
+    pub errors: u64,
+    /// Transient faults absorbed by same-owner retry.
+    pub retries: u64,
+    /// Client-side owner re-resolutions after `route_moved` replies.
+    pub rerouted: u64,
+    /// Coordinator `fleet_routes` at the end of the run.
+    pub fleet_routes: u64,
+    /// Coordinator `fleet_rebalance_moves` (must be > 0 when `killed > 0`).
+    pub fleet_rebalance_moves: u64,
+    /// Coordinator `tenant_sheds`.
+    pub tenant_sheds: u64,
+    /// Coordinator `fleet_backend_errors`.
+    pub fleet_backend_errors: u64,
+    /// Synthetic groups inserted into a routing table to measure
+    /// footprint (the ISSUE-mandated 1M-group probe).
+    pub synthetic_groups: u64,
+    /// Measured routing-state bytes per group at that scale (gated at
+    /// ≤ the coordinator's configured budget, 128 B by default).
+    pub bytes_per_group: f64,
+}
+
+/// Merge `record` into `<experiments_dir>/BENCH_fleet.json` (same
+/// keyed-object merge semantics as [`write_bench_record`]).
+pub fn write_fleet_bench_record(record: &FleetBenchRecord) -> std::io::Result<PathBuf> {
+    merge_bench_entry(
+        "BENCH_fleet.json",
         &record.name,
         serde::Serialize::to_value(record),
     )

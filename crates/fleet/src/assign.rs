@@ -1,0 +1,220 @@
+//! Deterministic rendezvous (HRW) assignment of process groups to
+//! backends.
+//!
+//! Every `(backend, group)` pair is scored with
+//! `mix64(backend_seed ^ group_hash)` — both halves stable FNV-1a
+//! digests — and the group belongs to the argmax. Two properties fall
+//! out of the construction, and both are pinned by proptest
+//! (`tests/assign_props.rs`):
+//!
+//! * **replica determinism** — the assignment is a pure function of the
+//!   membership set and the group name, so any coordinator replica (or
+//!   a restarted one) computes identical routes with no shared state;
+//! * **minimal disruption** — removing one of N backends relocates only
+//!   the groups it owned (~1/N of them, ≤ ⌈groups/N⌉ + slack), and a
+//!   group whose owner survived *never* moves, because the surviving
+//!   backends' scores for it are unchanged.
+//!
+//! Ties (two backends scoring equal for one group) break toward the
+//! lexically smaller address so every replica breaks them identically.
+
+use symbio::hash::{fnv1a_64, mix64};
+
+/// One backend in the membership view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backend {
+    /// The backend's dial address (`host:port`), also its identity.
+    pub addr: String,
+    /// `fnv1a_64(addr)` — precomputed half of the rendezvous score.
+    seed: u64,
+}
+
+impl Backend {
+    /// A backend keyed (and seeded) by its address.
+    pub fn new(addr: impl Into<String>) -> Backend {
+        let addr = addr.into();
+        let seed = fnv1a_64(addr.as_bytes());
+        Backend { addr, seed }
+    }
+
+    /// This backend's rendezvous score for a group hash.
+    pub fn score(&self, group_hash: u64) -> u64 {
+        mix64(self.seed ^ group_hash)
+    }
+}
+
+/// A versioned membership set: the backends eligible to own groups,
+/// sorted by address (the deterministic tie-break order), plus an epoch
+/// bumped on every accepted change so stale routes are recognizable.
+#[derive(Debug, Clone, Default)]
+pub struct Membership {
+    epoch: u64,
+    backends: Vec<Backend>,
+}
+
+impl Membership {
+    /// A membership over `addrs` (deduplicated, sorted) at epoch 1 —
+    /// epoch 0 is reserved for "empty, never configured".
+    pub fn new<I, S>(addrs: I) -> Membership
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut m = Membership {
+            epoch: 0,
+            backends: Vec::new(),
+        };
+        let mut changed = false;
+        for a in addrs {
+            changed |= m.insert(a.into());
+        }
+        if changed {
+            m.epoch = 1;
+        }
+        m
+    }
+
+    fn insert(&mut self, addr: String) -> bool {
+        match self.backends.binary_search_by(|b| b.addr.cmp(&addr)) {
+            Ok(_) => false,
+            Err(i) => {
+                self.backends.insert(i, Backend::new(addr));
+                true
+            }
+        }
+    }
+
+    /// The membership epoch (bumped on every accepted change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of backends in the view.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Whether the view holds no backends.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// The backends, sorted by address.
+    pub fn backends(&self) -> &[Backend] {
+        &self.backends
+    }
+
+    /// Backend addresses, sorted.
+    pub fn addrs(&self) -> Vec<String> {
+        self.backends.iter().map(|b| b.addr.clone()).collect()
+    }
+
+    /// Apply a membership change: add `add`, remove `remove` (adds win
+    /// when both name the same address). Returns whether anything
+    /// actually changed; the epoch bumps only then.
+    pub fn apply(&mut self, add: &[String], remove: &[String]) -> bool {
+        let mut changed = false;
+        for a in remove {
+            if let Ok(i) = self.backends.binary_search_by(|b| b.addr.cmp(a)) {
+                self.backends.remove(i);
+                changed = true;
+            }
+        }
+        for a in add {
+            changed |= self.insert(a.clone());
+        }
+        if changed {
+            self.epoch += 1;
+        }
+        changed
+    }
+
+    /// Index of the backend owning `group_hash` (rendezvous argmax;
+    /// ties break toward the lexically smaller address because the
+    /// backends are address-sorted and only a strictly greater score
+    /// displaces the leader). `None` on an empty membership.
+    pub fn owner_index(&self, group_hash: u64) -> Option<usize> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, b) in self.backends.iter().enumerate() {
+            let score = b.score(group_hash);
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((i, score));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Address of the backend owning `group` (hashes the name, then
+    /// [`Membership::owner_index`]).
+    pub fn owner_of(&self, group: &str) -> Option<&str> {
+        self.owner_index(fnv1a_64(group.as_bytes()))
+            .map(|i| self.backends[i].addr.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_a_pure_function_of_the_membership_set() {
+        let a = Membership::new(["b:1", "a:1", "c:1"]);
+        let b = Membership::new(["c:1", "a:1", "b:1", "a:1"]);
+        assert_eq!(a.addrs(), b.addrs());
+        for i in 0..64 {
+            let g = format!("tenant-{}/load-{i}", i % 3);
+            assert_eq!(a.owner_of(&g), b.owner_of(&g));
+        }
+    }
+
+    #[test]
+    fn groups_spread_across_backends() {
+        let m = Membership::new(["a:1", "b:1", "c:1", "d:1"]);
+        let mut counts = [0usize; 4];
+        for i in 0..400 {
+            let g = format!("load-{i}");
+            let idx = m.owner_index(fnv1a_64(g.as_bytes())).unwrap();
+            counts[idx] += 1;
+        }
+        // Rendezvous over 400 groups and 4 backends: every backend owns
+        // a substantial share (a collapsed distribution would mean the
+        // mixer is broken).
+        for c in counts {
+            assert!(c > 40, "skewed rendezvous distribution: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn surviving_owners_keep_their_groups_on_removal() {
+        let full = Membership::new(["a:1", "b:1", "c:1"]);
+        let mut reduced = full.clone();
+        assert!(reduced.apply(&[], &["b:1".to_string()]));
+        assert_eq!(reduced.epoch(), 2);
+        let mut moved = 0usize;
+        for i in 0..300 {
+            let g = format!("load-{i}");
+            let before = full.owner_of(&g).unwrap();
+            let after = reduced.owner_of(&g).unwrap();
+            if before == "b:1" {
+                moved += 1;
+                assert_ne!(after, "b:1");
+            } else {
+                assert_eq!(before, after, "group {g} moved off a surviving owner");
+            }
+        }
+        assert!(moved > 0, "the removed backend owned nothing out of 300");
+    }
+
+    #[test]
+    fn epoch_tracks_only_real_changes() {
+        let mut m = Membership::new(["a:1"]);
+        assert_eq!(m.epoch(), 1);
+        assert!(!m.apply(&["a:1".to_string()], &[]));
+        assert_eq!(m.epoch(), 1);
+        assert!(m.apply(&["b:1".to_string()], &["missing:0".to_string()]));
+        assert_eq!(m.epoch(), 2);
+        assert!(Membership::new(Vec::<String>::new()).is_empty());
+        assert_eq!(Membership::default().epoch(), 0);
+        assert_eq!(Membership::default().owner_of("g"), None);
+    }
+}

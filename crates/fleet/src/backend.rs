@@ -1,0 +1,110 @@
+//! The coordinator's downstream side: one lazily-connected
+//! [`WireClient`] per backend, negotiated up to the binary envelope,
+//! with per-backend health and traffic accounting.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+use symbio::Error;
+use symbio_serve::proto::{BackendStat, Encoding, Request, Response};
+use symbio_serve::WireClient;
+
+/// One backend's live connection state and counters.
+#[derive(Debug, Default)]
+struct Slot {
+    conn: Option<WireClient>,
+    healthy: bool,
+    proxied: u64,
+    errors: u64,
+}
+
+/// A pool of downstream connections keyed by backend address.
+#[derive(Debug)]
+pub struct BackendPool {
+    slots: HashMap<String, Slot>,
+    timeout: Duration,
+}
+
+impl BackendPool {
+    /// An empty pool dialing with `timeout` as the connect/read/write
+    /// deadline.
+    pub fn new(timeout: Duration) -> BackendPool {
+        BackendPool {
+            slots: HashMap::new(),
+            timeout,
+        }
+    }
+
+    fn dial(addr: &str, timeout: Duration) -> symbio::Result<WireClient> {
+        let sock: SocketAddr = addr
+            .parse()
+            .map_err(|e| Error::InvalidConfig(format!("backend addr {addr:?}: {e}")))?;
+        let mut conn = WireClient::connect(sock, timeout)?;
+        // The proxy path wants the compact encoding; a backend that
+        // refuses binary still works on json-lines.
+        let _ = conn.hello(Encoding::Binary);
+        Ok(conn)
+    }
+
+    /// One request/reply round trip against `addr`, dialing (or
+    /// redialing) as needed. A transport failure tears the cached
+    /// connection down and marks the backend unhealthy; the caller
+    /// decides whether to evict it from the membership.
+    pub fn exchange(&mut self, addr: &str, request: &Request) -> symbio::Result<Response> {
+        let slot = self.slots.entry(addr.to_string()).or_default();
+        if slot.conn.is_none() {
+            match Self::dial(addr, self.timeout) {
+                Ok(c) => {
+                    slot.conn = Some(c);
+                    slot.healthy = true;
+                }
+                Err(e) => {
+                    slot.healthy = false;
+                    slot.errors += 1;
+                    return Err(e);
+                }
+            }
+        }
+        let conn = slot.conn.as_mut().expect("dialed above");
+        match conn.exchange(request) {
+            Ok(reply) => {
+                slot.proxied += 1;
+                Ok(reply)
+            }
+            Err(e) => {
+                // Half a round trip may have landed; the stream can't be
+                // trusted for framing any more.
+                slot.conn = None;
+                slot.healthy = false;
+                slot.errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drop any cached connection to `addr` (the backend left the
+    /// membership).
+    pub fn forget(&mut self, addr: &str) {
+        self.slots.remove(addr);
+    }
+
+    /// Whether the pool currently holds a working connection to `addr`.
+    pub fn healthy(&self, addr: &str) -> bool {
+        self.slots
+            .get(addr)
+            .is_some_and(|s| s.healthy && s.conn.is_some())
+    }
+
+    /// The pool's view of `addr` as a wire-ready [`BackendStat`]
+    /// (`groups` is the routing table's to fill in).
+    pub fn stat(&self, addr: &str) -> BackendStat {
+        let slot = self.slots.get(addr);
+        BackendStat {
+            addr: addr.to_string(),
+            healthy: slot.is_some_and(|s| s.healthy && s.conn.is_some()),
+            groups: 0,
+            proxied: slot.map_or(0, |s| s.proxied),
+            errors: slot.map_or(0, |s| s.errors),
+        }
+    }
+}

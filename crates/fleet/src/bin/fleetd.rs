@@ -1,0 +1,79 @@
+//! `fleetd` — coordinate a fleet of `symbiod` backends.
+//!
+//! ```text
+//! fleetd --backends 127.0.0.1:7411,127.0.0.1:7412
+//!        [--addr 127.0.0.1:0] [--timeout-ms 5000]
+//!        [--budget-bytes 128] [--shed-trip 8]
+//!        [--tenant id:priority:max_groups:rate[:burst]]...
+//! ```
+//!
+//! Clients speak the same versioned envelope as against `symbiod`
+//! (`Ingest`/`IngestBatch`/`Map` are proxied to each group's rendezvous
+//! owner) plus the fleet verbs: `Route` resolves a group's owner,
+//! `Assign` changes the membership (rebalancing the routed groups), and
+//! `FleetMetrics` aggregates every backend's counters fleet-wide.
+//! `--tenant` may repeat; groups name their tenant by prefix
+//! (`acme/load-0` → tenant `acme`), and unknown tenants are admitted
+//! unconstrained.
+//!
+//! Prints `fleetd listening on <addr>` once bound (scripts wait for
+//! that line), then serves until a client sends `"Shutdown"` — which
+//! also forwards the shutdown to every backend.
+
+use std::io::Write;
+use std::time::Duration;
+use symbio::Error;
+use symbio_fleet::{FleetConfig, Fleetd, TenantSpec};
+
+fn main() -> symbio::Result<()> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut backends: Vec<String> = Vec::new();
+    let mut cfg = FleetConfig::default();
+
+    let bad = |flag: &str, v: &str| Error::InvalidConfig(format!("bad value `{v}` for {flag}"));
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| Error::InvalidConfig(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value()?,
+            "--backends" => {
+                let v = value()?;
+                backends.extend(v.split(',').filter(|s| !s.is_empty()).map(String::from));
+            }
+            "--timeout-ms" => {
+                let v = value()?;
+                let ms: u64 = v.parse().map_err(|_| bad("--timeout-ms", &v))?;
+                cfg.timeout = Duration::from_millis(ms);
+            }
+            "--budget-bytes" => {
+                let v = value()?;
+                cfg.bytes_budget = v.parse().map_err(|_| bad("--budget-bytes", &v))?;
+            }
+            "--shed-trip" => {
+                let v = value()?;
+                cfg.shed_trip = v.parse().map_err(|_| bad("--shed-trip", &v))?;
+            }
+            "--tenant" => {
+                let v = value()?;
+                cfg.tenants
+                    .push(TenantSpec::parse(&v).map_err(Error::InvalidConfig)?);
+            }
+            other => {
+                return Err(Error::InvalidConfig(format!("unknown flag `{other}`")));
+            }
+        }
+    }
+    if backends.is_empty() {
+        return Err(Error::InvalidConfig(
+            "--backends needs at least one symbiod address".into(),
+        ));
+    }
+
+    let daemon = Fleetd::bind(&addr, &backends, cfg)?;
+    println!("fleetd listening on {}", daemon.local_addr());
+    std::io::stdout().flush()?;
+    daemon.run()
+}

@@ -1,0 +1,504 @@
+//! `fleetd`: the coordinator process.
+//!
+//! Upstream it speaks the same versioned envelope as `symbiod` (clients
+//! reuse [`WireClient`] unchanged) plus the three fleet verbs
+//! (`Route`/`Assign`/`FleetMetrics`); downstream it proxies
+//! `Ingest`/`IngestBatch`/`Map` to the rendezvous owner of each group
+//! over pooled binary connections.
+//!
+//! Request path for an ingest:
+//!
+//! 1. **admission** — resolve the tenant from the group-name prefix and
+//!    run quota / token-bucket / shed checks ([`crate::tenant`]);
+//! 2. **resolution** — look the group up in the compact routing table
+//!    ([`crate::routing`]); a group flagged `moved` by the last
+//!    rebalance answers `route_moved` exactly once (telling the client
+//!    to re-resolve), unflagged groups proxy straight through;
+//! 3. **proxy & retry** — exchange with the owning backend. A transport
+//!    failure **auto-evicts** the backend (membership change +
+//!    rebalance, exactly as an explicit `Assign` remove would) and
+//!    retries against the post-rebalance owner, so a killed backend
+//!    costs in-flight requests one internal retry, not an error;
+//! 4. **backpressure** — degraded/busy replies from backends raise the
+//!    deterministic shed pressure; sustained healthy replies lower it.
+//!
+//! Concurrency: one OS thread per upstream connection, all sharing the
+//! coordinator state behind a single mutex. The proxy hop dominates
+//! request latency and the fleet front-end serves few, fat connections
+//! (loadgen, operators), so a finer lock structure would buy little —
+//! the measured `BENCH_fleet.json` throughput is the judge.
+
+use crate::assign::Membership;
+use crate::backend::BackendPool;
+use crate::routing::{RouteEntry, RoutingTable, DEFAULT_BYTES_PER_GROUP};
+use crate::tenant::{tenant_of, Admission, TenantRegistry, TenantSpec};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use symbio::obs::Counters;
+use symbio::Error;
+use symbio_serve::proto::{
+    negotiate, Encoding, FleetSnapshot, FleetView, Request, Response, DEFAULT_BATCH_MAX,
+};
+use symbio_serve::server::codec::{Chunk, FrameBuffer};
+
+/// Tunables of the coordinator.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Downstream connect/read/write deadline per backend exchange.
+    pub timeout: Duration,
+    /// Routing-table bytes/group budget (`BENCH_fleet.json` reports the
+    /// measured figure against it).
+    pub bytes_budget: usize,
+    /// Tenant specs known at startup (unknown tenants are admitted
+    /// unconstrained).
+    pub tenants: Vec<TenantSpec>,
+    /// Consecutive backlog signals (degraded/busy backend replies) that
+    /// raise shed pressure by one tenant; the same count of consecutive
+    /// healthy replies lowers it by one.
+    pub shed_trip: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            timeout: Duration::from_secs(5),
+            bytes_budget: DEFAULT_BYTES_PER_GROUP,
+            tenants: Vec::new(),
+            shed_trip: 8,
+        }
+    }
+}
+
+/// Mutable coordinator state (membership, routing, tenancy, pool) —
+/// one mutex, see the module docs for why.
+struct Inner {
+    membership: Membership,
+    routing: RoutingTable,
+    tenants: TenantRegistry,
+    pool: BackendPool,
+    /// Consecutive backlog signals from backends.
+    backlog_streak: u32,
+    /// Consecutive healthy proxied replies while pressure > 0.
+    healthy_streak: u32,
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    counters: Arc<Counters>,
+    inner: Mutex<Inner>,
+    draining: AtomicBool,
+    started: Instant,
+    shed_trip: u32,
+    batch_max: usize,
+}
+
+impl Shared {
+    fn now(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The fleet coordinator daemon. Construct with [`Fleetd::bind`], then
+/// [`Fleetd::run`] blocks until a client sends `Shutdown` (which also
+/// drains every backend).
+pub struct Fleetd {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Fleetd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleetd").field("addr", &self.addr).finish()
+    }
+}
+
+impl Fleetd {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) fronting `backends`.
+    pub fn bind(addr: &str, backends: &[String], cfg: FleetConfig) -> symbio::Result<Fleetd> {
+        if cfg.timeout.is_zero() {
+            return Err(Error::InvalidConfig("timeout must be nonzero".into()));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            counters: Arc::new(Counters::new()),
+            inner: Mutex::new(Inner {
+                membership: Membership::new(backends.iter().cloned()),
+                routing: RoutingTable::new(cfg.bytes_budget),
+                tenants: TenantRegistry::new(cfg.tenants.clone()),
+                pool: BackendPool::new(cfg.timeout),
+                backlog_streak: 0,
+                healthy_streak: 0,
+            }),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+            shed_trip: cfg.shed_trip.max(1),
+            batch_max: DEFAULT_BATCH_MAX,
+        });
+        Ok(Fleetd {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The address the coordinator actually listens on (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The coordinator's own counter ledger.
+    pub fn counters(&self) -> Arc<Counters> {
+        Arc::clone(&self.shared.counters)
+    }
+
+    /// Serve until a `Shutdown` request: accept upstream connections,
+    /// one thread each, then drain the backends and return.
+    pub fn run(self) -> symbio::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut handles = Vec::new();
+        while !self.shared.draining.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    handles.push(std::thread::spawn(move || serve_conn(stream, &shared)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(Error::Io(e)),
+            }
+        }
+        drop(self.listener);
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// One upstream connection: frame, dispatch, reply, until EOF or
+/// shutdown. Mirrors the symbiod session's negotiation rules (the
+/// `Welcome` goes out in the encoding the `Hello` arrived in).
+fn serve_conn(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut rx = FrameBuffer::new();
+    let mut encoding = Encoding::JsonLines;
+    let mut buf = [0u8; 16 * 1024];
+    let mut out = Vec::new();
+    loop {
+        // Drain every whole frame already buffered.
+        loop {
+            match rx.next_request(encoding) {
+                Ok(Chunk::Frame(request)) => {
+                    out.clear();
+                    let (reply, next_encoding, shutdown) = dispatch(request, encoding, shared);
+                    if encoding.codec().encode_reply(&reply, &mut out).is_err()
+                        || stream.write_all(&out).is_err()
+                    {
+                        return;
+                    }
+                    encoding = next_encoding;
+                    if shutdown {
+                        shared.draining.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                Ok(Chunk::Malformed(e)) => {
+                    out.clear();
+                    let reply = Response::from_error(&e);
+                    if encoding.codec().encode_reply(&reply, &mut out).is_err()
+                        || stream.write_all(&out).is_err()
+                    {
+                        return;
+                    }
+                }
+                Ok(Chunk::Incomplete) => break,
+                // Unframeable stream (bad length prefix): close.
+                Err(_) => return,
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => rx.extend(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handle one request. Returns the reply, the encoding for *subsequent*
+/// frames, and whether the daemon should drain.
+fn dispatch(request: Request, encoding: Encoding, shared: &Shared) -> (Response, Encoding, bool) {
+    Counters::add(&shared.counters.serve_requests, 1);
+    match request {
+        Request::Hello(hello) => {
+            let allowed = [Encoding::JsonLines, Encoding::Binary];
+            match negotiate(&hello, &allowed, shared.batch_max) {
+                Ok((next, welcome)) => (Response::Welcome(welcome), next, false),
+                Err(reply) => {
+                    Counters::add(&shared.counters.serve_errors, 1);
+                    (reply, encoding, false)
+                }
+            }
+        }
+        Request::Route { group } => (route(&group, shared), encoding, false),
+        Request::Assign { add, remove } => (assign(&add, &remove, shared), encoding, false),
+        Request::FleetMetrics => (fleet_metrics(shared), encoding, false),
+        Request::Metrics => (
+            Response::Metrics(shared.counters.snapshot()),
+            encoding,
+            false,
+        ),
+        Request::Ingest(_) | Request::Map { .. } => (proxy(request, shared), encoding, false),
+        Request::IngestBatch(batch) => {
+            if batch.len() > shared.batch_max {
+                Counters::add(&shared.counters.serve_errors, 1);
+                return (
+                    Response::protocol(
+                        "batch_too_large",
+                        format!("batch of {} exceeds {}", batch.len(), shared.batch_max),
+                    ),
+                    encoding,
+                    false,
+                );
+            }
+            // Groups in one batch may live on different backends, so the
+            // batch fans out item by item; the reply still lines up with
+            // the snapshots in order, exactly as symbiod's would.
+            Counters::add(&shared.counters.serve_batches, 1);
+            let items = batch
+                .into_iter()
+                .map(|snap| proxy(Request::Ingest(snap), shared))
+                .collect();
+            (Response::Batch(items), encoding, false)
+        }
+        Request::Shutdown => (shutdown_fleet(shared), encoding, true),
+    }
+}
+
+/// Resolve a group's owner, routing it (and interning its tenant) on
+/// first sight. Also the explicit `Route` verb's handler.
+fn route(group: &str, shared: &Shared) -> Response {
+    let mut inner = shared.lock();
+    let key = RoutingTable::key_of(group);
+    let Some(owner) = inner.membership.owner_index(key) else {
+        Counters::add(&shared.counters.serve_errors, 1);
+        return Response::protocol("no_backends", "the fleet membership is empty");
+    };
+    let tenant = inner.tenants.index_of(tenant_of(group));
+    let epoch = inner.membership.epoch();
+    let backend = inner.membership.backends()[owner].addr.clone();
+    // An explicit Route resolution also clears a pending moved flag —
+    // the client now holds the fresh owner.
+    inner.routing.upsert(
+        key,
+        RouteEntry {
+            owner: owner as u16,
+            tenant,
+            moved: false,
+        },
+    );
+    Counters::add(&shared.counters.fleet_routes, 1);
+    Response::Route {
+        group: group.to_string(),
+        backend,
+        epoch,
+    }
+}
+
+/// Apply a membership change and rebalance the routing table.
+fn assign(add: &[String], remove: &[String], shared: &Shared) -> Response {
+    let mut inner = shared.lock();
+    let before = inner.membership.clone();
+    let changed = inner.membership.apply(add, remove);
+    let mut moved = 0;
+    if changed {
+        for addr in remove {
+            inner.pool.forget(addr);
+        }
+        let after = inner.membership.clone();
+        moved = inner.routing.rebalance(&before, &after);
+        Counters::add(&shared.counters.fleet_rebalance_moves, moved);
+    }
+    Response::FleetView(FleetView {
+        epoch: inner.membership.epoch(),
+        backends: inner.membership.addrs(),
+        moved,
+    })
+}
+
+/// Aggregate the coordinator's counters with every backend's `Metrics`.
+fn fleet_metrics(shared: &Shared) -> Response {
+    let mut inner = shared.lock();
+    let mut aggregate = shared.counters.snapshot();
+    let addrs = inner.membership.addrs();
+    let mut backends = Vec::with_capacity(addrs.len());
+    for addr in &addrs {
+        if let Ok(Response::Metrics(c)) = inner.pool.exchange(addr, &Request::Metrics) {
+            aggregate.absorb(&c);
+        }
+        backends.push(inner.pool.stat(addr));
+    }
+    let per_backend = inner.routing.groups_per_backend(addrs.len());
+    for (stat, groups) in backends.iter_mut().zip(per_backend) {
+        stat.groups = groups;
+    }
+    Response::FleetMetrics(FleetSnapshot {
+        epoch: inner.membership.epoch(),
+        backends,
+        aggregate: aggregate.clone(),
+    })
+}
+
+/// Drain the fleet: forward `Shutdown` to every backend (tolerating the
+/// already-dead), then ACK.
+fn shutdown_fleet(shared: &Shared) -> Response {
+    let mut inner = shared.lock();
+    for addr in inner.membership.addrs() {
+        let _ = inner.pool.exchange(&addr, &Request::Shutdown);
+    }
+    Response::Ok
+}
+
+/// The group a proxyable request operates on.
+fn group_of(request: &Request) -> &str {
+    match request {
+        Request::Ingest(snap) => &snap.group,
+        Request::Map { group } => group,
+        _ => unreachable!("only ingest/map are proxied"),
+    }
+}
+
+/// Admission + resolution + proxy-with-retry for one `Ingest` or `Map`.
+fn proxy(request: Request, shared: &Shared) -> Response {
+    let mut inner = shared.lock();
+    let group = group_of(&request).to_string();
+    let key = RoutingTable::key_of(&group);
+    let ingest = matches!(request, Request::Ingest(_));
+
+    // 1. Admission (ingest only: reads don't spend quota or tokens).
+    let known = inner.routing.get(key);
+    let tenant = inner.tenants.index_of(tenant_of(&group));
+    if ingest {
+        let now = shared.now();
+        match inner.tenants.admit(tenant, known.is_none(), now) {
+            Admission::Admit => {}
+            Admission::QuotaExceeded => {
+                Counters::add(&shared.counters.tenant_sheds, 1);
+                return Response::Error {
+                    kind: "busy".to_string(),
+                    code: "tenant_quota".to_string(),
+                    message: format!(
+                        "tenant {} is over its distinct-group quota",
+                        tenant_of(&group)
+                    ),
+                    retryable: false,
+                };
+            }
+            Admission::RateLimited | Admission::Shed => {
+                Counters::add(&shared.counters.tenant_sheds, 1);
+                return Response::tenant_shed(tenant_of(&group));
+            }
+        }
+    }
+
+    // 2. Resolution. A group the last rebalance moved answers
+    //    `route_moved` exactly once so the client exercises its
+    //    re-resolve path; the flag clears and the retry proxies.
+    if let Some(entry) = known {
+        if entry.moved {
+            inner.routing.clear_moved(key);
+            let epoch = inner.membership.epoch();
+            let owner = inner
+                .membership
+                .owner_index(key)
+                .map(|i| inner.membership.backends()[i].addr.clone())
+                .unwrap_or_default();
+            return Response::route_moved(&group, &owner, epoch);
+        }
+    }
+
+    // 3. Proxy, auto-evicting dead backends and retrying against the
+    //    post-rebalance owner. Each failure shrinks the membership, so
+    //    the loop terminates.
+    loop {
+        let Some(owner) = inner.membership.owner_index(key) else {
+            Counters::add(&shared.counters.serve_errors, 1);
+            return Response::protocol("no_backends", "the fleet membership is empty");
+        };
+        inner.routing.upsert(
+            key,
+            RouteEntry {
+                owner: owner as u16,
+                tenant,
+                moved: false,
+            },
+        );
+        Counters::add(&shared.counters.fleet_routes, 1);
+        let addr = inner.membership.backends()[owner].addr.clone();
+        match inner.pool.exchange(&addr, &request) {
+            Ok(reply) => {
+                note_backpressure(&mut inner, shared, &reply);
+                return reply;
+            }
+            Err(_) => {
+                Counters::add(&shared.counters.fleet_backend_errors, 1);
+                // Auto-evict: the same membership change an operator's
+                // `Assign { remove }` would make, then retry on the new
+                // owner.
+                let before = inner.membership.clone();
+                inner.membership.apply(&[], std::slice::from_ref(&addr));
+                inner.pool.forget(&addr);
+                let after = inner.membership.clone();
+                let moved = inner.routing.rebalance(&before, &after);
+                Counters::add(&shared.counters.fleet_rebalance_moves, moved);
+                // This request already knows it must re-resolve; don't
+                // make it eat its own group's moved flag.
+                inner.routing.clear_moved(key);
+            }
+        }
+    }
+}
+
+/// Track backend backlog signals and move the deterministic shed
+/// pressure accordingly.
+fn note_backpressure(inner: &mut Inner, shared: &Shared, reply: &Response) {
+    let backlogged = matches!(reply, Response::Degraded { .. })
+        || matches!(reply, Response::Error { code, .. } if code == "overloaded");
+    if backlogged {
+        inner.healthy_streak = 0;
+        inner.backlog_streak += 1;
+        if inner.backlog_streak >= shared.shed_trip {
+            inner.backlog_streak = 0;
+            let p = inner.tenants.pressure() + 1;
+            inner.tenants.set_pressure(p);
+        }
+    } else {
+        inner.backlog_streak = 0;
+        if inner.tenants.pressure() > 0 {
+            inner.healthy_streak += 1;
+            if inner.healthy_streak >= shared.shed_trip {
+                inner.healthy_streak = 0;
+                let p = inner.tenants.pressure() - 1;
+                inner.tenants.set_pressure(p);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # symbio-fleet — the multi-instance coordinator
+//!
+//! One `symbiod` serves one machine's shared caches; the fleet layer
+//! (DESIGN.md §13) shards **millions of process groups across many
+//! symbiod backends** behind a coordinator, `fleetd`, that any client
+//! reaches with the same versioned envelope `symbiod` speaks.
+//!
+//! The pieces:
+//!
+//! * [`assign`] — deterministic rendezvous (HRW) assignment: every
+//!   coordinator replica computes identical group→backend routes from
+//!   the membership alone, and a membership change moves only ~1/N of
+//!   groups (both properties proptest-pinned);
+//! * [`routing`] — compact per-group routing state (hashes only, packed
+//!   values) with an explicit bytes/group budget;
+//! * [`tenant`] — per-tenant group quotas, token-bucket rate limits and
+//!   the deterministic shed order used under backend backlog;
+//! * [`backend`] — the downstream connection pool (reuses
+//!   [`symbio_serve::WireClient`] and the binary envelope);
+//! * [`coordinator`] — [`Fleetd`] itself: accept loop, admission,
+//!   proxy-with-retry, auto-eviction of dead backends, fleet-wide
+//!   metrics aggregation.
+
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod backend;
+pub mod coordinator;
+pub mod routing;
+pub mod tenant;
+
+pub use assign::{Backend, Membership};
+pub use backend::BackendPool;
+pub use coordinator::{FleetConfig, Fleetd};
+pub use routing::{RouteEntry, RoutingTable, DEFAULT_BYTES_PER_GROUP};
+pub use tenant::{tenant_of, Admission, TenantRegistry, TenantSpec};

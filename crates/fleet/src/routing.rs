@@ -1,0 +1,338 @@
+//! Compact per-group routing state with an explicit bytes/group budget.
+//!
+//! The coordinator tracks, for every process group it has routed, which
+//! backend owns it, which tenant it belongs to, and whether its owner
+//! just changed in a rebalance. At fleet scale ("millions of process
+//! groups") a `HashMap<String, …>` would spend hundreds of bytes per
+//! group on the names alone, so the table stores **only hashes**: an
+//! open-addressing array of `u64` group keys (FNV-1a of the name, 0
+//! reserved as the empty sentinel) and a parallel array of packed `u64`
+//! values (`owner:u16 | tenant:u16 | flags:u16 | spare:u16`). That is 16
+//! bytes per slot; at the table's minimum fill (half of the 7/8 grow
+//! threshold after a doubling) the worst case is ~37 bytes per live
+//! group — comfortably inside the default 128 B budget, and
+//! [`RoutingTable::bytes_per_group`] reports the measured figure so
+//! `BENCH_fleet.json` records fact, not arithmetic.
+//!
+//! Keying by hash means two groups colliding on the full 64-bit FNV-1a
+//! digest would share a routing entry; with the fleet's own placement
+//! hash that needs ~2³² live groups for a 50% chance (birthday bound),
+//! and a collision only merges two groups' *routing*, never their engine
+//! state.
+
+use crate::assign::Membership;
+use symbio::hash::fnv1a_64;
+
+/// Value-word packing (little-endian fields of the packed `u64`).
+const OWNER_SHIFT: u32 = 0;
+const TENANT_SHIFT: u32 = 16;
+const FLAGS_SHIFT: u32 = 32;
+/// Flag bit: the group's owner changed in the last rebalance and no
+/// request has been told yet (`route_moved` fires once, then clears).
+const FLAG_MOVED: u64 = 1;
+
+/// One group's routing entry, unpacked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Index of the owning backend in the membership's sorted order.
+    pub owner: u16,
+    /// Index of the group's tenant in the tenant registry.
+    pub tenant: u16,
+    /// Whether the owner changed in the last rebalance and the next
+    /// request should be told to re-resolve.
+    pub moved: bool,
+}
+
+fn pack(e: RouteEntry) -> u64 {
+    (u64::from(e.owner) << OWNER_SHIFT)
+        | (u64::from(e.tenant) << TENANT_SHIFT)
+        | (u64::from(e.moved) * (FLAG_MOVED << FLAGS_SHIFT))
+}
+
+fn unpack(v: u64) -> RouteEntry {
+    RouteEntry {
+        owner: (v >> OWNER_SHIFT) as u16,
+        tenant: (v >> TENANT_SHIFT) as u16,
+        moved: (v >> FLAGS_SHIFT) & FLAG_MOVED != 0,
+    }
+}
+
+/// Open-addressing hash table from group hash to packed routing state.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    /// Group keys; 0 = empty slot (a real key hashing to 0 is remapped
+    /// to 1 — see [`RoutingTable::key_of`]).
+    keys: Vec<u64>,
+    /// Packed values, parallel to `keys`.
+    vals: Vec<u64>,
+    len: usize,
+    /// Hard budget on `heap_bytes() / len` — inserts that would blow it
+    /// still succeed (shedding routing state would lose groups), but
+    /// [`RoutingTable::over_budget`] flips so the operator finds out.
+    budget: usize,
+}
+
+/// Default bytes/group budget (the ISSUE's acceptance ceiling).
+pub const DEFAULT_BYTES_PER_GROUP: usize = 128;
+
+const MIN_CAP: usize = 64;
+
+impl Default for RoutingTable {
+    fn default() -> Self {
+        RoutingTable::new(DEFAULT_BYTES_PER_GROUP)
+    }
+}
+
+impl RoutingTable {
+    /// An empty table enforcing `budget` bytes/group.
+    pub fn new(budget: usize) -> RoutingTable {
+        RoutingTable {
+            keys: vec![0; MIN_CAP],
+            vals: vec![0; MIN_CAP],
+            len: 0,
+            budget,
+        }
+    }
+
+    /// The table key for a group name (FNV-1a, 0 remapped off the empty
+    /// sentinel).
+    pub fn key_of(group: &str) -> u64 {
+        let h = fnv1a_64(group.as_bytes());
+        if h == 0 {
+            1
+        } else {
+            h
+        }
+    }
+
+    /// Routed groups.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no group has been routed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap bytes the table holds (both arrays; the struct header is
+    /// shared overhead, not per-group).
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u64>()
+            + self.vals.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Measured bytes per routed group.
+    pub fn bytes_per_group(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.heap_bytes() as f64 / self.len as f64
+        }
+    }
+
+    /// Whether the measured footprint exceeds the configured budget.
+    pub fn over_budget(&self) -> bool {
+        self.len > 0 && self.bytes_per_group() > self.budget as f64
+    }
+
+    fn slot_of(&self, key: u64) -> usize {
+        // Capacity is a power of two; the key is already a mixed FNV
+        // digest, so masking is an adequate reduction.
+        let mask = self.keys.len() - 1;
+        let mut i = (key as usize) & mask;
+        loop {
+            if self.keys[i] == 0 || self.keys[i] == key {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_cap]);
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != 0 {
+                let i = self.slot_of(k);
+                self.keys[i] = k;
+                self.vals[i] = v;
+            }
+        }
+    }
+
+    /// Insert or update the entry under `key`. Returns the previous
+    /// entry when the group was already routed.
+    pub fn upsert(&mut self, key: u64, entry: RouteEntry) -> Option<RouteEntry> {
+        debug_assert_ne!(key, 0, "0 is the empty sentinel; use key_of()");
+        // Grow at 7/8 load: probe chains stay short and the worst-case
+        // fill after a doubling (7/16) still meets the bytes budget.
+        if (self.len + 1) * 8 > self.keys.len() * 7 {
+            self.grow();
+        }
+        let i = self.slot_of(key);
+        let prev = (self.keys[i] != 0).then(|| unpack(self.vals[i]));
+        if prev.is_none() {
+            self.keys[i] = key;
+            self.len += 1;
+        }
+        self.vals[i] = pack(entry);
+        prev
+    }
+
+    /// The entry under `key`, if the group has been routed.
+    pub fn get(&self, key: u64) -> Option<RouteEntry> {
+        let i = self.slot_of(key);
+        (self.keys[i] != 0).then(|| unpack(self.vals[i]))
+    }
+
+    /// Clear the moved flag under `key` (after the one `route_moved`
+    /// reply fired). No-op for unrouted groups.
+    pub fn clear_moved(&mut self, key: u64) {
+        let i = self.slot_of(key);
+        if self.keys[i] != 0 {
+            let mut e = unpack(self.vals[i]);
+            e.moved = false;
+            self.vals[i] = pack(e);
+        }
+    }
+
+    /// Recompute every routed group's owner under `membership`,
+    /// flagging the groups whose owner changed. Returns how many moved.
+    ///
+    /// The assignment is a pure function of `(key, membership)`, so this
+    /// is exactly the disruption the rendezvous hash promises: only
+    /// groups whose owner left the membership (or lost an argmax to a
+    /// new arrival) are touched.
+    pub fn rebalance(&mut self, before: &Membership, after: &Membership) -> u64 {
+        let mut moved = 0u64;
+        for i in 0..self.keys.len() {
+            let key = self.keys[i];
+            if key == 0 {
+                continue;
+            }
+            let old = before.owner_index(key);
+            let new = after.owner_index(key);
+            if let Some(new) = new {
+                let mut e = unpack(self.vals[i]);
+                // Owners are compared by *address*, not index: a removal
+                // shifts the indices of every later backend without
+                // moving the groups they own.
+                let old_addr = old.map(|o| before.backends()[o].addr.as_str());
+                let new_addr = after.backends()[new].addr.as_str();
+                if old_addr != Some(new_addr) {
+                    moved += 1;
+                    e.moved = true;
+                }
+                e.owner = new as u16;
+                self.vals[i] = pack(e);
+            }
+        }
+        moved
+    }
+
+    /// Per-backend routed-group counts under a membership of `n`
+    /// backends (indexes past `n` are dropped — they can only exist
+    /// transiently between a membership change and its rebalance).
+    pub fn groups_per_backend(&self, n: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; n];
+        for i in 0..self.keys.len() {
+            if self.keys[i] != 0 {
+                let owner = unpack(self.vals[i]).owner as usize;
+                if owner < n {
+                    counts[owner] += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(owner: u16) -> RouteEntry {
+        RouteEntry {
+            owner,
+            tenant: 0,
+            moved: false,
+        }
+    }
+
+    #[test]
+    fn upsert_get_and_flags_round_trip() {
+        let mut t = RoutingTable::default();
+        let k = RoutingTable::key_of("acme/load-0");
+        assert!(t.get(k).is_none());
+        assert!(t.upsert(k, entry(3)).is_none());
+        assert_eq!(t.get(k), Some(entry(3)));
+        let prev = t.upsert(
+            k,
+            RouteEntry {
+                owner: 5,
+                tenant: 2,
+                moved: true,
+            },
+        );
+        assert_eq!(prev, Some(entry(3)));
+        assert!(t.get(k).unwrap().moved);
+        t.clear_moved(k);
+        let e = t.get(k).unwrap();
+        assert!(!e.moved);
+        assert_eq!((e.owner, e.tenant), (5, 2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn footprint_stays_inside_the_budget_at_scale() {
+        let mut t = RoutingTable::default();
+        for i in 0..100_000u64 {
+            // Synthetic keys stand in for group hashes (any nonzero u64).
+            t.upsert(i + 1, entry((i % 4) as u16));
+        }
+        assert_eq!(t.len(), 100_000);
+        assert!(
+            t.bytes_per_group() <= DEFAULT_BYTES_PER_GROUP as f64,
+            "measured {} B/group",
+            t.bytes_per_group()
+        );
+        assert!(!t.over_budget());
+    }
+
+    #[test]
+    fn rebalance_counts_and_flags_only_real_moves() {
+        use crate::assign::Membership;
+        let before = Membership::new(["a:1", "b:1", "c:1"]);
+        let mut after = before.clone();
+        after.apply(&[], &["b:1".to_string()]);
+
+        let mut t = RoutingTable::default();
+        let groups: Vec<String> = (0..200).map(|i| format!("load-{i}")).collect();
+        let mut owned_by_b = 0u64;
+        for g in &groups {
+            let k = RoutingTable::key_of(g);
+            let owner = before.owner_index(k).unwrap();
+            if before.backends()[owner].addr == "b:1" {
+                owned_by_b += 1;
+            }
+            t.upsert(k, entry(owner as u16));
+        }
+        let moved = t.rebalance(&before, &after);
+        assert_eq!(moved, owned_by_b, "exactly the dead backend's groups move");
+        for g in &groups {
+            let k = RoutingTable::key_of(g);
+            let e = t.get(k).unwrap();
+            let expect = after.owner_index(k).unwrap();
+            assert_eq!(e.owner as usize, expect);
+            let was_b = before
+                .owner_index(k)
+                .map(|o| before.backends()[o].addr.as_str())
+                == Some("b:1");
+            assert_eq!(e.moved, was_b);
+        }
+        let counts = t.groups_per_backend(after.len());
+        assert_eq!(counts.iter().sum::<u64>(), 200);
+    }
+}

@@ -1,0 +1,137 @@
+//! The two rebalance invariants the fleet's correctness rests on,
+//! proptest-pinned (ISSUE 8 satellite 3):
+//!
+//! (a) **replica determinism** — two independently constructed
+//!     coordinators given the same membership compute identical
+//!     assignments for every group, regardless of the order the
+//!     membership was built in;
+//! (b) **minimal disruption** — removing one of N backends relocates at
+//!     most ⌈groups/N⌉ + slack groups, and never relocates a group
+//!     whose owner survived.
+
+use proptest::prelude::*;
+use symbio_fleet::{Membership, RouteEntry, RoutingTable};
+
+/// A membership of `n` distinct synthetic backend addresses, seeded so
+/// different draws exercise different address sets.
+fn membership(n: usize, salt: u64) -> Membership {
+    Membership::new((0..n).map(|i| format!("10.0.{salt}.{i}:74")))
+}
+
+/// Group names: a few tenants' worth of streams.
+fn groups(count: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| format!("tenant-{}/group-{i}", i % 5))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn replicas_compute_identical_assignments(
+        n in 1usize..9,
+        salt in 0u64..200,
+        count in 1usize..400,
+    ) {
+        // Replica A gets the addresses in order; replica B gets them
+        // reversed and with duplicates — the *set* is what matters.
+        let addrs: Vec<String> = (0..n).map(|i| format!("10.0.{salt}.{i}:74")).collect();
+        let a = Membership::new(addrs.clone());
+        let mut rev: Vec<String> = addrs.iter().rev().cloned().collect();
+        rev.extend(addrs.iter().cloned());
+        let b = Membership::new(rev);
+        prop_assert_eq!(a.addrs(), b.addrs());
+        for g in groups(count) {
+            prop_assert!(
+                a.owner_of(&g) == b.owner_of(&g),
+                "replicas disagree on {}", g
+            );
+        }
+    }
+
+    #[test]
+    fn removal_moves_at_most_its_share_and_never_a_survivors_group(
+        n in 2usize..9,
+        salt in 0u64..200,
+        count in 50usize..600,
+        victim in 0usize..8,
+    ) {
+        let before = membership(n, salt);
+        let victim_addr = before.addrs()[victim % n].clone();
+        let mut after = before.clone();
+        prop_assert!(after.apply(&[], std::slice::from_ref(&victim_addr)));
+
+        let gs = groups(count);
+        let mut moved = 0usize;
+        for g in &gs {
+            let was = before.owner_of(g).unwrap().to_string();
+            let now = after.owner_of(g).unwrap().to_string();
+            if was == victim_addr {
+                // The dead backend's groups must leave it…
+                prop_assert!(now != victim_addr);
+                moved += 1;
+            } else {
+                // …and nobody else's may move at all.
+                prop_assert!(
+                    was == now,
+                    "group {} moved off surviving owner {}", g, was
+                );
+            }
+        }
+        // The victim owns ~count/n of the groups. Rendezvous spreads
+        // binomially around that mean; 4·σ of slack at these sizes is
+        // √(count·(1/n)(1-1/n))·4 ≤ 4·√(count/4) = 2√count.
+        let share = count.div_ceil(n);
+        let slack = 2 * (count as f64).sqrt().ceil() as usize;
+        prop_assert!(
+            moved <= share + slack,
+            "removal moved {} of {} groups (share {} + slack {})",
+            moved, count, share, slack
+        );
+    }
+
+    #[test]
+    fn routing_table_rebalance_agrees_with_the_pure_assignment(
+        n in 2usize..7,
+        salt in 0u64..100,
+        count in 20usize..300,
+        victim in 0usize..8,
+    ) {
+        // The incremental table rebalance must land every group exactly
+        // where a from-scratch resolution would, and report as moves
+        // exactly the groups whose owner address changed.
+        let before = membership(n, salt);
+        let victim_addr = before.addrs()[victim % n].clone();
+        let mut after = before.clone();
+        after.apply(&[], std::slice::from_ref(&victim_addr));
+
+        let mut table = RoutingTable::default();
+        let gs = groups(count);
+        let mut distinct = 0u64;
+        for g in &gs {
+            let key = RoutingTable::key_of(g);
+            let owner = before.owner_index(key).unwrap() as u16;
+            if table
+                .upsert(key, RouteEntry { owner, tenant: 0, moved: false })
+                .is_none()
+            {
+                distinct += 1;
+            }
+        }
+        let moved = table.rebalance(&before, &after);
+        let mut expected_moved = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        for g in &gs {
+            let key = RoutingTable::key_of(g);
+            let entry = table.get(key).unwrap();
+            let fresh = after.owner_index(key).unwrap();
+            prop_assert_eq!(entry.owner as usize, fresh);
+            let was = before.owner_of(g).unwrap();
+            prop_assert_eq!(entry.moved, was == victim_addr);
+            if was == victim_addr && seen.insert(key) {
+                expected_moved += 1;
+            }
+        }
+        prop_assert_eq!(moved, expected_moved);
+        prop_assert_eq!(table.len() as u64, distinct);
+    }
+}

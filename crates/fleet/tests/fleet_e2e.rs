@@ -1,0 +1,371 @@
+//! End-to-end fleet tests over loopback TCP: real `Symbiod` backends,
+//! a real `Fleetd` coordinator, spoken to through the public wire
+//! protocol. Covers the proxy path, the explicit fleet verbs, the
+//! rebalance-on-`Assign` path, the auto-eviction of a killed backend
+//! (zero lost acks), tenant admission, and fleet-wide metrics
+//! aggregation.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+use symbio_allocator::WeightSortPolicy;
+use symbio_fleet::{FleetConfig, Fleetd, Membership, TenantSpec};
+use symbio_machine::{ProcView, SigSnapshot, ThreadView};
+use symbio_online::{OnlineConfig, OnlineEngine};
+use symbio_serve::{Encoding, Request, Response, ServeConfig, Symbiod, WireClient};
+
+fn thread_view(tid: usize, occ: f64) -> ThreadView {
+    ThreadView {
+        tid,
+        pid: tid,
+        name: format!("p{tid}"),
+        occupancy: occ,
+        symbiosis: vec![50.0, 50.0],
+        overlap: vec![5.0, 5.0],
+        last_occupancy: occ as u32,
+        last_core: Some(tid % 2),
+        samples: 8,
+        filter_len: 64,
+        l2_miss_rate: 0.2,
+        l2_misses: 100,
+        retired: 1000,
+    }
+}
+
+fn snapshot(group: &str, seq: u64) -> SigSnapshot {
+    let occ = [40.0, 30.0, 20.0, 10.0];
+    SigSnapshot {
+        group: group.to_string(),
+        seq,
+        now_cycles: seq * 1_000,
+        cores: 2,
+        domains: vec![2],
+        procs: (0..4)
+            .map(|pid| ProcView {
+                pid,
+                name: format!("p{pid}"),
+                threads: vec![thread_view(pid, occ[pid])],
+            })
+            .collect(),
+    }
+}
+
+/// One in-process backend on an ephemeral port.
+fn spawn_backend() -> (SocketAddr, std::thread::JoinHandle<symbio::Result<()>>) {
+    let engine =
+        OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default()).expect("engine");
+    let cfg = ServeConfig {
+        workers: 2,
+        backlog: 16,
+        deadline: Duration::from_secs(5),
+    };
+    let daemon = Symbiod::bind("127.0.0.1:0", engine, cfg).expect("bind backend");
+    let addr = daemon.local_addr();
+    (addr, std::thread::spawn(move || daemon.run()))
+}
+
+/// A coordinator over `n` fresh backends, plus a negotiated client.
+#[allow(clippy::type_complexity)] // a test rig bundle, unpacked at every call site
+fn spawn_fleet(
+    n: usize,
+    cfg: FleetConfig,
+) -> (
+    Vec<SocketAddr>,
+    Vec<std::thread::JoinHandle<symbio::Result<()>>>,
+    SocketAddr,
+    std::thread::JoinHandle<symbio::Result<()>>,
+    WireClient,
+) {
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for _ in 0..n {
+        let (addr, handle) = spawn_backend();
+        addrs.push(addr);
+        handles.push(handle);
+    }
+    let backend_strs: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+    let fleet = Fleetd::bind("127.0.0.1:0", &backend_strs, cfg).expect("bind fleetd");
+    let fleet_addr = fleet.local_addr();
+    let fleet_handle = std::thread::spawn(move || fleet.run());
+    let mut client =
+        WireClient::connect(fleet_addr, Duration::from_secs(5)).expect("connect fleetd");
+    client.hello(Encoding::Binary).expect("negotiate binary");
+    (addrs, handles, fleet_addr, fleet_handle, client)
+}
+
+fn shutdown_and_join(
+    client: &mut WireClient,
+    backends: Vec<std::thread::JoinHandle<symbio::Result<()>>>,
+    fleet: std::thread::JoinHandle<symbio::Result<()>>,
+) {
+    let reply = client.exchange(&Request::Shutdown).expect("shutdown ack");
+    assert!(matches!(reply, Response::Ok), "got {reply:?}");
+    for h in backends {
+        h.join().expect("backend thread").expect("backend exit");
+    }
+    fleet.join().expect("fleet thread").expect("fleet exit");
+}
+
+#[test]
+fn proxies_ingest_and_map_and_routes_match_the_pure_assignment() {
+    let (addrs, backends, _, fleet, mut client) = spawn_fleet(2, FleetConfig::default());
+    let backend_strs: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+    let reference = Membership::new(backend_strs);
+
+    // Ingest across several groups: every ack is a real engine decision
+    // proxied from the owning backend.
+    for g in ["acme/load-0", "acme/load-1", "beta/load-0", "solo"] {
+        for seq in 0..4u64 {
+            let reply = client
+                .exchange(&Request::Ingest(snapshot(g, seq)))
+                .expect("proxied ingest");
+            assert!(
+                matches!(reply, Response::Decision(_)),
+                "group {g} seq {seq}: {reply:?}"
+            );
+        }
+        // Route agrees with an independently computed assignment.
+        let reply = client
+            .exchange(&Request::Route {
+                group: g.to_string(),
+            })
+            .expect("route");
+        match reply {
+            Response::Route {
+                group,
+                backend,
+                epoch,
+            } => {
+                assert_eq!(group, g);
+                assert_eq!(backend, reference.owner_of(g).unwrap());
+                assert_eq!(epoch, 1);
+            }
+            other => panic!("expected Route, got {other:?}"),
+        }
+        // Map proxies to the same backend that saw the ingests.
+        let reply = client
+            .exchange(&Request::Map {
+                group: g.to_string(),
+            })
+            .expect("map");
+        match reply {
+            Response::Map { group, epochs, .. } => {
+                assert_eq!(group, g);
+                assert_eq!(epochs, 4);
+            }
+            other => panic!("expected Map, got {other:?}"),
+        }
+    }
+
+    // Fleet metrics aggregate the backends' engine counters.
+    let reply = client.exchange(&Request::FleetMetrics).expect("metrics");
+    match reply {
+        Response::FleetMetrics(snap) => {
+            assert_eq!(snap.epoch, 1);
+            assert_eq!(snap.backends.len(), 2);
+            assert!(snap.backends.iter().all(|b| b.healthy));
+            assert_eq!(snap.aggregate.online_epochs, 16);
+            assert!(snap.aggregate.fleet_routes > 0);
+            let groups: u64 = snap.backends.iter().map(|b| b.groups).sum();
+            assert_eq!(groups, 4);
+        }
+        other => panic!("expected FleetMetrics, got {other:?}"),
+    }
+
+    shutdown_and_join(&mut client, backends, fleet);
+}
+
+#[test]
+fn assign_rebalances_and_moved_groups_get_one_route_moved() {
+    let (addrs, backends, _, fleet, mut client) = spawn_fleet(3, FleetConfig::default());
+
+    // Route 30 groups through the fleet.
+    let groups: Vec<String> = (0..30).map(|i| format!("t{}/g-{i}", i % 3)).collect();
+    for g in &groups {
+        let reply = client
+            .exchange(&Request::Ingest(snapshot(g, 0)))
+            .expect("ingest");
+        assert!(matches!(reply, Response::Decision(_)));
+    }
+
+    // Drop the lexically first backend via an explicit Assign.
+    let backend_strs: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+    let before = Membership::new(backend_strs.clone());
+    let victim = before.addrs()[0].clone();
+    let owned_by_victim: Vec<&String> = groups
+        .iter()
+        .filter(|g| before.owner_of(g).unwrap() == victim)
+        .collect();
+    let reply = client
+        .exchange(&Request::Assign {
+            add: vec![],
+            remove: vec![victim.clone()],
+        })
+        .expect("assign");
+    match reply {
+        Response::FleetView(view) => {
+            assert_eq!(view.epoch, 2);
+            assert_eq!(view.backends.len(), 2);
+            assert!(!view.backends.contains(&victim));
+            assert_eq!(view.moved as usize, owned_by_victim.len());
+        }
+        other => panic!("expected FleetView, got {other:?}"),
+    }
+
+    // Every moved group answers route_moved exactly once, then serves;
+    // unmoved groups never see it.
+    for g in &groups {
+        let was_victims = before.owner_of(g).unwrap() == victim;
+        let reply = client
+            .exchange(&Request::Ingest(snapshot(g, 1)))
+            .expect("post-rebalance ingest");
+        if was_victims {
+            match reply {
+                Response::Error {
+                    code, retryable, ..
+                } => {
+                    assert_eq!(code, "route_moved");
+                    assert!(retryable);
+                }
+                other => panic!("moved group {g} got {other:?}"),
+            }
+            // The retry proxies to the new owner.
+            let retry = client
+                .exchange(&Request::Ingest(snapshot(g, 1)))
+                .expect("retry after route_moved");
+            assert!(matches!(retry, Response::Decision(_)), "{g}: {retry:?}");
+        } else {
+            assert!(matches!(reply, Response::Decision(_)), "{g}: {reply:?}");
+        }
+    }
+
+    // The explicitly removed (still healthy) backend needs its own
+    // shutdown — the coordinator no longer fronts it.
+    let victim_sock: SocketAddr = victim.parse().unwrap();
+    let mut direct = WireClient::connect(victim_sock, Duration::from_secs(5)).expect("direct");
+    assert!(matches!(
+        direct.exchange(&Request::Shutdown).expect("drain victim"),
+        Response::Ok
+    ));
+
+    shutdown_and_join(&mut client, backends, fleet);
+}
+
+#[test]
+fn killed_backend_is_auto_evicted_with_zero_lost_acks() {
+    let (addrs, backends, _, fleet, mut client) = spawn_fleet(2, FleetConfig::default());
+    let backend_strs: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+    let reference = Membership::new(backend_strs);
+
+    let groups: Vec<String> = (0..20).map(|i| format!("kill/g-{i}")).collect();
+    for g in &groups {
+        let reply = client
+            .exchange(&Request::Ingest(snapshot(g, 0)))
+            .expect("ingest");
+        assert!(matches!(reply, Response::Decision(_)));
+    }
+
+    // Kill one backend out from under the coordinator (a real drain, but
+    // the coordinator is not told — it finds out from the dead socket).
+    let victim = reference.addrs()[0].clone();
+    let victim_sock: SocketAddr = victim.parse().unwrap();
+    let mut direct = WireClient::connect(victim_sock, Duration::from_secs(5)).expect("direct");
+    assert!(matches!(
+        direct.exchange(&Request::Shutdown).expect("kill backend"),
+        Response::Ok
+    ));
+
+    // Every group keeps getting real acks. The first request to hit the
+    // dead owner auto-evicts it (internal retry, no client-visible
+    // error); the other relocated groups answer `route_moved` once —
+    // the retryable tell-the-client-to-re-resolve path — and serve on
+    // the retry. Nothing is lost either way.
+    for g in &groups {
+        let mut reply = client
+            .exchange(&Request::Ingest(snapshot(g, 1)))
+            .expect("post-kill ingest");
+        if let Response::Error {
+            ref code,
+            retryable,
+            ..
+        } = reply
+        {
+            assert_eq!(code, "route_moved", "group {g}: {reply:?}");
+            assert!(retryable);
+            reply = client
+                .exchange(&Request::Ingest(snapshot(g, 1)))
+                .expect("retry after route_moved");
+        }
+        assert!(
+            matches!(reply, Response::Decision(_)),
+            "group {g} lost its ack: {reply:?}"
+        );
+    }
+
+    // The eviction shows up in the fleet counters and membership.
+    let reply = client.exchange(&Request::FleetMetrics).expect("metrics");
+    match reply {
+        Response::FleetMetrics(snap) => {
+            assert_eq!(snap.backends.len(), 1);
+            assert_ne!(snap.backends[0].addr, victim);
+            assert!(snap.aggregate.fleet_backend_errors > 0);
+            let moved_any = reference
+                .addrs()
+                .iter()
+                .any(|_| snap.aggregate.fleet_rebalance_moves > 0);
+            assert!(moved_any, "rebalance moves must be counted");
+        }
+        other => panic!("expected FleetMetrics, got {other:?}"),
+    }
+
+    shutdown_and_join(&mut client, backends, fleet);
+}
+
+#[test]
+fn tenant_quota_and_rate_limits_are_enforced_at_the_coordinator() {
+    let cfg = FleetConfig {
+        tenants: vec![TenantSpec {
+            id: "capped".into(),
+            priority: 0,
+            max_groups: 2,
+            rate: 0.0,
+            burst: 0.0,
+        }],
+        ..FleetConfig::default()
+    };
+    let (_, backends, _, fleet, mut client) = spawn_fleet(2, cfg);
+
+    // Two distinct groups fit the quota; the third is refused without
+    // costing the backends anything.
+    for g in ["capped/a", "capped/b"] {
+        let reply = client
+            .exchange(&Request::Ingest(snapshot(g, 0)))
+            .expect("ingest");
+        assert!(matches!(reply, Response::Decision(_)));
+    }
+    let reply = client
+        .exchange(&Request::Ingest(snapshot("capped/c", 0)))
+        .expect("over-quota ingest");
+    match reply {
+        Response::Error {
+            code, retryable, ..
+        } => {
+            assert_eq!(code, "tenant_quota");
+            assert!(!retryable);
+        }
+        other => panic!("expected tenant_quota, got {other:?}"),
+    }
+    // Existing groups keep flowing, and other tenants are untouched.
+    for g in ["capped/a", "free/x"] {
+        let reply = client
+            .exchange(&Request::Ingest(snapshot(g, 1)))
+            .expect("ingest");
+        assert!(matches!(reply, Response::Decision(_)), "{g}: {reply:?}");
+    }
+    let reply = client.exchange(&Request::FleetMetrics).expect("metrics");
+    match reply {
+        Response::FleetMetrics(snap) => assert_eq!(snap.aggregate.tenant_sheds, 1),
+        other => panic!("expected FleetMetrics, got {other:?}"),
+    }
+
+    shutdown_and_join(&mut client, backends, fleet);
+}

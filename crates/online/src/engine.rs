@@ -311,6 +311,71 @@ impl OnlineEngine {
         }
     }
 
+    /// Serialize one group's recoverable state for a fleet handoff:
+    /// everything [`OnlineEngine::state`] would record for the group —
+    /// vote window, committed mapping, hysteresis watermarks, quarantine
+    /// state — so the receiving backend resumes the stream exactly where
+    /// this one stops. `None` for an unknown group.
+    pub fn export_group(&self, group: &str) -> Option<GroupRecord> {
+        self.groups.get(group).map(|g| GroupRecord {
+            name: group.to_string(),
+            window: g
+                .ring
+                .iter()
+                .map(|e| EpochRecord {
+                    seq: e.seq,
+                    vote: e.mapping.clone(),
+                    cores: e.cores,
+                    occupancy: e.mean_occupancy,
+                })
+                .collect(),
+            current: g.current.clone(),
+            epochs: g.epochs,
+            remaps: g.remaps,
+            last_seq: g.last_seq,
+            strikes: g.strikes,
+            quarantined: g.quarantine.is_some(),
+            clean: g.quarantine.unwrap_or(0),
+        })
+    }
+
+    /// Install one group's state from a fleet handoff, replacing any
+    /// state this engine already holds for the group (the exporter's
+    /// view wins: it acknowledged the stream's newest epochs). Windows
+    /// longer than the configured ring capacity keep their newest votes,
+    /// exactly as [`OnlineEngine::restore`] does.
+    pub fn import_group(&mut self, record: &GroupRecord) {
+        let mut ring = EpochRing::new(self.cfg.window);
+        for e in &record.window {
+            ring.push(Epoch {
+                seq: e.seq,
+                key: e.key(),
+                mapping: e.vote.clone(),
+                cores: e.cores,
+                mean_occupancy: e.occupancy,
+            });
+        }
+        self.groups.insert(
+            record.name.clone(),
+            GroupState {
+                ring,
+                current: record.current.clone(),
+                epochs: record.epochs,
+                remaps: record.remaps,
+                last_seq: record.last_seq,
+                strikes: record.strikes,
+                quarantine: record.quarantined.then_some(record.clean),
+            },
+        );
+    }
+
+    /// Drop one group's in-memory state after it was handed off (the
+    /// journal keeps its history; a later snapshot for the group starts
+    /// a fresh stream here). Returns whether the group existed.
+    pub fn evict_group(&mut self, group: &str) -> bool {
+        self.groups.remove(group).is_some()
+    }
+
     /// Replay the journal at `path` into this engine: windows, committed
     /// mappings, hysteresis watermarks and quarantine states all resume
     /// exactly where the previous process stopped. Replayed frame count

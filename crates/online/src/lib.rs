@@ -44,5 +44,5 @@ pub mod ring;
 
 pub use config::OnlineConfig;
 pub use engine::{Decision, DecisionReason, OnlineEngine};
-pub use journal::{EngineState, JournalRecord, JournalWriter, Recovery};
+pub use journal::{EngineState, EpochRecord, GroupRecord, JournalRecord, JournalWriter, Recovery};
 pub use ring::{Epoch, EpochRing, PartitionKey};

@@ -191,6 +191,48 @@ pub fn negotiate(
     ))
 }
 
+/// The fleet coordinator's membership view, returned by
+/// [`Request::Assign`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetView {
+    /// Membership epoch: bumped on every accepted `Assign`, echoed in
+    /// [`Response::Route`] so clients can tell stale answers apart.
+    pub epoch: u64,
+    /// Backend addresses in the membership, sorted.
+    pub backends: Vec<String>,
+    /// Routed groups whose rendezvous owner changed in this transition
+    /// (the coordinator's per-change disruption measure).
+    pub moved: u64,
+}
+
+/// One backend's health and traffic as seen from the coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendStat {
+    /// Backend address.
+    pub addr: String,
+    /// Whether the coordinator currently holds a working connection.
+    pub healthy: bool,
+    /// Routed groups currently assigned to this backend.
+    pub groups: u64,
+    /// Requests proxied to this backend since it joined.
+    pub proxied: u64,
+    /// Errors observed talking to this backend since it joined.
+    pub errors: u64,
+}
+
+/// Fleet-wide counters, returned by [`Request::FleetMetrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    /// Membership epoch the snapshot was taken under.
+    pub epoch: u64,
+    /// Per-backend health and traffic.
+    pub backends: Vec<BackendStat>,
+    /// The coordinator's own counters (`fleet_routes`,
+    /// `fleet_rebalance_moves`, `tenant_sheds`, `fleet_backend_errors`)
+    /// with every reachable backend's `Metrics` absorbed in.
+    pub aggregate: CounterSnapshot,
+}
+
 /// A client→daemon frame (identical meaning in every encoding).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Request {
@@ -213,6 +255,27 @@ pub enum Request {
     /// Graceful drain: stop accepting, flush every shard's queued work
     /// into the journal, finish in-flight connections, exit.
     Shutdown,
+    /// Fleet verb: ask the coordinator which backend owns `group`.
+    /// Answered with [`Response::Route`]; a plain `symbiod` answers with
+    /// a `not_fleet` protocol error.
+    Route {
+        /// Process-group identifier to resolve.
+        group: String,
+    },
+    /// Fleet verb: change the coordinator's membership view (add and/or
+    /// remove backend addresses), triggering a rendezvous rebalance.
+    /// Answered with [`Response::FleetView`].
+    Assign {
+        /// Backend addresses to add to the membership.
+        add: Vec<String>,
+        /// Backend addresses to remove from the membership.
+        remove: Vec<String>,
+    },
+    /// Fleet verb: ask the coordinator for fleet-wide counters — its own
+    /// routing/rebalance/shed counters plus every backend's `Metrics`
+    /// absorbed into one aggregate. Answered with
+    /// [`Response::FleetMetrics`].
+    FleetMetrics,
 }
 
 /// A daemon→client frame (identical meaning in every encoding).
@@ -269,6 +332,22 @@ pub enum Response {
     /// drained into the journal, *and* the accept path closed: a client
     /// that sees this may immediately reuse the port).
     Ok,
+    /// Reply to [`Request::Route`]: the backend that owns the group
+    /// under the membership epoch in force when the reply was built.
+    Route {
+        /// Echo of the queried group.
+        group: String,
+        /// Address of the owning backend.
+        backend: String,
+        /// Membership epoch the answer was computed under; a client
+        /// holding a stale epoch should expect `route_moved` errors.
+        epoch: u64,
+    },
+    /// Reply to [`Request::Assign`]: the membership view after the
+    /// change and how much the rendezvous assignment shifted.
+    FleetView(FleetView),
+    /// Reply to [`Request::FleetMetrics`].
+    FleetMetrics(FleetSnapshot),
     /// Structured failure reply; the connection stays usable.
     Error {
         /// Legacy error class kept for pre-envelope clients: `protocol`,
@@ -277,7 +356,8 @@ pub enum Response {
         /// Stable machine-matchable token (`bad_frame`, `io_fault`,
         /// `invalid_snapshot`, `overloaded`, `batch_too_large`,
         /// `unsupported_version`, `unsupported_encoding`, `bad_config`,
-        /// `internal`).
+        /// `internal`; fleet layer adds `route_moved`, `tenant_shed`,
+        /// `tenant_quota`, `no_backends`, `not_fleet`).
         code: String,
         /// Human-readable description.
         message: String,
@@ -316,6 +396,32 @@ impl Response {
             code: code.to_string(),
             message: message.into(),
             retryable: false,
+        }
+    }
+
+    /// The fleet coordinator's "this group's owner changed" reply. It is
+    /// `retryable`, but a fleet-aware client should *re-resolve the
+    /// owner* (`Route`) before retrying instead of hammering the old
+    /// one — the message names the new owner for clients that can parse
+    /// it.
+    pub fn route_moved(group: &str, owner: &str, epoch: u64) -> Response {
+        Response::Error {
+            kind: "busy".to_string(),
+            code: "route_moved".to_string(),
+            message: format!("group {group} moved to {owner} at epoch {epoch}"),
+            retryable: true,
+        }
+    }
+
+    /// The fleet coordinator's load-shed reply: the owning backend
+    /// signalled backlog and this tenant lost the deterministic shed
+    /// lottery (lowest priority first, ties by tenant-id hash).
+    pub fn tenant_shed(tenant: &str) -> Response {
+        Response::Error {
+            kind: "busy".to_string(),
+            code: "tenant_shed".to_string(),
+            message: format!("tenant {tenant} shed under backend backlog; retry later"),
+            retryable: true,
         }
     }
 

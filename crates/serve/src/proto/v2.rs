@@ -26,7 +26,9 @@
 //! test (`tests/proto_v2.rs`) pins frame → decode → encode → frame
 //! stability.
 
-use super::{Encoding, FrameCodec, Hello, Request, Response, Welcome};
+use super::{
+    BackendStat, Encoding, FleetSnapshot, FleetView, FrameCodec, Hello, Request, Response, Welcome,
+};
 use symbio::obs::CounterSnapshot;
 use symbio::Error;
 use symbio_machine::{Mapping, ProcView, SigSnapshot, ThreadView};
@@ -43,6 +45,9 @@ const REQ_INGEST_BATCH: u8 = 3;
 const REQ_MAP: u8 = 4;
 const REQ_METRICS: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
+const REQ_ROUTE: u8 = 7;
+const REQ_ASSIGN: u8 = 8;
+const REQ_FLEET_METRICS: u8 = 9;
 
 // Response payload tags.
 const RSP_WELCOME: u8 = 1;
@@ -54,6 +59,9 @@ const RSP_DEGRADED: u8 = 6;
 const RSP_RECOVERING: u8 = 7;
 const RSP_OK: u8 = 8;
 const RSP_ERROR: u8 = 9;
+const RSP_ROUTE: u8 = 10;
+const RSP_FLEET_VIEW: u8 = 11;
+const RSP_FLEET_METRICS: u8 = 12;
 
 /// The binary codec (proto v2). Stateless; [`Encoding::Binary`] hands
 /// out a shared instance via [`Encoding::codec`].
@@ -90,6 +98,12 @@ impl FrameCodec for V2Codec {
             REQ_MAP => Request::Map { group: r.string()? },
             REQ_METRICS => Request::Metrics,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_ROUTE => Request::Route { group: r.string()? },
+            REQ_ASSIGN => Request::Assign {
+                add: r.vec(|r| r.string())?,
+                remove: r.vec(|r| r.string())?,
+            },
+            REQ_FLEET_METRICS => Request::FleetMetrics,
             tag => return Err(Error::Protocol(format!("unknown request tag {tag}"))),
         };
         r.finish()?;
@@ -127,6 +141,22 @@ impl FrameCodec for V2Codec {
                 }
                 Request::Metrics => p.push(REQ_METRICS),
                 Request::Shutdown => p.push(REQ_SHUTDOWN),
+                Request::Route { group } => {
+                    p.push(REQ_ROUTE);
+                    put_str(p, group)?;
+                }
+                Request::Assign { add, remove } => {
+                    p.push(REQ_ASSIGN);
+                    put_count(p, add.len())?;
+                    for a in add {
+                        put_str(p, a)?;
+                    }
+                    put_count(p, remove.len())?;
+                    for a in remove {
+                        put_str(p, a)?;
+                    }
+                }
+                Request::FleetMetrics => p.push(REQ_FLEET_METRICS),
             }
             Ok(())
         })
@@ -333,11 +363,43 @@ fn put_counters(out: &mut Vec<u8>, c: &CounterSnapshot) -> symbio::Result<()> {
     put_u64(out, c.par_domain_steps);
     put_u64(out, c.step_threads);
     put_u64(out, c.quantum_step_ns);
+    put_u64(out, c.fleet_routes);
+    put_u64(out, c.fleet_rebalance_moves);
+    put_u64(out, c.tenant_sheds);
+    put_u64(out, c.fleet_backend_errors);
     put_count(out, c.domain_remaps.len())?;
     for v in &c.domain_remaps {
         put_u64(out, *v);
     }
     Ok(())
+}
+
+fn put_fleet_view(out: &mut Vec<u8>, v: &FleetView) -> symbio::Result<()> {
+    put_u64(out, v.epoch);
+    put_count(out, v.backends.len())?;
+    for b in &v.backends {
+        put_str(out, b)?;
+    }
+    put_u64(out, v.moved);
+    Ok(())
+}
+
+fn put_backend_stat(out: &mut Vec<u8>, s: &BackendStat) -> symbio::Result<()> {
+    put_str(out, &s.addr)?;
+    put_bool(out, s.healthy);
+    put_u64(out, s.groups);
+    put_u64(out, s.proxied);
+    put_u64(out, s.errors);
+    Ok(())
+}
+
+fn put_fleet_snapshot(out: &mut Vec<u8>, s: &FleetSnapshot) -> symbio::Result<()> {
+    put_u64(out, s.epoch);
+    put_count(out, s.backends.len())?;
+    for b in &s.backends {
+        put_backend_stat(out, b)?;
+    }
+    put_counters(out, &s.aggregate)
 }
 
 fn put_reply(out: &mut Vec<u8>, reply: &Response) -> symbio::Result<()> {
@@ -398,6 +460,25 @@ fn put_reply(out: &mut Vec<u8>, reply: &Response) -> symbio::Result<()> {
         Response::Ok => {
             out.push(RSP_OK);
             Ok(())
+        }
+        Response::Route {
+            group,
+            backend,
+            epoch,
+        } => {
+            out.push(RSP_ROUTE);
+            put_str(out, group)?;
+            put_str(out, backend)?;
+            put_u64(out, *epoch);
+            Ok(())
+        }
+        Response::FleetView(v) => {
+            out.push(RSP_FLEET_VIEW);
+            put_fleet_view(out, v)
+        }
+        Response::FleetMetrics(s) => {
+            out.push(RSP_FLEET_METRICS);
+            put_fleet_snapshot(out, s)
         }
         Response::Error {
             kind,
@@ -658,6 +739,10 @@ fn decode_counters(r: &mut Reader) -> symbio::Result<CounterSnapshot> {
         par_domain_steps: r.u64()?,
         step_threads: r.u64()?,
         quantum_step_ns: r.u64()?,
+        fleet_routes: r.u64()?,
+        fleet_rebalance_moves: r.u64()?,
+        tenant_sheds: r.u64()?,
+        fleet_backend_errors: r.u64()?,
         domain_remaps: {
             let n = r.bounded_count(8)?;
             let mut v = Vec::with_capacity(n);
@@ -666,6 +751,30 @@ fn decode_counters(r: &mut Reader) -> symbio::Result<CounterSnapshot> {
             }
             v
         },
+    })
+}
+
+fn decode_fleet_view(r: &mut Reader) -> symbio::Result<FleetView> {
+    Ok(FleetView {
+        epoch: r.u64()?,
+        backends: r.vec(|r| r.string())?,
+        moved: r.u64()?,
+    })
+}
+
+fn decode_fleet_snapshot(r: &mut Reader) -> symbio::Result<FleetSnapshot> {
+    Ok(FleetSnapshot {
+        epoch: r.u64()?,
+        backends: r.vec(|r| {
+            Ok(BackendStat {
+                addr: r.string()?,
+                healthy: r.boolean()?,
+                groups: r.u64()?,
+                proxied: r.u64()?,
+                errors: r.u64()?,
+            })
+        })?,
+        aggregate: decode_counters(r)?,
     })
 }
 
@@ -692,6 +801,13 @@ fn decode_reply_inner(r: &mut Reader) -> symbio::Result<Response> {
             mapping: r.opt(decode_mapping)?,
         },
         RSP_OK => Response::Ok,
+        RSP_ROUTE => Response::Route {
+            group: r.string()?,
+            backend: r.string()?,
+            epoch: r.u64()?,
+        },
+        RSP_FLEET_VIEW => Response::FleetView(decode_fleet_view(r)?),
+        RSP_FLEET_METRICS => Response::FleetMetrics(decode_fleet_snapshot(r)?),
         RSP_ERROR => Response::Error {
             kind: r.string()?,
             code: r.string()?,

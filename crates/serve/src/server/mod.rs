@@ -34,7 +34,7 @@
 //! `snapshot_decode` before an ingest reaches the engine, and
 //! `socket_write` before any reply frame hits the wire.
 
-pub(crate) mod codec;
+pub mod codec;
 pub(crate) mod queue;
 pub(crate) mod reactor;
 pub(crate) mod session;
@@ -94,17 +94,10 @@ impl ServeConfig {
     }
 }
 
-/// Route a process group to its owning shard (FNV-1a over the group
-/// name). Deterministic across restarts, so a recovered daemon with the
-/// same shard count reopens each group on the shard that journaled it.
-pub fn shard_of(group: &str, shards: usize) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in group.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    (h % shards.max(1) as u64) as usize
-}
+// Group→shard routing now lives in `symbio::hash` (the fleet layer
+// shares the same FNV-1a fold for backend assignment); re-exported here
+// so existing callers keep their path.
+pub use symbio::hash::shard_of;
 
 /// Where a completion must be delivered: which session on the
 /// submitting reactor, which pending reply slot.

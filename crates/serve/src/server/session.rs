@@ -21,6 +21,11 @@ use std::collections::VecDeque;
 use symbio::obs::Counters;
 
 /// Where a reply slot stands.
+// `Response` carries the fleet-metrics snapshot inline (the vendored
+// serde has no `Box<T>` impls to derive through), so `Ready` is fat;
+// slots are short-lived and few per connection, so the footprint is
+// noise next to the frame buffers.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub(crate) enum PendingState {
     /// Resolved; may be encoded once it reaches the queue front.
@@ -281,6 +286,19 @@ impl Session {
             Request::Shutdown => {
                 self.push_state(PendingState::WaitShutdown);
                 true
+            }
+            // Fleet verbs are the coordinator's upstream protocol; a
+            // plain symbiod rejects them with a stable code so a client
+            // pointed at the wrong tier learns it immediately.
+            Request::Route { .. } | Request::Assign { .. } | Request::FleetMetrics => {
+                self.push_error(
+                    Response::protocol(
+                        "not_fleet",
+                        "fleet verbs are answered by fleetd, not symbiod",
+                    ),
+                    shared,
+                );
+                false
             }
         }
     }

@@ -13,7 +13,9 @@ use symbio::obs::CounterSnapshot;
 use symbio_machine::{Mapping, ProcView, SigSnapshot, ThreadView};
 use symbio_online::{Decision, DecisionReason};
 use symbio_serve::proto::v2::V2Codec;
-use symbio_serve::proto::{FrameCodec, Hello, Request, Response, Welcome};
+use symbio_serve::proto::{
+    BackendStat, FleetSnapshot, FleetView, FrameCodec, Hello, Request, Response, Welcome,
+};
 
 /// Deterministic value generator (xorshift64*), seeded per case.
 struct Gen(u64);
@@ -165,12 +167,30 @@ impl Gen {
             par_domain_steps: self.next(),
             step_threads: self.next(),
             quantum_step_ns: self.next(),
+            fleet_routes: self.next(),
+            fleet_rebalance_moves: self.next(),
+            tenant_sheds: self.next(),
+            fleet_backend_errors: self.next(),
             domain_remaps: (0..self.below(4)).map(|_| self.next()).collect(),
         }
     }
 
+    fn strings(&mut self, max: u64) -> Vec<String> {
+        (0..self.below(max + 1)).map(|_| self.string()).collect()
+    }
+
+    fn backend_stat(&mut self) -> BackendStat {
+        BackendStat {
+            addr: self.string(),
+            healthy: self.chance(),
+            groups: self.next(),
+            proxied: self.next(),
+            errors: self.next(),
+        }
+    }
+
     fn request(&mut self) -> Request {
-        match self.below(6) {
+        match self.below(9) {
             0 => Request::Hello(Hello {
                 versions: (0..self.below(4)).map(|_| self.below(16) as u32).collect(),
                 encodings: (0..self.below(4)).map(|_| self.string()).collect(),
@@ -181,13 +201,21 @@ impl Gen {
                 group: self.string(),
             },
             4 => Request::Metrics,
+            5 => Request::Route {
+                group: self.string(),
+            },
+            6 => Request::Assign {
+                add: self.strings(3),
+                remove: self.strings(3),
+            },
+            7 => Request::FleetMetrics,
             _ => Request::Shutdown,
         }
     }
 
     /// A reply without nesting (what a `Batch` may carry).
     fn flat_reply(&mut self) -> Response {
-        match self.below(8) {
+        match self.below(11) {
             0 => Response::Welcome(Welcome {
                 version: self.below(16) as u32,
                 encoding: self.string(),
@@ -224,6 +252,21 @@ impl Gen {
                 },
             },
             6 => Response::Ok,
+            7 => Response::Route {
+                group: self.string(),
+                backend: self.string(),
+                epoch: self.next(),
+            },
+            8 => Response::FleetView(FleetView {
+                epoch: self.next(),
+                backends: self.strings(3),
+                moved: self.next(),
+            }),
+            9 => Response::FleetMetrics(FleetSnapshot {
+                epoch: self.next(),
+                backends: (0..self.below(3)).map(|_| self.backend_stat()).collect(),
+                aggregate: self.counters(),
+            }),
             _ => Response::Error {
                 kind: self.string(),
                 code: self.string(),
