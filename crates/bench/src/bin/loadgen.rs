@@ -46,7 +46,7 @@
 //! ## Fleet mode
 //!
 //! ```text
-//! loadgen --fleet 2 [--fleet-kill] [--budget-bytes 128]
+//! loadgen --fleet 2 [--fleet-kill | --chaos-seed N] [--budget-bytes 128]
 //!         [--synthetic-groups 1000000] [usual replay flags]
 //! ```
 //!
@@ -56,11 +56,29 @@
 //! end-to-end — `--addr` is not used. `--fleet-kill` kills one backend
 //! at the middle of the replay window; the run then **requires** the
 //! coordinator to have auto-evicted it (`fleet_rebalance_moves > 0`)
-//! with zero client-visible errors, or exits nonzero. After the window
-//! the coordinator's `FleetMetrics` aggregate, the client-side tallies
-//! and a routing-state footprint probe (`--synthetic-groups` synthetic
-//! groups inserted into a [`symbio_fleet::RoutingTable`], gated at
-//! `--budget-bytes` per group) are merged into `BENCH_fleet.json`.
+//! with zero client-visible errors, or exits nonzero.
+//!
+//! `--chaos-seed N` runs one deterministic fault schedule drawn from
+//! the seed instead: the coordinator's faultpoints (`fleet_proxy`,
+//! `handoff_export`, `handoff_import` — DESIGN.md §14) are armed
+//! in-process at seed-drawn probabilities, and one process-level fault
+//! fires mid-window — a SIGKILL, a SIGSTOP/SIGCONT stall pulse (the
+//! slow-socket fault: connections still accepted, reads hang), or a
+//! planned drain-then-rejoin through `Assign`. The same seed replays
+//! the same schedule; sweeping seeds sweeps schedules (CI runs 25).
+//!
+//! Both fault modes end with the **join epilogue**: faults are
+//! disarmed, a fresh backend is spawned and joins via `Assign` (the
+//! recovered-backend handshake), and probe groups that rendezvous
+//! moves onto it must arrive warm — their state is digested through
+//! `ExportGroup` before and after the join and must be identical. The
+//! run exits nonzero on any lost ack (`errors > 0`), when
+//! `fleet_warm_handoffs` stayed zero, or on a digest mismatch. After
+//! the window the coordinator's `FleetMetrics` aggregate, the
+//! client-side tallies and a routing-state footprint probe
+//! (`--synthetic-groups` synthetic groups inserted into a
+//! [`symbio_fleet::RoutingTable`], gated at `--budget-bytes` per
+//! group) are merged into `BENCH_fleet.json`.
 
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::io::BufRead;
@@ -71,7 +89,7 @@ use symbio::obs::{
     write_fleet_bench_record, write_serve_bench_record, FleetBenchRecord, ServeBenchRecord,
 };
 use symbio::{Error, ExperimentConfig, ExperimentConfigBuilder};
-use symbio_fleet::{FleetConfig, Fleetd, RouteEntry, RoutingTable};
+use symbio_fleet::{FleetConfig, Fleetd, Membership, RouteEntry, RoutingTable};
 use symbio_machine::{Machine, MachineConfig, SigSnapshot};
 use symbio_serve::{Encoding, Request, Response, WireClient};
 use symbio_workloads::spec2006;
@@ -326,6 +344,9 @@ struct FleetRig {
     coordinator: std::thread::JoinHandle<symbio::Result<()>>,
     /// Where clients connect.
     addr: SocketAddr,
+    /// The `symbiod` binary, kept so the join epilogue can spawn a
+    /// fresh backend after the fault schedule.
+    symbiod: std::path::PathBuf,
 }
 
 /// Spawn one `symbiod` child on an ephemeral port and wait for its
@@ -360,7 +381,7 @@ fn spawn_backend(symbiod: &std::path::Path) -> symbio::Result<(String, Child)> {
 }
 
 /// Bring up `n` backends and the coordinator fronting them.
-fn spawn_fleet(n: usize, budget: usize) -> symbio::Result<FleetRig> {
+fn spawn_fleet(n: usize, budget: usize, chaos: bool) -> symbio::Result<FleetRig> {
     let exe = std::env::current_exe()?;
     let symbiod = exe
         .parent()
@@ -379,6 +400,14 @@ fn spawn_fleet(n: usize, budget: usize) -> symbio::Result<FleetRig> {
     let backends: Vec<String> = children.iter().map(|(a, _)| a.clone()).collect();
     let cfg = FleetConfig {
         bytes_budget: budget,
+        // Chaos runs shrink the backend deadline so a stalled (SIGSTOP)
+        // backend strikes the flap detector within the replay window
+        // instead of stalling every proxied request for seconds.
+        timeout: if chaos {
+            Duration::from_millis(400)
+        } else {
+            FleetConfig::default().timeout
+        },
         ..FleetConfig::default()
     };
     let daemon = Fleetd::bind("127.0.0.1:0", &backends, cfg)?;
@@ -392,7 +421,212 @@ fn spawn_fleet(n: usize, budget: usize) -> symbio::Result<FleetRig> {
         children,
         coordinator,
         addr,
+        symbiod,
     })
+}
+
+/// One seeded process-level fault, fired mid-window by the chaos driver.
+enum ChaosFault {
+    /// SIGKILL a backend: unplanned death, exercising the flap-guarded
+    /// eviction path and cold fallback for its groups.
+    Kill {
+        /// The doomed backend's address (for the report line).
+        victim: String,
+        /// Its process handle, pre-claimed from the rig.
+        child: Child,
+    },
+    /// SIGSTOP/SIGCONT pulse: the backend hangs without dying — the
+    /// slow-socket fault (connections still accepted, reads time out).
+    Stall {
+        /// The stalled backend's address.
+        victim: String,
+        /// Its pid (`kill -STOP`/`-CONT` target; the child handle stays
+        /// with the rig so teardown can still reap it).
+        pid: u32,
+        /// How long the backend stays frozen.
+        pulse: Duration,
+    },
+    /// Planned drain then rejoin through the `Assign` verb: both legs
+    /// should hand groups off warm (every owner stays reachable).
+    EvictRejoin {
+        /// The drained-and-rejoined backend's address.
+        victim: String,
+        /// How long it stays out of the membership.
+        gap: Duration,
+    },
+}
+
+/// Fire one chaos fault. Returns a human line for the report and how
+/// many backends it killed outright.
+fn run_chaos_fault(fault: ChaosFault, target: SocketAddr, mode: Mode, seed: u64) -> (String, u64) {
+    match fault {
+        ChaosFault::Kill { victim, mut child } => {
+            let _ = child.kill();
+            let _ = child.wait();
+            (format!("killed backend {victim}"), 1)
+        }
+        ChaosFault::Stall { victim, pid, pulse } => {
+            let signal = |sig: &str| {
+                let _ = Command::new("kill").args([sig, &pid.to_string()]).status();
+            };
+            signal("-STOP");
+            std::thread::sleep(pulse);
+            signal("-CONT");
+            (
+                format!(
+                    "stalled backend {victim} for {:.0}ms (SIGSTOP pulse)",
+                    pulse.as_secs_f64() * 1e3
+                ),
+                0,
+            )
+        }
+        ChaosFault::EvictRejoin { victim, gap } => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5EED);
+            let assign = |rng: &mut StdRng, add: Vec<String>, remove: Vec<String>| {
+                control_exchange(target, mode, &Request::Assign { add, remove }, false, rng).is_ok()
+            };
+            let drained = assign(&mut rng, vec![], vec![victim.clone()]);
+            std::thread::sleep(gap);
+            let rejoined = drained && assign(&mut rng, vec![victim.clone()], vec![]);
+            (
+                format!(
+                    "drained backend {victim} then rejoined it after {:.0}ms \
+                     (drain {}, rejoin {})",
+                    gap.as_secs_f64() * 1e3,
+                    if drained { "ok" } else { "failed" },
+                    if rejoined { "ok" } else { "failed" },
+                ),
+                0,
+            )
+        }
+    }
+}
+
+/// Digest one group's engine state through the coordinator: the
+/// `ExportGroup` reply's record, stringified. A `route_moved` answer is
+/// retryable, so the control loop absorbs the one-shot moved flag.
+fn export_digest(
+    target: SocketAddr,
+    mode: Mode,
+    group: &str,
+    rng: &mut StdRng,
+) -> symbio::Result<String> {
+    let request = Request::ExportGroup {
+        group: group.to_string(),
+    };
+    match control_exchange(target, mode, &request, false, rng)? {
+        Response::GroupState { record, .. } => Ok(format!("{record:?}")),
+        other => Err(Error::Protocol(format!(
+            "expected group state for {group}, got {other:?}"
+        ))),
+    }
+}
+
+/// The lifecycle epilogue behind `--fleet-kill` and `--chaos-seed`: a
+/// fresh backend joins the fleet (the recovered-backend handshake is
+/// the same `Assign` verb), and the groups rendezvous moves onto it
+/// must arrive **warm** — their state, digested through `ExportGroup`
+/// before and after the join, must be identical. Returns the joined
+/// address and how many probe groups proved continuity.
+fn join_epilogue(
+    rig: &mut FleetRig,
+    mode: Mode,
+    trace: &[SigSnapshot],
+    rng: &mut StdRng,
+) -> symbio::Result<(String, usize)> {
+    let target = rig.addr;
+    // Current membership, via a no-op Assign (echoes the view).
+    let view = match control_exchange(
+        target,
+        mode,
+        &Request::Assign {
+            add: vec![],
+            remove: vec![],
+        },
+        false,
+        rng,
+    )? {
+        Response::FleetView(view) => view,
+        other => {
+            return Err(Error::Protocol(format!(
+                "expected fleet view, got {other:?}"
+            )))
+        }
+    };
+    let (addr, mut child) = spawn_backend(&rig.symbiod)?;
+    // Rendezvous is deterministic, so the client can pick probe groups
+    // whose owner will change before the join even happens.
+    let before = Membership::new(view.backends.iter().cloned());
+    let mut after = before.clone();
+    after.apply(std::slice::from_ref(&addr), &[]);
+    let probes: Vec<String> = (0..256)
+        .map(|i| format!("probe-{i}"))
+        .filter(|g| before.owner_of(g) != after.owner_of(g))
+        .take(4)
+        .collect();
+    if probes.is_empty() {
+        let _ = child.kill();
+        return Err(Error::Protocol(
+            "no probe group rendezvous-moves onto the joining backend".to_string(),
+        ));
+    }
+    // Seed each probe with a few epochs of real state via the
+    // coordinator, then digest what its current owner holds.
+    for group in &probes {
+        for (seq, snap) in trace.iter().cycle().take(3).enumerate() {
+            let mut snap = snap.clone();
+            snap.group = group.clone();
+            snap.seq = seq as u64;
+            match control_exchange(target, mode, &Request::Ingest(snap), false, rng)? {
+                Response::Decision(_) | Response::Degraded { .. } | Response::Recovering { .. } => {
+                }
+                other => {
+                    return Err(Error::Protocol(format!(
+                        "probe ingest for {group} got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+    let exported = probes
+        .iter()
+        .map(|g| export_digest(target, mode, g, rng))
+        .collect::<symbio::Result<Vec<String>>>()?;
+    for (group, digest) in probes.iter().zip(&exported) {
+        if digest == "None" {
+            return Err(Error::Protocol(format!(
+                "probe {group} exported no state before the join"
+            )));
+        }
+    }
+    match control_exchange(
+        target,
+        mode,
+        &Request::Assign {
+            add: vec![addr.clone()],
+            remove: vec![],
+        },
+        false,
+        rng,
+    )? {
+        Response::FleetView(view) if view.backends.contains(&addr) => {}
+        other => {
+            return Err(Error::Protocol(format!(
+                "join of {addr} not acknowledged: {other:?}"
+            )))
+        }
+    }
+    rig.children.push((addr.clone(), child));
+    for (group, before_digest) in probes.iter().zip(&exported) {
+        let after_digest = export_digest(target, mode, group, rng)?;
+        if &after_digest != before_digest {
+            return Err(Error::Protocol(format!(
+                "group {group} arrived on its new owner with different state \
+                 (warm-handoff digest mismatch)"
+            )));
+        }
+    }
+    Ok((addr, probes.len()))
 }
 
 /// Measure the routing table's per-group footprint at synthetic scale:
@@ -536,6 +770,7 @@ fn main() -> symbio::Result<()> {
     let mut min_rate = 0.0f64;
     let mut fleet = 0usize;
     let mut fleet_kill = false;
+    let mut chaos: Option<u64> = None;
     let mut budget_bytes = symbio_fleet::DEFAULT_BYTES_PER_GROUP;
     let mut synthetic_groups = 1_000_000u64;
 
@@ -595,6 +830,10 @@ fn main() -> symbio::Result<()> {
                 fleet = v.parse().map_err(|_| bad("--fleet", &v))?;
             }
             "--fleet-kill" => fleet_kill = true,
+            "--chaos-seed" => {
+                let v = value()?;
+                chaos = Some(v.parse().map_err(|_| bad("--chaos-seed", &v))?);
+            }
             "--budget-bytes" => {
                 let v = value()?;
                 budget_bytes = v.parse().map_err(|_| bad("--budget-bytes", &v))?;
@@ -621,6 +860,16 @@ fn main() -> symbio::Result<()> {
     if fleet_kill && fleet < 2 {
         return Err(Error::InvalidConfig(
             "--fleet-kill needs --fleet >= 2 (a survivor must exist to rebalance onto)".to_string(),
+        ));
+    }
+    if chaos.is_some() && fleet < 2 {
+        return Err(Error::InvalidConfig(
+            "--chaos-seed needs --fleet >= 2 (every fault needs a survivor)".to_string(),
+        ));
+    }
+    if chaos.is_some() && fleet_kill {
+        return Err(Error::InvalidConfig(
+            "--chaos-seed schedules its own faults (kill included); drop --fleet-kill".to_string(),
         ));
     }
     if name == "serve-loadgen" && fleet > 0 {
@@ -656,7 +905,7 @@ fn main() -> symbio::Result<()> {
         }
     }
     let mut rig = if fleet > 0 {
-        Some(spawn_fleet(fleet, budget_bytes)?)
+        Some(spawn_fleet(fleet, budget_bytes, chaos.is_some())?)
     } else {
         None
     };
@@ -686,6 +935,64 @@ fn main() -> symbio::Result<()> {
             let _ = child.kill();
             let _ = child.wait();
             victim
+        }))
+    } else {
+        None
+    };
+
+    // The seeded chaos schedule: arm the coordinator's faultpoints (the
+    // coordinator runs in this process; the symbiod children are
+    // separate processes and unaffected), then fire one process-level
+    // fault mid-window. Everything is drawn from the seed, so a seed
+    // replays its schedule.
+    let chaos_driver = if let Some(seed) = chaos {
+        let r = rig.as_mut().expect("--chaos-seed implies --fleet");
+        let mut crng = StdRng::seed_from_u64(seed);
+        let mut draw = |p: f64| {
+            let coin: f64 = crng.random();
+            if coin < 0.5 {
+                p
+            } else {
+                0.0
+            }
+        };
+        let spec = format!(
+            "fleet_proxy={},handoff_export={},handoff_import={}",
+            draw(0.01),
+            draw(0.2),
+            draw(0.2),
+        );
+        symbio::obs::fault::arm(&spec, seed).map_err(Error::InvalidConfig)?;
+        println!("loadgen: chaos seed {seed} armed faultpoints {spec}");
+        let frac: f64 = crng.random();
+        let at = Duration::from_secs_f64(seconds * (0.35 + 0.2 * frac));
+        let len: f64 = crng.random();
+        let pulse = Duration::from_secs_f64(0.3 + 0.3 * len);
+        let pick: f64 = crng.random();
+        let which: f64 = crng.random();
+        let idx = ((which * r.children.len() as f64) as usize).min(r.children.len() - 1);
+        let fault = match (pick * 3.0) as usize {
+            0 => {
+                let (victim, child) = r.children.remove(idx);
+                ChaosFault::Kill { victim, child }
+            }
+            1 => {
+                let (victim, child) = &r.children[idx];
+                ChaosFault::Stall {
+                    victim: victim.clone(),
+                    pid: child.id(),
+                    pulse,
+                }
+            }
+            _ => ChaosFault::EvictRejoin {
+                victim: r.children[idx].0.clone(),
+                gap: pulse,
+            },
+        };
+        let target = r.addr;
+        Some(std::thread::spawn(move || {
+            std::thread::sleep(at);
+            run_chaos_fault(fault, target, mode, seed)
         }))
     } else {
         None
@@ -725,9 +1032,22 @@ fn main() -> symbio::Result<()> {
         rerouted += stats.rerouted;
     }
     let wall = started.elapsed().as_secs_f64();
+    let mut killed_backends = 0u64;
     if let Some(k) = killer {
         let victim = k.join().expect("killer thread");
+        killed_backends += 1;
         println!("loadgen: killed backend {victim} at the window midpoint");
+    }
+    if let Some(c) = chaos_driver {
+        let (what, kills) = c.join().expect("chaos thread");
+        killed_backends += kills;
+        println!(
+            "loadgen: chaos seed {} — {what}",
+            chaos.expect("driver implies seed")
+        );
+        // The join epilogue must hand off warm deterministically: no
+        // injected faults past the window.
+        symbio::obs::fault::disarm();
     }
 
     // The smoke-test teeth: the daemon must still answer a well-formed
@@ -748,7 +1068,17 @@ fn main() -> symbio::Result<()> {
     // probe the routing footprint, and write BENCH_fleet.json with the
     // run's gates. Everything the coordinator absorbed (auto-eviction,
     // route_moved retries) must net out to zero client-visible errors.
-    if let Some(rig) = rig {
+    if let Some(mut rig) = rig {
+        // After any fault schedule, a fresh backend joins and must
+        // receive its groups warm, with exported-state digests proving
+        // continuity — the teeth behind `fleet_warm_handoffs` below.
+        if fleet_kill || chaos.is_some() {
+            let (joined, probe_count) = join_epilogue(&mut rig, mode, &trace, &mut rng)?;
+            println!(
+                "loadgen: join epilogue — backend {joined} joined; {probe_count} probe \
+                 group(s) moved onto it warm with identical exported state"
+            );
+        }
         let snap = match control_exchange(target, mode, &Request::FleetMetrics, false, &mut rng)? {
             Response::FleetMetrics(snap) => snap,
             other => {
@@ -767,6 +1097,12 @@ fn main() -> symbio::Result<()> {
         }
         let _ = rig.coordinator.join().expect("coordinator thread");
         for (_, mut child) in rig.children {
+            // A chaos fault can leave a backend evicted but alive (the
+            // SIGSTOP pulse): it never receives the forwarded shutdown,
+            // so reap it by force.
+            if chaos.is_some() {
+                let _ = child.kill();
+            }
             let _ = child.wait();
         }
 
@@ -786,7 +1122,7 @@ fn main() -> symbio::Result<()> {
         let record = FleetBenchRecord {
             name: name.clone(),
             backends: fleet as u64,
-            killed: u64::from(fleet_kill),
+            killed: killed_backends,
             conns: conns as u64,
             wall_seconds: wall,
             decisions_per_sec: summary.decisions_per_sec,
@@ -799,6 +1135,10 @@ fn main() -> symbio::Result<()> {
             fleet_rebalance_moves: snap.aggregate.fleet_rebalance_moves,
             tenant_sheds: snap.aggregate.tenant_sheds,
             fleet_backend_errors: snap.aggregate.fleet_backend_errors,
+            fleet_warm_handoffs: snap.aggregate.fleet_warm_handoffs,
+            fleet_cold_fallbacks: snap.aggregate.fleet_cold_fallbacks,
+            fleet_flaps_suppressed: snap.aggregate.fleet_flaps_suppressed,
+            membership_epochs: snap.aggregate.membership_epochs,
             synthetic_groups,
             bytes_per_group,
         };
@@ -825,6 +1165,14 @@ fn main() -> symbio::Result<()> {
             snap.epoch
         );
         println!(
+            "loadgen: lifecycle — fleet_warm_handoffs {}, fleet_cold_fallbacks {}, \
+             fleet_flaps_suppressed {}, membership_epochs {}",
+            record.fleet_warm_handoffs,
+            record.fleet_cold_fallbacks,
+            record.fleet_flaps_suppressed,
+            record.membership_epochs
+        );
+        println!(
             "loadgen: routing footprint {:.1} B/group at {} synthetic groups \
              (budget {budget_bytes} B); record merged into {}",
             record.bytes_per_group,
@@ -836,16 +1184,22 @@ fn main() -> symbio::Result<()> {
                 "routing footprint over budget: {bytes_per_group:.1} B/group > {budget_bytes} B"
             )));
         }
-        if fleet_kill {
-            if record.fleet_rebalance_moves == 0 {
-                return Err(Error::Protocol(
-                    "a backend was killed but the coordinator never rebalanced".to_string(),
-                ));
-            }
+        if fleet_kill && record.fleet_rebalance_moves == 0 {
+            return Err(Error::Protocol(
+                "a backend was killed but the coordinator never rebalanced".to_string(),
+            ));
+        }
+        if fleet_kill || chaos.is_some() {
             if errors > 0 {
                 return Err(Error::Protocol(format!(
-                    "{errors} acks were lost across the kill (expected zero)"
+                    "{errors} acks were lost across the fault schedule (expected zero)"
                 )));
+            }
+            if record.fleet_warm_handoffs == 0 {
+                return Err(Error::Protocol(
+                    "no warm handoff happened (the join epilogue must move groups warm)"
+                        .to_string(),
+                ));
             }
         }
         if min_rate > 0.0 && record.decisions_per_sec < min_rate {

@@ -90,6 +90,22 @@ pub struct Counters {
     /// Fleet coordinator: transport/proxy failures against backends
     /// (each marks a strike toward declaring the backend dead).
     pub fleet_backend_errors: AtomicU64,
+    /// Fleet coordinator: groups whose epoch-ring state was carried to
+    /// the new owner (export + import both succeeded) before the route
+    /// flipped in a rebalance.
+    pub fleet_warm_handoffs: AtomicU64,
+    /// Fleet coordinator: moved groups that restarted cold on the new
+    /// owner because the warm handoff failed or timed out (the old
+    /// owner was dead, hung, or unreachable).
+    pub fleet_cold_fallbacks: AtomicU64,
+    /// Fleet coordinator: backend transport errors absorbed by the flap
+    /// detector without evicting the backend (strikes below the
+    /// eviction threshold, or outside the flap window).
+    pub fleet_flaps_suppressed: AtomicU64,
+    /// Fleet coordinator: membership epochs committed to the durable
+    /// membership journal (join/evict/drain records; replayed on
+    /// restart to rebuild routing deterministically).
+    pub membership_epochs: AtomicU64,
 }
 
 /// Plain-data snapshot of [`Counters`] for serialization.
@@ -147,6 +163,14 @@ pub struct CounterSnapshot {
     pub tenant_sheds: u64,
     /// See [`Counters::fleet_backend_errors`].
     pub fleet_backend_errors: u64,
+    /// See [`Counters::fleet_warm_handoffs`].
+    pub fleet_warm_handoffs: u64,
+    /// See [`Counters::fleet_cold_fallbacks`].
+    pub fleet_cold_fallbacks: u64,
+    /// See [`Counters::fleet_flaps_suppressed`].
+    pub fleet_flaps_suppressed: u64,
+    /// See [`Counters::membership_epochs`].
+    pub membership_epochs: u64,
 }
 
 impl Counters {
@@ -215,6 +239,10 @@ impl Counters {
             fleet_rebalance_moves: self.fleet_rebalance_moves.load(Ordering::Relaxed),
             tenant_sheds: self.tenant_sheds.load(Ordering::Relaxed),
             fleet_backend_errors: self.fleet_backend_errors.load(Ordering::Relaxed),
+            fleet_warm_handoffs: self.fleet_warm_handoffs.load(Ordering::Relaxed),
+            fleet_cold_fallbacks: self.fleet_cold_fallbacks.load(Ordering::Relaxed),
+            fleet_flaps_suppressed: self.fleet_flaps_suppressed.load(Ordering::Relaxed),
+            membership_epochs: self.membership_epochs.load(Ordering::Relaxed),
         }
     }
 }
@@ -255,6 +283,10 @@ impl CounterSnapshot {
         self.fleet_rebalance_moves += other.fleet_rebalance_moves;
         self.tenant_sheds += other.tenant_sheds;
         self.fleet_backend_errors += other.fleet_backend_errors;
+        self.fleet_warm_handoffs += other.fleet_warm_handoffs;
+        self.fleet_cold_fallbacks += other.fleet_cold_fallbacks;
+        self.fleet_flaps_suppressed += other.fleet_flaps_suppressed;
+        self.membership_epochs += other.membership_epochs;
     }
 }
 
@@ -648,6 +680,19 @@ pub struct FleetBenchRecord {
     pub tenant_sheds: u64,
     /// Coordinator `fleet_backend_errors`.
     pub fleet_backend_errors: u64,
+    /// Coordinator `fleet_warm_handoffs` (moved groups whose epoch-ring
+    /// state was carried to the new owner; must be > 0 when a planned
+    /// drain or kill moved groups off a live backend).
+    pub fleet_warm_handoffs: u64,
+    /// Coordinator `fleet_cold_fallbacks` (moved groups restarted cold
+    /// because their warm handoff failed or timed out).
+    pub fleet_cold_fallbacks: u64,
+    /// Coordinator `fleet_flaps_suppressed` (backend errors absorbed
+    /// without eviction).
+    pub fleet_flaps_suppressed: u64,
+    /// Coordinator `membership_epochs` (durable membership-journal
+    /// epochs committed).
+    pub membership_epochs: u64,
     /// Synthetic groups inserted into a routing table to measure
     /// footprint (the ISSUE-mandated 1M-group probe).
     pub synthetic_groups: u64,

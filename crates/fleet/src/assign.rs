@@ -46,7 +46,7 @@ impl Backend {
 /// A versioned membership set: the backends eligible to own groups,
 /// sorted by address (the deterministic tie-break order), plus an epoch
 /// bumped on every accepted change so stale routes are recognizable.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Membership {
     epoch: u64,
     backends: Vec<Backend>,

@@ -3,8 +3,8 @@
 //! Upstream it speaks the same versioned envelope as `symbiod` (clients
 //! reuse [`WireClient`] unchanged) plus the three fleet verbs
 //! (`Route`/`Assign`/`FleetMetrics`); downstream it proxies
-//! `Ingest`/`IngestBatch`/`Map` to the rendezvous owner of each group
-//! over pooled binary connections.
+//! `Ingest`/`IngestBatch`/`Map`/`ExportGroup` to the rendezvous owner
+//! of each group over pooled binary connections.
 //!
 //! Request path for an ingest:
 //!
@@ -15,12 +15,28 @@
 //!    rebalance answers `route_moved` exactly once (telling the client
 //!    to re-resolve), unflagged groups proxy straight through;
 //! 3. **proxy & retry** — exchange with the owning backend. A transport
-//!    failure **auto-evicts** the backend (membership change +
-//!    rebalance, exactly as an explicit `Assign` remove would) and
-//!    retries against the post-rebalance owner, so a killed backend
-//!    costs in-flight requests one internal retry, not an error;
+//!    failure is first a *flap*: the request retries the same owner and
+//!    the failure is only a strike in the [`crate::membership`] flap
+//!    detector. A backend that fails the detector's threshold within
+//!    its window is **evicted** (membership change + rebalance, exactly
+//!    as an explicit `Assign` remove would, journaled when a membership
+//!    journal is configured) and the request retries against the
+//!    post-rebalance owner — so a killed backend costs in-flight
+//!    requests a few internal retries, not an error;
 //! 4. **backpressure** — degraded/busy replies from backends raise the
 //!    deterministic shed pressure; sustained healthy replies lower it.
+//!
+//! Membership changes are a first-class lifecycle (DESIGN.md §14): a
+//! planned drain or join (`Assign`) *warm-hands-off* every moved group —
+//! the coordinator pulls the group's epoch-ring state from its old
+//! owner (`ExportGroup`) and pushes it to the new owner (`ImportGroup`)
+//! under the same lock that flips the route, driven by the
+//! [`crate::handoff`] state machine (failure or timeout settles cold:
+//! the new owner starts the group from scratch). Evictions fall back
+//! cold — the dead owner's state is unreachable. With
+//! [`FleetConfig::journal`] set, every transition is CRC-framed to disk
+//! before it takes effect and a restarted coordinator replays the file
+//! to a byte-identical routing view.
 //!
 //! Concurrency: one OS thread per upstream connection, all sharing the
 //! coordinator state behind a single mutex. The proxy hop dominates
@@ -30,10 +46,14 @@
 
 use crate::assign::Membership;
 use crate::backend::BackendPool;
+use crate::handoff::{Handoff, HandoffEvent, HandoffOutcome};
+use crate::membership::{FlapDetector, MemberJournal, MemberRecord};
 use crate::routing::{RouteEntry, RoutingTable, DEFAULT_BYTES_PER_GROUP};
 use crate::tenant::{tenant_of, Admission, TenantRegistry, TenantSpec};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -59,6 +79,21 @@ pub struct FleetConfig {
     /// raise shed pressure by one tenant; the same count of consecutive
     /// healthy replies lowers it by one.
     pub shed_trip: u32,
+    /// Membership journal path. `None` keeps the membership volatile;
+    /// with a path, every join/evict/drain is CRC-framed to disk before
+    /// it takes effect, and [`Fleetd::bind`] replays the file (the
+    /// replayed membership wins over the `backends` argument, which
+    /// only seeds a fresh journal).
+    pub journal: Option<PathBuf>,
+    /// Failed probes a backend must accumulate inside
+    /// [`FleetConfig::flap_window`] before it is evicted; everything
+    /// below is a suppressed flap (retried, counted, not evicted).
+    pub flap_threshold: u32,
+    /// Sliding window for flap counting.
+    pub flap_window: Duration,
+    /// Per-group warm-handoff budget: an export/import pair that
+    /// overruns it settles cold (the new owner starts from scratch).
+    pub handoff_timeout: Duration,
 }
 
 impl Default for FleetConfig {
@@ -68,6 +103,10 @@ impl Default for FleetConfig {
             bytes_budget: DEFAULT_BYTES_PER_GROUP,
             tenants: Vec::new(),
             shed_trip: 8,
+            journal: None,
+            flap_threshold: 3,
+            flap_window: Duration::from_secs(10),
+            handoff_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -79,10 +118,38 @@ struct Inner {
     routing: RoutingTable,
     tenants: TenantRegistry,
     pool: BackendPool,
+    /// Eviction de-bounce: transport failures are strikes here first.
+    flaps: FlapDetector,
+    /// Durable membership, when configured.
+    journal: Option<MemberJournal>,
+    /// Wire name of every routed group, keyed by its routing hash. The
+    /// routing table itself stores hashes only (that is its budget);
+    /// warm handoff needs the names back to address `ExportGroup` at
+    /// the old owner. One interned `String` per distinct group.
+    names: HashMap<u64, String>,
     /// Consecutive backlog signals from backends.
     backlog_streak: u32,
     /// Consecutive healthy proxied replies while pressure > 0.
     healthy_streak: u32,
+}
+
+impl Inner {
+    /// Journal one membership transition (write-ahead of the in-memory
+    /// change) and count the epoch. An unwritable journal is reported
+    /// as a serve error but must not take the data path down.
+    fn journal_member(&mut self, shared: &Shared, record: &MemberRecord) {
+        Counters::add(&shared.counters.membership_epochs, 1);
+        if let Some(journal) = &mut self.journal {
+            if journal.append(record).is_err() {
+                Counters::add(&shared.counters.serve_errors, 1);
+            }
+        }
+    }
+
+    /// Remember a group's wire name under its routing hash.
+    fn intern_name(&mut self, key: u64, group: &str) {
+        self.names.entry(key).or_insert_with(|| group.to_string());
+    }
 }
 
 /// State shared by every connection thread.
@@ -93,6 +160,8 @@ struct Shared {
     started: Instant,
     shed_trip: u32,
     batch_max: usize,
+    /// Per-group warm-handoff budget, seconds.
+    handoff_timeout: f64,
 }
 
 impl Shared {
@@ -103,6 +172,21 @@ impl Shared {
     fn lock(&self) -> MutexGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+fn proxy_gate() -> symbio::Result<()> {
+    symbio::faultpoint!("fleet_proxy");
+    Ok(())
+}
+
+fn export_gate() -> symbio::Result<()> {
+    symbio::faultpoint!("handoff_export");
+    Ok(())
+}
+
+fn import_gate() -> symbio::Result<()> {
+    symbio::faultpoint!("handoff_import");
+    Ok(())
 }
 
 /// The fleet coordinator daemon. Construct with [`Fleetd::bind`], then
@@ -121,20 +205,49 @@ impl std::fmt::Debug for Fleetd {
 }
 
 impl Fleetd {
-    /// Bind `addr` (e.g. `127.0.0.1:0`) fronting `backends`.
+    /// Bind `addr` (e.g. `127.0.0.1:0`) fronting `backends`. With
+    /// [`FleetConfig::journal`] set, a journal that already holds a
+    /// membership wins over `backends` (restart = replay); a fresh
+    /// journal is seeded from `backends` and records that seed.
     pub fn bind(addr: &str, backends: &[String], cfg: FleetConfig) -> symbio::Result<Fleetd> {
         if cfg.timeout.is_zero() {
             return Err(Error::InvalidConfig("timeout must be nonzero".into()));
         }
+        let counters = Arc::new(Counters::new());
+        let (journal, membership) = match &cfg.journal {
+            Some(path) => {
+                let (mut journal, replay) = MemberJournal::open(path)?;
+                Counters::add(&counters.membership_epochs, replay.epochs);
+                if replay.epochs > 0 {
+                    Counters::add(&counters.recovery_replays, 1);
+                }
+                let membership = match replay.membership {
+                    Some(m) => m,
+                    None => {
+                        let m = Membership::new(backends.iter().cloned());
+                        journal.append(&MemberRecord::Seed {
+                            backends: m.addrs(),
+                        })?;
+                        Counters::add(&counters.membership_epochs, 1);
+                        m
+                    }
+                };
+                (Some(journal), membership)
+            }
+            None => (None, Membership::new(backends.iter().cloned())),
+        };
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            counters: Arc::new(Counters::new()),
+            counters,
             inner: Mutex::new(Inner {
-                membership: Membership::new(backends.iter().cloned()),
+                membership,
                 routing: RoutingTable::new(cfg.bytes_budget),
                 tenants: TenantRegistry::new(cfg.tenants.clone()),
                 pool: BackendPool::new(cfg.timeout),
+                flaps: FlapDetector::new(cfg.flap_threshold, cfg.flap_window.as_secs_f64()),
+                journal,
+                names: HashMap::new(),
                 backlog_streak: 0,
                 healthy_streak: 0,
             }),
@@ -142,6 +255,7 @@ impl Fleetd {
             started: Instant::now(),
             shed_trip: cfg.shed_trip.max(1),
             batch_max: DEFAULT_BATCH_MAX,
+            handoff_timeout: cfg.handoff_timeout.as_secs_f64(),
         });
         Ok(Fleetd {
             listener,
@@ -266,7 +380,23 @@ fn dispatch(request: Request, encoding: Encoding, shared: &Shared) -> (Response,
             encoding,
             false,
         ),
-        Request::Ingest(_) | Request::Map { .. } => (proxy(request, shared), encoding, false),
+        Request::Ingest(_) | Request::Map { .. } | Request::ExportGroup { .. } => {
+            (proxy(request, shared), encoding, false)
+        }
+        Request::ImportGroup(_) => {
+            // Imports are the coordinator's own handoff mechanism; a
+            // client must not inject group state through the front door.
+            Counters::add(&shared.counters.serve_errors, 1);
+            (
+                Response::protocol(
+                    "backend_verb",
+                    "ImportGroup is a backend verb; the coordinator drives imports itself \
+                     during warm handoff",
+                ),
+                encoding,
+                false,
+            )
+        }
         Request::IngestBatch(batch) => {
             if batch.len() > shared.batch_max {
                 Counters::add(&shared.counters.serve_errors, 1);
@@ -305,6 +435,7 @@ fn route(group: &str, shared: &Shared) -> Response {
     let tenant = inner.tenants.index_of(tenant_of(group));
     let epoch = inner.membership.epoch();
     let backend = inner.membership.backends()[owner].addr.clone();
+    inner.intern_name(key, group);
     // An explicit Route resolution also clears a pending moved flag —
     // the client now holds the fresh owner.
     inner.routing.upsert(
@@ -323,25 +454,119 @@ fn route(group: &str, shared: &Shared) -> Response {
     }
 }
 
-/// Apply a membership change and rebalance the routing table.
+/// Apply a membership change (the `Assign` verb doubles as the Join
+/// handshake for a recovered backend), journal it, rebalance the
+/// routing table, and warm-hand-off every moved group whose old owner
+/// is still reachable — all before the lock drops, so no request ever
+/// observes a half-moved fleet.
 fn assign(add: &[String], remove: &[String], shared: &Shared) -> Response {
     let mut inner = shared.lock();
     let before = inner.membership.clone();
     let changed = inner.membership.apply(add, remove);
     let mut moved = 0;
     if changed {
-        for addr in remove {
-            inner.pool.forget(addr);
-        }
         let after = inner.membership.clone();
+        // Journal the *effective* diff (apply() deduplicates), one
+        // record per transition, before acting on it.
+        for addr in after.addrs() {
+            if !before.addrs().contains(&addr) {
+                inner.journal_member(shared, &MemberRecord::Join { addr });
+            }
+        }
+        let drained: Vec<String> = before
+            .addrs()
+            .into_iter()
+            .filter(|a| !after.addrs().contains(a))
+            .collect();
+        for addr in &drained {
+            inner.journal_member(shared, &MemberRecord::Drain { addr: addr.clone() });
+        }
         moved = inner.routing.rebalance(&before, &after);
         Counters::add(&shared.counters.fleet_rebalance_moves, moved);
+        // Warm handoff needs the drained backends' connections — a
+        // planned drain leaves them reachable — so the pool only
+        // forgets them afterwards.
+        warm_handoff(&mut inner, shared, &before, &after);
+        for addr in &drained {
+            inner.pool.forget(addr);
+            inner.flaps.clear(addr);
+        }
     }
     Response::FleetView(FleetView {
         epoch: inner.membership.epoch(),
         backends: inner.membership.addrs(),
         moved,
     })
+}
+
+/// Address of `key`'s owner under `membership`, if any.
+fn owner_addr(membership: &Membership, key: u64) -> Option<String> {
+    membership
+        .owner_index(key)
+        .map(|i| membership.backends()[i].addr.clone())
+}
+
+/// Orchestrate warm handoffs for every routed group whose owner changed
+/// between `before` and `after`: export from the old owner, import into
+/// the new one, one [`Handoff`] machine per group. Failure or timeout
+/// settles cold — counted, never fatal.
+fn warm_handoff(inner: &mut Inner, shared: &Shared, before: &Membership, after: &Membership) {
+    let moved: Vec<(String, String, String)> = inner
+        .names
+        .iter()
+        .filter_map(|(&key, name)| {
+            let old = owner_addr(before, key)?;
+            let new = owner_addr(after, key)?;
+            (old != new).then(|| (name.clone(), old, new))
+        })
+        .collect();
+    for (group, old, new) in moved {
+        match run_handoff(inner, shared, &group, &old, &new) {
+            Some(HandoffOutcome::Warm) => Counters::add(&shared.counters.fleet_warm_handoffs, 1),
+            Some(HandoffOutcome::Cold) => Counters::add(&shared.counters.fleet_cold_fallbacks, 1),
+            // The old owner held no state for the group (routed but
+            // never ingested): nothing to carry, nothing lost.
+            None => {}
+        }
+    }
+}
+
+/// One group's export → import round trip, driven through the handoff
+/// state machine so a late or failed leg settles cold instead of
+/// wedging.
+fn run_handoff(
+    inner: &mut Inner,
+    shared: &Shared,
+    group: &str,
+    old: &str,
+    new: &str,
+) -> Option<HandoffOutcome> {
+    let mut machine = Handoff::new(shared.handoff_timeout);
+    machine.step(HandoffEvent::Begin, shared.now());
+    let exported = export_gate().and_then(|()| {
+        inner.pool.exchange(
+            old,
+            &Request::ExportGroup {
+                group: group.to_string(),
+            },
+        )
+    });
+    let record = match exported {
+        Ok(Response::GroupState { record, .. }) => {
+            if let Some(outcome) = machine.step(HandoffEvent::Exported, shared.now()) {
+                // The export overran the budget: already settled cold.
+                return Some(outcome);
+            }
+            record?
+        }
+        _ => return machine.step(HandoffEvent::ExportFailed, shared.now()),
+    };
+    let imported =
+        import_gate().and_then(|()| inner.pool.exchange(new, &Request::ImportGroup(record)));
+    match imported {
+        Ok(Response::Ok) => machine.step(HandoffEvent::Imported, shared.now()),
+        _ => machine.step(HandoffEvent::ImportFailed, shared.now()),
+    }
 }
 
 /// Aggregate the coordinator's counters with every backend's `Metrics`.
@@ -382,7 +607,8 @@ fn group_of(request: &Request) -> &str {
     match request {
         Request::Ingest(snap) => &snap.group,
         Request::Map { group } => group,
-        _ => unreachable!("only ingest/map are proxied"),
+        Request::ExportGroup { group } => group,
+        _ => unreachable!("only ingest/map/export are proxied"),
     }
 }
 
@@ -435,14 +661,17 @@ fn proxy(request: Request, shared: &Shared) -> Response {
         }
     }
 
-    // 3. Proxy, auto-evicting dead backends and retrying against the
-    //    post-rebalance owner. Each failure shrinks the membership, so
-    //    the loop terminates.
+    // 3. Proxy, flap-guarding eviction and retrying. The loop
+    //    terminates: every failed exchange is a strike, a backend
+    //    absorbs at most `flap_threshold` strikes before it is evicted
+    //    (shrinking the membership), and the last backend's trip
+    //    returns instead of evicting.
     loop {
         let Some(owner) = inner.membership.owner_index(key) else {
             Counters::add(&shared.counters.serve_errors, 1);
             return Response::protocol("no_backends", "the fleet membership is empty");
         };
+        inner.intern_name(key, &group);
         inner.routing.upsert(
             key,
             RouteEntry {
@@ -453,28 +682,69 @@ fn proxy(request: Request, shared: &Shared) -> Response {
         );
         Counters::add(&shared.counters.fleet_routes, 1);
         let addr = inner.membership.backends()[owner].addr.clone();
-        match inner.pool.exchange(&addr, &request) {
+        let attempt = proxy_gate().and_then(|()| inner.pool.exchange(&addr, &request));
+        match attempt {
             Ok(reply) => {
+                inner.flaps.clear(&addr);
                 note_backpressure(&mut inner, shared, &reply);
                 return reply;
             }
             Err(_) => {
                 Counters::add(&shared.counters.fleet_backend_errors, 1);
-                // Auto-evict: the same membership change an operator's
-                // `Assign { remove }` would make, then retry on the new
-                // owner.
-                let before = inner.membership.clone();
-                inner.membership.apply(&[], std::slice::from_ref(&addr));
+                // A broken stream can't be trusted for framing; redial
+                // on the retry either way.
                 inner.pool.forget(&addr);
-                let after = inner.membership.clone();
-                let moved = inner.routing.rebalance(&before, &after);
-                Counters::add(&shared.counters.fleet_rebalance_moves, moved);
+                if !inner.flaps.strike(&addr, shared.now()) {
+                    // A flap until proven dead: retry the same owner
+                    // rather than evicting on a single failed probe.
+                    Counters::add(&shared.counters.fleet_flaps_suppressed, 1);
+                    continue;
+                }
+                if inner.membership.len() <= 1 {
+                    // Evicting the last backend would leave nothing to
+                    // serve from; surface a retryable fault instead.
+                    Counters::add(&shared.counters.serve_errors, 1);
+                    return Response::Error {
+                        kind: "busy".to_string(),
+                        code: "backend_unavailable".to_string(),
+                        message: format!(
+                            "backend {addr} is unreachable and is the last fleet member"
+                        ),
+                        retryable: true,
+                    };
+                }
+                // Proven dead: the same membership change an operator's
+                // `Assign { remove }` would make — journaled as an
+                // eviction — then retry on the new owner. The dead
+                // owner's state is unreachable, so every relocated
+                // group restarts cold.
+                evict_backend(&mut inner, shared, &addr);
                 // This request already knows it must re-resolve; don't
                 // make it eat its own group's moved flag.
                 inner.routing.clear_moved(key);
             }
         }
     }
+}
+
+/// Evict a proven-dead backend: journal, shrink the membership,
+/// rebalance, and count every relocated group as a cold fallback.
+fn evict_backend(inner: &mut Inner, shared: &Shared, addr: &str) {
+    let before = inner.membership.clone();
+    inner.journal_member(
+        shared,
+        &MemberRecord::Evict {
+            addr: addr.to_string(),
+        },
+    );
+    let gone = [addr.to_string()];
+    inner.membership.apply(&[], &gone);
+    inner.pool.forget(addr);
+    inner.flaps.clear(addr);
+    let after = inner.membership.clone();
+    let moved = inner.routing.rebalance(&before, &after);
+    Counters::add(&shared.counters.fleet_rebalance_moves, moved);
+    Counters::add(&shared.counters.fleet_cold_fallbacks, moved);
 }
 
 /// Track backend backlog signals and move the deterministic shed

@@ -1,0 +1,205 @@
+//! The per-group warm-handoff state machine (DESIGN.md §14).
+//!
+//! When a rebalance moves a group to a new owner, the coordinator tries
+//! to carry the group's epoch-ring state across: **export** it from the
+//! old owner, **import** it into the new one, and only then let the
+//! route change become visible. The machine here tracks one group's
+//! trip through that protocol:
+//!
+//! ```text
+//!          Begin            Exported           Imported
+//! Settled ───────▶ Exporting ───────▶ Importing ───────▶ Settled  (Warm)
+//!    ▲                 │                  │
+//!    │   ExportFailed / OwnerDied / timeout │ ImportFailed / OwnerDied / timeout
+//!    └─────────────────┴──────────────────┘           (Cold)
+//! ```
+//!
+//! Every path lands back in [`HandoffState::Settled`]: a handoff that
+//! fails or overruns its budget settles **cold** — the new owner starts
+//! the group from scratch, exactly as if no handoff had been attempted —
+//! and never wedges the route. The machine is pure (no I/O, no clock of
+//! its own; callers pass `now`), which is what makes it property-testable
+//! under arbitrary event interleavings.
+
+/// Where a group's handoff currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffState {
+    /// No handoff in flight; the route is authoritative.
+    Settled,
+    /// Waiting on the old owner's `ExportGroup` reply.
+    Exporting,
+    /// Waiting on the new owner's `ImportGroup` ack.
+    Importing,
+}
+
+/// What just happened to an in-flight handoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffEvent {
+    /// The coordinator decided to move this group warm.
+    Begin,
+    /// The old owner returned the group's state.
+    Exported,
+    /// The old owner errored or returned garbage.
+    ExportFailed,
+    /// The new owner acked the import.
+    Imported,
+    /// The new owner errored or refused the import.
+    ImportFailed,
+    /// The peer died (or was evicted) mid-handoff.
+    OwnerDied,
+}
+
+/// How a handoff settled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffOutcome {
+    /// State was carried to the new owner before the route flipped.
+    Warm,
+    /// The new owner starts cold (export/import failed or timed out).
+    Cold,
+}
+
+/// One group's handoff machine. Timeouts are absolute against the
+/// caller-supplied clock: any event observed after `timeout` seconds of
+/// in-flight time first settles the machine cold, then (if the event is
+/// a fresh [`HandoffEvent::Begin`]) may start a new attempt.
+#[derive(Debug, Clone)]
+pub struct Handoff {
+    state: HandoffState,
+    started: f64,
+    timeout: f64,
+}
+
+impl Handoff {
+    /// A settled machine with a per-attempt budget of `timeout` seconds
+    /// (clamped to a small positive floor so a zero budget cannot make
+    /// every attempt instantly cold *and* instantly restartable).
+    pub fn new(timeout: f64) -> Handoff {
+        Handoff {
+            state: HandoffState::Settled,
+            started: 0.0,
+            timeout: timeout.max(1e-9),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> HandoffState {
+        self.state
+    }
+
+    /// Feed one event at time `now` (seconds, same clock as every other
+    /// call). Returns `Some` exactly when an in-flight attempt settles:
+    /// at most one outcome per [`HandoffEvent::Begin`].
+    pub fn step(&mut self, event: HandoffEvent, now: f64) -> Option<HandoffOutcome> {
+        // An expired attempt settles cold before the event lands; the
+        // late event then falls through to the Settled arms below (so a
+        // straggling `Exported` from a timed-out export is ignored, not
+        // resurrected).
+        let mut outcome = None;
+        if self.state != HandoffState::Settled && now - self.started > self.timeout {
+            self.state = HandoffState::Settled;
+            outcome = Some(HandoffOutcome::Cold);
+        }
+        match (self.state, event) {
+            (HandoffState::Settled, HandoffEvent::Begin) => {
+                self.state = HandoffState::Exporting;
+                self.started = now;
+                outcome
+            }
+            (HandoffState::Exporting, HandoffEvent::Exported) => {
+                self.state = HandoffState::Importing;
+                outcome
+            }
+            (HandoffState::Exporting, HandoffEvent::ExportFailed | HandoffEvent::OwnerDied) => {
+                self.state = HandoffState::Settled;
+                Some(HandoffOutcome::Cold)
+            }
+            (HandoffState::Importing, HandoffEvent::Imported) => {
+                self.state = HandoffState::Settled;
+                Some(HandoffOutcome::Warm)
+            }
+            (HandoffState::Importing, HandoffEvent::ImportFailed | HandoffEvent::OwnerDied) => {
+                self.state = HandoffState::Settled;
+                Some(HandoffOutcome::Cold)
+            }
+            // Everything else is stale or out of order (an `Exported`
+            // while settled, a duplicate `Begin` mid-flight, a failure
+            // report for an attempt that already settled): ignore it.
+            _ => outcome,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_settles_warm() {
+        let mut h = Handoff::new(1.0);
+        assert_eq!(h.step(HandoffEvent::Begin, 0.0), None);
+        assert_eq!(h.state(), HandoffState::Exporting);
+        assert_eq!(h.step(HandoffEvent::Exported, 0.1), None);
+        assert_eq!(h.state(), HandoffState::Importing);
+        assert_eq!(
+            h.step(HandoffEvent::Imported, 0.2),
+            Some(HandoffOutcome::Warm)
+        );
+        assert_eq!(h.state(), HandoffState::Settled);
+    }
+
+    #[test]
+    fn export_failure_settles_cold() {
+        let mut h = Handoff::new(1.0);
+        h.step(HandoffEvent::Begin, 0.0);
+        assert_eq!(
+            h.step(HandoffEvent::ExportFailed, 0.1),
+            Some(HandoffOutcome::Cold)
+        );
+        assert_eq!(h.state(), HandoffState::Settled);
+    }
+
+    #[test]
+    fn timeout_beats_a_late_exported() {
+        let mut h = Handoff::new(1.0);
+        h.step(HandoffEvent::Begin, 0.0);
+        // The export reply limps in after the budget: the attempt is
+        // already cold and the reply must not resurrect it.
+        assert_eq!(
+            h.step(HandoffEvent::Exported, 2.0),
+            Some(HandoffOutcome::Cold)
+        );
+        assert_eq!(h.state(), HandoffState::Settled);
+        // And a late Imported for the dead attempt is pure noise.
+        assert_eq!(h.step(HandoffEvent::Imported, 2.1), None);
+    }
+
+    #[test]
+    fn timeout_settle_still_admits_a_fresh_begin() {
+        let mut h = Handoff::new(1.0);
+        h.step(HandoffEvent::Begin, 0.0);
+        // A new Begin after the deadline settles the stale attempt cold
+        // and starts a fresh one in the same step.
+        assert_eq!(h.step(HandoffEvent::Begin, 5.0), Some(HandoffOutcome::Cold));
+        assert_eq!(h.state(), HandoffState::Exporting);
+        h.step(HandoffEvent::Exported, 5.1);
+        assert_eq!(
+            h.step(HandoffEvent::Imported, 5.2),
+            Some(HandoffOutcome::Warm)
+        );
+    }
+
+    #[test]
+    fn stale_events_while_settled_are_ignored() {
+        let mut h = Handoff::new(1.0);
+        for ev in [
+            HandoffEvent::Exported,
+            HandoffEvent::ExportFailed,
+            HandoffEvent::Imported,
+            HandoffEvent::ImportFailed,
+            HandoffEvent::OwnerDied,
+        ] {
+            assert_eq!(h.step(ev, 0.0), None);
+            assert_eq!(h.state(), HandoffState::Settled);
+        }
+    }
+}

@@ -17,20 +17,32 @@
 //!   the deterministic shed order used under backend backlog;
 //! * [`backend`] — the downstream connection pool (reuses
 //!   [`symbio_serve::WireClient`] and the binary envelope);
+//! * [`membership`] — durable membership: the CRC-framed journal a
+//!   restarted coordinator replays to a byte-identical routing view,
+//!   plus the flap detector that de-bounces eviction;
+//! * [`handoff`] — the per-group warm-handoff state machine
+//!   (`Settled → Exporting → Importing → Settled`; any failure or
+//!   timeout settles cold, never wedges a route);
 //! * [`coordinator`] — [`Fleetd`] itself: accept loop, admission,
-//!   proxy-with-retry, auto-eviction of dead backends, fleet-wide
-//!   metrics aggregation.
+//!   proxy-with-retry, flap-guarded eviction, orchestrated warm
+//!   handoff on rebalance, fleet-wide metrics aggregation.
 
 #![warn(missing_docs)]
 
 pub mod assign;
 pub mod backend;
 pub mod coordinator;
+pub mod handoff;
+pub mod membership;
 pub mod routing;
 pub mod tenant;
 
 pub use assign::{Backend, Membership};
 pub use backend::BackendPool;
 pub use coordinator::{FleetConfig, Fleetd};
+pub use handoff::{Handoff, HandoffEvent, HandoffOutcome, HandoffState};
+pub use membership::{
+    FlapDetector, MemberJournal, MemberRecord, MemberReplay, MEMBER_JOURNAL_VERSION,
+};
 pub use routing::{RouteEntry, RoutingTable, DEFAULT_BYTES_PER_GROUP};
 pub use tenant::{tenant_of, Admission, TenantRegistry, TenantSpec};

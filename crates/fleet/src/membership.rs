@@ -1,0 +1,432 @@
+//! Durable fleet membership (DESIGN.md §14): a CRC-framed journal of
+//! membership transitions plus the flap detector that guards eviction.
+//!
+//! The coordinator's membership — which backends exist, in which epoch —
+//! used to live only in memory: a restarted `fleetd` forgot every
+//! eviction and drain and came back routing to dead peers. This module
+//! makes the membership survivable with the same crash discipline as the
+//! engine journal ([`symbio_online::journal`]): each transition is one
+//! line, `{crc32:08x} {json}\n`, appended before the transition takes
+//! effect, and replay tolerates a torn final line (the crash tail) by
+//! truncating it. Because rendezvous routing is a pure function of the
+//! membership, replaying the journal reconstructs a byte-identical
+//! routing view — same owners, same epoch.
+//!
+//! The flap detector de-bounces eviction: one failed probe is a *flap*
+//! until the same backend fails [`FlapDetector`]'s threshold within its
+//! sliding window. Suppressed flaps are counted
+//! (`fleet_flaps_suppressed`) and retried; only a proven-dead backend is
+//! evicted and journaled.
+
+use crate::assign::Membership;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use symbio::Error;
+use symbio_online::journal::crc32;
+
+/// Format version stamped as the journal's first record. Bump on any
+/// incompatible change to [`MemberRecord`] or the framing.
+pub const MEMBER_JOURNAL_VERSION: u32 = 1;
+
+/// One durable membership transition. Append-ordered; replay folds the
+/// sequence into a [`Membership`] whose epoch counter advances exactly
+/// as the live coordinator's did.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberRecord {
+    /// Leading header: format version of everything that follows.
+    Meta {
+        /// Must equal [`MEMBER_JOURNAL_VERSION`] for this build to
+        /// replay it.
+        version: u32,
+    },
+    /// The initial membership a fresh coordinator was seeded with.
+    Seed {
+        /// Backend addresses at seed time.
+        backends: Vec<String>,
+    },
+    /// A backend joined (or rejoined) via the `Assign`/Join handshake.
+    Join {
+        /// The joining backend's address.
+        addr: String,
+    },
+    /// A backend was evicted after the flap detector proved it dead.
+    Evict {
+        /// The evicted backend's address.
+        addr: String,
+    },
+    /// A backend was drained on purpose (operator `Assign { remove }`).
+    Drain {
+        /// The drained backend's address.
+        addr: String,
+    },
+}
+
+/// Encode one record as a checksummed journal line (with trailing `\n`).
+pub fn encode_member_frame(record: &MemberRecord) -> symbio::Result<String> {
+    let json = serde_json::to_string(record)
+        .map_err(|e| Error::InvalidConfig(format!("membership record encode: {e}")))?;
+    Ok(format!("{:08x} {json}\n", crc32(json.as_bytes())))
+}
+
+/// Decode one journal line (no trailing `\n`). `None` on any fault:
+/// bad UTF-8, malformed header, checksum mismatch, unparsable JSON.
+pub fn decode_member_frame(line: &[u8]) -> Option<MemberRecord> {
+    let text = std::str::from_utf8(line).ok()?;
+    let (crc_hex, json) = text.split_once(' ')?;
+    if crc_hex.len() != 8 {
+        return None;
+    }
+    let want = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc32(json.as_bytes()) != want {
+        return None;
+    }
+    serde_json::from_str(json).ok()
+}
+
+/// Length of the valid frame prefix of raw journal bytes. Everything
+/// past it (a torn or corrupt tail) is unreachable by replay and safe
+/// to truncate.
+fn valid_prefix(data: &[u8]) -> usize {
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let (line, next, terminated) = match data[pos..].iter().position(|&b| b == b'\n') {
+            Some(i) => (&data[pos..pos + i], pos + i + 1, true),
+            None => (&data[pos..], data.len(), false),
+        };
+        if line.is_empty() {
+            if !terminated {
+                break;
+            }
+            pos = next;
+            continue;
+        }
+        if !terminated || decode_member_frame(line).is_none() {
+            break;
+        }
+        pos = next;
+    }
+    pos
+}
+
+/// Outcome of replaying a membership journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberReplay {
+    /// The reconstructed membership — `None` when the journal held no
+    /// `Seed` yet (a fresh coordinator seeds from its command line and
+    /// journals that seed).
+    pub membership: Option<Membership>,
+    /// Epoch-bearing records (seed/join/evict/drain) replayed.
+    pub epochs: u64,
+    /// Whether replay stopped at a torn or corrupt tail (which
+    /// [`MemberJournal::open`] then truncated).
+    pub truncated: bool,
+}
+
+/// Fold one record into the replayed membership. Mirrors exactly the
+/// mutation the live coordinator performs when it writes the record.
+fn apply_member(membership: &mut Option<Membership>, record: &MemberRecord) -> bool {
+    match record {
+        MemberRecord::Meta { .. } => false,
+        MemberRecord::Seed { backends } => {
+            *membership = Some(Membership::new(backends.iter().cloned()));
+            true
+        }
+        MemberRecord::Join { addr } => {
+            let m = membership.get_or_insert_with(Membership::default);
+            m.apply(std::slice::from_ref(addr), &[]);
+            true
+        }
+        MemberRecord::Evict { addr } | MemberRecord::Drain { addr } => {
+            let m = membership.get_or_insert_with(Membership::default);
+            m.apply(&[], std::slice::from_ref(addr));
+            true
+        }
+    }
+}
+
+/// The append-side handle to a membership journal. [`MemberJournal::open`]
+/// replays (and repairs) the file; [`MemberJournal::append`] frames and
+/// flushes one record per transition, *before* the transition takes
+/// effect in memory.
+#[derive(Debug)]
+pub struct MemberJournal {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+fn member_write_gate() -> symbio::Result<()> {
+    symbio::faultpoint!("membership_write");
+    Ok(())
+}
+
+impl MemberJournal {
+    /// Open (or create) the journal at `path`: truncate any torn tail,
+    /// replay the valid prefix, and position for appends. A fresh file
+    /// gets the `Meta` version stamp; a non-empty one must carry a
+    /// compatible version.
+    pub fn open(path: &Path) -> symbio::Result<(MemberJournal, MemberReplay)> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(path)?;
+        let mut data = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut data)?;
+        let valid = valid_prefix(&data);
+        let truncated = valid < data.len();
+        if truncated {
+            file.set_len(valid as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        let mut replay = MemberReplay {
+            membership: None,
+            epochs: 0,
+            truncated,
+        };
+        let mut pos = 0usize;
+        while pos < valid {
+            let end = data[pos..valid]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map_or(valid, |i| pos + i);
+            let line = &data[pos..end];
+            pos = end + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let record = decode_member_frame(line).expect("frame validated by valid_prefix");
+            if let MemberRecord::Meta { version } = record {
+                if version != MEMBER_JOURNAL_VERSION {
+                    return Err(Error::InvalidConfig(format!(
+                        "membership journal version {version} (this build replays {MEMBER_JOURNAL_VERSION})"
+                    )));
+                }
+                continue;
+            }
+            if apply_member(&mut replay.membership, &record) {
+                replay.epochs += 1;
+            }
+        }
+
+        let mut journal = MemberJournal {
+            file,
+            path: path.to_path_buf(),
+            bytes: valid as u64,
+        };
+        if valid == 0 {
+            journal.append(&MemberRecord::Meta {
+                version: MEMBER_JOURNAL_VERSION,
+            })?;
+        }
+        Ok((journal, replay))
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Valid bytes on disk (replayed prefix plus appends this run).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Frame, write and flush one record. Write-ahead: call this before
+    /// mutating the in-memory membership, so a crash between the two
+    /// replays to the *post*-transition state, never an unjournaled one.
+    pub fn append(&mut self, record: &MemberRecord) -> symbio::Result<()> {
+        member_write_gate()?;
+        let frame = encode_member_frame(record)?;
+        self.file.write_all(frame.as_bytes())?;
+        self.file.flush()?;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+}
+
+/// De-bounces eviction: a backend must fail `threshold` probes within a
+/// sliding `window` (seconds) before [`FlapDetector::strike`] votes to
+/// evict it. Everything below threshold is a suppressed flap — the
+/// caller retries instead of evicting.
+#[derive(Debug)]
+pub struct FlapDetector {
+    threshold: usize,
+    window: f64,
+    strikes: HashMap<String, Vec<f64>>,
+}
+
+impl FlapDetector {
+    /// `threshold` failed probes (floored at 1) within `window` seconds
+    /// trip eviction.
+    pub fn new(threshold: u32, window: f64) -> FlapDetector {
+        FlapDetector {
+            threshold: threshold.max(1) as usize,
+            window: window.max(0.0),
+            strikes: HashMap::new(),
+        }
+    }
+
+    /// Record one failed probe against `addr` at time `now`. Returns
+    /// `true` when the backend crossed the threshold inside the window
+    /// (evict it now); the addr's strike history resets on a trip.
+    pub fn strike(&mut self, addr: &str, now: f64) -> bool {
+        let hits = self.strikes.entry(addr.to_string()).or_default();
+        hits.retain(|&t| now - t <= self.window);
+        hits.push(now);
+        if hits.len() >= self.threshold {
+            self.strikes.remove(addr);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forget `addr`'s strike history (a probe succeeded, or the
+    /// backend left the membership).
+    pub fn clear(&mut self, addr: &str) {
+        self.strikes.remove(addr);
+    }
+
+    /// Strikes currently held against `addr` (test/observability hook).
+    pub fn pending(&self, addr: &str) -> usize {
+        self.strikes.get(addr).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("symbio-members-{tag}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for record in [
+            MemberRecord::Meta {
+                version: MEMBER_JOURNAL_VERSION,
+            },
+            MemberRecord::Seed {
+                backends: vec!["127.0.0.1:7001".into(), "127.0.0.1:7002".into()],
+            },
+            MemberRecord::Join {
+                addr: "127.0.0.1:7003".into(),
+            },
+            MemberRecord::Evict {
+                addr: "127.0.0.1:7001".into(),
+            },
+            MemberRecord::Drain {
+                addr: "127.0.0.1:7002".into(),
+            },
+        ] {
+            let frame = encode_member_frame(&record).expect("encode");
+            let line = frame.trim_end_matches('\n').as_bytes();
+            assert_eq!(decode_member_frame(line), Some(record));
+        }
+        // A flipped byte fails the checksum, not the parser.
+        let frame = encode_member_frame(&MemberRecord::Join { addr: "x:1".into() }).unwrap();
+        let mut bytes = frame.trim_end_matches('\n').as_bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        assert_eq!(decode_member_frame(&bytes), None);
+    }
+
+    #[test]
+    fn journal_replays_to_the_same_membership() {
+        let path = temp_path("replay");
+        let seed = vec!["127.0.0.1:7001".to_string(), "127.0.0.1:7002".to_string()];
+        let mut live = Membership::new(seed.iter().cloned());
+        {
+            let (mut j, replay) = MemberJournal::open(&path).expect("open fresh");
+            assert_eq!(replay.membership, None);
+            assert!(!replay.truncated);
+            j.append(&MemberRecord::Seed {
+                backends: seed.clone(),
+            })
+            .unwrap();
+            j.append(&MemberRecord::Join {
+                addr: "127.0.0.1:7003".into(),
+            })
+            .unwrap();
+            j.append(&MemberRecord::Evict {
+                addr: "127.0.0.1:7001".into(),
+            })
+            .unwrap();
+        }
+        live.apply(&["127.0.0.1:7003".to_string()], &[]);
+        live.apply(&[], &["127.0.0.1:7001".to_string()]);
+
+        let (_, replay) = MemberJournal::open(&path).expect("reopen");
+        let replayed = replay.membership.expect("seeded");
+        assert_eq!(replayed, live);
+        assert_eq!(replayed.epoch(), live.epoch());
+        assert_eq!(replay.epochs, 3);
+        assert!(!replay.truncated);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_replay_matches_the_prefix() {
+        let path = temp_path("torn");
+        {
+            let (mut j, _) = MemberJournal::open(&path).unwrap();
+            j.append(&MemberRecord::Seed {
+                backends: vec!["a:1".into(), "b:2".into()],
+            })
+            .unwrap();
+            j.append(&MemberRecord::Join { addr: "c:3".into() })
+                .unwrap();
+        }
+        // Capture the replay of the intact file, then tear the tail:
+        // append half a frame, as a crash mid-write would.
+        let (_, intact) = MemberJournal::open(&path).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        let torn = encode_member_frame(&MemberRecord::Evict { addr: "a:1".into() }).unwrap();
+        raw.extend_from_slice(&torn.as_bytes()[..torn.len() / 2]);
+        std::fs::write(&path, &raw).unwrap();
+
+        let (j, replay) = MemberJournal::open(&path).unwrap();
+        assert!(replay.truncated);
+        assert_eq!(replay.membership, intact.membership);
+        assert_eq!(replay.epochs, intact.epochs);
+        // The repair is durable: a third open sees a clean file.
+        drop(j);
+        let (_, again) = MemberJournal::open(&path).unwrap();
+        assert!(!again.truncated);
+        assert_eq!(again.membership, intact.membership);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flap_detector_needs_threshold_strikes_inside_the_window() {
+        let mut flaps = FlapDetector::new(3, 1.0);
+        assert!(!flaps.strike("a:1", 0.0));
+        assert!(!flaps.strike("a:1", 0.1));
+        assert!(flaps.strike("a:1", 0.2), "third strike in window trips");
+        // History resets after a trip.
+        assert!(!flaps.strike("a:1", 0.3));
+
+        // Strikes spread wider than the window never trip.
+        let mut slow = FlapDetector::new(3, 1.0);
+        assert!(!slow.strike("b:2", 0.0));
+        assert!(!slow.strike("b:2", 2.0));
+        assert!(!slow.strike("b:2", 4.0));
+        assert_eq!(slow.pending("b:2"), 1);
+
+        // A success clears the slate.
+        let mut cleared = FlapDetector::new(2, 10.0);
+        assert!(!cleared.strike("c:3", 0.0));
+        cleared.clear("c:3");
+        assert!(!cleared.strike("c:3", 0.1));
+    }
+}

@@ -321,6 +321,212 @@ fn killed_backend_is_auto_evicted_with_zero_lost_acks() {
 }
 
 #[test]
+fn planned_drain_warm_hands_off_moved_groups_with_state_intact() {
+    let (addrs, backends, _, fleet, mut client) = spawn_fleet(3, FleetConfig::default());
+    let backend_strs: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+    let before = Membership::new(backend_strs);
+
+    let groups: Vec<String> = (0..18).map(|i| format!("warm/g-{i}")).collect();
+    for g in &groups {
+        for seq in 0..4u64 {
+            let reply = client
+                .exchange(&Request::Ingest(snapshot(g, seq)))
+                .expect("ingest");
+            assert!(matches!(reply, Response::Decision(_)));
+        }
+    }
+
+    // Snapshot every group's exported state while the fleet is quiet:
+    // the handoff must carry exactly this across the drain.
+    let export = |client: &mut WireClient, g: &String| {
+        let mut reply = client
+            .exchange(&Request::ExportGroup { group: g.clone() })
+            .expect("export");
+        // A moved group answers route_moved once before serving.
+        if matches!(reply, Response::Error { ref code, .. } if code == "route_moved") {
+            reply = client
+                .exchange(&Request::ExportGroup { group: g.clone() })
+                .expect("export retry");
+        }
+        match reply {
+            Response::GroupState { record, .. } => record.expect("ingested group has state"),
+            other => panic!("expected GroupState for {g}, got {other:?}"),
+        }
+    };
+    let digests: Vec<_> = groups.iter().map(|g| export(&mut client, g)).collect();
+
+    // Drain the lexically first backend on purpose — it stays alive, so
+    // every group it owned must move *warm*.
+    let victim = before.addrs()[0].clone();
+    let moved_groups: Vec<&String> = groups
+        .iter()
+        .filter(|g| before.owner_of(g).unwrap() == victim)
+        .collect();
+    assert!(
+        !moved_groups.is_empty(),
+        "rendezvous spreads 18 groups over 3"
+    );
+    let reply = client
+        .exchange(&Request::Assign {
+            add: vec![],
+            remove: vec![victim.clone()],
+        })
+        .expect("assign");
+    assert!(matches!(reply, Response::FleetView(_)));
+
+    // Exported-state digest equality: the new owner serves the exact
+    // record the old owner held.
+    for (g, before_record) in groups.iter().zip(&digests) {
+        let after_record = export(&mut client, g);
+        assert_eq!(
+            &after_record, before_record,
+            "group {g} lost state across the drain"
+        );
+    }
+
+    // Every moved group was a warm handoff; nothing fell back cold.
+    let reply = client.exchange(&Request::FleetMetrics).expect("metrics");
+    match reply {
+        Response::FleetMetrics(snap) => {
+            assert_eq!(
+                snap.aggregate.fleet_warm_handoffs,
+                moved_groups.len() as u64
+            );
+            assert_eq!(snap.aggregate.fleet_cold_fallbacks, 0);
+            assert!(snap.aggregate.membership_epochs >= 1);
+        }
+        other => panic!("expected FleetMetrics, got {other:?}"),
+    }
+
+    // The drained backend is out of the fleet; shut it down directly.
+    let victim_sock: SocketAddr = victim.parse().unwrap();
+    let mut direct = WireClient::connect(victim_sock, Duration::from_secs(5)).expect("direct");
+    assert!(matches!(
+        direct.exchange(&Request::Shutdown).expect("drain victim"),
+        Response::Ok
+    ));
+
+    shutdown_and_join(&mut client, backends, fleet);
+}
+
+#[test]
+fn import_group_is_refused_at_the_coordinator() {
+    let (_, backends, _, fleet, mut client) = spawn_fleet(1, FleetConfig::default());
+    let reply = client
+        .exchange(&Request::ImportGroup(
+            symbio_online::journal::GroupRecord::default(),
+        ))
+        .expect("import attempt");
+    match reply {
+        Response::Error {
+            code, retryable, ..
+        } => {
+            assert_eq!(code, "backend_verb");
+            assert!(!retryable);
+        }
+        other => panic!("expected backend_verb, got {other:?}"),
+    }
+    shutdown_and_join(&mut client, backends, fleet);
+}
+
+#[test]
+fn restarted_fleetd_replays_the_membership_journal_to_identical_routes() {
+    let journal = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("symbio-fleet-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    // Route/Assign never dial backends, so synthetic addresses keep
+    // this test about the journal, not about live symbiods.
+    let fake: Vec<String> = (0..3).map(|i| format!("127.0.0.1:1{i}")).collect();
+    let groups: Vec<String> = (0..24).map(|i| format!("t{}/r-{i}", i % 2)).collect();
+    let cfg = FleetConfig {
+        journal: Some(journal.clone()),
+        timeout: Duration::from_millis(200),
+        ..FleetConfig::default()
+    };
+
+    let route_all = |client: &mut WireClient, groups: &[String]| -> Vec<(String, u64)> {
+        groups
+            .iter()
+            .map(|g| {
+                match client
+                    .exchange(&Request::Route { group: g.clone() })
+                    .expect("route")
+                {
+                    Response::Route { backend, epoch, .. } => (backend, epoch),
+                    other => panic!("expected Route, got {other:?}"),
+                }
+            })
+            .collect()
+    };
+
+    // First life: seed three backends, drain one (journaled), record
+    // the full routing view.
+    let fleet = Fleetd::bind("127.0.0.1:0", &fake, cfg.clone()).expect("bind 1");
+    let addr = fleet.local_addr();
+    let handle = std::thread::spawn(move || fleet.run());
+    let mut client = WireClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    client.hello(Encoding::Binary).expect("negotiate");
+    let reply = client
+        .exchange(&Request::Assign {
+            add: vec![],
+            remove: vec![fake[0].clone()],
+        })
+        .expect("drain");
+    match reply {
+        Response::FleetView(view) => assert_eq!(view.epoch, 2),
+        other => panic!("expected FleetView, got {other:?}"),
+    }
+    let before = route_all(&mut client, &groups);
+    assert!(matches!(
+        client.exchange(&Request::Shutdown).expect("shutdown"),
+        Response::Ok
+    ));
+    handle.join().expect("fleet thread").expect("fleet exit");
+
+    // Simulate the SIGKILL crash tail: half a frame of garbage on disk.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .expect("reopen journal");
+        f.write_all(b"deadbeef {\"Evict\":{\"addr\":")
+            .expect("tear");
+    }
+
+    // Second life: the backends argument is deliberately wrong — the
+    // journal must win and reproduce the identical routing view.
+    let bogus = vec!["10.255.255.1:9".to_string()];
+    let fleet = Fleetd::bind("127.0.0.1:0", &bogus, cfg).expect("bind 2");
+    let addr = fleet.local_addr();
+    let handle = std::thread::spawn(move || fleet.run());
+    let mut client = WireClient::connect(addr, Duration::from_secs(5)).expect("reconnect");
+    client.hello(Encoding::Binary).expect("negotiate");
+    let after = route_all(&mut client, &groups);
+    assert_eq!(after, before, "replayed routing view must be identical");
+    match client.exchange(&Request::Metrics).expect("metrics") {
+        Response::Metrics(c) => {
+            // Seed + drain were journaled; the restart replayed both.
+            assert_eq!(c.membership_epochs, 2);
+            assert_eq!(c.recovery_replays, 1);
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+    assert!(matches!(
+        client.exchange(&Request::Shutdown).expect("shutdown 2"),
+        Response::Ok
+    ));
+    handle
+        .join()
+        .expect("fleet thread 2")
+        .expect("fleet exit 2");
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
 fn tenant_quota_and_rate_limits_are_enforced_at_the_coordinator() {
     let cfg = FleetConfig {
         tenants: vec![TenantSpec {

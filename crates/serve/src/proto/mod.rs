@@ -49,6 +49,7 @@ use serde::{Deserialize, Serialize};
 use symbio::obs::CounterSnapshot;
 use symbio::Error;
 use symbio_machine::{Mapping, SigSnapshot};
+use symbio_online::journal::GroupRecord;
 use symbio_online::Decision;
 
 pub use v1::{read_frame, write_frame, V1Codec};
@@ -276,6 +277,22 @@ pub enum Request {
     /// absorbed into one aggregate. Answered with
     /// [`Response::FleetMetrics`].
     FleetMetrics,
+    /// Handoff verb (coordinator → backend): serialize one group's
+    /// recoverable engine state — vote window, committed mapping,
+    /// hysteresis watermarks, quarantine state — so the coordinator can
+    /// carry it to the group's new owner during a rebalance. Answered
+    /// with [`Response::GroupState`] (`record: None` for an unknown
+    /// group). The exporter keeps its copy; duplicate suppression makes
+    /// a stale owner's replays harmless after the route flips.
+    ExportGroup {
+        /// Process-group identifier to export.
+        group: String,
+    },
+    /// Handoff verb (coordinator → backend): install one group's state
+    /// from [`Response::GroupState`], replacing any state this backend
+    /// already holds for the group (the exporter's view wins). Answered
+    /// with [`Response::Ok`].
+    ImportGroup(GroupRecord),
 }
 
 /// A daemon→client frame (identical meaning in every encoding).
@@ -348,6 +365,16 @@ pub enum Response {
     FleetView(FleetView),
     /// Reply to [`Request::FleetMetrics`].
     FleetMetrics(FleetSnapshot),
+    /// Reply to [`Request::ExportGroup`]: the group's serialized engine
+    /// state, or `None` if this backend has never seen the group.
+    GroupState {
+        /// Echo of the queried group.
+        group: String,
+        /// The exported state (window, committed mapping, watermarks,
+        /// quarantine). Carried inline — the vendored serde has no
+        /// `Box<T>` impls to derive through.
+        record: Option<GroupRecord>,
+    },
     /// Structured failure reply; the connection stays usable.
     Error {
         /// Legacy error class kept for pre-envelope clients: `protocol`,
@@ -357,7 +384,7 @@ pub enum Response {
         /// `invalid_snapshot`, `overloaded`, `batch_too_large`,
         /// `unsupported_version`, `unsupported_encoding`, `bad_config`,
         /// `internal`; fleet layer adds `route_moved`, `tenant_shed`,
-        /// `tenant_quota`, `no_backends`, `not_fleet`).
+        /// `tenant_quota`, `no_backends`, `not_fleet`, `backend_verb`).
         code: String,
         /// Human-readable description.
         message: String,

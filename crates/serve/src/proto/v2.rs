@@ -32,6 +32,7 @@ use super::{
 use symbio::obs::CounterSnapshot;
 use symbio::Error;
 use symbio_machine::{Mapping, ProcView, SigSnapshot, ThreadView};
+use symbio_online::journal::{EpochRecord, GroupRecord};
 use symbio_online::{Decision, DecisionReason};
 
 /// Hard cap on one frame's payload bytes (framing error past this — the
@@ -48,6 +49,8 @@ const REQ_SHUTDOWN: u8 = 6;
 const REQ_ROUTE: u8 = 7;
 const REQ_ASSIGN: u8 = 8;
 const REQ_FLEET_METRICS: u8 = 9;
+const REQ_EXPORT_GROUP: u8 = 10;
+const REQ_IMPORT_GROUP: u8 = 11;
 
 // Response payload tags.
 const RSP_WELCOME: u8 = 1;
@@ -62,6 +65,7 @@ const RSP_ERROR: u8 = 9;
 const RSP_ROUTE: u8 = 10;
 const RSP_FLEET_VIEW: u8 = 11;
 const RSP_FLEET_METRICS: u8 = 12;
+const RSP_GROUP_STATE: u8 = 13;
 
 /// The binary codec (proto v2). Stateless; [`Encoding::Binary`] hands
 /// out a shared instance via [`Encoding::codec`].
@@ -104,6 +108,8 @@ impl FrameCodec for V2Codec {
                 remove: r.vec(|r| r.string())?,
             },
             REQ_FLEET_METRICS => Request::FleetMetrics,
+            REQ_EXPORT_GROUP => Request::ExportGroup { group: r.string()? },
+            REQ_IMPORT_GROUP => Request::ImportGroup(decode_group_record(&mut r)?),
             tag => return Err(Error::Protocol(format!("unknown request tag {tag}"))),
         };
         r.finish()?;
@@ -157,6 +163,14 @@ impl FrameCodec for V2Codec {
                     }
                 }
                 Request::FleetMetrics => p.push(REQ_FLEET_METRICS),
+                Request::ExportGroup { group } => {
+                    p.push(REQ_EXPORT_GROUP);
+                    put_str(p, group)?;
+                }
+                Request::ImportGroup(record) => {
+                    p.push(REQ_IMPORT_GROUP);
+                    put_group_record(p, record)?;
+                }
             }
             Ok(())
         })
@@ -338,6 +352,33 @@ fn put_decision(out: &mut Vec<u8>, d: &Decision) -> symbio::Result<()> {
     Ok(())
 }
 
+fn put_epoch_record(out: &mut Vec<u8>, e: &EpochRecord) -> symbio::Result<()> {
+    put_u64(out, e.seq);
+    put_mapping(out, &e.vote)?;
+    put_count(out, e.cores)?;
+    put_f64(out, e.occupancy);
+    Ok(())
+}
+
+fn put_group_record(out: &mut Vec<u8>, g: &GroupRecord) -> symbio::Result<()> {
+    put_str(out, &g.name)?;
+    put_count(out, g.window.len())?;
+    for e in &g.window {
+        put_epoch_record(out, e)?;
+    }
+    put_opt(out, &g.current, put_mapping)?;
+    put_u64(out, g.epochs);
+    put_u64(out, g.remaps);
+    put_opt(out, &g.last_seq, |o, s| {
+        put_u64(o, *s);
+        Ok(())
+    })?;
+    put_u32(out, g.strikes);
+    put_bool(out, g.quarantined);
+    put_u32(out, g.clean);
+    Ok(())
+}
+
 fn put_counters(out: &mut Vec<u8>, c: &CounterSnapshot) -> symbio::Result<()> {
     for v in [
         c.profile_runs,
@@ -367,6 +408,10 @@ fn put_counters(out: &mut Vec<u8>, c: &CounterSnapshot) -> symbio::Result<()> {
     put_u64(out, c.fleet_rebalance_moves);
     put_u64(out, c.tenant_sheds);
     put_u64(out, c.fleet_backend_errors);
+    put_u64(out, c.fleet_warm_handoffs);
+    put_u64(out, c.fleet_cold_fallbacks);
+    put_u64(out, c.fleet_flaps_suppressed);
+    put_u64(out, c.membership_epochs);
     put_count(out, c.domain_remaps.len())?;
     for v in &c.domain_remaps {
         put_u64(out, *v);
@@ -479,6 +524,11 @@ fn put_reply(out: &mut Vec<u8>, reply: &Response) -> symbio::Result<()> {
         Response::FleetMetrics(s) => {
             out.push(RSP_FLEET_METRICS);
             put_fleet_snapshot(out, s)
+        }
+        Response::GroupState { group, record } => {
+            out.push(RSP_GROUP_STATE);
+            put_str(out, group)?;
+            put_opt(out, record, put_group_record)
         }
         Response::Error {
             kind,
@@ -743,6 +793,10 @@ fn decode_counters(r: &mut Reader) -> symbio::Result<CounterSnapshot> {
         fleet_rebalance_moves: r.u64()?,
         tenant_sheds: r.u64()?,
         fleet_backend_errors: r.u64()?,
+        fleet_warm_handoffs: r.u64()?,
+        fleet_cold_fallbacks: r.u64()?,
+        fleet_flaps_suppressed: r.u64()?,
+        membership_epochs: r.u64()?,
         domain_remaps: {
             let n = r.bounded_count(8)?;
             let mut v = Vec::with_capacity(n);
@@ -778,6 +832,29 @@ fn decode_fleet_snapshot(r: &mut Reader) -> symbio::Result<FleetSnapshot> {
     })
 }
 
+fn decode_epoch_record(r: &mut Reader) -> symbio::Result<EpochRecord> {
+    Ok(EpochRecord {
+        seq: r.u64()?,
+        vote: decode_mapping(r)?,
+        cores: r.count()?,
+        occupancy: r.f64()?,
+    })
+}
+
+fn decode_group_record(r: &mut Reader) -> symbio::Result<GroupRecord> {
+    Ok(GroupRecord {
+        name: r.string()?,
+        window: r.vec(decode_epoch_record)?,
+        current: r.opt(decode_mapping)?,
+        epochs: r.u64()?,
+        remaps: r.u64()?,
+        last_seq: r.opt(|r| r.u64())?,
+        strikes: r.u32()?,
+        quarantined: r.boolean()?,
+        clean: r.u32()?,
+    })
+}
+
 fn decode_reply_inner(r: &mut Reader) -> symbio::Result<Response> {
     Ok(match r.u8()? {
         RSP_WELCOME => Response::Welcome(decode_welcome(r)?),
@@ -808,6 +885,10 @@ fn decode_reply_inner(r: &mut Reader) -> symbio::Result<Response> {
         },
         RSP_FLEET_VIEW => Response::FleetView(decode_fleet_view(r)?),
         RSP_FLEET_METRICS => Response::FleetMetrics(decode_fleet_snapshot(r)?),
+        RSP_GROUP_STATE => Response::GroupState {
+            group: r.string()?,
+            record: r.opt(decode_group_record)?,
+        },
         RSP_ERROR => Response::Error {
             kind: r.string()?,
             code: r.string()?,

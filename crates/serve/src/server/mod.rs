@@ -128,6 +128,21 @@ pub(crate) enum Job {
         /// The queried group.
         group: String,
     },
+    /// Serialize a group's engine state for a fleet handoff.
+    ExportGroup {
+        /// Reply routing.
+        token: Token,
+        /// The group to export.
+        group: String,
+    },
+    /// Install a group's state carried over from its previous owner.
+    ImportGroup {
+        /// Reply routing.
+        token: Token,
+        /// The state to install (boxed: records carry whole vote
+        /// windows).
+        record: Box<symbio_online::journal::GroupRecord>,
+    },
     /// Drain barrier: one per reactor; a shard that has collected all of
     /// them has journaled everything enqueued before the drain began.
     Barrier,

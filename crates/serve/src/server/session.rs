@@ -279,6 +279,67 @@ impl Session {
                 });
                 false
             }
+            Request::ExportGroup { group } => {
+                let serial = self.alloc_serial();
+                let encoding = self.encoding;
+                let state = if shared.draining() {
+                    PendingState::Ready(Session::degraded(group, "daemon is draining", shared))
+                } else {
+                    let job = Job::ExportGroup {
+                        token: Token {
+                            session: self.id,
+                            serial,
+                            item: None,
+                        },
+                        group: group.clone(),
+                    };
+                    match port.submit(shard_of(&group, shared.shards), job) {
+                        Ok(()) => PendingState::WaitOne,
+                        Err(_) => PendingState::Ready(Session::degraded(
+                            group,
+                            "shard ingest queue full; serving last-good mapping",
+                            shared,
+                        )),
+                    }
+                };
+                self.pending.push_back(Pending {
+                    serial,
+                    encoding,
+                    state,
+                });
+                false
+            }
+            Request::ImportGroup(record) => {
+                let group = record.name.clone();
+                let serial = self.alloc_serial();
+                let encoding = self.encoding;
+                let state = if shared.draining() {
+                    PendingState::Ready(Session::degraded(group, "daemon is draining", shared))
+                } else {
+                    let job = Job::ImportGroup {
+                        token: Token {
+                            session: self.id,
+                            serial,
+                            item: None,
+                        },
+                        record: Box::new(record),
+                    };
+                    match port.submit(shard_of(&group, shared.shards), job) {
+                        Ok(()) => PendingState::WaitOne,
+                        Err(_) => PendingState::Ready(Session::degraded(
+                            group,
+                            "shard ingest queue full; serving last-good mapping",
+                            shared,
+                        )),
+                    }
+                };
+                self.pending.push_back(Pending {
+                    serial,
+                    encoding,
+                    state,
+                });
+                false
+            }
             Request::Metrics => {
                 self.push_ready(Response::Metrics(shared.counters.snapshot()));
                 false

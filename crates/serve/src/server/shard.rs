@@ -125,6 +125,37 @@ pub(crate) fn shard_loop(
                             Completion { token, reply },
                         );
                     }
+                    Job::ExportGroup { token, group } => {
+                        // The exporter keeps its copy: the coordinator
+                        // flips the route after the import lands, and
+                        // duplicate suppression makes any stale-owner
+                        // replay idempotent.
+                        let reply = Response::GroupState {
+                            record: engine.export_group(&group),
+                            group,
+                        };
+                        deliver(
+                            &mut completions,
+                            &mut wakes,
+                            ri,
+                            Completion { token, reply },
+                        );
+                    }
+                    Job::ImportGroup { token, record } => {
+                        engine.import_group(&record);
+                        if let Some(m) = &record.current {
+                            shared.remember(&record.name, m);
+                        }
+                        deliver(
+                            &mut completions,
+                            &mut wakes,
+                            ri,
+                            Completion {
+                                token,
+                                reply: Response::Ok,
+                            },
+                        );
+                    }
                     Job::Barrier => barriers += 1,
                 }
             }

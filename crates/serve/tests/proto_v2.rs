@@ -11,6 +11,7 @@
 use proptest::prelude::*;
 use symbio::obs::CounterSnapshot;
 use symbio_machine::{Mapping, ProcView, SigSnapshot, ThreadView};
+use symbio_online::journal::{EpochRecord, GroupRecord};
 use symbio_online::{Decision, DecisionReason};
 use symbio_serve::proto::v2::V2Codec;
 use symbio_serve::proto::{
@@ -171,7 +172,40 @@ impl Gen {
             fleet_rebalance_moves: self.next(),
             tenant_sheds: self.next(),
             fleet_backend_errors: self.next(),
+            fleet_warm_handoffs: self.next(),
+            fleet_cold_fallbacks: self.next(),
+            fleet_flaps_suppressed: self.next(),
+            membership_epochs: self.next(),
             domain_remaps: (0..self.below(4)).map(|_| self.next()).collect(),
+        }
+    }
+
+    fn group_record(&mut self) -> GroupRecord {
+        GroupRecord {
+            name: self.string(),
+            window: (0..self.below(4))
+                .map(|_| EpochRecord {
+                    seq: self.next(),
+                    vote: self.mapping(),
+                    cores: self.below(16) as usize,
+                    occupancy: self.f64(),
+                })
+                .collect(),
+            current: if self.chance() {
+                Some(self.mapping())
+            } else {
+                None
+            },
+            epochs: self.next(),
+            remaps: self.next(),
+            last_seq: if self.chance() {
+                Some(self.next())
+            } else {
+                None
+            },
+            strikes: self.below(8) as u32,
+            quarantined: self.chance(),
+            clean: self.below(8) as u32,
         }
     }
 
@@ -190,7 +224,7 @@ impl Gen {
     }
 
     fn request(&mut self) -> Request {
-        match self.below(9) {
+        match self.below(11) {
             0 => Request::Hello(Hello {
                 versions: (0..self.below(4)).map(|_| self.below(16) as u32).collect(),
                 encodings: (0..self.below(4)).map(|_| self.string()).collect(),
@@ -209,13 +243,17 @@ impl Gen {
                 remove: self.strings(3),
             },
             7 => Request::FleetMetrics,
+            8 => Request::ExportGroup {
+                group: self.string(),
+            },
+            9 => Request::ImportGroup(self.group_record()),
             _ => Request::Shutdown,
         }
     }
 
     /// A reply without nesting (what a `Batch` may carry).
     fn flat_reply(&mut self) -> Response {
-        match self.below(11) {
+        match self.below(12) {
             0 => Response::Welcome(Welcome {
                 version: self.below(16) as u32,
                 encoding: self.string(),
@@ -267,6 +305,14 @@ impl Gen {
                 backends: (0..self.below(3)).map(|_| self.backend_stat()).collect(),
                 aggregate: self.counters(),
             }),
+            10 => Response::GroupState {
+                group: self.string(),
+                record: if self.chance() {
+                    Some(self.group_record())
+                } else {
+                    None
+                },
+            },
             _ => Response::Error {
                 kind: self.string(),
                 code: self.string(),
