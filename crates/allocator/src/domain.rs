@@ -103,20 +103,12 @@ impl DomainAwarePolicy {
                     .domain_of(core_b.min(self.topology.cores() - 1));
                 let edge = if dom_a == dom_b {
                     let local = self.topology.local_core(core_b);
-                    match self.metric {
-                        InterferenceMetric::ReciprocalSymbiosis => {
-                            threads[a].interference_with(local)
-                        }
-                        InterferenceMetric::Overlap => threads[a].contested_with(local),
-                    }
+                    symbio_eval::signature_edge(self.metric, threads[a], local)
                 } else {
                     // Unmeasured cross-domain pair: the missing-data value
                     // of the metric (symbiosis 0 clamps to 2.0; no overlap
                     // evidence means no contested capacity).
-                    match self.metric {
-                        InterferenceMetric::ReciprocalSymbiosis => 2.0,
-                        InterferenceMetric::Overlap => 0.0,
-                    }
+                    symbio_eval::missing_edge(self.metric)
                 };
                 w.add(a, b, edge * threads[a].occupancy);
             }

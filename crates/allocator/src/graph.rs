@@ -1,30 +1,12 @@
 //! Interference-graph construction (Sections 3.3.2–3.3.3, Figure 7).
 
 use crate::matrix::SymMatrix;
-use serde::{Deserialize, Serialize};
 use symbio_machine::ThreadView;
 
-/// Which per-(process, core) interference measurement feeds the graph.
-///
-/// `ReciprocalSymbiosis` is the paper's literal definition (Section 3.3.2:
-/// `1 / popcount(RBV ^ CF_j)`). It has two degeneracies this reproduction
-/// documents in DESIGN.md: (1) from any balanced 2-core placement every
-/// cross-core pairing produces an identical cut, so the MIN-CUT cannot
-/// distinguish them, and (2) a core whose filter is dense (a streaming
-/// polluter) *inflates* symbiosis, inverting the signal. `Overlap` is the
-/// contested-capacity variant computed from the same filters
-/// ([`symbio_cbf::SignatureSample::overlap`]) that preserves the paper's
-/// intent (destructive processes attract) without the inversion, and is the
-/// default for the graph policies; the cross-pairing tie remains (it is
-/// structural to per-core attribution) and is resolved by the profiling
-/// loop's re-invocation dynamics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum InterferenceMetric {
-    /// The paper's literal reciprocal-XOR-symbiosis metric.
-    ReciprocalSymbiosis,
-    /// Contested capacity (`popcount(RBV & CF_j)`-based), the default.
-    Overlap,
-}
+// The metric enum moved to the unified evaluation engine (`symbio-eval`)
+// so the sweep, the allocators and the online engine agree on one
+// definition; re-exported here to keep existing import paths valid.
+pub use symbio_eval::InterferenceMetric;
 
 /// The consolidated undirected interference graph over threads.
 ///
@@ -60,15 +42,9 @@ impl InterferenceGraph {
                 if a == b {
                     continue;
                 }
-                // Directed a → b: interference of a with b's core.
-                let core_b = threads[b].last_core.unwrap_or(0);
-                let mut w = match metric {
-                    InterferenceMetric::ReciprocalSymbiosis => threads[a].interference_with(core_b),
-                    InterferenceMetric::Overlap => threads[a].contested_with(core_b),
-                };
-                if weighted {
-                    w *= threads[a].occupancy;
-                }
+                // Directed a → b: interference of a with b's core — the
+                // shared Figure 7 edge from the unified evaluator.
+                let w = symbio_eval::directed_weight(metric, threads[a], threads[b], weighted);
                 weights.add(a, b, w);
             }
         }

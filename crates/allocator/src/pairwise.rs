@@ -115,7 +115,7 @@ impl AllocationPolicy for PairwisePolicy {
                 if j == own || res.is_empty() {
                     continue;
                 }
-                let raw = t.overlap.get(j).copied().unwrap_or(0.0);
+                let raw = t.contested_with(j);
                 let share = raw / res.len() as f64;
                 for &b in res {
                     if b != i {

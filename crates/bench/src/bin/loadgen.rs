@@ -10,8 +10,23 @@
 //!         [--encoding json (json | binary | legacy)]
 //!         [--batch 1 (epochs per IngestBatch frame)]
 //!         [--min-rate 0 (fail below this decisions/sec floor)]
+//!         [--watch] [--what-if]
 //!         [--name serve-loadgen] [--shutdown]
 //! ```
+//!
+//! `--watch` opens one extra connection that sends `Subscribe` before
+//! the replay window and prints the decision events the daemon streams
+//! back (`Response::Event`: the decision plus the group's epoch and
+//! remap totals). The run fails when the watcher saw **zero** events —
+//! the teeth behind the control-plane smoke gate. `--what-if` asks one
+//! `WhatIf` counterfactual after the window — "if this snapshot arrived
+//! now, what would the mapping be?" — then repeats the identical query
+//! and requires the second answer to come back `memo_hit: true` (the
+//! shard memoizes what-if answers until the next state mutation).
+//! Neither verb exists in the bare v1 protocol, so both refuse
+//! `--encoding legacy`; `--watch` also refuses `--fleet` (the
+//! coordinator answers `Subscribe` with a `backend_verb` error —
+//! resolve the owner with `Route` and watch that symbiod directly).
 //!
 //! Each connection streams the trace under its own process-group key
 //! (`load-0`, `load-1`, …) so the daemon exercises independent decision
@@ -649,6 +664,101 @@ fn routing_footprint(count: u64, backends: usize) -> f64 {
     table.bytes_per_group()
 }
 
+/// The `--watch` side channel: subscribe on its own connection, then
+/// collect streamed decision events until the replay window closes.
+/// The short read timeout is the poll tick — a quiet daemon just makes
+/// `recv` time out until the deadline check breaks the loop.
+fn watch_events(addr: SocketAddr, mode: Mode, window: Duration) -> symbio::Result<u64> {
+    let mut client = WireClient::connect(addr, Duration::from_millis(250))?;
+    match mode {
+        Mode::Legacy => unreachable!("--watch rejects --encoding legacy at parse time"),
+        Mode::Json => {
+            client.hello(Encoding::JsonLines)?;
+        }
+        Mode::Binary => {
+            client.hello(Encoding::Binary)?;
+        }
+    }
+    match client.exchange(&Request::Subscribe)? {
+        Response::Ok => {}
+        other => {
+            return Err(Error::Protocol(format!(
+                "subscribe not acknowledged: {other:?}"
+            )))
+        }
+    }
+    let deadline = Instant::now() + window;
+    let mut events = 0u64;
+    while Instant::now() < deadline {
+        match client.recv() {
+            Ok(Response::Event {
+                decision,
+                epochs,
+                remaps,
+            }) => {
+                events += 1;
+                if events <= 3 {
+                    println!(
+                        "loadgen: event {} seq {} {} (gain {:+.4}, votes {}/{}, \
+                         epochs {epochs}, remaps {remaps})",
+                        decision.group,
+                        decision.seq,
+                        if decision.changed { "remapped" } else { "held" },
+                        decision.gain,
+                        decision.votes,
+                        decision.window,
+                    );
+                }
+            }
+            Ok(_) => {}  // not an event frame; ignore
+            Err(_) => {} // poll tick (read timeout); the deadline decides
+        }
+    }
+    Ok(events)
+}
+
+/// The `--what-if` probe: one counterfactual round trip, asked twice.
+/// The first answer is evaluated; the identical repeat must come back
+/// from the shard's memo (`memo_hit: true`), proving both the verb and
+/// the memoization end to end. What-if never commits state, so the
+/// probe leaves the daemon exactly as it found it.
+fn what_if_probe(addr: SocketAddr, mode: Mode, trace: &[SigSnapshot]) -> symbio::Result<()> {
+    let mut client = connect_client(addr, mode)?;
+    let mut snap = trace[0].clone();
+    snap.group = "load-0".to_string();
+    // Any seq works: a counterfactual is never checked against the
+    // group's duplicate-suppression state, and never advances it.
+    snap.seq = u64::MAX / 2;
+    match client.exchange(&Request::WhatIf(snap.clone()))? {
+        Response::WhatIf {
+            group,
+            mapping,
+            delta,
+            held,
+            memo_hit,
+        } => {
+            println!(
+                "loadgen: what-if {group} → {mapping:?} \
+                 (delta {delta:+.4}, held {held}, memo_hit {memo_hit})"
+            );
+        }
+        other => {
+            return Err(Error::Protocol(format!(
+                "expected what-if reply, got {other:?}"
+            )))
+        }
+    }
+    match client.exchange(&Request::WhatIf(snap))? {
+        Response::WhatIf { memo_hit: true, .. } => {
+            println!("loadgen: what-if repeat answered from the shard memo (memo_hit true)");
+            Ok(())
+        }
+        other => Err(Error::Protocol(format!(
+            "identical what-if was not memoized: {other:?}"
+        ))),
+    }
+}
+
 /// One connection's replay loop: stream ingest frames (batched when
 /// `batch > 1`) until the deadline, absorbing transient faults with
 /// bounded backoff-and-retry.
@@ -773,6 +883,8 @@ fn main() -> symbio::Result<()> {
     let mut chaos: Option<u64> = None;
     let mut budget_bytes = symbio_fleet::DEFAULT_BYTES_PER_GROUP;
     let mut synthetic_groups = 1_000_000u64;
+    let mut watch = false;
+    let mut what_if = false;
 
     let bad = |flag: &str, v: &str| Error::InvalidConfig(format!("bad value `{v}` for {flag}"));
     let mut args = std::env::args().skip(1);
@@ -842,6 +954,8 @@ fn main() -> symbio::Result<()> {
                 let v = value()?;
                 synthetic_groups = v.parse().map_err(|_| bad("--synthetic-groups", &v))?;
             }
+            "--watch" => watch = true,
+            "--what-if" => what_if = true,
             "--shutdown" => shutdown = true,
             other => return Err(Error::InvalidConfig(format!("unknown flag `{other}`"))),
         }
@@ -891,11 +1005,25 @@ fn main() -> symbio::Result<()> {
     if batch == 0 {
         return Err(Error::InvalidConfig("--batch must be >= 1".to_string()));
     }
+    if watch && fleet > 0 {
+        return Err(Error::InvalidConfig(
+            "--watch cannot cross the coordinator (Subscribe is a backend verb); \
+             resolve the owner with Route and watch that symbiod directly"
+                .to_string(),
+        ));
+    }
     if mode == Mode::Legacy {
         eprintln!(
             "loadgen: warning: --encoding legacy connects without a Hello; bare v1 frames \
              are deprecated — prefer --encoding json or binary"
         );
+        if watch || what_if {
+            return Err(Error::InvalidConfig(
+                "--watch/--what-if need negotiation (Subscribe and WhatIf are not part of \
+                 the bare v1 protocol); drop --encoding legacy"
+                    .to_string(),
+            ));
+        }
         if batch > 1 {
             return Err(Error::InvalidConfig(
                 "--batch > 1 needs negotiation (IngestBatch is not part of the bare v1 \
@@ -998,6 +1126,17 @@ fn main() -> symbio::Result<()> {
         None
     };
 
+    // The watch side channel subscribes before the window opens so the
+    // very first decision can already be streamed.
+    let watcher = if watch {
+        let window = Duration::from_secs_f64(seconds + 0.5);
+        Some(std::thread::spawn(move || {
+            watch_events(target, mode, window)
+        }))
+    } else {
+        None
+    };
+
     let started = Instant::now();
     let clients: Vec<_> = (0..conns)
         .map(|i| {
@@ -1048,6 +1187,21 @@ fn main() -> symbio::Result<()> {
         // The join epilogue must hand off warm deterministically: no
         // injected faults past the window.
         symbio::obs::fault::disarm();
+    }
+
+    // Control-plane gates, before the metrics fetch so their traffic
+    // shows up in the counters the record carries.
+    if let Some(w) = watcher {
+        let events = w.join().expect("watcher thread")?;
+        println!("loadgen: watcher received {events} streamed decision event(s)");
+        if events == 0 {
+            return Err(Error::Protocol(
+                "--watch saw zero streamed decision events over the replay window".to_string(),
+            ));
+        }
+    }
+    if what_if {
+        what_if_probe(target, mode, &trace)?;
     }
 
     // The smoke-test teeth: the daemon must still answer a well-formed
@@ -1139,6 +1293,7 @@ fn main() -> symbio::Result<()> {
             fleet_cold_fallbacks: snap.aggregate.fleet_cold_fallbacks,
             fleet_flaps_suppressed: snap.aggregate.fleet_flaps_suppressed,
             membership_epochs: snap.aggregate.membership_epochs,
+            whatif_requests: snap.aggregate.whatif_requests,
             synthetic_groups,
             bytes_per_group,
         };
@@ -1231,7 +1386,8 @@ fn main() -> symbio::Result<()> {
         retries,
         degraded,
         &mut latencies,
-    );
+    )
+    .with_control_plane(&metrics);
     let path = write_serve_bench_record(&record)?;
     println!(
         "loadgen: {} requests in {:.2}s over {} conn(s) → {:.0} decisions/sec \
@@ -1253,6 +1409,11 @@ fn main() -> symbio::Result<()> {
         metrics.serve_errors,
         metrics.domain_remaps,
         path.display()
+    );
+    println!(
+        "loadgen: control plane — whatif_requests {}, stream_events {}, \
+         explanations_emitted {}",
+        metrics.whatif_requests, metrics.stream_events, metrics.explanations_emitted
     );
     if min_rate > 0.0 && record.decisions_per_sec < min_rate {
         return Err(Error::InvalidConfig(format!(

@@ -78,14 +78,12 @@ impl SignatureSample {
 
     /// The paper's *interference metric*: the reciprocal of symbiosis with
     /// core `j` (Section 3.3.2). A zero symbiosis is mapped to the inverse
-    /// of one-half so it stays finite yet dominates any real value.
+    /// of one-half so it stays finite yet dominates any real value. The
+    /// scalar kernel lives in [`symbio_eval::reciprocal_interference`] —
+    /// for integer counts `s < 0.5` holds exactly when `s == 0`, so this
+    /// is the same clamp the smoothed `ThreadView` metric uses.
     pub fn interference_with(&self, j: usize) -> f64 {
-        let s = self.symbiosis[j];
-        if s == 0 {
-            2.0
-        } else {
-            1.0 / f64::from(s)
-        }
+        symbio_eval::reciprocal_interference(f64::from(self.symbiosis[j]))
     }
 }
 

@@ -90,6 +90,7 @@ mod tests {
             user_cycles: user,
             chosen,
             policy: "test".into(),
+            predicted: Vec::new(),
         }
     }
 

@@ -106,6 +106,16 @@ pub struct Counters {
     /// membership journal (join/evict/drain records; replayed on
     /// restart to rebuild routing deterministically).
     pub membership_epochs: AtomicU64,
+    /// Control plane: `WhatIf` queries answered (memoized and live
+    /// evaluations both count; memo hits also land in
+    /// [`Counters::memo_hits`]).
+    pub whatif_requests: AtomicU64,
+    /// Control plane: decision/counter events pushed to `Subscribe`
+    /// watchers (lossy: dropped events are not counted).
+    pub stream_events: AtomicU64,
+    /// Control plane: per-decision `Explanation` records emitted by the
+    /// online engine (explanations enabled and a decision produced one).
+    pub explanations_emitted: AtomicU64,
 }
 
 /// Plain-data snapshot of [`Counters`] for serialization.
@@ -171,6 +181,12 @@ pub struct CounterSnapshot {
     pub fleet_flaps_suppressed: u64,
     /// See [`Counters::membership_epochs`].
     pub membership_epochs: u64,
+    /// See [`Counters::whatif_requests`].
+    pub whatif_requests: u64,
+    /// See [`Counters::stream_events`].
+    pub stream_events: u64,
+    /// See [`Counters::explanations_emitted`].
+    pub explanations_emitted: u64,
 }
 
 impl Counters {
@@ -243,6 +259,9 @@ impl Counters {
             fleet_cold_fallbacks: self.fleet_cold_fallbacks.load(Ordering::Relaxed),
             fleet_flaps_suppressed: self.fleet_flaps_suppressed.load(Ordering::Relaxed),
             membership_epochs: self.membership_epochs.load(Ordering::Relaxed),
+            whatif_requests: self.whatif_requests.load(Ordering::Relaxed),
+            stream_events: self.stream_events.load(Ordering::Relaxed),
+            explanations_emitted: self.explanations_emitted.load(Ordering::Relaxed),
         }
     }
 }
@@ -287,6 +306,9 @@ impl CounterSnapshot {
         self.fleet_cold_fallbacks += other.fleet_cold_fallbacks;
         self.fleet_flaps_suppressed += other.fleet_flaps_suppressed;
         self.membership_epochs += other.membership_epochs;
+        self.whatif_requests += other.whatif_requests;
+        self.stream_events += other.stream_events;
+        self.explanations_emitted += other.explanations_emitted;
     }
 }
 
@@ -590,6 +612,13 @@ pub struct ServeBenchRecord {
     pub p50_us: f64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: f64,
+    /// Control plane: `WhatIf` queries the daemon answered over the run
+    /// (from the post-window metrics reply; 0 when none were issued).
+    pub whatif_requests: u64,
+    /// Control plane: decision events pushed to `Subscribe` watchers.
+    pub stream_events: u64,
+    /// Control plane: per-decision explanations recorded (`--explain`).
+    pub explanations_emitted: u64,
 }
 
 impl ServeBenchRecord {
@@ -630,7 +659,19 @@ impl ServeBenchRecord {
             decisions_per_sec: decisions as f64 / wall,
             p50_us: quantile(0.5),
             p99_us: quantile(0.99),
+            whatif_requests: 0,
+            stream_events: 0,
+            explanations_emitted: 0,
         }
+    }
+
+    /// Fold the daemon's post-window counter snapshot into the record's
+    /// control-plane columns (the replay tallies cannot see them).
+    pub fn with_control_plane(mut self, counters: &CounterSnapshot) -> Self {
+        self.whatif_requests = counters.whatif_requests;
+        self.stream_events = counters.stream_events;
+        self.explanations_emitted = counters.explanations_emitted;
+        self
     }
 }
 
@@ -693,6 +734,9 @@ pub struct FleetBenchRecord {
     /// Coordinator `membership_epochs` (durable membership-journal
     /// epochs committed).
     pub membership_epochs: u64,
+    /// Aggregate `whatif_requests` across the backends (the coordinator
+    /// proxies `WhatIf` to each group's owner).
+    pub whatif_requests: u64,
     /// Synthetic groups inserted into a routing table to measure
     /// footprint (the ISSUE-mandated 1M-group probe).
     pub synthetic_groups: u64,

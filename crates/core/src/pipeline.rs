@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 use symbio_allocator::AllocationPolicy;
-use symbio_machine::{Machine, MachineConfig, Mapping, RunOutcome};
+use symbio_machine::{Machine, MachineConfig, Mapping, ProcView, RunOutcome, ThreadView};
 use symbio_workloads::{ThreadSpec, WorkloadSpec};
 
 /// Outcome of the profiling phase.
@@ -22,6 +22,13 @@ pub struct ProfileResult {
     pub votes: Vec<(Mapping, u32)>,
     /// Allocator invocations performed.
     pub invocations: u32,
+    /// Signature views at the end of profiling — the machine-snapshot
+    /// side of the unified evaluation engine's [`SignatureSource`]
+    /// input, so the sweep can score reference mappings with the same
+    /// model the online engine gates remaps with.
+    ///
+    /// [`SignatureSource`]: symbio_eval::SignatureSource
+    pub views: Vec<ProcView>,
 }
 
 /// Fully-evaluated mix: every candidate mapping measured, plus the mapping
@@ -38,6 +45,12 @@ pub struct MixResult {
     pub chosen: usize,
     /// Name of the policy that chose.
     pub policy: String,
+    /// Predicted internalized-interference fraction of each mapping
+    /// ([`symbio_eval::internalized_fraction`] over the end-of-profiling
+    /// views), index-aligned with `mappings`. Empty when no profiling
+    /// views were available. Advisory: `user_cycles` stays the measured
+    /// truth.
+    pub predicted: Vec<f64>,
 }
 
 impl MixResult {
@@ -274,7 +287,27 @@ impl Pipeline {
             winner,
             votes,
             invocations,
+            views: machine.query_views(),
         }
+    }
+
+    /// Score each mapping with the unified evaluation engine: the
+    /// fraction of total pairwise interference it internalizes over
+    /// `views` (the occupancy-weighted overlap model the default
+    /// policies optimize). Index-aligned with `mappings`.
+    pub fn predicted_scores(views: &[ProcView], mappings: &[Mapping]) -> Vec<f64> {
+        let threads: Vec<&ThreadView> = views.iter().flat_map(|p| &p.threads).collect();
+        mappings
+            .iter()
+            .map(|m| {
+                symbio_eval::internalized_fraction(
+                    symbio_eval::InterferenceMetric::Overlap,
+                    true,
+                    &threads,
+                    m,
+                )
+            })
+            .collect()
     }
 
     /// Route a measurement through the memo cache when one is attached.
@@ -379,7 +412,9 @@ impl Pipeline {
     ) -> crate::Result<MixResult> {
         self.check_mix_size(specs.len())?;
         let profile = self.profile(specs, policy);
-        self.evaluate_mix_with_choice(specs, &profile.winner, policy.name())
+        let mut result = self.evaluate_mix_with_choice(specs, &profile.winner, policy.name())?;
+        result.predicted = Self::predicted_scores(&profile.views, &result.mappings);
+        Ok(result)
     }
 
     /// Evaluate a mix given an externally-decided mapping (lets several
@@ -408,6 +443,7 @@ impl Pipeline {
             user_cycles,
             chosen,
             policy: policy_name.to_string(),
+            predicted: Vec::new(),
         })
     }
 

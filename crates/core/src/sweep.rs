@@ -421,6 +421,7 @@ impl<'a> SweepEngine<'a> {
                 })
                 .collect();
             let chosen = Pipeline::locate(&mappings, &profile.winner, cores);
+            let predicted = Pipeline::predicted_scores(&profile.views, &mappings);
             Counters::add(&counters.mixes_done, 1);
             MixResult {
                 names: specs.iter().map(|s| s.name.clone()).collect(),
@@ -428,6 +429,7 @@ impl<'a> SweepEngine<'a> {
                 user_cycles,
                 chosen,
                 policy: policy.name().to_string(),
+                predicted,
             }
         })
     }
@@ -523,6 +525,7 @@ impl<'a> SweepEngine<'a> {
                     })
                     .collect();
                 let chosen = Pipeline::locate(&mappings, &profile.winner, cores);
+                let predicted = Pipeline::predicted_scores(&profile.views, &mappings);
                 Counters::add(&counters.mixes_done, 1);
                 MixResult {
                     names: specs.iter().map(|s| s.name.clone()).collect(),
@@ -530,6 +533,7 @@ impl<'a> SweepEngine<'a> {
                     user_cycles,
                     chosen,
                     policy: policy.name().to_string(),
+                    predicted,
                 }
             })?;
             let Some(outcome) = outcome else {

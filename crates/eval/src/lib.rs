@@ -1,0 +1,619 @@
+//! # symbio-eval — the unified evaluation engine
+//!
+//! One home for the paper's interference/symbiosis/gain model. Before
+//! this crate existed the model was duplicated four ways: the scalar
+//! interference clamp lived in both `symbio-cbf` (integer signatures)
+//! and `symbio-machine` (EWMA-smoothed views), the directed-edge
+//! dispatch lived in the allocator's graph builders *and* again inline
+//! in the online engine's `predicted_gain*` functions, and the sweep
+//! scored reference mappings with its own copy of the internalization
+//! objective. Every caller now goes through this crate:
+//!
+//! * **scalar kernel** — [`reciprocal_interference`] (the Section 3.3.2
+//!   clamp) plus [`missing_edge`], the value a metric reports for an
+//!   unmeasured (cross-domain) pair;
+//! * **signature access** — the [`SignatureSource`] trait abstracts
+//!   "something with a per-core signature vector" so machine snapshots
+//!   (offline sweep via `MeasureCache`) and `EpochRing` windows (online
+//!   engine) are two callers of identical code;
+//! * **edges** — [`signature_edge`] / [`directed_weight`] /
+//!   [`pair_weight`], the Figure 7 directed edge and its consolidation;
+//! * **mapping-level scoring** — [`predicted_gain`],
+//!   [`predicted_gain_multidomain`] and [`internalized_fraction`]: the
+//!   MIN-CUT objective ("fraction of total pairwise interference a
+//!   mapping co-locates onto one core") that both the migration-cost
+//!   hysteresis check and the sweep's reference-mapping ranking use;
+//! * **hysteresis** — [`Hysteresis`], the vote/switch-cost gate, and
+//!   the per-decision [`Explanation`] record the control plane serves;
+//! * **domain-aware splicing helpers** — [`domain_ranges`],
+//!   [`occupied_domains`], [`uf_find`], [`uf_union`].
+//!
+//! Bit-exactness: [`predicted_gain`] reproduces the deleted online
+//! implementation exactly. The old code built an `InterferenceGraph`
+//! whose `SymMatrix` cell for `i < j` accumulated `(0.0 + w_ij) + w_ji`
+//! in that order; [`pair_weight`] computes `w_ij + w_ji` directly, which
+//! is the same IEEE-754 value, and the `i < j` accumulation order of the
+//! gain loop is preserved verbatim.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Which per-(process, core) interference measurement feeds the model.
+///
+/// `ReciprocalSymbiosis` is the paper's literal definition (Section 3.3.2:
+/// `1 / popcount(RBV ^ CF_j)`). It has two degeneracies this reproduction
+/// documents in DESIGN.md: (1) from any balanced 2-core placement every
+/// cross-core pairing produces an identical cut, so the MIN-CUT cannot
+/// distinguish them, and (2) a core whose filter is dense (a streaming
+/// polluter) *inflates* symbiosis, inverting the signal. `Overlap` is the
+/// contested-capacity variant computed from the same filters
+/// (`symbio_cbf::SignatureSample::overlap`) that preserves the paper's
+/// intent (destructive processes attract) without the inversion, and is the
+/// default for the graph policies; the cross-pairing tie remains (it is
+/// structural to per-core attribution) and is resolved by the profiling
+/// loop's re-invocation dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterferenceMetric {
+    /// The paper's literal reciprocal-XOR-symbiosis metric.
+    ReciprocalSymbiosis,
+    /// Contested capacity (`popcount(RBV & CF_j)`-based), the default.
+    Overlap,
+}
+
+/// The paper's scalar interference kernel: the reciprocal of symbiosis,
+/// with zero symbiosis mapped to the inverse of one-half so it stays
+/// finite yet dominates any real value (Section 3.3.2).
+///
+/// The clamp threshold is `0.5` so one definition serves both signature
+/// representations: for the hardware's integer symbiosis counts
+/// (`symbio-cbf`), `s < 0.5` holds exactly when `s == 0`; for the
+/// monitor's EWMA-smoothed floats (`symbio-machine`), values below one
+/// half round to the same "effectively disjoint" clamp.
+#[inline]
+pub fn reciprocal_interference(symbiosis: f64) -> f64 {
+    if symbiosis < 0.5 {
+        2.0
+    } else {
+        1.0 / symbiosis
+    }
+}
+
+/// The value a metric reports for an unmeasured pair (e.g. two threads
+/// whose last cores sit in different cache domains, where per-core
+/// signature vectors carry no evidence): symbiosis 0 clamps to 2.0; no
+/// overlap evidence means no contested capacity.
+#[inline]
+pub fn missing_edge(metric: InterferenceMetric) -> f64 {
+    match metric {
+        InterferenceMetric::ReciprocalSymbiosis => 2.0,
+        InterferenceMetric::Overlap => 0.0,
+    }
+}
+
+/// Something carrying a per-core memory-footprint signature: a thread id,
+/// an occupancy weight, the core it last ran on, and the two per-core
+/// measurement vectors the hardware exports.
+///
+/// Implemented by `symbio_machine::ThreadView` (EWMA-smoothed monitor
+/// views — what machine snapshots and `EpochRing` windows carry), so the
+/// offline sweep and the online engine feed the same evaluation code.
+pub trait SignatureSource {
+    /// Flat thread id (stable across views).
+    fn tid(&self) -> usize;
+    /// Occupancy weight (Section 3.3.3's `W`).
+    fn occupancy(&self) -> f64;
+    /// Core the thread last ran on, if known.
+    fn last_core(&self) -> Option<usize>;
+    /// The paper's interference metric with core `j`
+    /// ([`reciprocal_interference`] of the symbiosis with `j`).
+    fn interference_with(&self, j: usize) -> f64;
+    /// Contested capacity with core `j` (the overlap metric).
+    fn contested_with(&self, j: usize) -> f64;
+}
+
+/// A thread→core assignment the evaluator can score. Implemented by
+/// `symbio_machine::Mapping`.
+pub trait CoreAssignment {
+    /// Core assigned to thread `tid`.
+    fn core_of(&self, tid: usize) -> usize;
+    /// Number of threads mapped.
+    fn len(&self) -> usize;
+    /// Whether the assignment maps no threads.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The raw metric sample of source `a` against core `core_b` — the
+/// dispatch every graph builder used to inline.
+#[inline]
+pub fn signature_edge<S: SignatureSource + ?Sized>(
+    metric: InterferenceMetric,
+    a: &S,
+    core_b: usize,
+) -> f64 {
+    match metric {
+        InterferenceMetric::ReciprocalSymbiosis => a.interference_with(core_b),
+        InterferenceMetric::Overlap => a.contested_with(core_b),
+    }
+}
+
+/// The Figure 7 directed edge `a → b`: the interference of `a` (its RBV)
+/// with the Core Filter of the core `b` last ran on, optionally scaled by
+/// `a`'s occupancy weight (the Section 3.3.3 refinement).
+#[inline]
+pub fn directed_weight<S: SignatureSource + ?Sized>(
+    metric: InterferenceMetric,
+    a: &S,
+    b: &S,
+    weighted: bool,
+) -> f64 {
+    let core_b = b.last_core().unwrap_or(0);
+    let mut w = signature_edge(metric, a, core_b);
+    if weighted {
+        w *= a.occupancy();
+    }
+    w
+}
+
+/// The consolidated (undirected) pair weight: both directed edges summed,
+/// exactly as `InterferenceGraph`'s `SymMatrix` accumulates them.
+#[inline]
+pub fn pair_weight<S: SignatureSource + ?Sized>(
+    metric: InterferenceMetric,
+    a: &S,
+    b: &S,
+    weighted: bool,
+) -> f64 {
+    directed_weight(metric, a, b, weighted) + directed_weight(metric, b, a, weighted)
+}
+
+/// Normalized predicted gain of `challenger` over `incumbent` on the
+/// current views: the fraction of total pairwise interference each
+/// mapping *internalizes* (co-locates onto one core, where time-slicing
+/// neutralizes it — the MIN-CUT objective the allocators maximize),
+/// differenced. Positive means the challenger co-locates more of the
+/// destructive pairs; a remap is worth its cost only when this exceeds
+/// the configured switch cost.
+pub fn predicted_gain<S, M>(
+    metric: InterferenceMetric,
+    weighted: bool,
+    threads: &[&S],
+    incumbent: &M,
+    challenger: &M,
+) -> f64
+where
+    S: SignatureSource + ?Sized,
+    M: CoreAssignment + ?Sized,
+{
+    let n = threads.len();
+    let mut total = 0.0;
+    let mut internal_inc = 0.0;
+    let mut internal_cha = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = pair_weight(metric, threads[i], threads[j], weighted);
+            total += w;
+            let (ti, tj) = (threads[i].tid(), threads[j].tid());
+            if incumbent.core_of(ti) == incumbent.core_of(tj) {
+                internal_inc += w;
+            }
+            if challenger.core_of(ti) == challenger.core_of(tj) {
+                internal_cha += w;
+            }
+        }
+    }
+    if total <= f64::EPSILON {
+        0.0
+    } else {
+        (internal_cha - internal_inc) / total
+    }
+}
+
+/// [`predicted_gain`] for one union-find component of a multi-domain
+/// machine. Two differences from the flat version: only pairs where
+/// *both* tids satisfy `include` contribute (cross-component pairs are
+/// never co-located under either mapping, so nothing is lost), and pair
+/// weight is measured only when both last cores share a cache domain,
+/// indexed by the *domain-local* core label — signature vectors are
+/// domain-local, so cross-domain contested capacity is unobservable.
+pub fn predicted_gain_multidomain<S, M>(
+    metric: InterferenceMetric,
+    weighted: bool,
+    threads: &[&S],
+    ranges: &[std::ops::Range<usize>],
+    incumbent: &M,
+    challenger: &M,
+    include: &dyn Fn(usize) -> bool,
+) -> f64
+where
+    S: SignatureSource + ?Sized,
+    M: CoreAssignment + ?Sized,
+{
+    let dom_of = |core: usize| ranges.iter().position(|r| r.contains(&core)).unwrap_or(0);
+    // Directed interference a -> b, mirroring the flat edge but
+    // domain-gated and locally indexed.
+    let directed = |a: &S, b: &S| -> f64 {
+        let (ca, cb) = (a.last_core().unwrap_or(0), b.last_core().unwrap_or(0));
+        if dom_of(ca) != dom_of(cb) {
+            return 0.0;
+        }
+        let local_b = cb - ranges[dom_of(cb)].start;
+        let mut w = signature_edge(metric, a, local_b);
+        if weighted {
+            w *= a.occupancy();
+        }
+        w
+    };
+    let n = threads.len();
+    let mut total = 0.0;
+    let mut internal_inc = 0.0;
+    let mut internal_cha = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (ti, tj) = (threads[i].tid(), threads[j].tid());
+            if !include(ti) || !include(tj) {
+                continue;
+            }
+            let w = directed(threads[i], threads[j]) + directed(threads[j], threads[i]);
+            total += w;
+            if incumbent.core_of(ti) == incumbent.core_of(tj) {
+                internal_inc += w;
+            }
+            if challenger.core_of(ti) == challenger.core_of(tj) {
+                internal_cha += w;
+            }
+        }
+    }
+    if total <= f64::EPSILON {
+        0.0
+    } else {
+        (internal_cha - internal_inc) / total
+    }
+}
+
+/// Fraction of total pairwise interference `mapping` internalizes
+/// (co-locates onto one core): the MIN-CUT objective as an absolute
+/// score in `[0, 1]`, used to rank reference mappings in the sweep and
+/// to score a what-if placement that has no comparable incumbent.
+pub fn internalized_fraction<S, M>(
+    metric: InterferenceMetric,
+    weighted: bool,
+    threads: &[&S],
+    mapping: &M,
+) -> f64
+where
+    S: SignatureSource + ?Sized,
+    M: CoreAssignment + ?Sized,
+{
+    let n = threads.len();
+    let mut total = 0.0;
+    let mut internal = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = pair_weight(metric, threads[i], threads[j], weighted);
+            total += w;
+            let (ti, tj) = (threads[i].tid(), threads[j].tid());
+            if mapping.core_of(ti) == mapping.core_of(tj) {
+                internal += w;
+            }
+        }
+    }
+    if total <= f64::EPSILON {
+        0.0
+    } else {
+        internal / total
+    }
+}
+
+/// The migration-cost hysteresis gate: a challenger replaces the
+/// incumbent only with real support in the vote window AND a predicted
+/// gain that beats the switch cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hysteresis {
+    /// Minimum window votes a challenger needs.
+    pub min_votes: u32,
+    /// Minimum predicted gain (normalized) worth a migration.
+    pub switch_cost: f64,
+}
+
+impl Hysteresis {
+    /// Whether a challenger with `votes` support and `gain` predicted
+    /// gain clears the gate.
+    #[inline]
+    pub fn should_switch(&self, votes: u32, gain: f64) -> bool {
+        votes >= self.min_votes && gain > self.switch_cost
+    }
+
+    /// Signed margin by which `gain` clears (positive) or misses
+    /// (negative) the switch cost.
+    #[inline]
+    pub fn margin(&self, gain: f64) -> f64 {
+        gain - self.switch_cost
+    }
+}
+
+/// Per-component gain evaluated during a multi-domain splice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentGain {
+    /// Cache domains welded into this component (ascending).
+    pub domains: Vec<usize>,
+    /// Predicted gain of splicing this component's challenger cores in.
+    pub gain: f64,
+    /// Whether the component cleared the hysteresis gate and was
+    /// committed.
+    pub committed: bool,
+}
+
+/// Why one decision went the way it did: the control plane's per-decision
+/// record, attached to `Map` replies behind a flag and streamed by
+/// `loadgen --watch`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Sequence number of the epoch that produced this decision.
+    pub seq: u64,
+    /// Decision reason, as its wire token (`Warmup`, `Held`, `Remap`, …).
+    pub reason: String,
+    /// Votes the window majority held.
+    pub votes: u32,
+    /// Live epochs in the window.
+    pub window: u32,
+    /// Best predicted gain evaluated this epoch (0 when no challenge ran).
+    pub gain: f64,
+    /// The configured switch cost the gain was gated against.
+    pub switch_cost: f64,
+    /// `gain - switch_cost`: how decisively the hysteresis gate resolved.
+    pub margin: f64,
+    /// Per-component gains on multi-domain machines (one flat entry
+    /// otherwise, when a challenge was evaluated).
+    pub components: Vec<ComponentGain>,
+    /// Cache domains whose co-schedule was committed this epoch.
+    pub domains_changed: Vec<usize>,
+}
+
+/// Half-open core ranges of each cache domain, from per-domain core
+/// counts (cumulative sum).
+pub fn domain_ranges(counts: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut ranges = Vec::with_capacity(counts.len());
+    let mut start = 0;
+    for &c in counts {
+        ranges.push(start..start + c);
+        start += c;
+    }
+    ranges
+}
+
+/// Domains holding at least one thread under `mapping`, ascending.
+pub fn occupied_domains<M: CoreAssignment + ?Sized>(mapping: &M, counts: &[usize]) -> Vec<usize> {
+    let ranges = domain_ranges(counts);
+    (0..ranges.len())
+        .filter(|&d| (0..mapping.len()).any(|t| ranges[d].contains(&mapping.core_of(t))))
+        .collect()
+}
+
+/// Tiny union-find (path halving) over domain indices.
+pub fn uf_find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+/// Union the components of `a` and `b` (smaller root wins).
+pub fn uf_union(parent: &mut [usize], a: usize, b: usize) {
+    let (ra, rb) = (uf_find(parent, a), uf_find(parent, b));
+    if ra != rb {
+        parent[rb.max(ra)] = rb.min(ra);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal stand-alone signature source for kernel tests.
+    struct View {
+        tid: usize,
+        occupancy: f64,
+        last_core: Option<usize>,
+        symbiosis: Vec<f64>,
+        overlap: Vec<f64>,
+    }
+
+    impl SignatureSource for View {
+        fn tid(&self) -> usize {
+            self.tid
+        }
+        fn occupancy(&self) -> f64 {
+            self.occupancy
+        }
+        fn last_core(&self) -> Option<usize> {
+            self.last_core
+        }
+        fn interference_with(&self, j: usize) -> f64 {
+            reciprocal_interference(self.symbiosis.get(j).copied().unwrap_or(0.0))
+        }
+        fn contested_with(&self, j: usize) -> f64 {
+            self.overlap.get(j).copied().unwrap_or(0.0)
+        }
+    }
+
+    struct Assign(Vec<usize>);
+
+    impl CoreAssignment for Assign {
+        fn core_of(&self, tid: usize) -> usize {
+            self.0[tid]
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn view(tid: usize, occ: f64, sym: Vec<f64>, core: usize) -> View {
+        let overlap = sym.iter().map(|s| 100.0 - s).collect();
+        View {
+            tid,
+            occupancy: occ,
+            last_core: Some(core),
+            symbiosis: sym,
+            overlap,
+        }
+    }
+
+    #[test]
+    fn reciprocal_clamps_below_one_half() {
+        assert_eq!(reciprocal_interference(0.0), 2.0);
+        assert_eq!(reciprocal_interference(0.49), 2.0);
+        assert_eq!(reciprocal_interference(2.0), 0.5);
+        assert_eq!(reciprocal_interference(8.0), 0.125);
+    }
+
+    #[test]
+    fn missing_edges_match_the_metric() {
+        assert_eq!(missing_edge(InterferenceMetric::ReciprocalSymbiosis), 2.0);
+        assert_eq!(missing_edge(InterferenceMetric::Overlap), 0.0);
+    }
+
+    #[test]
+    fn figure7_pair_weight_consolidates_both_directions() {
+        // Mirrors the allocator's figure7_consolidation test: a → b is
+        // I_a with core 1 = 1/8; b → a is I_b with core 0 = 1/2.
+        let a = view(0, 10.0, vec![4.0, 8.0], 0);
+        let b = view(1, 20.0, vec![2.0, 16.0], 1);
+        let w = pair_weight(InterferenceMetric::ReciprocalSymbiosis, &a, &b, false);
+        assert!((w - (1.0 / 8.0 + 1.0 / 2.0)).abs() < 1e-12);
+        let ww = pair_weight(InterferenceMetric::ReciprocalSymbiosis, &a, &b, true);
+        assert!((ww - (10.0 / 8.0 + 20.0 / 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_prefers_the_mapping_that_internalizes_more() {
+        // Thread 0 clashes with core 1's filter (where thread 1 runs)
+        // and vice versa; threads 2 and 3 are benign everywhere. The
+        // asymmetry matters: a thread hostile to *both* cores scores the
+        // same cut from any balanced placement (the documented
+        // cross-pairing degeneracy).
+        let views = [
+            view(0, 10.0, vec![100.0, 1.0], 0),
+            view(1, 10.0, vec![1.0, 100.0], 1),
+            view(2, 1.0, vec![100.0, 100.0], 0),
+            view(3, 1.0, vec![100.0, 100.0], 1),
+        ];
+        let refs: Vec<&View> = views.iter().collect();
+        let spread = Assign(vec![0, 1, 0, 1]); // hostile pair split
+        let packed = Assign(vec![0, 0, 1, 1]); // hostile pair co-located
+        let gain = predicted_gain(
+            InterferenceMetric::ReciprocalSymbiosis,
+            true,
+            &refs,
+            &spread,
+            &packed,
+        );
+        assert!(gain > 0.0, "co-locating the hostile pair must gain: {gain}");
+        // Symmetry: the reverse comparison is the exact negation.
+        let loss = predicted_gain(
+            InterferenceMetric::ReciprocalSymbiosis,
+            true,
+            &refs,
+            &packed,
+            &spread,
+        );
+        assert!((gain + loss).abs() < 1e-15);
+        // And the absolute scores rank the same way.
+        let f_packed = internalized_fraction(
+            InterferenceMetric::ReciprocalSymbiosis,
+            true,
+            &refs,
+            &packed,
+        );
+        let f_spread = internalized_fraction(
+            InterferenceMetric::ReciprocalSymbiosis,
+            true,
+            &refs,
+            &spread,
+        );
+        assert!(f_packed > f_spread);
+        assert!(((f_packed - f_spread) - gain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_or_degenerate_views_score_zero() {
+        let refs: Vec<&View> = Vec::new();
+        let m = Assign(vec![]);
+        assert_eq!(
+            predicted_gain(InterferenceMetric::Overlap, true, &refs, &m, &m),
+            0.0
+        );
+        assert_eq!(
+            internalized_fraction(InterferenceMetric::Overlap, true, &refs, &m),
+            0.0
+        );
+    }
+
+    #[test]
+    fn multidomain_gates_cross_domain_pairs() {
+        // Two domains of 2 cores each; threads 0/1 in domain 0, 2/3 in
+        // domain 1. Cross-domain pairs contribute nothing.
+        let views = [
+            view(0, 1.0, vec![1.0, 1.0], 0),
+            view(1, 1.0, vec![1.0, 1.0], 1),
+            view(2, 1.0, vec![1.0, 1.0], 2),
+            view(3, 1.0, vec![1.0, 1.0], 3),
+        ];
+        let refs: Vec<&View> = views.iter().collect();
+        let ranges = domain_ranges(&[2, 2]);
+        let inc = Assign(vec![0, 1, 2, 3]);
+        let cha = Assign(vec![0, 0, 2, 3]); // co-locate 0 and 1 in domain 0
+        let include_all = |_tid: usize| true;
+        let g = predicted_gain_multidomain(
+            InterferenceMetric::ReciprocalSymbiosis,
+            false,
+            &refs,
+            &ranges,
+            &inc,
+            &cha,
+            &include_all,
+        );
+        assert!(g > 0.0);
+        // Restricting to the unchanged domain-1 component: no gain.
+        let include_d1 = |tid: usize| tid >= 2;
+        let g1 = predicted_gain_multidomain(
+            InterferenceMetric::ReciprocalSymbiosis,
+            false,
+            &refs,
+            &ranges,
+            &inc,
+            &cha,
+            &include_d1,
+        );
+        assert_eq!(g1, 0.0);
+    }
+
+    #[test]
+    fn hysteresis_gate_and_margin() {
+        let h = Hysteresis {
+            min_votes: 3,
+            switch_cost: 0.02,
+        };
+        assert!(h.should_switch(3, 0.05));
+        assert!(!h.should_switch(2, 0.05), "too few votes");
+        assert!(!h.should_switch(5, 0.02), "gain must strictly beat cost");
+        assert!((h.margin(0.05) - 0.03).abs() < 1e-15);
+        assert!(h.margin(0.01) < 0.0);
+    }
+
+    #[test]
+    fn domain_helpers() {
+        let ranges = domain_ranges(&[2, 4, 2]);
+        assert_eq!(ranges, vec![0..2, 2..6, 6..8]);
+        let m = Assign(vec![0, 7]);
+        assert_eq!(occupied_domains(&m, &[2, 4, 2]), vec![0, 2]);
+        let mut parent = vec![0, 1, 2, 3];
+        uf_union(&mut parent, 2, 3);
+        uf_union(&mut parent, 0, 2);
+        assert_eq!(uf_find(&mut parent, 3), 0);
+        assert_eq!(uf_find(&mut parent, 1), 1);
+    }
+}

@@ -3,8 +3,10 @@
 //! Upstream it speaks the same versioned envelope as `symbiod` (clients
 //! reuse [`WireClient`] unchanged) plus the three fleet verbs
 //! (`Route`/`Assign`/`FleetMetrics`); downstream it proxies
-//! `Ingest`/`IngestBatch`/`Map`/`ExportGroup` to the rendezvous owner
-//! of each group over pooled binary connections.
+//! `Ingest`/`IngestBatch`/`Map`/`ExportGroup`/`WhatIf`/`Explain` to the
+//! rendezvous owner of each group over pooled binary connections.
+//! `Subscribe` is answered with a `backend_verb` error: the decision
+//! stream is served by the owning backend, not relayed.
 //!
 //! Request path for an ingest:
 //!
@@ -380,8 +382,26 @@ fn dispatch(request: Request, encoding: Encoding, shared: &Shared) -> (Response,
             encoding,
             false,
         ),
-        Request::Ingest(_) | Request::Map { .. } | Request::ExportGroup { .. } => {
-            (proxy(request, shared), encoding, false)
+        Request::Ingest(_)
+        | Request::Map { .. }
+        | Request::ExportGroup { .. }
+        | Request::WhatIf(_)
+        | Request::Explain { .. } => (proxy(request, shared), encoding, false),
+        Request::Subscribe => {
+            // The decision stream is per-backend: events originate on the
+            // shard that made the decision, and the coordinator keeps no
+            // long-lived upstream push channel. Resolve the group's owner
+            // (`Route`) and subscribe there directly.
+            Counters::add(&shared.counters.serve_errors, 1);
+            (
+                Response::protocol(
+                    "backend_verb",
+                    "Subscribe is a backend verb; resolve the owner with Route and \
+                     subscribe to that symbiod directly",
+                ),
+                encoding,
+                false,
+            )
         }
         Request::ImportGroup(_) => {
             // Imports are the coordinator's own handoff mechanism; a
@@ -608,7 +628,9 @@ fn group_of(request: &Request) -> &str {
         Request::Ingest(snap) => &snap.group,
         Request::Map { group } => group,
         Request::ExportGroup { group } => group,
-        _ => unreachable!("only ingest/map/export are proxied"),
+        Request::WhatIf(snap) => &snap.group,
+        Request::Explain { group } => group,
+        _ => unreachable!("only ingest/map/export/what-if/explain are proxied"),
     }
 }
 

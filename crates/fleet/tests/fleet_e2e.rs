@@ -430,6 +430,68 @@ fn import_group_is_refused_at_the_coordinator() {
 }
 
 #[test]
+fn what_if_proxies_to_the_owner_and_subscribe_is_refused() {
+    let (_, backends, _, fleet, mut client) = spawn_fleet(2, FleetConfig::default());
+
+    // Seed a group so its owner has epoch-ring state to evaluate.
+    for seq in 0..4u64 {
+        let reply = client
+            .exchange(&Request::Ingest(snapshot("wi/load-0", seq)))
+            .expect("seed ingest");
+        assert!(matches!(reply, Response::Decision(_)), "got {reply:?}");
+    }
+
+    // WhatIf crosses the coordinator to the group's owner and comes back
+    // as a real counterfactual answer — first computed, then (identical
+    // query, no intervening mutation) from the owner's shard memo.
+    let query = Request::WhatIf(snapshot("wi/load-0", 100));
+    match client.exchange(&query).expect("what-if") {
+        Response::WhatIf {
+            group, memo_hit, ..
+        } => {
+            assert_eq!(group, "wi/load-0");
+            assert!(!memo_hit, "first what-if cannot be a memo hit");
+        }
+        other => panic!("expected WhatIf, got {other:?}"),
+    }
+    match client.exchange(&query).expect("what-if repeat") {
+        Response::WhatIf { memo_hit, .. } => {
+            assert!(memo_hit, "identical repeat must hit the owner's memo")
+        }
+        other => panic!("expected WhatIf, got {other:?}"),
+    }
+
+    // Explain proxies the same way; these backends run without
+    // explanation recording, so the answer is an explicit None.
+    match client
+        .exchange(&Request::Explain {
+            group: "wi/load-0".to_string(),
+        })
+        .expect("explain")
+    {
+        Response::Explained { group, explanation } => {
+            assert_eq!(group, "wi/load-0");
+            assert!(explanation.is_none());
+        }
+        other => panic!("expected Explained, got {other:?}"),
+    }
+
+    // Subscribe has no proxy path: the coordinator holds no long-lived
+    // push channel to a backend, so it refuses with `backend_verb`.
+    match client.exchange(&Request::Subscribe).expect("subscribe") {
+        Response::Error {
+            code, retryable, ..
+        } => {
+            assert_eq!(code, "backend_verb");
+            assert!(!retryable);
+        }
+        other => panic!("expected backend_verb, got {other:?}"),
+    }
+
+    shutdown_and_join(&mut client, backends, fleet);
+}
+
+#[test]
 fn restarted_fleetd_replays_the_membership_journal_to_identical_routes() {
     let journal = {
         let mut p = std::env::temp_dir();

@@ -103,6 +103,15 @@ impl Mapping {
     }
 }
 
+impl symbio_eval::CoreAssignment for Mapping {
+    fn core_of(&self, tid: usize) -> usize {
+        Mapping::core_of(self, tid)
+    }
+    fn len(&self) -> usize {
+        Mapping::len(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

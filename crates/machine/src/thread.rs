@@ -196,19 +196,33 @@ pub struct ThreadView {
 
 impl ThreadView {
     /// The paper's interference metric with core `j` (reciprocal smoothed
-    /// symbiosis, clamped like [`SignatureSample::interference_with`]).
+    /// symbiosis, clamped like [`SignatureSample::interference_with`] —
+    /// one shared kernel in `symbio_eval`).
     pub fn interference_with(&self, j: usize) -> f64 {
-        let s = self.symbiosis.get(j).copied().unwrap_or(0.0);
-        if s < 0.5 {
-            2.0
-        } else {
-            1.0 / s
-        }
+        symbio_eval::reciprocal_interference(self.symbiosis.get(j).copied().unwrap_or(0.0))
     }
 
     /// Contested capacity with core `j` (the overlap interference metric).
     pub fn contested_with(&self, j: usize) -> f64 {
         self.overlap.get(j).copied().unwrap_or(0.0)
+    }
+}
+
+impl symbio_eval::SignatureSource for ThreadView {
+    fn tid(&self) -> usize {
+        self.tid
+    }
+    fn occupancy(&self) -> f64 {
+        self.occupancy
+    }
+    fn last_core(&self) -> Option<usize> {
+        self.last_core
+    }
+    fn interference_with(&self, j: usize) -> f64 {
+        ThreadView::interference_with(self, j)
+    }
+    fn contested_with(&self, j: usize) -> f64 {
+        ThreadView::contested_with(self, j)
     }
 }
 

@@ -1,0 +1,80 @@
+//! Differential test for the deduplicated interference kernel: the
+//! hardware's integer-count metric (`symbio_cbf::SignatureSample`), the
+//! monitor's EWMA-smoothed metric (`ThreadView`), and the unified scalar
+//! kernel (`symbio_eval::reciprocal_interference`) must agree on every
+//! input — one definition, three call sites. Before the unification the
+//! clamp lived twice (integer `== 0` in cbf, float `< 0.5` in machine);
+//! the proptest pins that for integer counts the two conditions are the
+//! same predicate, so the shared kernel changes no observable value.
+
+use proptest::prelude::*;
+use symbio_cbf::SignatureSample;
+use symbio_machine::ThreadView;
+
+fn sample(symbiosis: Vec<u32>) -> SignatureSample {
+    SignatureSample {
+        core: 0,
+        occupancy: 8,
+        overlap: vec![0; symbiosis.len()],
+        filter_len: 256,
+        symbiosis,
+    }
+}
+
+fn view(symbiosis: Vec<f64>) -> ThreadView {
+    ThreadView {
+        tid: 0,
+        pid: 0,
+        name: "p0".to_string(),
+        occupancy: 8.0,
+        overlap: vec![0.0; symbiosis.len()],
+        symbiosis,
+        last_occupancy: 8,
+        last_core: Some(0),
+        samples: 1,
+        filter_len: 256,
+        l2_miss_rate: 0.0,
+        l2_misses: 0,
+        retired: 0,
+    }
+}
+
+proptest! {
+    /// Integer hardware counts: the cbf sample, a ThreadView smoothed to
+    /// the same value, and the raw kernel agree bit-for-bit.
+    #[test]
+    fn integer_counts_agree_across_all_three_sites(counts in proptest::collection::vec(0u32..512, 1..8)) {
+        let s = sample(counts.clone());
+        let v = view(counts.iter().map(|&c| f64::from(c)).collect());
+        for (j, &c) in counts.iter().enumerate() {
+            let kernel = symbio_eval::reciprocal_interference(f64::from(c));
+            prop_assert_eq!(s.interference_with(j).to_bits(), kernel.to_bits());
+            prop_assert_eq!(v.interference_with(j).to_bits(), kernel.to_bits());
+            // The clamp fires exactly on zero counts and nowhere else.
+            if c == 0 {
+                prop_assert_eq!(kernel, 2.0);
+            } else {
+                prop_assert_eq!(kernel, 1.0 / f64::from(c));
+            }
+        }
+    }
+
+    /// Smoothed float symbiosis: the ThreadView metric is the kernel,
+    /// with the sub-0.5 region clamped like an exact zero. Quarter-
+    /// resolution values in [0, 512) keep the sub-0.5 clamp region
+    /// populated (0.0 and 0.25 both land below the threshold).
+    #[test]
+    fn smoothed_floats_agree_with_the_kernel(quarters in proptest::collection::vec(0u32..2048, 1..8)) {
+        let vals: Vec<f64> = quarters.iter().map(|&q| f64::from(q) / 4.0).collect();
+        let v = view(vals.clone());
+        for (j, &s) in vals.iter().enumerate() {
+            let kernel = symbio_eval::reciprocal_interference(s);
+            prop_assert_eq!(v.interference_with(j).to_bits(), kernel.to_bits());
+            if s < 0.5 {
+                prop_assert_eq!(kernel, 2.0);
+            }
+        }
+        // Out-of-range cores read as zero symbiosis: the clamp.
+        prop_assert_eq!(v.interference_with(vals.len() + 3), 2.0);
+    }
+}

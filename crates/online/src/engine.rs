@@ -32,8 +32,11 @@ use std::path::Path;
 use std::sync::Arc;
 use symbio::obs::Counters;
 use symbio::Error;
-use symbio_allocator::{AllocationPolicy, InterferenceGraph, InterferenceMetric};
-use symbio_machine::{Mapping, SigSnapshot, ThreadView};
+use symbio_allocator::AllocationPolicy;
+use symbio_eval::{
+    domain_ranges, occupied_domains, uf_find, uf_union, ComponentGain, Explanation, Hysteresis,
+};
+use symbio_machine::{Mapping, SigSnapshot};
 
 /// Why [`OnlineEngine::ingest`] decided what it decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,6 +93,24 @@ pub struct Decision {
     pub domains_changed: Vec<usize>,
 }
 
+/// Outcome of a [`OnlineEngine::what_if`] query: the predicted mapping
+/// and its interference delta, with nothing committed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfAnswer {
+    /// Process group the query was about.
+    pub group: String,
+    /// The mapping the engine predicts for the queried thread set.
+    pub mapping: Mapping,
+    /// Normalized predicted interference gain of the answer over its
+    /// comparison point (the incumbent mapping when the population
+    /// matches, a round-robin baseline otherwise). For a held incumbent
+    /// this is the challenger's sub-threshold gain.
+    pub delta: f64,
+    /// Whether the incumbent was held (the challenger did not clear the
+    /// switch cost, or already agrees with it).
+    pub held: bool,
+}
+
 /// Per-group accumulated state.
 #[derive(Debug)]
 struct GroupState {
@@ -104,6 +125,9 @@ struct GroupState {
     strikes: u32,
     /// `Some(clean_streak)` while quarantined, `None` otherwise.
     quarantine: Option<u32>,
+    /// Why the last decision went the way it did (recorded only when the
+    /// engine runs with explanations enabled; advisory, not journaled).
+    last_explanation: Option<Explanation>,
 }
 
 impl GroupState {
@@ -116,6 +140,7 @@ impl GroupState {
             last_seq: None,
             strikes: 0,
             quarantine: None,
+            last_explanation: None,
         }
     }
 }
@@ -128,6 +153,9 @@ pub struct OnlineEngine {
     groups: HashMap<String, GroupState>,
     counters: Arc<Counters>,
     journal: Option<JournalWriter>,
+    /// Record a per-decision [`Explanation`] alongside each ingest
+    /// (disabled by default: it allocates per epoch on the hot path).
+    explanations: bool,
 }
 
 impl std::fmt::Debug for OnlineEngine {
@@ -154,6 +182,7 @@ impl OnlineEngine {
             groups: HashMap::new(),
             counters: Arc::new(Counters::new()),
             journal: None,
+            explanations: false,
         })
     }
 
@@ -178,6 +207,28 @@ impl OnlineEngine {
     /// detachment).
     pub fn journaling(&self) -> bool {
         self.journal.is_some()
+    }
+
+    /// Record a per-decision [`Explanation`] alongside each ingest,
+    /// retrievable via [`OnlineEngine::explanation`] (the control plane
+    /// attaches it to `Map` replies behind a flag).
+    pub fn with_explanations(mut self, enabled: bool) -> Self {
+        self.explanations = enabled;
+        self
+    }
+
+    /// Whether per-decision explanations are being recorded.
+    pub fn explanations_enabled(&self) -> bool {
+        self.explanations
+    }
+
+    /// Why `group`'s last decision went the way it did (`None` for an
+    /// unknown group, before the first ingest, or when the engine runs
+    /// with explanations disabled).
+    pub fn explanation(&self, group: &str) -> Option<&Explanation> {
+        self.groups
+            .get(group)
+            .and_then(|g| g.last_explanation.as_ref())
     }
 
     /// The counters this engine reports to.
@@ -306,6 +357,7 @@ impl OnlineEngine {
                     last_seq: gr.last_seq,
                     strikes: gr.strikes,
                     quarantine: gr.quarantined.then_some(gr.clean),
+                    last_explanation: None,
                 },
             );
         }
@@ -365,6 +417,7 @@ impl OnlineEngine {
                 last_seq: record.last_seq,
                 strikes: record.strikes,
                 quarantine: record.quarantined.then_some(record.clean),
+                last_explanation: None,
             },
         );
     }
@@ -520,7 +573,12 @@ impl OnlineEngine {
         };
 
         let domains = snap.domain_counts();
+        let hyst = Hysteresis {
+            min_votes: cfg.min_votes,
+            switch_cost: cfg.switch_cost,
+        };
         let mut domains_changed: Vec<usize> = Vec::new();
+        let mut components: Vec<ComponentGain> = Vec::new();
         let (changed, reason, gain) = match &state.current {
             None => {
                 if votes >= cfg.min_votes {
@@ -541,8 +599,20 @@ impl OnlineEngine {
                     // Migration-cost hysteresis: remap only when the
                     // challenger has real support in the window AND its
                     // predicted symbiosis gain beats the switch cost.
-                    let gain = predicted_gain(&cfg, &threads, current, &candidate);
-                    if votes >= cfg.min_votes && gain > cfg.switch_cost {
+                    let gain = symbio_eval::predicted_gain(
+                        cfg.gain_metric,
+                        cfg.weighted_gain,
+                        &threads,
+                        current,
+                        &candidate,
+                    );
+                    let committed = hyst.should_switch(votes, gain);
+                    components.push(ComponentGain {
+                        domains: vec![0],
+                        gain,
+                        committed,
+                    });
+                    if committed {
                         state.current = Some(candidate);
                         state.remaps += 1;
                         Counters::add(&self.counters.online_remaps, 1);
@@ -585,24 +655,36 @@ impl OnlineEngine {
                     }
                     let root: Vec<usize> =
                         (0..ranges.len()).map(|d| uf_find(&mut parent, d)).collect();
-                    let mut components: Vec<(usize, Vec<usize>)> = Vec::new();
+                    let mut welded: Vec<(usize, Vec<usize>)> = Vec::new();
                     for &d in &changed_domains {
-                        match components.iter_mut().find(|(r, _)| *r == root[d]) {
+                        match welded.iter_mut().find(|(r, _)| *r == root[d]) {
                             Some((_, doms)) => doms.push(d),
-                            None => components.push((root[d], vec![d])),
+                            None => welded.push((root[d], vec![d])),
                         }
                     }
                     let mut spliced: Vec<usize> =
                         (0..current.len()).map(|t| current.core_of(t)).collect();
                     let mut best_gain: f64 = 0.0;
-                    for (comp_root, doms) in components {
+                    for (comp_root, doms) in welded {
                         let include =
                             |tid: usize| root[dom_of(candidate.core_of(tid))] == comp_root;
-                        let gain = predicted_gain_multidomain(
-                            &cfg, &threads, &ranges, current, &candidate, &include,
+                        let gain = symbio_eval::predicted_gain_multidomain(
+                            cfg.gain_metric,
+                            cfg.weighted_gain,
+                            &threads,
+                            &ranges,
+                            current,
+                            &candidate,
+                            &include,
                         );
                         best_gain = best_gain.max(gain);
-                        if votes >= cfg.min_votes && gain > cfg.switch_cost {
+                        let committed = hyst.should_switch(votes, gain);
+                        components.push(ComponentGain {
+                            domains: doms.clone(),
+                            gain,
+                            committed,
+                        });
+                        if committed {
                             for (tid, c) in spliced.iter_mut().enumerate() {
                                 if include(tid) {
                                     *c = candidate.core_of(tid);
@@ -638,6 +720,20 @@ impl OnlineEngine {
             window,
             domains_changed,
         };
+        if self.explanations {
+            state.last_explanation = Some(Explanation {
+                seq: snap.seq,
+                reason: format!("{reason:?}"),
+                votes,
+                window,
+                gain,
+                switch_cost: cfg.switch_cost,
+                margin: hyst.margin(gain),
+                components,
+                domains_changed: decision.domains_changed.clone(),
+            });
+            Counters::add(&self.counters.explanations_emitted, 1);
+        }
         records.push(JournalRecord::Epoch {
             group: snap.group.clone(),
             seq: snap.seq,
@@ -650,6 +746,93 @@ impl OnlineEngine {
         });
         self.log(&records);
         Ok(decision)
+    }
+
+    /// Answer a what-if query: "given this snapshot (possibly carrying
+    /// extra threads that are not in the live stream), what mapping would
+    /// the engine predict, and how much interference does it buy?" —
+    /// *without committing anything*.
+    ///
+    /// Unlike [`OnlineEngine::ingest`] this touches no group state: no
+    /// vote is tallied, no sequence number acknowledged, no strike or
+    /// quarantine transition taken, and nothing is journaled. The one
+    /// caveat is the allocation policy itself: a stateful policy (e.g.
+    /// pairwise attribution) folds every invocation into its own
+    /// estimates, exactly as the offline profiling loop's re-invocations
+    /// do — the engine's recoverable state is untouched either way.
+    ///
+    /// Semantics:
+    ///
+    /// * the snapshot describes the group's current thread population and
+    ///   an incumbent mapping exists → the challenger is gated by the
+    ///   same hysteresis margin `ingest` would apply: the answer is the
+    ///   incumbent (delta = the challenger's sub-threshold gain) or the
+    ///   challenger (delta = its winning gain). A stable stream therefore
+    ///   gets back exactly the mapping `Map` serves.
+    /// * the population differs (the "K extra threads" case) or the group
+    ///   is unknown/warming up → the answer is the policy's fresh
+    ///   placement, scored against a round-robin baseline (the default
+    ///   schedule the threads would otherwise start under). On
+    ///   multi-domain machines this flat score is advisory.
+    pub fn what_if(&mut self, snap: &SigSnapshot) -> symbio::Result<WhatIfAnswer> {
+        if let Err(msg) = snap.validate() {
+            return Err(Error::Validation(msg));
+        }
+        let cfg = self.cfg;
+        let vote = self.policy.allocate(&snap.procs, snap.cores);
+        let threads = snap.threads();
+        let incumbent = self
+            .groups
+            .get(&snap.group)
+            .and_then(|g| g.current.as_ref());
+        if let Some(cur) = incumbent {
+            if cur.len() == vote.len() {
+                if vote.partition_key(snap.cores) == cur.partition_key(snap.cores) {
+                    return Ok(WhatIfAnswer {
+                        group: snap.group.clone(),
+                        mapping: cur.clone(),
+                        delta: 0.0,
+                        held: true,
+                    });
+                }
+                let gain = symbio_eval::predicted_gain(
+                    cfg.gain_metric,
+                    cfg.weighted_gain,
+                    &threads,
+                    cur,
+                    &vote,
+                );
+                return Ok(if gain > cfg.switch_cost {
+                    WhatIfAnswer {
+                        group: snap.group.clone(),
+                        mapping: vote,
+                        delta: gain,
+                        held: false,
+                    }
+                } else {
+                    WhatIfAnswer {
+                        group: snap.group.clone(),
+                        mapping: cur.clone(),
+                        delta: gain,
+                        held: true,
+                    }
+                });
+            }
+        }
+        let baseline = Mapping::round_robin(vote.len(), snap.cores);
+        let delta = symbio_eval::predicted_gain(
+            cfg.gain_metric,
+            cfg.weighted_gain,
+            &threads,
+            &baseline,
+            &vote,
+        );
+        Ok(WhatIfAnswer {
+            group: snap.group.clone(),
+            mapping: vote,
+            delta,
+            held: false,
+        })
     }
 
     /// Record an invalid snapshot against `group`: one strike (or a
@@ -727,140 +910,6 @@ impl OnlineEngine {
     }
 }
 
-/// Normalized predicted gain of `challenger` over `incumbent` on the
-/// current views: the fraction of total pairwise interference each
-/// mapping *internalizes* (co-locates onto one core, where time-slicing
-/// neutralizes it — the MIN-CUT objective the allocators maximize),
-/// differenced. Positive means the challenger co-locates more of the
-/// destructive pairs; a remap is worth its cost only when this exceeds
-/// [`OnlineConfig::switch_cost`].
-fn predicted_gain(
-    cfg: &OnlineConfig,
-    threads: &[&ThreadView],
-    incumbent: &Mapping,
-    challenger: &Mapping,
-) -> f64 {
-    let graph = if cfg.weighted_gain {
-        InterferenceGraph::weighted(threads, cfg.gain_metric)
-    } else {
-        InterferenceGraph::unweighted(threads, cfg.gain_metric)
-    };
-    let n = graph.len();
-    let mut total = 0.0;
-    let mut internal_inc = 0.0;
-    let mut internal_cha = 0.0;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let w = graph.weights().get(i, j);
-            total += w;
-            let (ti, tj) = (graph.tid_of(i), graph.tid_of(j));
-            if incumbent.core_of(ti) == incumbent.core_of(tj) {
-                internal_inc += w;
-            }
-            if challenger.core_of(ti) == challenger.core_of(tj) {
-                internal_cha += w;
-            }
-        }
-    }
-    if total <= f64::EPSILON {
-        0.0
-    } else {
-        (internal_cha - internal_inc) / total
-    }
-}
-
-/// [`predicted_gain`] for one union-find component of a multi-domain
-/// machine. Two differences from the flat version: only pairs where
-/// *both* tids satisfy `include` contribute (cross-component pairs are
-/// never co-located under either mapping, so nothing is lost), and pair
-/// weight is measured only when both last cores share a cache domain,
-/// indexed by the *domain-local* core label — signature vectors are
-/// domain-local, so cross-domain contested capacity is unobservable.
-fn predicted_gain_multidomain(
-    cfg: &OnlineConfig,
-    threads: &[&ThreadView],
-    ranges: &[std::ops::Range<usize>],
-    incumbent: &Mapping,
-    challenger: &Mapping,
-    include: &dyn Fn(usize) -> bool,
-) -> f64 {
-    let dom_of = |core: usize| ranges.iter().position(|r| r.contains(&core)).unwrap_or(0);
-    // Directed interference a -> b, mirroring `InterferenceGraph::build`
-    // but domain-gated and locally indexed.
-    let directed = |a: &ThreadView, b: &ThreadView| -> f64 {
-        let (ca, cb) = (a.last_core.unwrap_or(0), b.last_core.unwrap_or(0));
-        if dom_of(ca) != dom_of(cb) {
-            return 0.0;
-        }
-        let local_b = cb - ranges[dom_of(cb)].start;
-        let mut w = match cfg.gain_metric {
-            InterferenceMetric::ReciprocalSymbiosis => a.interference_with(local_b),
-            InterferenceMetric::Overlap => a.contested_with(local_b),
-        };
-        if cfg.weighted_gain {
-            w *= a.occupancy;
-        }
-        w
-    };
-    let n = threads.len();
-    let mut total = 0.0;
-    let mut internal_inc = 0.0;
-    let mut internal_cha = 0.0;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let (ti, tj) = (threads[i].tid, threads[j].tid);
-            if !include(ti) || !include(tj) {
-                continue;
-            }
-            let w = directed(threads[i], threads[j]) + directed(threads[j], threads[i]);
-            total += w;
-            if incumbent.core_of(ti) == incumbent.core_of(tj) {
-                internal_inc += w;
-            }
-            if challenger.core_of(ti) == challenger.core_of(tj) {
-                internal_cha += w;
-            }
-        }
-    }
-    if total <= f64::EPSILON {
-        0.0
-    } else {
-        (internal_cha - internal_inc) / total
-    }
-}
-
-/// Half-open core ranges of each cache domain, from per-domain core
-/// counts (cumulative sum).
-fn domain_ranges(counts: &[usize]) -> Vec<std::ops::Range<usize>> {
-    let mut ranges = Vec::with_capacity(counts.len());
-    let mut start = 0;
-    for &c in counts {
-        ranges.push(start..start + c);
-        start += c;
-    }
-    ranges
-}
-
-/// Domains holding at least one thread under `mapping`, ascending.
-fn occupied_domains(mapping: &Mapping, counts: &[usize]) -> Vec<usize> {
-    let ranges = domain_ranges(counts);
-    (0..ranges.len())
-        .filter(|&d| (0..mapping.len()).any(|t| ranges[d].contains(&mapping.core_of(t))))
-        .collect()
-}
-
-/// Tiny union-find (path halving) over domain indices.
-fn uf_find(parent: &mut [usize], mut x: usize) -> usize {
-    while parent[x] != x {
-        parent[x] = parent[parent[x]];
-        x = parent[x];
-    }
-    x
-}
-
-fn uf_union(parent: &mut [usize], a: usize, b: usize) {
-    let (ra, rb) = (uf_find(parent, a), uf_find(parent, b));
-    if ra != rb {
-        parent[rb.max(ra)] = rb.min(ra);
-    }
-}
+// The interference/gain model itself lives in `symbio-eval` (the unified
+// evaluation engine shared with the offline sweep and the allocators);
+// this module only drives it with windowed votes and hysteresis.

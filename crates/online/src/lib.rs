@@ -43,6 +43,10 @@ pub mod journal;
 pub mod ring;
 
 pub use config::OnlineConfig;
-pub use engine::{Decision, DecisionReason, OnlineEngine};
+pub use engine::{Decision, DecisionReason, OnlineEngine, WhatIfAnswer};
 pub use journal::{EngineState, EpochRecord, GroupRecord, JournalRecord, JournalWriter, Recovery};
 pub use ring::{Epoch, EpochRing, PartitionKey};
+// The model itself lives in the unified evaluation engine; re-export the
+// pieces the control plane surfaces so `symbio-serve` needs no direct
+// `symbio-eval` dependency for its wire types.
+pub use symbio_eval::{ComponentGain, Explanation};

@@ -1,0 +1,262 @@
+//! Differential proof that the unified evaluator reproduces the online
+//! engine's deleted inline gain implementation bit-for-bit.
+//!
+//! The deleted code built an [`InterferenceGraph`] (whose `SymMatrix`
+//! cell for `i < j` accumulates `(0.0 + w_ij) + w_ji` in that order) and
+//! summed internalized weight over `i < j` pairs. The references here
+//! rebuild exactly that arithmetic through the graph/matrix path the
+//! allocator still owns, on arbitrary generated epoch states over 1, 2
+//! and 4 cache domains, and demand `==` (not approximate) agreement
+//! with `symbio_eval::predicted_gain` / `predicted_gain_multidomain`.
+
+use proptest::prelude::*;
+use symbio_allocator::{InterferenceGraph, SymMatrix};
+use symbio_eval::InterferenceMetric;
+use symbio_machine::{Mapping, ThreadView};
+
+/// The deleted flat implementation: graph-built pair weights, `i < j`
+/// accumulation order preserved verbatim.
+fn reference_gain(
+    metric: InterferenceMetric,
+    weighted: bool,
+    threads: &[&ThreadView],
+    incumbent: &Mapping,
+    challenger: &Mapping,
+) -> f64 {
+    let graph = if weighted {
+        InterferenceGraph::weighted(threads, metric)
+    } else {
+        InterferenceGraph::unweighted(threads, metric)
+    };
+    let n = graph.len();
+    let mut total = 0.0;
+    let mut internal_inc = 0.0;
+    let mut internal_cha = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = graph.weights().get(i, j);
+            total += w;
+            let (ti, tj) = (graph.tid_of(i), graph.tid_of(j));
+            if incumbent.core_of(ti) == incumbent.core_of(tj) {
+                internal_inc += w;
+            }
+            if challenger.core_of(ti) == challenger.core_of(tj) {
+                internal_cha += w;
+            }
+        }
+    }
+    if total <= f64::EPSILON {
+        0.0
+    } else {
+        (internal_cha - internal_inc) / total
+    }
+}
+
+/// The deleted multi-domain implementation: directed edges gated to
+/// same-domain pairs and indexed by the domain-local core label,
+/// accumulated through the same `SymMatrix` the graph used.
+#[allow(clippy::too_many_arguments)] // mirrors the deleted signature
+fn reference_gain_multidomain(
+    metric: InterferenceMetric,
+    weighted: bool,
+    threads: &[&ThreadView],
+    ranges: &[std::ops::Range<usize>],
+    incumbent: &Mapping,
+    challenger: &Mapping,
+    include: &dyn Fn(usize) -> bool,
+) -> f64 {
+    let dom_of = |core: usize| ranges.iter().position(|r| r.contains(&core)).unwrap_or(0);
+    let n = threads.len();
+    let mut weights = SymMatrix::new(n);
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (ca, cb) = (
+                threads[a].last_core.unwrap_or(0),
+                threads[b].last_core.unwrap_or(0),
+            );
+            if dom_of(ca) != dom_of(cb) {
+                continue;
+            }
+            let local_b = cb - ranges[dom_of(cb)].start;
+            let mut w = match metric {
+                InterferenceMetric::ReciprocalSymbiosis => threads[a].interference_with(local_b),
+                InterferenceMetric::Overlap => threads[a].contested_with(local_b),
+            };
+            if weighted {
+                w *= threads[a].occupancy;
+            }
+            weights.add(a, b, w);
+        }
+    }
+    let mut total = 0.0;
+    let mut internal_inc = 0.0;
+    let mut internal_cha = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (ti, tj) = (threads[i].tid, threads[j].tid);
+            if !include(ti) || !include(tj) {
+                continue;
+            }
+            let w = weights.get(i, j);
+            total += w;
+            if incumbent.core_of(ti) == incumbent.core_of(tj) {
+                internal_inc += w;
+            }
+            if challenger.core_of(ti) == challenger.core_of(tj) {
+                internal_cha += w;
+            }
+        }
+    }
+    if total <= f64::EPSILON {
+        0.0
+    } else {
+        (internal_cha - internal_inc) / total
+    }
+}
+
+/// One generated epoch state: `n` threads over `cores` cores with
+/// seeded occupancies, per-core signature vectors and last cores, plus
+/// two random mappings to difference.
+#[derive(Debug, Clone)]
+struct Case {
+    views: Vec<ThreadView>,
+    incumbent: Mapping,
+    challenger: Mapping,
+    /// Per-domain core counts (sums to `cores`).
+    domains: Vec<usize>,
+}
+
+/// Fan one harness-drawn seed out into a full case (the vendored
+/// proptest has no composite strategies).
+fn make_case(n: usize, seed: u64, domains: Vec<usize>) -> Case {
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        /// Quarter-resolution values in [0, 250): includes sub-0.5
+        /// symbiosis (the clamp region) and zero overlaps.
+        fn fr(&mut self) -> f64 {
+            (self.next() % 1_000) as f64 / 4.0
+        }
+    }
+    let cores: usize = domains.iter().sum();
+    let mut rng = Rng(seed | 1);
+    let views: Vec<ThreadView> = (0..n)
+        .map(|tid| {
+            let symbiosis: Vec<f64> = (0..cores).map(|_| rng.fr()).collect();
+            let overlap: Vec<f64> = (0..cores).map(|_| rng.fr()).collect();
+            let occupancy = rng.fr();
+            ThreadView {
+                tid,
+                pid: tid,
+                name: format!("p{tid}"),
+                occupancy,
+                symbiosis,
+                overlap,
+                last_occupancy: occupancy as u32,
+                last_core: if rng.next().is_multiple_of(8) {
+                    None
+                } else {
+                    Some(rng.next() as usize % cores)
+                },
+                samples: 3,
+                filter_len: 256,
+                l2_miss_rate: 0.1,
+                l2_misses: 100,
+                retired: 1000,
+            }
+        })
+        .collect();
+    let incumbent = Mapping::new((0..n).map(|_| rng.next() as usize % cores).collect());
+    let challenger = Mapping::new((0..n).map(|_| rng.next() as usize % cores).collect());
+    Case {
+        views,
+        incumbent,
+        challenger,
+        domains,
+    }
+}
+
+fn check_case(case: &Case, metric: InterferenceMetric, weighted: bool) {
+    let refs: Vec<&ThreadView> = case.views.iter().collect();
+    let got =
+        symbio_eval::predicted_gain(metric, weighted, &refs, &case.incumbent, &case.challenger);
+    let want = reference_gain(metric, weighted, &refs, &case.incumbent, &case.challenger);
+    assert_eq!(got.to_bits(), want.to_bits(), "flat gain diverged");
+
+    let ranges = symbio_eval::domain_ranges(&case.domains);
+    // Exercise both the all-threads component and an even/odd split (a
+    // stand-in for arbitrary union-find components).
+    for include in [
+        &(|_t: usize| true) as &dyn Fn(usize) -> bool,
+        &(|t: usize| t.is_multiple_of(2)),
+    ] {
+        let got = symbio_eval::predicted_gain_multidomain(
+            metric,
+            weighted,
+            &refs,
+            &ranges,
+            &case.incumbent,
+            &case.challenger,
+            include,
+        );
+        let want = reference_gain_multidomain(
+            metric,
+            weighted,
+            &refs,
+            &ranges,
+            &case.incumbent,
+            &case.challenger,
+            include,
+        );
+        assert_eq!(got.to_bits(), want.to_bits(), "multidomain gain diverged");
+    }
+}
+
+proptest! {
+    #[test]
+    fn unified_gain_matches_the_deleted_graph_impl_one_domain(
+        n in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let case = make_case(n, seed, vec![2]);
+        for metric in [InterferenceMetric::ReciprocalSymbiosis, InterferenceMetric::Overlap] {
+            for weighted in [false, true] {
+                check_case(&case, metric, weighted);
+            }
+        }
+    }
+
+    #[test]
+    fn unified_gain_matches_the_deleted_graph_impl_two_domains(
+        n in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let case = make_case(n, seed, vec![2, 2]);
+        for metric in [InterferenceMetric::ReciprocalSymbiosis, InterferenceMetric::Overlap] {
+            for weighted in [false, true] {
+                check_case(&case, metric, weighted);
+            }
+        }
+    }
+
+    #[test]
+    fn unified_gain_matches_the_deleted_graph_impl_four_domains(
+        n in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let case = make_case(n, seed, vec![2, 1, 2, 1]);
+        for metric in [InterferenceMetric::ReciprocalSymbiosis, InterferenceMetric::Overlap] {
+            for weighted in [false, true] {
+                check_case(&case, metric, weighted);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! `OnlineEngine::what_if` contract tests: on a stable stream the
+//! counterfactual returns exactly the mapping `Map` serves, an unknown
+//! group gets a fresh placement without any group state being created,
+//! and a stream interleaved with what-if queries stays decision-for-
+//! decision identical to one that never saw them (read-only proof at
+//! the engine level; the daemon-level proof is journal byte-identity).
+
+use symbio_allocator::WeightSortPolicy;
+use symbio_machine::SigSnapshot;
+use symbio_online::{OnlineConfig, OnlineEngine};
+
+fn thread_view(tid: usize, occ: f64, overlap: [f64; 2]) -> symbio_machine::ThreadView {
+    symbio_machine::ThreadView {
+        tid,
+        pid: tid,
+        name: format!("p{tid}"),
+        occupancy: occ,
+        symbiosis: vec![50.0, 50.0],
+        overlap: overlap.to_vec(),
+        last_occupancy: occ as u32,
+        last_core: Some(tid % 2),
+        samples: 3,
+        filter_len: 256,
+        l2_miss_rate: 0.1,
+        l2_misses: 100,
+        retired: 1000,
+    }
+}
+
+fn synth_snap(group: &str, seq: u64, occ: [f64; 4], overlaps: [[f64; 2]; 4]) -> SigSnapshot {
+    SigSnapshot {
+        group: group.to_string(),
+        seq,
+        now_cycles: seq * 5_000_000,
+        cores: 2,
+        domains: vec![2],
+        procs: (0..4)
+            .map(|pid| symbio_machine::ProcView {
+                pid,
+                name: format!("p{pid}"),
+                threads: vec![thread_view(pid, occ[pid], overlaps[pid])],
+            })
+            .collect(),
+    }
+}
+
+/// Overlaps that make co-locating {0,1} and {2,3} internalize the most
+/// interference (threads sit on cores tid%2).
+const PAIR_01_23: [[f64; 2]; 4] = [[0.0, 10.0], [10.0, 0.0], [0.0, 10.0], [10.0, 0.0]];
+/// Overlaps that make co-locating {0,2} and {1,3} the best grouping.
+const PAIR_02_13: [[f64; 2]; 4] = [[10.0, 0.0], [0.0, 10.0], [10.0, 0.0], [0.0, 10.0]];
+
+const OCC_A: [f64; 4] = [40.0, 30.0, 20.0, 10.0];
+const OCC_B: [f64; 4] = [40.0, 20.0, 30.0, 10.0];
+
+fn engine() -> OnlineEngine {
+    OnlineEngine::new(Box::new(WeightSortPolicy), OnlineConfig::default()).expect("engine")
+}
+
+#[test]
+fn stable_stream_what_if_returns_exactly_what_map_serves() {
+    let mut engine = engine();
+    for seq in 0..12u64 {
+        engine
+            .ingest(&synth_snap("g", seq, OCC_A, PAIR_01_23))
+            .expect("ingest");
+    }
+    let committed = engine
+        .mapping("g")
+        .expect("a stable stream commits a mapping")
+        .clone();
+    let epochs = engine.epochs("g");
+    let remaps = engine.remaps("g");
+
+    // The counterfactual for the same population: held, and the answer
+    // is bit-for-bit the mapping `Map` would serve.
+    let answer = engine
+        .what_if(&synth_snap("g", 100, OCC_A, PAIR_01_23))
+        .expect("what-if");
+    assert!(answer.held, "a stable stream must hold");
+    assert_eq!(answer.mapping, committed);
+    assert_eq!(answer.group, "g");
+
+    // And asking changed nothing the group state exposes.
+    assert_eq!(engine.epochs("g"), epochs);
+    assert_eq!(engine.remaps("g"), remaps);
+    assert_eq!(engine.mapping("g"), Some(&committed));
+}
+
+#[test]
+fn unknown_group_gets_a_fresh_placement_and_no_state() {
+    let mut engine = engine();
+    let answer = engine
+        .what_if(&synth_snap("never-seen", 0, OCC_A, PAIR_01_23))
+        .expect("what-if");
+    assert!(!answer.held, "no incumbent exists to hold");
+    assert_eq!(answer.mapping.len(), 4);
+    // The query created no group: `Map` still has nothing to serve.
+    assert_eq!(engine.epochs("never-seen"), 0);
+    assert!(engine.mapping("never-seen").is_none());
+}
+
+#[test]
+fn invalid_snapshots_are_rejected_without_a_strike() {
+    let mut engine = engine();
+    let mut bad = synth_snap("g", 0, OCC_A, PAIR_01_23);
+    bad.cores = 0;
+    assert!(engine.what_if(&bad).is_err());
+    // Unlike `ingest`, the rejection records no strike: the next clean
+    // epoch is a plain warmup, not a quarantined reply.
+    let d = engine
+        .ingest(&synth_snap("g", 0, OCC_A, PAIR_01_23))
+        .expect("clean ingest after what-if rejection");
+    assert_eq!(d.reason, symbio_online::DecisionReason::Warmup);
+}
+
+#[test]
+fn interleaved_what_ifs_leave_the_decision_stream_bit_identical() {
+    let mut plain = engine();
+    let mut probed = engine();
+    for seq in 0..24u64 {
+        // Shift the workload mid-stream so remap activity (votes,
+        // hysteresis, committed mappings) is actually exercised.
+        let (occ, pair) = if seq < 12 {
+            (OCC_A, PAIR_01_23)
+        } else {
+            (OCC_B, PAIR_02_13)
+        };
+        let snap = synth_snap("g", seq, occ, pair);
+        // The probed engine answers counterfactuals before every ingest —
+        // including for populations that differ from the live stream.
+        probed
+            .what_if(&synth_snap("g", 1_000 + seq, OCC_B, PAIR_02_13))
+            .expect("what-if");
+        probed
+            .what_if(&synth_snap("elsewhere", seq, occ, pair))
+            .expect("what-if");
+        let a = plain.ingest(&snap).expect("plain ingest");
+        let b = probed.ingest(&snap).expect("probed ingest");
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "decision diverged at seq {seq}"
+        );
+    }
+    assert_eq!(plain.mapping("g"), probed.mapping("g"));
+    assert_eq!(plain.epochs("g"), probed.epochs("g"));
+    assert_eq!(plain.remaps("g"), probed.remaps("g"));
+}

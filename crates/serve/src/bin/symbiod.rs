@@ -4,8 +4,14 @@
 //! symbiod [--addr 127.0.0.1:7411] [--workers 4] [--backlog 64]
 //!         [--deadline-ms 5000] [--policy weight-sort] [--window 8]
 //!         [--journal PATH] [--snapshot-every N]
-//!         [--shards 1] [--encoding both] [--batch-max 64]
+//!         [--shards 1] [--encoding both] [--batch-max 64] [--explain]
 //! ```
+//!
+//! `--explain` records a per-decision [`symbio_online::Explanation`]
+//! (votes, per-component gain, hysteresis margin, domains touched) for
+//! every ingested epoch, served via the `Explain` wire verb. Off by
+//! default: the record costs an allocation per decision on the ingest
+//! hot path.
 //!
 //! With `--journal`, every engine state transition is appended
 //! (checksummed, flushed) to `PATH` before the decision is acknowledged,
@@ -63,6 +69,7 @@ fn main() -> symbio::Result<()> {
     let mut shards: usize = 1;
     let mut batch_max: usize = symbio_serve::proto::DEFAULT_BATCH_MAX;
     let mut encodings = vec![Encoding::JsonLines, Encoding::Binary];
+    let mut explain = false;
 
     let bad = |flag: &str, v: &str| Error::InvalidConfig(format!("bad value `{v}` for {flag}"));
     let mut args = std::env::args().skip(1);
@@ -108,6 +115,7 @@ fn main() -> symbio::Result<()> {
                 let v = value()?;
                 batch_max = v.parse().map_err(|_| bad("--batch-max", &v))?;
             }
+            "--explain" => explain = true,
             "--encoding" => {
                 let v = value()?;
                 encodings = match v.as_str() {
@@ -136,7 +144,8 @@ fn main() -> symbio::Result<()> {
     let mut engines = Vec::with_capacity(shards);
     let mut ledger = None;
     for k in 0..shards {
-        let mut engine = OnlineEngine::new(policy_by_name(&policy_name)?, online_cfg)?;
+        let mut engine = OnlineEngine::new(policy_by_name(&policy_name)?, online_cfg)?
+            .with_explanations(explain);
         match &ledger {
             Some(counters) => engine = engine.with_counters(std::sync::Arc::clone(counters)),
             None => ledger = Some(std::sync::Arc::clone(engine.counters())),

@@ -50,7 +50,7 @@ use symbio::obs::CounterSnapshot;
 use symbio::Error;
 use symbio_machine::{Mapping, SigSnapshot};
 use symbio_online::journal::GroupRecord;
-use symbio_online::Decision;
+use symbio_online::{Decision, Explanation};
 
 pub use v1::{read_frame, write_frame, V1Codec};
 pub use v2::V2Codec;
@@ -293,6 +293,32 @@ pub enum Request {
     /// already holds for the group (the exporter's view wins). Answered
     /// with [`Response::Ok`].
     ImportGroup(GroupRecord),
+    /// Control-plane verb: evaluate this snapshot against the group's
+    /// current engine state **without mutating it** — no epoch is
+    /// tallied, no vote is recorded, no journal frame is written. The
+    /// shard answers [`Response::WhatIf`] with the mapping the engine
+    /// *would* serve and the predicted gain over the incumbent.
+    /// Answers are memoized per shard (identical snapshot bytes hit the
+    /// memo; see `memo_hit` in the reply). A fleet coordinator proxies
+    /// this to the group's owning backend.
+    WhatIf(SigSnapshot),
+    /// Control-plane verb: subscribe this connection to the decision
+    /// stream. Acknowledged with [`Response::Ok`]; afterwards the daemon
+    /// pushes one [`Response::Event`] per committed `Ingest` decision on
+    /// any shard, interleaved with this connection's own replies. Event
+    /// delivery is lossy under backpressure (a full completion ring
+    /// drops the event rather than stalling the shard). A fleet
+    /// coordinator answers this with a `backend_verb` error — subscribe
+    /// to the owning backend directly.
+    Subscribe,
+    /// Control-plane verb: fetch the [`Explanation`] attached to the
+    /// group's most recent decision. Answered with
+    /// [`Response::Explained`] (`explanation: None` when the daemon was
+    /// started without `--explain` or the group has no decision yet).
+    Explain {
+        /// Process-group identifier, as carried by its snapshots.
+        group: String,
+    },
 }
 
 /// A daemon→client frame (identical meaning in every encoding).
@@ -374,6 +400,45 @@ pub enum Response {
         /// quarantine). Carried inline — the vendored serde has no
         /// `Box<T>` impls to derive through.
         record: Option<GroupRecord>,
+    },
+    /// Reply to [`Request::WhatIf`]: the counterfactual outcome, built
+    /// from the same evaluation engine a real `Ingest` would use but
+    /// with the engine state left untouched.
+    WhatIf {
+        /// Echo of the snapshot's group.
+        group: String,
+        /// The mapping the engine would serve for this snapshot.
+        mapping: Mapping,
+        /// Predicted relative gain of `mapping` over the incumbent
+        /// (0 when the vote matches the committed mapping).
+        delta: f64,
+        /// Whether hysteresis would hold the incumbent (`true`: the
+        /// returned mapping *is* the incumbent).
+        held: bool,
+        /// Whether this answer came from the shard's what-if memo
+        /// rather than a fresh evaluation.
+        memo_hit: bool,
+    },
+    /// A pushed decision event for [`Request::Subscribe`] watchers: the
+    /// committed decision plus the group's running counters at the time
+    /// it was made. Unsolicited (no request serial) and lossy under
+    /// backpressure.
+    Event {
+        /// The decision as the ingesting client saw it.
+        decision: Decision,
+        /// Epochs ingested for the group, after this decision.
+        epochs: u64,
+        /// Remaps committed for the group, after this decision.
+        remaps: u64,
+    },
+    /// Reply to [`Request::Explain`]: the group's most recent
+    /// per-decision explanation, when explanation recording is enabled.
+    Explained {
+        /// Echo of the queried group.
+        group: String,
+        /// The explanation (`None`: explanations disabled, unknown
+        /// group, or no decision yet).
+        explanation: Option<Explanation>,
     },
     /// Structured failure reply; the connection stays usable.
     Error {

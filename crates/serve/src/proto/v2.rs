@@ -33,7 +33,7 @@ use symbio::obs::CounterSnapshot;
 use symbio::Error;
 use symbio_machine::{Mapping, ProcView, SigSnapshot, ThreadView};
 use symbio_online::journal::{EpochRecord, GroupRecord};
-use symbio_online::{Decision, DecisionReason};
+use symbio_online::{ComponentGain, Decision, DecisionReason, Explanation};
 
 /// Hard cap on one frame's payload bytes (framing error past this — the
 /// stream cannot be trusted to resynchronize).
@@ -51,6 +51,9 @@ const REQ_ASSIGN: u8 = 8;
 const REQ_FLEET_METRICS: u8 = 9;
 const REQ_EXPORT_GROUP: u8 = 10;
 const REQ_IMPORT_GROUP: u8 = 11;
+const REQ_WHAT_IF: u8 = 12;
+const REQ_SUBSCRIBE: u8 = 13;
+const REQ_EXPLAIN: u8 = 14;
 
 // Response payload tags.
 const RSP_WELCOME: u8 = 1;
@@ -66,6 +69,9 @@ const RSP_ROUTE: u8 = 10;
 const RSP_FLEET_VIEW: u8 = 11;
 const RSP_FLEET_METRICS: u8 = 12;
 const RSP_GROUP_STATE: u8 = 13;
+const RSP_WHAT_IF: u8 = 14;
+const RSP_EVENT: u8 = 15;
+const RSP_EXPLAINED: u8 = 16;
 
 /// The binary codec (proto v2). Stateless; [`Encoding::Binary`] hands
 /// out a shared instance via [`Encoding::codec`].
@@ -110,6 +116,9 @@ impl FrameCodec for V2Codec {
             REQ_FLEET_METRICS => Request::FleetMetrics,
             REQ_EXPORT_GROUP => Request::ExportGroup { group: r.string()? },
             REQ_IMPORT_GROUP => Request::ImportGroup(decode_group_record(&mut r)?),
+            REQ_WHAT_IF => Request::WhatIf(decode_snapshot(&mut r)?),
+            REQ_SUBSCRIBE => Request::Subscribe,
+            REQ_EXPLAIN => Request::Explain { group: r.string()? },
             tag => return Err(Error::Protocol(format!("unknown request tag {tag}"))),
         };
         r.finish()?;
@@ -170,6 +179,15 @@ impl FrameCodec for V2Codec {
                 Request::ImportGroup(record) => {
                     p.push(REQ_IMPORT_GROUP);
                     put_group_record(p, record)?;
+                }
+                Request::WhatIf(s) => {
+                    p.push(REQ_WHAT_IF);
+                    put_snapshot(p, s)?;
+                }
+                Request::Subscribe => p.push(REQ_SUBSCRIBE),
+                Request::Explain { group } => {
+                    p.push(REQ_EXPLAIN);
+                    put_str(p, group)?;
                 }
             }
             Ok(())
@@ -379,6 +397,35 @@ fn put_group_record(out: &mut Vec<u8>, g: &GroupRecord) -> symbio::Result<()> {
     Ok(())
 }
 
+fn put_component_gain(out: &mut Vec<u8>, g: &ComponentGain) -> symbio::Result<()> {
+    put_count(out, g.domains.len())?;
+    for d in &g.domains {
+        put_count(out, *d)?;
+    }
+    put_f64(out, g.gain);
+    put_bool(out, g.committed);
+    Ok(())
+}
+
+fn put_explanation(out: &mut Vec<u8>, e: &Explanation) -> symbio::Result<()> {
+    put_u64(out, e.seq);
+    put_str(out, &e.reason)?;
+    put_u32(out, e.votes);
+    put_u32(out, e.window);
+    put_f64(out, e.gain);
+    put_f64(out, e.switch_cost);
+    put_f64(out, e.margin);
+    put_count(out, e.components.len())?;
+    for c in &e.components {
+        put_component_gain(out, c)?;
+    }
+    put_count(out, e.domains_changed.len())?;
+    for d in &e.domains_changed {
+        put_count(out, *d)?;
+    }
+    Ok(())
+}
+
 fn put_counters(out: &mut Vec<u8>, c: &CounterSnapshot) -> symbio::Result<()> {
     for v in [
         c.profile_runs,
@@ -412,6 +459,9 @@ fn put_counters(out: &mut Vec<u8>, c: &CounterSnapshot) -> symbio::Result<()> {
     put_u64(out, c.fleet_cold_fallbacks);
     put_u64(out, c.fleet_flaps_suppressed);
     put_u64(out, c.membership_epochs);
+    put_u64(out, c.whatif_requests);
+    put_u64(out, c.stream_events);
+    put_u64(out, c.explanations_emitted);
     put_count(out, c.domain_remaps.len())?;
     for v in &c.domain_remaps {
         put_u64(out, *v);
@@ -529,6 +579,37 @@ fn put_reply(out: &mut Vec<u8>, reply: &Response) -> symbio::Result<()> {
             out.push(RSP_GROUP_STATE);
             put_str(out, group)?;
             put_opt(out, record, put_group_record)
+        }
+        Response::WhatIf {
+            group,
+            mapping,
+            delta,
+            held,
+            memo_hit,
+        } => {
+            out.push(RSP_WHAT_IF);
+            put_str(out, group)?;
+            put_mapping(out, mapping)?;
+            put_f64(out, *delta);
+            put_bool(out, *held);
+            put_bool(out, *memo_hit);
+            Ok(())
+        }
+        Response::Event {
+            decision,
+            epochs,
+            remaps,
+        } => {
+            out.push(RSP_EVENT);
+            put_decision(out, decision)?;
+            put_u64(out, *epochs);
+            put_u64(out, *remaps);
+            Ok(())
+        }
+        Response::Explained { group, explanation } => {
+            out.push(RSP_EXPLAINED);
+            put_str(out, group)?;
+            put_opt(out, explanation, put_explanation)
         }
         Response::Error {
             kind,
@@ -797,6 +878,9 @@ fn decode_counters(r: &mut Reader) -> symbio::Result<CounterSnapshot> {
         fleet_cold_fallbacks: r.u64()?,
         fleet_flaps_suppressed: r.u64()?,
         membership_epochs: r.u64()?,
+        whatif_requests: r.u64()?,
+        stream_events: r.u64()?,
+        explanations_emitted: r.u64()?,
         domain_remaps: {
             let n = r.bounded_count(8)?;
             let mut v = Vec::with_capacity(n);
@@ -805,6 +889,28 @@ fn decode_counters(r: &mut Reader) -> symbio::Result<CounterSnapshot> {
             }
             v
         },
+    })
+}
+
+fn decode_component_gain(r: &mut Reader) -> symbio::Result<ComponentGain> {
+    Ok(ComponentGain {
+        domains: r.counts()?,
+        gain: r.f64()?,
+        committed: r.boolean()?,
+    })
+}
+
+fn decode_explanation(r: &mut Reader) -> symbio::Result<Explanation> {
+    Ok(Explanation {
+        seq: r.u64()?,
+        reason: r.string()?,
+        votes: r.u32()?,
+        window: r.u32()?,
+        gain: r.f64()?,
+        switch_cost: r.f64()?,
+        margin: r.f64()?,
+        components: r.vec(decode_component_gain)?,
+        domains_changed: r.counts()?,
     })
 }
 
@@ -888,6 +994,22 @@ fn decode_reply_inner(r: &mut Reader) -> symbio::Result<Response> {
         RSP_GROUP_STATE => Response::GroupState {
             group: r.string()?,
             record: r.opt(decode_group_record)?,
+        },
+        RSP_WHAT_IF => Response::WhatIf {
+            group: r.string()?,
+            mapping: decode_mapping(r)?,
+            delta: r.f64()?,
+            held: r.boolean()?,
+            memo_hit: r.boolean()?,
+        },
+        RSP_EVENT => Response::Event {
+            decision: decode_decision(r)?,
+            epochs: r.u64()?,
+            remaps: r.u64()?,
+        },
+        RSP_EXPLAINED => Response::Explained {
+            group: r.string()?,
+            explanation: r.opt(decode_explanation)?,
         },
         RSP_ERROR => Response::Error {
             kind: r.string()?,

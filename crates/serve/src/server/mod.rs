@@ -107,9 +107,15 @@ pub(crate) struct Token {
     pub session: u64,
     /// Pending-queue serial on that session.
     pub serial: u64,
-    /// Batch item index (`None` for a lone `Ingest`/`Map`).
+    /// Batch item index (`None` for a lone `Ingest`/`Map`;
+    /// [`EVENT_ITEM`] for an unsolicited subscription event).
     pub item: Option<u32>,
 }
+
+/// Sentinel `Token::item` marking an unsolicited `Response::Event`
+/// pushed to a `Subscribe`d session (no pending serial to resolve; the
+/// reactor appends it to the session's reply queue directly).
+pub(crate) const EVENT_ITEM: u32 = u32::MAX;
 
 /// Work a reactor hands a shard.
 #[derive(Debug)]
@@ -142,6 +148,20 @@ pub(crate) enum Job {
         /// The state to install (boxed: records carry whole vote
         /// windows).
         record: Box<symbio_online::journal::GroupRecord>,
+    },
+    /// Evaluate a snapshot counterfactually (read-only; memoized).
+    WhatIf {
+        /// Reply routing.
+        token: Token,
+        /// The snapshot to evaluate without ingesting.
+        snapshot: Box<SigSnapshot>,
+    },
+    /// Read a group's most recent decision explanation.
+    Explain {
+        /// Reply routing.
+        token: Token,
+        /// The queried group.
+        group: String,
     },
     /// Drain barrier: one per reactor; a shard that has collected all of
     /// them has journaled everything enqueued before the drain began.
@@ -208,6 +228,12 @@ pub(crate) struct Shared {
     pub allowed: Vec<Encoding>,
     pub deadline: Duration,
     pub addr: SocketAddr,
+    /// `Subscribe`d connections as (reactor index, session id) pairs;
+    /// shards push decision events to each one's completion ring.
+    subscribers: Mutex<Vec<(usize, u64)>>,
+    /// Lock-free fast path for the ingest loop: shards skip event
+    /// fan-out entirely while nobody is subscribed.
+    subscriber_count: AtomicUsize,
 }
 
 impl Shared {
@@ -245,6 +271,37 @@ impl Shared {
     /// The group's last-good mapping, if one was ever committed.
     pub fn last_good(&self, group: &str) -> Option<Mapping> {
         self.stale.lock().ok().and_then(|s| s.get(group).cloned())
+    }
+
+    /// Register a `Subscribe`d connection (idempotent per session).
+    pub fn subscribe(&self, reactor: usize, session: u64) {
+        if let Ok(mut subs) = self.subscribers.lock() {
+            if !subs.contains(&(reactor, session)) {
+                subs.push((reactor, session));
+                self.subscriber_count.store(subs.len(), Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Drop a connection's subscription (no-op if it never subscribed).
+    pub fn unsubscribe(&self, reactor: usize, session: u64) {
+        if let Ok(mut subs) = self.subscribers.lock() {
+            subs.retain(|&(r, s)| (r, s) != (reactor, session));
+            self.subscriber_count.store(subs.len(), Ordering::SeqCst);
+        }
+    }
+
+    /// Whether any connection is subscribed (cheap; no lock).
+    pub fn has_subscribers(&self) -> bool {
+        self.subscriber_count.load(Ordering::Relaxed) > 0
+    }
+
+    /// Snapshot of the current subscriber set.
+    pub fn subscriber_list(&self) -> Vec<(usize, u64)> {
+        self.subscribers
+            .lock()
+            .map(|s| s.clone())
+            .unwrap_or_default()
     }
 }
 
@@ -326,6 +383,8 @@ impl SymbiodBuilder {
             allowed: self.encodings,
             deadline: self.cfg.deadline,
             addr,
+            subscribers: Mutex::new(Vec::new()),
+            subscriber_count: AtomicUsize::new(0),
         });
         Ok(Symbiod {
             listener,
@@ -468,6 +527,7 @@ impl Symbiod {
                     .name(format!("symbiod-reactor-{ri}"))
                     .spawn(move || {
                         reactor::reactor_loop(
+                            ri,
                             listener,
                             shared,
                             producers,

@@ -23,7 +23,7 @@ use super::codec::{Chunk, FrameBuffer};
 use super::queue::{Consumer, Producer};
 use super::session::{Session, ShardPort};
 use super::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
-use super::{Completion, Job, ShardSignal, Shared};
+use super::{Completion, Job, ShardSignal, Shared, EVENT_ITEM};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -51,10 +51,12 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream, id: u64) -> Conn {
+    fn new(stream: TcpStream, id: u64, reactor: usize) -> Conn {
+        let mut session = Session::new(id);
+        session.reactor = reactor;
         Conn {
             stream,
-            session: Session::new(id),
+            session,
             rx: FrameBuffer::new(),
             last_activity: Instant::now(),
             read_closed: false,
@@ -85,8 +87,10 @@ impl ShardPort for ReactorPort {
     }
 }
 
-/// The reactor thread body.
+/// The reactor thread body. `index` identifies this reactor in the
+/// shared subscriber registry (shards address event completions by it).
 pub(crate) fn reactor_loop(
+    index: usize,
     listener: Arc<TcpListener>,
     shared: Arc<Shared>,
     producers: Vec<Producer<Job>>,
@@ -129,7 +133,7 @@ pub(crate) fn reactor_loop(
                         continue; // quiesce step below closes the listener
                     }
                     if let Some(l) = &listener {
-                        accept_all(l, &epoll, &mut conns, &mut next_id);
+                        accept_all(l, &epoll, &mut conns, &mut next_id, index);
                     }
                 }
                 TOKEN_WAKE => {
@@ -145,7 +149,7 @@ pub(crate) fn reactor_loop(
                         && !conn.poisoned
                         && !read_and_dispatch(conn, &shared, &mut port)
                     {
-                        close_conn(&epoll, &mut conns, id);
+                        close_conn(&epoll, &mut conns, id, &shared);
                         continue;
                     }
                     // Writability is handled by the flush pass below.
@@ -153,11 +157,19 @@ pub(crate) fn reactor_loop(
             }
         }
 
-        // Deliver shard completions into their sessions.
+        // Deliver shard completions into their sessions. Event
+        // completions carry no pending serial: they append straight to
+        // the subscribed session's reply queue.
         for c in &mut completions {
             while let Some(done) = c.pop() {
                 if let Some(conn) = conns.get_mut(&done.token.session) {
-                    conn.session.complete(done.token, done.reply);
+                    if done.token.item == Some(EVENT_ITEM) {
+                        if conn.session.subscribed {
+                            conn.session.push_ready(done.reply);
+                        }
+                    } else {
+                        conn.session.complete(done.token, done.reply);
+                    }
                 }
             }
         }
@@ -207,7 +219,7 @@ pub(crate) fn reactor_loop(
             }
         }
         for id in closed {
-            close_conn(&epoll, &mut conns, id);
+            close_conn(&epoll, &mut conns, id, &shared);
         }
 
         if let Some(deadline) = finalize_by {
@@ -227,6 +239,7 @@ fn accept_all(
     epoll: &Epoll,
     conns: &mut HashMap<u64, Conn>,
     next_id: &mut u64,
+    reactor: usize,
 ) {
     loop {
         match listener.accept() {
@@ -240,7 +253,7 @@ fn accept_all(
                 let id = *next_id;
                 *next_id += 1;
                 if epoll.add(stream.as_raw_fd(), EPOLLIN, id).is_ok() {
-                    conns.insert(id, Conn::new(stream, id));
+                    conns.insert(id, Conn::new(stream, id, reactor));
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -330,8 +343,11 @@ fn flush_conn(conn: &mut Conn, epoll: &Epoll) -> bool {
     true
 }
 
-fn close_conn(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, id: u64) {
+fn close_conn(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, id: u64, shared: &Shared) {
     if let Some(conn) = conns.remove(&id) {
+        if conn.session.subscribed {
+            shared.unsubscribe(conn.session.reactor, id);
+        }
         let _ = epoll.delete(conn.stream.as_raw_fd());
     }
 }

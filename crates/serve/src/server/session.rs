@@ -75,10 +75,15 @@ fn write_gate() -> symbio::Result<()> {
 pub(crate) struct Session {
     /// Reactor-local id (the epoll token).
     pub id: u64,
+    /// Index of the reactor that owns this connection (the shard side
+    /// of the subscriber registry; 0 outside a real reactor).
+    pub reactor: usize,
     /// Encoding for *newly arriving* frames.
     pub encoding: Encoding,
     /// Encoded reply bytes awaiting the socket.
     pub outbuf: Vec<u8>,
+    /// Whether this connection asked for the decision stream.
+    pub subscribed: bool,
     pending: VecDeque<Pending>,
     next_serial: u64,
 }
@@ -87,8 +92,10 @@ impl Session {
     pub fn new(id: u64) -> Session {
         Session {
             id,
+            reactor: 0,
             encoding: Encoding::JsonLines,
             outbuf: Vec::new(),
+            subscribed: false,
             pending: VecDeque::new(),
             next_serial: 0,
         }
@@ -340,6 +347,73 @@ impl Session {
                 });
                 false
             }
+            Request::WhatIf(snapshot) => {
+                let group = snapshot.group.clone();
+                let serial = self.alloc_serial();
+                let encoding = self.encoding;
+                let state = if shared.draining() {
+                    PendingState::Ready(Session::degraded(group, "daemon is draining", shared))
+                } else {
+                    let job = Job::WhatIf {
+                        token: Token {
+                            session: self.id,
+                            serial,
+                            item: None,
+                        },
+                        snapshot: Box::new(snapshot),
+                    };
+                    match port.submit(shard_of(&group, shared.shards), job) {
+                        Ok(()) => PendingState::WaitOne,
+                        Err(_) => PendingState::Ready(Session::degraded(
+                            group,
+                            "shard ingest queue full; serving last-good mapping",
+                            shared,
+                        )),
+                    }
+                };
+                self.pending.push_back(Pending {
+                    serial,
+                    encoding,
+                    state,
+                });
+                false
+            }
+            Request::Explain { group } => {
+                let serial = self.alloc_serial();
+                let encoding = self.encoding;
+                let state = if shared.draining() {
+                    PendingState::Ready(Session::degraded(group, "daemon is draining", shared))
+                } else {
+                    let job = Job::Explain {
+                        token: Token {
+                            session: self.id,
+                            serial,
+                            item: None,
+                        },
+                        group: group.clone(),
+                    };
+                    match port.submit(shard_of(&group, shared.shards), job) {
+                        Ok(()) => PendingState::WaitOne,
+                        Err(_) => PendingState::Ready(Session::degraded(
+                            group,
+                            "shard ingest queue full; serving last-good mapping",
+                            shared,
+                        )),
+                    }
+                };
+                self.pending.push_back(Pending {
+                    serial,
+                    encoding,
+                    state,
+                });
+                false
+            }
+            Request::Subscribe => {
+                self.subscribed = true;
+                shared.subscribe(self.reactor, self.id);
+                self.push_ready(Response::Ok);
+                false
+            }
             Request::Metrics => {
                 self.push_ready(Response::Metrics(shared.counters.snapshot()));
                 false
@@ -453,6 +527,8 @@ mod tests {
             allowed: vec![Encoding::JsonLines, Encoding::Binary],
             deadline: Duration::from_secs(5),
             addr: "127.0.0.1:0".parse().unwrap(),
+            subscribers: Mutex::new(Vec::new()),
+            subscriber_count: AtomicUsize::new(0),
         }
     }
 

@@ -13,13 +13,18 @@
 //! dropping the engine (which flushes the journal tail).
 
 use super::queue::{Consumer, Producer};
-use super::{Completion, Job, ShardSignal, Shared};
+use super::{Completion, Job, ShardSignal, Shared, Token, EVENT_ITEM};
 use crate::proto::Response;
+use std::collections::HashMap;
 use std::io::Write;
 use std::os::unix::net::UnixStream;
 use std::time::Duration;
 use symbio::obs::Counters;
 use symbio_online::{DecisionReason, OnlineEngine};
+
+/// Entries a shard's what-if memo may hold before it is cleared whole
+/// (bounds hostile clients; real control-plane traffic is tiny).
+const WHATIF_MEMO_CAP: usize = 1024;
 
 fn decode_gate() -> symbio::Result<()> {
     symbio::faultpoint!("snapshot_decode");
@@ -85,6 +90,92 @@ fn deliver(
     let _ = wakes[ri].write(&[1]);
 }
 
+/// Push one decision event to every subscribed session, lossy: a full
+/// completion ring drops the event rather than stalling the shard (the
+/// watcher missed a frame; the next decision catches it up). Successful
+/// pushes count in `stream_events`.
+fn fan_out_event(
+    completions: &mut [Producer<Completion>],
+    wakes: &mut [UnixStream],
+    shared: &Shared,
+    event: &Response,
+) {
+    for (ri, session) in shared.subscriber_list() {
+        if ri >= completions.len() {
+            continue;
+        }
+        let completion = Completion {
+            token: Token {
+                session,
+                serial: 0,
+                item: Some(EVENT_ITEM),
+            },
+            reply: event.clone(),
+        };
+        if completions[ri].push(completion).is_ok() {
+            Counters::add(&shared.counters.stream_events, 1);
+            let _ = wakes[ri].write(&[1]);
+        }
+    }
+}
+
+/// Answer one what-if query, consulting `memo` first. The memo key is
+/// the snapshot's canonical JSON — collision-proof, and cheap next to
+/// the evaluation it saves. Any engine mutation clears the memo (the
+/// caller does), so a hit is always computed against current state.
+fn what_if_one(
+    engine: &mut OnlineEngine,
+    memo: &mut HashMap<String, Response>,
+    snapshot: &symbio_machine::SigSnapshot,
+    shared: &Shared,
+) -> Response {
+    Counters::add(&shared.counters.whatif_requests, 1);
+    let key = serde_json::to_string(snapshot).unwrap_or_default();
+    if !key.is_empty() {
+        if let Some(hit) = memo.get(&key) {
+            Counters::add(&shared.counters.memo_hits, 1);
+            if let Response::WhatIf {
+                group,
+                mapping,
+                delta,
+                held,
+                ..
+            } = hit
+            {
+                return Response::WhatIf {
+                    group: group.clone(),
+                    mapping: mapping.clone(),
+                    delta: *delta,
+                    held: *held,
+                    memo_hit: true,
+                };
+            }
+            return hit.clone();
+        }
+    }
+    Counters::add(&shared.counters.memo_misses, 1);
+    let reply = match engine.what_if(snapshot) {
+        Ok(answer) => Response::WhatIf {
+            group: answer.group,
+            mapping: answer.mapping,
+            delta: answer.delta,
+            held: answer.held,
+            memo_hit: false,
+        },
+        Err(e) => {
+            Counters::add(&shared.counters.serve_errors, 1);
+            Response::from_error(&e)
+        }
+    };
+    if !key.is_empty() {
+        if memo.len() >= WHATIF_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, reply.clone());
+    }
+    reply
+}
+
 /// The shard thread body.
 pub(crate) fn shard_loop(
     mut engine: OnlineEngine,
@@ -96,6 +187,9 @@ pub(crate) fn shard_loop(
 ) {
     let reactors = jobs.len();
     let mut barriers = 0usize;
+    // What-if answers memoized against the engine state they were
+    // computed under; cleared on every mutation (ingest/import).
+    let mut whatif_memo: HashMap<String, Response> = HashMap::new();
     loop {
         let mut progressed = false;
         for (ri, queue) in jobs.iter_mut().enumerate() {
@@ -103,13 +197,30 @@ pub(crate) fn shard_loop(
                 progressed = true;
                 match job {
                     Job::Ingest { token, snapshot } => {
+                        whatif_memo.clear();
                         let reply = ingest_one(&mut engine, &snapshot, shared);
+                        let event = if shared.has_subscribers() {
+                            if let Response::Decision(d) = &reply {
+                                Some(Response::Event {
+                                    epochs: engine.epochs(&d.group),
+                                    remaps: engine.remaps(&d.group),
+                                    decision: d.clone(),
+                                })
+                            } else {
+                                None
+                            }
+                        } else {
+                            None
+                        };
                         deliver(
                             &mut completions,
                             &mut wakes,
                             ri,
                             Completion { token, reply },
                         );
+                        if let Some(event) = event {
+                            fan_out_event(&mut completions, &mut wakes, shared, &event);
+                        }
                     }
                     Job::Map { token, group } => {
                         let reply = Response::Map {
@@ -141,7 +252,29 @@ pub(crate) fn shard_loop(
                             Completion { token, reply },
                         );
                     }
+                    Job::WhatIf { token, snapshot } => {
+                        let reply = what_if_one(&mut engine, &mut whatif_memo, &snapshot, shared);
+                        deliver(
+                            &mut completions,
+                            &mut wakes,
+                            ri,
+                            Completion { token, reply },
+                        );
+                    }
+                    Job::Explain { token, group } => {
+                        let reply = Response::Explained {
+                            explanation: engine.explanation(&group).cloned(),
+                            group,
+                        };
+                        deliver(
+                            &mut completions,
+                            &mut wakes,
+                            ri,
+                            Completion { token, reply },
+                        );
+                    }
                     Job::ImportGroup { token, record } => {
+                        whatif_memo.clear();
                         engine.import_group(&record);
                         if let Some(m) = &record.current {
                             shared.remember(&record.name, m);

@@ -492,6 +492,226 @@ fn batch_reports_poisoned_items_in_place() {
 }
 
 #[test]
+fn what_if_is_memoized_and_explained_over_the_wire() {
+    let engine = engine().with_explanations(true);
+    let daemon = Symbiod::bind("127.0.0.1:0", engine, serve_cfg()).expect("bind loopback");
+    let addr = daemon.local_addr();
+    let handle = std::thread::spawn(move || daemon.run());
+
+    let mut client = WireClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    client.hello(Encoding::Binary).expect("negotiate");
+    for seq in 0..3u64 {
+        let reply = client
+            .exchange(&Request::Ingest(snapshot("g", seq)))
+            .expect("ingest");
+        assert!(matches!(reply, Response::Decision(_)), "got {reply:?}");
+    }
+    let reply = client
+        .exchange(&Request::Map {
+            group: "g".to_string(),
+        })
+        .expect("map");
+    let Response::Map {
+        mapping: Some(committed),
+        ..
+    } = reply
+    else {
+        panic!("expected a committed mapping, got {reply:?}");
+    };
+
+    // First counterfactual: a memo miss that answers with exactly the
+    // committed mapping (the stream is stable, so the engine holds).
+    let probe = snapshot("g", 100);
+    let reply = client
+        .exchange(&Request::WhatIf(probe.clone()))
+        .expect("what-if");
+    let Response::WhatIf {
+        group,
+        mapping,
+        delta,
+        held,
+        memo_hit,
+    } = reply
+    else {
+        panic!("expected what-if reply, got {reply:?}");
+    };
+    assert_eq!(group, "g");
+    assert!(held, "a stable stream must hold");
+    assert_eq!(delta, 0.0);
+    assert!(!memo_hit, "first query cannot hit the memo");
+    for tid in 0..4 {
+        assert_eq!(mapping.core_of(tid), committed.core_of(tid), "tid {tid}");
+    }
+
+    // The identical query again: served from the shard-local memo.
+    let reply = client
+        .exchange(&Request::WhatIf(probe.clone()))
+        .expect("what-if repeat");
+    match &reply {
+        Response::WhatIf { memo_hit, .. } => assert!(memo_hit, "identical repeat must hit"),
+        other => panic!("expected what-if reply, got {other:?}"),
+    }
+    let reply = client.exchange(&Request::Metrics).expect("metrics");
+    let Response::Metrics(snap) = reply else {
+        panic!("expected metrics");
+    };
+    assert_eq!(snap.whatif_requests, 2);
+    assert_eq!(snap.memo_hits, 1);
+    assert_eq!(snap.memo_misses, 1);
+
+    // Any mutation invalidates the memo: the same query misses again.
+    let reply = client
+        .exchange(&Request::Ingest(snapshot("g", 3)))
+        .expect("ingest");
+    assert!(matches!(reply, Response::Decision(_)));
+    let reply = client
+        .exchange(&Request::WhatIf(probe))
+        .expect("what-if after ingest");
+    match &reply {
+        Response::WhatIf { memo_hit, .. } => {
+            assert!(!memo_hit, "an ingest must invalidate the memo");
+        }
+        other => panic!("expected what-if reply, got {other:?}"),
+    }
+
+    // With `--explain` semantics on, the latest decision is explainable;
+    // a group nobody ingested has nothing to explain.
+    let reply = client
+        .exchange(&Request::Explain {
+            group: "g".to_string(),
+        })
+        .expect("explain");
+    match reply {
+        Response::Explained {
+            group,
+            explanation: Some(e),
+        } => {
+            assert_eq!(group, "g");
+            assert_eq!(e.seq, 3, "explains the most recent decision");
+        }
+        other => panic!("expected an explanation, got {other:?}"),
+    }
+    let reply = client
+        .exchange(&Request::Explain {
+            group: "nobody".to_string(),
+        })
+        .expect("explain unknown");
+    assert!(
+        matches!(
+            reply,
+            Response::Explained {
+                explanation: None,
+                ..
+            }
+        ),
+        "got {reply:?}"
+    );
+
+    let reply = client.exchange(&Request::Shutdown).expect("shutdown");
+    assert!(matches!(reply, Response::Ok));
+    handle.join().expect("daemon thread").expect("drain");
+}
+
+#[test]
+fn subscribers_receive_every_decision_event() {
+    let (addr, counters, handle) = spawn_daemon();
+
+    // The watcher negotiates binary, subscribes, and then only reads.
+    let mut watcher = WireClient::connect(addr, Duration::from_secs(5)).expect("connect watcher");
+    watcher.hello(Encoding::Binary).expect("negotiate");
+    let reply = watcher.exchange(&Request::Subscribe).expect("subscribe");
+    assert!(matches!(reply, Response::Ok), "got {reply:?}");
+
+    // A second connection drives the decision stream.
+    let mut driver = WireClient::connect(addr, Duration::from_secs(5)).expect("connect driver");
+    driver.hello(Encoding::Binary).expect("negotiate");
+    const EPOCHS: u64 = 4;
+    for seq in 0..EPOCHS {
+        let reply = driver
+            .exchange(&Request::Ingest(snapshot("g", seq)))
+            .expect("ingest");
+        assert!(matches!(reply, Response::Decision(_)), "got {reply:?}");
+    }
+
+    // Every epoch fans out one event, in ingest order, carrying the same
+    // decision the driver was served plus the group's running stats.
+    for seq in 0..EPOCHS {
+        let event = watcher.recv().expect("event frame");
+        let Response::Event {
+            decision,
+            epochs,
+            remaps,
+        } = event
+        else {
+            panic!("expected event, got {event:?}");
+        };
+        assert_eq!(decision.group, "g");
+        assert_eq!(decision.seq, seq);
+        assert_eq!(epochs, seq + 1);
+        assert_eq!(remaps, 0);
+    }
+    assert_eq!(counters.snapshot().stream_events, EPOCHS);
+
+    let reply = driver.exchange(&Request::Shutdown).expect("shutdown");
+    assert!(matches!(reply, Response::Ok));
+    handle.join().expect("daemon thread").expect("drain");
+}
+
+/// Run one daemon session: the same six ingest epochs, optionally
+/// interleaved with what-if and explain probes, and return the raw
+/// journal bytes it left behind.
+fn journaled_session(tag: &str, probe: bool) -> Vec<u8> {
+    let journal: PathBuf = std::env::temp_dir().join(format!(
+        "symbio-whatif-journal-{tag}-{}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal);
+    let engine = engine().with_journal(JournalWriter::open(&journal, 64).expect("open journal"));
+    let daemon = Symbiod::bind("127.0.0.1:0", engine, serve_cfg()).expect("bind loopback");
+    let addr = daemon.local_addr();
+    let handle = std::thread::spawn(move || daemon.run());
+
+    let mut client = WireClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    client.hello(Encoding::Binary).expect("negotiate");
+    for seq in 0..6u64 {
+        if probe {
+            let reply = client
+                .exchange(&Request::WhatIf(snapshot("g", 1_000 + seq)))
+                .expect("what-if");
+            assert!(matches!(reply, Response::WhatIf { .. }), "got {reply:?}");
+            let reply = client
+                .exchange(&Request::Explain {
+                    group: "g".to_string(),
+                })
+                .expect("explain");
+            assert!(matches!(reply, Response::Explained { .. }), "got {reply:?}");
+        }
+        let reply = client
+            .exchange(&Request::Ingest(snapshot("g", seq)))
+            .expect("ingest");
+        assert!(matches!(reply, Response::Decision(_)), "got {reply:?}");
+    }
+    let reply = client.exchange(&Request::Shutdown).expect("shutdown");
+    assert!(matches!(reply, Response::Ok));
+    handle.join().expect("daemon thread").expect("drain");
+
+    let bytes = std::fs::read(&journal).expect("read journal");
+    let _ = std::fs::remove_file(&journal);
+    bytes
+}
+
+/// The read-only guarantee, proven at the persistence layer: a session
+/// saturated with what-if and explain probes journals byte-for-byte
+/// what a probe-free session journals.
+#[test]
+fn what_if_probes_leave_the_journal_byte_identical() {
+    let plain = journaled_session("plain", false);
+    let probed = journaled_session("probed", true);
+    assert!(!plain.is_empty(), "the session must journal its epochs");
+    assert_eq!(plain, probed, "a counterfactual probe mutated the journal");
+}
+
+#[test]
 fn shutdown_drains_inflight_batch_before_ack() {
     let journal: PathBuf = std::env::temp_dir().join(format!(
         "symbio-daemon-drain-{}.journal",

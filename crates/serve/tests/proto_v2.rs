@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use symbio::obs::CounterSnapshot;
 use symbio_machine::{Mapping, ProcView, SigSnapshot, ThreadView};
 use symbio_online::journal::{EpochRecord, GroupRecord};
-use symbio_online::{Decision, DecisionReason};
+use symbio_online::{ComponentGain, Decision, DecisionReason, Explanation};
 use symbio_serve::proto::v2::V2Codec;
 use symbio_serve::proto::{
     BackendStat, FleetSnapshot, FleetView, FrameCodec, Hello, Request, Response, Welcome,
@@ -177,6 +177,29 @@ impl Gen {
             fleet_flaps_suppressed: self.next(),
             membership_epochs: self.next(),
             domain_remaps: (0..self.below(4)).map(|_| self.next()).collect(),
+            whatif_requests: self.next(),
+            stream_events: self.next(),
+            explanations_emitted: self.next(),
+        }
+    }
+
+    fn explanation(&mut self) -> Explanation {
+        Explanation {
+            seq: self.next(),
+            reason: self.string(),
+            votes: self.below(64) as u32,
+            window: self.below(64) as u32,
+            gain: self.f64(),
+            switch_cost: self.f64(),
+            margin: self.f64(),
+            components: (0..self.below(3))
+                .map(|_| ComponentGain {
+                    domains: (0..self.below(3)).map(|_| self.below(8) as usize).collect(),
+                    gain: self.f64(),
+                    committed: self.chance(),
+                })
+                .collect(),
+            domains_changed: (0..self.below(3)).map(|_| self.below(8) as usize).collect(),
         }
     }
 
@@ -224,7 +247,7 @@ impl Gen {
     }
 
     fn request(&mut self) -> Request {
-        match self.below(11) {
+        match self.below(14) {
             0 => Request::Hello(Hello {
                 versions: (0..self.below(4)).map(|_| self.below(16) as u32).collect(),
                 encodings: (0..self.below(4)).map(|_| self.string()).collect(),
@@ -247,13 +270,18 @@ impl Gen {
                 group: self.string(),
             },
             9 => Request::ImportGroup(self.group_record()),
+            10 => Request::WhatIf(self.snapshot()),
+            11 => Request::Subscribe,
+            12 => Request::Explain {
+                group: self.string(),
+            },
             _ => Request::Shutdown,
         }
     }
 
     /// A reply without nesting (what a `Batch` may carry).
     fn flat_reply(&mut self) -> Response {
-        match self.below(12) {
+        match self.below(15) {
             0 => Response::Welcome(Welcome {
                 version: self.below(16) as u32,
                 encoding: self.string(),
@@ -309,6 +337,26 @@ impl Gen {
                 group: self.string(),
                 record: if self.chance() {
                     Some(self.group_record())
+                } else {
+                    None
+                },
+            },
+            11 => Response::WhatIf {
+                group: self.string(),
+                mapping: self.mapping(),
+                delta: self.f64(),
+                held: self.chance(),
+                memo_hit: self.chance(),
+            },
+            12 => Response::Event {
+                decision: self.decision(),
+                epochs: self.next(),
+                remaps: self.next(),
+            },
+            13 => Response::Explained {
+                group: self.string(),
+                explanation: if self.chance() {
+                    Some(self.explanation())
                 } else {
                     None
                 },
